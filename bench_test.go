@@ -1,0 +1,540 @@
+// Benchmark harness: one benchmark (or family) per experiment in DESIGN.md
+// §4. Run with
+//
+//	go test -bench=. -benchmem
+//
+// The absolute numbers are machine-dependent; the shapes the paper implies
+// (semi-naive beats naive, the game solver is polynomial in n for fixed k
+// but exponential in k, flow crushes brute force, G_φ grows linearly in
+// the formula) are asserted in EXPERIMENTS.md against a recorded run.
+package repro
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/cnf"
+	"repro/internal/datalog"
+	"repro/internal/flow"
+	"repro/internal/graph"
+	"repro/internal/homeo"
+	"repro/internal/logic"
+	"repro/internal/pebble"
+	"repro/internal/structure"
+	"repro/internal/switchgraph"
+)
+
+// --- E1 / E14: the engine ---
+
+func benchEval(b *testing.B, p *datalog.Program, g *graph.Graph, opt datalog.Options) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		db := datalog.FromGraph(g)
+		res, err := datalog.Eval(p, db, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = res
+	}
+}
+
+func BenchmarkE1_TransitiveClosureSemiNaive(b *testing.B) {
+	for _, n := range []int{20, 40, 80} {
+		b.Run(fmt.Sprintf("path-%d", n), func(b *testing.B) {
+			benchEval(b, datalog.TransitiveClosureProgram(), graph.DirectedPath(n),
+				datalog.Options{SemiNaive: true, UseIndexes: true})
+		})
+	}
+}
+
+func BenchmarkE1_AvoidingPath(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	g := graph.Random(12, 0.2, rng)
+	benchEval(b, datalog.AvoidingPathProgram(), g, datalog.DefaultOptions)
+}
+
+func BenchmarkE14_SemiNaiveVsNaive(b *testing.B) {
+	g := graph.DirectedPath(40)
+	b.Run("seminaive", func(b *testing.B) {
+		benchEval(b, datalog.TransitiveClosureProgram(), g, datalog.Options{SemiNaive: true, UseIndexes: true})
+	})
+	b.Run("naive", func(b *testing.B) {
+		benchEval(b, datalog.TransitiveClosureProgram(), g, datalog.Options{SemiNaive: false, UseIndexes: true})
+	})
+}
+
+func BenchmarkE14_IndexAblation(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	g := graph.Random(40, 0.1, rng)
+	b.Run("indexed", func(b *testing.B) {
+		benchEval(b, datalog.TransitiveClosureProgram(), g, datalog.Options{SemiNaive: true, UseIndexes: true})
+	})
+	b.Run("scan", func(b *testing.B) {
+		benchEval(b, datalog.TransitiveClosureProgram(), g, datalog.Options{SemiNaive: true, UseIndexes: false})
+	})
+}
+
+// --- E2/E3/E4: pebble games ---
+
+func BenchmarkE2_PathGame(b *testing.B) {
+	a := structure.FromGraph(graph.DirectedPath(6), nil, nil)
+	bb := structure.FromGraph(graph.DirectedPath(8), nil, nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if pebble.NewGame(a, bb, 2).MustSolve() != pebble.PlayerII {
+			b.Fatal("wrong winner")
+		}
+	}
+}
+
+func BenchmarkE3_DisjointPathGame(b *testing.B) {
+	ga, _, _, _, _ := graph.TwoDisjointPathsGraph(4, 4)
+	gb, _, _, _, _ := graph.CrossingPathsGraph(2)
+	a := structure.FromGraph(ga, nil, nil)
+	bb := structure.FromGraph(gb, nil, nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if pebble.NewGame(a, bb, 3).MustSolve() != pebble.PlayerI {
+			b.Fatal("wrong winner")
+		}
+	}
+}
+
+func BenchmarkE4_GameSolverScaling(b *testing.B) {
+	// Polynomial in n for fixed k (Proposition 5.3): watch ns/op grow
+	// polynomially across sizes.
+	for _, n := range []int{4, 8, 16} {
+		b.Run(fmt.Sprintf("k2-n%d", n), func(b *testing.B) {
+			a := structure.FromGraph(graph.DirectedPath(n), nil, nil)
+			bb := structure.FromGraph(graph.DirectedPath(n+2), nil, nil)
+			for i := 0; i < b.N; i++ {
+				pebble.NewGame(a, bb, 2).MustSolve()
+			}
+		})
+	}
+	// And exponential in k: same structures, growing k.
+	for _, k := range []int{1, 2, 3} {
+		b.Run(fmt.Sprintf("n6-k%d", k), func(b *testing.B) {
+			a := structure.FromGraph(graph.DirectedPath(6), nil, nil)
+			bb := structure.FromGraph(graph.DirectedPath(8), nil, nil)
+			for i := 0; i < b.N; i++ {
+				pebble.NewGame(a, bb, k).MustSolve()
+			}
+		})
+	}
+}
+
+func BenchmarkE4_SolverAblation(b *testing.B) {
+	// The two Proposition 5.3 formulations: greatest winning family vs
+	// explicit Win_k move recursion.
+	a := structure.FromGraph(graph.DirectedPath(8), nil, nil)
+	bb := structure.FromGraph(graph.DirectedPath(10), nil, nil)
+	b.Run("family", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			pebble.NewGame(a, bb, 2).MustSolve()
+		}
+	})
+	b.Run("wink", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := pebble.NewWinkSolver(a, bb, 2).Solve(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// --- E5/E6: the positive Datalog(≠) results ---
+
+func BenchmarkE5_DisjointPathsProgram(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	g := graph.Random(8, 0.3, rng)
+	prog := datalog.QklPrograms(2, 0)
+	b.Run("datalog-Q2", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			datalog.MustEval(prog, datalog.FromGraph(g))
+		}
+	})
+	b.Run("flow-oracle-all-triples", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for s := 0; s < 8; s++ {
+				for s1 := 0; s1 < 8; s1++ {
+					for s2 := s1 + 1; s2 < 8; s2++ {
+						if s != s1 && s != s2 {
+							flow.FanOutCount(g, s, []int{s1, s2})
+						}
+					}
+				}
+			}
+		}
+	})
+	b.Run("brute-force-all-triples", func(b *testing.B) {
+		p := homeo.Star(2, false)
+		for i := 0; i < b.N; i++ {
+			for s := 0; s < 8; s++ {
+				for s1 := 0; s1 < 8; s1++ {
+					for s2 := s1 + 1; s2 < 8; s2++ {
+						if s != s1 && s != s2 {
+							inst, err := homeo.NewInstance(p, g, []int{s, s1, s2})
+							if err != nil {
+								b.Fatal(err)
+							}
+							p.BruteForce(inst)
+						}
+					}
+				}
+			}
+		}
+	})
+}
+
+func BenchmarkE6_AcyclicGame(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	g := graph.RandomDAG(12, 0.25, rng)
+	inst, err := homeo.NewInstance(homeo.H1(), g, []int{0, 10, 1, 11})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("game", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			game, err := homeo.NewAcyclicGame(homeo.H1(), inst)
+			if err != nil {
+				b.Fatal(err)
+			}
+			game.PlayerIIWins()
+		}
+	})
+	b.Run("datalog-D", func(b *testing.B) {
+		prog := datalog.TwoDisjointPathsAcyclicProgram(0, 10, 1, 11)
+		for i := 0; i < b.N; i++ {
+			datalog.MustEval(prog, datalog.FromGraph(g))
+		}
+	})
+	b.Run("bruteforce", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			homeo.H1().BruteForce(inst)
+		}
+	})
+}
+
+// --- E7/E8: the switch and the reduction ---
+
+func BenchmarkE7_SwitchEnumeration(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g, _ := switchgraph.StandaloneSwitch()
+		paths := switchgraph.PassingPaths(g)
+		if len(paths) < 6 {
+			b.Fatal("missing paths")
+		}
+	}
+}
+
+func BenchmarkE8_SATReduction(b *testing.B) {
+	// Construction cost scales linearly with formula size.
+	for _, k := range []int{1, 2, 3} {
+		b.Run(fmt.Sprintf("build-phi%d", k), func(b *testing.B) {
+			f := cnf.Complete(k)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				switchgraph.Build(f)
+			}
+		})
+	}
+	b.Run("decide-fig5", func(b *testing.B) {
+		c := switchgraph.Build(cnf.New(cnf.Clause{1, -1}))
+		g, s1, s2, s3, s4 := c.TwoDisjointPathsQuery()
+		for i := 0; i < b.N; i++ {
+			if !g.TwoDisjointPaths(s1, s2, s3, s4) {
+				b.Fatal("wrong answer")
+			}
+		}
+	})
+}
+
+// --- E9: the lower-bound witness ---
+
+func BenchmarkE9_LowerBoundWitness(b *testing.B) {
+	for _, k := range []int{1, 2, 3} {
+		b.Run(fmt.Sprintf("build-k%d", k), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				homeo.NewLowerBound(k)
+			}
+		})
+	}
+	b.Run("strategy-schedule-k2", func(b *testing.B) {
+		lb := homeo.NewLowerBound(2)
+		a, bb := lb.Structures()
+		dup := homeo.NewDuplicator(lb)
+		ref := pebble.NewReferee(a, bb, 2)
+		rng := rand.New(rand.NewSource(5))
+		moves := pebble.RandomSchedule(rng, a.N, 2, 200)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := ref.Play(dup, moves); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// --- E10: formula games ---
+
+func BenchmarkE10_FormulaGame(b *testing.B) {
+	for _, k := range []int{1, 2} {
+		b.Run(fmt.Sprintf("phi%d-k%d", k, k), func(b *testing.B) {
+			f := cnf.Complete(k)
+			for i := 0; i < b.N; i++ {
+				if !cnf.NewFormulaGame(f, k).PlayerIIWins() {
+					b.Fatal("wrong winner")
+				}
+			}
+		})
+	}
+}
+
+// --- E11: stage translation ---
+
+func BenchmarkE11_StageTranslation(b *testing.B) {
+	p := datalog.TransitiveClosureProgram()
+	b.Run("build-stage-8", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			tr, err := logic.NewTranslator(p)
+			if err != nil {
+				b.Fatal(err)
+			}
+			tr.Stage("S", 8)
+		}
+	})
+	b.Run("eval-stage-5", func(b *testing.B) {
+		tr, err := logic.NewTranslator(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		f := tr.Stage("S", 5)
+		s := structure.FromGraph(graph.DirectedPath(6), nil, nil)
+		env := map[string]int{"w1": 0, "w2": 5}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if !logic.Eval(s, f, env) {
+				b.Fatal("stage 5 should reach distance 5")
+			}
+		}
+	})
+}
+
+// --- E12: even-path reduction ---
+
+func BenchmarkE12_EvenPathReduction(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	g := graph.Random(8, 0.25, rng)
+	b.Run("reduce", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			homeo.EvenPathReduction(g, 0, 1, 2, 3)
+		}
+	})
+	b.Run("decide", func(b *testing.B) {
+		gs, s, t := homeo.EvenPathReduction(g, 0, 1, 2, 3)
+		for i := 0; i < b.N; i++ {
+			homeo.EvenSimplePath(gs, s, t)
+		}
+	})
+}
+
+// --- E13: dichotomy classification ---
+
+func BenchmarkE13_DichotomyTable(b *testing.B) {
+	patterns := []homeo.Pattern{
+		homeo.Star(2, false), homeo.Star(3, true), homeo.InStar(2, false),
+		homeo.H1(), homeo.H2(), homeo.H3(),
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for _, p := range patterns {
+			p.InClassC()
+		}
+	}
+}
+
+func BenchmarkE21_TopDownVsBottomUp(b *testing.B) {
+	g := graph.DirectedPath(40)
+	p := datalog.TransitiveClosureProgram()
+	b.Run("bottomup-full", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			datalog.MustEval(p, datalog.FromGraph(g))
+		}
+	})
+	b.Run("topdown-full", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			td, err := datalog.NewTopDown(p, datalog.FromGraph(g))
+			if err != nil {
+				b.Fatal(err)
+			}
+			td.Ask(datalog.NewGoal("S", 2, nil))
+		}
+	})
+	b.Run("topdown-selective", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			td, err := datalog.NewTopDown(p, datalog.FromGraph(g))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if got := td.Ask(datalog.NewGoal("S", 2, map[int]int{0: 0, 1: 39})); len(got) != 1 {
+				b.Fatal("wrong answer")
+			}
+		}
+	})
+}
+
+// --- E15–E20: extensions ---
+
+func BenchmarkE15_QuotientWitness(b *testing.B) {
+	b.Run("build-H2-k2", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			homeo.NewLowerBoundH2(2)
+		}
+	})
+	b.Run("strategy-H3-k2", func(b *testing.B) {
+		q := homeo.NewLowerBoundH3(2)
+		a, bb := q.Structures()
+		dup := homeo.NewQuotientDuplicator(q)
+		ref := pebble.NewReferee(a, bb, 2)
+		moves := pebble.RandomSchedule(rand.New(rand.NewSource(7)), a.N, 2, 150)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := ref.Play(dup, moves); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkE16_Graft(b *testing.B) {
+	f2g := graph.New(4)
+	f2g.AddEdge(0, 1)
+	f2g.AddEdge(1, 2)
+	f2g.AddEdge(2, 3)
+	f2 := homeo.NewPattern(f2g)
+	lb := homeo.NewLowerBound(1)
+	c := lb.Construction
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := homeo.NewGraft(homeo.H1(), f2, lb.A, c.G,
+			[]int{lb.W1, lb.W2, lb.W3, lb.W4}, []int{c.S1, c.S2, c.S3, c.S4}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE17_OrderFormulas(b *testing.B) {
+	s := logic.TotalOrder(12)
+	f := logic.AtLeastFormula(12)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if !logic.Eval(s, f, map[string]int{}) {
+			b.Fatal("τ_12 must hold on the 12-order")
+		}
+	}
+}
+
+func BenchmarkE18_SubdivisionGame(b *testing.B) {
+	ga, a1, a2, a3, a4 := graph.TwoDisjointPathsGraph(3, 3)
+	subA := homeo.NewSubdivision(ga, a1, a2, a3, a4)
+	subB := homeo.NewSubdivision(ga, a1, a2, a3, a4)
+	h := map[int]int{}
+	for v := 0; v < ga.N(); v++ {
+		h[v] = v
+	}
+	dup := homeo.NewSubdivisionDuplicator(subA, subB, &pebble.EmbeddingDuplicator{H: h})
+	aStar := structure.FromGraph(subA.Star, []string{"s1", "t"}, []int{subA.Start, subA.Target})
+	bStar := structure.FromGraph(subB.Star, []string{"s1", "t"}, []int{subB.Start, subB.Target})
+	ref := pebble.NewReferee(aStar, bStar, 2)
+	moves := pebble.RandomSchedule(rand.New(rand.NewSource(8)), aStar.N, 2, 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := ref.Play(dup, moves); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE19_Definability(b *testing.B) {
+	var fam []*structure.Structure
+	for _, n := range []int{2, 3, 4, 5} {
+		fam = append(fam, structure.FromGraph(graph.DirectedPath(n), nil, nil))
+	}
+	query := func(s *structure.Structure) bool { return s.N%2 == 0 }
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := pebble.CheckDefinability(2, fam, query); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE20_PatternBased(b *testing.B) {
+	g := graph.Random(5, 0.3, rand.New(rand.NewSource(9)))
+	s := structure.FromGraph(g, []string{"s", "t"}, []int{0, 4})
+	b.Run("game-procedure-k3", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := homeo.DecideByGame(homeo.TransitiveClosureQuery{}, s, 3); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("embedding-definition", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			homeo.DecideByEmbedding(homeo.TransitiveClosureQuery{}, s)
+		}
+	})
+}
+
+func BenchmarkE22_SinglePlayerVsTwoPlayer(b *testing.B) {
+	g := graph.Grid(4, 4)
+	inst, err := homeo.NewInstance(homeo.H1(), g, []int{0, 15, 1, 14})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("single-player", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			game, err := homeo.NewSinglePlayerGame(homeo.H1(), inst)
+			if err != nil {
+				b.Fatal(err)
+			}
+			game.Winnable()
+		}
+	})
+	b.Run("two-player", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			game, err := homeo.NewAcyclicGame(homeo.H1(), inst)
+			if err != nil {
+				b.Fatal(err)
+			}
+			game.PlayerIIWins()
+		}
+	})
+}
+
+// --- flow substrate ---
+
+func BenchmarkFlow_MaxDisjointPaths(b *testing.B) {
+	for _, n := range []int{16, 64, 256} {
+		b.Run(fmt.Sprintf("grid-%d", n), func(b *testing.B) {
+			side := 4
+			for side*side < n {
+				side++
+			}
+			g := graph.Grid(side, side)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				flow.MaxDisjointPaths(g, 0, g.N()-1)
+			}
+		})
+	}
+}

@@ -1,0 +1,86 @@
+// Command datalog evaluates a Datalog(≠) program against an EDB facts
+// file and prints the goal relation.
+//
+// Usage:
+//
+//	datalog -program prog.dl -facts db.facts [-naive] [-noindex] [-all] [-stats]
+//
+// With no file arguments it runs the transitive-closure quickstart on a
+// built-in example.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/datalog"
+)
+
+func main() {
+	progPath := flag.String("program", "", "Datalog(≠) program file")
+	factsPath := flag.String("facts", "", "EDB facts file (universe + facts)")
+	naive := flag.Bool("naive", false, "use naive instead of semi-naive evaluation")
+	noindex := flag.Bool("noindex", false, "disable join indexes")
+	all := flag.Bool("all", false, "print every IDB relation, not just the goal")
+	stats := flag.Bool("stats", false, "print evaluation statistics")
+	flag.Parse()
+
+	progSrc := exampleProgram
+	factsSrc := exampleFacts
+	if *progPath != "" {
+		b, err := os.ReadFile(*progPath)
+		fatalIf(err)
+		progSrc = string(b)
+	}
+	if *factsPath != "" {
+		b, err := os.ReadFile(*factsPath)
+		fatalIf(err)
+		factsSrc = string(b)
+	}
+
+	prog, err := core.ParseProgram(progSrc)
+	fatalIf(err)
+	db, err := core.ParseDatabase(factsSrc)
+	fatalIf(err)
+
+	opts := datalog.Options{SemiNaive: !*naive, UseIndexes: !*noindex}
+	res, err := datalog.Eval(prog, db, opts)
+	fatalIf(err)
+
+	if *all {
+		for name, rel := range res.IDB {
+			fmt.Print(core.FormatRelation(name, rel))
+		}
+	} else {
+		fmt.Print(core.FormatRelation(prog.Goal, res.Goal(prog)))
+	}
+	if *stats {
+		info := datalog.Analyze(prog)
+		fmt.Printf("rounds=%d derivations=%d recursive=%v idbs=%v edbs=%v\n",
+			res.Rounds, res.Derivations, info.Recursive, info.IDBs, info.EDBs)
+	}
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "datalog:", err)
+		os.Exit(1)
+	}
+}
+
+const exampleProgram = `
+% Example 2.2: transitive closure.
+S(x, y) :- E(x, y).
+S(x, y) :- E(x, z), S(z, y).
+goal S.
+`
+
+const exampleFacts = `
+universe 5
+E(0, 1).
+E(1, 2).
+E(2, 3).
+E(3, 4).
+`

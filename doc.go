@@ -1,0 +1,10 @@
+// Package repro reproduces Kolaitis & Vardi, "On the Expressive Power of
+// Datalog: Tools and a Case Study" (PODS 1990): a Datalog(≠) engine, the
+// existential k-pebble games that characterize the infinitary fragment
+// L^ω, and the complete fixed-subgraph-homeomorphism case study, including
+// the FHW switch construction and the Theorem 6.6 lower-bound witnesses.
+//
+// The implementation lives under internal/; see README.md for the map,
+// DESIGN.md for the experiment index, and bench_test.go for the benchmark
+// harness that regenerates every experiment's numbers.
+package repro

@@ -1,0 +1,273 @@
+// Package cnf implements Boolean formulas in conjunctive normal form, a
+// small DPLL satisfiability solver, the complete formulas φ_k of
+// Section 6.2, and the k-pebble game on formulas of Definition 6.5.
+//
+// The formula game is the auxiliary device the paper uses to script
+// Player II's moves in the existential k-pebble game of Theorem 6.6; here
+// it is a first-class object whose winner we decide exactly.
+package cnf
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Literal is a variable index with a sign: +v for x_v, -v for ¬x_v.
+// Variables are numbered from 1 so that negation is representable.
+type Literal int
+
+// Neg returns the complementary literal.
+func (l Literal) Neg() Literal { return -l }
+
+// Var returns the variable index of the literal.
+func (l Literal) Var() int {
+	if l < 0 {
+		return int(-l)
+	}
+	return int(l)
+}
+
+// Positive reports whether the literal is unnegated.
+func (l Literal) Positive() bool { return l > 0 }
+
+// String renders x3 or ~x3.
+func (l Literal) String() string {
+	if l < 0 {
+		return fmt.Sprintf("~x%d", -l)
+	}
+	return fmt.Sprintf("x%d", l)
+}
+
+// Clause is a disjunction of literals.
+type Clause []Literal
+
+// String renders (x1 | ~x2).
+func (c Clause) String() string {
+	parts := make([]string, len(c))
+	for i, l := range c {
+		parts[i] = l.String()
+	}
+	return "(" + strings.Join(parts, " | ") + ")"
+}
+
+// Formula is a conjunction of clauses over variables 1..Vars.
+type Formula struct {
+	Vars    int
+	Clauses []Clause
+}
+
+// New builds a formula, inferring Vars from the clauses; it panics on
+// empty clauses containing variable 0 or out-of-range literals.
+func New(clauses ...Clause) *Formula {
+	f := &Formula{}
+	for _, c := range clauses {
+		for _, l := range c {
+			if l == 0 {
+				panic("cnf: literal 0 is invalid")
+			}
+			if l.Var() > f.Vars {
+				f.Vars = l.Var()
+			}
+		}
+		f.Clauses = append(f.Clauses, c)
+	}
+	return f
+}
+
+// String renders the whole formula.
+func (f *Formula) String() string {
+	parts := make([]string, len(f.Clauses))
+	for i, c := range f.Clauses {
+		parts[i] = c.String()
+	}
+	return strings.Join(parts, " & ")
+}
+
+// Assignment maps variables to truth values; missing = unassigned.
+type Assignment map[int]bool
+
+// Satisfies reports whether every clause has a true literal under a.
+// Unassigned variables count as making no literal true, so a partial
+// assignment satisfies only if it already guarantees the formula.
+func (f *Formula) Satisfies(a Assignment) bool {
+	for _, c := range f.Clauses {
+		ok := false
+		for _, l := range c {
+			v, assigned := a[l.Var()]
+			if assigned && v == l.Positive() {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Satisfiable decides satisfiability by DPLL with unit propagation and
+// returns a satisfying assignment when one exists.
+func (f *Formula) Satisfiable() (Assignment, bool) {
+	a := make(Assignment)
+	if f.dpll(a) {
+		return a, true
+	}
+	return nil, false
+}
+
+func (f *Formula) dpll(a Assignment) bool {
+	// Unit propagation.
+	for {
+		unit := Literal(0)
+		allSat := true
+		for _, c := range f.Clauses {
+			satisfied := false
+			var unassigned []Literal
+			for _, l := range c {
+				v, ok := a[l.Var()]
+				switch {
+				case !ok:
+					unassigned = append(unassigned, l)
+				case v == l.Positive():
+					satisfied = true
+				}
+				if satisfied {
+					break
+				}
+			}
+			if satisfied {
+				continue
+			}
+			allSat = false
+			if len(unassigned) == 0 {
+				return false // conflict
+			}
+			if len(unassigned) == 1 && unit == 0 {
+				unit = unassigned[0]
+			}
+		}
+		if allSat {
+			return true
+		}
+		if unit == 0 {
+			break
+		}
+		a[unit.Var()] = unit.Positive()
+	}
+	// Branch on the lowest unassigned variable.
+	v := 0
+	for i := 1; i <= f.Vars; i++ {
+		if _, ok := a[i]; !ok {
+			v = i
+			break
+		}
+	}
+	if v == 0 {
+		return f.Satisfies(a)
+	}
+	for _, val := range []bool{true, false} {
+		a[v] = val
+		// Save the trail so propagation effects can be undone.
+		saved := make(Assignment, len(a))
+		for k, vv := range a {
+			saved[k] = vv
+		}
+		if f.dpll(a) {
+			return true
+		}
+		for k := range a {
+			delete(a, k)
+		}
+		for k, vv := range saved {
+			a[k] = vv
+		}
+		delete(a, v)
+	}
+	return false
+}
+
+// Complete returns the complete formula φ_k on variables x_1..x_k: all 2^k
+// clauses with k distinct literals, one per variable. φ_k is unsatisfiable
+// for every k >= 1 and is the hard instance behind Theorem 6.6.
+func Complete(k int) *Formula {
+	if k < 1 || k > 20 {
+		panic("cnf: Complete wants 1 <= k <= 20")
+	}
+	f := &Formula{Vars: k}
+	for mask := 0; mask < 1<<k; mask++ {
+		c := make(Clause, k)
+		for i := 0; i < k; i++ {
+			if mask&(1<<i) != 0 {
+				c[i] = Literal(-(i + 1))
+			} else {
+				c[i] = Literal(i + 1)
+			}
+		}
+		f.Clauses = append(f.Clauses, c)
+	}
+	return f
+}
+
+// Chain returns the formula x1 & x2 & ... & xk & (~x1 | ... | ~xk) from
+// Section 6.2: unsatisfiable, and Player I wins its 2-pebble game.
+func Chain(k int) *Formula {
+	f := &Formula{Vars: k}
+	neg := make(Clause, k)
+	for i := 1; i <= k; i++ {
+		f.Clauses = append(f.Clauses, Clause{Literal(i)})
+		neg[i-1] = Literal(-i)
+	}
+	f.Clauses = append(f.Clauses, neg)
+	return f
+}
+
+// Literals returns all 2*Vars literals in a deterministic order.
+func (f *Formula) Literals() []Literal {
+	out := make([]Literal, 0, 2*f.Vars)
+	for v := 1; v <= f.Vars; v++ {
+		out = append(out, Literal(v), Literal(-v))
+	}
+	return out
+}
+
+// OccurrenceCount returns how many times each literal occurs across the
+// clauses (keyed by literal). In φ_k every literal occurs 2^(k-1) times —
+// the uniformity the standard-path construction of Theorem 6.6 relies on.
+func (f *Formula) OccurrenceCount() map[Literal]int {
+	out := make(map[Literal]int)
+	for _, c := range f.Clauses {
+		for _, l := range c {
+			out[l]++
+		}
+	}
+	return out
+}
+
+// NumClauses returns the number of clauses.
+func (f *Formula) NumClauses() int { return len(f.Clauses) }
+
+// Clone returns a deep copy.
+func (f *Formula) Clone() *Formula {
+	g := &Formula{Vars: f.Vars}
+	for _, c := range f.Clauses {
+		cc := make(Clause, len(c))
+		copy(cc, c)
+		g.Clauses = append(g.Clauses, cc)
+	}
+	return g
+}
+
+// SortClauses orders clauses lexicographically for deterministic printing.
+func (f *Formula) SortClauses() {
+	sort.Slice(f.Clauses, func(i, j int) bool {
+		a, b := f.Clauses[i], f.Clauses[j]
+		for k := 0; k < len(a) && k < len(b); k++ {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return len(a) < len(b)
+	})
+}

@@ -1,0 +1,234 @@
+package cnf
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestLiteralBasics(t *testing.T) {
+	l := Literal(3)
+	if l.Neg() != Literal(-3) || l.Neg().Neg() != l {
+		t.Fatal("negation wrong")
+	}
+	if l.Var() != 3 || l.Neg().Var() != 3 {
+		t.Fatal("Var wrong")
+	}
+	if !l.Positive() || l.Neg().Positive() {
+		t.Fatal("Positive wrong")
+	}
+	if l.String() != "x3" || l.Neg().String() != "~x3" {
+		t.Fatalf("String wrong: %s %s", l, l.Neg())
+	}
+}
+
+func TestNewInfersVars(t *testing.T) {
+	f := New(Clause{1, -4}, Clause{2})
+	if f.Vars != 4 {
+		t.Fatalf("Vars = %d, want 4", f.Vars)
+	}
+	if f.NumClauses() != 2 {
+		t.Fatal("clause count wrong")
+	}
+}
+
+func TestSatisfies(t *testing.T) {
+	f := New(Clause{1, 2}, Clause{-1, 2})
+	if !f.Satisfies(Assignment{1: true, 2: true}) {
+		t.Fatal("satisfying assignment rejected")
+	}
+	if f.Satisfies(Assignment{1: true, 2: false}) {
+		t.Fatal("falsifying assignment accepted")
+	}
+	if f.Satisfies(Assignment{1: true}) {
+		t.Fatal("partial assignment cannot guarantee clause 2")
+	}
+}
+
+func TestSatisfiableSimple(t *testing.T) {
+	f := New(Clause{1, 2}, Clause{-1}, Clause{-2, 3})
+	a, ok := f.Satisfiable()
+	if !ok {
+		t.Fatal("satisfiable formula reported unsat")
+	}
+	if !f.Satisfies(a) {
+		t.Fatalf("returned assignment %v does not satisfy", a)
+	}
+}
+
+func TestUnsatisfiable(t *testing.T) {
+	f := New(Clause{1}, Clause{-1})
+	if _, ok := f.Satisfiable(); ok {
+		t.Fatal("x & ~x reported sat")
+	}
+}
+
+func TestCompleteFormula(t *testing.T) {
+	for k := 1; k <= 4; k++ {
+		f := Complete(k)
+		if f.Vars != k {
+			t.Fatalf("k=%d: Vars = %d", k, f.Vars)
+		}
+		if f.NumClauses() != 1<<k {
+			t.Fatalf("k=%d: clauses = %d, want %d", k, f.NumClauses(), 1<<k)
+		}
+		if _, ok := f.Satisfiable(); ok {
+			t.Fatalf("φ_%d must be unsatisfiable", k)
+		}
+		// Every literal occurs exactly 2^(k-1) times (uniformity used by
+		// the standard-path construction).
+		occ := f.OccurrenceCount()
+		for _, l := range f.Literals() {
+			if occ[l] != 1<<(k-1) {
+				t.Fatalf("k=%d: literal %s occurs %d times, want %d", k, l, occ[l], 1<<(k-1))
+			}
+		}
+		// Clauses are pairwise distinct.
+		seen := map[string]bool{}
+		for _, c := range f.Clauses {
+			if seen[c.String()] {
+				t.Fatalf("k=%d: duplicate clause %s", k, c)
+			}
+			seen[c.String()] = true
+		}
+	}
+}
+
+func TestChainFormula(t *testing.T) {
+	f := Chain(3)
+	if f.NumClauses() != 4 {
+		t.Fatalf("chain clauses = %d, want 4", f.NumClauses())
+	}
+	if _, ok := f.Satisfiable(); ok {
+		t.Fatal("chain formula must be unsatisfiable")
+	}
+	// Dropping the final negative clause makes it satisfiable.
+	g := New(f.Clauses[:3]...)
+	if _, ok := g.Satisfiable(); !ok {
+		t.Fatal("positive chain prefix must be satisfiable")
+	}
+}
+
+func TestDPLLAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		nv := 1 + rng.Intn(5)
+		nc := 1 + rng.Intn(8)
+		var clauses []Clause
+		for i := 0; i < nc; i++ {
+			width := 1 + rng.Intn(3)
+			var c Clause
+			for j := 0; j < width; j++ {
+				v := 1 + rng.Intn(nv)
+				if rng.Intn(2) == 0 {
+					c = append(c, Literal(v))
+				} else {
+					c = append(c, Literal(-v))
+				}
+			}
+			clauses = append(clauses, c)
+		}
+		f := New(clauses...)
+		_, got := f.Satisfiable()
+		want := bruteForceSat(f)
+		if got != want {
+			t.Fatalf("trial %d: DPLL=%v brute=%v for %s", trial, got, want, f)
+		}
+	}
+}
+
+func bruteForceSat(f *Formula) bool {
+	for mask := 0; mask < 1<<f.Vars; mask++ {
+		a := make(Assignment)
+		for v := 1; v <= f.Vars; v++ {
+			a[v] = mask&(1<<(v-1)) != 0
+		}
+		if f.Satisfies(a) {
+			return true
+		}
+	}
+	return false
+}
+
+func TestCloneAndSort(t *testing.T) {
+	f := New(Clause{2, -1}, Clause{1})
+	g := f.Clone()
+	g.Clauses[0][0] = 5
+	if f.Clauses[0][0] != 2 {
+		t.Fatal("clone aliases clause storage")
+	}
+	f.SortClauses()
+	if len(f.Clauses[0]) != 1 {
+		t.Fatalf("sort order wrong: %s", f)
+	}
+}
+
+// --- Formula pebble game (Definition 6.5) ---
+
+func TestSatisfiableFormulaGameAnyK(t *testing.T) {
+	// If φ is satisfiable Player II wins the k-pebble game for every k,
+	// by answering along a fixed satisfying assignment.
+	f := New(Clause{1, 2}, Clause{-1, 2}, Clause{-2, 3})
+	for k := 1; k <= 3; k++ {
+		if !NewFormulaGame(f, k).PlayerIIWins() {
+			t.Fatalf("II should win the %d-pebble game on a satisfiable formula", k)
+		}
+	}
+}
+
+func TestChainTwoPebbleGame(t *testing.T) {
+	// Section 6.2: Player I wins the 2-pebble game on the chain formula
+	// x1 & ... & xk & (~x1 | ... | ~xk), for any k.
+	for k := 2; k <= 4; k++ {
+		if NewFormulaGame(Chain(k), 2).PlayerIIWins() {
+			t.Fatalf("I should win the 2-pebble game on Chain(%d)", k)
+		}
+	}
+}
+
+func TestChainOnePebbleGame(t *testing.T) {
+	// With a single pebble no contradiction between two pebbles can ever
+	// be exposed, so Player II survives even on an unsatisfiable formula.
+	if !NewFormulaGame(Chain(2), 1).PlayerIIWins() {
+		t.Fatal("II should win any 1-pebble formula game")
+	}
+}
+
+func TestCompleteFormulaGameDichotomy(t *testing.T) {
+	// Section 6.2: II wins the k-pebble game on φ_k, I wins the
+	// (k+1)-pebble game on φ_k.
+	for k := 1; k <= 3; k++ {
+		f := Complete(k)
+		if !NewFormulaGame(f, k).PlayerIIWins() {
+			t.Fatalf("II should win the %d-pebble game on φ_%d", k, k)
+		}
+		if NewFormulaGame(f, k+1).PlayerIIWins() {
+			t.Fatalf("I should win the %d-pebble game on φ_%d", k+1, k)
+		}
+	}
+}
+
+func TestUnsatKVarsGame(t *testing.T) {
+	// Any unsatisfiable formula with k variables loses the (k+1)-game.
+	f := New(Clause{1, 2}, Clause{-1, 2}, Clause{1, -2}, Clause{-1, -2})
+	if NewFormulaGame(f, 3).PlayerIIWins() {
+		t.Fatal("I pebbles all variables then the falsified clause")
+	}
+}
+
+func TestGameMonotoneInK(t *testing.T) {
+	// If II wins with k pebbles he wins with fewer.
+	f := Complete(2)
+	winsAt := func(k int) bool { return NewFormulaGame(f, k).PlayerIIWins() }
+	for k := 1; k < 4; k++ {
+		if !winsAt(k) && winsAt(k+1) {
+			t.Fatalf("monotonicity violated between k=%d and k=%d", k, k+1)
+		}
+	}
+}
+
+func TestStateCountPositive(t *testing.T) {
+	g := NewFormulaGame(Complete(2), 2)
+	if g.StateCount() == 0 {
+		t.Fatal("no states explored")
+	}
+}

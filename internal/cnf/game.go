@@ -1,0 +1,218 @@
+package cnf
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// The k-pebble game on a CNF formula (Definition 6.5). Player I pebbles
+// literals or clauses; Player II labels each pebble — a truth value for a
+// literal pebble, a chosen literal (set to true) for a clause pebble.
+// Player I wins if the labels ever force some literal to be both true and
+// false; Player II wins if he can play forever. Truth values evaporate as
+// soon as no pebble sustains them, which is captured here by making the
+// game state exactly the set of labelled pebbles on the board.
+
+// item identifies a pebbleable object: a literal or a clause index.
+type item struct {
+	lit    Literal // 0 when the item is a clause
+	clause int     // valid when lit == 0
+}
+
+func (it item) String() string {
+	if it.lit != 0 {
+		return it.lit.String()
+	}
+	return fmt.Sprintf("c%d", it.clause)
+}
+
+// labelled is a pebble with Player II's response attached. For a literal
+// pebble, value is the assigned truth value of that literal. For a clause
+// pebble, chosen is the literal from the clause set to true.
+type labelled struct {
+	it     item
+	value  bool    // literal pebbles
+	chosen Literal // clause pebbles
+}
+
+func (lp labelled) String() string {
+	if lp.it.lit != 0 {
+		return fmt.Sprintf("%s=%v", lp.it, lp.value)
+	}
+	return fmt.Sprintf("%s:%s", lp.it, lp.chosen)
+}
+
+// config is a set of labelled pebbles in canonical (sorted-key) order.
+type config []labelled
+
+func (c config) key() string {
+	parts := make([]string, len(c))
+	for i, lp := range c {
+		parts[i] = lp.String()
+	}
+	return strings.Join(parts, ";")
+}
+
+func (c config) sorted() config {
+	out := make(config, len(c))
+	copy(out, c)
+	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	return out
+}
+
+// forcedTrue returns the set of literals forced true by the configuration:
+// a literal pebble (y, true) forces y; (y, false) forces ¬y; a clause
+// pebble forces its chosen literal.
+func (c config) forcedTrue() map[Literal]bool {
+	forced := make(map[Literal]bool)
+	for _, lp := range c {
+		switch {
+		case lp.it.lit != 0 && lp.value:
+			forced[lp.it.lit] = true
+		case lp.it.lit != 0:
+			forced[lp.it.lit.Neg()] = true
+		default:
+			forced[lp.chosen] = true
+		}
+	}
+	return forced
+}
+
+// consistent reports whether no literal is forced both true and false.
+func (c config) consistent() bool {
+	forced := c.forcedTrue()
+	for l := range forced {
+		if forced[l.Neg()] {
+			return false
+		}
+	}
+	return true
+}
+
+// FormulaGame decides the k-pebble game on a formula.
+type FormulaGame struct {
+	F *Formula
+	K int
+
+	items []item
+	good  map[string]bool // survives the greatest-fixpoint pruning
+}
+
+// NewFormulaGame prepares the game; call PlayerIIWins to solve it. The
+// state space is exponential in k, so keep k small (the paper plays k <= 4).
+func NewFormulaGame(f *Formula, k int) *FormulaGame {
+	g := &FormulaGame{F: f, K: k}
+	for _, l := range f.Literals() {
+		g.items = append(g.items, item{lit: l})
+	}
+	for i := range f.Clauses {
+		g.items = append(g.items, item{clause: i})
+	}
+	return g
+}
+
+// labelings enumerates Player II's possible responses to pebbling it.
+func (g *FormulaGame) labelings(it item) []labelled {
+	if it.lit != 0 {
+		return []labelled{{it: it, value: true}, {it: it, value: false}}
+	}
+	out := make([]labelled, 0, len(g.F.Clauses[it.clause]))
+	for _, l := range g.F.Clauses[it.clause] {
+		out = append(out, labelled{it: it, chosen: l})
+	}
+	return out
+}
+
+// PlayerIIWins decides whether Player II has a winning strategy: compute
+// the greatest family of consistent configurations closed under pebble
+// lifting and admitting a good response to every possible placement, then
+// ask whether the empty configuration survives.
+func (g *FormulaGame) PlayerIIWins() bool {
+	g.solve()
+	return g.good[config(nil).key()]
+}
+
+func (g *FormulaGame) solve() {
+	if g.good != nil {
+		return
+	}
+	// Enumerate all consistent configurations of size <= k.
+	all := make(map[string]config)
+	var build func(start int, cur config)
+	build = func(start int, cur config) {
+		cs := cur.sorted()
+		all[cs.key()] = cs
+		if len(cur) == g.K {
+			return
+		}
+		for i := start; i < len(g.items); i++ {
+			for _, lp := range g.labelings(g.items[i]) {
+				next := append(cur, lp)
+				if next.consistent() {
+					build(i, next) // i, not i+1: two pebbles may share an item
+				}
+				cur = next[:len(cur)]
+			}
+		}
+	}
+	build(0, nil)
+
+	good := make(map[string]bool, len(all))
+	for k := range all {
+		good[k] = true
+	}
+	// Iterated removal to the greatest fixpoint.
+	for changed := true; changed; {
+		changed = false
+		for key, c := range all {
+			if !good[key] {
+				continue
+			}
+			if !g.configOK(c, good) {
+				good[key] = false
+				changed = true
+			}
+		}
+	}
+	g.good = good
+}
+
+// configOK checks the two closure conditions for c against the current
+// candidate set.
+func (g *FormulaGame) configOK(c config, good map[string]bool) bool {
+	// Lifting any one pebble must stay good.
+	for i := range c {
+		rest := make(config, 0, len(c)-1)
+		rest = append(rest, c[:i]...)
+		rest = append(rest, c[i+1:]...)
+		if !good[rest.sorted().key()] {
+			return false
+		}
+	}
+	// Every placement must have a good response.
+	if len(c) < g.K {
+		for _, it := range g.items {
+			ok := false
+			for _, lp := range g.labelings(it) {
+				next := append(append(config{}, c...), lp)
+				if next.consistent() && good[next.sorted().key()] {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// StateCount returns the number of consistent configurations explored
+// (solving first if needed) — used by the benchmarks to report state-space
+// size.
+func (g *FormulaGame) StateCount() int {
+	g.solve()
+	return len(g.good)
+}

@@ -1,0 +1,108 @@
+package cnf
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func formulaFromSeed(seed int64, maxVars, maxClauses int) *Formula {
+	rng := rand.New(rand.NewSource(seed))
+	nv := 1 + rng.Intn(maxVars)
+	nc := 1 + rng.Intn(maxClauses)
+	var clauses []Clause
+	for i := 0; i < nc; i++ {
+		width := 1 + rng.Intn(3)
+		var c Clause
+		for j := 0; j < width; j++ {
+			v := 1 + rng.Intn(nv)
+			if rng.Intn(2) == 0 {
+				c = append(c, Literal(v))
+			} else {
+				c = append(c, Literal(-v))
+			}
+		}
+		clauses = append(clauses, c)
+	}
+	return New(clauses...)
+}
+
+func TestQuickDPLLReturnsModel(t *testing.T) {
+	prop := func(seed int64) bool {
+		f := formulaFromSeed(seed, 5, 6)
+		a, ok := f.Satisfiable()
+		if !ok {
+			return true
+		}
+		// Complete the assignment before checking.
+		for v := 1; v <= f.Vars; v++ {
+			if _, has := a[v]; !has {
+				a[v] = true
+			}
+		}
+		return f.Satisfies(a)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSATMonotoneUnderClauseRemoval(t *testing.T) {
+	// Removing a clause cannot make a satisfiable formula unsatisfiable.
+	prop := func(seed int64, drop uint8) bool {
+		f := formulaFromSeed(seed, 4, 6)
+		if len(f.Clauses) < 2 {
+			return true
+		}
+		_, satBefore := f.Satisfiable()
+		i := int(drop) % len(f.Clauses)
+		g := New(append(append([]Clause{}, f.Clauses[:i]...), f.Clauses[i+1:]...)...)
+		_, satAfter := g.Satisfiable()
+		return !satBefore || satAfter
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSatisfiableImpliesIIWinsGame(t *testing.T) {
+	// Definition 6.5: Player II wins the k-pebble game on any satisfiable
+	// formula, for every k (he plays a fixed model).
+	prop := func(seed int64, k8 uint8) bool {
+		f := formulaFromSeed(seed, 3, 4)
+		if _, ok := f.Satisfiable(); !ok {
+			return true
+		}
+		k := 1 + int(k8)%2
+		return NewFormulaGame(f, k).PlayerIIWins()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickGameMonotoneInPebbles(t *testing.T) {
+	// If Player I wins with k pebbles he wins with k+1.
+	prop := func(seed int64) bool {
+		f := formulaFromSeed(seed, 3, 4)
+		w1 := NewFormulaGame(f, 1).PlayerIIWins()
+		w2 := NewFormulaGame(f, 2).PlayerIIWins()
+		return !(!w1 && w2)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickOnePebbleGameAlwaysIIWin(t *testing.T) {
+	// With one pebble no contradiction between two constraints can ever
+	// be on the board... unless a clause pebble itself cannot be answered
+	// (impossible: any literal can be set true in isolation).
+	prop := func(seed int64) bool {
+		f := formulaFromSeed(seed, 3, 4)
+		return NewFormulaGame(f, 1).PlayerIIWins()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

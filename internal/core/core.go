@@ -1,0 +1,164 @@
+// Package core is the public façade of the reproduction: it ties the
+// Datalog(≠) engine, the L^k formula machinery, the existential k-pebble
+// games, and the fixed-subgraph-homeomorphism case study together behind
+// one API, re-exporting the principal types as aliases.
+//
+// The three workflows the paper motivates:
+//
+//   - Run Datalog(≠) queries: ParseProgram / ParseDatabase / Run.
+//   - Decide expressibility relations: Preceq (Definition 4.1 via
+//     Theorem 4.8), CheckInexpressibilityWitness (the Theorem 4.10
+//     method).
+//   - Decide fixed subgraph homeomorphism queries by the FHW dichotomy:
+//     SolveHomeomorphism, ClassifyPattern.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/datalog"
+	"repro/internal/graph"
+	"repro/internal/homeo"
+	"repro/internal/logic"
+	"repro/internal/pebble"
+	"repro/internal/structure"
+)
+
+// Principal types, re-exported.
+type (
+	// Program is a Datalog(≠) program.
+	Program = datalog.Program
+	// Database is an extensional database instance.
+	Database = datalog.Database
+	// Result is an evaluation result (fixpoint + stages).
+	Result = datalog.Result
+	// Graph is a directed graph.
+	Graph = graph.Graph
+	// Structure is a finite relational structure.
+	Structure = structure.Structure
+	// Pattern is a fixed pattern graph H.
+	Pattern = homeo.Pattern
+	// Instance is an H-subgraph homeomorphism input.
+	Instance = homeo.Instance
+	// Formula is an existential positive formula of L^k.
+	Formula = logic.Formula
+)
+
+// ParseProgram parses Datalog(≠) source text.
+func ParseProgram(src string) (*Program, error) { return datalog.Parse(src) }
+
+// ParseDatabase parses the facts text format.
+func ParseDatabase(src string) (*Database, error) { return datalog.ParseDatabase(src) }
+
+// Run evaluates a program to its least fixpoint with the default
+// (semi-naive, indexed) engine.
+func Run(p *Program, db *Database) (*Result, error) {
+	return datalog.Eval(p, db, datalog.DefaultOptions)
+}
+
+// Preceq reports whether A ⪯k B: every sentence of L^k true in A is true
+// in B, decided by the existential k-pebble game (Theorem 4.8 + the
+// Proposition 5.3 algorithm). Feasible for small structures only; the
+// error reports oversized instances.
+func Preceq(k int, a, b *Structure) (bool, error) { return pebble.Preceq(k, a, b) }
+
+// GameWinner decides the existential k-pebble game on (A, B) and returns
+// "Player I" or "Player II".
+func GameWinner(k int, a, b *Structure) (string, error) {
+	w, err := pebble.NewGame(a, b, k).Solve()
+	if err != nil {
+		return "", err
+	}
+	return w.String(), nil
+}
+
+// Witness is an inexpressibility witness in the sense of Theorem 4.10: a
+// pair (A, B) with A satisfying the query, B not, and A ⪯k B. The
+// existence of such a pair for every k proves the query is not expressible
+// in L^ω and a fortiori not in Datalog(≠).
+type Witness struct {
+	K    int
+	A, B *Structure
+	// ASatisfies and BSatisfies are the query values on A and B.
+	ASatisfies, BSatisfies bool
+	// IIWins reports whether Player II wins the existential k-pebble game.
+	IIWins bool
+}
+
+// Valid reports whether the witness actually establishes the L^k lower
+// bound.
+func (w Witness) Valid() bool { return w.ASatisfies && !w.BSatisfies && w.IIWins }
+
+// CheckInexpressibilityWitness assembles and validates a witness for a
+// query given as a predicate on structures.
+func CheckInexpressibilityWitness(k int, a, b *Structure, query func(*Structure) bool) (Witness, error) {
+	w := Witness{K: k, A: a, B: b, ASatisfies: query(a), BSatisfies: query(b)}
+	ok, err := Preceq(k, a, b)
+	if err != nil {
+		return w, err
+	}
+	w.IIWins = ok
+	return w, nil
+}
+
+// PatternClass describes where a pattern falls in the FHW dichotomy.
+type PatternClass struct {
+	InC bool
+	// Root and RootIsTail are set when InC.
+	Root       int
+	RootIsTail bool
+	// Complexity is "PTIME" for C, "NP-complete" otherwise; on acyclic
+	// inputs every pattern is PTIME (the second dichotomy).
+	Complexity string
+	// Datalog reports the paper's expressibility verdict for general
+	// inputs: "Datalog(≠)-expressible (Theorem 6.1)" or
+	// "not L^ω-expressible (Theorem 6.7)".
+	Datalog string
+}
+
+// ClassifyPattern applies the two FHW dichotomies to a pattern.
+func ClassifyPattern(p Pattern) PatternClass {
+	root, asTail, ok := p.ClassCRoot()
+	if ok {
+		return PatternClass{
+			InC: true, Root: root, RootIsTail: asTail,
+			Complexity: "PTIME",
+			Datalog:    "Datalog(≠)-expressible (Theorem 6.1)",
+		}
+	}
+	return PatternClass{
+		Complexity: "NP-complete",
+		Datalog:    "not L^ω-expressible (Theorem 6.7)",
+	}
+}
+
+// SolveHomeomorphism decides an H-subgraph homeomorphism query, choosing
+// the algorithm by the dichotomies (flow for H ∈ C, the Theorem 6.2 game
+// for acyclic inputs, brute force otherwise) and reporting which ran.
+func SolveHomeomorphism(p Pattern, inst Instance) (bool, string, error) {
+	return homeo.Solve(p, inst)
+}
+
+// StageFormula returns the Theorem 3.6 stage formula φ^n of a program's
+// goal predicate, in at most l+r variables.
+func StageFormula(p *Program, n int) (Formula, []string, error) {
+	tr, err := logic.NewTranslator(p)
+	if err != nil {
+		return nil, nil, err
+	}
+	return tr.Stage(p.Goal, n), tr.HeadVars(p.Goal), nil
+}
+
+// GraphStructure wraps a graph with named constants as a structure.
+func GraphStructure(g *Graph, constNames []string, nodes []int) *Structure {
+	return structure.FromGraph(g, constNames, nodes)
+}
+
+// FormatRelation renders a relation's tuples for CLI output.
+func FormatRelation(name string, r *datalog.Relation) string {
+	out := fmt.Sprintf("%s (%d tuples):\n", name, r.Size())
+	for _, t := range r.Tuples() {
+		out += "  " + t.String() + "\n"
+	}
+	return out
+}

@@ -1,0 +1,168 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/homeo"
+)
+
+func TestRunTransitiveClosure(t *testing.T) {
+	p, err := ParseProgram(`
+		S(x,y) :- E(x,y).
+		S(x,y) :- E(x,z), S(z,y).
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := ParseDatabase("universe 4\nE(0,1).\nE(1,2).\nE(2,3).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(p, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Goal(p).Size() != 6 {
+		t.Fatalf("|S| = %d, want 6", res.Goal(p).Size())
+	}
+	out := FormatRelation("S", res.Goal(p))
+	if !strings.Contains(out, "(0,3)") {
+		t.Fatalf("formatted output missing tuple:\n%s", out)
+	}
+}
+
+func TestPreceqAndWinner(t *testing.T) {
+	a := GraphStructure(graph.DirectedPath(3), nil, nil)
+	b := GraphStructure(graph.DirectedPath(5), nil, nil)
+	ok, err := Preceq(2, a, b)
+	if err != nil || !ok {
+		t.Fatalf("short ⪯² long expected: %v %v", ok, err)
+	}
+	w, err := GameWinner(2, b, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != "Player I" {
+		t.Fatalf("winner = %s", w)
+	}
+}
+
+func TestWitnessValidation(t *testing.T) {
+	// Example 4.4 as a toy witness: query "has a path of length 4".
+	a := GraphStructure(graph.DirectedPath(5), nil, nil)
+	b := GraphStructure(graph.DirectedPath(3), nil, nil)
+	query := func(s *Structure) bool {
+		g := graphOf(s)
+		return g.LongestPathLen() >= 4
+	}
+	w, err := CheckInexpressibilityWitness(2, a, b, query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A ⪯² B fails here (long into short), so the witness is invalid —
+	// exactly what Valid must report.
+	if w.Valid() {
+		t.Fatal("invalid witness accepted")
+	}
+	// Swap to the valid direction with a query separating them the other
+	// way: "has at most 3 nodes" holds on B... A must satisfy the query:
+	// use query "has a path of length 2" with A=short, B=long.
+	a2 := GraphStructure(graph.DirectedPath(3), nil, nil)
+	b2 := GraphStructure(graph.DirectedPath(5), nil, nil)
+	q2 := func(s *Structure) bool { return graphOf(s).LongestPathLen() >= 2 }
+	w2, err := CheckInexpressibilityWitness(2, a2, b2, q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Here B also satisfies q2, so again invalid — but ⪯² holds.
+	if !w2.IIWins || w2.Valid() {
+		t.Fatalf("unexpected witness state: %+v", w2)
+	}
+}
+
+func graphOf(s *Structure) *graph.Graph {
+	g := graph.New(s.N)
+	for _, tup := range s.Rel("E").Tuples() {
+		g.AddEdge(tup[0], tup[1])
+	}
+	return g
+}
+
+func TestClassifyPattern(t *testing.T) {
+	c := ClassifyPattern(homeo.Star(3, false))
+	if !c.InC || c.Complexity != "PTIME" || c.Root != 0 || !c.RootIsTail {
+		t.Fatalf("star misclassified: %+v", c)
+	}
+	c = ClassifyPattern(homeo.H1())
+	if c.InC || c.Complexity != "NP-complete" {
+		t.Fatalf("H1 misclassified: %+v", c)
+	}
+	if !strings.Contains(c.Datalog, "Theorem 6.7") {
+		t.Fatalf("H1 verdict: %s", c.Datalog)
+	}
+}
+
+func TestSolveHomeomorphismDispatch(t *testing.T) {
+	g := graph.Grid(3, 3)
+	inst, err := homeo.NewInstance(homeo.H1(), g, []int{0, 2, 3, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, alg, err := SolveHomeomorphism(homeo.H1(), inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(alg, "Theorem 6.2") {
+		t.Fatalf("grid is acyclic; alg = %s", alg)
+	}
+	if got != homeo.H1().BruteForce(inst) {
+		t.Fatal("dispatch disagrees with brute force")
+	}
+}
+
+func TestGenuineWitnessValid(t *testing.T) {
+	// The real thing at k=1: the Theorem 6.6 pair is a VALID witness for
+	// the two-disjoint-paths query, certified end to end through the core
+	// API (exact game solver + brute-force query evaluation).
+	lb := homeo.NewLowerBound(1)
+	a, b := lb.Structures()
+	query := func(s *Structure) bool {
+		g := graphOf(s)
+		return g.TwoDisjointPaths(s.Constant("s1"), s.Constant("s2"), s.Constant("s3"), s.Constant("s4"))
+	}
+	w := Witness{K: 1, A: a, B: b, ASatisfies: query(a), BSatisfies: query(b)}
+	ok, err := Preceq(1, a, b)
+	if err != nil {
+		t.Skipf("instance too large for the exact solver: %v", err)
+	}
+	w.IIWins = ok
+	if !w.Valid() {
+		t.Fatalf("the Theorem 6.6 witness must validate: %+v",
+			struct{ A, B, II bool }{w.ASatisfies, w.BSatisfies, w.IIWins})
+	}
+}
+
+func TestStageFormulaErrors(t *testing.T) {
+	if _, _, err := StageFormula(&Program{Goal: "S"}, 1); err == nil {
+		t.Fatal("empty program must error")
+	}
+}
+
+func TestStageFormula(t *testing.T) {
+	p, err := ParseProgram("S(x,y) :- E(x,y).\nS(x,y) :- E(x,z), S(z,y).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, heads, err := StageFormula(p, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(heads) != 2 {
+		t.Fatalf("head vars = %v", heads)
+	}
+	if f.String() == "" {
+		t.Fatal("empty formula")
+	}
+}

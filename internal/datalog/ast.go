@@ -1,0 +1,252 @@
+// Package datalog implements the query language Datalog(≠) of Section 2:
+// function-free, negation-free Horn rules whose bodies may additionally
+// contain equalities u = v and inequalities u ≠ v. The package provides an
+// AST with a text syntax, static validation, and bottom-up least-fixpoint
+// evaluation in both naive and semi-naive variants.
+//
+// Semantics follow the paper exactly: on a finite structure A the program's
+// rules induce a monotone operator whose stages are iterated to the least
+// fixpoint (Section 2). Head or constraint variables that occur in no body
+// atom range over the whole universe of A — Example 2.1's rule
+//
+//	T(x,y,w) <- E(x,y), w != x, w != y.
+//
+// quantifies w over all elements, and the engine honours that.
+package datalog
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Term is a variable or an integer constant denoting a universe element.
+type Term struct {
+	Var   string // non-empty for variables
+	Const int    // used when Var == ""
+}
+
+// V returns a variable term.
+func V(name string) Term { return Term{Var: name} }
+
+// C returns a constant term.
+func C(value int) Term { return Term{Const: value} }
+
+// IsVar reports whether the term is a variable.
+func (t Term) IsVar() bool { return t.Var != "" }
+
+// String renders the term.
+func (t Term) String() string {
+	if t.IsVar() {
+		return t.Var
+	}
+	return fmt.Sprintf("%d", t.Const)
+}
+
+// Atom is a predicate applied to terms, e.g. E(x, y).
+type Atom struct {
+	Pred string
+	Args []Term
+}
+
+// NewAtom builds an atom.
+func NewAtom(pred string, args ...Term) Atom { return Atom{Pred: pred, Args: args} }
+
+// String renders E(x,y).
+func (a Atom) String() string {
+	parts := make([]string, len(a.Args))
+	for i, t := range a.Args {
+		parts[i] = t.String()
+	}
+	return fmt.Sprintf("%s(%s)", a.Pred, strings.Join(parts, ","))
+}
+
+// Constraint is an equality or inequality between two terms.
+type Constraint struct {
+	Left, Right Term
+	Neq         bool // true for ≠, false for =
+}
+
+// Eq returns the equality constraint l = r.
+func Eq(l, r Term) Constraint { return Constraint{Left: l, Right: r} }
+
+// Neq returns the inequality constraint l ≠ r.
+func Neq(l, r Term) Constraint { return Constraint{Left: l, Right: r, Neq: true} }
+
+// String renders x != y or x = y.
+func (c Constraint) String() string {
+	op := "="
+	if c.Neq {
+		op = "!="
+	}
+	return fmt.Sprintf("%s %s %s", c.Left, op, c.Right)
+}
+
+// BodyItem is an atom or a constraint occurring in a rule body.
+type BodyItem struct {
+	Atom       *Atom
+	Constraint *Constraint
+}
+
+// String renders the item.
+func (b BodyItem) String() string {
+	if b.Atom != nil {
+		return b.Atom.String()
+	}
+	return b.Constraint.String()
+}
+
+// Rule is head <- body.
+type Rule struct {
+	Head Atom
+	Body []BodyItem
+}
+
+// NewRule builds a rule from a head atom and body items given as Atom or
+// Constraint values; it panics on other types.
+func NewRule(head Atom, body ...interface{}) Rule {
+	r := Rule{Head: head}
+	for _, item := range body {
+		switch v := item.(type) {
+		case Atom:
+			a := v
+			r.Body = append(r.Body, BodyItem{Atom: &a})
+		case Constraint:
+			c := v
+			r.Body = append(r.Body, BodyItem{Constraint: &c})
+		default:
+			panic(fmt.Sprintf("datalog: bad body item %T", item))
+		}
+	}
+	return r
+}
+
+// Atoms returns the body atoms in order.
+func (r Rule) Atoms() []Atom {
+	var out []Atom
+	for _, b := range r.Body {
+		if b.Atom != nil {
+			out = append(out, *b.Atom)
+		}
+	}
+	return out
+}
+
+// Constraints returns the body constraints in order.
+func (r Rule) Constraints() []Constraint {
+	var out []Constraint
+	for _, b := range r.Body {
+		if b.Constraint != nil {
+			out = append(out, *b.Constraint)
+		}
+	}
+	return out
+}
+
+// Vars returns the distinct variables of the rule in first-occurrence
+// order (head first, then body).
+func (r Rule) Vars() []string {
+	var out []string
+	seen := map[string]bool{}
+	add := func(t Term) {
+		if t.IsVar() && !seen[t.Var] {
+			seen[t.Var] = true
+			out = append(out, t.Var)
+		}
+	}
+	for _, t := range r.Head.Args {
+		add(t)
+	}
+	for _, b := range r.Body {
+		if b.Atom != nil {
+			for _, t := range b.Atom.Args {
+				add(t)
+			}
+		} else {
+			add(b.Constraint.Left)
+			add(b.Constraint.Right)
+		}
+	}
+	return out
+}
+
+// String renders head <- item, item, ... .
+func (r Rule) String() string {
+	if len(r.Body) == 0 {
+		return r.Head.String() + "."
+	}
+	parts := make([]string, len(r.Body))
+	for i, b := range r.Body {
+		parts[i] = b.String()
+	}
+	return fmt.Sprintf("%s :- %s.", r.Head.String(), strings.Join(parts, ", "))
+}
+
+// Program is a finite set of rules with a designated goal predicate.
+type Program struct {
+	Rules []Rule
+	Goal  string
+}
+
+// IDBs returns the set of intensional predicates (those occurring in rule
+// heads).
+func (p *Program) IDBs() map[string]bool {
+	out := map[string]bool{}
+	for _, r := range p.Rules {
+		out[r.Head.Pred] = true
+	}
+	return out
+}
+
+// EDBs returns the set of extensional predicates: body predicates that
+// never occur in a head.
+func (p *Program) EDBs() map[string]bool {
+	idb := p.IDBs()
+	out := map[string]bool{}
+	for _, r := range p.Rules {
+		for _, a := range r.Atoms() {
+			if !idb[a.Pred] {
+				out[a.Pred] = true
+			}
+		}
+	}
+	return out
+}
+
+// Arities returns the arity of every predicate mentioned by the program.
+// Inconsistent arities are reported by Validate, not here.
+func (p *Program) Arities() map[string]int {
+	out := map[string]int{}
+	for _, r := range p.Rules {
+		out[r.Head.Pred] = len(r.Head.Args)
+		for _, a := range r.Atoms() {
+			if _, ok := out[a.Pred]; !ok {
+				out[a.Pred] = len(a.Args)
+			}
+		}
+	}
+	return out
+}
+
+// IsPureDatalog reports whether the program contains no equality or
+// inequality constraints (the Datalog sublanguage of Section 2).
+func (p *Program) IsPureDatalog() bool {
+	for _, r := range p.Rules {
+		if len(r.Constraints()) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the program, one rule per line, ending with the goal.
+func (p *Program) String() string {
+	var b strings.Builder
+	for _, r := range p.Rules {
+		b.WriteString(r.String())
+		b.WriteByte('\n')
+	}
+	if p.Goal != "" {
+		fmt.Fprintf(&b, "goal %s.\n", p.Goal)
+	}
+	return b.String()
+}

@@ -1,0 +1,152 @@
+package datalog
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTermString(t *testing.T) {
+	if V("x").String() != "x" || C(7).String() != "7" {
+		t.Fatal("term rendering wrong")
+	}
+	if !V("x").IsVar() || C(7).IsVar() {
+		t.Fatal("IsVar wrong")
+	}
+}
+
+func TestAtomAndConstraintString(t *testing.T) {
+	a := NewAtom("E", V("x"), C(3))
+	if a.String() != "E(x,3)" {
+		t.Fatalf("atom rendering: %s", a)
+	}
+	if Eq(V("x"), V("y")).String() != "x = y" {
+		t.Fatal("eq rendering")
+	}
+	if Neq(V("x"), C(0)).String() != "x != 0" {
+		t.Fatal("neq rendering")
+	}
+}
+
+func TestRuleString(t *testing.T) {
+	r := NewRule(NewAtom("S", V("x")), NewAtom("E", V("x"), V("y")), Neq(V("x"), V("y")))
+	want := "S(x) :- E(x,y), x != y."
+	if r.String() != want {
+		t.Fatalf("rule rendering: %q, want %q", r.String(), want)
+	}
+}
+
+func TestRuleVarsOrder(t *testing.T) {
+	r := NewRule(NewAtom("S", V("b"), V("a")),
+		NewAtom("E", V("a"), V("c")), Neq(V("d"), V("b")))
+	got := r.Vars()
+	want := []string{"b", "a", "c", "d"}
+	if len(got) != len(want) {
+		t.Fatalf("vars = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("vars = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestNewRulePanicsOnBadBody(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewRule(NewAtom("S", V("x")), 42)
+}
+
+func TestProgramIDBEDBSplit(t *testing.T) {
+	p := TransitiveClosureProgram()
+	idb, edb := p.IDBs(), p.EDBs()
+	if !idb["S"] || idb["E"] {
+		t.Fatalf("IDBs = %v", idb)
+	}
+	if !edb["E"] || edb["S"] {
+		t.Fatalf("EDBs = %v", edb)
+	}
+	ar := p.Arities()
+	if ar["S"] != 2 || ar["E"] != 2 {
+		t.Fatalf("arities = %v", ar)
+	}
+	if !p.IsPureDatalog() {
+		t.Fatal("TC program is pure Datalog")
+	}
+	if AvoidingPathProgram().IsPureDatalog() {
+		t.Fatal("avoiding-path program uses inequalities")
+	}
+}
+
+func TestProgramString(t *testing.T) {
+	s := TransitiveClosureProgram().String()
+	if !strings.Contains(s, "S(x,y) :- E(x,y).") || !strings.Contains(s, "goal S.") {
+		t.Fatalf("program rendering:\n%s", s)
+	}
+}
+
+func TestAnalyze(t *testing.T) {
+	info := Analyze(AvoidingPathProgram())
+	if !info.Recursive {
+		t.Fatal("avoiding-path program is recursive")
+	}
+	if !info.UsesNeq || info.UsesEq {
+		t.Fatal("constraint usage flags wrong")
+	}
+	if len(info.UnboundVars) != 1 || info.UnboundVars[0] != "rule#1:w" {
+		t.Fatalf("unbound vars = %v, want [rule#1:w]", info.UnboundVars)
+	}
+	if info.MaxRuleVars != 4 {
+		t.Fatalf("MaxRuleVars = %d, want 4 (x,y,z,w)", info.MaxRuleVars)
+	}
+	if info.GoalArity != 3 {
+		t.Fatalf("GoalArity = %d", info.GoalArity)
+	}
+
+	nonRec := &Program{Goal: "S", Rules: []Rule{
+		NewRule(NewAtom("S", V("x"), V("y")), NewAtom("E", V("x"), V("y"))),
+	}}
+	if Analyze(nonRec).Recursive {
+		t.Fatal("single base rule is not recursive")
+	}
+	// Mutual recursion through two predicates.
+	mutual := &Program{Goal: "P", Rules: []Rule{
+		NewRule(NewAtom("P", V("x")), NewAtom("Q", V("x"))),
+		NewRule(NewAtom("Q", V("x")), NewAtom("P", V("x"))),
+	}}
+	if !Analyze(mutual).Recursive {
+		t.Fatal("mutual recursion missed")
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		p    *Program
+	}{
+		{"no rules", &Program{Goal: "S"}},
+		{"arity clash", &Program{Goal: "S", Rules: []Rule{
+			NewRule(NewAtom("S", V("x")), NewAtom("E", V("x"), V("y"))),
+			NewRule(NewAtom("S", V("x"), V("y")), NewAtom("E", V("x"), V("y"))),
+		}}},
+		{"goal not idb", &Program{Goal: "E", Rules: []Rule{
+			NewRule(NewAtom("S", V("x")), NewAtom("E", V("x"), V("y"))),
+		}}},
+		{"false ground constraint", &Program{Goal: "S", Rules: []Rule{
+			NewRule(NewAtom("S", V("x")), NewAtom("E", V("x"), V("y")), Eq(C(1), C(2))),
+		}}},
+		{"zero-arg atom", &Program{Goal: "S", Rules: []Rule{
+			NewRule(Atom{Pred: "S"}, NewAtom("E", V("x"), V("y"))),
+		}}},
+	}
+	for _, tc := range cases {
+		if err := Validate(tc.p); err == nil {
+			t.Fatalf("%s: expected error", tc.name)
+		}
+	}
+	if err := Validate(TransitiveClosureProgram()); err != nil {
+		t.Fatalf("valid program rejected: %v", err)
+	}
+}

@@ -1,0 +1,178 @@
+package datalog
+
+import "fmt"
+
+// Conjunctive-query containment by the Chandra–Merlin canonical-database
+// method — the classic tool of the expressibility toolbox this paper's
+// line of work builds on. A conjunctive query here is a single
+// inequality-free nonrecursive rule; Q1 ⊆ Q2 holds iff evaluating Q2 over
+// the canonical (frozen) database of Q1 derives Q1's frozen head.
+//
+// Inequalities are rejected: with ≠ in bodies the canonical-database
+// method is incomplete (containment of CQs with inequalities is
+// Π^p_2-hard), and the paper's Datalog(≠) fragment is handled by the game
+// machinery instead.
+
+// CQ is a conjunctive query: one rule, no constraints, no recursion.
+type CQ struct {
+	Rule Rule
+}
+
+// NewCQ validates the rule as a conjunctive query.
+func NewCQ(r Rule) (CQ, error) {
+	if len(r.Constraints()) > 0 {
+		return CQ{}, fmt.Errorf("datalog: conjunctive queries must be inequality-free")
+	}
+	if len(r.Atoms()) == 0 {
+		return CQ{}, fmt.Errorf("datalog: conjunctive query needs a nonempty body")
+	}
+	for _, a := range r.Atoms() {
+		if a.Pred == r.Head.Pred {
+			return CQ{}, fmt.Errorf("datalog: conjunctive queries must be nonrecursive")
+		}
+	}
+	// Safety: head variables must occur in the body (otherwise the frozen
+	// head is not determined by the canonical database).
+	bound := map[string]bool{}
+	for _, a := range r.Atoms() {
+		for _, t := range a.Args {
+			if t.IsVar() {
+				bound[t.Var] = true
+			}
+		}
+	}
+	for _, t := range r.Head.Args {
+		if t.IsVar() && !bound[t.Var] {
+			return CQ{}, fmt.Errorf("datalog: head variable %s unbound in body", t.Var)
+		}
+	}
+	return CQ{Rule: r}, nil
+}
+
+// ParseCQ parses a single-rule program as a conjunctive query.
+func ParseCQ(src string) (CQ, error) {
+	p, err := Parse(src)
+	if err != nil {
+		return CQ{}, err
+	}
+	if len(p.Rules) != 1 {
+		return CQ{}, fmt.Errorf("datalog: conjunctive query must be a single rule")
+	}
+	return NewCQ(p.Rules[0])
+}
+
+// canonical freezes the query: distinct variables become distinct fresh
+// universe elements (constants keep their values, shifted into range). It
+// returns the database and the frozen head tuple.
+func (q CQ) canonical() (*Database, Tuple) {
+	// Collect constants and variables.
+	elems := map[int]int{} // original constant -> canonical element
+	vars := map[string]int{}
+	next := 0
+	elem := func(t Term) int {
+		if t.IsVar() {
+			if v, ok := vars[t.Var]; ok {
+				return v
+			}
+			vars[t.Var] = next
+			next++
+			return next - 1
+		}
+		if v, ok := elems[t.Const]; ok {
+			return v
+		}
+		elems[t.Const] = next
+		next++
+		return next - 1
+	}
+	type frozenAtom struct {
+		pred string
+		tup  Tuple
+	}
+	var atoms []frozenAtom
+	for _, a := range q.Rule.Atoms() {
+		tup := make(Tuple, len(a.Args))
+		for i, t := range a.Args {
+			tup[i] = elem(t)
+		}
+		atoms = append(atoms, frozenAtom{a.Pred, tup})
+	}
+	head := make(Tuple, len(q.Rule.Head.Args))
+	for i, t := range q.Rule.Head.Args {
+		head[i] = elem(t)
+	}
+	db := NewDatabase(next)
+	for _, a := range atoms {
+		db.AddFact(a.pred, a.tup...)
+	}
+	return db, head
+}
+
+// ContainedIn reports whether q ⊆ other: every database maps q's answers
+// into other's answers. By Chandra–Merlin this holds iff other, evaluated
+// on q's canonical database, derives q's frozen head.
+func (q CQ) ContainedIn(other CQ) (bool, error) {
+	if len(q.Rule.Head.Args) != len(other.Rule.Head.Args) {
+		return false, fmt.Errorf("datalog: head arities differ (%d vs %d)",
+			len(q.Rule.Head.Args), len(other.Rule.Head.Args))
+	}
+	db, frozenHead := q.canonical()
+	// Rename other's head predicate to match evaluation lookups.
+	prog := &Program{Rules: []Rule{other.Rule}, Goal: other.Rule.Head.Pred}
+	res, err := Eval(prog, db, DefaultOptions)
+	if err != nil {
+		return false, err
+	}
+	return res.IDB[other.Rule.Head.Pred].Has(frozenHead), nil
+}
+
+// EquivalentTo reports mutual containment.
+func (q CQ) EquivalentTo(other CQ) (bool, error) {
+	ab, err := q.ContainedIn(other)
+	if err != nil || !ab {
+		return false, err
+	}
+	return other.ContainedIn(q)
+}
+
+// Minimize returns a core of the query: a subset of body atoms that is
+// equivalent to the original (folding redundant atoms away, the classic
+// CQ minimization). The result reuses the original head.
+func (q CQ) Minimize() (CQ, error) {
+	atoms := q.Rule.Atoms()
+	current := q
+	for i := 0; i < len(atoms); {
+		if len(current.Rule.Atoms()) == 1 {
+			break
+		}
+		// Try dropping atom i.
+		var body []BodyItem
+		kept := current.Rule.Atoms()
+		for j, a := range kept {
+			if j == i {
+				continue
+			}
+			aa := a
+			body = append(body, BodyItem{Atom: &aa})
+		}
+		cand := Rule{Head: current.Rule.Head, Body: body}
+		cq, err := NewCQ(cand)
+		if err != nil {
+			// Dropping the atom unbinds a head variable: keep it.
+			i++
+			continue
+		}
+		eq, err := current.EquivalentTo(cq)
+		if err != nil {
+			return CQ{}, err
+		}
+		if eq {
+			current = cq
+			atoms = current.Rule.Atoms()
+			i = 0
+			continue
+		}
+		i++
+	}
+	return current, nil
+}

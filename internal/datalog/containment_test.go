@@ -1,0 +1,152 @@
+package datalog
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func mustCQ(t *testing.T, src string) CQ {
+	t.Helper()
+	q, err := ParseCQ(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+func TestCQValidation(t *testing.T) {
+	if _, err := ParseCQ("P(x) :- E(x,y), x != y."); err == nil {
+		t.Fatal("inequalities must be rejected")
+	}
+	if _, err := ParseCQ("P(x) :- P(x)."); err == nil {
+		t.Fatal("recursion must be rejected")
+	}
+	if _, err := ParseCQ("P(x, w) :- E(x, y)."); err == nil {
+		t.Fatal("unbound head variable must be rejected")
+	}
+	if _, err := ParseCQ("P(x) :- E(x,y).\nP(x) :- E(y,x)."); err == nil {
+		t.Fatal("multi-rule programs are not single CQs")
+	}
+}
+
+func TestContainmentPathLengths(t *testing.T) {
+	// "x has a 2-step successor" ⊆ "x has a successor", not conversely.
+	q2 := mustCQ(t, "P(x) :- E(x,y), E(y,z).")
+	q1 := mustCQ(t, "P(x) :- E(x,y).")
+	ok, err := q2.ContainedIn(q1)
+	if err != nil || !ok {
+		t.Fatalf("2-step ⊆ 1-step expected: %v %v", ok, err)
+	}
+	ok, err = q1.ContainedIn(q2)
+	if err != nil || ok {
+		t.Fatalf("1-step ⊄ 2-step expected: %v %v", ok, err)
+	}
+}
+
+func TestContainmentRenamingEquivalence(t *testing.T) {
+	a := mustCQ(t, "P(x, y) :- E(x, z), E(z, y).")
+	b := mustCQ(t, "P(u, v) :- E(u, mid), E(mid, v).")
+	eq, err := a.EquivalentTo(b)
+	if err != nil || !eq {
+		t.Fatalf("alpha-equivalent queries must be equivalent: %v %v", eq, err)
+	}
+}
+
+func TestContainmentRedundantAtom(t *testing.T) {
+	// Duplicate-ish atom E(x,y), E(x,y') folds: the queries are equivalent.
+	a := mustCQ(t, "P(x) :- E(x, y), E(x, z).")
+	b := mustCQ(t, "P(x) :- E(x, y).")
+	eq, err := a.EquivalentTo(b)
+	if err != nil || !eq {
+		t.Fatalf("redundant atom should fold: %v %v", eq, err)
+	}
+}
+
+func TestContainmentConstants(t *testing.T) {
+	a := mustCQ(t, "P(x) :- E(x, 0).")
+	b := mustCQ(t, "P(x) :- E(x, y).")
+	ok, err := a.ContainedIn(b)
+	if err != nil || !ok {
+		t.Fatalf("constant query ⊆ variable query: %v %v", ok, err)
+	}
+	ok, err = b.ContainedIn(a)
+	if err != nil || ok {
+		t.Fatalf("variable query ⊄ constant query: %v %v", ok, err)
+	}
+}
+
+func TestContainmentSemanticCheck(t *testing.T) {
+	// Containment verdicts agree with evaluation on random databases:
+	// q ⊆ p means q's answers are always a subset of p's.
+	cases := []struct {
+		q, p string
+	}{
+		{"P(x) :- E(x,y), E(y,z).", "P(x) :- E(x,y)."},
+		{"P(x,y) :- E(x,y), E(y,x).", "P(x,y) :- E(x,y)."},
+		{"P(x) :- E(x,x).", "P(x) :- E(x,y)."},
+	}
+	rng := rand.New(rand.NewSource(15))
+	for ci, tc := range cases {
+		q := mustCQ(t, tc.q)
+		p := mustCQ(t, tc.p)
+		contained, err := q.ContainedIn(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !contained {
+			t.Fatalf("case %d: expected containment", ci)
+		}
+		for trial := 0; trial < 10; trial++ {
+			g := graph.Random(5, 0.3, rng)
+			db := FromGraph(g)
+			rq, _ := Eval(&Program{Rules: []Rule{q.Rule}, Goal: "P"}, db.Clone(), DefaultOptions)
+			rp, _ := Eval(&Program{Rules: []Rule{p.Rule}, Goal: "P"}, db.Clone(), DefaultOptions)
+			for _, tup := range rq.IDB["P"].Tuples() {
+				if !rp.IDB["P"].Has(tup) {
+					t.Fatalf("case %d trial %d: containment verdict contradicted on %v", ci, trial, tup)
+				}
+			}
+		}
+	}
+}
+
+func TestMinimize(t *testing.T) {
+	// Redundant atoms fold away; the 2-step core stays.
+	q := mustCQ(t, "P(x) :- E(x, y), E(x, z), E(y, w).")
+	m, err := q.Minimize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(m.Rule.Atoms()); got != 2 {
+		t.Fatalf("minimized to %d atoms, want 2 (E(x,y), E(y,w)): %s", got, m.Rule)
+	}
+	eq, err := q.EquivalentTo(m)
+	if err != nil || !eq {
+		t.Fatalf("minimization changed semantics: %v %v", eq, err)
+	}
+	// An already-minimal query is untouched.
+	core := mustCQ(t, "P(x, y) :- E(x, y).")
+	m2, err := core.Minimize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m2.Rule.Atoms()) != 1 {
+		t.Fatal("minimal query shrank")
+	}
+}
+
+func TestMinimizeKeepsHeadVariablesBound(t *testing.T) {
+	q := mustCQ(t, "P(x, y) :- E(x, y), E(x, z).")
+	m, err := q.Minimize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Rule.Atoms()) != 1 {
+		t.Fatalf("want 1 atom, got %s", m.Rule)
+	}
+	if m.Rule.Atoms()[0].String() != "E(x,y)" {
+		t.Fatalf("kept the wrong atom: %s", m.Rule)
+	}
+}

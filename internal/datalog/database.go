@@ -1,0 +1,293 @@
+package datalog
+
+import (
+	"bufio"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/graph"
+	"repro/internal/structure"
+)
+
+// Tuple is a row of universe elements.
+type Tuple []int
+
+func (t Tuple) key() string {
+	var b strings.Builder
+	for i, x := range t {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(x))
+	}
+	return b.String()
+}
+
+// String renders (1,2,3).
+func (t Tuple) String() string { return "(" + t.key() + ")" }
+
+// Relation is a set of same-arity tuples with optional join indexes.
+type Relation struct {
+	Arity  int
+	tuples map[string]Tuple
+	// indexes maps a column mask to a hash from projected-key to tuples.
+	indexes map[uint64]map[string][]Tuple
+}
+
+// NewDLRelation returns an empty relation.
+func NewDLRelation(arity int) *Relation {
+	return &Relation{Arity: arity, tuples: map[string]Tuple{}, indexes: map[uint64]map[string][]Tuple{}}
+}
+
+// Add inserts a tuple and reports whether it was new.
+func (r *Relation) Add(t Tuple) bool {
+	if len(t) != r.Arity {
+		panic(fmt.Sprintf("datalog: arity mismatch: tuple %v in relation of arity %d", t, r.Arity))
+	}
+	k := t.key()
+	if _, ok := r.tuples[k]; ok {
+		return false
+	}
+	cp := make(Tuple, len(t))
+	copy(cp, t)
+	r.tuples[k] = cp
+	for mask, idx := range r.indexes {
+		pk := projectKey(cp, mask)
+		idx[pk] = append(idx[pk], cp)
+	}
+	return true
+}
+
+// Has reports membership.
+func (r *Relation) Has(t Tuple) bool {
+	_, ok := r.tuples[t.key()]
+	return ok
+}
+
+// Size returns the number of tuples.
+func (r *Relation) Size() int { return len(r.tuples) }
+
+// Tuples returns all tuples sorted lexicographically.
+func (r *Relation) Tuples() []Tuple {
+	out := make([]Tuple, 0, len(r.tuples))
+	for _, t := range r.tuples {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		for k := range out[i] {
+			if out[i][k] != out[j][k] {
+				return out[i][k] < out[j][k]
+			}
+		}
+		return false
+	})
+	return out
+}
+
+// each iterates over tuples in arbitrary order.
+func (r *Relation) each(f func(Tuple) bool) {
+	for _, t := range r.tuples {
+		if !f(t) {
+			return
+		}
+	}
+}
+
+func projectKey(t Tuple, mask uint64) string {
+	var b strings.Builder
+	for i, x := range t {
+		if mask&(1<<uint(i)) != 0 {
+			b.WriteString(strconv.Itoa(x))
+			b.WriteByte(',')
+		}
+	}
+	return b.String()
+}
+
+// lookup returns the tuples matching the bound columns of pattern, where
+// mask marks bound positions. With indexing enabled a hash index on the
+// mask is built on first use; otherwise a full scan filters.
+func (r *Relation) lookup(pattern Tuple, mask uint64, useIndex bool) []Tuple {
+	if mask == 0 {
+		return r.TuplesUnordered()
+	}
+	if !useIndex {
+		var out []Tuple
+		r.each(func(t Tuple) bool {
+			for i := 0; i < len(t); i++ {
+				if mask&(1<<uint(i)) != 0 && t[i] != pattern[i] {
+					return true
+				}
+			}
+			out = append(out, t)
+			return true
+		})
+		return out
+	}
+	idx, ok := r.indexes[mask]
+	if !ok {
+		idx = map[string][]Tuple{}
+		for _, t := range r.tuples {
+			pk := projectKey(t, mask)
+			idx[pk] = append(idx[pk], t)
+		}
+		r.indexes[mask] = idx
+	}
+	return idx[projectKey(pattern, mask)]
+}
+
+// TuplesUnordered returns the tuples without sorting (hot path).
+func (r *Relation) TuplesUnordered() []Tuple {
+	out := make([]Tuple, 0, len(r.tuples))
+	for _, t := range r.tuples {
+		out = append(out, t)
+	}
+	return out
+}
+
+// Database is an EDB instance: a universe {0..N-1} plus named relations.
+type Database struct {
+	N    int
+	rels map[string]*Relation
+}
+
+// NewDatabase returns an empty database over an n-element universe.
+func NewDatabase(n int) *Database {
+	return &Database{N: n, rels: map[string]*Relation{}}
+}
+
+// EnsureRelation creates the named relation if absent and returns it.
+func (db *Database) EnsureRelation(name string, arity int) *Relation {
+	if r, ok := db.rels[name]; ok {
+		if r.Arity != arity {
+			panic(fmt.Sprintf("datalog: relation %s has arity %d, not %d", name, r.Arity, arity))
+		}
+		return r
+	}
+	r := NewDLRelation(arity)
+	db.rels[name] = r
+	return r
+}
+
+// Relation returns the named relation or nil.
+func (db *Database) Relation(name string) *Relation { return db.rels[name] }
+
+// AddFact inserts a fact, creating the relation on first use.
+func (db *Database) AddFact(name string, vals ...int) {
+	for _, v := range vals {
+		if v < 0 || v >= db.N {
+			panic(fmt.Sprintf("datalog: element %d outside universe of size %d", v, db.N))
+		}
+	}
+	db.EnsureRelation(name, len(vals)).Add(Tuple(vals))
+}
+
+// Names returns the relation names in sorted order.
+func (db *Database) Names() []string {
+	var out []string
+	for name := range db.rels {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Clone deep-copies the database (indexes are not copied).
+func (db *Database) Clone() *Database {
+	out := NewDatabase(db.N)
+	for name, r := range db.rels {
+		nr := out.EnsureRelation(name, r.Arity)
+		for _, t := range r.tuples {
+			nr.Add(t)
+		}
+	}
+	return out
+}
+
+// FromGraph builds a database with relation E from a directed graph.
+func FromGraph(g *graph.Graph) *Database {
+	db := NewDatabase(g.N())
+	db.EnsureRelation("E", 2)
+	for _, e := range g.Edges() {
+		db.AddFact("E", e[0], e[1])
+	}
+	return db
+}
+
+// FromStructure converts a relational structure into a database; constant
+// symbols are ignored (bind them as constant terms in the program instead).
+func FromStructure(s *structure.Structure) *Database {
+	db := NewDatabase(s.N)
+	for _, rs := range s.Voc.Relations {
+		db.EnsureRelation(rs.Name, rs.Arity)
+		for _, t := range s.Rel(rs.Name).Tuples() {
+			db.AddFact(rs.Name, t...)
+		}
+	}
+	return db
+}
+
+// ParseDatabase reads the facts text format:
+//
+//	universe 10
+//	E(0, 1).
+//	E(1, 2).   % comment
+//
+// The universe directive must come first.
+func ParseDatabase(src string) (*Database, error) {
+	sc := bufio.NewScanner(strings.NewReader(src))
+	var db *Database
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if i := strings.IndexAny(line, "%#"); i >= 0 {
+			line = strings.TrimSpace(line[:i])
+		}
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "universe") {
+			if db != nil {
+				return nil, fmt.Errorf("line %d: duplicate universe directive", lineNo)
+			}
+			n, err := strconv.Atoi(strings.TrimSpace(strings.TrimPrefix(line, "universe")))
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("line %d: bad universe size", lineNo)
+			}
+			db = NewDatabase(n)
+			continue
+		}
+		if db == nil {
+			return nil, fmt.Errorf("line %d: facts before universe directive", lineNo)
+		}
+		line = strings.TrimSuffix(line, ".")
+		open := strings.IndexByte(line, '(')
+		closeP := strings.LastIndexByte(line, ')')
+		if open <= 0 || closeP != len(line)-1 {
+			return nil, fmt.Errorf("line %d: bad fact %q", lineNo, line)
+		}
+		name := strings.TrimSpace(line[:open])
+		var vals []int
+		for _, f := range strings.Split(line[open+1:closeP], ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil {
+				return nil, fmt.Errorf("line %d: bad element %q", lineNo, f)
+			}
+			if v < 0 || v >= db.N {
+				return nil, fmt.Errorf("line %d: element %d outside universe", lineNo, v)
+			}
+			vals = append(vals, v)
+		}
+		if len(vals) == 0 {
+			return nil, fmt.Errorf("line %d: fact with no arguments", lineNo)
+		}
+		db.AddFact(name, vals...)
+	}
+	if db == nil {
+		return nil, fmt.Errorf("missing universe directive")
+	}
+	return db, nil
+}

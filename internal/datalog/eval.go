@@ -1,0 +1,342 @@
+package datalog
+
+import (
+	"fmt"
+)
+
+// Options configures evaluation.
+type Options struct {
+	// SemiNaive selects delta-driven evaluation; false means naive
+	// round-based iteration. Both compute the same least fixpoint and the
+	// same per-tuple first stages.
+	SemiNaive bool
+	// UseIndexes enables hash join indexes on bound column sets.
+	UseIndexes bool
+	// MaxRounds aborts evaluation after this many rounds when > 0 (a
+	// safety valve; the fixpoint is always reached within N^r rounds).
+	MaxRounds int
+	// TrackProvenance records each tuple's first derivation for
+	// Result.Prove.
+	TrackProvenance bool
+}
+
+// DefaultOptions is semi-naive with indexes.
+var DefaultOptions = Options{SemiNaive: true, UseIndexes: true}
+
+// Result holds the computed least fixpoint.
+type Result struct {
+	// IDB maps each intensional predicate to its fixpoint relation.
+	IDB map[string]*Relation
+	// Stage maps predicate -> tuple key -> the stage Θ^n at which the
+	// tuple first appears (1-based), matching the paper's stages.
+	Stage map[string]map[string]int
+	// Rounds is the number of iteration rounds executed until stability.
+	Rounds int
+	// Derivations counts successful rule firings (including duplicates).
+	Derivations int
+
+	prov map[string]map[string]*Derivation
+}
+
+// Goal returns the fixpoint relation of the program goal.
+func (res *Result) Goal(p *Program) *Relation { return res.IDB[p.Goal] }
+
+// Eval computes the least fixpoint semantics π^∞ of the program on the
+// database (Section 2). Missing EDB relations are treated as empty.
+func Eval(p *Program, db *Database, opt Options) (*Result, error) {
+	if err := Validate(p); err != nil {
+		return nil, err
+	}
+	arity := p.Arities()
+	idbSet := p.IDBs()
+	e := &evaluator{p: p, db: db, opt: opt, idbSet: idbSet}
+	e.idb = map[string]*Relation{}
+	e.stage = map[string]map[string]int{}
+	for name := range idbSet {
+		e.idb[name] = NewDLRelation(arity[name])
+		e.stage[name] = map[string]int{}
+	}
+	// EDB relations referenced but absent become empty relations.
+	for name := range p.EDBs() {
+		if db.Relation(name) == nil {
+			db.EnsureRelation(name, arity[name])
+		} else if db.Relation(name).Arity != arity[name] {
+			return nil, fmt.Errorf("datalog: EDB %s has arity %d in the database but %d in the program",
+				name, db.Relation(name).Arity, arity[name])
+		}
+	}
+	if opt.TrackProvenance {
+		e.prov = map[string]map[string]*Derivation{}
+		for name := range idbSet {
+			e.prov[name] = map[string]*Derivation{}
+		}
+	}
+	if opt.SemiNaive {
+		e.runSemiNaive()
+	} else {
+		e.runNaive()
+	}
+	return &Result{IDB: e.idb, Stage: e.stage, Rounds: e.rounds,
+		Derivations: e.derivations, prov: e.prov}, nil
+}
+
+// MustEval is Eval with DefaultOptions that panics on error.
+func MustEval(p *Program, db *Database) *Result {
+	res, err := Eval(p, db, DefaultOptions)
+	if err != nil {
+		panic("datalog: " + err.Error())
+	}
+	return res
+}
+
+type evaluator struct {
+	p      *Program
+	db     *Database
+	opt    Options
+	idbSet map[string]bool
+
+	idb         map[string]*Relation
+	stage       map[string]map[string]int
+	prov        map[string]map[string]*Derivation
+	rounds      int
+	derivations int
+}
+
+func (e *evaluator) runNaive() {
+	for {
+		e.rounds++
+		var pending []fact
+		for ri, r := range e.p.Rules {
+			e.fireRule(ri, r, nil, -1, func(t Tuple, d *Derivation) {
+				pending = append(pending, fact{pred: r.Head.Pred, t: t, deriv: d})
+			})
+		}
+		if !e.commit(pending) {
+			return
+		}
+		if e.opt.MaxRounds > 0 && e.rounds >= e.opt.MaxRounds {
+			return
+		}
+	}
+}
+
+func (e *evaluator) runSemiNaive() {
+	// Round 1: full evaluation from empty IDBs (only rules whose IDB
+	// atoms can be satisfied — with empty IDBs that means EDB-only rules).
+	delta := map[string]*Relation{}
+	e.rounds = 1
+	var pending []fact
+	for ri, r := range e.p.Rules {
+		e.fireRule(ri, r, nil, -1, func(t Tuple, d *Derivation) {
+			pending = append(pending, fact{pred: r.Head.Pred, t: t, deriv: d})
+		})
+	}
+	newDelta := e.commitDelta(pending)
+	for len(newDelta) > 0 {
+		delta = newDelta
+		e.rounds++
+		if e.opt.MaxRounds > 0 && e.rounds > e.opt.MaxRounds {
+			return
+		}
+		pending = pending[:0]
+		for ri, r := range e.p.Rules {
+			atoms := r.Atoms()
+			for ai, a := range atoms {
+				if !e.idbSet[a.Pred] {
+					continue
+				}
+				if d := delta[a.Pred]; d != nil && d.Size() > 0 {
+					e.fireRule(ri, r, delta, ai, func(t Tuple, dv *Derivation) {
+						pending = append(pending, fact{pred: r.Head.Pred, t: t, deriv: dv})
+					})
+				}
+			}
+		}
+		newDelta = e.commitDelta(pending)
+	}
+}
+
+type fact struct {
+	pred  string
+	t     Tuple
+	deriv *Derivation
+}
+
+// commit adds pending facts, recording stages; reports whether anything new.
+func (e *evaluator) commit(pending []fact) bool {
+	anyNew := false
+	for _, f := range pending {
+		if e.idb[f.pred].Add(f.t) {
+			e.stage[f.pred][f.t.key()] = e.rounds
+			if e.prov != nil {
+				e.prov[f.pred][f.t.key()] = f.deriv
+			}
+			anyNew = true
+		}
+	}
+	return anyNew
+}
+
+// commitDelta adds pending facts and returns the per-predicate delta.
+func (e *evaluator) commitDelta(pending []fact) map[string]*Relation {
+	delta := map[string]*Relation{}
+	for _, f := range pending {
+		if e.idb[f.pred].Add(f.t) {
+			e.stage[f.pred][f.t.key()] = e.rounds
+			if e.prov != nil {
+				e.prov[f.pred][f.t.key()] = f.deriv
+			}
+			d := delta[f.pred]
+			if d == nil {
+				d = NewDLRelation(len(f.t))
+				delta[f.pred] = d
+			}
+			d.Add(f.t)
+		}
+	}
+	return delta
+}
+
+// relFor resolves the relation an atom reads from: the delta relation when
+// this occurrence is the designated delta position, else the IDB state or
+// the EDB database.
+func (e *evaluator) relFor(a Atom, isDelta bool, delta map[string]*Relation) *Relation {
+	if isDelta {
+		if d := delta[a.Pred]; d != nil {
+			return d
+		}
+		return NewDLRelation(len(a.Args))
+	}
+	if e.idbSet[a.Pred] {
+		return e.idb[a.Pred]
+	}
+	return e.db.Relation(a.Pred)
+}
+
+// fireRule enumerates all satisfying assignments of the rule body and
+// emits the corresponding head tuples with (optional) provenance.
+// deltaIdx >= 0 designates the body atom occurrence that must read from
+// the delta relations.
+func (e *evaluator) fireRule(ri int, r Rule, delta map[string]*Relation, deltaIdx int, emit func(Tuple, *Derivation)) {
+	atoms := r.Atoms()
+	cons := r.Constraints()
+	binding := map[string]int{}
+	matched := make([]Tuple, len(atoms))
+
+	// consOK checks every constraint whose two sides are both bound;
+	// returns false on a violated one.
+	consOK := func() bool {
+		for _, c := range cons {
+			lv, lok := termValue(c.Left, binding)
+			rv, rok := termValue(c.Right, binding)
+			if !lok || !rok {
+				continue
+			}
+			if (lv == rv) == c.Neq {
+				return false
+			}
+		}
+		return true
+	}
+
+	var finish func()
+	finish = func() {
+		// Enumerate any variables still unbound (head or constraint
+		// variables occurring in no atom) over the whole universe.
+		unbound := ""
+		for _, v := range r.Vars() {
+			if _, ok := binding[v]; !ok {
+				unbound = v
+				break
+			}
+		}
+		if unbound == "" {
+			if !consOK() {
+				return
+			}
+			head := make(Tuple, len(r.Head.Args))
+			for i, t := range r.Head.Args {
+				v, _ := termValue(t, binding)
+				head[i] = v
+			}
+			e.derivations++
+			var deriv *Derivation
+			if e.prov != nil {
+				deriv = &Derivation{Rule: ri}
+				for i, a := range atoms {
+					cp := make(Tuple, len(matched[i]))
+					copy(cp, matched[i])
+					deriv.Body = append(deriv.Body, Fact{Pred: a.Pred, Tuple: cp})
+				}
+			}
+			emit(head, deriv)
+			return
+		}
+		for x := 0; x < e.db.N; x++ {
+			binding[unbound] = x
+			if consOK() {
+				finish()
+			}
+			delete(binding, unbound)
+		}
+	}
+
+	var step func(ai int)
+	step = func(ai int) {
+		if ai == len(atoms) {
+			finish()
+			return
+		}
+		a := atoms[ai]
+		rel := e.relFor(a, ai == deltaIdx, delta)
+		if rel == nil || rel.Size() == 0 {
+			return
+		}
+		pattern := make(Tuple, len(a.Args))
+		var mask uint64
+		for i, t := range a.Args {
+			if v, ok := termValue(t, binding); ok {
+				pattern[i] = v
+				mask |= 1 << uint(i)
+			}
+		}
+		for _, tup := range rel.lookup(pattern, mask, e.opt.UseIndexes) {
+			matched[ai] = tup
+			var bound []string
+			ok := true
+			for i, t := range a.Args {
+				if !t.IsVar() {
+					if tup[i] != t.Const {
+						ok = false
+						break
+					}
+					continue
+				}
+				if v, has := binding[t.Var]; has {
+					if v != tup[i] {
+						ok = false
+						break
+					}
+					continue
+				}
+				binding[t.Var] = tup[i]
+				bound = append(bound, t.Var)
+			}
+			if ok && consOK() {
+				step(ai + 1)
+			}
+			for _, v := range bound {
+				delete(binding, v)
+			}
+		}
+	}
+	step(0)
+}
+
+func termValue(t Term, binding map[string]int) (int, bool) {
+	if !t.IsVar() {
+		return t.Const, true
+	}
+	v, ok := binding[t.Var]
+	return v, ok
+}

@@ -1,0 +1,386 @@
+package datalog
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// evalBoth runs naive and semi-naive evaluation and checks they agree on
+// every IDB relation and on every tuple's first stage, then returns the
+// semi-naive result.
+func evalBoth(t *testing.T, p *Program, db *Database) *Result {
+	t.Helper()
+	naive, err := Eval(p, db, Options{SemiNaive: false, UseIndexes: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	semi, err := Eval(p, db, Options{SemiNaive: true, UseIndexes: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	noIdx, err := Eval(p, db, Options{SemiNaive: true, UseIndexes: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, rel := range naive.IDB {
+		if semi.IDB[name].Size() != rel.Size() || noIdx.IDB[name].Size() != rel.Size() {
+			t.Fatalf("%s: naive %d vs semi %d vs noindex %d tuples",
+				name, rel.Size(), semi.IDB[name].Size(), noIdx.IDB[name].Size())
+		}
+		for _, tup := range rel.Tuples() {
+			if !semi.IDB[name].Has(tup) {
+				t.Fatalf("%s: semi-naive missing %v", name, tup)
+			}
+			if naive.Stage[name][tup.key()] != semi.Stage[name][tup.key()] {
+				t.Fatalf("%s %v: stage naive %d vs semi %d", name, tup,
+					naive.Stage[name][tup.key()], semi.Stage[name][tup.key()])
+			}
+		}
+	}
+	return semi
+}
+
+func TestTransitiveClosureSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		g := graph.Random(8, 0.2, rng)
+		res := evalBoth(t, TransitiveClosureProgram(), FromGraph(g))
+		want := g.TransitiveClosure()
+		got := res.IDB["S"]
+		if got.Size() != len(want) {
+			t.Fatalf("trial %d: |S| = %d, want %d", trial, got.Size(), len(want))
+		}
+		for pair := range want {
+			if !got.Has(Tuple{pair[0], pair[1]}) {
+				t.Fatalf("trial %d: missing %v", trial, pair)
+			}
+		}
+	}
+}
+
+func TestTransitiveClosureStages(t *testing.T) {
+	// On a simple path, the pair (0,k) first appears at stage k under the
+	// paper's stage semantics Θ^n.
+	g := graph.DirectedPath(6)
+	res := MustEval(TransitiveClosureProgram(), FromGraph(g))
+	for k := 1; k <= 5; k++ {
+		tup := Tuple{0, k}
+		if got := res.Stage["S"][tup.key()]; got != k {
+			t.Fatalf("stage of (0,%d) = %d, want %d", k, got, k)
+		}
+	}
+	if res.Rounds < 5 {
+		t.Fatalf("rounds = %d, expected at least 5", res.Rounds)
+	}
+}
+
+func TestAvoidingPathSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 15; trial++ {
+		g := graph.Random(7, 0.25, rng)
+		res := evalBoth(t, AvoidingPathProgram(), FromGraph(g))
+		got := res.IDB["T"]
+		n := g.N()
+		for x := 0; x < n; x++ {
+			for y := 0; y < n; y++ {
+				for w := 0; w < n; w++ {
+					// T(x,y,w): a path of length >= 1 from x to y avoiding
+					// w entirely (including endpoints).
+					want := false
+					if w != x && w != y {
+						forbidden := map[int]bool{w: true}
+						for _, z := range g.Out(x) {
+							if z == y && x != w && y != w {
+								want = true
+								break
+							}
+							if z != w && g.ReachableAvoiding(z, y, forbidden) {
+								want = true
+								break
+							}
+						}
+					}
+					if got.Has(Tuple{x, y, w}) != want {
+						t.Fatalf("trial %d: T(%d,%d,%d) = %v, want %v",
+							trial, x, y, w, !want, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestUnboundVariableRangesOverUniverse(t *testing.T) {
+	// P(x, w) :- A(x), w != x — w is bound by no atom, so it ranges over
+	// the whole universe (the paper's operator semantics).
+	p := MustParse(`P(x, w) :- A(x), w != x.`)
+	db := NewDatabase(4)
+	db.AddFact("A", 2)
+	res := MustEval(p, db)
+	if res.IDB["P"].Size() != 3 {
+		t.Fatalf("|P| = %d, want 3 (w ranges over universe minus x)", res.IDB["P"].Size())
+	}
+	for _, w := range []int{0, 1, 3} {
+		if !res.IDB["P"].Has(Tuple{2, w}) {
+			t.Fatalf("missing P(2,%d)", w)
+		}
+	}
+}
+
+func TestEqualityConstraintJoins(t *testing.T) {
+	p := MustParse(`P(x, y) :- A(x), B(y), x = y.`)
+	db := NewDatabase(5)
+	db.AddFact("A", 1)
+	db.AddFact("A", 2)
+	db.AddFact("B", 2)
+	db.AddFact("B", 3)
+	res := MustEval(p, db)
+	if res.IDB["P"].Size() != 1 || !res.IDB["P"].Has(Tuple{2, 2}) {
+		t.Fatalf("P = %v", res.IDB["P"].Tuples())
+	}
+}
+
+func TestConstantsInRules(t *testing.T) {
+	p := MustParse(`
+		R(x) :- E(0, x).
+		R(x) :- E(y, x), R(y), x != 0.
+	`)
+	g := graph.DirectedCycle(4)
+	res := MustEval(p, FromGraph(g))
+	// Reachable from 0 without re-entering 0: 1,2,3.
+	if res.IDB["R"].Size() != 3 {
+		t.Fatalf("R = %v", res.IDB["R"].Tuples())
+	}
+}
+
+func TestFactRuleSeedsRelation(t *testing.T) {
+	p := MustParse(`
+		D(3, 4).
+		D(x, y) :- E(x, z), D(z, y).
+	`)
+	db := NewDatabase(6)
+	db.AddFact("E", 1, 3)
+	db.AddFact("E", 0, 1)
+	res := MustEval(p, db)
+	for _, want := range []Tuple{{3, 4}, {1, 4}, {0, 4}} {
+		if !res.IDB["D"].Has(want) {
+			t.Fatalf("missing D%v; got %v", want, res.IDB["D"].Tuples())
+		}
+	}
+	if res.IDB["D"].Size() != 3 {
+		t.Fatalf("D = %v", res.IDB["D"].Tuples())
+	}
+}
+
+func TestMultipleIDBsSimultaneousFixpoint(t *testing.T) {
+	// Odd/even path lengths via mutual recursion.
+	p := MustParse(`
+		Odd(x, y) :- E(x, y).
+		Odd(x, y) :- E(x, z), Even(z, y).
+		Even(x, y) :- E(x, z), Odd(z, y).
+		goal Even.
+	`)
+	g := graph.DirectedCycle(6)
+	res := evalBoth(t, p, FromGraph(g))
+	// In a 6-cycle there is a walk of odd length x->y iff distance parity
+	// odd; walks not simple paths — Datalog computes walks.
+	odd := res.IDB["Odd"]
+	even := res.IDB["Even"]
+	if !odd.Has(Tuple{0, 1}) || odd.Has(Tuple{0, 2}) {
+		t.Fatalf("odd wrong: %v", odd.Tuples())
+	}
+	if !even.Has(Tuple{0, 2}) || even.Has(Tuple{0, 1}) {
+		t.Fatalf("even wrong: %v", even.Tuples())
+	}
+}
+
+func TestSameGeneration(t *testing.T) {
+	// Perfect binary tree of depth 2: Up from child to parent, Down from
+	// parent to child, Flat pairs siblings at the root.
+	db := NewDatabase(7)
+	// Nodes: 0 root; 1,2 children; 3,4 children of 1; 5,6 children of 2.
+	parents := map[int]int{1: 0, 2: 0, 3: 1, 4: 1, 5: 2, 6: 2}
+	for c, p := range parents {
+		db.AddFact("Up", c, p)
+		db.AddFact("Down", p, c)
+	}
+	db.AddFact("Flat", 0, 0)
+	res := evalBoth(t, SameGenerationProgram(), db)
+	sg := res.IDB["SG"]
+	// Same-generation pairs at depth 1: all of {1,2}x{1,2}; depth 2: all
+	// of {3,4,5,6}^2.
+	for _, pair := range [][2]int{{1, 2}, {2, 1}, {1, 1}, {3, 6}, {4, 5}, {3, 3}} {
+		if !sg.Has(Tuple{pair[0], pair[1]}) {
+			t.Fatalf("missing SG%v; got %v", pair, sg.Tuples())
+		}
+	}
+	if sg.Has(Tuple{1, 3}) || sg.Has(Tuple{0, 1}) {
+		t.Fatalf("cross-generation pair derived: %v", sg.Tuples())
+	}
+}
+
+func TestPathSystems(t *testing.T) {
+	db := NewDatabase(5)
+	db.AddFact("A", 0)
+	db.AddFact("A", 1)
+	db.AddFact("R", 2, 0, 1)
+	db.AddFact("R", 3, 2, 0)
+	db.AddFact("R", 4, 3, 9%5) // R(4,3,4): needs 4 itself — never fires
+	res := evalBoth(t, PathSystemsProgram(), db)
+	acc := res.IDB["Acc"]
+	for _, v := range []int{0, 1, 2, 3} {
+		if !acc.Has(Tuple{v}) {
+			t.Fatalf("missing Acc(%d)", v)
+		}
+	}
+	if acc.Has(Tuple{4}) {
+		t.Fatal("Acc(4) requires Acc(4) — must not derive")
+	}
+}
+
+func TestMissingEDBTreatedAsEmpty(t *testing.T) {
+	p := TransitiveClosureProgram()
+	db := NewDatabase(3)
+	res := MustEval(p, db)
+	if res.IDB["S"].Size() != 0 {
+		t.Fatal("no edges should mean empty closure")
+	}
+}
+
+func TestEDBArityMismatchRejected(t *testing.T) {
+	p := TransitiveClosureProgram()
+	db := NewDatabase(3)
+	db.AddFact("E", 0, 1, 2)
+	if _, err := Eval(p, db, DefaultOptions); err == nil {
+		t.Fatal("arity mismatch must be an error")
+	}
+}
+
+func TestMaxRoundsAborts(t *testing.T) {
+	g := graph.DirectedPath(50)
+	res, err := Eval(TransitiveClosureProgram(), FromGraph(g), Options{SemiNaive: true, UseIndexes: true, MaxRounds: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := MustEval(TransitiveClosureProgram(), FromGraph(g))
+	if res.IDB["S"].Size() >= full.IDB["S"].Size() {
+		t.Fatal("MaxRounds did not truncate the fixpoint")
+	}
+}
+
+func TestDatalogMonotoneUnderEdgeAddition(t *testing.T) {
+	// Datalog(≠) queries are monotone: adding EDB tuples only grows IDBs.
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 10; trial++ {
+		g := graph.Random(6, 0.2, rng)
+		before := MustEval(AvoidingPathProgram(), FromGraph(g))
+		g2 := g.Clone()
+		// Add one random edge.
+		for {
+			u, v := rng.Intn(6), rng.Intn(6)
+			if u != v && !g2.HasEdge(u, v) {
+				g2.AddEdge(u, v)
+				break
+			}
+		}
+		after := MustEval(AvoidingPathProgram(), FromGraph(g2))
+		for _, tup := range before.IDB["T"].Tuples() {
+			if !after.IDB["T"].Has(tup) {
+				t.Fatalf("trial %d: tuple %v lost after adding an edge", trial, tup)
+			}
+		}
+	}
+}
+
+func TestDatalogMonotoneUnderUniverseGrowth(t *testing.T) {
+	// Adding fresh isolated elements must preserve all derived tuples
+	// (Datalog(≠) monotonicity under universe extension).
+	g := graph.DirectedCycle(4)
+	small := MustEval(AvoidingPathProgram(), FromGraph(g))
+	big := g.Clone()
+	big.EnsureNodes(7)
+	bigRes := MustEval(AvoidingPathProgram(), FromGraph(big))
+	for _, tup := range small.IDB["T"].Tuples() {
+		if !bigRes.IDB["T"].Has(tup) {
+			t.Fatalf("tuple %v lost after universe growth", tup)
+		}
+	}
+}
+
+func TestPureDatalogPreservedUnderCollapse(t *testing.T) {
+	// Strong monotonicity of pure Datalog (Section 2): identifying two
+	// universe elements preserves derived tuples under the quotient map.
+	g := graph.New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	res := MustEval(TransitiveClosureProgram(), FromGraph(g))
+	// Collapse 3 onto 0: quotient edges.
+	q := graph.New(3)
+	collapse := func(v int) int {
+		if v == 3 {
+			return 0
+		}
+		return v
+	}
+	for _, e := range g.Edges() {
+		q.AddEdge(collapse(e[0]), collapse(e[1]))
+	}
+	qres := MustEval(TransitiveClosureProgram(), FromGraph(q))
+	for _, tup := range res.IDB["S"].Tuples() {
+		img := Tuple{collapse(tup[0]), collapse(tup[1])}
+		if !qres.IDB["S"].Has(img) {
+			t.Fatalf("collapse lost S%v -> S%v", tup, img)
+		}
+	}
+}
+
+func TestDerivationsCounted(t *testing.T) {
+	res := MustEval(TransitiveClosureProgram(), FromGraph(graph.DirectedPath(4)))
+	if res.Derivations == 0 {
+		t.Fatal("derivation counter never incremented")
+	}
+}
+
+func TestGoalAccessor(t *testing.T) {
+	p := TransitiveClosureProgram()
+	res := MustEval(p, FromGraph(graph.DirectedPath(3)))
+	if res.Goal(p) != res.IDB["S"] {
+		t.Fatal("Goal accessor wrong")
+	}
+}
+
+func TestDatabaseCloneIndependent(t *testing.T) {
+	db := NewDatabase(3)
+	db.AddFact("E", 0, 1)
+	cp := db.Clone()
+	cp.AddFact("E", 1, 2)
+	if db.Relation("E").Size() != 1 {
+		t.Fatal("clone aliases relations")
+	}
+}
+
+func TestRepeatedVariableInAtom(t *testing.T) {
+	// Self-loops only: P(x) :- E(x,x).
+	p := MustParse(`P(x) :- E(x, x).`)
+	db := NewDatabase(3)
+	db.AddFact("E", 0, 1)
+	db.AddFact("E", 2, 2)
+	res := MustEval(p, db)
+	if res.IDB["P"].Size() != 1 || !res.IDB["P"].Has(Tuple{2}) {
+		t.Fatalf("P = %v", res.IDB["P"].Tuples())
+	}
+}
+
+func TestConstantInAtomFilter(t *testing.T) {
+	p := MustParse(`P(x) :- E(x, 2).`)
+	db := NewDatabase(4)
+	db.AddFact("E", 0, 2)
+	db.AddFact("E", 1, 3)
+	res := MustEval(p, db)
+	if res.IDB["P"].Size() != 1 || !res.IDB["P"].Has(Tuple{0}) {
+		t.Fatalf("P = %v", res.IDB["P"].Tuples())
+	}
+}

@@ -1,0 +1,76 @@
+package datalog
+
+import "testing"
+
+// Fuzz targets: the parsers must never panic on arbitrary input, and
+// anything they accept must round-trip through printing. Run with
+// `go test -fuzz=FuzzParse ./internal/datalog` for a real fuzzing
+// session; the seeds below execute as ordinary tests.
+
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"S(x,y) :- E(x,y).",
+		"S(x,y) :- E(x,z), S(z,y).\ngoal S.",
+		"T(x,y,w) <- E(x,y), w != x, w != y.",
+		"P(x) :- E(x, 3), x = 0.",
+		"D(1,2).",
+		"% comment only",
+		"S(x :- E(x,y).",
+		"S(x) :- E(x,y), x ! y.",
+		"goal goal.",
+		"S(X) :- E(X,y).",
+		"S(x)(y) :- E.",
+		":-.",
+		"S(x) :- E(x,y)",
+		"S(x') :- E(x',y').",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Parse(src)
+		if err != nil {
+			return
+		}
+		// Accepted programs must print and reparse to the same text.
+		text := p.String()
+		q, err := Parse(text)
+		if err != nil {
+			t.Fatalf("accepted program failed to reparse: %v\n%s", err, text)
+		}
+		if q.String() != text {
+			t.Fatalf("print/parse not idempotent:\n%s\nvs\n%s", text, q.String())
+		}
+	})
+}
+
+func FuzzParseDatabase(f *testing.F) {
+	seeds := []string{
+		"universe 3\nE(0,1).",
+		"universe 0",
+		"E(0,1).",
+		"universe 3\nE(0, 99).",
+		"universe 2\nE().",
+		"universe x",
+		"universe 4\n# comment\nA(3). % trailing",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		db, err := ParseDatabase(src)
+		if err != nil {
+			return
+		}
+		// Accepted databases must have all facts inside the universe.
+		for _, name := range db.Names() {
+			for _, tup := range db.Relation(name).Tuples() {
+				for _, v := range tup {
+					if v < 0 || v >= db.N {
+						t.Fatalf("fact %s%v escapes universe %d", name, tup, db.N)
+					}
+				}
+			}
+		}
+	})
+}

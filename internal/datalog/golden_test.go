@@ -1,0 +1,140 @@
+package datalog
+
+import (
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// The golden corpus in testdata/corpus.txt pins down engine behaviour
+// across releases: every case is run through all four engine
+// configurations (naive/semi-naive × indexed/scan) and the top-down
+// engine, and must produce the recorded relation exactly.
+
+type goldenCase struct {
+	name       string
+	program    string
+	facts      string
+	expectPred string
+	expectN    int
+	tuples     []Tuple
+}
+
+func loadCorpus(t *testing.T) []goldenCase {
+	t.Helper()
+	raw, err := os.ReadFile("testdata/corpus.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cases []goldenCase
+	var cur *goldenCase
+	section := ""
+	flush := func() {
+		if cur != nil {
+			cases = append(cases, *cur)
+		}
+	}
+	for _, line := range strings.Split(string(raw), "\n") {
+		trimmed := strings.TrimSpace(line)
+		switch {
+		case strings.HasPrefix(trimmed, "#"):
+			continue
+		case strings.HasPrefix(trimmed, "== "):
+			flush()
+			cur = &goldenCase{name: strings.TrimPrefix(trimmed, "== ")}
+			section = ""
+		case trimmed == "-- program":
+			section = "program"
+		case trimmed == "-- facts":
+			section = "facts"
+		case strings.HasPrefix(trimmed, "-- expect "):
+			section = "expect"
+			fields := strings.Fields(trimmed)
+			if len(fields) != 4 {
+				t.Fatalf("bad expect line %q", trimmed)
+			}
+			cur.expectPred = fields[2]
+			n, err := strconv.Atoi(fields[3])
+			if err != nil {
+				t.Fatalf("bad expect count in %q", trimmed)
+			}
+			cur.expectN = n
+		default:
+			if cur == nil || trimmed == "" {
+				continue
+			}
+			switch section {
+			case "program":
+				cur.program += line + "\n"
+			case "facts":
+				cur.facts += line + "\n"
+			case "expect":
+				var tup Tuple
+				for _, f := range strings.Split(trimmed, ",") {
+					v, err := strconv.Atoi(strings.TrimSpace(f))
+					if err != nil {
+						t.Fatalf("%s: bad tuple %q", cur.name, trimmed)
+					}
+					tup = append(tup, v)
+				}
+				cur.tuples = append(cur.tuples, tup)
+			}
+		}
+	}
+	flush()
+	if len(cases) < 5 {
+		t.Fatalf("corpus suspiciously small: %d cases", len(cases))
+	}
+	return cases
+}
+
+func TestGoldenCorpus(t *testing.T) {
+	configs := []struct {
+		name string
+		opt  Options
+	}{
+		{"seminaive-indexed", Options{SemiNaive: true, UseIndexes: true}},
+		{"seminaive-scan", Options{SemiNaive: true, UseIndexes: false}},
+		{"naive-indexed", Options{SemiNaive: false, UseIndexes: true}},
+		{"naive-scan", Options{SemiNaive: false, UseIndexes: false}},
+	}
+	for _, tc := range loadCorpus(t) {
+		t.Run(tc.name, func(t *testing.T) {
+			prog, err := Parse(tc.program)
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			for _, cfg := range configs {
+				db, err := ParseDatabase(tc.facts)
+				if err != nil {
+					t.Fatalf("facts: %v", err)
+				}
+				res, err := Eval(prog, db, cfg.opt)
+				if err != nil {
+					t.Fatalf("%s: %v", cfg.name, err)
+				}
+				rel := res.IDB[tc.expectPred]
+				if rel.Size() != tc.expectN {
+					t.Fatalf("%s: |%s| = %d, want %d\n%v",
+						cfg.name, tc.expectPred, rel.Size(), tc.expectN, rel.Tuples())
+				}
+				for _, tup := range tc.tuples {
+					if !rel.Has(tup) {
+						t.Fatalf("%s: missing %s%v", cfg.name, tc.expectPred, tup)
+					}
+				}
+			}
+			// Top-down cross-check.
+			db, _ := ParseDatabase(tc.facts)
+			td, err := NewTopDown(prog, db)
+			if err != nil {
+				t.Fatalf("topdown: %v", err)
+			}
+			answers := td.Ask(NewGoal(tc.expectPred, prog.Arities()[tc.expectPred], nil))
+			if len(answers) != tc.expectN {
+				t.Fatalf("topdown: %d answers, want %d", len(answers), tc.expectN)
+			}
+		})
+	}
+}

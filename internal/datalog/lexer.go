@@ -1,0 +1,138 @@
+package datalog
+
+import (
+	"fmt"
+	"unicode"
+)
+
+// tokenKind enumerates lexical classes of the Datalog(≠) text syntax.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokLParen
+	tokRParen
+	tokComma
+	tokDot
+	tokArrow // :- or <-
+	tokEq    // =
+	tokNeq   // !=
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokIdent:
+		return "identifier"
+	case tokNumber:
+		return "number"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokComma:
+		return "','"
+	case tokDot:
+		return "'.'"
+	case tokArrow:
+		return "':-'"
+	case tokEq:
+		return "'='"
+	case tokNeq:
+		return "'!='"
+	}
+	return "unknown token"
+}
+
+type token struct {
+	kind tokenKind
+	text string
+	line int
+}
+
+// lex tokenizes src. Comments run from '%' or '#' to end of line.
+func lex(src string) ([]token, error) {
+	var toks []token
+	line := 1
+	i := 0
+	n := len(src)
+	for i < n {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '%' || c == '#':
+			for i < n && src[i] != '\n' {
+				i++
+			}
+		case c == '(':
+			toks = append(toks, token{tokLParen, "(", line})
+			i++
+		case c == ')':
+			toks = append(toks, token{tokRParen, ")", line})
+			i++
+		case c == ',':
+			toks = append(toks, token{tokComma, ",", line})
+			i++
+		case c == '.':
+			toks = append(toks, token{tokDot, ".", line})
+			i++
+		case c == '=':
+			toks = append(toks, token{tokEq, "=", line})
+			i++
+		case c == '!':
+			if i+1 < n && src[i+1] == '=' {
+				toks = append(toks, token{tokNeq, "!=", line})
+				i += 2
+			} else {
+				return nil, fmt.Errorf("line %d: unexpected '!'", line)
+			}
+		case c == ':':
+			if i+1 < n && src[i+1] == '-' {
+				toks = append(toks, token{tokArrow, ":-", line})
+				i += 2
+			} else {
+				return nil, fmt.Errorf("line %d: unexpected ':'", line)
+			}
+		case c == '<':
+			if i+1 < n && src[i+1] == '-' {
+				toks = append(toks, token{tokArrow, "<-", line})
+				i += 2
+			} else {
+				return nil, fmt.Errorf("line %d: unexpected '<'", line)
+			}
+		case c >= '0' && c <= '9':
+			j := i
+			for j < n && src[j] >= '0' && src[j] <= '9' {
+				j++
+			}
+			toks = append(toks, token{tokNumber, src[i:j], line})
+			i = j
+		case isIdentStart(rune(c)):
+			j := i
+			for j < n && isIdentPart(rune(src[j])) {
+				j++
+			}
+			toks = append(toks, token{tokIdent, src[i:j], line})
+			i = j
+		default:
+			return nil, fmt.Errorf("line %d: unexpected character %q", line, c)
+		}
+	}
+	toks = append(toks, token{tokEOF, "", line})
+	return toks, nil
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func isIdentPart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '\''
+}

@@ -1,0 +1,86 @@
+package datalog
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// Section 2's separation of Datalog from Datalog(≠): pure Datalog queries
+// are strongly monotone — preserved under identifying universe elements —
+// while the w-avoiding-path query of Example 2.1 is not, so no pure
+// Datalog program computes it. These tests realize the argument on
+// concrete structures.
+
+func TestAvoidingPathNotStronglyMonotone(t *testing.T) {
+	// G: 0 -> 1 -> 2 and an alternative node 3 (disconnected).
+	// T(0,2,3) holds: the path 0->1->2 avoids 3.
+	g := graph.New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	res := MustEval(AvoidingPathProgram(), FromGraph(g))
+	if !res.IDB["T"].Has(Tuple{0, 2, 3}) {
+		t.Fatal("setup: T(0,2,3) should hold")
+	}
+	// Collapse node 3 onto node 1 (the homomorphic image identifying
+	// them). The image of the tuple (0,2,3) is (0,2,1) — and T(0,2,1)
+	// FAILS in the image, because the only path runs through 1.
+	q := graph.New(3)
+	collapse := func(v int) int {
+		if v == 3 {
+			return 1
+		}
+		return v
+	}
+	for _, e := range g.Edges() {
+		q.AddEdge(collapse(e[0]), collapse(e[1]))
+	}
+	qres := MustEval(AvoidingPathProgram(), FromGraph(q))
+	if qres.IDB["T"].Has(Tuple{0, 2, 1}) {
+		t.Fatal("collapse should kill the avoiding path — T is not strongly monotone")
+	}
+	// Consequence (Section 2): were T computed by a PURE Datalog program,
+	// the tuple would survive the collapse; so no pure Datalog program
+	// computes it. Sanity-check the contrast: every pure-Datalog TC tuple
+	// does survive the same collapse.
+	tc := MustEval(TransitiveClosureProgram(), FromGraph(g))
+	qtc := MustEval(TransitiveClosureProgram(), FromGraph(q))
+	for _, tup := range tc.IDB["S"].Tuples() {
+		img := Tuple{collapse(tup[0]), collapse(tup[1])}
+		if !qtc.IDB["S"].Has(img) {
+			t.Fatalf("pure Datalog tuple S%v lost under collapse", tup)
+		}
+	}
+}
+
+func TestDatalogNeqNotPreservedUnderCollapseGenerally(t *testing.T) {
+	// Broader sweep: collapsing the spare node onto an interior path node
+	// breaks T(0,m,spare) for every path length m (they must break —
+	// otherwise inequalities would be eliminable).
+	broken := 0
+	for m := 2; m <= 5; m++ {
+		g := graph.DirectedPath(m + 1) // 0..m
+		spare := g.AddNode()           // m+1, isolated
+		res := MustEval(AvoidingPathProgram(), FromGraph(g))
+		if !res.IDB["T"].Has(Tuple{0, m, spare}) {
+			t.Fatalf("m=%d: setup tuple missing", m)
+		}
+		q := graph.New(m + 1)
+		collapse := func(v int) int {
+			if v == spare {
+				return 1
+			}
+			return v
+		}
+		for _, e := range g.Edges() {
+			q.AddEdge(collapse(e[0]), collapse(e[1]))
+		}
+		qres := MustEval(AvoidingPathProgram(), FromGraph(q))
+		if !qres.IDB["T"].Has(Tuple{0, m, 1}) {
+			broken++
+		}
+	}
+	if broken != 4 {
+		t.Fatalf("expected all 4 collapses to break the tuple, got %d", broken)
+	}
+}

@@ -1,0 +1,206 @@
+package datalog
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Parse parses a Datalog(≠) program in the text syntax:
+//
+//	% transitive closure (Example 2.2)
+//	S(x, y) :- E(x, y).
+//	S(x, y) :- E(x, z), S(z, y).
+//	goal S.
+//
+// Rules end with '.', bodies mix atoms with 'u = v' and 'u != v'
+// constraints, and an optional 'goal P.' directive names the goal
+// predicate (default: the head predicate of the first rule). Variables
+// start with a lowercase letter or '_'; predicate names with an uppercase
+// letter; integer literals denote universe elements.
+func Parse(src string) (*Program, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	prog, err := p.program()
+	if err != nil {
+		return nil, err
+	}
+	if err := Validate(prog); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+// MustParse is Parse that panics on error, for tests and fixed programs.
+func MustParse(src string) *Program {
+	prog, err := Parse(src)
+	if err != nil {
+		panic("datalog: " + err.Error())
+	}
+	return prog
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token         { return p.toks[p.pos] }
+func (p *parser) next() token         { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) at(k tokenKind) bool { return p.toks[p.pos].kind == k }
+
+func (p *parser) expect(k tokenKind) (token, error) {
+	t := p.next()
+	if t.kind != k {
+		return t, fmt.Errorf("line %d: expected %s, found %s %q", t.line, k, t.kind, t.text)
+	}
+	return t, nil
+}
+
+func (p *parser) program() (*Program, error) {
+	prog := &Program{}
+	for !p.at(tokEOF) {
+		t := p.peek()
+		if t.kind == tokIdent && t.text == "goal" {
+			p.next()
+			name, err := p.expect(tokIdent)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokDot); err != nil {
+				return nil, err
+			}
+			if prog.Goal != "" {
+				return nil, fmt.Errorf("line %d: duplicate goal directive", name.line)
+			}
+			prog.Goal = name.text
+			continue
+		}
+		r, err := p.rule()
+		if err != nil {
+			return nil, err
+		}
+		prog.Rules = append(prog.Rules, r)
+	}
+	if len(prog.Rules) == 0 {
+		return nil, fmt.Errorf("program has no rules")
+	}
+	if prog.Goal == "" {
+		prog.Goal = prog.Rules[0].Head.Pred
+	}
+	return prog, nil
+}
+
+func (p *parser) rule() (Rule, error) {
+	head, err := p.atom()
+	if err != nil {
+		return Rule{}, err
+	}
+	r := Rule{Head: head}
+	if p.at(tokDot) {
+		// A fact-like bodyless rule; allowed only with constant args —
+		// Validate rejects unrestricted head variables.
+		p.next()
+		return r, nil
+	}
+	if _, err := p.expect(tokArrow); err != nil {
+		return Rule{}, err
+	}
+	for {
+		item, err := p.bodyItem()
+		if err != nil {
+			return Rule{}, err
+		}
+		r.Body = append(r.Body, item)
+		if p.at(tokComma) {
+			p.next()
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(tokDot); err != nil {
+		return Rule{}, err
+	}
+	return r, nil
+}
+
+func (p *parser) bodyItem() (BodyItem, error) {
+	// Lookahead: ident '(' starts an atom; otherwise a term followed by
+	// = or != starts a constraint.
+	if p.at(tokIdent) && p.toks[p.pos+1].kind == tokLParen && isPredName(p.peek().text) {
+		a, err := p.atom()
+		if err != nil {
+			return BodyItem{}, err
+		}
+		return BodyItem{Atom: &a}, nil
+	}
+	l, err := p.term()
+	if err != nil {
+		return BodyItem{}, err
+	}
+	op := p.next()
+	if op.kind != tokEq && op.kind != tokNeq {
+		return BodyItem{}, fmt.Errorf("line %d: expected '=' or '!=' after term, found %q", op.line, op.text)
+	}
+	r, err := p.term()
+	if err != nil {
+		return BodyItem{}, err
+	}
+	c := Constraint{Left: l, Right: r, Neq: op.kind == tokNeq}
+	return BodyItem{Constraint: &c}, nil
+}
+
+func (p *parser) atom() (Atom, error) {
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return Atom{}, err
+	}
+	if !isPredName(name.text) {
+		return Atom{}, fmt.Errorf("line %d: predicate name %q must start with an uppercase letter", name.line, name.text)
+	}
+	if _, err := p.expect(tokLParen); err != nil {
+		return Atom{}, err
+	}
+	a := Atom{Pred: name.text}
+	for {
+		t, err := p.term()
+		if err != nil {
+			return Atom{}, err
+		}
+		a.Args = append(a.Args, t)
+		if p.at(tokComma) {
+			p.next()
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return Atom{}, err
+	}
+	return a, nil
+}
+
+func (p *parser) term() (Term, error) {
+	t := p.next()
+	switch t.kind {
+	case tokIdent:
+		if isPredName(t.text) {
+			return Term{}, fmt.Errorf("line %d: %q cannot be a variable (uppercase names are predicates)", t.line, t.text)
+		}
+		return V(t.text), nil
+	case tokNumber:
+		v, err := strconv.Atoi(t.text)
+		if err != nil {
+			return Term{}, fmt.Errorf("line %d: bad number %q", t.line, t.text)
+		}
+		return C(v), nil
+	default:
+		return Term{}, fmt.Errorf("line %d: expected term, found %s %q", t.line, t.kind, t.text)
+	}
+}
+
+func isPredName(s string) bool {
+	return len(s) > 0 && s[0] >= 'A' && s[0] <= 'Z'
+}

@@ -1,0 +1,185 @@
+package datalog
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseTransitiveClosure(t *testing.T) {
+	p, err := Parse(`
+		% Example 2.2
+		S(x, y) :- E(x, y).
+		S(x, y) :- E(x, z), S(z, y).
+		goal S.
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Goal != "S" || len(p.Rules) != 2 {
+		t.Fatalf("parsed %d rules, goal %s", len(p.Rules), p.Goal)
+	}
+	if got := p.Rules[1].String(); got != "S(x,y) :- E(x,z), S(z,y)." {
+		t.Fatalf("rule 2 = %q", got)
+	}
+}
+
+func TestParseConstraintsAndArrow(t *testing.T) {
+	p, err := Parse(`
+		T(x,y,w) <- E(x,y), w != x, w != y.
+		T(x,y,w) <- E(x,z), T(z,y,w), w != x.
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Goal != "T" {
+		t.Fatalf("default goal = %s, want first head", p.Goal)
+	}
+	cons := p.Rules[0].Constraints()
+	if len(cons) != 2 || !cons[0].Neq {
+		t.Fatalf("constraints = %v", cons)
+	}
+}
+
+func TestParseEqualityAndConstants(t *testing.T) {
+	p, err := Parse(`
+		P(x) :- E(x, y), y = 3, x != 0.
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cons := p.Rules[0].Constraints()
+	if cons[0].Neq || cons[0].Right.Const != 3 {
+		t.Fatalf("equality parse wrong: %v", cons[0])
+	}
+	if !cons[1].Neq || cons[1].Right.Const != 0 {
+		t.Fatalf("inequality parse wrong: %v", cons[1])
+	}
+}
+
+func TestParseFactRule(t *testing.T) {
+	p, err := Parse(`
+		D(3, 4).
+		D(x, y) :- E(y, z), D(x, z).
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Rules[0].Body) != 0 {
+		t.Fatal("fact rule should have empty body")
+	}
+	if p.Rules[0].Head.Args[0].Const != 3 {
+		t.Fatal("fact constants wrong")
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	p, err := Parse("S(x,y) :- E(x,y). % trailing\n# hash comment\ngoal S.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Rules) != 1 {
+		t.Fatal("comment handling broke rules")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantSub string
+	}{
+		{"empty", "", "no rules"},
+		{"lowercase pred", "s(x) :- E(x,y).", "uppercase"},
+		{"uppercase var", "S(X) :- E(X,y).", "predicate"},
+		{"missing dot", "S(x) :- E(x,y)", "expected"},
+		{"stray bang", "S(x) :- E(x,y), x ! y.", "'!'"},
+		{"stray colon", "S(x) : E(x,y).", "':'"},
+		{"stray less", "S(x) < E(x,y).", "'<'"},
+		{"bad char", "S(x) :- E(x,y) @.", "unexpected character"},
+		{"dup goal", "S(x) :- E(x,y).\ngoal S.\ngoal S.", "duplicate goal"},
+		{"goal not idb", "S(x) :- E(x,y).\ngoal E.", "not an IDB"},
+		{"constraint missing op", "S(x) :- E(x,y), x y.", "expected '=' or '!='"},
+	}
+	for _, tc := range cases {
+		_, err := Parse(tc.src)
+		if err == nil {
+			t.Fatalf("%s: expected error", tc.name)
+		}
+		if !strings.Contains(err.Error(), tc.wantSub) {
+			t.Fatalf("%s: error %q missing %q", tc.name, err, tc.wantSub)
+		}
+	}
+}
+
+func TestParsePrintRoundTrip(t *testing.T) {
+	programs := []*Program{
+		TransitiveClosureProgram(),
+		AvoidingPathProgram(),
+		SameGenerationProgram(),
+		PathSystemsProgram(),
+		QklPrograms(2, 0),
+		TwoDisjointPathsAcyclicProgram(0, 1, 2, 3),
+	}
+	for _, p := range programs {
+		text := p.String()
+		// The builder uses primed variables (x') which the lexer accepts
+		// as identifier characters.
+		q, err := Parse(text)
+		if err != nil {
+			t.Fatalf("reparse failed for:\n%s\nerror: %v", text, err)
+		}
+		if q.String() != text {
+			t.Fatalf("round trip changed program:\n%s\nvs\n%s", text, q.String())
+		}
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustParse("garbage !")
+}
+
+func TestParseDatabase(t *testing.T) {
+	db, err := ParseDatabase(`
+		universe 5
+		E(0, 1).  % edge
+		E(1, 2).
+		A(4).
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.N != 5 {
+		t.Fatalf("universe = %d", db.N)
+	}
+	if db.Relation("E").Size() != 2 || db.Relation("A").Size() != 1 {
+		t.Fatal("fact counts wrong")
+	}
+	if !db.Relation("E").Has(Tuple{0, 1}) {
+		t.Fatal("missing fact")
+	}
+	names := db.Names()
+	if len(names) != 2 || names[0] != "A" {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestParseDatabaseErrors(t *testing.T) {
+	cases := []string{
+		"E(0,1).",                // no universe
+		"universe 3\nuniverse 4", // duplicate
+		"universe x",             // bad size
+		"universe 3\nE(0, 5).",   // out of range
+		"universe 3\nE(0, q).",   // bad element
+		"universe 3\nnonsense",   // bad fact
+		"universe 3\nE().",       // no args
+		"",                       // empty
+	}
+	for _, src := range cases {
+		if _, err := ParseDatabase(src); err == nil {
+			t.Fatalf("expected error for %q", src)
+		}
+	}
+}

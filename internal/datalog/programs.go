@@ -1,0 +1,286 @@
+package datalog
+
+import "fmt"
+
+// This file collects the concrete Datalog(≠) programs that appear in the
+// paper, built programmatically so the experiments can reference them.
+
+// TransitiveClosureProgram returns the program π₂ of Example 2.2:
+//
+//	S(x,y) :- E(x,y).
+//	S(x,y) :- E(x,z), S(z,y).
+func TransitiveClosureProgram() *Program {
+	return &Program{
+		Goal: "S",
+		Rules: []Rule{
+			NewRule(NewAtom("S", V("x"), V("y")), NewAtom("E", V("x"), V("y"))),
+			NewRule(NewAtom("S", V("x"), V("y")), NewAtom("E", V("x"), V("z")), NewAtom("S", V("z"), V("y"))),
+		},
+	}
+}
+
+// AvoidingPathProgram returns the program π₁ of Example 2.1, computing
+// T(x,y,w) = "there is a w-avoiding path from x to y":
+//
+//	T(x,y,w) :- E(x,y), w != x, w != y.
+//	T(x,y,w) :- E(x,z), T(z,y,w), w != x.
+func AvoidingPathProgram() *Program {
+	return &Program{
+		Goal: "T",
+		Rules: []Rule{
+			NewRule(NewAtom("T", V("x"), V("y"), V("w")),
+				NewAtom("E", V("x"), V("y")), Neq(V("w"), V("x")), Neq(V("w"), V("y"))),
+			NewRule(NewAtom("T", V("x"), V("y"), V("w")),
+				NewAtom("E", V("x"), V("z")), NewAtom("T", V("z"), V("y"), V("w")), Neq(V("w"), V("x"))),
+		},
+	}
+}
+
+// SameGenerationProgram returns the classic same-generation program, a
+// standard Datalog benchmark workload:
+//
+//	SG(x,y) :- Flat(x,y).
+//	SG(x,y) :- Up(x,u), SG(u,v), Down(v,y).
+func SameGenerationProgram() *Program {
+	return &Program{
+		Goal: "SG",
+		Rules: []Rule{
+			NewRule(NewAtom("SG", V("x"), V("y")), NewAtom("Flat", V("x"), V("y"))),
+			NewRule(NewAtom("SG", V("x"), V("y")),
+				NewAtom("Up", V("x"), V("u")), NewAtom("SG", V("u"), V("v")), NewAtom("Down", V("v"), V("y"))),
+		},
+	}
+}
+
+// PathSystemsProgram returns the PTIME-complete path systems query of
+// [Coo74] mentioned in the introduction: accessibility in a system where
+// R(x,y,z) makes x accessible from accessible y and z, seeded by A(x).
+//
+//	Acc(x) :- A(x).
+//	Acc(x) :- R(x,y,z), Acc(y), Acc(z).
+func PathSystemsProgram() *Program {
+	return &Program{
+		Goal: "Acc",
+		Rules: []Rule{
+			NewRule(NewAtom("Acc", V("x")), NewAtom("A", V("x"))),
+			NewRule(NewAtom("Acc", V("x")),
+				NewAtom("R", V("x"), V("y"), V("z")), NewAtom("Acc", V("y")), NewAtom("Acc", V("z"))),
+		},
+	}
+}
+
+// TwoDisjointPathsAcyclicProgram returns the D(x,y) program from the proof
+// of Theorem 6.2, which on acyclic inputs decides whether there are
+// node-disjoint simple paths s1→t1 and s2→t2. The four distinguished nodes
+// are passed as universe elements and inlined as constant terms.
+//
+//	D(t1, t2).                                        (seed, inlined)
+//	D(x,y) :- E(y,y'), D(x,y'), x != y, y != s1, y != t1, y != t2, y' != s2.
+//	D(x,y) :- E(x,x'), D(x',y), x != y, y != s2, y != t2, y != t1, x' != s1.
+//	Goal: D(s1, s2).
+//
+// The seed is encoded as a rule with constant head arguments. The paper
+// writes the x-side conditions symmetrically to the y-side ones; the
+// generated program mirrors its text (with the roles of the pebbles p1/p2
+// on columns x/y).
+func TwoDisjointPathsAcyclicProgram(s1, t1, s2, t2 int) *Program {
+	x, y, xp, yp := V("x"), V("y"), V("x'"), V("y'")
+	return &Program{
+		Goal: "D",
+		Rules: []Rule{
+			// Seed D(t1,t2): encoded with always-true ground equalities to
+			// keep the rule body non-empty (bodyless rules with constant
+			// heads are also accepted by the engine; the equality form
+			// keeps pretty-printed output close to the paper's).
+			NewRule(NewAtom("D", C(t1), C(t2)), Eq(C(t1), C(t1))),
+			NewRule(NewAtom("D", x, y),
+				NewAtom("E", y, yp), NewAtom("D", x, yp),
+				Neq(x, y), Neq(y, C(s1)), Neq(y, C(t1)), Neq(y, C(t2)), Neq(yp, C(s2))),
+			NewRule(NewAtom("D", x, y),
+				NewAtom("E", x, xp), NewAtom("D", xp, y),
+				Neq(x, y), Neq(x, C(s2)), Neq(x, C(t2)), Neq(x, C(t1)), Neq(xp, C(s1))),
+		},
+	}
+}
+
+// DisjointPathsAcyclicProgram generalizes the Theorem 6.2 construction —
+// the paper demonstrates the two-disjoint-paths case and "leaves the
+// general case to the reader" — to k pairwise node-disjoint simple paths
+// s_i → t_i on acyclic inputs, for patterns of k disjoint edges (all 2k
+// distinguished nodes distinct). The IDB D has one argument per pebble;
+// a pebble "rests" at its target to encode removal, and the inequalities
+// transcribe the game's movement rules:
+//
+//   - the moved pebble's pre-move position avoids every distinguished
+//     node except its own start, and every other pebble's position;
+//   - its post-move position avoids every distinguished node except its
+//     own target (where it rests); distinctness from the other pebbles'
+//     positions holds inductively at the derived-from tuple.
+//
+// Player II wins the game iff D(s_1..s_k) is derivable; on DAGs that is
+// exactly the homeomorphism query (Theorem 6.2). The k = 2 instance
+// coincides with the paper's displayed program up to the conservative
+// extra inequalities.
+func DisjointPathsAcyclicProgram(starts, targets []int) *Program {
+	k := len(starts)
+	if k == 0 || len(targets) != k {
+		panic("datalog: DisjointPathsAcyclicProgram wants matching nonempty starts/targets")
+	}
+	prog := &Program{Goal: "D"}
+	// Seed: all pebbles resting at their targets.
+	seedArgs := make([]Term, k)
+	for i, t := range targets {
+		seedArgs[i] = C(t)
+	}
+	prog.Rules = append(prog.Rules, NewRule(NewAtom("D", seedArgs...), Eq(C(targets[0]), C(targets[0]))))
+	xs := make([]Term, k)
+	for i := range xs {
+		xs[i] = V(fmt.Sprintf("x%d", i+1))
+	}
+	for i := 0; i < k; i++ {
+		moved := V(fmt.Sprintf("x%d'", i+1))
+		headArgs := append([]Term{}, xs...)
+		prevArgs := append([]Term{}, xs...)
+		prevArgs[i] = moved
+		body := []interface{}{
+			NewAtom("E", xs[i], moved),
+			NewAtom("D", prevArgs...),
+		}
+		for j := 0; j < k; j++ {
+			if j != i {
+				body = append(body, Neq(xs[i], xs[j]))
+			}
+		}
+		for j := 0; j < k; j++ {
+			body = append(body, Neq(xs[i], C(targets[j])))
+			if j != i {
+				body = append(body, Neq(xs[i], C(starts[j])))
+			}
+		}
+		for j := 0; j < k; j++ {
+			body = append(body, Neq(moved, C(starts[j])))
+			if j != i {
+				body = append(body, Neq(moved, C(targets[j])))
+			}
+		}
+		prog.Rules = append(prog.Rules, NewRule(NewAtom("D", headArgs...), body...))
+	}
+	return prog
+}
+
+// QklPrograms builds the inductive family of Theorem 6.1. The returned
+// program defines, for every j in 1..k, the IDB predicate Qj with
+// arguments (s, s_1..s_j, t_1..t_l'), where l' = l + (k-j), expressing
+// "there are j node-disjoint simple {t_1..t_l'}-avoiding paths from s to
+// s_1..s_j". The goal predicate is Qk with l avoided nodes.
+//
+// Construction (paper, proof of Theorem 6.1):
+//
+//	Q1_l(s,s1,t1..tl) :- E(s,s1), s != t_i, s1 != t_i   (all i)
+//	Q1_l(s,s1,t1..tl) :- Q1_l(s,w,t1..tl), E(w,s1), s1 != t_i (all i)
+//
+//	Qk_l(s,s1..sk,t..) :- E(s,sk),        Qk-1_{l+1}(s,s1..sk-1, sk,t..)
+//	Qk_l(s,s1..sk,t..) :- Qk_l(s,s1..,w,t..), E(w,sk), Qk-1_{l+1}(s,s1..sk-1, w,t..)
+//
+// Note the second rule's final Q(k-1) atom avoids w (the path prefix node),
+// exactly as in the paper's inductive step.
+func QklPrograms(k, l int) *Program {
+	if k < 1 {
+		panic("datalog: QklPrograms needs k >= 1")
+	}
+	prog := &Program{Goal: qName(k)}
+	// For predicate Qj used at avoid-arity l+(k-j), generate its rules.
+	for j := 1; j <= k; j++ {
+		avoid := l + (k - j)
+		prog.Rules = append(prog.Rules, qRules(j, avoid)...)
+	}
+	return prog
+}
+
+func qName(j int) string { return fmt.Sprintf("Q%d", j) }
+
+// qVars returns (s, s1..sj, t1..tavoid) as terms.
+func qArgs(j, avoid int, w *Term) []Term {
+	args := []Term{V("s")}
+	for i := 1; i <= j; i++ {
+		args = append(args, V(fmt.Sprintf("s%d", i)))
+	}
+	if w != nil {
+		args = append(args, *w)
+	}
+	for i := 1; i <= avoid; i++ {
+		args = append(args, V(fmt.Sprintf("t%d", i)))
+	}
+	return args
+}
+
+func qRules(j, avoid int) []Rule {
+	head := NewAtom(qName(j), qArgs(j, avoid, nil)...)
+	sj := V(fmt.Sprintf("s%d", j))
+	var avoidTerms []Term
+	for i := 1; i <= avoid; i++ {
+		avoidTerms = append(avoidTerms, V(fmt.Sprintf("t%d", i)))
+	}
+	if j == 1 {
+		// Base program Q1: the avoiding-path query (Example 2.1
+		// generalized to avoid sets).
+		var base []interface{}
+		base = append(base, NewAtom("E", V("s"), V("s1")))
+		for _, t := range avoidTerms {
+			base = append(base, Neq(V("s"), t), Neq(V("s1"), t))
+		}
+		r1 := NewRule(head, base...)
+		var rec []interface{}
+		rec = append(rec, NewAtom(qName(1), qArgsReplaceLast(1, avoid, V("w"))...))
+		rec = append(rec, NewAtom("E", V("w"), V("s1")))
+		for _, t := range avoidTerms {
+			rec = append(rec, Neq(V("s1"), t))
+		}
+		r2 := NewRule(head, rec...)
+		return []Rule{r1, r2}
+	}
+	// Inductive step for Qj in terms of Q(j-1) with one extra avoided node.
+	// Sub-atom Q(j-1)_{avoid+1}(s, s1..s(j-1), extra, t1..tavoid).
+	sub := func(extra Term) Atom {
+		args := []Term{V("s")}
+		for i := 1; i < j; i++ {
+			args = append(args, V(fmt.Sprintf("s%d", i)))
+		}
+		args = append(args, extra)
+		args = append(args, avoidTerms...)
+		return NewAtom(qName(j-1), args...)
+	}
+	// The paper's displayed rules elide the inequalities keeping the
+	// traced path's endpoint off the avoided nodes (they are explicit in
+	// its Q1 program); we state them, since without "sj != t_i" the head
+	// could report a path ending on an avoided node.
+	base := []interface{}{NewAtom("E", V("s"), sj), sub(sj)}
+	for _, t := range avoidTerms {
+		base = append(base, Neq(sj, t))
+	}
+	r1 := NewRule(head, base...)
+	rec := []interface{}{
+		NewAtom(qName(j), qArgsReplaceLast(j, avoid, V("w"))...),
+		NewAtom("E", V("w"), sj),
+		sub(sj),
+	}
+	for _, t := range avoidTerms {
+		rec = append(rec, Neq(sj, t))
+	}
+	r2 := NewRule(head, rec...)
+	return []Rule{r1, r2}
+}
+
+// qArgsReplaceLast returns (s, s1..s(j-1), w, t1..tavoid): the head args
+// with the last path endpoint replaced by the walker variable w.
+func qArgsReplaceLast(j, avoid int, w Term) []Term {
+	args := []Term{V("s")}
+	for i := 1; i < j; i++ {
+		args = append(args, V(fmt.Sprintf("s%d", i)))
+	}
+	args = append(args, w)
+	for i := 1; i <= avoid; i++ {
+		args = append(args, V(fmt.Sprintf("t%d", i)))
+	}
+	return args
+}

@@ -1,0 +1,210 @@
+package datalog
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/flow"
+	"repro/internal/graph"
+)
+
+// splitSource returns g with k fresh source copies of s (sharing s's
+// out-edges), so brute-force fully-disjoint path search can model k paths
+// that share only s.
+func splitSource(g *graph.Graph, s, k int) (*graph.Graph, []int) {
+	gg := g.Clone()
+	var srcs []int
+	for i := 0; i < k; i++ {
+		c := gg.AddNode()
+		for _, y := range g.Out(s) {
+			gg.AddEdge(c, y)
+		}
+		srcs = append(srcs, c)
+	}
+	return gg, srcs
+}
+
+func TestQ1IsAvoidingPath(t *testing.T) {
+	// Q1 with one avoided node must agree with the T program of
+	// Example 2.1 (modulo argument order: Q1(s,s1,t1) vs T(x,y,w)).
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 10; trial++ {
+		g := graph.Random(6, 0.3, rng)
+		db := FromGraph(g)
+		q := MustEval(QklPrograms(1, 1), db)
+		tt := MustEval(AvoidingPathProgram(), db)
+		if q.IDB["Q1"].Size() != tt.IDB["T"].Size() {
+			t.Fatalf("trial %d: |Q1| = %d, |T| = %d", trial, q.IDB["Q1"].Size(), tt.IDB["T"].Size())
+		}
+		for _, tup := range tt.IDB["T"].Tuples() {
+			if !q.IDB["Q1"].Has(tup) {
+				t.Fatalf("trial %d: Q1 missing %v", trial, tup)
+			}
+		}
+	}
+}
+
+func TestQ2AgainstBruteForceAndFlow(t *testing.T) {
+	// Theorem 6.1 for k=2, l=0: Q2(s,s1,s2) iff two node-disjoint simple
+	// paths from s to s1 and s to s2 (sharing only s).
+	rng := rand.New(rand.NewSource(22))
+	prog := QklPrograms(2, 0)
+	for trial := 0; trial < 30; trial++ {
+		g := graph.Random(6, 0.3, rng)
+		res := MustEval(prog, FromGraph(g))
+		goal := res.IDB["Q2"]
+		for s := 0; s < g.N(); s++ {
+			for s1 := 0; s1 < g.N(); s1++ {
+				for s2 := 0; s2 < g.N(); s2++ {
+					if s == s1 || s == s2 || s1 == s2 {
+						continue
+					}
+					got := goal.Has(Tuple{s, s1, s2})
+					gg, srcs := splitSource(g, s, 2)
+					want := gg.DisjointSimplePaths(srcs, []int{s1, s2})
+					if got != want {
+						t.Fatalf("trial %d: Q2(%d,%d,%d) = %v, brute force %v\n%s",
+							trial, s, s1, s2, got, want, g)
+					}
+					// Cross-check with the flow oracle.
+					if flowSays := flow.FanOutCount(g, s, []int{s1, s2}) == 2; flowSays != want {
+						t.Fatalf("trial %d: flow %v vs brute %v at (%d,%d,%d)",
+							trial, flowSays, want, s, s1, s2)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestQ2WithAvoidedNode(t *testing.T) {
+	// Q2 with l=1: two disjoint paths that additionally avoid t1.
+	rng := rand.New(rand.NewSource(23))
+	prog := QklPrograms(2, 1)
+	for trial := 0; trial < 15; trial++ {
+		g := graph.Random(6, 0.35, rng)
+		res := MustEval(prog, FromGraph(g))
+		goal := res.IDB["Q2"]
+		for s := 0; s < g.N(); s++ {
+			for s1 := 0; s1 < g.N(); s1++ {
+				for s2 := 0; s2 < g.N(); s2++ {
+					for t1 := 0; t1 < g.N(); t1++ {
+						if s == s1 || s == s2 || s1 == s2 ||
+							t1 == s || t1 == s1 || t1 == s2 {
+							continue
+						}
+						got := goal.Has(Tuple{s, s1, s2, t1})
+						// Brute force on the graph with t1 removed.
+						gg := g.Clone()
+						for _, y := range g.Out(t1) {
+							gg.RemoveEdge(t1, y)
+						}
+						for _, y := range g.In(t1) {
+							gg.RemoveEdge(y, t1)
+						}
+						g2, srcs := splitSource(gg, s, 2)
+						want := g2.DisjointSimplePaths(srcs, []int{s1, s2})
+						if got != want {
+							t.Fatalf("trial %d: Q2(%d,%d,%d avoid %d) = %v, want %v\n%s",
+								trial, s, s1, s2, t1, got, want, g)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestQ3SmallGraphs(t *testing.T) {
+	// Theorem 6.1 for k=3 on small random graphs.
+	rng := rand.New(rand.NewSource(24))
+	prog := QklPrograms(3, 0)
+	for trial := 0; trial < 6; trial++ {
+		g := graph.Random(6, 0.4, rng)
+		res := MustEval(prog, FromGraph(g))
+		goal := res.IDB["Q3"]
+		s := 0
+		for s1 := 1; s1 < g.N(); s1++ {
+			for s2 := 1; s2 < g.N(); s2++ {
+				for s3 := 1; s3 < g.N(); s3++ {
+					if s1 == s2 || s1 == s3 || s2 == s3 {
+						continue
+					}
+					got := goal.Has(Tuple{s, s1, s2, s3})
+					gg, srcs := splitSource(g, s, 3)
+					want := gg.DisjointSimplePaths(srcs, []int{s1, s2, s3})
+					if got != want {
+						t.Fatalf("trial %d: Q3(%d,%d,%d,%d) = %v, want %v\n%s",
+							trial, s, s1, s2, s3, got, want, g)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestAcyclicDisjointPathsProgram(t *testing.T) {
+	// Theorem 6.2's D program decides two-disjoint-paths on DAG inputs.
+	rng := rand.New(rand.NewSource(25))
+	for trial := 0; trial < 60; trial++ {
+		g := graph.RandomDAG(8, 0.3, rng)
+		// Pick 4 distinct distinguished nodes.
+		perm := rng.Perm(8)
+		s1, t1, s2, t2 := perm[0], perm[1], perm[2], perm[3]
+		prog := TwoDisjointPathsAcyclicProgram(s1, t1, s2, t2)
+		res := MustEval(prog, FromGraph(g))
+		got := res.IDB["D"].Has(Tuple{s1, s2})
+		want := g.TwoDisjointPaths(s1, t1, s2, t2)
+		if got != want {
+			t.Fatalf("trial %d: D(s1,s2) = %v, brute force %v\ns1=%d t1=%d s2=%d t2=%d\n%s",
+				trial, got, want, s1, t1, s2, t2, g)
+		}
+	}
+}
+
+func TestAcyclicProgramOnLayeredDAGs(t *testing.T) {
+	rng := rand.New(rand.NewSource(26))
+	for trial := 0; trial < 20; trial++ {
+		g := graph.LayeredDAG(4, 3, 0.5, rng)
+		n := g.N()
+		s1, s2 := 0, 1
+		t1, t2 := n-1, n-2
+		prog := TwoDisjointPathsAcyclicProgram(s1, t1, s2, t2)
+		res := MustEval(prog, FromGraph(g))
+		got := res.IDB["D"].Has(Tuple{s1, s2})
+		want := g.TwoDisjointPaths(s1, t1, s2, t2)
+		if got != want {
+			t.Fatalf("trial %d: D = %v, want %v\n%s", trial, got, want, g)
+		}
+	}
+}
+
+func TestQklProgramShape(t *testing.T) {
+	p := QklPrograms(3, 1)
+	if p.Goal != "Q3" {
+		t.Fatalf("goal = %s", p.Goal)
+	}
+	info := Analyze(p)
+	// Q1 has avoid-arity 1+(3-1)=3 → arity 2+3=5; Q2: 1+1=2 avoided → arity 3+2=5;
+	// Q3: 1 avoided → arity 4+1=5.
+	for _, name := range []string{"Q1", "Q2", "Q3"} {
+		if info.Arity[name] != 5 {
+			t.Fatalf("arity[%s] = %d, want 5", name, info.Arity[name])
+		}
+	}
+	if !info.UsesNeq {
+		t.Fatal("Qkl must use inequalities")
+	}
+	if err := Validate(p); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQklPanicsOnBadK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	QklPrograms(0, 0)
+}

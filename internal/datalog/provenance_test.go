@@ -1,0 +1,150 @@
+package datalog
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func evalProv(t *testing.T, p *Program, db *Database, semi bool) *Result {
+	t.Helper()
+	res, err := Eval(p, db, Options{SemiNaive: semi, UseIndexes: true, TrackProvenance: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestProveTransitiveClosure(t *testing.T) {
+	g := graph.DirectedPath(5)
+	p := TransitiveClosureProgram()
+	for _, semi := range []bool{true, false} {
+		res := evalProv(t, p, FromGraph(g), semi)
+		proof, err := res.Prove(p, "S", Tuple{0, 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The proof's EDB leaves must be exactly the path edges, in order.
+		leaves := proof.Leaves()
+		if len(leaves) != 4 {
+			t.Fatalf("semi=%v: %d leaves, want 4:\n%s", semi, len(leaves), proof)
+		}
+		for i, f := range leaves {
+			if f.Pred != "E" || f.Tuple[0] != i || f.Tuple[1] != i+1 {
+				t.Fatalf("semi=%v: leaf %d = %s, want E(%d,%d)", semi, i, f, i, i+1)
+			}
+		}
+		if proof.Size() != 4 {
+			t.Fatalf("rule applications = %d, want 4", proof.Size())
+		}
+		if !strings.Contains(proof.String(), "[rule 2]") {
+			t.Fatalf("rendering lacks rule info:\n%s", proof)
+		}
+	}
+}
+
+func TestProveExtractsWitnessPath(t *testing.T) {
+	// The proof of S(s,t) IS a path from s to t — extract and validate it
+	// on random graphs.
+	rng := rand.New(rand.NewSource(13))
+	p := TransitiveClosureProgram()
+	for trial := 0; trial < 15; trial++ {
+		g := graph.Random(7, 0.25, rng)
+		res := evalProv(t, p, FromGraph(g), true)
+		for _, tup := range res.IDB["S"].Tuples() {
+			proof, err := res.Prove(p, "S", tup)
+			if err != nil {
+				t.Fatal(err)
+			}
+			leaves := proof.Leaves()
+			// Leaves form a contiguous edge walk from tup[0] to tup[1].
+			if leaves[0].Tuple[0] != tup[0] || leaves[len(leaves)-1].Tuple[1] != tup[1] {
+				t.Fatalf("walk endpoints wrong: %v for S%v", leaves, tup)
+			}
+			for i := 0; i+1 < len(leaves); i++ {
+				if leaves[i].Tuple[1] != leaves[i+1].Tuple[0] {
+					t.Fatalf("walk broken at %d: %v", i, leaves)
+				}
+			}
+			for _, f := range leaves {
+				if !g.HasEdge(f.Tuple[0], f.Tuple[1]) {
+					t.Fatalf("phantom edge %s", f)
+				}
+			}
+		}
+	}
+}
+
+func TestProveAvoidingPathRespectsConstraint(t *testing.T) {
+	// The witness walk for T(x,y,w) must avoid w entirely.
+	rng := rand.New(rand.NewSource(14))
+	p := AvoidingPathProgram()
+	for trial := 0; trial < 10; trial++ {
+		g := graph.Random(6, 0.3, rng)
+		res := evalProv(t, p, FromGraph(g), true)
+		for _, tup := range res.IDB["T"].Tuples() {
+			proof, err := res.Prove(p, "T", tup)
+			if err != nil {
+				t.Fatal(err)
+			}
+			w := tup[2]
+			for _, f := range proof.Leaves() {
+				if f.Tuple[0] == w || f.Tuple[1] == w {
+					t.Fatalf("witness for T%v touches the avoided node: %s", tup, f)
+				}
+			}
+		}
+	}
+}
+
+func TestProveWithoutTrackingFails(t *testing.T) {
+	res := MustEval(TransitiveClosureProgram(), FromGraph(graph.DirectedPath(3)))
+	if _, err := res.Prove(TransitiveClosureProgram(), "S", Tuple{0, 2}); err == nil {
+		t.Fatal("Prove must fail without TrackProvenance")
+	}
+}
+
+func TestProveUnknownTupleFails(t *testing.T) {
+	p := TransitiveClosureProgram()
+	res := evalProv(t, p, FromGraph(graph.DirectedPath(3)), true)
+	if _, err := res.Prove(p, "S", Tuple{2, 0}); err == nil {
+		t.Fatal("underivable tuple must have no proof")
+	}
+}
+
+func TestProvenanceWellFounded(t *testing.T) {
+	// Proof trees terminate even on cyclic graphs (stage-minimal first
+	// derivations cannot be circular).
+	g := graph.DirectedCycle(5)
+	p := TransitiveClosureProgram()
+	res := evalProv(t, p, FromGraph(g), true)
+	for _, tup := range res.IDB["S"].Tuples() {
+		proof, err := res.Prove(p, "S", tup)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if proof.Size() > 25 {
+			t.Fatalf("suspiciously large proof (%d) for S%v", proof.Size(), tup)
+		}
+	}
+}
+
+func TestProveMutualRecursion(t *testing.T) {
+	p := MustParse(`
+		Odd(x, y) :- E(x, y).
+		Odd(x, y) :- E(x, z), Even(z, y).
+		Even(x, y) :- E(x, z), Odd(z, y).
+		goal Even.
+	`)
+	g := graph.DirectedPath(5)
+	res := evalProv(t, p, FromGraph(g), true)
+	proof, err := res.Prove(p, "Even", Tuple{0, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(proof.Leaves()) != 4 {
+		t.Fatalf("Even(0,4) should unfold into 4 edges:\n%s", proof)
+	}
+}

@@ -1,0 +1,181 @@
+package datalog
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+// askAll fully enumerates an IDB through the top-down engine with an
+// unbound goal and compares with the bottom-up fixpoint.
+func compareEngines(t *testing.T, p *Program, db *Database, pred string) {
+	t.Helper()
+	bottomUp := MustEval(p, db.Clone())
+	td, err := NewTopDown(p, db.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	goal := NewGoal(pred, p.Arities()[pred], nil)
+	answers := td.Ask(goal)
+	if len(answers) != bottomUp.IDB[pred].Size() {
+		t.Fatalf("%s: top-down %d tuples, bottom-up %d", pred, len(answers), bottomUp.IDB[pred].Size())
+	}
+	for _, a := range answers {
+		if !bottomUp.IDB[pred].Has(a) {
+			t.Fatalf("%s: top-down derived extra tuple %v", pred, a)
+		}
+	}
+}
+
+func TestTopDownTransitiveClosure(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	for trial := 0; trial < 15; trial++ {
+		g := graph.Random(7, 0.25, rng)
+		compareEngines(t, TransitiveClosureProgram(), FromGraph(g), "S")
+	}
+}
+
+func TestTopDownAvoidingPath(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 8; trial++ {
+		g := graph.Random(6, 0.3, rng)
+		compareEngines(t, AvoidingPathProgram(), FromGraph(g), "T")
+	}
+}
+
+func TestTopDownQ2(t *testing.T) {
+	rng := rand.New(rand.NewSource(18))
+	for trial := 0; trial < 5; trial++ {
+		g := graph.Random(6, 0.3, rng)
+		compareEngines(t, QklPrograms(2, 0), FromGraph(g), "Q2")
+	}
+}
+
+func TestTopDownMutualRecursion(t *testing.T) {
+	p := MustParse(`
+		Odd(x, y) :- E(x, y).
+		Odd(x, y) :- E(x, z), Even(z, y).
+		Even(x, y) :- E(x, z), Odd(z, y).
+		goal Even.
+	`)
+	rng := rand.New(rand.NewSource(19))
+	for trial := 0; trial < 8; trial++ {
+		g := graph.Random(6, 0.3, rng)
+		compareEngines(t, p, FromGraph(g), "Even")
+		compareEngines(t, p, FromGraph(g), "Odd")
+	}
+}
+
+func TestTopDownSelectiveGoal(t *testing.T) {
+	// A bound goal returns exactly the matching slice of the fixpoint.
+	g := graph.DirectedPath(8)
+	p := TransitiveClosureProgram()
+	bottomUp := MustEval(p, FromGraph(g))
+	td, err := NewTopDown(p, FromGraph(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// S(3, ?): everything reachable from 3.
+	answers := td.Ask(NewGoal("S", 2, map[int]int{0: 3}))
+	want := 0
+	for _, tup := range bottomUp.IDB["S"].Tuples() {
+		if tup[0] == 3 {
+			want++
+			found := false
+			for _, a := range answers {
+				if a[1] == tup[1] {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("missing S%v", tup)
+			}
+		}
+	}
+	if len(answers) != want {
+		t.Fatalf("got %d answers, want %d", len(answers), want)
+	}
+	// Fully bound goal: membership test.
+	if got := td.Ask(NewGoal("S", 2, map[int]int{0: 0, 1: 7})); len(got) != 1 {
+		t.Fatalf("S(0,7) should hold, got %v", got)
+	}
+	if got := td.Ask(NewGoal("S", 2, map[int]int{0: 7, 1: 0})); len(got) != 0 {
+		t.Fatalf("S(7,0) should fail, got %v", got)
+	}
+}
+
+func TestTopDownEDBGoal(t *testing.T) {
+	g := graph.DirectedPath(4)
+	td, err := NewTopDown(TransitiveClosureProgram(), FromGraph(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	answers := td.Ask(NewGoal("E", 2, map[int]int{0: 1}))
+	if len(answers) != 1 || answers[0][1] != 2 {
+		t.Fatalf("EDB goal wrong: %v", answers)
+	}
+}
+
+func TestTopDownConstantsInRules(t *testing.T) {
+	p := MustParse(`
+		D(3, 4).
+		D(x, y) :- E(x, z), D(z, y).
+	`)
+	db := NewDatabase(6)
+	db.AddFact("E", 1, 3)
+	db.AddFact("E", 0, 1)
+	compareEngines(t, p, db, "D")
+}
+
+func TestTopDownAcyclicDProgram(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	for trial := 0; trial < 6; trial++ {
+		g := graph.RandomDAG(7, 0.35, rng)
+		perm := rng.Perm(7)
+		p := TwoDisjointPathsAcyclicProgram(perm[0], perm[1], perm[2], perm[3])
+		compareEngines(t, p, FromGraph(g), "D")
+	}
+}
+
+func TestQuickTopDownEquivalentToBottomUp(t *testing.T) {
+	prop := func(seed int64) bool {
+		g := graph.Random(6, 0.3, rand.New(rand.NewSource(seed)))
+		db := FromGraph(g)
+		p := TransitiveClosureProgram()
+		bu := MustEval(p, db.Clone())
+		td, err := NewTopDown(p, db.Clone())
+		if err != nil {
+			return false
+		}
+		got := td.Ask(NewGoal("S", 2, nil))
+		if len(got) != bu.IDB["S"].Size() {
+			return false
+		}
+		for _, tup := range got {
+			if !bu.IDB["S"].Has(tup) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTopDownCallCountSelective(t *testing.T) {
+	// A fully bound goal on a long path should make far fewer subgoal
+	// calls than full enumeration.
+	g := graph.DirectedPath(30)
+	p := TransitiveClosureProgram()
+	tdFull, _ := NewTopDown(p, FromGraph(g))
+	tdFull.Ask(NewGoal("S", 2, nil))
+	full := tdFull.Calls
+	tdSel, _ := NewTopDown(p, FromGraph(g))
+	tdSel.Ask(NewGoal("S", 2, map[int]int{0: 28, 1: 29}))
+	if tdSel.Calls >= full {
+		t.Fatalf("selective goal made %d calls, full %d", tdSel.Calls, full)
+	}
+}

@@ -1,0 +1,163 @@
+package datalog
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Validate checks the static well-formedness of a program:
+//
+//   - every predicate is used with a consistent arity;
+//   - the goal predicate (when set) is an IDB;
+//   - no EDB predicate occurs in a rule head (guaranteed by construction)
+//     and the IDB/EDB split is well defined;
+//   - head variables are either bound by a body atom or constrained only
+//     by =/≠ (the paper's semantics lets them range over the universe, so
+//     unlike classical safe Datalog we do NOT require range restriction —
+//     but we do reject rules whose head variable set makes the rule derive
+//     nothing, e.g. an equality chain forcing two distinct constants).
+//
+// Programs with unbound ("universe-ranging") variables are flagged in the
+// returned Info of Analyze, not rejected.
+func Validate(p *Program) error {
+	if len(p.Rules) == 0 {
+		return fmt.Errorf("datalog: program has no rules")
+	}
+	arity := map[string]int{}
+	check := func(a Atom, where string) error {
+		if len(a.Args) == 0 {
+			return fmt.Errorf("datalog: %s: atom %s has no arguments", where, a.Pred)
+		}
+		if old, ok := arity[a.Pred]; ok && old != len(a.Args) {
+			return fmt.Errorf("datalog: %s: predicate %s used with arities %d and %d", where, a.Pred, old, len(a.Args))
+		}
+		arity[a.Pred] = len(a.Args)
+		return nil
+	}
+	for i, r := range p.Rules {
+		where := fmt.Sprintf("rule %d (%s)", i+1, r.Head.Pred)
+		if err := check(r.Head, where); err != nil {
+			return err
+		}
+		for _, a := range r.Atoms() {
+			if err := check(a, where); err != nil {
+				return err
+			}
+		}
+		for _, c := range r.Constraints() {
+			if !c.Left.IsVar() && !c.Right.IsVar() {
+				// Ground constraint: statically decidable; reject the
+				// trivially false ones as likely bugs.
+				holds := (c.Left.Const == c.Right.Const) != c.Neq
+				if !holds {
+					return fmt.Errorf("datalog: %s: constraint %s is always false", where, c)
+				}
+			}
+		}
+	}
+	idb := p.IDBs()
+	if p.Goal != "" && !idb[p.Goal] {
+		return fmt.Errorf("datalog: goal predicate %s is not an IDB", p.Goal)
+	}
+	return nil
+}
+
+// Info summarizes the static analysis of a program.
+type Info struct {
+	IDBs        []string
+	EDBs        []string
+	Arity       map[string]int
+	Recursive   bool     // some IDB depends on itself (directly or not)
+	UnboundVars []string // "rule#i:v" entries where v is not bound by any body atom
+	UsesNeq     bool
+	UsesEq      bool
+	MaxRuleVars int // max distinct variables in a single rule (the paper's l)
+	GoalArity   int
+}
+
+// Analyze computes Info for a validated program.
+func Analyze(p *Program) Info {
+	info := Info{Arity: p.Arities()}
+	idb := p.IDBs()
+	for name := range idb {
+		info.IDBs = append(info.IDBs, name)
+	}
+	for name := range p.EDBs() {
+		info.EDBs = append(info.EDBs, name)
+	}
+	sort.Strings(info.IDBs)
+	sort.Strings(info.EDBs)
+	// Dependency graph over IDBs.
+	deps := map[string]map[string]bool{}
+	for _, r := range p.Rules {
+		if deps[r.Head.Pred] == nil {
+			deps[r.Head.Pred] = map[string]bool{}
+		}
+		for _, a := range r.Atoms() {
+			if idb[a.Pred] {
+				deps[r.Head.Pred][a.Pred] = true
+			}
+		}
+	}
+	info.Recursive = hasCycle(deps)
+	for i, r := range p.Rules {
+		bound := map[string]bool{}
+		for _, a := range r.Atoms() {
+			for _, t := range a.Args {
+				if t.IsVar() {
+					bound[t.Var] = true
+				}
+			}
+		}
+		for _, v := range r.Vars() {
+			if !bound[v] {
+				info.UnboundVars = append(info.UnboundVars, fmt.Sprintf("rule#%d:%s", i+1, v))
+			}
+		}
+		for _, c := range r.Constraints() {
+			if c.Neq {
+				info.UsesNeq = true
+			} else {
+				info.UsesEq = true
+			}
+		}
+		if n := len(r.Vars()); n > info.MaxRuleVars {
+			info.MaxRuleVars = n
+		}
+	}
+	if p.Goal != "" {
+		info.GoalArity = info.Arity[p.Goal]
+	}
+	return info
+}
+
+func hasCycle(deps map[string]map[string]bool) bool {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := map[string]int{}
+	var visit func(string) bool
+	visit = func(u string) bool {
+		color[u] = gray
+		for v := range deps[u] {
+			switch color[v] {
+			case gray:
+				return true
+			case white:
+				if visit(v) {
+					return true
+				}
+			}
+		}
+		color[u] = black
+		return false
+	}
+	for u := range deps {
+		if color[u] == white && visit(u) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,210 @@
+// Package flow implements unit-node-capacity maximum flow on directed
+// graphs, which by Menger's theorem (equivalently the Max-Flow Min-Cut
+// Theorem the paper cites from [Bol79]) computes the maximum number of
+// internally node-disjoint paths between two nodes. Theorem 6.1 reduces
+// H-subgraph homeomorphism for patterns in the class C to exactly this
+// question; this package is the executable form of that oracle.
+//
+// The construction is the classic vertex split: every node v becomes an arc
+// v_in -> v_out with capacity 1 (infinite for the designated terminals),
+// and every edge (u,v) becomes an arc u_out -> v_in with capacity 1.
+// Max flow then equals the maximum number of paths pairwise sharing no
+// internal node, and a minimum cut yields the Menger separator.
+package flow
+
+import (
+	"repro/internal/graph"
+)
+
+const inf = int(1) << 30
+
+// network is a unit-capacity flow network with adjacency-list residual arcs.
+type network struct {
+	head []int // arc target
+	cap  []int // residual capacity
+	next []int // next arc index in the source's list
+	adj  []int // first arc index per node, -1 terminated
+}
+
+func newNetwork(n int) *network {
+	adj := make([]int, n)
+	for i := range adj {
+		adj[i] = -1
+	}
+	return &network{adj: adj}
+}
+
+func (nw *network) addArc(u, v, c int) {
+	// forward arc
+	nw.head = append(nw.head, v)
+	nw.cap = append(nw.cap, c)
+	nw.next = append(nw.next, nw.adj[u])
+	nw.adj[u] = len(nw.head) - 1
+	// residual arc
+	nw.head = append(nw.head, u)
+	nw.cap = append(nw.cap, 0)
+	nw.next = append(nw.next, nw.adj[v])
+	nw.adj[v] = len(nw.head) - 1
+}
+
+// maxFlow runs Edmonds–Karp (BFS augmenting paths) from s to t and returns
+// the flow value, capped at limit augmentations when limit > 0 (callers
+// that only need "is flow >= k" pass limit = k).
+func (nw *network) maxFlow(s, t, limit int) int {
+	n := len(nw.adj)
+	total := 0
+	prevArc := make([]int, n)
+	for {
+		if limit > 0 && total >= limit {
+			return total
+		}
+		for i := range prevArc {
+			prevArc[i] = -1
+		}
+		prevArc[s] = -2
+		queue := []int{s}
+		found := false
+		for len(queue) > 0 && !found {
+			u := queue[0]
+			queue = queue[1:]
+			for a := nw.adj[u]; a != -1; a = nw.next[a] {
+				v := nw.head[a]
+				if nw.cap[a] > 0 && prevArc[v] == -1 {
+					prevArc[v] = a
+					if v == t {
+						found = true
+						break
+					}
+					queue = append(queue, v)
+				}
+			}
+		}
+		if !found {
+			return total
+		}
+		// All capacities are 0/1/inf, so each augmenting path carries 1.
+		for v := t; v != s; {
+			a := prevArc[v]
+			nw.cap[a]--
+			nw.cap[a^1]++
+			v = nw.head[a^1]
+		}
+		total++
+	}
+}
+
+// split builds the vertex-split network for g. Node v of g becomes
+// v_in = 2v and v_out = 2v+1. Nodes listed in uncapped get infinite
+// internal capacity (the flow terminals). Edge arcs get capacity edgeCap:
+// 1 for plain flow computation, inf when a vertex-only min cut is wanted
+// (then the cut can cross node arcs only).
+func split(g *graph.Graph, uncapped map[int]bool, edgeCap int) *network {
+	nw := newNetwork(2 * g.N())
+	for v := 0; v < g.N(); v++ {
+		c := 1
+		if uncapped[v] {
+			c = inf
+		}
+		nw.addArc(2*v, 2*v+1, c)
+	}
+	for _, e := range g.Edges() {
+		nw.addArc(2*e[0]+1, 2*e[1], edgeCap)
+	}
+	return nw
+}
+
+// MaxDisjointPaths returns the maximum number of simple paths from s to t
+// in g that pairwise share no node other than s and t. s and t must be
+// distinct; the count includes the direct edge (s,t) if present.
+func MaxDisjointPaths(g *graph.Graph, s, t int) int {
+	if s == t {
+		panic("flow: MaxDisjointPaths requires distinct endpoints")
+	}
+	nw := split(g, map[int]bool{s: true, t: true}, 1)
+	return nw.maxFlow(2*s+1, 2*t, 0)
+}
+
+// HasKDisjointPaths reports whether there are at least k paths from s to t
+// pairwise sharing no node other than s and t. It stops augmenting at k.
+func HasKDisjointPaths(g *graph.Graph, s, t, k int) bool {
+	if k <= 0 {
+		return true
+	}
+	if s == t {
+		panic("flow: HasKDisjointPaths requires distinct endpoints")
+	}
+	nw := split(g, map[int]bool{s: true, t: true}, 1)
+	return nw.maxFlow(2*s+1, 2*t, k) >= k
+}
+
+// MinVertexCut returns a minimum set of nodes (excluding s and t) whose
+// removal disconnects t from s, assuming no direct edge (s,t): by Menger's
+// theorem its size equals MaxDisjointPaths. If the edge (s,t) exists the
+// cut is not defined; the function panics.
+func MinVertexCut(g *graph.Graph, s, t int) []int {
+	if g.HasEdge(s, t) {
+		panic("flow: MinVertexCut undefined with a direct (s,t) edge")
+	}
+	nw := split(g, map[int]bool{s: true, t: true}, inf)
+	nw.maxFlow(2*s+1, 2*t, 0)
+	// Residual reachability from s_out.
+	n := len(nw.adj)
+	seen := make([]bool, n)
+	seen[2*s+1] = true
+	queue := []int{2*s + 1}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for a := nw.adj[u]; a != -1; a = nw.next[a] {
+			v := nw.head[a]
+			if nw.cap[a] > 0 && !seen[v] {
+				seen[v] = true
+				queue = append(queue, v)
+			}
+		}
+	}
+	var cut []int
+	for v := 0; v < g.N(); v++ {
+		if v == s || v == t {
+			continue
+		}
+		if seen[2*v] && !seen[2*v+1] {
+			cut = append(cut, v)
+		}
+	}
+	return cut
+}
+
+// FanOutCount returns the maximum number of node-disjoint paths from s to
+// the distinct targets t_1..t_k simultaneously — the flow question Theorem
+// 6.1 reduces the H-subgraph homeomorphism query to when the root of H is
+// the tail of every edge. Disjointness here is full: the paths may share no
+// node except s itself. The value equals the max flow from s to a super-sink
+// attached to the targets with unit arcs, so it is at most k; the query
+// "does H embed" is FanOutCount == k combined with per-target checks done
+// by the homeo package.
+func FanOutCount(g *graph.Graph, s int, targets []int) int {
+	// Build split network, then add a super sink.
+	uncapped := map[int]bool{s: true}
+	nw := split(g, uncapped, 1)
+	sink := nw.extraNode()
+	for _, t := range targets {
+		// Leave each target's own in->out capacity at 1 so two paths
+		// cannot both end at (pass through) the same target, then tap the
+		// target after its internal arc.
+		nw.addArc(2*t+1, sink, 1)
+	}
+	return nw.maxFlow(2*s+1, sink, 0)
+}
+
+// FanInCount is the mirror image of FanOutCount: the maximum number of
+// node-disjoint paths from the distinct sources into t.
+func FanInCount(g *graph.Graph, t int, sources []int) int {
+	return FanOutCount(g.Reverse(), t, sources)
+}
+
+// extraNode appends a fresh node to the network and returns its id.
+func (nw *network) extraNode() int {
+	nw.adj = append(nw.adj, -1)
+	return len(nw.adj) - 1
+}

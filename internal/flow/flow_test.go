@@ -1,0 +1,197 @@
+package flow
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestMaxDisjointPathsParallel(t *testing.T) {
+	// k internally node-disjoint 2-edge paths from s to t.
+	for k := 1; k <= 4; k++ {
+		g := graph.New(2 + k)
+		s, sink := 0, 1
+		for i := 0; i < k; i++ {
+			g.AddEdge(s, 2+i)
+			g.AddEdge(2+i, sink)
+		}
+		if got := MaxDisjointPaths(g, s, sink); got != k {
+			t.Fatalf("k=%d: MaxDisjointPaths = %d", k, got)
+		}
+	}
+}
+
+func TestMaxDisjointPathsBottleneck(t *testing.T) {
+	// Two branches that both must cross one middle node.
+	g := graph.New(6)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 2)
+	g.AddEdge(1, 3)
+	g.AddEdge(2, 3)
+	g.AddEdge(3, 4)
+	g.AddEdge(3, 5)
+	g.AddEdge(4, 9) // extend targets to a common sink
+	g.AddEdge(5, 9)
+	if got := MaxDisjointPaths(g, 0, 9); got != 1 {
+		t.Fatalf("bottleneck flow = %d, want 1", got)
+	}
+}
+
+func TestMaxDisjointPathsDirectEdge(t *testing.T) {
+	g := graph.New(3)
+	g.AddEdge(0, 2)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	if got := MaxDisjointPaths(g, 0, 2); got != 2 {
+		t.Fatalf("flow = %d, want 2 (direct edge plus detour)", got)
+	}
+}
+
+func TestMaxDisjointPathsNone(t *testing.T) {
+	g := graph.New(4)
+	g.AddEdge(1, 0) // wrong direction
+	if got := MaxDisjointPaths(g, 0, 1); got != 0 {
+		t.Fatalf("flow = %d, want 0", got)
+	}
+}
+
+func TestHasKDisjointPaths(t *testing.T) {
+	g := graph.Grid(3, 3)
+	// Corner to corner of a 3x3 grid: exactly 2 node-disjoint routes.
+	if MaxDisjointPaths(g, 0, 8) != 2 {
+		t.Fatal("grid corner flow should be 2")
+	}
+	if !HasKDisjointPaths(g, 0, 8, 2) {
+		t.Fatal("HasK(2) should hold")
+	}
+	if HasKDisjointPaths(g, 0, 8, 3) {
+		t.Fatal("HasK(3) should fail")
+	}
+	if !HasKDisjointPaths(g, 0, 8, 0) {
+		t.Fatal("HasK(0) trivially true")
+	}
+}
+
+func TestMinVertexCutMenger(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 30; trial++ {
+		g := graph.Random(9, 0.25, rng)
+		s, tt := 0, 8
+		if g.HasEdge(s, tt) {
+			g.RemoveEdge(s, tt)
+		}
+		flowVal := MaxDisjointPaths(g, s, tt)
+		cut := MinVertexCut(g, s, tt)
+		if len(cut) != flowVal {
+			t.Fatalf("trial %d: cut size %d != flow %d", trial, len(cut), flowVal)
+		}
+		// Removing the cut must disconnect t from s.
+		forbidden := map[int]bool{}
+		for _, v := range cut {
+			forbidden[v] = true
+		}
+		if g.ReachableAvoiding(s, tt, forbidden) && flowVal > 0 {
+			t.Fatalf("trial %d: cut does not separate", trial)
+		}
+		if flowVal == 0 && g.Reachable(s, tt) {
+			t.Fatalf("trial %d: zero flow but reachable", trial)
+		}
+	}
+}
+
+func TestMinVertexCutPanicsOnDirectEdge(t *testing.T) {
+	g := graph.New(2)
+	g.AddEdge(0, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MinVertexCut(g, 0, 1)
+}
+
+func TestFlowAgreesWithBruteForce(t *testing.T) {
+	// Menger cross-check: flow value vs brute-force search for k fully
+	// disjoint s->t paths realized through k copies of (s,t) endpoints is
+	// awkward; instead verify flow >= k implies brute-force existence of k
+	// paths sharing only s,t by constructing them via successive shortest
+	// augmentation — here we settle for the weaker sanity check that
+	// flow = 0 iff not reachable, and flow >= 1 iff reachable.
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 40; trial++ {
+		g := graph.Random(8, 0.2, rng)
+		f := MaxDisjointPaths(g, 0, 7)
+		reach := g.Reachable(0, 7)
+		if (f >= 1) != reach {
+			t.Fatalf("trial %d: flow %d vs reachable %v", trial, f, reach)
+		}
+	}
+}
+
+func TestFanOutCount(t *testing.T) {
+	// Star: s with direct edges to 3 targets.
+	g := graph.New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 2)
+	g.AddEdge(0, 3)
+	if got := FanOutCount(g, 0, []int{1, 2, 3}); got != 3 {
+		t.Fatalf("star fan-out = %d, want 3", got)
+	}
+	// Funnel: all targets behind a single cut node.
+	h := graph.New(5)
+	h.AddEdge(0, 4)
+	h.AddEdge(4, 1)
+	h.AddEdge(4, 2)
+	h.AddEdge(4, 3)
+	if got := FanOutCount(h, 0, []int{1, 2, 3}); got != 1 {
+		t.Fatalf("funnel fan-out = %d, want 1", got)
+	}
+}
+
+func TestFanOutTargetsBlockEachOther(t *testing.T) {
+	// Reaching t2 requires passing through t1: at most one of the two
+	// paths can be routed disjointly.
+	g := graph.New(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	if got := FanOutCount(g, 0, []int{1, 2}); got != 1 {
+		t.Fatalf("fan-out through target = %d, want 1", got)
+	}
+}
+
+func TestFanInCount(t *testing.T) {
+	g := graph.New(4)
+	g.AddEdge(1, 0)
+	g.AddEdge(2, 0)
+	g.AddEdge(3, 0)
+	if got := FanInCount(g, 0, []int{1, 2, 3}); got != 3 {
+		t.Fatalf("fan-in = %d, want 3", got)
+	}
+}
+
+func TestFanOutEqualsDisjointBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 25; trial++ {
+		g := graph.Random(8, 0.25, rng)
+		s := 0
+		targets := []int{5, 6, 7}
+		fullFan := FanOutCount(g, s, targets) == len(targets)
+		// Brute-force DisjointSimplePaths treats every node, including s,
+		// as usable once, so it cannot route two paths out of the same
+		// source; compare against a split-source construction instead.
+		gg := g.Clone()
+		s1 := gg.AddNode()
+		s2 := gg.AddNode()
+		s3 := gg.AddNode()
+		for _, y := range g.Out(s) {
+			gg.AddEdge(s1, y)
+			gg.AddEdge(s2, y)
+			gg.AddEdge(s3, y)
+		}
+		brute := gg.DisjointSimplePaths([]int{s1, s2, s3}, targets)
+		if fullFan != brute {
+			t.Fatalf("trial %d: flow says %v, brute force says %v", trial, fullFan, brute)
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package flow
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+func TestQuickFlowMonotoneInEdges(t *testing.T) {
+	prop := func(seed int64, e uint16) bool {
+		g := graph.Random(8, 0.2, rand.New(rand.NewSource(seed)))
+		before := MaxDisjointPaths(g, 0, 7)
+		u := int(e) % 8
+		v := int(e>>3) % 8
+		if u != v {
+			g.AddEdge(u, v)
+		}
+		return MaxDisjointPaths(g, 0, 7) >= before
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickFlowBoundedByDegrees(t *testing.T) {
+	prop := func(seed int64) bool {
+		g := graph.Random(8, 0.3, rand.New(rand.NewSource(seed)))
+		f := MaxDisjointPaths(g, 0, 7)
+		return f <= g.OutDegree(0) && f <= g.InDegree(7)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickMengerDuality(t *testing.T) {
+	prop := func(seed int64) bool {
+		g := graph.Random(8, 0.25, rand.New(rand.NewSource(seed)))
+		g.RemoveEdge(0, 7)
+		f := MaxDisjointPaths(g, 0, 7)
+		cut := MinVertexCut(g, 0, 7)
+		if len(cut) != f {
+			return false
+		}
+		forbidden := map[int]bool{}
+		for _, v := range cut {
+			forbidden[v] = true
+		}
+		return !g.ReachableAvoiding(0, 7, forbidden)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickFanOutBoundedByPairwise(t *testing.T) {
+	// The simultaneous fan-out never exceeds any pairwise disjoint-path
+	// count, and never exceeds the out-degree of the source.
+	prop := func(seed int64) bool {
+		g := graph.Random(8, 0.3, rand.New(rand.NewSource(seed)))
+		targets := []int{5, 6, 7}
+		fan := FanOutCount(g, 0, targets)
+		if fan > g.OutDegree(0) {
+			return false
+		}
+		return fan <= len(targets)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickFanInMirrorsFanOut(t *testing.T) {
+	prop := func(seed int64) bool {
+		g := graph.Random(8, 0.3, rand.New(rand.NewSource(seed)))
+		r := g.Reverse()
+		return FanOutCount(g, 0, []int{5, 6, 7}) == FanInCount(r, 0, []int{5, 6, 7})
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

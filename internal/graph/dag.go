@@ -1,0 +1,71 @@
+package graph
+
+// IsAcyclic reports whether the graph has no directed cycle (self-loops
+// count as cycles).
+func (g *Graph) IsAcyclic() bool {
+	_, ok := g.TopoOrder()
+	return ok
+}
+
+// TopoOrder returns a topological order of the nodes and true, or nil and
+// false if the graph has a cycle.
+func (g *Graph) TopoOrder() ([]int, bool) {
+	indeg := make([]int, g.n)
+	for v := 0; v < g.n; v++ {
+		indeg[v] = g.InDegree(v)
+	}
+	var queue []int
+	for v := 0; v < g.n; v++ {
+		if indeg[v] == 0 {
+			queue = append(queue, v)
+		}
+	}
+	order := make([]int, 0, g.n)
+	for len(queue) > 0 {
+		x := queue[0]
+		queue = queue[1:]
+		order = append(order, x)
+		for _, y := range g.Out(x) {
+			indeg[y]--
+			if indeg[y] == 0 {
+				queue = append(queue, y)
+			}
+		}
+	}
+	if len(order) != g.n {
+		return nil, false
+	}
+	return order, true
+}
+
+// Levels returns, for each node of an acyclic graph, the length of the
+// longest path starting at that node — the "level" used by the strategy
+// argument in the proof of Theorem 6.2. It panics if the graph is cyclic.
+func (g *Graph) Levels() []int {
+	order, ok := g.TopoOrder()
+	if !ok {
+		panic("graph: Levels on cyclic graph")
+	}
+	level := make([]int, g.n)
+	for i := len(order) - 1; i >= 0; i-- {
+		v := order[i]
+		for _, y := range g.Out(v) {
+			if level[y]+1 > level[v] {
+				level[v] = level[y] + 1
+			}
+		}
+	}
+	return level
+}
+
+// LongestPathLen returns the number of edges on a longest simple path in an
+// acyclic graph. It panics if the graph is cyclic.
+func (g *Graph) LongestPathLen() int {
+	best := 0
+	for _, l := range g.Levels() {
+		if l > best {
+			best = l
+		}
+	}
+	return best
+}

@@ -1,0 +1,172 @@
+package graph
+
+import "math/rand"
+
+// DirectedPath returns the directed path 0 -> 1 -> ... -> n-1 on n nodes
+// (the structures of Example 4.4).
+func DirectedPath(n int) *Graph {
+	g := New(n)
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(i, i+1)
+	}
+	return g
+}
+
+// DirectedCycle returns the directed cycle 0 -> 1 -> ... -> n-1 -> 0.
+func DirectedCycle(n int) *Graph {
+	g := DirectedPath(n)
+	if n > 0 {
+		g.AddEdge(n-1, 0)
+	}
+	return g
+}
+
+// TwoDisjointPathsGraph returns a graph made of two node-disjoint directed
+// paths with len1 and len2 edges respectively (the structure A of
+// Example 4.5 and the structures A_k of Theorem 6.6). It returns the graph
+// and the four endpoints (s1, t1, s2, t2).
+func TwoDisjointPathsGraph(len1, len2 int) (g *Graph, s1, t1, s2, t2 int) {
+	g = New(len1 + len2 + 2)
+	for i := 0; i < len1; i++ {
+		g.AddEdge(i, i+1)
+	}
+	off := len1 + 1
+	for i := 0; i < len2; i++ {
+		g.AddEdge(off+i, off+i+1)
+	}
+	return g, 0, len1, off, off + len2
+}
+
+// CrossingPathsGraph returns the structure B of Example 4.5: two directed
+// paths with 2n+1 vertices each, sharing exactly their middle ((n+1)-th)
+// vertex. It returns the graph and the endpoints of the two paths.
+func CrossingPathsGraph(n int) (g *Graph, s1, t1, s2, t2 int) {
+	// First path: 0..2n. Second path: 2n+1..3n, then node n (the shared
+	// middle), then 3n+1..4n.
+	g = New(4*n + 1)
+	for i := 0; i < 2*n; i++ {
+		g.AddEdge(i, i+1)
+	}
+	mid := n
+	prev := 2*n + 1
+	for i := 2*n + 1; i < 3*n; i++ {
+		g.AddEdge(i, i+1)
+		prev = i + 1
+	}
+	if n >= 1 {
+		g.AddEdge(prev, mid)
+		next := 3*n + 1
+		g.AddEdge(mid, next)
+		for i := 3*n + 1; i < 4*n; i++ {
+			g.AddEdge(i, i+1)
+		}
+		return g, 0, 2 * n, 2*n + 1, 4 * n
+	}
+	return g, 0, 0, 0, 0
+}
+
+// Random returns a random simple directed graph on n nodes in which each of
+// the n*(n-1) candidate non-loop edges is present independently with
+// probability p, using the given source for reproducibility.
+func Random(n int, p float64, rng *rand.Rand) *Graph {
+	g := New(n)
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			if u != v && rng.Float64() < p {
+				g.AddEdge(u, v)
+			}
+		}
+	}
+	return g
+}
+
+// RandomDAG returns a random acyclic directed graph on n nodes: each edge
+// (u,v) with u < v is present independently with probability p.
+func RandomDAG(n int, p float64, rng *rand.Rand) *Graph {
+	g := New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < p {
+				g.AddEdge(u, v)
+			}
+		}
+	}
+	return g
+}
+
+// LayeredDAG returns a DAG with the given number of layers, width nodes per
+// layer, and every cross-layer edge from layer i to layer i+1 present with
+// probability p. Node v of layer i has id i*width+v. Useful as a workload
+// for the acyclic-input homeomorphism experiments.
+func LayeredDAG(layers, width int, p float64, rng *rand.Rand) *Graph {
+	g := New(layers * width)
+	for i := 0; i+1 < layers; i++ {
+		for a := 0; a < width; a++ {
+			for b := 0; b < width; b++ {
+				if rng.Float64() < p {
+					g.AddEdge(i*width+a, (i+1)*width+b)
+				}
+			}
+		}
+	}
+	return g
+}
+
+// Grid returns the directed grid graph with r rows and c columns, edges
+// pointing right and down. Node (i,j) has id i*c+j.
+func Grid(r, c int) *Graph {
+	g := New(r * c)
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			if j+1 < c {
+				g.AddEdge(i*c+j, i*c+j+1)
+			}
+			if i+1 < r {
+				g.AddEdge(i*c+j, (i+1)*c+j)
+			}
+		}
+	}
+	return g
+}
+
+// Complete returns the complete directed graph (all ordered pairs, no
+// self-loops) on n nodes.
+func Complete(n int) *Graph {
+	g := New(n)
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			if u != v {
+				g.AddEdge(u, v)
+			}
+		}
+	}
+	return g
+}
+
+// Union returns the disjoint union of g and h; nodes of h are shifted by
+// g.N(). It returns the union and the offset applied to h's node ids.
+func Union(g, h *Graph) (*Graph, int) {
+	u := g.Clone()
+	off := g.N()
+	u.EnsureNodes(off + h.N())
+	for _, e := range h.Edges() {
+		u.AddEdge(e[0]+off, e[1]+off)
+	}
+	return u, off
+}
+
+// Subdivide returns the graph obtained by replacing every edge (u,v) with a
+// length-2 path u -> w -> v through a fresh node w — the edge-doubling
+// operation of Corollary 6.8. It also returns a map from each original edge
+// to its fresh midpoint node.
+func Subdivide(g *Graph) (*Graph, map[[2]int]int) {
+	h := New(g.N())
+	mid := make(map[[2]int]int)
+	for _, e := range g.Edges() {
+		w := h.AddNode()
+		h.AddEdge(e[0], w)
+		h.AddEdge(w, e[1])
+		mid[e] = w
+	}
+	return h, mid
+}

@@ -1,0 +1,213 @@
+// Package graph provides directed graphs and the path machinery used
+// throughout the reproduction: reachability, simple-path and node-disjoint
+// path search, DAG utilities, and deterministic generators for the graph
+// families that appear in the paper's examples and constructions.
+//
+// Nodes are dense non-negative integers. Graphs are simple (no parallel
+// edges); self-loops are allowed, matching the paper's convention that a
+// pattern-graph root may carry a self-loop.
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Graph is a mutable directed graph over nodes 0..N-1.
+//
+// The zero value is an empty graph. Adding an edge (u,v) implicitly grows
+// the node set to include max(u,v)+1 nodes, so isolated trailing nodes must
+// be declared with EnsureNodes.
+type Graph struct {
+	n   int
+	out [][]int         // adjacency, sorted lazily
+	in  [][]int         // reverse adjacency, sorted lazily
+	set map[[2]int]bool // edge membership
+}
+
+// New returns an empty graph with n isolated nodes.
+func New(n int) *Graph {
+	g := &Graph{set: make(map[[2]int]bool)}
+	g.EnsureNodes(n)
+	return g
+}
+
+// EnsureNodes grows the graph so that it has at least n nodes.
+func (g *Graph) EnsureNodes(n int) {
+	if g.set == nil {
+		g.set = make(map[[2]int]bool)
+	}
+	for g.n < n {
+		g.out = append(g.out, nil)
+		g.in = append(g.in, nil)
+		g.n++
+	}
+}
+
+// AddNode appends a fresh isolated node and returns its id.
+func (g *Graph) AddNode() int {
+	g.EnsureNodes(g.n + 1)
+	return g.n - 1
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return g.n }
+
+// M returns the number of edges.
+func (g *Graph) M() int { return len(g.set) }
+
+// AddEdge inserts the directed edge (u,v), growing the node set if needed.
+// Inserting an existing edge is a no-op; it reports whether the edge is new.
+func (g *Graph) AddEdge(u, v int) bool {
+	if u < 0 || v < 0 {
+		panic(fmt.Sprintf("graph: negative node in edge (%d,%d)", u, v))
+	}
+	if u >= g.n || v >= g.n {
+		g.EnsureNodes(max(u, v) + 1)
+	}
+	key := [2]int{u, v}
+	if g.set[key] {
+		return false
+	}
+	g.set[key] = true
+	g.out[u] = append(g.out[u], v)
+	g.in[v] = append(g.in[v], u)
+	return true
+}
+
+// RemoveEdge deletes the directed edge (u,v) if present and reports whether
+// it was present.
+func (g *Graph) RemoveEdge(u, v int) bool {
+	key := [2]int{u, v}
+	if !g.set[key] {
+		return false
+	}
+	delete(g.set, key)
+	g.out[u] = removeFirst(g.out[u], v)
+	g.in[v] = removeFirst(g.in[v], u)
+	return true
+}
+
+func removeFirst(s []int, x int) []int {
+	for i, v := range s {
+		if v == x {
+			return append(s[:i], s[i+1:]...)
+		}
+	}
+	return s
+}
+
+// HasEdge reports whether the directed edge (u,v) exists.
+func (g *Graph) HasEdge(u, v int) bool { return g.set[[2]int{u, v}] }
+
+// Out returns the out-neighbours of u in sorted order. The returned slice
+// must not be modified.
+func (g *Graph) Out(u int) []int {
+	sort.Ints(g.out[u])
+	return g.out[u]
+}
+
+// In returns the in-neighbours of v in sorted order. The returned slice
+// must not be modified.
+func (g *Graph) In(v int) []int {
+	sort.Ints(g.in[v])
+	return g.in[v]
+}
+
+// OutDegree returns the number of out-neighbours of u.
+func (g *Graph) OutDegree(u int) int { return len(g.out[u]) }
+
+// InDegree returns the number of in-neighbours of v.
+func (g *Graph) InDegree(v int) int { return len(g.in[v]) }
+
+// Edges returns all edges in lexicographic order.
+func (g *Graph) Edges() [][2]int {
+	es := make([][2]int, 0, len(g.set))
+	for e := range g.set {
+		es = append(es, e)
+	}
+	sort.Slice(es, func(i, j int) bool {
+		if es[i][0] != es[j][0] {
+			return es[i][0] < es[j][0]
+		}
+		return es[i][1] < es[j][1]
+	})
+	return es
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	h := New(g.n)
+	for e := range g.set {
+		h.AddEdge(e[0], e[1])
+	}
+	return h
+}
+
+// Reverse returns a new graph with every edge direction flipped.
+func (g *Graph) Reverse() *Graph {
+	h := New(g.n)
+	for e := range g.set {
+		h.AddEdge(e[1], e[0])
+	}
+	return h
+}
+
+// Equal reports whether g and h have the same node count and edge set.
+func (g *Graph) Equal(h *Graph) bool {
+	if g.n != h.n || len(g.set) != len(h.set) {
+		return false
+	}
+	for e := range g.set {
+		if !h.set[e] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the graph as "n=<N> edges=[(u,v) ...]" for debugging.
+func (g *Graph) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "n=%d edges=[", g.n)
+	for i, e := range g.Edges() {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "(%d,%d)", e[0], e[1])
+	}
+	b.WriteByte(']')
+	return b.String()
+}
+
+// DOT renders the graph in Graphviz DOT syntax. The optional labels map
+// overrides node names; highlight marks nodes drawn as doublecircles.
+func (g *Graph) DOT(name string, labels map[int]string, highlight map[int]bool) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", name)
+	for v := 0; v < g.n; v++ {
+		attrs := []string{}
+		if l, ok := labels[v]; ok {
+			attrs = append(attrs, fmt.Sprintf("label=%q", l))
+		}
+		if highlight[v] {
+			attrs = append(attrs, "shape=doublecircle")
+		}
+		if len(attrs) > 0 {
+			fmt.Fprintf(&b, "  %d [%s];\n", v, strings.Join(attrs, ", "))
+		}
+	}
+	for _, e := range g.Edges() {
+		fmt.Fprintf(&b, "  %d -> %d;\n", e[0], e[1])
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

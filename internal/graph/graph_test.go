@@ -1,0 +1,488 @@
+package graph
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestAddEdgeGrowsAndDedups(t *testing.T) {
+	g := New(0)
+	if !g.AddEdge(2, 5) {
+		t.Fatal("first insert should be new")
+	}
+	if g.AddEdge(2, 5) {
+		t.Fatal("duplicate insert should report false")
+	}
+	if g.N() != 6 {
+		t.Fatalf("N = %d, want 6", g.N())
+	}
+	if g.M() != 1 {
+		t.Fatalf("M = %d, want 1", g.M())
+	}
+	if !g.HasEdge(2, 5) || g.HasEdge(5, 2) {
+		t.Fatal("edge direction wrong")
+	}
+}
+
+func TestRemoveEdge(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	if !g.RemoveEdge(0, 1) {
+		t.Fatal("remove existing edge")
+	}
+	if g.RemoveEdge(0, 1) {
+		t.Fatal("remove missing edge should report false")
+	}
+	if g.HasEdge(0, 1) || !g.HasEdge(1, 2) {
+		t.Fatal("wrong edges after removal")
+	}
+	if got := g.OutDegree(0); got != 0 {
+		t.Fatalf("OutDegree(0) = %d, want 0", got)
+	}
+	if got := g.InDegree(1); got != 0 {
+		t.Fatalf("InDegree(1) = %d, want 0", got)
+	}
+}
+
+func TestSelfLoop(t *testing.T) {
+	g := New(1)
+	g.AddEdge(0, 0)
+	if !g.HasEdge(0, 0) {
+		t.Fatal("self-loop missing")
+	}
+	if g.IsAcyclic() {
+		t.Fatal("self-loop is a cycle")
+	}
+}
+
+func TestNeighborsSorted(t *testing.T) {
+	g := New(5)
+	g.AddEdge(0, 4)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 3)
+	out := g.Out(0)
+	for i := 0; i+1 < len(out); i++ {
+		if out[i] >= out[i+1] {
+			t.Fatalf("Out not sorted: %v", out)
+		}
+	}
+}
+
+func TestCloneReverseEqual(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := Random(12, 0.3, rng)
+	c := g.Clone()
+	if !g.Equal(c) {
+		t.Fatal("clone not equal")
+	}
+	c.AddEdge(0, 0)
+	if g.Equal(c) {
+		t.Fatal("clone aliasing: mutation leaked")
+	}
+	r := g.Reverse()
+	for _, e := range g.Edges() {
+		if !r.HasEdge(e[1], e[0]) {
+			t.Fatalf("reverse missing (%d,%d)", e[1], e[0])
+		}
+	}
+	if r.M() != g.M() {
+		t.Fatal("reverse changed edge count")
+	}
+	if !g.Reverse().Reverse().Equal(g) {
+		t.Fatal("double reverse is not identity")
+	}
+}
+
+func TestReachable(t *testing.T) {
+	g := DirectedPath(5)
+	if !g.Reachable(0, 4) {
+		t.Fatal("path end should be reachable")
+	}
+	if g.Reachable(4, 0) {
+		t.Fatal("reverse direction should be unreachable")
+	}
+	if !g.Reachable(2, 2) {
+		t.Fatal("node reachable from itself")
+	}
+}
+
+func TestReachableAvoiding(t *testing.T) {
+	// Diamond: 0->1->3, 0->2->3.
+	g := New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 3)
+	g.AddEdge(0, 2)
+	g.AddEdge(2, 3)
+	if !g.ReachableAvoiding(0, 3, map[int]bool{1: true}) {
+		t.Fatal("should route around node 1 via 2")
+	}
+	if g.ReachableAvoiding(0, 3, map[int]bool{1: true, 2: true}) {
+		t.Fatal("both middles blocked")
+	}
+	if g.ReachableAvoiding(0, 3, map[int]bool{0: true}) {
+		t.Fatal("blocked source")
+	}
+	if g.ReachableAvoiding(0, 3, map[int]bool{3: true}) {
+		t.Fatal("blocked target")
+	}
+}
+
+func TestShortestPath(t *testing.T) {
+	g := New(5)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	g.AddEdge(0, 4)
+	g.AddEdge(4, 3)
+	p := g.ShortestPath(0, 3)
+	if p.Len() != 2 {
+		t.Fatalf("shortest path length = %d, want 2", p.Len())
+	}
+	if !p.ValidIn(g) || !p.Simple() {
+		t.Fatal("shortest path invalid")
+	}
+	if p := g.ShortestPath(3, 0); p != nil {
+		t.Fatalf("no path expected, got %v", p)
+	}
+	if p := g.ShortestPath(2, 2); p.Len() != 0 {
+		t.Fatal("self path should have length 0")
+	}
+}
+
+func TestTransitiveClosurePath(t *testing.T) {
+	g := DirectedPath(4)
+	tc := g.TransitiveClosure()
+	want := map[[2]int]bool{
+		{0, 1}: true, {0, 2}: true, {0, 3}: true,
+		{1, 2}: true, {1, 3}: true, {2, 3}: true,
+	}
+	if len(tc) != len(want) {
+		t.Fatalf("tc size = %d, want %d (%v)", len(tc), len(want), tc)
+	}
+	for k := range want {
+		if !tc[k] {
+			t.Fatalf("tc missing %v", k)
+		}
+	}
+}
+
+func TestTransitiveClosureCycle(t *testing.T) {
+	g := DirectedCycle(3)
+	tc := g.TransitiveClosure()
+	// Every ordered pair including (v,v) is connected by a path >= 1.
+	if len(tc) != 9 {
+		t.Fatalf("tc size = %d, want 9", len(tc))
+	}
+}
+
+func TestSimplePathsEnumeration(t *testing.T) {
+	// Diamond with a shortcut: 0->1->3, 0->2->3, 0->3.
+	g := New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 3)
+	g.AddEdge(0, 2)
+	g.AddEdge(2, 3)
+	g.AddEdge(0, 3)
+	var got []Path
+	exhaustive := g.SimplePaths(0, 3, 0, func(p Path) { got = append(got, p) })
+	if !exhaustive {
+		t.Fatal("unlimited enumeration must be exhaustive")
+	}
+	if len(got) != 3 {
+		t.Fatalf("found %d simple paths, want 3: %v", len(got), got)
+	}
+	for _, p := range got {
+		if !p.Simple() || !p.ValidIn(g) {
+			t.Fatalf("bad path %v", p)
+		}
+		if p[0] != 0 || p[len(p)-1] != 3 {
+			t.Fatalf("wrong endpoints %v", p)
+		}
+	}
+}
+
+func TestSimplePathsLimit(t *testing.T) {
+	g := Complete(5)
+	n := 0
+	exhaustive := g.SimplePaths(0, 4, 2, func(Path) { n++ })
+	if exhaustive {
+		t.Fatal("limited enumeration reported exhaustive")
+	}
+	if n != 2 {
+		t.Fatalf("visited %d paths, want 2", n)
+	}
+}
+
+func TestSimplePathsCycles(t *testing.T) {
+	g := DirectedCycle(4)
+	var got []Path
+	g.SimplePaths(0, 0, 0, func(p Path) { got = append(got, p) })
+	if len(got) != 1 {
+		t.Fatalf("cycle count = %d, want 1", len(got))
+	}
+	if got[0].Len() != 4 {
+		t.Fatalf("cycle length = %d, want 4", got[0].Len())
+	}
+}
+
+func TestHasSimplePathOfParity(t *testing.T) {
+	g := DirectedPath(4) // 0->1->2->3, unique path length 3 (odd)
+	if g.HasSimplePathOfParity(0, 3, 0) {
+		t.Fatal("no even path expected")
+	}
+	if !g.HasSimplePathOfParity(0, 3, 1) {
+		t.Fatal("odd path expected")
+	}
+	if !g.HasSimplePathOfParity(2, 2, 0) {
+		t.Fatal("trivial path is even")
+	}
+	// Add shortcut 0->2 to create an even path 0->2->3? That has length 2.
+	g.AddEdge(0, 2)
+	if !g.HasSimplePathOfParity(0, 3, 0) {
+		t.Fatal("even path 0->2->3 expected")
+	}
+}
+
+func TestNodeDisjoint(t *testing.T) {
+	p := Path{0, 1, 2}
+	q := Path{3, 4, 5}
+	if !NodeDisjoint(p, q, false) {
+		t.Fatal("disjoint paths reported intersecting")
+	}
+	r := Path{3, 1, 5}
+	if NodeDisjoint(p, r, false) {
+		t.Fatal("interior intersection missed")
+	}
+	s := Path{2, 4, 6}
+	if NodeDisjoint(p, s, false) {
+		t.Fatal("strict mode must reject shared endpoint")
+	}
+	if !NodeDisjoint(p, s, true) {
+		t.Fatal("shared endpoints allowed in relaxed mode")
+	}
+}
+
+func TestDisjointSimplePathsBasic(t *testing.T) {
+	g, s1, t1, s2, t2 := TwoDisjointPathsGraph(3, 4)
+	if !g.TwoDisjointPaths(s1, t1, s2, t2) {
+		t.Fatal("two genuinely disjoint paths not found")
+	}
+	paths := g.FindDisjointSimplePaths([]int{s1, s2}, []int{t1, t2})
+	if paths == nil {
+		t.Fatal("no witness returned")
+	}
+	if !NodeDisjoint(paths[0], paths[1], false) {
+		t.Fatalf("witness paths intersect: %v %v", paths[0], paths[1])
+	}
+	for i, p := range paths {
+		if !p.ValidIn(g) || !p.Simple() {
+			t.Fatalf("witness path %d invalid: %v", i, p)
+		}
+	}
+}
+
+func TestDisjointSimplePathsCrossing(t *testing.T) {
+	// Example 4.5's B structure: the two paths must cross at the middle,
+	// so no node-disjoint routing exists.
+	g, s1, t1, s2, t2 := CrossingPathsGraph(3)
+	if g.TwoDisjointPaths(s1, t1, s2, t2) {
+		t.Fatal("crossing paths graph should have no disjoint routing")
+	}
+	// But each path individually exists.
+	if !g.Reachable(s1, t1) || !g.Reachable(s2, t2) {
+		t.Fatal("individual paths should exist")
+	}
+}
+
+func TestDisjointSimplePathsNeedsDetour(t *testing.T) {
+	// 0->1->2 and 3->1->4, plus detour 3->5->4: routing path 2 through 1
+	// would block path 1, so the search must take the detour.
+	g := New(6)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(3, 1)
+	g.AddEdge(1, 4)
+	g.AddEdge(3, 5)
+	g.AddEdge(5, 4)
+	if !g.DisjointSimplePaths([]int{0, 3}, []int{2, 4}) {
+		t.Fatal("detour routing not found")
+	}
+	g.RemoveEdge(3, 5)
+	if g.DisjointSimplePaths([]int{0, 3}, []int{2, 4}) {
+		t.Fatal("without detour both paths need node 1")
+	}
+}
+
+func TestDisjointSimplePathsReservedEndpoints(t *testing.T) {
+	// Path 1 could route through path 2's source; it must not.
+	// 0->3->1 is the only 0->1 route; 3->4 for path 2.
+	g := New(5)
+	g.AddEdge(0, 3)
+	g.AddEdge(3, 1)
+	g.AddEdge(3, 4)
+	if g.DisjointSimplePaths([]int{0, 3}, []int{1, 4}) {
+		t.Fatal("path 1 used path 2's source node")
+	}
+}
+
+func TestThreeDisjointPaths(t *testing.T) {
+	// Three parallel paths from a common layer; endpoints all distinct.
+	g := New(9)
+	for i := 0; i < 3; i++ {
+		g.AddEdge(i, 3+i)
+		g.AddEdge(3+i, 6+i)
+	}
+	if !g.DisjointSimplePaths([]int{0, 1, 2}, []int{6, 7, 8}) {
+		t.Fatal("three parallel paths exist")
+	}
+	// Funnel all through one node: impossible for even two paths.
+	h := New(9)
+	for i := 0; i < 3; i++ {
+		h.AddEdge(i, 4)
+		h.AddEdge(4, 6+i)
+	}
+	if h.DisjointSimplePaths([]int{0, 1, 2}, []int{6, 7, 8}) {
+		t.Fatal("funnel cannot carry three disjoint paths")
+	}
+}
+
+func TestTopoOrderAndLevels(t *testing.T) {
+	g := New(6)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 2)
+	g.AddEdge(1, 3)
+	g.AddEdge(2, 3)
+	g.AddEdge(3, 4)
+	order, ok := g.TopoOrder()
+	if !ok {
+		t.Fatal("DAG misclassified as cyclic")
+	}
+	pos := make(map[int]int)
+	for i, v := range order {
+		pos[v] = i
+	}
+	for _, e := range g.Edges() {
+		if pos[e[0]] >= pos[e[1]] {
+			t.Fatalf("topo order violates edge %v", e)
+		}
+	}
+	levels := g.Levels()
+	want := []int{3, 2, 2, 1, 0, 0}
+	for v, w := range want {
+		if levels[v] != w {
+			t.Fatalf("level[%d] = %d, want %d", v, levels[v], w)
+		}
+	}
+	if g.LongestPathLen() != 3 {
+		t.Fatalf("longest path = %d, want 3", g.LongestPathLen())
+	}
+}
+
+func TestTopoOrderCycle(t *testing.T) {
+	g := DirectedCycle(3)
+	if _, ok := g.TopoOrder(); ok {
+		t.Fatal("cycle should have no topo order")
+	}
+	if g.IsAcyclic() {
+		t.Fatal("cycle misclassified as acyclic")
+	}
+}
+
+func TestGenerators(t *testing.T) {
+	if g := DirectedPath(5); g.M() != 4 || !g.IsAcyclic() {
+		t.Fatal("DirectedPath wrong")
+	}
+	if g := DirectedCycle(5); g.M() != 5 || g.IsAcyclic() {
+		t.Fatal("DirectedCycle wrong")
+	}
+	if g := Grid(3, 4); g.N() != 12 || g.M() != 3*3+2*4 || !g.IsAcyclic() {
+		t.Fatal("Grid wrong")
+	}
+	if g := Complete(4); g.M() != 12 {
+		t.Fatal("Complete wrong")
+	}
+	rng := rand.New(rand.NewSource(7))
+	if g := RandomDAG(20, 0.3, rng); !g.IsAcyclic() {
+		t.Fatal("RandomDAG produced a cycle")
+	}
+	if g := LayeredDAG(4, 3, 0.5, rng); !g.IsAcyclic() || g.N() != 12 {
+		t.Fatal("LayeredDAG wrong")
+	}
+}
+
+func TestCrossingPathsGraphShape(t *testing.T) {
+	for n := 1; n <= 4; n++ {
+		g, s1, t1, s2, t2 := CrossingPathsGraph(n)
+		if g.N() != 4*n+1 {
+			t.Fatalf("n=%d: N=%d, want %d", n, g.N(), 4*n+1)
+		}
+		p1 := g.ShortestPath(s1, t1)
+		p2 := g.ShortestPath(s2, t2)
+		if p1.Len() != 2*n || p2.Len() != 2*n {
+			t.Fatalf("n=%d: path lengths %d,%d want %d", n, p1.Len(), p2.Len(), 2*n)
+		}
+		// The unique intersection is the middle node.
+		shared := 0
+		on := map[int]bool{}
+		for _, v := range p1 {
+			on[v] = true
+		}
+		for _, v := range p2 {
+			if on[v] {
+				shared++
+			}
+		}
+		if shared != 1 {
+			t.Fatalf("n=%d: %d shared nodes, want 1", n, shared)
+		}
+	}
+}
+
+func TestUnion(t *testing.T) {
+	g := DirectedPath(3)
+	h := DirectedCycle(3)
+	u, off := Union(g, h)
+	if u.N() != 6 || u.M() != 2+3 {
+		t.Fatalf("union shape wrong: %s", u.Describe())
+	}
+	if off != 3 {
+		t.Fatalf("offset = %d, want 3", off)
+	}
+	if !u.HasEdge(0, 1) || !u.HasEdge(5, 3) {
+		t.Fatal("union edges wrong")
+	}
+}
+
+func TestSubdivide(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	h, mid := Subdivide(g)
+	if h.N() != 5 || h.M() != 4 {
+		t.Fatalf("subdivide shape wrong: %s", h.Describe())
+	}
+	for e, w := range mid {
+		if !h.HasEdge(e[0], w) || !h.HasEdge(w, e[1]) {
+			t.Fatalf("midpoint wiring wrong for %v", e)
+		}
+		if h.HasEdge(e[0], e[1]) {
+			t.Fatalf("original edge %v should be gone", e)
+		}
+	}
+	// Path parity doubles: 0->...->2 had length 2, now 4.
+	if p := h.ShortestPath(0, 2); p.Len() != 4 {
+		t.Fatalf("subdivided path length = %d, want 4", p.Len())
+	}
+}
+
+func TestDOTOutput(t *testing.T) {
+	g := DirectedPath(2)
+	dot := g.DOT("p", map[int]string{0: "s"}, map[int]bool{1: true})
+	for _, want := range []string{"digraph", "0 -> 1", "label=\"s\"", "doublecircle"} {
+		if !strings.Contains(dot, want) {
+			t.Fatalf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+}

@@ -1,0 +1,341 @@
+package graph
+
+import "fmt"
+
+// Path is a sequence of nodes connected by consecutive edges.
+type Path []int
+
+// Len returns the number of edges on the path.
+func (p Path) Len() int {
+	if len(p) == 0 {
+		return 0
+	}
+	return len(p) - 1
+}
+
+// Simple reports whether the path repeats no node. By the paper's
+// convention a single node (path of length 0) is simple.
+func (p Path) Simple() bool {
+	seen := make(map[int]bool, len(p))
+	for _, v := range p {
+		if seen[v] {
+			return false
+		}
+		seen[v] = true
+	}
+	return true
+}
+
+// ValidIn reports whether every consecutive pair of p is an edge of g.
+func (p Path) ValidIn(g *Graph) bool {
+	for i := 0; i+1 < len(p); i++ {
+		if !g.HasEdge(p[i], p[i+1]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Avoids reports whether the path touches none of the forbidden nodes.
+func (p Path) Avoids(forbidden map[int]bool) bool {
+	for _, v := range p {
+		if forbidden[v] {
+			return false
+		}
+	}
+	return true
+}
+
+// NodeDisjoint reports whether p and q share no node, except that equal
+// endpoints are permitted when allowSharedEndpoints is set (the paper's
+// definition of node-disjoint simple paths allows equal endpoints only for
+// pattern graphs that identify them; our callers pass false by default).
+func NodeDisjoint(p, q Path, allowSharedEndpoints bool) bool {
+	interior := func(r Path, i int) bool { return i > 0 && i < len(r)-1 }
+	on := make(map[int]int, len(p)) // node -> index in p
+	for i, v := range p {
+		on[v] = i
+	}
+	for j, v := range q {
+		i, ok := on[v]
+		if !ok {
+			continue
+		}
+		if allowSharedEndpoints && !interior(p, i) && !interior(q, j) {
+			continue
+		}
+		return false
+	}
+	return true
+}
+
+// Reachable reports whether v is reachable from u (including u == v).
+func (g *Graph) Reachable(u, v int) bool {
+	if u == v {
+		return true
+	}
+	seen := make([]bool, g.n)
+	queue := []int{u}
+	seen[u] = true
+	for len(queue) > 0 {
+		x := queue[0]
+		queue = queue[1:]
+		for _, y := range g.out[x] {
+			if y == v {
+				return true
+			}
+			if !seen[y] {
+				seen[y] = true
+				queue = append(queue, y)
+			}
+		}
+	}
+	return false
+}
+
+// ReachableAvoiding reports whether there is a path from u to v whose
+// intermediate and final nodes avoid the forbidden set. The start node u is
+// exempt unless forbidden[u] is checked by the caller; this matches the
+// w-avoiding-path query of Example 2.1 where the whole path, including
+// endpoints, must avoid w — callers should include endpoints in forbidden
+// when the query requires it.
+func (g *Graph) ReachableAvoiding(u, v int, forbidden map[int]bool) bool {
+	if forbidden[u] || forbidden[v] {
+		return false
+	}
+	if u == v {
+		return true
+	}
+	seen := make([]bool, g.n)
+	queue := []int{u}
+	seen[u] = true
+	for len(queue) > 0 {
+		x := queue[0]
+		queue = queue[1:]
+		for _, y := range g.out[x] {
+			if forbidden[y] {
+				continue
+			}
+			if y == v {
+				return true
+			}
+			if !seen[y] {
+				seen[y] = true
+				queue = append(queue, y)
+			}
+		}
+	}
+	return false
+}
+
+// ShortestPath returns a shortest path from u to v, or nil if none exists.
+func (g *Graph) ShortestPath(u, v int) Path {
+	if u == v {
+		return Path{u}
+	}
+	prev := make([]int, g.n)
+	for i := range prev {
+		prev[i] = -1
+	}
+	prev[u] = u
+	queue := []int{u}
+	for len(queue) > 0 {
+		x := queue[0]
+		queue = queue[1:]
+		for _, y := range g.Out(x) {
+			if prev[y] != -1 {
+				continue
+			}
+			prev[y] = x
+			if y == v {
+				var p Path
+				for c := v; c != u; c = prev[c] {
+					p = append(Path{c}, p...)
+				}
+				return append(Path{u}, p...)
+			}
+			queue = append(queue, y)
+		}
+	}
+	return nil
+}
+
+// TransitiveClosure returns the set of ordered pairs (u,v), u-to-v
+// reachable by a path of length >= 1. This is the semantics of the
+// transitive-closure Datalog program of Example 2.2.
+func (g *Graph) TransitiveClosure() map[[2]int]bool {
+	tc := make(map[[2]int]bool)
+	for u := 0; u < g.n; u++ {
+		seen := make([]bool, g.n)
+		var stack []int
+		for _, y := range g.out[u] {
+			if !seen[y] {
+				seen[y] = true
+				stack = append(stack, y)
+			}
+		}
+		for len(stack) > 0 {
+			x := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			tc[[2]int{u, x}] = true
+			for _, y := range g.out[x] {
+				if !seen[y] {
+					seen[y] = true
+					stack = append(stack, y)
+				}
+			}
+		}
+	}
+	return tc
+}
+
+// SimplePaths enumerates all simple paths from u to v, invoking visit with a
+// copy of each. Enumeration is exponential in general; limit bounds the
+// number of paths visited (limit <= 0 means unbounded). It reports whether
+// enumeration was exhaustive (false when the limit stopped it).
+// When u == v the paths enumerated are the simple cycles through u
+// (length >= 1); the trivial length-0 path is never emitted.
+func (g *Graph) SimplePaths(u, v int, limit int, visit func(Path)) bool {
+	onPath := make([]bool, g.n)
+	var cur Path
+	count := 0
+	stopped := false
+	emit := func(p Path) {
+		cp := make(Path, len(p))
+		copy(cp, p)
+		visit(cp)
+		count++
+		if limit > 0 && count >= limit {
+			stopped = true
+		}
+	}
+	var rec func(x int)
+	rec = func(x int) {
+		onPath[x] = true
+		cur = append(cur, x)
+		for _, y := range g.Out(x) {
+			if stopped {
+				break
+			}
+			if y == v {
+				// Terminal step: a simple path ends the moment it reaches
+				// v, since revisiting v is impossible.
+				emit(append(cur, y))
+				continue
+			}
+			if onPath[y] {
+				continue
+			}
+			rec(y)
+		}
+		cur = cur[:len(cur)-1]
+		onPath[x] = false
+	}
+	rec(u)
+	return !stopped
+}
+
+// HasSimplePathOfParity reports whether there is a simple path from u to v
+// whose length has the given parity (0 = even, 1 = odd). Length-0 paths
+// (u == v) count as even. This is the NP-complete even-simple-path query of
+// [LM89] decided by brute force; use only on small graphs.
+func (g *Graph) HasSimplePathOfParity(u, v, parity int) bool {
+	if u == v && parity == 0 {
+		return true
+	}
+	found := false
+	g.SimplePaths(u, v, 0, func(p Path) {
+		if p.Len()%2 == parity {
+			found = true
+		}
+	})
+	return found
+}
+
+// DisjointSimplePaths reports whether g contains pairwise node-disjoint
+// simple paths p_i from sources[i] to targets[i] for all i. The search
+// treats every node as usable by at most one path, so all endpoints must be
+// pairwise distinct (the paper's distinguished nodes are). Brute force:
+// exponential, intended as ground truth on small graphs.
+func (g *Graph) DisjointSimplePaths(sources, targets []int) bool {
+	return g.FindDisjointSimplePaths(sources, targets) != nil
+}
+
+// FindDisjointSimplePaths returns pairwise node-disjoint simple paths from
+// sources[i] to targets[i] for all i, or nil if none exist. Brute force.
+func (g *Graph) FindDisjointSimplePaths(sources, targets []int) []Path {
+	if len(sources) != len(targets) {
+		panic("graph: sources/targets length mismatch")
+	}
+	k := len(sources)
+	used := make([]bool, g.n)
+	// Endpoints of paths not yet routed are reserved so earlier paths do
+	// not run through them.
+	reserved := make([]int, g.n)
+	for i := 0; i < k; i++ {
+		reserved[sources[i]]++
+		reserved[targets[i]]++
+	}
+	result := make([]Path, k)
+	var route func(i int) bool
+	var walk func(i, x, t int, cur Path) bool
+	route = func(i int) bool {
+		if i == k {
+			return true
+		}
+		s, t := sources[i], targets[i]
+		if used[s] || used[t] {
+			return false
+		}
+		reserved[s]--
+		reserved[t]--
+		ok := walk(i, s, t, nil)
+		reserved[s]++
+		reserved[t]++
+		return ok
+	}
+	walk = func(i, x, t int, cur Path) bool {
+		used[x] = true
+		cur = append(cur, x)
+		defer func() { used[x] = false }()
+		if x == t {
+			cp := make(Path, len(cur))
+			copy(cp, cur)
+			result[i] = cp
+			if route(i + 1) {
+				return true
+			}
+			result[i] = nil
+			return false
+		}
+		for _, y := range g.Out(x) {
+			if used[y] || reserved[y] > 0 {
+				continue
+			}
+			if walk(i, y, t, cur) {
+				return true
+			}
+		}
+		return false
+	}
+	// The deferred unmarks above unwind the used[] flags on success as well,
+	// which is harmless: once route(0) returns true every path is recorded
+	// in result and no further search runs. The recursion keeps flags
+	// correct *during* the search because route(i+1) is invoked before any
+	// deferred unmark of path i fires.
+	if route(0) {
+		return result
+	}
+	return nil
+}
+
+// TwoDisjointPaths reports whether g has node-disjoint simple paths from s1
+// to t1 and from s2 to t2 (the H1-subgraph homeomorphism query of §6.2).
+func (g *Graph) TwoDisjointPaths(s1, t1, s2, t2 int) bool {
+	return g.DisjointSimplePaths([]int{s1, s2}, []int{t1, t2})
+}
+
+// Describe returns a short human-readable summary, used by the cmd tools.
+func (g *Graph) Describe() string {
+	return fmt.Sprintf("%d nodes, %d edges", g.N(), g.M())
+}

@@ -1,0 +1,138 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randomFromSeed(seed int64, n int, p float64) *Graph {
+	return Random(n, p, rand.New(rand.NewSource(seed)))
+}
+
+func TestQuickReachabilityTransitive(t *testing.T) {
+	prop := func(seed int64) bool {
+		g := randomFromSeed(seed, 7, 0.25)
+		for u := 0; u < 7; u++ {
+			for v := 0; v < 7; v++ {
+				for w := 0; w < 7; w++ {
+					if g.Reachable(u, v) && g.Reachable(v, w) && !g.Reachable(u, w) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickTransitiveClosureMatchesReachable(t *testing.T) {
+	prop := func(seed int64) bool {
+		g := randomFromSeed(seed, 7, 0.25)
+		tc := g.TransitiveClosure()
+		for u := 0; u < 7; u++ {
+			for v := 0; v < 7; v++ {
+				// TC = path of length >= 1.
+				want := false
+				for _, y := range g.Out(u) {
+					if y == v || g.Reachable(y, v) {
+						want = true
+						break
+					}
+				}
+				if tc[[2]int{u, v}] != want {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickShortestPathIsShortest(t *testing.T) {
+	prop := func(seed int64) bool {
+		g := randomFromSeed(seed, 8, 0.25)
+		p := g.ShortestPath(0, 7)
+		if p == nil {
+			return !g.Reachable(0, 7)
+		}
+		if !p.ValidIn(g) || !p.Simple() {
+			return false
+		}
+		// No simple path is shorter (check via enumeration).
+		shortest := p.Len()
+		ok := true
+		g.SimplePaths(0, 7, 0, func(q Path) {
+			if q.Len() < shortest {
+				ok = false
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickDisjointPathsMonotone(t *testing.T) {
+	// Adding an edge never destroys a disjoint-path routing.
+	prop := func(seed int64, e uint16) bool {
+		g := randomFromSeed(seed, 7, 0.2)
+		before := g.DisjointSimplePaths([]int{0, 1}, []int{5, 6})
+		u := int(e) % 7
+		v := int(e>>3) % 7
+		if u != v {
+			g.AddEdge(u, v)
+		}
+		after := g.DisjointSimplePaths([]int{0, 1}, []int{5, 6})
+		return !before || after
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSubdivideDoublesDistances(t *testing.T) {
+	prop := func(seed int64) bool {
+		g := randomFromSeed(seed, 7, 0.3)
+		h, _ := Subdivide(g)
+		for u := 0; u < 7; u++ {
+			for v := 0; v < 7; v++ {
+				pg := g.ShortestPath(u, v)
+				ph := h.ShortestPath(u, v)
+				if (pg == nil) != (ph == nil) {
+					return false
+				}
+				if pg != nil && ph.Len() != 2*pg.Len() {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickLevelsBoundPathLengths(t *testing.T) {
+	prop := func(seed int64) bool {
+		g := RandomDAG(9, 0.3, rand.New(rand.NewSource(seed)))
+		levels := g.Levels()
+		for _, e := range g.Edges() {
+			if levels[e[0]] < levels[e[1]]+1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,168 @@
+package homeo
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/datalog"
+	"repro/internal/graph"
+)
+
+func TestAcyclicGameRejectsCyclicInput(t *testing.T) {
+	inst, _ := NewInstance(H1(), graph.DirectedCycle(5), []int{0, 1, 2, 3})
+	if _, err := NewAcyclicGame(H1(), inst); err == nil {
+		t.Fatal("cyclic input accepted")
+	}
+}
+
+func TestAcyclicGameEqualsBruteForce(t *testing.T) {
+	// Theorem 6.2: Player II wins the game iff H embeds homeomorphically,
+	// for EVERY pattern H, on acyclic inputs. Test H1, H2, and a 3-star.
+	rng := rand.New(rand.NewSource(71))
+	patterns := []Pattern{H1(), H2(), Star(2, false), InStar(2, false)}
+	for trial := 0; trial < 60; trial++ {
+		g := graph.RandomDAG(8, 0.3, rng)
+		for _, p := range patterns {
+			nodes := rng.Perm(8)[:p.G.N()]
+			inst, err := NewInstance(p, g, nodes)
+			if err != nil {
+				t.Fatal(err)
+			}
+			game, err := NewAcyclicGame(p, inst)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := game.PlayerIIWins()
+			want := p.BruteForce(inst)
+			if got != want {
+				t.Fatalf("trial %d %v nodes %v: game=%v brute=%v\n%s",
+					trial, p.G, nodes, got, want, g)
+			}
+		}
+	}
+}
+
+func TestAcyclicGameH2Chain(t *testing.T) {
+	// The H2 query "simple path from s1 to s3 through s2" on a DAG.
+	g := graph.DirectedPath(5)
+	inst, _ := NewInstance(H2(), g, []int{0, 2, 4})
+	ok, err := SolveAcyclic(H2(), inst)
+	if err != nil || !ok {
+		t.Fatalf("path through middle should embed: %v %v", ok, err)
+	}
+	// Reversed middle: s2 after s3 — impossible.
+	inst2, _ := NewInstance(H2(), g, []int{0, 4, 2})
+	ok, err = SolveAcyclic(H2(), inst2)
+	if err != nil || ok {
+		t.Fatalf("out-of-order middle should fail: %v %v", ok, err)
+	}
+}
+
+func TestAcyclicGameMatchesDatalogProgram(t *testing.T) {
+	// Theorem 6.2's D(x,y) program and the direct game solver agree on
+	// the two-disjoint-paths query over random DAGs.
+	rng := rand.New(rand.NewSource(72))
+	for trial := 0; trial < 40; trial++ {
+		g := graph.RandomDAG(8, 0.3, rng)
+		perm := rng.Perm(8)
+		s1, t1, s2, t2 := perm[0], perm[1], perm[2], perm[3]
+		inst, err := NewInstance(H1(), g, []int{s1, t1, s2, t2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		game, err := NewAcyclicGame(H1(), inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gameWin := game.PlayerIIWins()
+		prog := datalog.TwoDisjointPathsAcyclicProgram(s1, t1, s2, t2)
+		res := datalog.MustEval(prog, datalog.FromGraph(g))
+		dlWin := res.IDB["D"].Has(datalog.Tuple{s1, s2})
+		if gameWin != dlWin {
+			t.Fatalf("trial %d: game=%v datalog=%v (s1=%d t1=%d s2=%d t2=%d)\n%s",
+				trial, gameWin, dlWin, s1, t1, s2, t2, g)
+		}
+	}
+}
+
+func TestAcyclicGameStateCount(t *testing.T) {
+	g := graph.Grid(3, 3)
+	inst, _ := NewInstance(H1(), g, []int{0, 8, 2, 6})
+	game, err := NewAcyclicGame(H1(), inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	game.PlayerIIWins()
+	if game.StateCount() == 0 {
+		t.Fatal("no states explored")
+	}
+}
+
+func TestAcyclicSelfLoopPatternAlwaysLoses(t *testing.T) {
+	// A pattern self-loop needs a cycle; acyclic inputs have none.
+	p := Star(1, true)
+	g := graph.RandomDAG(6, 0.5, rand.New(rand.NewSource(73)))
+	inst, _ := NewInstance(p, g, []int{0, 5})
+	ok, err := SolveAcyclic(p, inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("self-loop pattern cannot embed in a DAG")
+	}
+}
+
+func TestSolveDispatch(t *testing.T) {
+	// Class C pattern on a cyclic graph → flow.
+	g := graph.DirectedCycle(5)
+	inst, _ := NewInstance(Star(2, false), g, []int{0, 1, 2})
+	_, alg, err := Solve(Star(2, false), inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alg != "flow (H in C, Theorem 6.1)" {
+		t.Fatalf("alg = %q", alg)
+	}
+	// Non-C pattern on a DAG → game.
+	dag := graph.RandomDAG(6, 0.4, rand.New(rand.NewSource(74)))
+	inst2, _ := NewInstance(H1(), dag, []int{0, 1, 2, 3})
+	_, alg, err = Solve(H1(), inst2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alg != "acyclic pebble game (Theorem 6.2)" {
+		t.Fatalf("alg = %q", alg)
+	}
+	// Non-C pattern on a cyclic graph → brute force.
+	inst3, _ := NewInstance(H1(), graph.DirectedCycle(6), []int{0, 1, 2, 3})
+	got, alg, err := Solve(H1(), inst3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alg != "brute force (NP-complete case, Theorem 6.7)" {
+		t.Fatalf("alg = %q", alg)
+	}
+	// On a single cycle, disjoint 0→1 and 2→3 paths exist.
+	if !got {
+		t.Fatal("cycle segments are disjoint")
+	}
+	// Dispatch results agree with brute force everywhere.
+	rng := rand.New(rand.NewSource(75))
+	for trial := 0; trial < 20; trial++ {
+		g := graph.Random(7, 0.25, rng)
+		for _, p := range []Pattern{H1(), H2(), Star(2, false)} {
+			nodes := rng.Perm(7)[:p.G.N()]
+			inst, err := NewInstance(p, g, nodes)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, _, err := Solve(p, inst)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != p.BruteForce(inst) {
+				t.Fatalf("trial %d: dispatch disagrees with brute force", trial)
+			}
+		}
+	}
+}

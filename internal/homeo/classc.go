@@ -1,0 +1,136 @@
+package homeo
+
+import (
+	"fmt"
+
+	"repro/internal/datalog"
+	"repro/internal/flow"
+	"repro/internal/graph"
+)
+
+// classCShape normalizes an H ∈ C instance: the working graph (reversed
+// when the root is the head of every edge), the root's distinguished node,
+// the leaf targets in pattern order, and whether H has a root self-loop.
+func classCShape(p Pattern, inst Instance) (g *graph.Graph, root int, targets []int, loop bool, err error) {
+	r, asTail, ok := p.ClassCRoot()
+	if !ok {
+		return nil, 0, nil, false, fmt.Errorf("homeo: pattern not in class C")
+	}
+	g = inst.G
+	if !asTail {
+		g = g.Reverse()
+	}
+	root = inst.Nodes[r]
+	for _, e := range p.G.Edges() {
+		u, v := e[0], e[1]
+		if !asTail {
+			u, v = v, u
+		}
+		if u == r && v == r {
+			loop = true
+			continue
+		}
+		targets = append(targets, inst.Nodes[v])
+	}
+	return g, root, targets, loop, nil
+}
+
+// SolveClassC decides the H-subgraph homeomorphism query for a pattern in
+// the class C via the network-flow reduction of [FHW80] (Theorem 6.1's
+// polynomial oracle): H embeds iff the root can push one unit of flow to
+// every leaf simultaneously under unit node capacities — and, when H has a
+// root self-loop, an additional node-disjoint cycle returns to the root.
+func SolveClassC(p Pattern, inst Instance) (bool, error) {
+	g, root, targets, loop, err := classCShape(p, inst)
+	if err != nil {
+		return false, err
+	}
+	k := len(targets)
+	if !loop {
+		return flow.FanOutCount(g, root, targets) == k, nil
+	}
+	// Self-loop: either the k paths exist and G has a loop at the root,
+	// or some fresh node w with an edge w→root extends to k+1 paths.
+	if g.HasEdge(root, root) && flow.FanOutCount(g, root, targets) == k {
+		return true, nil
+	}
+	inUse := map[int]bool{root: true}
+	for _, t := range targets {
+		inUse[t] = true
+	}
+	for _, w := range g.In(root) {
+		if inUse[w] {
+			continue
+		}
+		if flow.FanOutCount(g, root, append(append([]int{}, targets...), w)) == k+1 {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// SolveClassCDatalog decides the same query by generating and evaluating
+// the Datalog(≠) program family Q_{k,l} of Theorem 6.1 — the paper's
+// expressibility result made executable. It agrees with SolveClassC and
+// with BruteForce (see the tests), at polynomial but distinctly higher
+// cost.
+func SolveClassCDatalog(p Pattern, inst Instance) (bool, error) {
+	g, root, targets, loop, err := classCShape(p, inst)
+	if err != nil {
+		return false, err
+	}
+	k := len(targets)
+	if k == 0 {
+		// Pattern is a single self-loop: ask for a cycle through the root.
+		if g.HasEdge(root, root) {
+			return true, nil
+		}
+		prog := datalog.QklPrograms(1, 0)
+		res, e := datalog.Eval(prog, datalog.FromGraph(g), datalog.DefaultOptions)
+		if e != nil {
+			return false, e
+		}
+		for _, w := range g.In(root) {
+			if w != root && res.IDB["Q1"].Has(datalog.Tuple{root, w}) {
+				return true, nil
+			}
+		}
+		return false, nil
+	}
+	db := datalog.FromGraph(g)
+	query := func(kk int, args []int) (bool, error) {
+		prog := datalog.QklPrograms(kk, 0)
+		res, e := datalog.Eval(prog, db, datalog.DefaultOptions)
+		if e != nil {
+			return false, e
+		}
+		return res.IDB[fmt.Sprintf("Q%d", kk)].Has(datalog.Tuple(args)), nil
+	}
+	base := append([]int{root}, targets...)
+	if !loop {
+		return query(k, base)
+	}
+	if g.HasEdge(root, root) {
+		ok, e := query(k, base)
+		if e != nil || ok {
+			return ok, e
+		}
+	}
+	inUse := map[int]bool{root: true}
+	for _, t := range targets {
+		inUse[t] = true
+	}
+	for _, w := range g.In(root) {
+		if inUse[w] {
+			continue
+		}
+		ok, e := query(k+1, append(append([]int{}, base...), w))
+		if e != nil {
+			return false, e
+		}
+		if ok {
+			return true, nil
+		}
+	}
+	return false, nil
+}

@@ -1,0 +1,133 @@
+package homeo
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/pebble"
+)
+
+// EvenSimplePath decides (by brute force — the query is NP-complete
+// [LM89]) whether there is a simple path of even, strictly positive length
+// from s to t.
+func EvenSimplePath(g *graph.Graph, s, t int) bool {
+	found := false
+	g.SimplePaths(s, t, 0, func(p graph.Path) {
+		if p.Len()%2 == 0 && p.Len() > 0 {
+			found = true
+		}
+	})
+	return found
+}
+
+// EvenPathReduction applies the Corollary 6.8 reduction from the
+// two-disjoint-paths query to the even-simple-path query: double every
+// edge of G (replace (u,v) by u→w→v), add an edge s2→s3, a fresh node t
+// with an edge s4→t. Then G has node-disjoint simple paths s1→s2 and
+// s3→s4 iff G* has a simple path of even length from s1 to t.
+func EvenPathReduction(g *graph.Graph, s1, s2, s3, s4 int) (gs *graph.Graph, start, target int) {
+	gs, _ = graph.Subdivide(g)
+	gs.AddEdge(s2, s3)
+	t := gs.AddNode()
+	gs.AddEdge(s4, t)
+	return gs, s1, t
+}
+
+// Subdivision packages the Corollary 6.8 reduction applied to a graph,
+// remembering the midpoint bookkeeping the game simulation needs.
+type Subdivision struct {
+	Star   *graph.Graph
+	Start  int
+	Target int
+	// Mid maps each original edge to its midpoint node; MidOf inverts it.
+	Mid   map[[2]int]int
+	MidOf map[int][2]int
+}
+
+// NewSubdivision builds G* with its bookkeeping.
+func NewSubdivision(g *graph.Graph, s1, s2, s3, s4 int) *Subdivision {
+	gs, mid := graph.Subdivide(g)
+	gs.AddEdge(s2, s3)
+	t := gs.AddNode()
+	gs.AddEdge(s4, t)
+	sub := &Subdivision{Star: gs, Start: s1, Target: t, Mid: mid, MidOf: map[int][2]int{}}
+	for e, w := range mid {
+		sub.MidOf[w] = e
+	}
+	return sub
+}
+
+// SubdivisionDuplicator lifts a Player II strategy for the existential
+// 2k-pebble game on (A, B) to one for the k-pebble game on (A*, B*),
+// exactly as in the proof of Corollary 6.8: an outer pebble on an original
+// node u of A* plays one inner pebble on u; an outer pebble on the
+// midpoint of an A-edge (u, v) plays two inner pebbles on u and v, whose
+// images (u', v') must span a B-edge, and answers its midpoint in B*.
+// Outer pebble i owns inner pebbles 2i and 2i+1.
+type SubdivisionDuplicator struct {
+	A, B  *Subdivision
+	Inner pebble.Duplicator
+
+	placed map[int][2]bool // which inner pebbles of each outer pebble are down
+}
+
+// NewSubdivisionDuplicator wires the adapter.
+func NewSubdivisionDuplicator(a, b *Subdivision, inner pebble.Duplicator) *SubdivisionDuplicator {
+	d := &SubdivisionDuplicator{A: a, B: b, Inner: inner}
+	d.Reset()
+	return d
+}
+
+// Reset implements pebble.Duplicator.
+func (d *SubdivisionDuplicator) Reset() {
+	d.Inner.Reset()
+	d.placed = map[int][2]bool{}
+}
+
+// Lift implements pebble.Duplicator.
+func (d *SubdivisionDuplicator) Lift(i int) {
+	p := d.placed[i]
+	if p[0] {
+		d.Inner.Lift(2 * i)
+	}
+	if p[1] {
+		d.Inner.Lift(2*i + 1)
+	}
+	delete(d.placed, i)
+}
+
+// Place implements pebble.Duplicator.
+func (d *SubdivisionDuplicator) Place(i, aNode int) (int, error) {
+	if d.placed[i][0] || d.placed[i][1] {
+		// The referee guarantees lift-before-replace; be defensive.
+		d.Lift(i)
+	}
+	if aNode == d.A.Target {
+		return d.B.Target, nil
+	}
+	if e, isMid := d.A.MidOf[aNode]; isMid {
+		u2, err := d.Inner.Place(2*i, e[0])
+		if err != nil {
+			return 0, err
+		}
+		d.placed[i] = [2]bool{true, false}
+		v2, err := d.Inner.Place(2*i+1, e[1])
+		if err != nil {
+			return 0, err
+		}
+		d.placed[i] = [2]bool{true, true}
+		w, ok := d.B.Mid[[2]int{u2, v2}]
+		if !ok {
+			return 0, fmt.Errorf("homeo: inner strategy mapped edge (%d,%d) to non-edge (%d,%d)",
+				e[0], e[1], u2, v2)
+		}
+		return w, nil
+	}
+	// Original node of A.
+	b, err := d.Inner.Place(2*i, aNode)
+	if err != nil {
+		return 0, err
+	}
+	d.placed[i] = [2]bool{true, false}
+	return b, nil
+}

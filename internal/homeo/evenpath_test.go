@@ -1,0 +1,123 @@
+package homeo
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/structure"
+)
+
+func TestEvenSimplePathBasics(t *testing.T) {
+	g := graph.DirectedPath(5) // 0..4, unique path lengths = distance
+	if EvenSimplePath(g, 0, 3) {
+		t.Fatal("length 3 is odd")
+	}
+	if !EvenSimplePath(g, 0, 4) {
+		t.Fatal("length 4 is even")
+	}
+	if EvenSimplePath(g, 2, 2) {
+		t.Fatal("zero-length path does not count")
+	}
+}
+
+func TestEvenPathReductionCorrect(t *testing.T) {
+	// Corollary 6.8: two disjoint paths in G iff even simple path in G*.
+	rng := rand.New(rand.NewSource(91))
+	for trial := 0; trial < 40; trial++ {
+		g := graph.Random(7, 0.25, rng)
+		perm := rng.Perm(7)
+		s1, s2, s3, s4 := perm[0], perm[1], perm[2], perm[3]
+		want := g.TwoDisjointPaths(s1, s2, s3, s4)
+		gs, start, target := EvenPathReduction(g, s1, s2, s3, s4)
+		got := EvenSimplePath(gs, start, target)
+		if got != want {
+			t.Fatalf("trial %d: disjoint=%v evenpath=%v (s=%d,%d,%d,%d)\n%s",
+				trial, want, got, s1, s2, s3, s4, g)
+		}
+	}
+}
+
+func TestEvenPathReductionParity(t *testing.T) {
+	// Subdivision doubles path lengths, so every simple path in G* that
+	// uses only doubled edges has even length; the reduction's parity
+	// bookkeeping rests on this.
+	g := graph.DirectedPath(4)
+	gs, _ := graph.Subdivide(g)
+	p := gs.ShortestPath(0, 3)
+	if p.Len()%2 != 0 {
+		t.Fatal("doubled path should have even length")
+	}
+}
+
+func TestPatternBasedTCDecidedByGame(t *testing.T) {
+	// Theorem 5.5 in the positive direction: reachability is in L^3, so
+	// the game procedure at k = 3 decides it exactly.
+	rng := rand.New(rand.NewSource(92))
+	var inputs []*structure.Structure
+	for trial := 0; trial < 15; trial++ {
+		g := graph.Random(5, 0.25, rng)
+		s, tt := 0, 4
+		inputs = append(inputs, structure.FromGraph(g, []string{"s", "t"}, []int{s, tt}))
+	}
+	dis, err := GameVsTruth(TransitiveClosureQuery{}, inputs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dis != 0 {
+		t.Fatalf("game procedure disagreed with reachability on %d inputs", dis)
+	}
+}
+
+func TestPatternBasedEmbeddingDefinition(t *testing.T) {
+	// DecideByEmbedding must agree with ground truth by Definition 5.1.
+	rng := rand.New(rand.NewSource(93))
+	for trial := 0; trial < 10; trial++ {
+		g := graph.Random(5, 0.3, rng)
+		b := structure.FromGraph(g, []string{"s", "t"}, []int{0, 4})
+		for _, q := range []PatternBasedQuery{TransitiveClosureQuery{}, EvenSimplePathQuery{}} {
+			if DecideByEmbedding(q, b) != q.Holds(b) {
+				t.Fatalf("trial %d: %s: embedding decision wrong", trial, q.Name())
+			}
+		}
+	}
+}
+
+func TestPatternBasedGameSound(t *testing.T) {
+	// The game procedure can only over-approximate: game=false implies
+	// truth=false (Proposition 5.4's easy direction), at any k.
+	rng := rand.New(rand.NewSource(94))
+	for trial := 0; trial < 10; trial++ {
+		g := graph.Random(5, 0.3, rng)
+		b := structure.FromGraph(g, []string{"s", "t"}, []int{0, 4})
+		for _, k := range []int{1, 2} {
+			game, err := DecideByGame(EvenSimplePathQuery{}, b, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !game && (EvenSimplePathQuery{}).Holds(b) {
+				t.Fatalf("trial %d k=%d: game=false but query holds", trial, k)
+			}
+		}
+	}
+}
+
+func TestPatternGeneratorsShape(t *testing.T) {
+	b := structure.FromGraph(graph.DirectedPath(6), []string{"s", "t"}, []int{0, 5})
+	pats := (EvenSimplePathQuery{}).Patterns(b)
+	for _, a := range pats {
+		// Odd node count = even edge count.
+		if a.N%2 == 0 {
+			t.Fatalf("pattern with even node count %d", a.N)
+		}
+		if a.N > b.N {
+			t.Fatal("pattern larger than input")
+		}
+	}
+	if len(pats) != 2 { // k = 3, 5
+		t.Fatalf("expected 2 patterns, got %d", len(pats))
+	}
+	if got := len((TransitiveClosureQuery{}).Patterns(b)); got != 5 { // k = 2..6
+		t.Fatalf("expected 5 TC patterns, got %d", got)
+	}
+}

@@ -1,0 +1,122 @@
+package homeo
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/structure"
+)
+
+// Lemma 6.3: if F1 ⊆ F2 and the F1-subgraph homeomorphism query is not
+// expressible in L^ω, neither is the F2 query. The proof grafts a fresh
+// copy of F2−F1 onto both witness structures, identifying the F1-nodes of
+// the copy with the existing distinguished nodes; Player II extends his
+// strategy by answering the grafted part verbatim. This file makes the
+// construction and the extended strategy executable.
+
+// Graft is a witness pair for F2 built from a witness pair for F1.
+type Graft struct {
+	F1, F2 Pattern
+	// AG/BG are the grafted graphs; AConst/BConst their distinguished
+	// nodes in F2-node order (the first |F1| are the original ones).
+	AG, BG         *graph.Graph
+	AConst, BConst []int
+	ConstNames     []string
+
+	// newA maps F2-only pattern nodes to their fresh nodes in AG; the
+	// original graphs occupy the same node ids as before.
+	newA map[int]int
+	newB map[int]int
+	oldN int // node count of the original A (fresh nodes are >= oldN)
+}
+
+// NewGraft builds the Lemma 6.3 construction. F1's nodes must be the
+// first l nodes of F2 (the paper's convention), aConst/bConst the
+// distinguished nodes of the F1-witness structures.
+func NewGraft(f1, f2 Pattern, a, b *graph.Graph, aConst, bConst []int) (*Graft, error) {
+	l := f1.G.N()
+	if len(aConst) != l || len(bConst) != l {
+		return nil, fmt.Errorf("homeo: F1 has %d nodes; got %d/%d distinguished", l, len(aConst), len(bConst))
+	}
+	for _, e := range f1.G.Edges() {
+		if !f2.G.HasEdge(e[0], e[1]) {
+			return nil, fmt.Errorf("homeo: F1 edge %v missing from F2", e)
+		}
+	}
+	g := &Graft{F1: f1, F2: f2, AG: a.Clone(), BG: b.Clone(),
+		newA: map[int]int{}, newB: map[int]int{}, oldN: a.N()}
+	nodeA := func(v int) int {
+		if v < l {
+			return aConst[v]
+		}
+		if n, ok := g.newA[v]; ok {
+			return n
+		}
+		n := g.AG.AddNode()
+		g.newA[v] = n
+		return n
+	}
+	nodeB := func(v int) int {
+		if v < l {
+			return bConst[v]
+		}
+		if n, ok := g.newB[v]; ok {
+			return n
+		}
+		n := g.BG.AddNode()
+		g.newB[v] = n
+		return n
+	}
+	for _, e := range f2.G.Edges() {
+		if e[0] < l && e[1] < l && f1.G.HasEdge(e[0], e[1]) {
+			continue // belongs to F1: already realized by the witnesses
+		}
+		g.AG.AddEdge(nodeA(e[0]), nodeA(e[1]))
+		g.BG.AddEdge(nodeB(e[0]), nodeB(e[1]))
+	}
+	for v := 0; v < f2.G.N(); v++ {
+		g.ConstNames = append(g.ConstNames, fmt.Sprintf("m%d", v))
+		g.AConst = append(g.AConst, nodeA(v))
+		g.BConst = append(g.BConst, nodeB(v))
+	}
+	return g, nil
+}
+
+// Structures returns the grafted pair with all F2 nodes as constants.
+func (g *Graft) Structures() (a, b *structure.Structure) {
+	a = structure.FromGraph(g.AG, g.ConstNames, g.AConst)
+	b = structure.FromGraph(g.BG, g.ConstNames, g.BConst)
+	return a, b
+}
+
+// GraftDuplicator extends a Player II strategy for the original pair to
+// the grafted pair: moves on original A nodes route through the inner
+// strategy; moves on grafted nodes answer their grafted counterparts.
+type GraftDuplicator struct {
+	G     *Graft
+	Inner interface {
+		Reset()
+		Lift(int)
+		Place(int, int) (int, error)
+	}
+}
+
+// Reset implements pebble.Duplicator.
+func (d *GraftDuplicator) Reset() { d.Inner.Reset() }
+
+// Lift implements pebble.Duplicator.
+func (d *GraftDuplicator) Lift(i int) { d.Inner.Lift(i) }
+
+// Place implements pebble.Duplicator.
+func (d *GraftDuplicator) Place(i, aNode int) (int, error) {
+	if aNode < d.G.oldN {
+		return d.Inner.Place(i, aNode)
+	}
+	for v, n := range d.G.newA {
+		if n == aNode {
+			d.Inner.Lift(i) // clear any stale inner state for this slot
+			return d.G.newB[v], nil
+		}
+	}
+	return 0, fmt.Errorf("homeo: grafted node %d unknown", aNode)
+}

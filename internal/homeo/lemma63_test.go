@@ -1,0 +1,143 @@
+package homeo
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/pebble"
+)
+
+// f2Path3 is F2 = H1 ∪ {(1,2)}: the directed 3-path on H1's nodes, a
+// strict superpattern of H1.
+func f2Path3() Pattern {
+	g := graph.New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	return NewPattern(g)
+}
+
+func buildGraft(t *testing.T, k int) (*Graft, *LowerBound) {
+	t.Helper()
+	lb := NewLowerBound(k)
+	c := lb.Construction
+	g, err := NewGraft(H1(), f2Path3(), lb.A, c.G,
+		[]int{lb.W1, lb.W2, lb.W3, lb.W4},
+		[]int{c.S1, c.S2, c.S3, c.S4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, lb
+}
+
+func TestGraftValidation(t *testing.T) {
+	lb := NewLowerBound(1)
+	c := lb.Construction
+	// Wrong constant count.
+	if _, err := NewGraft(H1(), f2Path3(), lb.A, c.G, []int{1, 2}, []int{1, 2}); err == nil {
+		t.Fatal("short constant lists accepted")
+	}
+	// F1 not a subgraph of F2.
+	if _, err := NewGraft(H3(), f2Path3(), lb.A, c.G, []int{0, 1}, []int{0, 1}); err == nil {
+		t.Fatal("non-subgraph F1 accepted")
+	}
+}
+
+func TestLemma63Claims(t *testing.T) {
+	g, _ := buildGraft(t, 1)
+	f2 := f2Path3()
+	// Claim 1: F2 embeds homeomorphically in A'.
+	instA, err := NewInstance(f2, g.AG, g.AConst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f2.BruteForce(instA) {
+		t.Fatal("A' must satisfy the F2 query")
+	}
+	// Claim 2: F2 does not embed in B' (the FHW Lemma 1 induction).
+	instB, err := NewInstance(f2, g.BG, g.BConst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f2.BruteForce(instB) {
+		t.Fatal("B' must fail the F2 query")
+	}
+	// Claim 3 (k=1): Player II wins — exact solver.
+	a, b := g.Structures()
+	game := pebble.NewGame(a, b, 1)
+	game.MaxPositions = 20_000_000
+	w, err := game.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != pebble.PlayerII {
+		t.Fatal("II must win the 1-pebble game on the grafted pair")
+	}
+}
+
+func TestLemma63StrategySurvives(t *testing.T) {
+	for k := 1; k <= 3; k++ {
+		g, lb := buildGraft(t, k)
+		a, b := g.Structures()
+		dup := &GraftDuplicator{G: g, Inner: NewDuplicator(lb)}
+		ref := pebble.NewReferee(a, b, k)
+		rng := rand.New(rand.NewSource(int64(400 + k)))
+		trials := 25
+		if k == 3 {
+			trials = 8
+		}
+		for trial := 0; trial < trials; trial++ {
+			moves := pebble.RandomSchedule(rng, a.N, k, 120)
+			if err := ref.Play(dup, moves); err != nil {
+				t.Fatalf("k=%d trial %d: grafted strategy lost: %v", k, trial, err)
+			}
+		}
+	}
+}
+
+func TestGraftAddsEdgeBetweenOriginalConstants(t *testing.T) {
+	// F2−F1's edge (1,2) joins two original distinguished nodes; the
+	// graft must add it to both sides without fresh nodes.
+	g, lb := buildGraft(t, 1)
+	if len(g.newA) != 0 || len(g.newB) != 0 {
+		t.Fatalf("no fresh nodes expected, got %d/%d", len(g.newA), len(g.newB))
+	}
+	if !g.AG.HasEdge(lb.W2, lb.W3) {
+		t.Fatal("grafted edge missing in A'")
+	}
+	c := lb.Construction
+	if !g.BG.HasEdge(c.S2, c.S3) {
+		t.Fatal("grafted edge missing in B'")
+	}
+}
+
+func TestGraftWithFreshNodes(t *testing.T) {
+	// F2 = H1 plus a fifth node hanging off node 1: fresh nodes appear
+	// and answer each other under the extended strategy.
+	f2g := graph.New(5)
+	f2g.AddEdge(0, 1)
+	f2g.AddEdge(2, 3)
+	f2g.AddEdge(1, 4)
+	f2 := NewPattern(f2g)
+	lb := NewLowerBound(1)
+	c := lb.Construction
+	g, err := NewGraft(H1(), f2, lb.A, c.G,
+		[]int{lb.W1, lb.W2, lb.W3, lb.W4},
+		[]int{c.S1, c.S2, c.S3, c.S4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.newA) != 1 || len(g.newB) != 1 {
+		t.Fatalf("expected one fresh node per side, got %d/%d", len(g.newA), len(g.newB))
+	}
+	a, b := g.Structures()
+	dup := &GraftDuplicator{G: g, Inner: NewDuplicator(lb)}
+	ref := pebble.NewReferee(a, b, 1)
+	rng := rand.New(rand.NewSource(401))
+	for trial := 0; trial < 20; trial++ {
+		if err := ref.Play(dup, pebble.RandomSchedule(rng, a.N, 1, 80)); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}

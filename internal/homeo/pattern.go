@@ -1,0 +1,253 @@
+// Package homeo implements the paper's case study (Sections 5 and 6):
+// fixed subgraph homeomorphism queries, the FHW dichotomy class C, the
+// polynomial algorithms for patterns in C (via network flow, Theorem 6.1)
+// and for acyclic inputs (via the two-player pebble game of Theorem 6.2),
+// the brute-force ground truth, the even-simple-path query with the
+// Corollary 6.8 reduction, the pattern-based query framework of
+// Definition 5.1, and the Theorem 6.6 lower-bound structures with Player
+// II's explicit strategy.
+package homeo
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Pattern is a fixed pattern graph H with nodes 0..N-1. Patterns are
+// assumed to have no isolated nodes (the paper removes them w.l.o.g.);
+// Validate enforces this.
+type Pattern struct {
+	G *graph.Graph
+}
+
+// NewPattern wraps a graph as a pattern; it panics on isolated nodes.
+func NewPattern(g *graph.Graph) Pattern {
+	p := Pattern{G: g}
+	if err := p.Validate(); err != nil {
+		panic(err.Error())
+	}
+	return p
+}
+
+// Validate rejects empty patterns and isolated nodes.
+func (p Pattern) Validate() error {
+	if p.G.M() == 0 {
+		return fmt.Errorf("homeo: pattern has no edges")
+	}
+	for v := 0; v < p.G.N(); v++ {
+		if p.G.InDegree(v) == 0 && p.G.OutDegree(v) == 0 {
+			return fmt.Errorf("homeo: pattern node %d is isolated", v)
+		}
+	}
+	return nil
+}
+
+// H1 is two disjoint edges: nodes s1,s2,s3,s4 with edges (s1,s2),(s3,s4).
+func H1() Pattern {
+	g := graph.New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(2, 3)
+	return NewPattern(g)
+}
+
+// H2 is a path of length two through three distinct nodes.
+func H2() Pattern {
+	g := graph.New(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	return NewPattern(g)
+}
+
+// H3 is a cycle of length two.
+func H3() Pattern {
+	g := graph.New(2)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 0)
+	return NewPattern(g)
+}
+
+// Star returns the out-star with k leaves (root 0), a canonical member of
+// C; withLoop adds the root self-loop.
+func Star(k int, withLoop bool) Pattern {
+	g := graph.New(k + 1)
+	for i := 1; i <= k; i++ {
+		g.AddEdge(0, i)
+	}
+	if withLoop {
+		g.AddEdge(0, 0)
+	}
+	return NewPattern(g)
+}
+
+// InStar returns the in-star with k leaves (root 0).
+func InStar(k int, withLoop bool) Pattern {
+	g := graph.New(k + 1)
+	for i := 1; i <= k; i++ {
+		g.AddEdge(i, 0)
+	}
+	if withLoop {
+		g.AddEdge(0, 0)
+	}
+	return NewPattern(g)
+}
+
+// ClassCRoot returns a node that witnesses membership in the FHW class C —
+// a root that is the head of every edge or the tail of every edge — and
+// whether one exists. Self-loops at the root are allowed (the root is then
+// both head and tail of that edge).
+func (p Pattern) ClassCRoot() (root int, asTail bool, ok bool) {
+	for r := 0; r < p.G.N(); r++ {
+		tailAll, headAll := true, true
+		for _, e := range p.G.Edges() {
+			if e[0] != r {
+				tailAll = false
+			}
+			if e[1] != r {
+				headAll = false
+			}
+		}
+		if tailAll {
+			return r, true, true
+		}
+		if headAll {
+			return r, false, true
+		}
+	}
+	return 0, false, false
+}
+
+// InClassC reports membership in the FHW class C.
+func (p Pattern) InClassC() bool {
+	_, _, ok := p.ClassCRoot()
+	return ok
+}
+
+// ContainsSubpattern reports whether H contains the given pattern as a
+// subgraph under some injective node mapping (used to verify that every
+// pattern outside C contains H1, H2 or H3 — the C̄ characterization of
+// Section 6.2).
+func (p Pattern) ContainsSubpattern(q Pattern) bool {
+	n, m := p.G.N(), q.G.N()
+	used := make([]bool, n)
+	mapping := make([]int, m)
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if i == m {
+			return true
+		}
+		for v := 0; v < n; v++ {
+			if used[v] {
+				continue
+			}
+			ok := true
+			for _, e := range q.G.Edges() {
+				if e[0] == i && e[1] < i && !p.G.HasEdge(v, mapping[e[1]]) {
+					ok = false
+					break
+				}
+				if e[1] == i && e[0] < i && !p.G.HasEdge(mapping[e[0]], v) {
+					ok = false
+					break
+				}
+				if e[0] == i && e[1] == i && !p.G.HasEdge(v, v) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			used[v] = true
+			mapping[i] = v
+			if rec(i + 1) {
+				return true
+			}
+			used[v] = false
+		}
+		return false
+	}
+	return rec(0)
+}
+
+// Instance is an input to an H-subgraph homeomorphism query: a graph G and
+// the distinguished nodes m(v) for every pattern node v (pairwise
+// distinct).
+type Instance struct {
+	G *graph.Graph
+	// Nodes[v] is the distinguished node of G assigned to pattern node v.
+	Nodes []int
+}
+
+// NewInstance validates node count and distinctness.
+func NewInstance(p Pattern, g *graph.Graph, nodes []int) (Instance, error) {
+	if len(nodes) != p.G.N() {
+		return Instance{}, fmt.Errorf("homeo: %d distinguished nodes for a %d-node pattern", len(nodes), p.G.N())
+	}
+	seen := map[int]bool{}
+	for _, v := range nodes {
+		if v < 0 || v >= g.N() {
+			return Instance{}, fmt.Errorf("homeo: distinguished node %d outside graph", v)
+		}
+		if seen[v] {
+			return Instance{}, fmt.Errorf("homeo: distinguished nodes must be pairwise distinct")
+		}
+		seen[v] = true
+	}
+	return Instance{G: g, Nodes: nodes}, nil
+}
+
+// BruteForce decides whether H is homeomorphic to the distinguished
+// subgraph of G: pairwise node-disjoint simple paths, one per pattern
+// edge, allowed to share only equal endpoints. A self-loop edge demands a
+// simple cycle of length >= 1 through its node. Exponential; the ground
+// truth for the polynomial algorithms.
+func (p Pattern) BruteForce(inst Instance) bool {
+	edges := p.G.Edges()
+	g := inst.G
+	n := g.N()
+	// used marks nodes consumed as path interiors or endpoints; endpoint
+	// nodes may be shared by the paths incident to them in H, so we track
+	// interior usage separately from endpoint identity.
+	usedInterior := make([]bool, n)
+	distinguished := map[int]bool{}
+	for _, v := range inst.Nodes {
+		distinguished[v] = true
+	}
+	var route func(i int) bool
+	route = func(i int) bool {
+		if i == len(edges) {
+			return true
+		}
+		s := inst.Nodes[edges[i][0]]
+		t := inst.Nodes[edges[i][1]]
+		// Walk simple paths from s to t whose interior nodes are fresh
+		// non-distinguished nodes.
+		var walk func(x int) bool
+		walk = func(x int) bool {
+			for _, y := range g.Out(x) {
+				if y == t {
+					// Self-loop edges need length >= 1, which this is.
+					if route(i + 1) {
+						return true
+					}
+					continue
+				}
+				if usedInterior[y] || distinguished[y] {
+					continue
+				}
+				usedInterior[y] = true
+				if walk(y) {
+					// Unmarking while unwinding a fully successful search
+					// is harmless: no further routing runs after success.
+					usedInterior[y] = false
+					return true
+				}
+				usedInterior[y] = false
+			}
+			return false
+		}
+		return walk(s)
+	}
+	return route(0)
+}

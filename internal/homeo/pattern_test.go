@@ -1,0 +1,322 @@
+package homeo
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestClassCMembership(t *testing.T) {
+	cases := []struct {
+		name string
+		p    Pattern
+		want bool
+	}{
+		{"single edge", NewPattern(edgeGraph()), true},
+		{"out-star 2", Star(2, false), true},
+		{"out-star 3", Star(3, false), true},
+		{"out-star with loop", Star(2, true), true},
+		{"in-star 2", InStar(2, false), true},
+		{"in-star with loop", InStar(3, true), true},
+		{"H1 two disjoint edges", H1(), false},
+		{"H2 path of length 2", H2(), false},
+		{"H3 2-cycle", H3(), false},
+		{"pure self-loop", selfLoopPattern(), true},
+	}
+	for _, tc := range cases {
+		if got := tc.p.InClassC(); got != tc.want {
+			t.Fatalf("%s: InClassC = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func edgeGraph() *graph.Graph {
+	g := graph.New(2)
+	g.AddEdge(0, 1)
+	return g
+}
+
+func selfLoopPattern() Pattern {
+	g := graph.New(1)
+	g.AddEdge(0, 0)
+	return NewPattern(g)
+}
+
+func TestClassCComplementCharacterization(t *testing.T) {
+	// Section 6.2: every pattern outside C contains H1, H2 or H3 as a
+	// subgraph. Enumerate all patterns with up to 4 nodes and 4 edges.
+	//
+	// One literal-reading refinement surfaced by this enumeration: a
+	// pattern of two disjoint SELF-LOOPS (e.g. edges (0,0),(1,1)) is
+	// outside C yet contains no H1-on-four-distinct-nodes; "two disjoint
+	// edges" must be read as allowing loops, which is how the witness
+	// check below treats H1.
+	h2, h3 := H2(), H3()
+	count := 0
+	for n := 1; n <= 4; n++ {
+		pairs := [][2]int{}
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				pairs = append(pairs, [2]int{u, v})
+			}
+		}
+		for mask := 1; mask < 1<<len(pairs); mask++ {
+			if popcount(mask) > 4 {
+				continue
+			}
+			g := graph.New(n)
+			for i, pr := range pairs {
+				if mask&(1<<i) != 0 {
+					g.AddEdge(pr[0], pr[1])
+				}
+			}
+			p := Pattern{G: g}
+			if p.Validate() != nil {
+				continue // isolated nodes
+			}
+			count++
+			inC := p.InClassC()
+			hasWitness := hasTwoDisjointEdges(g) || p.ContainsSubpattern(h2) || p.ContainsSubpattern(h3)
+			if inC == hasWitness {
+				t.Fatalf("pattern %s: InClassC=%v but H1/H2/H3 witness=%v", g, inC, hasWitness)
+			}
+		}
+	}
+	if count < 100 {
+		t.Fatalf("only %d patterns enumerated", count)
+	}
+}
+
+// hasTwoDisjointEdges reports two edges sharing no node (loops allowed).
+func hasTwoDisjointEdges(g *graph.Graph) bool {
+	es := g.Edges()
+	for i := range es {
+		for j := i + 1; j < len(es); j++ {
+			a, b := es[i], es[j]
+			if a[0] != b[0] && a[0] != b[1] && a[1] != b[0] && a[1] != b[1] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func popcount(x int) int {
+	c := 0
+	for x != 0 {
+		c += x & 1
+		x >>= 1
+	}
+	return c
+}
+
+func TestNewInstanceValidation(t *testing.T) {
+	p := H2()
+	g := graph.DirectedPath(5)
+	if _, err := NewInstance(p, g, []int{0, 2}); err == nil {
+		t.Fatal("wrong node count accepted")
+	}
+	if _, err := NewInstance(p, g, []int{0, 2, 2}); err == nil {
+		t.Fatal("duplicate nodes accepted")
+	}
+	if _, err := NewInstance(p, g, []int{0, 2, 9}); err == nil {
+		t.Fatal("out-of-range node accepted")
+	}
+	if _, err := NewInstance(p, g, []int{0, 2, 4}); err != nil {
+		t.Fatalf("valid instance rejected: %v", err)
+	}
+}
+
+func TestBruteForceH2OnPath(t *testing.T) {
+	p := H2()
+	g := graph.DirectedPath(5)
+	inst, _ := NewInstance(p, g, []int{0, 2, 4})
+	if !p.BruteForce(inst) {
+		t.Fatal("path through middle exists")
+	}
+	// Middle placed off the path: no.
+	g2 := graph.DirectedPath(5)
+	g2.AddNode() // isolated node 5
+	inst2, _ := NewInstance(p, g2, []int{0, 5, 4})
+	if p.BruteForce(inst2) {
+		t.Fatal("no path via isolated middle")
+	}
+}
+
+func TestBruteForceEndpointSharing(t *testing.T) {
+	// H2 shares its middle node between the two paths; the brute force
+	// must allow exactly that sharing and nothing else.
+	p := H2()
+	// Graph: 0->1->2 and 2->3->4 with a tempting crossing 1->3.
+	g := graph.New(5)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	g.AddEdge(3, 4)
+	g.AddEdge(1, 3)
+	inst, _ := NewInstance(p, g, []int{0, 2, 4})
+	if !p.BruteForce(inst) {
+		t.Fatal("sharing the middle endpoint must be allowed")
+	}
+	// Remove the second leg; the shortcut 1->3 must NOT be usable since
+	// it bypasses the distinguished middle.
+	g.RemoveEdge(2, 3)
+	inst, _ = NewInstance(p, g, []int{0, 2, 4})
+	if p.BruteForce(inst) {
+		t.Fatal("route must pass through the distinguished middle")
+	}
+}
+
+func TestBruteForceH3Cycle(t *testing.T) {
+	p := H3()
+	g := graph.DirectedCycle(4)
+	inst, _ := NewInstance(p, g, []int{0, 2})
+	if !p.BruteForce(inst) {
+		t.Fatal("4-cycle contains a 2-cycle homeomorph through opposite nodes")
+	}
+	// Two nodes not on a common simple cycle.
+	g2 := graph.New(4)
+	g2.AddEdge(0, 1)
+	g2.AddEdge(1, 0)
+	g2.AddEdge(2, 3)
+	g2.AddEdge(3, 2)
+	inst2, _ := NewInstance(p, g2, []int{0, 2})
+	if p.BruteForce(inst2) {
+		t.Fatal("nodes in different cycles are not on a common cycle")
+	}
+}
+
+func TestBruteForceSelfLoopPattern(t *testing.T) {
+	p := selfLoopPattern()
+	g := graph.DirectedCycle(3)
+	inst, _ := NewInstance(p, g, []int{1})
+	if !p.BruteForce(inst) {
+		t.Fatal("cycle through node 1 exists")
+	}
+	dag := graph.DirectedPath(3)
+	inst2, _ := NewInstance(p, dag, []int{1})
+	if p.BruteForce(inst2) {
+		t.Fatal("no cycle in a path")
+	}
+}
+
+func TestBruteForceInteriorsStayDisjoint(t *testing.T) {
+	// H1 with both paths needing the same interior node.
+	p := H1()
+	g := graph.New(5)
+	g.AddEdge(0, 4)
+	g.AddEdge(4, 1)
+	g.AddEdge(2, 4)
+	g.AddEdge(4, 3)
+	inst, _ := NewInstance(p, g, []int{0, 1, 2, 3})
+	if p.BruteForce(inst) {
+		t.Fatal("both paths need node 4: must fail")
+	}
+	g.AddEdge(2, 3) // direct second edge
+	inst, _ = NewInstance(p, g, []int{0, 1, 2, 3})
+	if !p.BruteForce(inst) {
+		t.Fatal("direct edge frees the interior")
+	}
+}
+
+func TestContainsSubpattern(t *testing.T) {
+	big := NewPattern(func() *graph.Graph {
+		g := graph.New(4)
+		g.AddEdge(0, 1)
+		g.AddEdge(1, 2)
+		g.AddEdge(2, 3)
+		return g
+	}())
+	if !big.ContainsSubpattern(H2()) {
+		t.Fatal("3-path contains a 2-path")
+	}
+	if big.ContainsSubpattern(H3()) {
+		t.Fatal("3-path has no 2-cycle")
+	}
+	if !big.ContainsSubpattern(H1()) {
+		t.Fatal("edges (0,1),(2,3) are disjoint")
+	}
+}
+
+func TestSolveClassCEqualsBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	patterns := []Pattern{Star(2, false), Star(3, false), InStar(2, false), NewPattern(edgeGraph())}
+	for trial := 0; trial < 40; trial++ {
+		g := graph.Random(7, 0.25, rng)
+		for _, p := range patterns {
+			nodes := rng.Perm(7)[:p.G.N()]
+			inst, err := NewInstance(p, g, nodes)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fl, err := SolveClassC(p, inst)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bf := p.BruteForce(inst)
+			if fl != bf {
+				t.Fatalf("trial %d %v: flow=%v brute=%v (nodes %v)\n%s",
+					trial, p.G, fl, bf, nodes, g)
+			}
+		}
+	}
+}
+
+func TestSolveClassCWithLoopEqualsBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	patterns := []Pattern{Star(1, true), Star(2, true), InStar(2, true), selfLoopPattern()}
+	for trial := 0; trial < 40; trial++ {
+		g := graph.Random(6, 0.3, rng)
+		for _, p := range patterns {
+			nodes := rng.Perm(6)[:p.G.N()]
+			inst, err := NewInstance(p, g, nodes)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fl, err := SolveClassC(p, inst)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bf := p.BruteForce(inst)
+			if fl != bf {
+				t.Fatalf("trial %d %v: flow=%v brute=%v (nodes %v)\n%s",
+					trial, p.G, fl, bf, nodes, g)
+			}
+		}
+	}
+}
+
+func TestSolveClassCDatalogAgrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	patterns := []Pattern{Star(2, false), InStar(2, false), Star(1, true), selfLoopPattern()}
+	for trial := 0; trial < 12; trial++ {
+		g := graph.Random(6, 0.3, rng)
+		for _, p := range patterns {
+			nodes := rng.Perm(6)[:p.G.N()]
+			inst, err := NewInstance(p, g, nodes)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dl, err := SolveClassCDatalog(p, inst)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fl, err := SolveClassC(p, inst)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if dl != fl {
+				t.Fatalf("trial %d %v: datalog=%v flow=%v (nodes %v)\n%s",
+					trial, p.G, dl, fl, nodes, g)
+			}
+		}
+	}
+}
+
+func TestSolveClassCRejectsNonC(t *testing.T) {
+	inst, _ := NewInstance(H1(), graph.Complete(4), []int{0, 1, 2, 3})
+	if _, err := SolveClassC(H1(), inst); err == nil {
+		t.Fatal("H1 is not in C")
+	}
+}

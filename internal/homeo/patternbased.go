@@ -1,0 +1,126 @@
+package homeo
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/pebble"
+	"repro/internal/structure"
+)
+
+// PatternBasedQuery is the Definition 5.1 notion: a query decided by the
+// existence of a one-to-one homomorphism from some generated pattern
+// structure into the input.
+type PatternBasedQuery interface {
+	// Name identifies the query.
+	Name() string
+	// Patterns is the polynomial-time pattern generator α(B).
+	Patterns(b *structure.Structure) []*structure.Structure
+	// Holds is the direct (possibly exponential) decision procedure, used
+	// as ground truth.
+	Holds(b *structure.Structure) bool
+}
+
+// DecideByEmbedding evaluates a pattern-based query by its definition:
+// search for a pattern with a one-to-one homomorphism into B.
+func DecideByEmbedding(q PatternBasedQuery, b *structure.Structure) bool {
+	for _, a := range q.Patterns(b) {
+		if structure.TotalHomomorphismExists(a, b, true) {
+			return true
+		}
+	}
+	return false
+}
+
+// DecideByGame is the Theorem 5.5 procedure: when the query is expressible
+// in L^k, B satisfies it iff some pattern structure A ∈ α(B) lets Player II
+// win the existential k-pebble game on (A, B) (Proposition 5.4) — which
+// Proposition 5.3 decides in polynomial time, making the whole query
+// polynomial.
+func DecideByGame(q PatternBasedQuery, b *structure.Structure, k int) (bool, error) {
+	for _, a := range q.Patterns(b) {
+		w, err := pebble.NewGame(a, b, k).Solve()
+		if err != nil {
+			return false, err
+		}
+		if w == pebble.PlayerII {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// EvenSimplePathQuery is the Example 5.2(1) pattern-based query on graphs
+// with two distinguished nodes s and t: "is there a simple path of even
+// positive length from s to t?". Its patterns are the directed paths with
+// an odd number of nodes, endpoints pinned by constants.
+type EvenSimplePathQuery struct{}
+
+// Name implements PatternBasedQuery.
+func (EvenSimplePathQuery) Name() string { return "even simple path" }
+
+// Patterns returns the directed paths with k nodes, 2 < k <= |B|, k odd,
+// with constants s and t on the endpoints (Example 5.2).
+func (EvenSimplePathQuery) Patterns(b *structure.Structure) []*structure.Structure {
+	var out []*structure.Structure
+	for k := 3; k <= b.N; k += 2 {
+		p := graph.DirectedPath(k)
+		out = append(out, structure.FromGraph(p, []string{"s", "t"}, []int{0, k - 1}))
+	}
+	return out
+}
+
+// Holds implements the ground truth by brute force.
+func (EvenSimplePathQuery) Holds(b *structure.Structure) bool {
+	return EvenSimplePath(structure.ToGraph(b), b.Constant("s"), b.Constant("t"))
+}
+
+// TransitiveClosureQuery is the reachability query "is there a path of
+// length >= 1 from s to t?" as a pattern-based query: its patterns are all
+// directed paths. Unlike the even-simple-path query it IS expressible in
+// L^ω (Example 3.4 puts it in L^3), so the Theorem 5.5 game procedure
+// decides it exactly — the positive side of the Section 5 story.
+type TransitiveClosureQuery struct{}
+
+// Name implements PatternBasedQuery.
+func (TransitiveClosureQuery) Name() string { return "transitive closure" }
+
+// Patterns returns all directed paths up to the structure size.
+func (TransitiveClosureQuery) Patterns(b *structure.Structure) []*structure.Structure {
+	var out []*structure.Structure
+	for k := 2; k <= b.N; k++ {
+		p := graph.DirectedPath(k)
+		out = append(out, structure.FromGraph(p, []string{"s", "t"}, []int{0, k - 1}))
+	}
+	return out
+}
+
+// Holds implements ground truth via BFS.
+func (TransitiveClosureQuery) Holds(b *structure.Structure) bool {
+	g := structure.ToGraph(b)
+	s, t := b.Constant("s"), b.Constant("t")
+	for _, y := range g.Out(s) {
+		if y == t || g.Reachable(y, t) {
+			return true
+		}
+	}
+	return false
+}
+
+// GameVsTruth compares, over a batch of structures, the Theorem 5.5 game
+// procedure at parameter k against the ground truth, returning the number
+// of inputs where they disagree. For a query expressible in L^k the count
+// must be zero (Proposition 5.4); for the NP-complete even-simple-path
+// query a nonzero count at small k is the expressibility gap made visible.
+func GameVsTruth(q PatternBasedQuery, inputs []*structure.Structure, k int) (disagreements int, err error) {
+	for _, b := range inputs {
+		game, e := DecideByGame(q, b, k)
+		if e != nil {
+			return 0, fmt.Errorf("homeo: %s: %w", q.Name(), e)
+		}
+		if game != q.Holds(b) {
+			disagreements++
+		}
+	}
+	return disagreements, nil
+}

@@ -1,0 +1,114 @@
+package homeo
+
+import (
+	"fmt"
+)
+
+// The single-player pebble game of [FHW80] (Lemma 4 there), which the
+// paper recounts before introducing its two-player variant: one pebble
+// per pattern edge starts on the edge's source; the (single) player picks
+// any pebble and advances it along an edge to an unoccupied
+// non-distinguished node, or onto its own target, where it is removed.
+// The player wins if some move sequence removes every pebble. On acyclic
+// inputs a winning sequence exists iff H is homeomorphic to the
+// distinguished subgraph of G.
+//
+// The paper's point is that the winner of THIS game is computable in
+// fixpoint logic but seemingly not in Datalog(≠) — the existential search
+// over move sequences hides a universal "for every schedule" when
+// complemented — which is why Theorem 6.2 replaces it with the two-player
+// game whose Player II winning condition IS Datalog(≠)-expressible. Both
+// games decide homeomorphism on DAGs, so their winners coincide there;
+// the experiment suite verifies that coincidence.
+type SinglePlayerGame struct {
+	Pattern  Pattern
+	Instance Instance
+
+	starts  []int
+	targets []int
+	disting map[int]bool
+	seen    map[string]bool
+}
+
+// NewSinglePlayerGame validates acyclicity and builds the game.
+func NewSinglePlayerGame(p Pattern, inst Instance) (*SinglePlayerGame, error) {
+	if !inst.G.IsAcyclic() {
+		return nil, fmt.Errorf("homeo: single-player game requires an acyclic input graph")
+	}
+	g := &SinglePlayerGame{Pattern: p, Instance: inst, seen: map[string]bool{}, disting: map[int]bool{}}
+	for _, e := range p.G.Edges() {
+		g.starts = append(g.starts, inst.Nodes[e[0]])
+		g.targets = append(g.targets, inst.Nodes[e[1]])
+	}
+	for _, v := range inst.Nodes {
+		g.disting[v] = true
+	}
+	return g, nil
+}
+
+// Winnable reports whether some move sequence removes all pebbles —
+// reachability in the configuration space, by memoized DFS.
+func (g *SinglePlayerGame) Winnable() bool {
+	state := make([]int, len(g.starts))
+	copy(state, g.starts)
+	return g.reach(state)
+}
+
+func (g *SinglePlayerGame) reach(state []int) bool {
+	key := stateKey(state)
+	if v, ok := g.seen[key]; ok {
+		return v
+	}
+	g.seen[key] = false // cycle guard; the DAG makes real cycles impossible
+	allDone := true
+	for _, pos := range state {
+		if pos != removed {
+			allDone = false
+			break
+		}
+	}
+	if allDone {
+		g.seen[key] = true
+		return true
+	}
+	// The player may advance ANY pebble (existential choice over both the
+	// pebble and the move).
+	for i, pos := range state {
+		if pos == removed {
+			continue
+		}
+		for _, w := range g.Instance.G.Out(pos) {
+			if w == g.targets[i] {
+				next := append([]int(nil), state...)
+				next[i] = removed
+				if g.reach(next) {
+					g.seen[key] = true
+					return true
+				}
+				continue
+			}
+			if g.disting[w] || g.occupied(state, i, w) {
+				continue
+			}
+			next := append([]int(nil), state...)
+			next[i] = w
+			if g.reach(next) {
+				g.seen[key] = true
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (g *SinglePlayerGame) occupied(state []int, except, v int) bool {
+	for j, pos := range state {
+		if j != except && pos == v {
+			return true
+		}
+	}
+	return false
+}
+
+// StateCount returns the number of memoized configurations.
+func (g *SinglePlayerGame) StateCount() int { return len(g.seen) }

@@ -1,0 +1,90 @@
+package homeo
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestSinglePlayerRejectsCyclicInput(t *testing.T) {
+	inst, _ := NewInstance(H1(), graph.DirectedCycle(5), []int{0, 1, 2, 3})
+	if _, err := NewSinglePlayerGame(H1(), inst); err == nil {
+		t.Fatal("cyclic input accepted")
+	}
+}
+
+// TestSinglePlayerEqualsTwoPlayer verifies the coincidence the paper's
+// Section 6 narrative rests on: on acyclic inputs the single-player game
+// (FHW Lemma 4) and the two-player game (Theorem 6.2) decide the same
+// queries — both are equivalent to homeomorphism.
+func TestSinglePlayerEqualsTwoPlayer(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	patterns := []Pattern{H1(), H2(), Star(2, false)}
+	for trial := 0; trial < 50; trial++ {
+		g := graph.RandomDAG(8, 0.3, rng)
+		for _, p := range patterns {
+			nodes := rng.Perm(8)[:p.G.N()]
+			inst, err := NewInstance(p, g, nodes)
+			if err != nil {
+				t.Fatal(err)
+			}
+			single, err := NewSinglePlayerGame(p, inst)
+			if err != nil {
+				t.Fatal(err)
+			}
+			two, err := NewAcyclicGame(p, inst)
+			if err != nil {
+				t.Fatal(err)
+			}
+			brute := p.BruteForce(inst)
+			if single.Winnable() != brute {
+				t.Fatalf("trial %d %v: single-player %v, brute %v", trial, p.G, single.Winnable(), brute)
+			}
+			if two.PlayerIIWins() != brute {
+				t.Fatalf("trial %d %v: two-player %v, brute %v", trial, p.G, two.PlayerIIWins(), brute)
+			}
+		}
+	}
+}
+
+func TestSinglePlayerMoreStatesNeverWinsLess(t *testing.T) {
+	// Single-player winnability is existential: adding edges to G can
+	// only help.
+	rng := rand.New(rand.NewSource(102))
+	for trial := 0; trial < 20; trial++ {
+		g := graph.RandomDAG(7, 0.25, rng)
+		inst, err := NewInstance(H1(), g, []int{0, 5, 1, 6})
+		if err != nil {
+			t.Fatal(err)
+		}
+		game, _ := NewSinglePlayerGame(H1(), inst)
+		before := game.Winnable()
+		g2 := g.Clone()
+		u, v := rng.Intn(6), rng.Intn(6)
+		if u < v {
+			g2.AddEdge(u, v)
+		}
+		inst2, _ := NewInstance(H1(), g2, []int{0, 5, 1, 6})
+		game2, err := NewSinglePlayerGame(H1(), inst2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if before && !game2.Winnable() {
+			t.Fatalf("trial %d: adding an edge destroyed a win", trial)
+		}
+	}
+}
+
+func TestSinglePlayerStateCount(t *testing.T) {
+	g := graph.Grid(3, 3)
+	inst, _ := NewInstance(H1(), g, []int{0, 8, 2, 6})
+	game, err := NewSinglePlayerGame(H1(), inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	game.Winnable()
+	if game.StateCount() == 0 {
+		t.Fatal("no states explored")
+	}
+}

@@ -1,0 +1,122 @@
+package homeo
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/pebble"
+	"repro/internal/structure"
+)
+
+// starStructure wraps a subdivision as the (A*, s1, t) structure of
+// Corollary 6.8.
+func starStructure(s *Subdivision) *structure.Structure {
+	return structure.FromGraph(s.Star, []string{"s1", "t"}, []int{s.Start, s.Target})
+}
+
+func TestSubdivisionBookkeeping(t *testing.T) {
+	g := graph.New(5)
+	g.AddEdge(0, 1)
+	g.AddEdge(2, 3)
+	sub := NewSubdivision(g, 0, 1, 2, 3)
+	if len(sub.Mid) != 2 || len(sub.MidOf) != 2 {
+		t.Fatalf("midpoint maps wrong: %v %v", sub.Mid, sub.MidOf)
+	}
+	for e, w := range sub.Mid {
+		if sub.MidOf[w] != e {
+			t.Fatal("Mid/MidOf mismatch")
+		}
+		if !sub.Star.HasEdge(e[0], w) || !sub.Star.HasEdge(w, e[1]) {
+			t.Fatal("midpoint wiring wrong")
+		}
+	}
+	if !sub.Star.HasEdge(1, 2) {
+		t.Fatal("s2→s3 edge missing")
+	}
+	if !sub.Star.HasEdge(3, sub.Target) {
+		t.Fatal("s4→t edge missing")
+	}
+}
+
+// TestCorollary68Simulation verifies the game-simulation argument in the
+// proof of Corollary 6.8: given a Player II strategy for (A, B) (here the
+// copying strategy along an embedding), the SubdivisionDuplicator wins the
+// k-pebble game on (A*, B*). A embeds in B as an induced prefix, so the
+// embedding strategy is winning at any pebble count, and the adapter must
+// therefore survive any outer schedule.
+func TestCorollary68Simulation(t *testing.T) {
+	// A: two disjoint paths with endpoints s1..s4; B: the same plus a
+	// spare longer component, with A embedded identically.
+	ga, a1, a2, a3, a4 := graph.TwoDisjointPathsGraph(2, 2)
+	gb := ga.Clone()
+	extra := gb.AddNode()
+	gb.AddEdge(extra, gb.AddNode())
+	gb.AddEdge(extra, a1) // an extra in-edge; embedding is still identity
+
+	subA := NewSubdivision(ga, a1, a2, a3, a4)
+	subB := NewSubdivision(gb, a1, a2, a3, a4)
+
+	// The inner embedding: identity on A's nodes.
+	h := map[int]int{}
+	for v := 0; v < ga.N(); v++ {
+		h[v] = v
+	}
+	inner := &pebble.EmbeddingDuplicator{H: h}
+	dup := NewSubdivisionDuplicator(subA, subB, inner)
+
+	aStar := starStructure(subA)
+	bStar := starStructure(subB)
+	for _, k := range []int{1, 2, 3} {
+		ref := pebble.NewReferee(aStar, bStar, k)
+		rng := rand.New(rand.NewSource(int64(200 + k)))
+		for trial := 0; trial < 30; trial++ {
+			moves := pebble.RandomSchedule(rng, aStar.N, k, 100)
+			if err := ref.Play(dup, moves); err != nil {
+				t.Fatalf("k=%d trial %d: subdivision simulation lost: %v", k, trial, err)
+			}
+		}
+	}
+	// Cross-check with the exact solver at k = 2: II should indeed win
+	// the outer game (the corollary's ⪯ transfer).
+	w, err := pebble.NewGame(aStar, bStar, 2).Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != pebble.PlayerII {
+		t.Fatalf("exact solver disagrees: %s wins the outer game", w)
+	}
+}
+
+// TestCorollary68ParityTransfer completes the corollary's chain on a
+// concrete pair: two disjoint paths in A ⇒ even simple path in A*, and
+// the game transfer preserves it into B*.
+func TestCorollary68ParityTransfer(t *testing.T) {
+	ga, a1, a2, a3, a4 := graph.TwoDisjointPathsGraph(3, 2)
+	subA := NewSubdivision(ga, a1, a2, a3, a4)
+	if !ga.TwoDisjointPaths(a1, a2, a3, a4) {
+		t.Fatal("setup: A has the two paths")
+	}
+	if !EvenSimplePath(subA.Star, subA.Start, subA.Target) {
+		t.Fatal("A* must have an even simple path s1→t")
+	}
+	// And a graph without the two disjoint paths yields no even path.
+	gb, b1, b2, b3, b4 := graph.CrossingPathsGraph(2)
+	subB := NewSubdivision(gb, b1, b2, b3, b4)
+	if gb.TwoDisjointPaths(b1, b2, b3, b4) {
+		t.Fatal("setup: crossing graph lacks the two paths")
+	}
+	if EvenSimplePath(subB.Star, subB.Start, subB.Target) {
+		t.Fatal("B* must have no even simple path")
+	}
+}
+
+func TestEmbeddingDuplicatorErrors(t *testing.T) {
+	d := &pebble.EmbeddingDuplicator{H: map[int]int{0: 3}}
+	if _, err := d.Place(0, 1); err == nil {
+		t.Fatal("undefined element accepted")
+	}
+	if b, err := d.Place(0, 0); err != nil || b != 3 {
+		t.Fatalf("Place = %d, %v", b, err)
+	}
+}

@@ -1,0 +1,252 @@
+package homeo
+
+import (
+	"fmt"
+
+	"repro/internal/cnf"
+	"repro/internal/graph"
+	"repro/internal/structure"
+	"repro/internal/switchgraph"
+)
+
+// LowerBound packages the Theorem 6.6 witness pair for a given k:
+//
+//	A_k — two node-disjoint simple paths w1→w2 and w3→w4 whose lengths
+//	      equal the standard-path lengths of G_{φ_k};
+//	B_k — the reduction graph G_{φ_k} for the complete (unsatisfiable)
+//	      formula φ_k, with distinguished nodes s1..s4.
+//
+// The three claims of the theorem then are: A_k satisfies the
+// two-disjoint-paths query, B_k does not (φ_k is unsatisfiable), and
+// Player II wins the existential k-pebble game on (A_k, B_k) — the last
+// via the explicit strategy implemented by Duplicator below.
+type LowerBound struct {
+	K int
+
+	// The construction B_k = G_{φ_k}.
+	Construction *switchgraph.Construction
+	// A is the two-path graph; PathA1/PathA2 its two paths as node lists.
+	A      *graph.Graph
+	PathA1 graph.Path
+	PathA2 graph.Path
+	// W1..W4 are A's distinguished nodes.
+	W1, W2, W3, W4 int
+
+	// Layouts of the standard paths of B_k, indexed by offset.
+	layout12 []switchgraph.PosDesc
+	layout34 []switchgraph.PosDesc
+}
+
+// NewLowerBound builds the witness pair for k >= 1.
+func NewLowerBound(k int) *LowerBound {
+	phi := cnf.Complete(k)
+	c := switchgraph.Build(phi)
+	lb := &LowerBound{K: k, Construction: c}
+	lb.layout12 = c.Layout12()
+	lb.layout34 = c.Layout34()
+	len1 := len(lb.layout12) - 1
+	len2 := len(lb.layout34) - 1
+	g, w1, w2, w3, w4 := graph.TwoDisjointPathsGraph(len1, len2)
+	lb.A = g
+	lb.W1, lb.W2, lb.W3, lb.W4 = w1, w2, w3, w4
+	for v := w1; v <= w2; v++ {
+		lb.PathA1 = append(lb.PathA1, v)
+	}
+	for v := w3; v <= w4; v++ {
+		lb.PathA2 = append(lb.PathA2, v)
+	}
+	return lb
+}
+
+// Structures returns (A_k, B_k) as relational structures with the four
+// distinguished nodes as constants, ready for the existential k-pebble
+// game.
+func (lb *LowerBound) Structures() (a, b *structure.Structure) {
+	names := []string{"s1", "s2", "s3", "s4"}
+	a = structure.FromGraph(lb.A, names, []int{lb.W1, lb.W2, lb.W3, lb.W4})
+	c := lb.Construction
+	b = structure.FromGraph(c.G, names, []int{c.S1, c.S2, c.S3, c.S4})
+	return a, b
+}
+
+// locate resolves an A_k node to (path, offset): path 1 is w1→w2.
+func (lb *LowerBound) locate(aNode int) (path, offset int) {
+	if aNode >= lb.W1 && aNode <= lb.W2 {
+		return 1, aNode - lb.W1
+	}
+	if aNode >= lb.W3 && aNode <= lb.W4 {
+		return 2, aNode - lb.W3
+	}
+	panic(fmt.Sprintf("homeo: node %d outside A_%d", aNode, lb.K))
+}
+
+// Duplicator is Player II's explicit winning strategy from the proof of
+// Theorem 6.6. Every Player I placement on A_k corresponds to a position
+// on a standard path of B_k; the duplicator answers with the node of that
+// position, choosing the p/q group of each switch, the column of each
+// variable block, and the occurrence of each clause gap according to a
+// ref-counted extended truth assignment — exactly the bookkeeping the
+// paper describes via the auxiliary k-pebble game on φ_k.
+type Duplicator struct {
+	lb *LowerBound
+
+	// value[v] is the current truth value of variable v; refs[v] counts
+	// the pebbles sustaining it. Values evaporate at zero references.
+	value map[int]bool
+	refs  map[int]int
+	// pebbleVar[i] is the variable pinned by pebble i (0 = none);
+	// pebbleEF[i] the switch chosen for a clause-gap pebble.
+	pebbleVar map[int]int
+	pebbleEF  map[int]*switchgraph.Switch
+	// efChoice[clause] is the occurrence switch currently carrying the
+	// clause gap, reference-counted so that two pebbles in the same gap
+	// stay on the same p(e,f) path.
+	efChoice map[int]*switchgraph.Switch
+	efRefs   map[int]int
+}
+
+// NewDuplicator builds the strategy for a lower-bound pair.
+func NewDuplicator(lb *LowerBound) *Duplicator {
+	d := &Duplicator{lb: lb}
+	d.Reset()
+	return d
+}
+
+// Reset implements pebble.Duplicator.
+func (d *Duplicator) Reset() {
+	d.value = map[int]bool{}
+	d.refs = map[int]int{}
+	d.pebbleVar = map[int]int{}
+	d.pebbleEF = map[int]*switchgraph.Switch{}
+	d.efChoice = map[int]*switchgraph.Switch{}
+	d.efRefs = map[int]int{}
+}
+
+// Lift implements pebble.Duplicator: drop the pebble's sustained values.
+func (d *Duplicator) Lift(i int) {
+	if v, ok := d.pebbleVar[i]; ok && v != 0 {
+		d.refs[v]--
+		if d.refs[v] == 0 {
+			delete(d.value, v)
+			delete(d.refs, v)
+		}
+	}
+	delete(d.pebbleVar, i)
+	if sw, ok := d.pebbleEF[i]; ok {
+		d.efRefs[sw.Clause]--
+		if d.efRefs[sw.Clause] == 0 {
+			delete(d.efChoice, sw.Clause)
+			delete(d.efRefs, sw.Clause)
+		}
+	}
+	delete(d.pebbleEF, i)
+}
+
+// pin sustains (var, val) for pebble i; it fails if the variable already
+// carries the opposite value — which the strategy never lets happen when
+// it chooses values itself, but callers placing pebbles adversarially
+// exercise it.
+func (d *Duplicator) pin(i, variable int, val bool) error {
+	if cur, ok := d.value[variable]; ok {
+		if cur != val {
+			return fmt.Errorf("homeo: variable x%d forced both true and false", variable)
+		}
+	} else {
+		d.value[variable] = val
+	}
+	d.refs[variable]++
+	d.pebbleVar[i] = variable
+	return nil
+}
+
+// valueOrSet returns the variable's value, defaulting it to preferred.
+func (d *Duplicator) valueOrSet(variable int, preferred bool) bool {
+	if cur, ok := d.value[variable]; ok {
+		return cur
+	}
+	return preferred
+}
+
+// Place implements pebble.Duplicator.
+func (d *Duplicator) Place(i, aNode int) (int, error) {
+	lb := d.lb
+	c := lb.Construction
+	path, off := lb.locate(aNode)
+	var desc switchgraph.PosDesc
+	if path == 1 {
+		desc = lb.layout12[off]
+	} else {
+		desc = lb.layout34[off]
+	}
+	switch desc.Kind {
+	case switchgraph.PosFixed:
+		d.pebbleVar[i] = 0
+		return desc.Node, nil
+
+	case switchgraph.PosCA, switchgraph.PosBD:
+		// Case 1/2 of the proof: the switch's literal gets (or keeps) a
+		// truth value; true routes the p-group, false the q-group.
+		lit := desc.Switch.Literal
+		// Paper: a fresh literal is set to TRUE.
+		litVal := d.valueOrSet(lit.Var(), lit.Positive()) == lit.Positive()
+		varVal := lit.Positive() == litVal // variable-level value
+		if err := d.pin(i, lit.Var(), varVal); err != nil {
+			return 0, err
+		}
+		if desc.Kind == switchgraph.PosCA {
+			return c.CANode(desc.Switch, litVal, desc.Idx), nil
+		}
+		return c.BDNode(desc.Switch, litVal, desc.Idx), nil
+
+	case switchgraph.PosCol:
+		// Case 3: the block's variable gets (or keeps) a value; x true
+		// descends the x̄ column. Paper default: set the variable true.
+		variable := desc.Block.Var
+		val := d.valueOrSet(variable, true)
+		if err := d.pin(i, variable, val); err != nil {
+			return 0, err
+		}
+		return c.ColNode(desc.Block, val, desc.Seg, desc.Idx), nil
+
+	case switchgraph.PosEF:
+		// Case 4: pick an occurrence of the clause whose literal is (or
+		// can be made) true; all pebbles in the same gap must ride the
+		// same switch.
+		clause := desc.Clause
+		sw := d.efChoice[clause]
+		if sw != nil {
+			lit := sw.Literal
+			if d.value[lit.Var()] != lit.Positive() {
+				// The sustained choice lost its truth — cannot happen
+				// while a pebble rides it, because that pebble pins the
+				// value; defensive check.
+				return 0, fmt.Errorf("homeo: clause %d choice went stale", clause+1)
+			}
+		} else {
+			for _, cand := range c.ClauseSwitches[clause] {
+				lit := cand.Literal
+				if cur, ok := d.value[lit.Var()]; ok {
+					if cur == lit.Positive() {
+						sw = cand
+						break
+					}
+					continue // literal currently false
+				}
+				sw = cand // free literal: set it true
+				break
+			}
+			if sw == nil {
+				return 0, fmt.Errorf("homeo: clause %d fully falsified — Player I wins", clause+1)
+			}
+			d.efChoice[clause] = sw
+		}
+		lit := sw.Literal
+		if err := d.pin(i, lit.Var(), lit.Positive()); err != nil {
+			return 0, err
+		}
+		d.pebbleEF[i] = sw
+		d.efRefs[sw.Clause]++
+		return c.EFNode(sw, desc.Idx), nil
+	}
+	return 0, fmt.Errorf("homeo: unhandled position kind %v", desc.Kind)
+}

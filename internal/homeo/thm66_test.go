@@ -1,0 +1,288 @@
+package homeo
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cnf"
+	"repro/internal/pebble"
+	"repro/internal/switchgraph"
+)
+
+func TestLowerBoundShapes(t *testing.T) {
+	for k := 1; k <= 3; k++ {
+		lb := NewLowerBound(k)
+		if lb.PathA1.Len()+lb.PathA2.Len()+2 != lb.A.N() {
+			t.Fatalf("k=%d: A_k is not two disjoint paths", k)
+		}
+		if !lb.PathA1.ValidIn(lb.A) || !lb.PathA2.ValidIn(lb.A) {
+			t.Fatalf("k=%d: A_k paths invalid", k)
+		}
+		// Lengths match the standard-path layouts of B_k.
+		c := lb.Construction
+		if lb.PathA1.Len() != len(c.Layout12())-1 {
+			t.Fatalf("k=%d: path1 length %d != layout length %d", k, lb.PathA1.Len(), len(c.Layout12())-1)
+		}
+		if lb.PathA2.Len() != len(c.Layout34())-1 {
+			t.Fatalf("k=%d: path2 length %d != layout length %d", k, lb.PathA2.Len(), len(c.Layout34())-1)
+		}
+		if len(c.Switches) != k*(1<<k) {
+			t.Fatalf("k=%d: %d switches, want %d", k, len(c.Switches), k*(1<<k))
+		}
+	}
+}
+
+// TestTheorem66Claim1 — A_k satisfies the two-disjoint-paths query.
+func TestTheorem66Claim1(t *testing.T) {
+	for k := 1; k <= 3; k++ {
+		lb := NewLowerBound(k)
+		if !lb.A.TwoDisjointPaths(lb.W1, lb.W2, lb.W3, lb.W4) {
+			t.Fatalf("k=%d: A_k must satisfy the query", k)
+		}
+	}
+}
+
+// TestTheorem66Claim2 — B_k = G_{φ_k} does not satisfy the query (φ_k is
+// unsatisfiable). Brute force is feasible for k = 1; k = 2 is covered by
+// the reduction correctness (E8) plus φ_2's unsatisfiability.
+func TestTheorem66Claim2(t *testing.T) {
+	lb := NewLowerBound(1)
+	g, s1, s2, s3, s4 := lb.Construction.TwoDisjointPathsQuery()
+	if g.TwoDisjointPaths(s1, s2, s3, s4) {
+		t.Fatal("B_1 must not satisfy the query")
+	}
+	if _, sat := cnf.Complete(2).Satisfiable(); sat {
+		t.Fatal("φ_2 must be unsatisfiable")
+	}
+}
+
+// TestTheorem66Claim3Exact — for k = 1 the exact game solver confirms
+// Player II wins the existential 1-pebble game on (A_1, B_1).
+func TestTheorem66Claim3Exact(t *testing.T) {
+	lb := NewLowerBound(1)
+	a, b := lb.Structures()
+	g := pebble.NewGame(a, b, 1)
+	g.MaxPositions = 20_000_000
+	w, err := g.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != pebble.PlayerII {
+		t.Fatal("Player II must win the 1-pebble game on (A_1, B_1)")
+	}
+}
+
+// TestTheorem66StrategyRandom — the explicit Duplicator survives long
+// random schedules on (A_k, B_k) for k = 1, 2, 3.
+func TestTheorem66StrategyRandom(t *testing.T) {
+	for k := 1; k <= 3; k++ {
+		lb := NewLowerBound(k)
+		a, b := lb.Structures()
+		dup := NewDuplicator(lb)
+		ref := pebble.NewReferee(a, b, k)
+		rng := rand.New(rand.NewSource(int64(80 + k)))
+		trials := 60
+		steps := 200
+		if k == 3 {
+			trials = 20
+		}
+		for trial := 0; trial < trials; trial++ {
+			moves := pebble.RandomSchedule(rng, a.N, k, steps)
+			if err := ref.Play(dup, moves); err != nil {
+				t.Fatalf("k=%d trial %d: duplicator lost: %v", k, trial, err)
+			}
+		}
+	}
+}
+
+// TestTheorem66StrategyWalker — adversarial schedules that walk pebble
+// pairs along both paths of A_k (the Example 4.4 attack, which defeats any
+// length mismatch) and park pebbles at region boundaries.
+func TestTheorem66StrategyWalker(t *testing.T) {
+	for k := 2; k <= 3; k++ {
+		lb := NewLowerBound(k)
+		a, b := lb.Structures()
+		dup := NewDuplicator(lb)
+		ref := pebble.NewReferee(a, b, k)
+
+		var moves []pebble.Move
+		// Leapfrog two pebbles along the whole path: place p0, p1 on the
+		// first two nodes, then repeatedly lift the trailing pebble and
+		// jump it one past the leader — the Example 4.4 walking attack.
+		walk := func(path []int) {
+			moves = append(moves,
+				pebble.Move{Pebble: 0, A: path[0]},
+				pebble.Move{Pebble: 1, A: path[1]})
+			for i := 2; i < len(path); i++ {
+				p := i % 2
+				moves = append(moves,
+					pebble.Move{Pebble: p, Lift: true},
+					pebble.Move{Pebble: p, A: path[i]})
+			}
+			moves = append(moves,
+				pebble.Move{Pebble: 0, Lift: true},
+				pebble.Move{Pebble: 1, Lift: true})
+		}
+		walk(lb.PathA1)
+		walk(lb.PathA2)
+		if err := ref.Play(dup, moves); err != nil {
+			t.Fatalf("k=%d: walker attack succeeded: %v", k, err)
+		}
+	}
+}
+
+// TestTheorem66StrategyAdjacentSweep slides a window of k adjacent pebbles
+// along path 2 (the hardest region: switches, columns, clause gaps all in
+// one sweep), never lifting more than necessary.
+func TestTheorem66StrategyAdjacentSweep(t *testing.T) {
+	for k := 2; k <= 3; k++ {
+		lb := NewLowerBound(k)
+		a, b := lb.Structures()
+		dup := NewDuplicator(lb)
+		ref := pebble.NewReferee(a, b, k)
+		var moves []pebble.Move
+		path := lb.PathA2
+		for i := 0; i < len(path); i++ {
+			p := i % k
+			if i >= k {
+				moves = append(moves, pebble.Move{Pebble: p, Lift: true})
+			}
+			moves = append(moves, pebble.Move{Pebble: p, A: path[i]})
+		}
+		if err := ref.Play(dup, moves); err != nil {
+			t.Fatalf("k=%d: adjacent sweep beat the duplicator: %v", k, err)
+		}
+	}
+}
+
+// TestTheorem66StrategyPigeonhole shows the k-pebble strategy's budget is
+// tight: with k+1 pebbles Player I pins all k variables via the variable
+// blocks and then lands in the gap of the fully falsified clause of φ_k,
+// where the duplicator must resign — the k vs k+1 boundary of Section 6.2
+// made concrete.
+func TestTheorem66StrategyPigeonhole(t *testing.T) {
+	k := 2
+	lb := NewLowerBound(k)
+	a, b := lb.Structures()
+	dup := NewDuplicator(lb)
+	ref := pebble.NewReferee(a, b, k+1)
+
+	// Find column positions pinning x1 and x2 (the duplicator defaults
+	// both to true) and the gap of the clause (~x1 | ~x2).
+	colOffset := func(variable int) int {
+		for off, d := range lb.lay34() {
+			if d.Kind == switchgraph.PosCol && d.Block.Var == variable && d.Idx == 2 {
+				return off
+			}
+		}
+		t.Fatalf("no column position for x%d", variable)
+		return -1
+	}
+	clauseGap := -1
+	for off, d := range lb.lay34() {
+		if d.Kind == switchgraph.PosEF && d.Idx == 2 {
+			// Clause with both literals negative.
+			allNeg := true
+			for _, sw := range lb.Construction.ClauseSwitches[d.Clause] {
+				if sw.Literal.Positive() {
+					allNeg = false
+				}
+			}
+			if allNeg {
+				clauseGap = off
+				break
+			}
+		}
+	}
+	if clauseGap < 0 {
+		t.Fatal("no all-negative clause gap found")
+	}
+	moves := []pebble.Move{
+		{Pebble: 0, A: lb.W3 + colOffset(1)},
+		{Pebble: 1, A: lb.W3 + colOffset(2)},
+		{Pebble: 2, A: lb.W3 + clauseGap},
+	}
+	err := ref.Play(dup, moves)
+	if err == nil {
+		t.Fatal("the k-pebble strategy should fail against k+1 pebbles on the falsified clause")
+	}
+}
+
+// lay34 exposes the layout for tests.
+func (lb *LowerBound) lay34() []switchgraph.PosDesc { return lb.layout34 }
+
+// TestTheorem66StrategyTightAtK1 shows the k-budget is tight already at
+// k = 1: two pebbles striking the two width-1 clause gaps of φ_1 demand
+// x1 true AND false, and the strategy must resign — consistent with
+// Player I genuinely winning the 2-pebble game on (A_1, B_1) (the
+// theorem only claims the k-pebble game for the matching k).
+func TestTheorem66StrategyTightAtK1(t *testing.T) {
+	lb := NewLowerBound(1)
+	a, b := lb.Structures()
+	dup := NewDuplicator(lb)
+	ref := pebble.NewReferee(a, b, 2)
+	var gaps []int
+	for off, d := range lb.lay34() {
+		if d.Kind == switchgraph.PosEF && d.Idx == 3 {
+			gaps = append(gaps, off)
+		}
+	}
+	if len(gaps) != 2 {
+		t.Fatalf("φ_1 should have exactly 2 clause gaps, found %d", len(gaps))
+	}
+	moves := []pebble.Move{
+		{Pebble: 0, A: lb.W3 + gaps[0]},
+		{Pebble: 1, A: lb.W3 + gaps[1]},
+	}
+	if err := ref.Play(dup, moves); err == nil {
+		t.Fatal("striking both clause gaps of φ_1 must defeat the 1-pebble strategy")
+	}
+}
+
+// TestDuplicatorDeterministicOnSharedNodes — two pebbles on the same A
+// node must receive the same B node.
+func TestDuplicatorDeterministicOnSharedNodes(t *testing.T) {
+	lb := NewLowerBound(2)
+	a, b := lb.Structures()
+	dup := NewDuplicator(lb)
+	ref := pebble.NewReferee(a, b, 2)
+	mid := lb.W3 + lb.PathA2.Len()/2
+	moves := []pebble.Move{
+		{Pebble: 0, A: mid},
+		{Pebble: 1, A: mid},
+	}
+	if err := ref.Play(dup, moves); err != nil {
+		t.Fatalf("shared-node placement failed: %v", err)
+	}
+}
+
+// TestDuplicatorValueEvaporation — lifting the only pebble sustaining a
+// variable releases it, so the opposite column becomes playable later.
+func TestDuplicatorValueEvaporation(t *testing.T) {
+	lb := NewLowerBound(2)
+	a, b := lb.Structures()
+	dup := NewDuplicator(lb)
+	ref := pebble.NewReferee(a, b, 2)
+	var colOff int
+	found := false
+	for off, d := range lb.layout34 {
+		if d.Kind == switchgraph.PosCol && d.Block.Var == 1 && d.Idx == 3 {
+			colOff = off
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no column position")
+	}
+	// Place, lift, re-place: must succeed regardless of remembered state.
+	moves := []pebble.Move{
+		{Pebble: 0, A: lb.W3 + colOff},
+		{Pebble: 0, Lift: true},
+		{Pebble: 0, A: lb.W3 + colOff},
+		{Pebble: 1, A: lb.W3 + colOff + 1},
+	}
+	if err := ref.Play(dup, moves); err != nil {
+		t.Fatalf("evaporation handling failed: %v", err)
+	}
+}

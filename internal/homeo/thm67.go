@@ -1,0 +1,179 @@
+package homeo
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/structure"
+)
+
+// Theorem 6.7 extends the H1 lower bound to the patterns H2 (path of
+// length two) and H3 (2-cycle) by identifying distinguished nodes of the
+// Theorem 6.6 structures: for H2, w2~w3 in A_k and s2~s3 in B_k; for H3,
+// additionally w1~w4 and s1~s4. This file builds those quotient pairs and
+// adapts Player II's strategy (only distinguished — fixed — nodes are
+// merged, so the strategy transfers verbatim through the quotient).
+
+// quotient relabels a graph after merging the given node groups; it
+// returns the new graph and the old→new node map.
+func quotient(g *graph.Graph, groups [][]int) (*graph.Graph, []int) {
+	rep := make([]int, g.N())
+	for i := range rep {
+		rep[i] = i
+	}
+	for _, grp := range groups {
+		for _, v := range grp[1:] {
+			rep[v] = grp[0]
+		}
+	}
+	// Compact ids.
+	newID := make([]int, g.N())
+	for i := range newID {
+		newID[i] = -1
+	}
+	next := 0
+	for v := 0; v < g.N(); v++ {
+		if rep[v] == v {
+			newID[v] = next
+			next++
+		}
+	}
+	for v := 0; v < g.N(); v++ {
+		if rep[v] != v {
+			newID[v] = newID[rep[v]]
+		}
+	}
+	q := graph.New(next)
+	for _, e := range g.Edges() {
+		if newID[e[0]] != newID[e[1]] || e[0] == e[1] {
+			q.AddEdge(newID[e[0]], newID[e[1]])
+		}
+	}
+	return q, newID
+}
+
+// QuotientLowerBound is a Theorem 6.7 witness pair: the Theorem 6.6
+// structures with distinguished nodes identified.
+type QuotientLowerBound struct {
+	// Pattern is H2 or H3; LB the underlying Theorem 6.6 pair.
+	Pattern Pattern
+	LB      *LowerBound
+
+	AQ, BQ     *graph.Graph
+	mapA, mapB []int // original node -> quotient node
+	// ConstNames / AConst / BConst are the distinguished nodes of the
+	// quotient structures, in pattern-node order.
+	ConstNames []string
+	AConst     []int
+	BConst     []int
+	// origOfA recovers the unique original A node of a quotient node, or
+	// -1 for merged (distinguished) nodes.
+	origOfA []int
+}
+
+// NewLowerBoundH2 merges w2~w3 / s2~s3: the witness pair for the pattern
+// H2 on nodes (s1, s23, s4).
+func NewLowerBoundH2(k int) *QuotientLowerBound {
+	lb := NewLowerBound(k)
+	aq, ma := quotient(lb.A, [][]int{{lb.W2, lb.W3}})
+	c := lb.Construction
+	bq, mb := quotient(c.G, [][]int{{c.S2, c.S3}})
+	q := &QuotientLowerBound{
+		Pattern: H2(), LB: lb, AQ: aq, BQ: bq, mapA: ma, mapB: mb,
+		ConstNames: []string{"s1", "s23", "s4"},
+		AConst:     []int{ma[lb.W1], ma[lb.W2], ma[lb.W4]},
+		BConst:     []int{mb[c.S1], mb[c.S2], mb[c.S4]},
+	}
+	q.buildOrigOf()
+	return q
+}
+
+// NewLowerBoundH3 additionally merges w1~w4 / s1~s4: the witness pair for
+// the 2-cycle pattern H3 on nodes (s14, s23).
+func NewLowerBoundH3(k int) *QuotientLowerBound {
+	lb := NewLowerBound(k)
+	aq, ma := quotient(lb.A, [][]int{{lb.W1, lb.W4}, {lb.W2, lb.W3}})
+	c := lb.Construction
+	bq, mb := quotient(c.G, [][]int{{c.S1, c.S4}, {c.S2, c.S3}})
+	q := &QuotientLowerBound{
+		Pattern: H3(), LB: lb, AQ: aq, BQ: bq, mapA: ma, mapB: mb,
+		ConstNames: []string{"s14", "s23"},
+		AConst:     []int{ma[lb.W1], ma[lb.W2]},
+		BConst:     []int{mb[c.S1], mb[c.S2]},
+	}
+	q.buildOrigOf()
+	return q
+}
+
+func (q *QuotientLowerBound) buildOrigOf() {
+	counts := make([]int, q.AQ.N())
+	q.origOfA = make([]int, q.AQ.N())
+	for i := range q.origOfA {
+		q.origOfA[i] = -1
+	}
+	for orig, nq := range q.mapA {
+		counts[nq]++
+		q.origOfA[nq] = orig
+	}
+	for nq, c := range counts {
+		if c > 1 {
+			q.origOfA[nq] = -1 // merged: handled as a fixed node
+		}
+	}
+}
+
+// Structures returns the quotient pair as structures with the pattern's
+// distinguished nodes as constants.
+func (q *QuotientLowerBound) Structures() (a, b *structure.Structure) {
+	a = structure.FromGraph(q.AQ, q.ConstNames, q.AConst)
+	b = structure.FromGraph(q.BQ, q.ConstNames, q.BConst)
+	return a, b
+}
+
+// mergedBFor answers the quotient-B node for a merged quotient-A node.
+func (q *QuotientLowerBound) mergedBFor(aq int) (int, bool) {
+	for i, ac := range q.AConst {
+		if ac == aq {
+			return q.BConst[i], true
+		}
+	}
+	return 0, false
+}
+
+// QuotientDuplicator adapts the Theorem 6.6 strategy to a quotient pair:
+// merged nodes are distinguished (fixed) on both sides, so they answer
+// their merged counterpart directly; everything else routes through the
+// underlying Duplicator and maps its answer through the quotient.
+type QuotientDuplicator struct {
+	Q     *QuotientLowerBound
+	inner *Duplicator
+}
+
+// NewQuotientDuplicator wires the strategy.
+func NewQuotientDuplicator(q *QuotientLowerBound) *QuotientDuplicator {
+	return &QuotientDuplicator{Q: q, inner: NewDuplicator(q.LB)}
+}
+
+// Reset implements pebble.Duplicator.
+func (d *QuotientDuplicator) Reset() { d.inner.Reset() }
+
+// Lift implements pebble.Duplicator.
+func (d *QuotientDuplicator) Lift(i int) { d.inner.Lift(i) }
+
+// Place implements pebble.Duplicator.
+func (d *QuotientDuplicator) Place(i, aq int) (int, error) {
+	if orig := d.Q.origOfA[aq]; orig >= 0 {
+		b, err := d.inner.Place(i, orig)
+		if err != nil {
+			return 0, err
+		}
+		return d.Q.mapB[b], nil
+	}
+	if b, ok := d.Q.mergedBFor(aq); ok {
+		// Keep the inner bookkeeping consistent: fixed nodes pin nothing,
+		// but the pebble slot must not retain stale state.
+		d.inner.Lift(i)
+		return b, nil
+	}
+	return 0, fmt.Errorf("homeo: quotient node %d has no preimage", aq)
+}

@@ -1,0 +1,161 @@
+package homeo
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/pebble"
+)
+
+func TestQuotientBasics(t *testing.T) {
+	g := graph.New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(2, 3)
+	q, m := quotient(g, [][]int{{1, 2}})
+	if q.N() != 3 {
+		t.Fatalf("quotient has %d nodes, want 3", q.N())
+	}
+	if m[1] != m[2] {
+		t.Fatal("merge failed")
+	}
+	if !q.HasEdge(m[0], m[1]) || !q.HasEdge(m[1], m[3]) {
+		t.Fatal("edges not transported")
+	}
+	// A self-loop in the original survives.
+	g2 := graph.New(2)
+	g2.AddEdge(0, 0)
+	g2.AddEdge(0, 1)
+	q2, m2 := quotient(g2, nil)
+	if !q2.HasEdge(m2[0], m2[0]) {
+		t.Fatal("self-loop lost")
+	}
+}
+
+func TestLowerBoundH2Claims(t *testing.T) {
+	// Claim 1: A' satisfies the H2 query (simple path s1 → s4 through the
+	// merged middle).
+	q := NewLowerBoundH2(1)
+	instA, err := NewInstance(H2(), q.AQ, q.AConst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !H2().BruteForce(instA) {
+		t.Fatal("A' must satisfy the H2 query")
+	}
+	// Claim 2: B'_1 does not (φ_1 unsatisfiable).
+	instB, err := NewInstance(H2(), q.BQ, q.BConst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if H2().BruteForce(instB) {
+		t.Fatal("B'_1 must fail the H2 query")
+	}
+	// Claim 3 (k=1): exact solver confirms Player II wins.
+	a, b := q.Structures()
+	g := pebble.NewGame(a, b, 1)
+	g.MaxPositions = 20_000_000
+	w, err := g.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != pebble.PlayerII {
+		t.Fatal("II must win the 1-pebble game on the H2 quotient pair")
+	}
+}
+
+func TestLowerBoundH3Claims(t *testing.T) {
+	q := NewLowerBoundH3(1)
+	// A' is one big cycle through both distinguished nodes.
+	if q.AQ.IsAcyclic() || q.AQ.M() != q.AQ.N() {
+		t.Fatalf("A' should be a single cycle: %s", q.AQ.Describe())
+	}
+	instA, err := NewInstance(H3(), q.AQ, q.AConst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !H3().BruteForce(instA) {
+		t.Fatal("A' must satisfy the H3 query")
+	}
+	instB, err := NewInstance(H3(), q.BQ, q.BConst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if H3().BruteForce(instB) {
+		t.Fatal("B'_1 must fail the H3 query")
+	}
+	a, b := q.Structures()
+	g := pebble.NewGame(a, b, 1)
+	g.MaxPositions = 20_000_000
+	w, err := g.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != pebble.PlayerII {
+		t.Fatal("II must win the 1-pebble game on the H3 quotient pair")
+	}
+}
+
+func TestQuotientStrategySurvives(t *testing.T) {
+	builders := map[string]func(int) *QuotientLowerBound{
+		"H2": NewLowerBoundH2,
+		"H3": NewLowerBoundH3,
+	}
+	for name, build := range builders {
+		for k := 1; k <= 3; k++ {
+			q := build(k)
+			a, b := q.Structures()
+			dup := NewQuotientDuplicator(q)
+			ref := pebble.NewReferee(a, b, k)
+			rng := rand.New(rand.NewSource(int64(300 + k)))
+			trials := 30
+			if k == 3 {
+				trials = 10
+			}
+			for trial := 0; trial < trials; trial++ {
+				moves := pebble.RandomSchedule(rng, a.N, k, 150)
+				if err := ref.Play(dup, moves); err != nil {
+					t.Fatalf("%s k=%d trial %d: quotient strategy lost: %v", name, k, trial, err)
+				}
+			}
+		}
+	}
+}
+
+func TestQuotientStrategyWalker(t *testing.T) {
+	// Walk two pebbles around the H3 cycle (the quotient's hardest
+	// schedule: the walk crosses both merged nodes).
+	q := NewLowerBoundH3(2)
+	a, b := q.Structures()
+	dup := NewQuotientDuplicator(q)
+	ref := pebble.NewReferee(a, b, 2)
+	// The cycle in AQ: follow out-edges from the merged start.
+	start := q.AConst[0]
+	var cycle []int
+	v := start
+	for {
+		cycle = append(cycle, v)
+		outs := q.AQ.Out(v)
+		if len(outs) != 1 {
+			t.Fatalf("node %d has out-degree %d; expected a cycle", v, len(outs))
+		}
+		v = outs[0]
+		if v == start {
+			break
+		}
+	}
+	cycle = append(cycle, start) // close the loop
+	var moves []pebble.Move
+	moves = append(moves,
+		pebble.Move{Pebble: 0, A: cycle[0]},
+		pebble.Move{Pebble: 1, A: cycle[1]})
+	for i := 2; i < len(cycle); i++ {
+		p := i % 2
+		moves = append(moves,
+			pebble.Move{Pebble: p, Lift: true},
+			pebble.Move{Pebble: p, A: cycle[i]})
+	}
+	if err := ref.Play(dup, moves); err != nil {
+		t.Fatalf("cycle walk beat the quotient strategy: %v", err)
+	}
+}

@@ -1,0 +1,111 @@
+package logic
+
+import (
+	"testing"
+
+	"repro/internal/datalog"
+	"repro/internal/graph"
+	"repro/internal/structure"
+)
+
+func mustPanic(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s: expected panic", name)
+		}
+	}()
+	f()
+}
+
+func TestEvalPanicsOnUnboundVariable(t *testing.T) {
+	s := structure.FromGraph(graph.DirectedPath(2), nil, nil)
+	mustPanic(t, "unbound var", func() {
+		Eval(s, Atom{Pred: "E", Args: []Term{V("x"), V("y")}}, map[string]int{"x": 0})
+	})
+}
+
+func TestEvalPanicsOnUnknownRelation(t *testing.T) {
+	s := structure.FromGraph(graph.DirectedPath(2), nil, nil)
+	mustPanic(t, "unknown relation", func() {
+		Eval(s, Atom{Pred: "R", Args: []Term{C(0)}}, nil)
+	})
+}
+
+func TestPathLengthFormulaPanicsOnZero(t *testing.T) {
+	mustPanic(t, "n=0", func() { PathLengthFormula(0) })
+}
+
+func TestStagePanicsOnNonIDB(t *testing.T) {
+	tr, err := NewTranslator(datalog.TransitiveClosureProgram())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustPanic(t, "non-IDB", func() { tr.Stage("E", 1) })
+}
+
+func TestOperatorAccessor(t *testing.T) {
+	tr, err := NewTranslator(datalog.TransitiveClosureProgram())
+	if err != nil {
+		t.Fatal(err)
+	}
+	op := tr.Operator("S")
+	if op == nil {
+		t.Fatal("operator missing")
+	}
+	// The operator formula mentions both E and the IDB S.
+	text := op.String()
+	if !containsAll(text, "E(", "S(") {
+		t.Fatalf("operator formula looks wrong: %s", text)
+	}
+	if !IsExistentialPositive(op) {
+		t.Fatal("operator formula must be existential positive")
+	}
+}
+
+func containsAll(s string, subs ...string) bool {
+	for _, sub := range subs {
+		found := false
+		for i := 0; i+len(sub) <= len(s); i++ {
+			if s[i:i+len(sub)] == sub {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+func TestAtLeastEdgeCases(t *testing.T) {
+	s := TotalOrder(3)
+	if !AtLeast(s, 0) {
+		t.Fatal("τ_0 is trivially true")
+	}
+	if !AtLeast(s, 1) {
+		t.Fatal("τ_1 on a nonempty order")
+	}
+	empty := TotalOrder(0)
+	if AtLeast(empty, 1) {
+		t.Fatal("τ_1 on the empty order must fail")
+	}
+	if !AtLeast(empty, 0) {
+		t.Fatal("τ_0 on the empty order is true")
+	}
+}
+
+func TestUsesInequalitySharedSubtrees(t *testing.T) {
+	// A shared subtree with an inequality must be found through either
+	// parent, and the visited-set must not hide it.
+	shared := &And{Subs: []Formula{Neq{L: V("x"), R: V("y")}}}
+	f := &Or{Subs: []Formula{shared, shared}}
+	if !UsesInequality(f) {
+		t.Fatal("inequality in shared subtree missed")
+	}
+	clean := &Or{Subs: []Formula{&And{Subs: []Formula{True{}}}}}
+	if UsesInequality(clean) {
+		t.Fatal("phantom inequality")
+	}
+}

@@ -1,0 +1,408 @@
+// Package logic implements the existential negation-free infinitary
+// fragment L^k of Section 3 — or rather its finite-stage skeleton: on a
+// fixed finite structure every Datalog(≠) fixpoint is reached at a finite
+// stage, so the infinitary disjunction ⋁_n φ^n of Theorem 3.6 is captured
+// by its finite prefixes. The package provides the formula AST
+// (atoms, =, ≠, ∧, ∨, ∃), evaluation on finite structures, distinct
+// variable counting, and the Theorem 3.6 translation from a Datalog(≠)
+// program to its stage formulas φ^n with at most l + r distinct variables.
+package logic
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/structure"
+)
+
+// Term is a variable or a constant universe element.
+type Term struct {
+	Var   string
+	Const int
+}
+
+// V returns a variable term.
+func V(name string) Term { return Term{Var: name} }
+
+// C returns a constant-element term.
+func C(v int) Term { return Term{Const: v} }
+
+// IsVar reports whether the term is a variable.
+func (t Term) IsVar() bool { return t.Var != "" }
+
+func (t Term) String() string {
+	if t.IsVar() {
+		return t.Var
+	}
+	return fmt.Sprintf("%d", t.Const)
+}
+
+// Formula is a node of an existential positive formula. Formula trees are
+// immutable; stage construction shares subtrees, so the in-memory size of
+// φ^n stays linear in n even when the fully expanded formula would be
+// exponential.
+type Formula interface {
+	fmt.Stringer
+	isFormula()
+}
+
+// Atom is R(t1,...,tm).
+type Atom struct {
+	Pred string
+	Args []Term
+}
+
+// Eq is t1 = t2; Neq is t1 ≠ t2.
+type Eq struct{ L, R Term }
+
+// Neq is the inequality constraint.
+type Neq struct{ L, R Term }
+
+// And is a (finite) conjunction.
+type And struct{ Subs []Formula }
+
+// Or is a (finite) disjunction.
+type Or struct{ Subs []Formula }
+
+// Exists is ∃v φ.
+type Exists struct {
+	Var string
+	Sub Formula
+}
+
+// False is the empty disjunction, used for stage 0.
+type False struct{}
+
+// True is the empty conjunction.
+type True struct{}
+
+func (Atom) isFormula()    {}
+func (Eq) isFormula()      {}
+func (Neq) isFormula()     {}
+func (*And) isFormula()    {}
+func (*Or) isFormula()     {}
+func (*Exists) isFormula() {}
+func (False) isFormula()   {}
+func (True) isFormula()    {}
+
+func (a Atom) String() string {
+	parts := make([]string, len(a.Args))
+	for i, t := range a.Args {
+		parts[i] = t.String()
+	}
+	return fmt.Sprintf("%s(%s)", a.Pred, strings.Join(parts, ","))
+}
+
+func (e Eq) String() string  { return fmt.Sprintf("%s=%s", e.L, e.R) }
+func (n Neq) String() string { return fmt.Sprintf("%s!=%s", n.L, n.R) }
+
+func (a *And) String() string {
+	if len(a.Subs) == 0 {
+		return "true"
+	}
+	parts := make([]string, len(a.Subs))
+	for i, s := range a.Subs {
+		parts[i] = s.String()
+	}
+	return "(" + strings.Join(parts, " & ") + ")"
+}
+
+func (o *Or) String() string {
+	if len(o.Subs) == 0 {
+		return "false"
+	}
+	parts := make([]string, len(o.Subs))
+	for i, s := range o.Subs {
+		parts[i] = s.String()
+	}
+	return "(" + strings.Join(parts, " | ") + ")"
+}
+
+func (e *Exists) String() string { return fmt.Sprintf("E%s.%s", e.Var, e.Sub) }
+func (False) String() string     { return "false" }
+func (True) String() string      { return "true" }
+
+// Eval evaluates the formula on a structure under an environment binding
+// the free variables. Unknown relation symbols panic; unbound free
+// variables panic — both are programming errors.
+func Eval(s *structure.Structure, f Formula, env map[string]int) bool {
+	switch g := f.(type) {
+	case Atom:
+		tup := make(structure.Tuple, len(g.Args))
+		for i, t := range g.Args {
+			tup[i] = termVal(t, env)
+		}
+		return s.Rel(g.Pred).Has(tup)
+	case Eq:
+		return termVal(g.L, env) == termVal(g.R, env)
+	case Neq:
+		return termVal(g.L, env) != termVal(g.R, env)
+	case *And:
+		for _, sub := range g.Subs {
+			if !Eval(s, sub, env) {
+				return false
+			}
+		}
+		return true
+	case *Or:
+		for _, sub := range g.Subs {
+			if Eval(s, sub, env) {
+				return true
+			}
+		}
+		return false
+	case *Exists:
+		saved, had := env[g.Var]
+		for x := 0; x < s.N; x++ {
+			env[g.Var] = x
+			if Eval(s, g.Sub, env) {
+				restore(env, g.Var, saved, had)
+				return true
+			}
+		}
+		restore(env, g.Var, saved, had)
+		return false
+	case False:
+		return false
+	case True:
+		return true
+	default:
+		panic(fmt.Sprintf("logic: unknown formula node %T", f))
+	}
+}
+
+func restore(env map[string]int, v string, saved int, had bool) {
+	if had {
+		env[v] = saved
+	} else {
+		delete(env, v)
+	}
+}
+
+func termVal(t Term, env map[string]int) int {
+	if !t.IsVar() {
+		return t.Const
+	}
+	v, ok := env[t.Var]
+	if !ok {
+		panic("logic: unbound variable " + t.Var)
+	}
+	return v
+}
+
+// Variables returns the distinct variable names (free and bound) occurring
+// in the formula, sorted. Its length is the paper's variable count for
+// L^k membership. Shared subtrees are visited once.
+func Variables(f Formula) []string {
+	seen := map[string]bool{}
+	visited := map[Formula]bool{}
+	var walk func(Formula)
+	walk = func(f Formula) {
+		switch g := f.(type) {
+		case Atom:
+			for _, t := range g.Args {
+				if t.IsVar() {
+					seen[t.Var] = true
+				}
+			}
+		case Eq:
+			for _, t := range []Term{g.L, g.R} {
+				if t.IsVar() {
+					seen[t.Var] = true
+				}
+			}
+		case Neq:
+			for _, t := range []Term{g.L, g.R} {
+				if t.IsVar() {
+					seen[t.Var] = true
+				}
+			}
+		case *And:
+			if visited[f] {
+				return
+			}
+			visited[f] = true
+			for _, s := range g.Subs {
+				walk(s)
+			}
+		case *Or:
+			if visited[f] {
+				return
+			}
+			visited[f] = true
+			for _, s := range g.Subs {
+				walk(s)
+			}
+		case *Exists:
+			if visited[f] {
+				return
+			}
+			visited[f] = true
+			seen[g.Var] = true
+			walk(g.Sub)
+		}
+	}
+	walk(f)
+	out := make([]string, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// FreeVars returns the free variables of the formula, sorted.
+func FreeVars(f Formula) []string {
+	free := map[string]bool{}
+	var walk func(Formula, map[string]bool)
+	walk = func(f Formula, bound map[string]bool) {
+		switch g := f.(type) {
+		case Atom:
+			for _, t := range g.Args {
+				if t.IsVar() && !bound[t.Var] {
+					free[t.Var] = true
+				}
+			}
+		case Eq:
+			for _, t := range []Term{g.L, g.R} {
+				if t.IsVar() && !bound[t.Var] {
+					free[t.Var] = true
+				}
+			}
+		case Neq:
+			for _, t := range []Term{g.L, g.R} {
+				if t.IsVar() && !bound[t.Var] {
+					free[t.Var] = true
+				}
+			}
+		case *And:
+			for _, s := range g.Subs {
+				walk(s, bound)
+			}
+		case *Or:
+			for _, s := range g.Subs {
+				walk(s, bound)
+			}
+		case *Exists:
+			if bound[g.Var] {
+				walk(g.Sub, bound)
+				return
+			}
+			bound[g.Var] = true
+			walk(g.Sub, bound)
+			delete(bound, g.Var)
+		}
+	}
+	walk(f, map[string]bool{})
+	out := make([]string, 0, len(free))
+	for v := range free {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// IsExistentialPositive reports whether the formula belongs to the
+// existential negation-free fragment (always true for formulas built from
+// this package's constructors; useful as a sanity check on generated
+// stages).
+func IsExistentialPositive(f Formula) bool {
+	switch g := f.(type) {
+	case Atom, Eq, Neq, False, True:
+		return true
+	case *And:
+		for _, s := range g.Subs {
+			if !IsExistentialPositive(s) {
+				return false
+			}
+		}
+		return true
+	case *Or:
+		for _, s := range g.Subs {
+			if !IsExistentialPositive(s) {
+				return false
+			}
+		}
+		return true
+	case *Exists:
+		return IsExistentialPositive(g.Sub)
+	default:
+		return false
+	}
+}
+
+// UsesInequality reports whether any ≠ occurs (Datalog vs Datalog(≠)
+// distinction at the formula level). Shared subtrees are visited once.
+func UsesInequality(f Formula) bool {
+	visited := map[Formula]bool{}
+	var walk func(Formula) bool
+	walk = func(f Formula) bool {
+		switch g := f.(type) {
+		case Neq:
+			return true
+		case *And:
+			if visited[f] {
+				return false
+			}
+			visited[f] = true
+			for _, s := range g.Subs {
+				if walk(s) {
+					return true
+				}
+			}
+		case *Or:
+			if visited[f] {
+				return false
+			}
+			visited[f] = true
+			for _, s := range g.Subs {
+				if walk(s) {
+					return true
+				}
+			}
+		case *Exists:
+			if visited[f] {
+				return false
+			}
+			visited[f] = true
+			return walk(g.Sub)
+		}
+		return false
+	}
+	return walk(f)
+}
+
+// PathLengthFormula returns the Example 3.4 formula p_n(x,y) asserting
+// "there is a path of length n from x to y", written with only the three
+// variables x, y, z via Immerman's recycling trick:
+//
+//	p_1(x,y) ≡ E(x,y)
+//	p_n(x,y) ≡ ∃z(E(x,z) ∧ ∃x(x = z ∧ p_{n-1}(x,y)))
+func PathLengthFormula(n int) Formula {
+	if n < 1 {
+		panic("logic: PathLengthFormula wants n >= 1")
+	}
+	f := Formula(Atom{Pred: "E", Args: []Term{V("x"), V("y")}})
+	for i := 1; i < n; i++ {
+		f = &Exists{Var: "z", Sub: &And{Subs: []Formula{
+			Atom{Pred: "E", Args: []Term{V("x"), V("z")}},
+			&Exists{Var: "x", Sub: &And{Subs: []Formula{
+				Eq{L: V("x"), R: V("z")},
+				f,
+			}}},
+		}}}
+	}
+	return f
+}
+
+// PathLengthInFormula returns ⋁_{n ∈ lengths} p_n(x,y): the Example 3.4
+// query "x and y are connected by a path whose length is in the set" —
+// still in L^3 regardless of the set.
+func PathLengthInFormula(lengths []int) Formula {
+	var subs []Formula
+	for _, n := range lengths {
+		subs = append(subs, PathLengthFormula(n))
+	}
+	return &Or{Subs: subs}
+}

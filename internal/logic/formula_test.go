@@ -1,0 +1,191 @@
+package logic
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/structure"
+)
+
+func graphStruct(g *graph.Graph) *structure.Structure {
+	return structure.FromGraph(g, nil, nil)
+}
+
+func TestEvalAtoms(t *testing.T) {
+	s := graphStruct(graph.DirectedPath(3))
+	f := Atom{Pred: "E", Args: []Term{V("x"), V("y")}}
+	if !Eval(s, f, map[string]int{"x": 0, "y": 1}) {
+		t.Fatal("edge (0,1) should hold")
+	}
+	if Eval(s, f, map[string]int{"x": 1, "y": 0}) {
+		t.Fatal("edge (1,0) should not hold")
+	}
+	if !Eval(s, Atom{Pred: "E", Args: []Term{C(1), C(2)}}, nil) {
+		t.Fatal("constant atom failed")
+	}
+}
+
+func TestEvalConnectives(t *testing.T) {
+	s := graphStruct(graph.DirectedPath(3))
+	env := map[string]int{"x": 0, "y": 2}
+	if Eval(s, Eq{L: V("x"), R: V("y")}, env) {
+		t.Fatal("0 = 2 false")
+	}
+	if !Eval(s, Neq{L: V("x"), R: V("y")}, env) {
+		t.Fatal("0 != 2 true")
+	}
+	tAnd := &And{Subs: []Formula{True{}, Neq{L: V("x"), R: V("y")}}}
+	if !Eval(s, tAnd, env) {
+		t.Fatal("conjunction wrong")
+	}
+	fAnd := &And{Subs: []Formula{False{}, True{}}}
+	if Eval(s, fAnd, env) {
+		t.Fatal("conjunction with false wrong")
+	}
+	or := &Or{Subs: []Formula{False{}, Eq{L: V("x"), R: C(0)}}}
+	if !Eval(s, or, env) {
+		t.Fatal("disjunction wrong")
+	}
+	if Eval(s, &Or{Subs: nil}, env) {
+		t.Fatal("empty disjunction must be false")
+	}
+	if !Eval(s, &And{Subs: nil}, env) {
+		t.Fatal("empty conjunction must be true")
+	}
+}
+
+func TestEvalExists(t *testing.T) {
+	s := graphStruct(graph.DirectedPath(3))
+	// ∃z (E(x,z) ∧ E(z,y)) — a path of length 2.
+	f := &Exists{Var: "z", Sub: &And{Subs: []Formula{
+		Atom{Pred: "E", Args: []Term{V("x"), V("z")}},
+		Atom{Pred: "E", Args: []Term{V("z"), V("y")}},
+	}}}
+	if !Eval(s, f, map[string]int{"x": 0, "y": 2}) {
+		t.Fatal("length-2 path exists")
+	}
+	if Eval(s, f, map[string]int{"x": 0, "y": 1}) {
+		t.Fatal("no length-2 path from 0 to 1")
+	}
+	// Environment must be restored after Exists.
+	env := map[string]int{"x": 0, "y": 2, "z": 99}
+	s2 := graphStruct(graph.DirectedPath(3))
+	_ = s2
+	Eval(s, f, env)
+	if env["z"] != 99 {
+		t.Fatal("Exists clobbered the environment")
+	}
+}
+
+func TestPathLengthFormula(t *testing.T) {
+	// p_n(x,y) holds iff there is a walk of length exactly n.
+	s := graphStruct(graph.DirectedPath(5))
+	for n := 1; n <= 4; n++ {
+		f := PathLengthFormula(n)
+		for x := 0; x < 5; x++ {
+			for y := 0; y < 5; y++ {
+				want := y-x == n
+				got := Eval(s, f, map[string]int{"x": x, "y": y})
+				if got != want {
+					t.Fatalf("p_%d(%d,%d) = %v, want %v", n, x, y, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestPathLengthFormulaUsesThreeVariables(t *testing.T) {
+	// Example 3.4: p_n needs only the variables x, y, z for every n.
+	for n := 1; n <= 6; n++ {
+		vars := Variables(PathLengthFormula(n))
+		if len(vars) > 3 {
+			t.Fatalf("p_%d uses %d variables: %v", n, len(vars), vars)
+		}
+	}
+}
+
+func TestPathLengthFormulaOnCycle(t *testing.T) {
+	// On a 3-cycle, p_n(x,x) holds iff 3 divides n.
+	s := graphStruct(graph.DirectedCycle(3))
+	for n := 1; n <= 6; n++ {
+		got := Eval(s, PathLengthFormula(n), map[string]int{"x": 0, "y": 0})
+		want := n%3 == 0
+		if got != want {
+			t.Fatalf("cycle: p_%d(0,0) = %v, want %v", n, got, want)
+		}
+	}
+}
+
+func TestPathLengthInFormula(t *testing.T) {
+	// "Even-length walk from x to y" on a path: holds iff y-x even & >= 2...
+	// (lengths enumerated explicitly up to 4).
+	s := graphStruct(graph.DirectedPath(6))
+	f := PathLengthInFormula([]int{2, 4})
+	if vars := Variables(f); len(vars) > 3 {
+		t.Fatalf("disjunction left L^3: %v", vars)
+	}
+	for x := 0; x < 6; x++ {
+		for y := 0; y < 6; y++ {
+			want := y-x == 2 || y-x == 4
+			if got := Eval(s, f, map[string]int{"x": x, "y": y}); got != want {
+				t.Fatalf("(%d,%d): got %v want %v", x, y, got, want)
+			}
+		}
+	}
+}
+
+func TestVariablesAndFreeVars(t *testing.T) {
+	f := &Exists{Var: "z", Sub: &And{Subs: []Formula{
+		Atom{Pred: "E", Args: []Term{V("x"), V("z")}},
+		Neq{L: V("z"), R: V("w")},
+	}}}
+	vars := Variables(f)
+	if len(vars) != 3 || vars[0] != "w" || vars[1] != "x" || vars[2] != "z" {
+		t.Fatalf("Variables = %v", vars)
+	}
+	free := FreeVars(f)
+	if len(free) != 2 || free[0] != "w" || free[1] != "x" {
+		t.Fatalf("FreeVars = %v", free)
+	}
+	// Rebinding: ∃x(x=z ∧ E(x,y)) frees z,y only.
+	g := &Exists{Var: "x", Sub: &And{Subs: []Formula{
+		Eq{L: V("x"), R: V("z")},
+		Atom{Pred: "E", Args: []Term{V("x"), V("y")}},
+	}}}
+	free = FreeVars(g)
+	if len(free) != 2 || free[0] != "y" || free[1] != "z" {
+		t.Fatalf("FreeVars after rebinding = %v", free)
+	}
+}
+
+func TestFragmentChecks(t *testing.T) {
+	f := PathLengthFormula(3)
+	if !IsExistentialPositive(f) {
+		t.Fatal("p_3 is existential positive")
+	}
+	if UsesInequality(f) {
+		t.Fatal("p_3 has no inequalities")
+	}
+	g := &And{Subs: []Formula{Neq{L: V("x"), R: V("y")}}}
+	if !UsesInequality(g) {
+		t.Fatal("inequality missed")
+	}
+}
+
+func TestFormulaStrings(t *testing.T) {
+	f := &Exists{Var: "z", Sub: &Or{Subs: []Formula{
+		Atom{Pred: "E", Args: []Term{V("x"), V("z")}},
+		Eq{L: V("z"), R: C(0)},
+	}}}
+	got := f.String()
+	want := "Ez.(E(x,z) | z=0)"
+	if got != want {
+		t.Fatalf("String = %q, want %q", got, want)
+	}
+	if (False{}).String() != "false" || (True{}).String() != "true" {
+		t.Fatal("constant rendering wrong")
+	}
+	if (&And{}).String() != "true" || (&Or{}).String() != "false" {
+		t.Fatal("empty connective rendering wrong")
+	}
+}

@@ -1,0 +1,79 @@
+package logic
+
+import "testing"
+
+func TestAtLeastFormulaSemantics(t *testing.T) {
+	// τ_n holds on the m-element total order iff m >= n (Example 3.3).
+	for m := 0; m <= 7; m++ {
+		s := TotalOrder(m)
+		for n := 0; n <= 8; n++ {
+			got := AtLeast(s, n)
+			want := m >= n
+			if got != want {
+				t.Fatalf("τ_%d on %d-order = %v, want %v", n, m, got, want)
+			}
+		}
+	}
+}
+
+func TestAtLeastFormulaTwoVariables(t *testing.T) {
+	// The Immerman–Kozen point: τ_n uses only the variables x and y.
+	for n := 1; n <= 10; n++ {
+		vars := Variables(AtLeastFormula(n))
+		if len(vars) > 2 {
+			t.Fatalf("τ_%d uses %d variables: %v", n, len(vars), vars)
+		}
+	}
+}
+
+func TestAtLeastFormulaIsExistentialPositive(t *testing.T) {
+	for n := 1; n <= 6; n++ {
+		if !IsExistentialPositive(AtLeastFormula(n)) {
+			t.Fatalf("τ_%d left the fragment", n)
+		}
+	}
+}
+
+func TestCardinalityIn(t *testing.T) {
+	even := func(n int) bool { return n%2 == 0 }
+	for m := 0; m <= 8; m++ {
+		s := TotalOrder(m)
+		if got := CardinalityIn(s, even); got != even(m) {
+			t.Fatalf("even-cardinality on %d-order = %v", m, got)
+		}
+	}
+	// A non-recursive-looking property is just as expressible: membership
+	// in an arbitrary set (Example 3.3's point about nonrecursive queries).
+	weird := map[int]bool{0: true, 3: true, 7: true}
+	for m := 0; m <= 8; m++ {
+		s := TotalOrder(m)
+		if got := CardinalityIn(s, func(n int) bool { return weird[n] }); got != weird[m] {
+			t.Fatalf("weird-cardinality on %d-order = %v", m, got)
+		}
+	}
+}
+
+func TestCardinalityInFormulaLowerBounds(t *testing.T) {
+	// ⋁ τ_n is the positive part: true iff |universe| >= min(P).
+	f := CardinalityInFormula([]int{3, 5})
+	for m := 0; m <= 6; m++ {
+		got := Eval(TotalOrder(m), f, map[string]int{})
+		want := m >= 3
+		if got != want {
+			t.Fatalf("disjunction on %d-order = %v, want %v", m, got, want)
+		}
+	}
+	if vars := Variables(f); len(vars) > 2 {
+		t.Fatalf("disjunction uses %v", vars)
+	}
+}
+
+func TestTotalOrderShape(t *testing.T) {
+	s := TotalOrder(4)
+	if s.Rel("Lt").Size() != 6 {
+		t.Fatalf("Lt has %d tuples, want 6", s.Rel("Lt").Size())
+	}
+	if !s.Rel("Lt").Has([]int{0, 3}) || s.Rel("Lt").Has([]int{3, 0}) {
+		t.Fatal("order direction wrong")
+	}
+}

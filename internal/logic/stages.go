@@ -1,0 +1,226 @@
+package logic
+
+import (
+	"fmt"
+
+	"repro/internal/datalog"
+)
+
+// Translator performs the Theorem 3.6 translation from a Datalog(≠)
+// program to the existential positive first-order stage formulas φ^n that
+// define the stages Θ^n of the program's operator, using at most l + r
+// distinct variables (l = variables of the operator formula, r = maximal
+// IDB arity): every IDB atom S(t̄) inside φ is replaced by
+//
+//	∃y₁..y_r (y_i = t_i ∧ ∃w₁..w_r (w_i = y_i ∧ φ^{n-1}(w̄)))
+//
+// recycling the same y/w variable names at every substitution point.
+// Stage formulas share subtrees, so building φ^n costs O(n) memory.
+type Translator struct {
+	Program *datalog.Program
+
+	headVars []string             // w1..wr
+	auxVars  []string             // y1..yr
+	arity    map[string]int       // IDB arities
+	operator map[string]Formula   // φ_P(w1..w_arity, IDBs)
+	stages   map[string][]Formula // stages[pred][n] = φ^n, index 0 = False
+	idbSet   map[string]bool
+}
+
+// NewTranslator validates the program and prepares the operator formulas.
+func NewTranslator(p *datalog.Program) (*Translator, error) {
+	if err := datalog.Validate(p); err != nil {
+		return nil, err
+	}
+	t := &Translator{Program: p, idbSet: p.IDBs(), arity: map[string]int{}}
+	maxR := 0
+	for pred := range t.idbSet {
+		t.arity[pred] = p.Arities()[pred]
+		if t.arity[pred] > maxR {
+			maxR = t.arity[pred]
+		}
+	}
+	for i := 1; i <= maxR; i++ {
+		t.headVars = append(t.headVars, fmt.Sprintf("w%d", i))
+		t.auxVars = append(t.auxVars, fmt.Sprintf("y%d", i))
+	}
+	t.operator = map[string]Formula{}
+	t.stages = map[string][]Formula{}
+	for pred := range t.idbSet {
+		op, err := t.operatorFormula(pred)
+		if err != nil {
+			return nil, err
+		}
+		t.operator[pred] = op
+		t.stages[pred] = []Formula{False{}}
+	}
+	return t, nil
+}
+
+// HeadVars returns the canonical head variables w1..wr used by the stage
+// formulas of the given IDB predicate.
+func (t *Translator) HeadVars(pred string) []string {
+	return t.headVars[:t.arity[pred]]
+}
+
+// Operator returns φ_P(w̄, S̄): the existential positive formula defining
+// the program's operator for IDB P (IDB atoms left as atoms).
+func (t *Translator) Operator(pred string) Formula { return t.operator[pred] }
+
+// operatorFormula builds the disjunction over the rules with head pred.
+// Rule variables clash-free renaming: every rule variable v becomes "r<i>.v"
+// unless it is identified with a head variable; head argument positions
+// bind t_i to w_i via equalities when the head argument is a constant or a
+// repeated variable.
+func (t *Translator) operatorFormula(pred string) (Formula, error) {
+	var disj []Formula
+	for ri, rule := range t.Program.Rules {
+		if rule.Head.Pred != pred {
+			continue
+		}
+		// Map each rule variable to a formula term. Head variables map to
+		// w_i at their first head occurrence.
+		rename := map[string]Term{}
+		var conj []Formula
+		for i, arg := range rule.Head.Args {
+			w := V(t.headVars[i])
+			if arg.IsVar() {
+				if prev, ok := rename[arg.Var]; ok {
+					conj = append(conj, Eq{L: w, R: prev})
+				} else {
+					rename[arg.Var] = w
+				}
+			} else {
+				conj = append(conj, Eq{L: w, R: C(arg.Const)})
+			}
+		}
+		// Remaining rule variables become ∃-quantified with rule-local
+		// names.
+		var exVars []string
+		localTerm := func(dt datalog.Term) Term {
+			if !dt.IsVar() {
+				return C(dt.Const)
+			}
+			if tm, ok := rename[dt.Var]; ok {
+				return tm
+			}
+			name := fmt.Sprintf("v%d_%s", ri, dt.Var)
+			rename[dt.Var] = V(name)
+			exVars = append(exVars, name)
+			return V(name)
+		}
+		for _, item := range rule.Body {
+			if item.Atom != nil {
+				args := make([]Term, len(item.Atom.Args))
+				for i, a := range item.Atom.Args {
+					args[i] = localTerm(a)
+				}
+				conj = append(conj, Atom{Pred: item.Atom.Pred, Args: args})
+			} else {
+				c := item.Constraint
+				l, rr := localTerm(c.Left), localTerm(c.Right)
+				if c.Neq {
+					conj = append(conj, Neq{L: l, R: rr})
+				} else {
+					conj = append(conj, Eq{L: l, R: rr})
+				}
+			}
+		}
+		var f Formula = &And{Subs: conj}
+		for i := len(exVars) - 1; i >= 0; i-- {
+			f = &Exists{Var: exVars[i], Sub: f}
+		}
+		disj = append(disj, f)
+	}
+	if len(disj) == 0 {
+		return nil, fmt.Errorf("logic: IDB %s has no rules", pred)
+	}
+	return &Or{Subs: disj}, nil
+}
+
+// Stage returns φ^n for the IDB predicate (n >= 0; stage 0 is False).
+// Stages are memoized and share structure.
+func (t *Translator) Stage(pred string, n int) Formula {
+	if !t.idbSet[pred] {
+		panic("logic: not an IDB: " + pred)
+	}
+	for len(t.stages[pred]) <= n {
+		// Build the next stage for every IDB simultaneously (the paper's
+		// simultaneous induction for systems of operators).
+		cur := len(t.stages[pred])
+		for q := range t.idbSet {
+			for len(t.stages[q]) <= cur {
+				prev := map[string]Formula{}
+				for q2 := range t.idbSet {
+					prev[q2] = t.stages[q2][cur-1]
+				}
+				t.stages[q] = append(t.stages[q], t.substitute(t.operator[q], prev))
+			}
+		}
+	}
+	return t.stages[pred][n]
+}
+
+// substitute replaces every IDB atom P(t̄) in f by the variable-recycling
+// gadget around prev[P].
+func (t *Translator) substitute(f Formula, prev map[string]Formula) Formula {
+	switch g := f.(type) {
+	case Atom:
+		if !t.idbSet[g.Pred] {
+			return g
+		}
+		r := t.arity[g.Pred]
+		// Innermost: w_i = y_i ∧ φ^{n-1}(w̄).
+		inner := []Formula{}
+		for i := 0; i < r; i++ {
+			inner = append(inner, Eq{L: V(t.headVars[i]), R: V(t.auxVars[i])})
+		}
+		inner = append(inner, prev[g.Pred])
+		var core Formula = &And{Subs: inner}
+		for i := r - 1; i >= 0; i-- {
+			core = &Exists{Var: t.headVars[i], Sub: core}
+		}
+		// Outer: y_i = t_i ∧ core.
+		outer := []Formula{}
+		for i := 0; i < r; i++ {
+			outer = append(outer, Eq{L: V(t.auxVars[i]), R: g.Args[i]})
+		}
+		outer = append(outer, core)
+		var full Formula = &And{Subs: outer}
+		for i := r - 1; i >= 0; i-- {
+			full = &Exists{Var: t.auxVars[i], Sub: full}
+		}
+		return full
+	case Eq, Neq, False, True:
+		return f
+	case *And:
+		subs := make([]Formula, len(g.Subs))
+		for i, s := range g.Subs {
+			subs[i] = t.substitute(s, prev)
+		}
+		return &And{Subs: subs}
+	case *Or:
+		subs := make([]Formula, len(g.Subs))
+		for i, s := range g.Subs {
+			subs[i] = t.substitute(s, prev)
+		}
+		return &Or{Subs: subs}
+	case *Exists:
+		return &Exists{Var: g.Var, Sub: t.substitute(g.Sub, prev)}
+	default:
+		panic(fmt.Sprintf("logic: unknown node %T", f))
+	}
+}
+
+// VariableBound returns the Theorem 3.6 bound l + r on distinct variables:
+// l counts the distinct variables of the operator formulas and r is the
+// maximal IDB arity (for the auxiliary y variables).
+func (t *Translator) VariableBound() int {
+	seen := map[string]bool{}
+	for _, op := range t.operator {
+		for _, v := range Variables(op) {
+			seen[v] = true
+		}
+	}
+	return len(seen) + len(t.auxVars)
+}

@@ -1,0 +1,257 @@
+package logic
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/datalog"
+	"repro/internal/graph"
+	"repro/internal/structure"
+)
+
+// stageRelation evaluates φ^n over all r-tuples of the structure.
+func stageRelation(t *testing.T, tr *Translator, pred string, n int, s *structure.Structure) map[string]bool {
+	t.Helper()
+	f := tr.Stage(pred, n)
+	hv := tr.HeadVars(pred)
+	out := map[string]bool{}
+	var rec func(i int, env map[string]int, key string)
+	rec = func(i int, env map[string]int, key string) {
+		if i == len(hv) {
+			if Eval(s, f, env) {
+				out[key] = true
+			}
+			return
+		}
+		for x := 0; x < s.N; x++ {
+			env[hv[i]] = x
+			k := key
+			if i > 0 {
+				k += ","
+			}
+			rec(i+1, env, k+itoa(x))
+			delete(env, hv[i])
+		}
+	}
+	rec(0, map[string]int{}, "")
+	return out
+}
+
+func itoa(x int) string {
+	if x == 0 {
+		return "0"
+	}
+	var b []byte
+	for x > 0 {
+		b = append([]byte{byte('0' + x%10)}, b...)
+		x /= 10
+	}
+	return string(b)
+}
+
+func TestStageFormulasMatchEngineStages(t *testing.T) {
+	// Theorem 3.6: φ^n defines Θ^n, for every stage n, uniformly.
+	progs := map[string]*datalog.Program{
+		"tc":       datalog.TransitiveClosureProgram(),
+		"avoiding": datalog.AvoidingPathProgram(),
+	}
+	rng := rand.New(rand.NewSource(51))
+	for name, p := range progs {
+		tr, err := NewTranslator(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 3; trial++ {
+			g := graph.Random(5, 0.3, rng)
+			db := datalog.FromGraph(g)
+			s := structure.FromGraph(g, nil, nil)
+			res, err := datalog.Eval(p, db, datalog.Options{SemiNaive: false, UseIndexes: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			pred := p.Goal
+			for n := 0; n <= res.Rounds; n++ {
+				got := stageRelation(t, tr, pred, n, s)
+				// Engine stage n = tuples with Stage <= n.
+				want := map[string]bool{}
+				for key, st := range res.Stage[pred] {
+					if st <= n {
+						want[key] = true
+					}
+				}
+				if len(got) != len(want) {
+					t.Fatalf("%s trial %d stage %d: formula %d tuples, engine %d",
+						name, trial, n, len(got), len(want))
+				}
+				for key := range want {
+					if !got[key] {
+						t.Fatalf("%s trial %d stage %d: missing %s", name, trial, n, key)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestStageVariableCountConstant(t *testing.T) {
+	// The point of Theorem 3.6: the variable count of φ^n does not grow
+	// with n and respects the l + r bound.
+	for _, p := range []*datalog.Program{
+		datalog.TransitiveClosureProgram(),
+		datalog.AvoidingPathProgram(),
+		datalog.QklPrograms(2, 0),
+	} {
+		tr, err := NewTranslator(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bound := tr.VariableBound()
+		var atStage3 int
+		for n := 1; n <= 6; n++ {
+			vars := Variables(tr.Stage(p.Goal, n))
+			if len(vars) > bound {
+				t.Fatalf("goal %s stage %d: %d variables exceeds bound %d (%v)",
+					p.Goal, n, len(vars), bound, vars)
+			}
+			if n == 3 {
+				atStage3 = len(vars)
+			}
+			if n > 3 && len(vars) != atStage3 {
+				t.Fatalf("variable count drifts with stage: %d vs %d", len(vars), atStage3)
+			}
+		}
+	}
+}
+
+func TestStagesAreMonotone(t *testing.T) {
+	// φ^n ⊨ φ^{n+1} pointwise on every structure (stages grow).
+	p := datalog.TransitiveClosureProgram()
+	tr, err := NewTranslator(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(52))
+	for trial := 0; trial < 5; trial++ {
+		g := graph.Random(5, 0.3, rng)
+		s := structure.FromGraph(g, nil, nil)
+		prev := map[string]bool{}
+		for n := 0; n <= 5; n++ {
+			cur := stageRelation(t, tr, "S", n, s)
+			for key := range prev {
+				if !cur[key] {
+					t.Fatalf("stage %d lost tuple %s", n, key)
+				}
+			}
+			prev = cur
+		}
+	}
+}
+
+func TestStageZeroIsEmpty(t *testing.T) {
+	p := datalog.TransitiveClosureProgram()
+	tr, err := NewTranslator(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := structure.FromGraph(graph.Complete(4), nil, nil)
+	if got := stageRelation(t, tr, "S", 0, s); len(got) != 0 {
+		t.Fatalf("stage 0 nonempty: %v", got)
+	}
+}
+
+func TestStagesExistentialPositive(t *testing.T) {
+	p := datalog.AvoidingPathProgram()
+	tr, err := NewTranslator(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n <= 4; n++ {
+		f := tr.Stage("T", n)
+		if !IsExistentialPositive(f) {
+			t.Fatalf("stage %d left the fragment", n)
+		}
+	}
+	// Datalog (pure) programs yield inequality-free stages; Datalog(≠)
+	// programs do not (second half of Theorem 3.6).
+	if !UsesInequality(tr.Stage("T", 2)) {
+		t.Fatal("avoiding-path stages must use inequalities")
+	}
+	tc, err := NewTranslator(datalog.TransitiveClosureProgram())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if UsesInequality(tc.Stage("S", 3)) {
+		t.Fatal("pure Datalog stages must be inequality-free")
+	}
+}
+
+func TestTranslatorMutualRecursion(t *testing.T) {
+	p := datalog.MustParse(`
+		Odd(x, y) :- E(x, y).
+		Odd(x, y) :- E(x, z), Even(z, y).
+		Even(x, y) :- E(x, z), Odd(z, y).
+		goal Even.
+	`)
+	tr, err := NewTranslator(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := graph.DirectedPath(5)
+	s := structure.FromGraph(g, nil, nil)
+	db := datalog.FromGraph(g)
+	res, err := datalog.Eval(p, db, datalog.Options{SemiNaive: false, UseIndexes: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := res.Rounds
+	for _, pred := range []string{"Odd", "Even"} {
+		got := stageRelation(t, tr, pred, n, s)
+		if len(got) != res.IDB[pred].Size() {
+			t.Fatalf("%s: formula %d vs engine %d tuples", pred, len(got), res.IDB[pred].Size())
+		}
+	}
+}
+
+func TestTranslatorConstantHeads(t *testing.T) {
+	p := datalog.MustParse(`
+		D(3, 4).
+		D(x, y) :- E(x, z), D(z, y).
+	`)
+	tr, err := NewTranslator(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := graph.New(6)
+	g.AddEdge(1, 3)
+	g.AddEdge(0, 1)
+	s := structure.FromGraph(g, nil, nil)
+	got := stageRelation(t, tr, "D", 3, s)
+	for _, want := range []string{"3,4", "1,4", "0,4"} {
+		if !got[want] {
+			t.Fatalf("missing %s in %v", want, got)
+		}
+	}
+	if len(got) != 3 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestTranslatorRepeatedHeadVariable(t *testing.T) {
+	// P(x,x) :- E(x,y): head repeats a variable, handled via w2 = w1.
+	p := datalog.MustParse(`P(x, x) :- E(x, y).`)
+	tr, err := NewTranslator(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := structure.FromGraph(graph.DirectedPath(3), nil, nil)
+	got := stageRelation(t, tr, "P", 1, s)
+	if len(got) != 2 || !got["0,0"] || !got["1,1"] {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestTranslatorRejectsInvalidPrograms(t *testing.T) {
+	if _, err := NewTranslator(&datalog.Program{Goal: "S"}); err == nil {
+		t.Fatal("empty program accepted")
+	}
+}

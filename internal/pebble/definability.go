@@ -1,0 +1,69 @@
+package pebble
+
+import (
+	"fmt"
+
+	"repro/internal/structure"
+)
+
+// Proposition 4.2 made executable: a class C of finite structures is
+// L^k-definable iff it is closed upward under ⪯k. On a FINITE family of
+// structures the closure condition is decidable outright, which yields a
+// definability check relative to that family: find structures A ∈ C and
+// B ∉ C with A ⪯k B — a witness that no L^k sentence separates C the way
+// the query demands — or certify that none exists among the family.
+
+// PreorderMatrix computes the ⪯k relation over a family of structures;
+// entry [i][j] reports whether structs[i] ⪯k structs[j].
+func PreorderMatrix(k int, structs []*structure.Structure) ([][]bool, error) {
+	n := len(structs)
+	m := make([][]bool, n)
+	for i := range m {
+		m[i] = make([]bool, n)
+		for j := range m[i] {
+			if i == j {
+				m[i][j] = true
+				continue
+			}
+			ok, err := Preceq(k, structs[i], structs[j])
+			if err != nil {
+				return nil, fmt.Errorf("pebble: matrix entry (%d,%d): %w", i, j, err)
+			}
+			m[i][j] = ok
+		}
+	}
+	return m, nil
+}
+
+// DefinabilityViolation is a ⪯k-closure violation: A satisfies the query,
+// B does not, yet A ⪯k B. By Proposition 4.2 and Theorem 4.10, its
+// existence proves the query is not L^k-definable.
+type DefinabilityViolation struct {
+	AIndex, BIndex int
+}
+
+// CheckDefinability tests the Proposition 4.2 closure condition for a
+// query over a finite family. It returns nil when the family is
+// consistent with L^k-definability (no violation found — which proves
+// nothing beyond the family), or the first violating pair.
+func CheckDefinability(k int, structs []*structure.Structure, query func(*structure.Structure) bool) (*DefinabilityViolation, error) {
+	sat := make([]bool, len(structs))
+	for i, s := range structs {
+		sat[i] = query(s)
+	}
+	m, err := PreorderMatrix(k, structs)
+	if err != nil {
+		return nil, err
+	}
+	for i := range structs {
+		if !sat[i] {
+			continue
+		}
+		for j := range structs {
+			if m[i][j] && !sat[j] {
+				return &DefinabilityViolation{AIndex: i, BIndex: j}, nil
+			}
+		}
+	}
+	return nil, nil
+}

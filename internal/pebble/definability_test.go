@@ -1,0 +1,92 @@
+package pebble
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/structure"
+)
+
+func pathFamily(ns ...int) []*structure.Structure {
+	var out []*structure.Structure
+	for _, n := range ns {
+		out = append(out, structure.FromGraph(graph.DirectedPath(n), nil, nil))
+	}
+	return out
+}
+
+func TestPreorderMatrixPaths(t *testing.T) {
+	fam := pathFamily(2, 3, 4, 5)
+	m, err := PreorderMatrix(2, fam)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shorter paths ⪯² longer paths, never the reverse (Example 4.4).
+	for i := range fam {
+		for j := range fam {
+			want := i <= j
+			if m[i][j] != want {
+				t.Fatalf("m[%d][%d] = %v, want %v", i, j, m[i][j], want)
+			}
+		}
+	}
+}
+
+func TestCheckDefinabilityExistentialQueryCloses(t *testing.T) {
+	// "Has a path of length >= 3" is existential positive, hence upward
+	// closed under ⪯k for adequate k: no violation on the path family.
+	fam := pathFamily(2, 3, 4, 5, 6)
+	query := func(s *structure.Structure) bool {
+		return structure.ToGraph(s).LongestPathLen() >= 3
+	}
+	v, err := CheckDefinability(2, fam, query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != nil {
+		t.Fatalf("existential query violated closure: %+v", v)
+	}
+}
+
+func TestCheckDefinabilityNonMonotoneQueryViolates(t *testing.T) {
+	// "Has at most 3 edges" is not preserved upward: the 3-edge path
+	// satisfies it, it ⪯²-embeds into the 5-edge path, which does not.
+	// Proposition 4.2 then says no L² sentence defines it — and the
+	// checker must surface exactly such a pair.
+	fam := pathFamily(2, 3, 4, 5, 6)
+	query := func(s *structure.Structure) bool {
+		return s.Rel("E").Size() <= 3
+	}
+	v, err := CheckDefinability(2, fam, query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v == nil {
+		t.Fatal("non-monotone query must violate ⪯² closure on paths")
+	}
+	// The witness must be genuine.
+	if !query(fam[v.AIndex]) || query(fam[v.BIndex]) {
+		t.Fatalf("bogus violation %+v", v)
+	}
+	ok, err := Preceq(2, fam[v.AIndex], fam[v.BIndex])
+	if err != nil || !ok {
+		t.Fatalf("violation pair not ⪯²-related: %v %v", ok, err)
+	}
+}
+
+func TestCheckDefinabilityParityQuery(t *testing.T) {
+	// The parity query ("even number of elements") is the paper's
+	// Section 3 example of a trivial query outside L^ω: on the path
+	// family it violates closure at every k we can afford.
+	fam := pathFamily(2, 3, 4, 5)
+	query := func(s *structure.Structure) bool { return s.N%2 == 0 }
+	for k := 1; k <= 2; k++ {
+		v, err := CheckDefinability(k, fam, query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v == nil {
+			t.Fatalf("parity query should violate ⪯%d closure", k)
+		}
+	}
+}

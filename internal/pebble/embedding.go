@@ -1,0 +1,26 @@
+package pebble
+
+import "fmt"
+
+// EmbeddingDuplicator plays Player II along a fixed one-to-one
+// homomorphism h: A → B — the copying strategy of Proposition 5.4's easy
+// direction. It wins every existential k-pebble game, for every k, when h
+// really is an embedding respecting the constants.
+type EmbeddingDuplicator struct {
+	H map[int]int
+}
+
+// Reset implements Duplicator.
+func (*EmbeddingDuplicator) Reset() {}
+
+// Lift implements Duplicator.
+func (*EmbeddingDuplicator) Lift(int) {}
+
+// Place implements Duplicator.
+func (d *EmbeddingDuplicator) Place(i, a int) (int, error) {
+	b, ok := d.H[a]
+	if !ok {
+		return 0, fmt.Errorf("pebble: embedding undefined on element %d", a)
+	}
+	return b, nil
+}

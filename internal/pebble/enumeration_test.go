@@ -1,0 +1,119 @@
+package pebble
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/structure"
+)
+
+// allDigraphs3 enumerates every directed graph on 3 nodes (loops allowed)
+// up to isomorphism — the "enumeration of finite structures up to
+// isomorphism" the proof of Proposition 4.2 quantifies over, here in full
+// for a universe small enough to exhaust.
+func allDigraphs3(t *testing.T) []*structure.Structure {
+	t.Helper()
+	var reps []*structure.Structure
+	var pairs [][2]int
+	for u := 0; u < 3; u++ {
+		for v := 0; v < 3; v++ {
+			pairs = append(pairs, [2]int{u, v})
+		}
+	}
+	for mask := 0; mask < 1<<9; mask++ {
+		g := graph.New(3)
+		for i, pr := range pairs {
+			if mask&(1<<i) != 0 {
+				g.AddEdge(pr[0], pr[1])
+			}
+		}
+		s := structure.FromGraph(g, nil, nil)
+		dup := false
+		for _, r := range reps {
+			if structure.Isomorphic(s, r) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			reps = append(reps, s)
+		}
+	}
+	return reps
+}
+
+func TestProposition42OverAllThreeNodeDigraphs(t *testing.T) {
+	reps := allDigraphs3(t)
+	// OEIS A000273: 104 digraphs on 3 unlabeled nodes (no loops) —
+	// with loops allowed the count is larger; sanity-bound it.
+	if len(reps) < 100 || len(reps) > 1<<9 {
+		t.Fatalf("suspicious representative count %d", len(reps))
+	}
+	m, err := PreorderMatrix(2, reps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ⪯² is transitive over the whole space.
+	n := len(reps)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if !m[i][j] {
+				continue
+			}
+			for k := 0; k < n; k++ {
+				if m[j][k] && !m[i][k] {
+					t.Fatalf("transitivity broken: %d->%d->%d", i, j, k)
+				}
+			}
+		}
+	}
+	// Existential positive queries are upward closed across the entire
+	// space (the sound half of Proposition 4.2 at full coverage).
+	queries := []struct {
+		name string
+		q    func(*structure.Structure) bool
+	}{
+		{"has an edge", func(s *structure.Structure) bool { return s.Rel("E").Size() > 0 }},
+		{"has a self-loop", func(s *structure.Structure) bool {
+			for _, tup := range s.Rel("E").Tuples() {
+				if tup[0] == tup[1] {
+					return true
+				}
+			}
+			return false
+		}},
+		{"has a 2-walk", func(s *structure.Structure) bool {
+			g := structure.ToGraph(s)
+			for u := 0; u < 3; u++ {
+				for _, v := range g.Out(u) {
+					if g.OutDegree(v) > 0 {
+						return true
+					}
+				}
+			}
+			return false
+		}},
+	}
+	for _, qc := range queries {
+		for i := 0; i < n; i++ {
+			if !qc.q(reps[i]) {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				if m[i][j] && !qc.q(reps[j]) {
+					t.Fatalf("%s: not upward closed under ⪯² (%d -> %d)", qc.name, i, j)
+				}
+			}
+		}
+	}
+	// And a non-monotone query must violate closure somewhere in the
+	// space (Proposition 4.2's other half at k=2).
+	noEdge := func(s *structure.Structure) bool { return s.Rel("E").Size() == 0 }
+	v, err := CheckDefinability(2, reps, noEdge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v == nil {
+		t.Fatal("'has no edge' should violate ⪯²-closure over the full space")
+	}
+}

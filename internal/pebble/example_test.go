@@ -1,0 +1,37 @@
+package pebble_test
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/pebble"
+	"repro/internal/structure"
+)
+
+// Example 4.4 of the paper: Player II wins the existential 2-pebble game
+// from a short path into a long one, but not in the reverse direction —
+// the relation ⪯² is not symmetric.
+func ExamplePreceq() {
+	short := structure.FromGraph(graph.DirectedPath(4), nil, nil)
+	long := structure.FromGraph(graph.DirectedPath(6), nil, nil)
+	ab, _ := pebble.Preceq(2, short, long)
+	ba, _ := pebble.Preceq(2, long, short)
+	fmt.Println("short ⪯² long:", ab)
+	fmt.Println("long ⪯² short:", ba)
+	// Output:
+	// short ⪯² long: true
+	// long ⪯² short: false
+}
+
+// Proposition 4.2: a non-monotone query violates ⪯k-closure, witnessing
+// that it is not L^k-definable.
+func ExampleCheckDefinability() {
+	var family []*structure.Structure
+	for _, n := range []int{2, 3, 4, 5} {
+		family = append(family, structure.FromGraph(graph.DirectedPath(n), nil, nil))
+	}
+	parity := func(s *structure.Structure) bool { return s.N%2 == 0 }
+	v, _ := pebble.CheckDefinability(2, family, parity)
+	fmt.Println("violation found:", v != nil)
+	// Output: violation found: true
+}

@@ -1,0 +1,258 @@
+// Package pebble implements the existential k-pebble games of Section 4
+// and the polynomial-time winner decision of Proposition 5.3.
+//
+// The solver computes the greatest family H of partial one-to-one
+// homomorphisms that is closed under subfunctions and has the forth
+// property up to k (Definition 4.7); Player II wins if and only if the
+// constant map survives (Theorem 4.8). The same machinery with injectivity
+// switched off decides the homomorphism variant that characterizes
+// inequality-free Datalog (Remark 4.12(1)).
+//
+// The family is enumerated explicitly, so runtime and memory grow as
+// (|A|·|B|)^k: polynomial for fixed k (Proposition 5.3) but practical only
+// for small structures. Game.Check guards against oversized instances.
+// For the large lower-bound structures of Theorem 6.6 the homeo package
+// instead validates the paper's explicit strategy by simulation.
+package pebble
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/structure"
+)
+
+// Winner identifies which player wins a game.
+type Winner int
+
+const (
+	// PlayerI is the spoiler: he wins if at some round the pebbled map is
+	// not a partial one-to-one homomorphism.
+	PlayerI Winner = iota
+	// PlayerII is the duplicator: he wins if he can play forever.
+	PlayerII
+)
+
+func (w Winner) String() string {
+	if w == PlayerI {
+		return "Player I"
+	}
+	return "Player II"
+}
+
+// Game is an existential k-pebble game on a pair of structures over the
+// same vocabulary.
+type Game struct {
+	A, B *structure.Structure
+	K    int
+	// OneToOne selects the paper's existential k-pebble game (Definition
+	// 4.3), in which the pebbled map must be injective. With OneToOne
+	// false the game is the homomorphism variant of Remark 4.12(1) that
+	// matches inequality-free Datalog.
+	OneToOne bool
+
+	// MaxPositions caps the enumerated family size; 0 means the default.
+	MaxPositions int
+
+	solved    bool
+	winner    Winner
+	family    map[string]structure.PartialMap // surviving positions
+	removedAt map[string]int                  // pruning round of removed positions
+	base      structure.PartialMap
+	baseOK    bool
+}
+
+// DefaultMaxPositions bounds the solver's explicit position enumeration.
+const DefaultMaxPositions = 6_000_000
+
+// NewGame builds an existential (one-to-one) k-pebble game.
+func NewGame(a, b *structure.Structure, k int) *Game {
+	return &Game{A: a, B: b, K: k, OneToOne: true}
+}
+
+// NewHomGame builds the homomorphism-variant game of Remark 4.12.
+func NewHomGame(a, b *structure.Structure, k int) *Game {
+	return &Game{A: a, B: b, K: k, OneToOne: false}
+}
+
+// Check verifies the instance is within the solver's practical bounds.
+func (g *Game) Check() error {
+	if g.K < 1 {
+		return fmt.Errorf("pebble: k must be >= 1")
+	}
+	limit := g.MaxPositions
+	if limit == 0 {
+		limit = DefaultMaxPositions
+	}
+	count := 1.0
+	for i := 0; i < g.K; i++ {
+		count *= float64(g.A.N) * float64(g.B.N)
+		if count > float64(limit) {
+			return fmt.Errorf("pebble: instance too large: ~(%d*%d)^%d positions exceeds limit %d",
+				g.A.N, g.B.N, g.K, limit)
+		}
+	}
+	return nil
+}
+
+// Solve decides the game and returns the winner.
+func (g *Game) Solve() (Winner, error) {
+	if g.solved {
+		return g.winner, nil
+	}
+	if err := g.Check(); err != nil {
+		return PlayerI, err
+	}
+	g.solved = true
+	// The initial position maps constants to constants; if it is not a
+	// well-defined partial (1-1) homomorphism Player I wins before any
+	// pebble is placed.
+	if !structure.ConstantMapOK(g.A, g.B) {
+		g.winner = PlayerI
+		return g.winner, nil
+	}
+	base := structure.ConstantMap(g.A, g.B)
+	if g.OneToOne && !base.Injective() {
+		g.winner = PlayerI
+		return g.winner, nil
+	}
+	if !structure.IsPartialHomomorphism(g.A, g.B, base) {
+		g.winner = PlayerI
+		return g.winner, nil
+	}
+	g.base = base
+	g.baseOK = true
+	g.family = g.enumerate(base)
+	g.prune(base)
+	if _, ok := g.family[base.Key()]; ok {
+		g.winner = PlayerII
+	} else {
+		g.winner = PlayerI
+	}
+	return g.winner, nil
+}
+
+// MustSolve panics on solver errors (instance too large).
+func (g *Game) MustSolve() Winner {
+	w, err := g.Solve()
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// enumerate generates every partial (1-1) homomorphism extending base with
+// up to K additional pairs.
+func (g *Game) enumerate(base structure.PartialMap) map[string]structure.PartialMap {
+	family := map[string]structure.PartialMap{base.Key(): base}
+	var rec func(m structure.PartialMap, minA int, extra int)
+	rec = func(m structure.PartialMap, minA int, extra int) {
+		if extra == g.K {
+			return
+		}
+		for a := minA; a < g.A.N; a++ {
+			if _, ok := m.Lookup(a); ok {
+				continue
+			}
+			for b := 0; b < g.B.N; b++ {
+				if !structure.ExtensionOK(g.A, g.B, m, a, b, g.OneToOne) {
+					continue
+				}
+				ext := m.Extend(a, b)
+				key := ext.Key()
+				if _, seen := family[key]; !seen {
+					family[key] = ext
+					rec(ext, a+1, extra+1)
+				}
+			}
+		}
+	}
+	rec(base, 0, 0)
+	return family
+}
+
+// prune iterates removal to the greatest fixpoint of the two closure
+// conditions of Definition 4.7: subfunction closure and the forth property
+// up to k. Enumerating extensions of non-members is unnecessary because
+// extensions of removed maps are removed by subfunction closure.
+func (g *Game) prune(base structure.PartialMap) {
+	l := base.Len()
+	g.removedAt = map[string]int{}
+	for round := 1; ; round++ {
+		var doomed []string
+		for key, m := range g.family {
+			if !g.positionOK(m, l) {
+				doomed = append(doomed, key)
+			}
+		}
+		if len(doomed) == 0 {
+			return
+		}
+		for _, key := range doomed {
+			delete(g.family, key)
+			g.removedAt[key] = round
+		}
+	}
+}
+
+// positionOK checks both closure conditions for m against the current
+// family.
+func (g *Game) positionOK(m structure.PartialMap, l int) bool {
+	// Subfunction closure: removing any non-constant pair must stay in
+	// the family. (Constant pairs are permanent.)
+	constElems := map[int]bool{}
+	for _, c := range g.A.Voc.Constants {
+		constElems[g.A.Constant(c)] = true
+	}
+	for _, pair := range m.Pairs() {
+		if constElems[pair[0]] {
+			continue
+		}
+		sub := m.Remove(pair[0])
+		if _, ok := g.family[sub.Key()]; !ok {
+			return false
+		}
+	}
+	// Forth property up to k.
+	if m.Len() < g.K+l {
+		for a := 0; a < g.A.N; a++ {
+			if _, ok := m.Lookup(a); ok {
+				continue
+			}
+			found := false
+			for b := 0; b < g.B.N; b++ {
+				ext := m.Extend(a, b)
+				if !ext.Injective() && g.OneToOne {
+					continue
+				}
+				if _, ok := g.family[ext.Key()]; ok {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Family returns the surviving winning family (empty when Player I wins).
+// The maps include the constant pairs. Solve must have been called.
+func (g *Game) Family() []structure.PartialMap {
+	var out []structure.PartialMap
+	for _, m := range g.family {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+	return out
+}
+
+// Preceq reports whether A ⪯k B (Definition 4.1): every L^k sentence true
+// in A is true in B — equivalently Player II wins the existential k-pebble
+// game on (A, B) (Theorem 4.8).
+func Preceq(k int, a, b *structure.Structure) (bool, error) {
+	w, err := NewGame(a, b, k).Solve()
+	return w == PlayerII, err
+}

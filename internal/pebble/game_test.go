@@ -1,0 +1,291 @@
+package pebble
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/structure"
+)
+
+func pathStruct(n int) *structure.Structure {
+	return structure.FromGraph(graph.DirectedPath(n), nil, nil)
+}
+
+func TestExample44PathsOfDifferentLength(t *testing.T) {
+	// Example 4.4: A a path with m vertices, B with n > m >= 2 vertices.
+	// Player II wins the existential k-pebble game on (A, B) for all k;
+	// Player I wins the existential 2-pebble game on (B, A).
+	a := pathStruct(4)
+	b := pathStruct(6)
+	for k := 1; k <= 3; k++ {
+		if w := NewGame(a, b, k).MustSolve(); w != PlayerII {
+			t.Fatalf("k=%d: II should win on (short, long), got %s", k, w)
+		}
+	}
+	if w := NewGame(b, a, 1).MustSolve(); w != PlayerII {
+		t.Fatalf("1 pebble can never be trapped on paths, got %s", w)
+	}
+	for k := 2; k <= 3; k++ {
+		if w := NewGame(b, a, k).MustSolve(); w != PlayerI {
+			t.Fatalf("k=%d: I should win on (long, short), got %s", k, w)
+		}
+	}
+}
+
+func TestPreceqNotSymmetric(t *testing.T) {
+	a := pathStruct(3)
+	b := pathStruct(5)
+	ab, err := Preceq(2, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ba, err := Preceq(2, b, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ab || ba {
+		t.Fatalf("⪯² should hold (A,B) but not (B,A): got %v, %v", ab, ba)
+	}
+}
+
+func TestPreceqReflexiveTransitive(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	structs := []*structure.Structure{
+		pathStruct(3),
+		structure.FromGraph(graph.DirectedCycle(4), nil, nil),
+		structure.FromGraph(graph.Random(5, 0.3, rng), nil, nil),
+		structure.FromGraph(graph.Random(5, 0.4, rng), nil, nil),
+	}
+	for _, s := range structs {
+		ok, err := Preceq(2, s, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("⪯² not reflexive on %v", s)
+		}
+	}
+	// Transitivity over all triples.
+	rel := make([][]bool, len(structs))
+	for i := range structs {
+		rel[i] = make([]bool, len(structs))
+		for j := range structs {
+			ok, err := Preceq(2, structs[i], structs[j])
+			if err != nil {
+				t.Fatal(err)
+			}
+			rel[i][j] = ok
+		}
+	}
+	for i := range structs {
+		for j := range structs {
+			for k := range structs {
+				if rel[i][j] && rel[j][k] && !rel[i][k] {
+					t.Fatalf("⪯² not transitive via %d->%d->%d", i, j, k)
+				}
+			}
+		}
+	}
+}
+
+func TestExample45DisjointVsCrossingPaths(t *testing.T) {
+	// Example 4.5: A = two disjoint paths with 2n+1 vertices; B = two
+	// paths crossing at the middle. Player I wins the existential
+	// 3-pebble game on (A, B).
+	for n := 1; n <= 2; n++ {
+		ga, _, _, _, _ := graph.TwoDisjointPathsGraph(2*n, 2*n)
+		gb, _, _, _, _ := graph.CrossingPathsGraph(n)
+		a := structure.FromGraph(ga, nil, nil)
+		b := structure.FromGraph(gb, nil, nil)
+		if w := NewGame(a, b, 3).MustSolve(); w != PlayerI {
+			t.Fatalf("n=%d: I should win the 3-pebble game, got %s", n, w)
+		}
+	}
+}
+
+func TestExample45TwoPebblesAlreadySuffice(t *testing.T) {
+	// A sharper fact than the paper's Example 4.5 (which plays 3
+	// pebbles): Player I wins even the 2-pebble game on these pairs.
+	// In B only the shared middle has forward AND backward runway >= n,
+	// while A has two middle nodes requiring that profile; injectivity
+	// then dooms Player II, and two pebbles suffice to walk out the
+	// runway deficit of whichever middle got the wrong image.
+	ga, _, _, _, _ := graph.TwoDisjointPathsGraph(4, 4)
+	gb, _, _, _, _ := graph.CrossingPathsGraph(2)
+	a := structure.FromGraph(ga, nil, nil)
+	b := structure.FromGraph(gb, nil, nil)
+	if w := NewGame(a, b, 2).MustSolve(); w != PlayerI {
+		t.Fatalf("I should win even with 2 pebbles, got %s", w)
+	}
+	// Sanity: on genuinely matching structures (B = disjoint paths too,
+	// same lengths) Player II survives any k.
+	gb2, _, _, _, _ := graph.TwoDisjointPathsGraph(4, 4)
+	b2 := structure.FromGraph(gb2, nil, nil)
+	for k := 1; k <= 3; k++ {
+		if w := NewGame(a, b2, k).MustSolve(); w != PlayerII {
+			t.Fatalf("II should win on identical structures at k=%d, got %s", k, w)
+		}
+	}
+}
+
+func TestGameMonotoneInK(t *testing.T) {
+	// If Player II wins with k pebbles, he wins with fewer.
+	rng := rand.New(rand.NewSource(32))
+	for trial := 0; trial < 10; trial++ {
+		a := structure.FromGraph(graph.Random(4, 0.4, rng), nil, nil)
+		b := structure.FromGraph(graph.Random(4, 0.4, rng), nil, nil)
+		prev := PlayerII
+		for k := 1; k <= 3; k++ {
+			w := NewGame(a, b, k).MustSolve()
+			if prev == PlayerI && w == PlayerII {
+				t.Fatalf("trial %d: II wins at k=%d after losing at k=%d", trial, k, k-1)
+			}
+			prev = w
+		}
+	}
+}
+
+func TestEmbeddingImpliesIIWins(t *testing.T) {
+	// Proposition 5.4 direction: a 1-1 homomorphism A -> B lets II copy.
+	rng := rand.New(rand.NewSource(33))
+	for trial := 0; trial < 20; trial++ {
+		b := structure.FromGraph(graph.Random(6, 0.3, rng), nil, nil)
+		// A = induced substructure on a random subset.
+		keep := rng.Perm(6)[:3]
+		idx := map[int]int{}
+		ga := graph.New(3)
+		for i, v := range keep {
+			idx[v] = i
+		}
+		gb := structure.ToGraph(b)
+		for _, e := range gb.Edges() {
+			if i, ok := idx[e[0]]; ok {
+				if j, ok2 := idx[e[1]]; ok2 {
+					ga.AddEdge(i, j)
+				}
+			}
+		}
+		a := structure.FromGraph(ga, nil, nil)
+		for k := 1; k <= 3; k++ {
+			if w := NewGame(a, b, k).MustSolve(); w != PlayerII {
+				t.Fatalf("trial %d k=%d: II must win when A embeds in B", trial, k)
+			}
+		}
+	}
+}
+
+func TestConstantsPinTheGame(t *testing.T) {
+	// With endpoints named as constants, a short path no longer maps into
+	// a longer one: the constant map forces endpoints and the stretch in
+	// between cannot be matched injectively... it CAN be matched while
+	// pebbles are few, but Player I with 2 pebbles walks the path and
+	// catches the defect.
+	a := structure.FromGraph(graph.DirectedPath(3), []string{"s", "t"}, []int{0, 2})
+	b := structure.FromGraph(graph.DirectedPath(4), []string{"s", "t"}, []int{0, 3})
+	if w := NewGame(a, b, 2).MustSolve(); w != PlayerI {
+		t.Fatalf("I should win: pinned endpoints make lengths differ, got %s", w)
+	}
+	// Same lengths: II wins by identity.
+	b2 := structure.FromGraph(graph.DirectedPath(3), []string{"s", "t"}, []int{0, 2})
+	if w := NewGame(a, b2, 2).MustSolve(); w != PlayerII {
+		t.Fatalf("II should win on identical pinned paths, got %s", w)
+	}
+}
+
+func TestIncompatibleConstantsLoseImmediately(t *testing.T) {
+	g := graph.DirectedPath(3)
+	a := structure.FromGraph(g, []string{"s", "t"}, []int{0, 0})
+	b := structure.FromGraph(g, []string{"s", "t"}, []int{0, 2})
+	if w := NewGame(a, b, 1).MustSolve(); w != PlayerI {
+		t.Fatal("collapsed constants in A vs distinct in B must lose")
+	}
+	// Constant pair violating a relation: self-loop demanded but absent.
+	ga := graph.New(1)
+	ga.AddEdge(0, 0)
+	a2 := structure.FromGraph(ga, []string{"c"}, []int{0})
+	b2 := structure.FromGraph(graph.DirectedPath(2), []string{"c"}, []int{0})
+	if w := NewGame(a2, b2, 1).MustSolve(); w != PlayerI {
+		t.Fatal("constant on a self-loop cannot map to a loopless node")
+	}
+}
+
+func TestHomGameVsOneToOneGame(t *testing.T) {
+	// A long path maps homomorphically onto a cycle (wrap around), so II
+	// wins the homomorphism game at any k; but with k = 4 > |B| pebbles
+	// the one-to-one game is lost by pigeonhole, separating the two
+	// variants (Remark 4.12(1)).
+	a := pathStruct(5)
+	b := structure.FromGraph(graph.DirectedCycle(3), nil, nil)
+	for _, k := range []int{2, 4} {
+		if w := NewHomGame(a, b, k).MustSolve(); w != PlayerII {
+			t.Fatalf("hom variant k=%d: II should win (wrap around), got %s", k, w)
+		}
+	}
+	if w := NewGame(a, b, 2).MustSolve(); w != PlayerII {
+		t.Fatalf("1-1 variant k=2: II still survives on a cycle, got %s", w)
+	}
+	if w := NewGame(a, b, 4).MustSolve(); w != PlayerI {
+		t.Fatalf("1-1 variant k=4: I should win by pigeonhole, got %s", w)
+	}
+}
+
+func TestHomGameTwoColorability(t *testing.T) {
+	// Classic: G maps homomorphically into an edge (2-colourable) iff
+	// bipartite. The hom game with enough pebbles detects odd cycles.
+	edge := structure.FromGraph(graph.New(2), nil, nil)
+	eg := structure.ToGraph(edge)
+	eg.AddEdge(0, 1)
+	eg.AddEdge(1, 0)
+	edge = structure.FromGraph(eg, nil, nil)
+	evenCycle := structure.FromGraph(symmetricCycle(4), nil, nil)
+	oddCycle := structure.FromGraph(symmetricCycle(5), nil, nil)
+	if w := NewHomGame(evenCycle, edge, 3).MustSolve(); w != PlayerII {
+		t.Fatalf("even cycle is 2-colourable, got %s", w)
+	}
+	if w := NewHomGame(oddCycle, edge, 3).MustSolve(); w != PlayerI {
+		t.Fatalf("odd cycle is not 2-colourable, got %s", w)
+	}
+}
+
+func symmetricCycle(n int) *graph.Graph {
+	g := graph.New(n)
+	for i := 0; i < n; i++ {
+		g.AddEdge(i, (i+1)%n)
+		g.AddEdge((i+1)%n, i)
+	}
+	return g
+}
+
+func TestCheckRejectsOversized(t *testing.T) {
+	a := pathStruct(2000)
+	b := pathStruct(2000)
+	g := NewGame(a, b, 3)
+	if err := g.Check(); err == nil {
+		t.Fatal("oversized instance must be rejected")
+	}
+	if _, err := g.Solve(); err == nil {
+		t.Fatal("Solve must propagate the size guard")
+	}
+	if err := NewGame(a, b, 0).Check(); err == nil {
+		t.Fatal("k=0 must be rejected")
+	}
+}
+
+func TestFamilyNonEmptyWhenIIWins(t *testing.T) {
+	a := pathStruct(3)
+	b := pathStruct(5)
+	g := NewGame(a, b, 2)
+	if g.MustSolve() != PlayerII {
+		t.Fatal("setup: II should win")
+	}
+	fam := g.Family()
+	if len(fam) == 0 {
+		t.Fatal("winning family empty")
+	}
+	for _, m := range fam {
+		if !structure.IsPartialOneToOneHomomorphism(a, b, m) {
+			t.Fatalf("family member %v is not a partial 1-1 homomorphism", m.Pairs())
+		}
+	}
+}

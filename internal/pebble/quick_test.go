@@ -1,0 +1,116 @@
+package pebble
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/structure"
+)
+
+func structFromSeed(seed int64) *structure.Structure {
+	g := graph.Random(4, 0.35, rand.New(rand.NewSource(seed)))
+	return structure.FromGraph(g, nil, nil)
+}
+
+func TestQuickPreceqReflexive(t *testing.T) {
+	prop := func(seed int64) bool {
+		s := structFromSeed(seed)
+		ok, err := Preceq(2, s, s)
+		return err == nil && ok
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickGameMonotoneInK(t *testing.T) {
+	// II winning with k pebbles implies winning with k-1.
+	prop := func(sa, sb int64) bool {
+		a := structFromSeed(sa)
+		b := structFromSeed(sb)
+		prevIIWins := true
+		for k := 1; k <= 3; k++ {
+			w := NewGame(a, b, k).MustSolve()
+			if !prevIIWins && w == PlayerII {
+				return false
+			}
+			prevIIWins = w == PlayerII
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickHomGameWeakerThanInjective(t *testing.T) {
+	// II winning the one-to-one game implies winning the homomorphism
+	// variant (injectivity only helps Player I).
+	prop := func(sa, sb int64) bool {
+		a := structFromSeed(sa)
+		b := structFromSeed(sb)
+		inj := NewGame(a, b, 2).MustSolve()
+		hom := NewHomGame(a, b, 2).MustSolve()
+		return !(inj == PlayerII && hom == PlayerI)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickEmbeddingWinsGames(t *testing.T) {
+	// Extend B with extra structure; the identity still embeds B's
+	// subgraph, so II must win any k-game on (sub, whole).
+	prop := func(seed int64) bool {
+		g := graph.Random(5, 0.3, rand.New(rand.NewSource(seed)))
+		sub := graph.New(3)
+		for _, e := range g.Edges() {
+			if e[0] < 3 && e[1] < 3 {
+				sub.AddEdge(e[0], e[1])
+			}
+		}
+		a := structure.FromGraph(sub, nil, nil)
+		b := structure.FromGraph(g, nil, nil)
+		for k := 1; k <= 2; k++ {
+			if NewGame(a, b, k).MustSolve() != PlayerII {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSolverConsistentWithStrategies(t *testing.T) {
+	// Whoever the solver says wins, the extracted strategy for that
+	// player performs: II's family strategy survives random schedules, or
+	// I's spoiler beats the greedy duplicator.
+	prop := func(sa, sb, ms int64) bool {
+		a := structFromSeed(sa)
+		b := structFromSeed(sb)
+		g := NewGame(a, b, 2)
+		w := g.MustSolve()
+		if w == PlayerII {
+			strat, err := NewFamilyStrategy(g)
+			if err != nil {
+				return false
+			}
+			ref := NewReferee(a, b, 2)
+			moves := RandomSchedule(rand.New(rand.NewSource(ms)), a.N, 2, 30)
+			return ref.Play(strat, moves) == nil
+		}
+		spo, err := NewFamilySpoiler(g)
+		if err != nil {
+			return false
+		}
+		ref := NewReferee(a, b, 2)
+		return ref.PlayAgainst(NewGreedyDuplicator(a, b), spo, 200) != nil
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

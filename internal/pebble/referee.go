@@ -1,0 +1,392 @@
+package pebble
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/structure"
+)
+
+// Duplicator is a Player II strategy: it is told each Player I move and
+// must answer placements with an element of B.
+type Duplicator interface {
+	// Place reports that Player I placed pebble i (0-based) on element a
+	// of A and returns the element of B that pebble i should cover.
+	Place(i, a int) (int, error)
+	// Lift reports that Player I lifted pebble i from both structures.
+	Lift(i int)
+	// Reset prepares the strategy for a fresh game.
+	Reset()
+}
+
+// Move is a single Player I action.
+type Move struct {
+	Pebble int
+	// Lift selects a removal; otherwise the pebble is placed on A.
+	Lift bool
+	// A is the element of A pebbled (ignored for lifts).
+	A int
+}
+
+func (m Move) String() string {
+	if m.Lift {
+		return fmt.Sprintf("lift p%d", m.Pebble)
+	}
+	return fmt.Sprintf("place p%d on %d", m.Pebble, m.A)
+}
+
+// Referee runs an existential k-pebble game between a move schedule for
+// Player I and a Duplicator, verifying after every round that the pebbled
+// map (together with the constants) is a partial one-to-one homomorphism.
+type Referee struct {
+	A, B     *structure.Structure
+	K        int
+	OneToOne bool
+
+	posA []int // pebble -> element of A, -1 when unplaced
+	posB []int
+}
+
+// NewReferee builds a referee for the standard (one-to-one) game.
+func NewReferee(a, b *structure.Structure, k int) *Referee {
+	r := &Referee{A: a, B: b, K: k, OneToOne: true}
+	r.reset()
+	return r
+}
+
+func (r *Referee) reset() {
+	r.posA = make([]int, r.K)
+	r.posB = make([]int, r.K)
+	for i := range r.posA {
+		r.posA[i] = -1
+		r.posB[i] = -1
+	}
+}
+
+// Position returns the current pebbled map including constant pairs, or an
+// error if it is not a well-defined function.
+func (r *Referee) Position() (structure.PartialMap, error) {
+	if !structure.ConstantMapOK(r.A, r.B) {
+		return structure.PartialMap{}, fmt.Errorf("pebble: incompatible constants")
+	}
+	m := structure.ConstantMap(r.A, r.B)
+	for i := range r.posA {
+		if r.posA[i] < 0 {
+			continue
+		}
+		if old, ok := m.Lookup(r.posA[i]); ok {
+			if old != r.posB[i] {
+				return structure.PartialMap{}, fmt.Errorf(
+					"pebble: element %d mapped to both %d and %d", r.posA[i], old, r.posB[i])
+			}
+			continue
+		}
+		m = m.Extend(r.posA[i], r.posB[i])
+	}
+	return m, nil
+}
+
+// Play replays the moves from the start of a game, asking dup for Player
+// II's responses and checking the homomorphism condition after each round.
+// It returns an error describing Player I's win the moment the condition
+// breaks; nil means Player II survived the whole schedule.
+func (r *Referee) Play(dup Duplicator, moves []Move) error {
+	r.reset()
+	dup.Reset()
+	for step, mv := range moves {
+		if err := r.Play1(dup, mv, step); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FamilyStrategy plays Player II from the winning family computed by the
+// solver: every response keeps the position inside the family, so it never
+// loses when the family is genuinely winning.
+type FamilyStrategy struct {
+	game *Game
+	posA []int
+	posB []int
+}
+
+// NewFamilyStrategy extracts a strategy from a solved game won by Player
+// II. It errors if Player I wins.
+func NewFamilyStrategy(g *Game) (*FamilyStrategy, error) {
+	w, err := g.Solve()
+	if err != nil {
+		return nil, err
+	}
+	if w != PlayerII {
+		return nil, fmt.Errorf("pebble: Player I wins; no duplicator strategy exists")
+	}
+	s := &FamilyStrategy{game: g}
+	s.Reset()
+	return s, nil
+}
+
+// Reset implements Duplicator.
+func (s *FamilyStrategy) Reset() {
+	s.posA = make([]int, s.game.K)
+	s.posB = make([]int, s.game.K)
+	for i := range s.posA {
+		s.posA[i] = -1
+		s.posB[i] = -1
+	}
+}
+
+// Lift implements Duplicator.
+func (s *FamilyStrategy) Lift(i int) {
+	s.posA[i] = -1
+	s.posB[i] = -1
+}
+
+// Place implements Duplicator: choose any b keeping the position in the
+// surviving family.
+func (s *FamilyStrategy) Place(i, a int) (int, error) {
+	cur := s.game.base
+	for j := range s.posA {
+		if s.posA[j] >= 0 {
+			if _, ok := cur.Lookup(s.posA[j]); !ok {
+				cur = cur.Extend(s.posA[j], s.posB[j])
+			}
+		}
+	}
+	// Pebble on an already-mapped element must repeat its image.
+	if b, ok := cur.Lookup(a); ok {
+		s.posA[i] = a
+		s.posB[i] = b
+		return b, nil
+	}
+	for b := 0; b < s.game.B.N; b++ {
+		ext := cur.Extend(a, b)
+		if _, ok := s.game.family[ext.Key()]; ok {
+			s.posA[i] = a
+			s.posB[i] = b
+			return b, nil
+		}
+	}
+	return 0, fmt.Errorf("no surviving response for element %d", a)
+}
+
+// RandomSchedule generates a random Player I move schedule of the given
+// length: placements on random elements, with random lifts once pebbles
+// run out.
+func RandomSchedule(rng *rand.Rand, aSize, k, steps int) []Move {
+	var moves []Move
+	placed := map[int]bool{}
+	for len(moves) < steps {
+		var free, used []int
+		for i := 0; i < k; i++ {
+			if placed[i] {
+				used = append(used, i)
+			} else {
+				free = append(free, i)
+			}
+		}
+		if len(free) == 0 || (len(used) > 0 && rng.Intn(3) == 0) {
+			p := used[rng.Intn(len(used))]
+			moves = append(moves, Move{Pebble: p, Lift: true})
+			placed[p] = false
+			continue
+		}
+		p := free[rng.Intn(len(free))]
+		moves = append(moves, Move{Pebble: p, A: rng.Intn(aSize)})
+		placed[p] = true
+	}
+	return moves
+}
+
+// Spoiler is a Player I strategy: given the current pebble positions
+// (posA/posB indexed by pebble, -1 for unplaced) it returns the next move,
+// or ok=false to resign.
+type Spoiler interface {
+	NextMove(posA, posB []int) (Move, bool)
+}
+
+// PlayAgainst pits a Spoiler against a Duplicator for at most maxSteps
+// rounds. It returns an error describing Player I's win when the
+// homomorphism condition breaks, or nil if Player II survives the whole
+// run (including the case where the spoiler resigns).
+func (r *Referee) PlayAgainst(dup Duplicator, spo Spoiler, maxSteps int) error {
+	r.reset()
+	dup.Reset()
+	for step := 0; step < maxSteps; step++ {
+		mv, ok := spo.NextMove(append([]int(nil), r.posA...), append([]int(nil), r.posB...))
+		if !ok {
+			return nil
+		}
+		if err := r.Play1(dup, mv, step); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Play1 applies one move against the duplicator without resetting state.
+func (r *Referee) Play1(dup Duplicator, mv Move, step int) error {
+	if mv.Pebble < 0 || mv.Pebble >= r.K {
+		return fmt.Errorf("pebble: step %d: pebble %d out of range", step, mv.Pebble)
+	}
+	if mv.Lift {
+		if r.posA[mv.Pebble] < 0 {
+			return fmt.Errorf("pebble: step %d: lifting unplaced pebble %d", step, mv.Pebble)
+		}
+		r.posA[mv.Pebble] = -1
+		r.posB[mv.Pebble] = -1
+		dup.Lift(mv.Pebble)
+		return nil
+	}
+	if r.posA[mv.Pebble] >= 0 {
+		return fmt.Errorf("pebble: step %d: pebble %d already placed (lift it first)", step, mv.Pebble)
+	}
+	if mv.A < 0 || mv.A >= r.A.N {
+		return fmt.Errorf("pebble: step %d: element %d outside A", step, mv.A)
+	}
+	b, err := dup.Place(mv.Pebble, mv.A)
+	if err != nil {
+		return fmt.Errorf("pebble: step %d (%s): duplicator resigned: %w", step, mv, err)
+	}
+	if b < 0 || b >= r.B.N {
+		return fmt.Errorf("pebble: step %d: duplicator answered %d outside B", step, b)
+	}
+	r.posA[mv.Pebble] = mv.A
+	r.posB[mv.Pebble] = b
+	m, err := r.Position()
+	if err != nil {
+		return fmt.Errorf("pebble: step %d (%s -> %d): %w", step, mv, b, err)
+	}
+	if r.OneToOne && !m.Injective() {
+		return fmt.Errorf("pebble: step %d (%s -> %d): map not injective", step, mv, b)
+	}
+	if !structure.IsPartialHomomorphism(r.A, r.B, m) {
+		return fmt.Errorf("pebble: step %d (%s -> %d): map is not a homomorphism", step, mv, b)
+	}
+	return nil
+}
+
+// FamilySpoiler plays Player I optimally from a solved game that Player I
+// wins, using the removal rounds recorded during pruning: a position
+// outside the family was removed either because a subfunction was removed
+// earlier (then lift toward it) or because some element a has no surviving
+// extension (then place a fresh pebble on a; every duplicator answer lands
+// in a position removed strictly earlier, so progress is guaranteed).
+type FamilySpoiler struct {
+	game *Game
+}
+
+// NewFamilySpoiler extracts the spoiler from a solved game won by Player I.
+func NewFamilySpoiler(g *Game) (*FamilySpoiler, error) {
+	w, err := g.Solve()
+	if err != nil {
+		return nil, err
+	}
+	if w != PlayerI {
+		return nil, fmt.Errorf("pebble: Player II wins; no spoiler strategy exists")
+	}
+	if !g.baseOK {
+		return nil, fmt.Errorf("pebble: Player I wins on the constants alone; no moves needed")
+	}
+	return &FamilySpoiler{game: g}, nil
+}
+
+// round returns the pruning round at which a position was removed:
+// 0 for positions that are not partial homomorphisms at all (never
+// enumerated), a positive round for pruned positions, and ok=false for
+// survivors.
+func (s *FamilySpoiler) round(m structure.PartialMap) (int, bool) {
+	if _, alive := s.game.family[m.Key()]; alive {
+		return 0, false
+	}
+	if r, removed := s.game.removedAt[m.Key()]; removed {
+		return r, true
+	}
+	return 0, true // never a homomorphism: lost immediately
+}
+
+// NextMove implements Spoiler.
+func (s *FamilySpoiler) NextMove(posA, posB []int) (Move, bool) {
+	g := s.game
+	cur := g.base
+	conflict := false
+	for i := range posA {
+		if posA[i] < 0 {
+			continue
+		}
+		if old, ok := cur.Lookup(posA[i]); ok {
+			if old != posB[i] {
+				conflict = true
+			}
+			continue
+		}
+		cur = cur.Extend(posA[i], posB[i])
+	}
+	if conflict {
+		return Move{}, false // already won; referee has flagged it
+	}
+	r, removed := s.round(cur)
+	if !removed {
+		return Move{}, false // position survives: II escaped (cannot happen from base)
+	}
+	// Case 1: a subfunction was removed strictly earlier — lift the
+	// pebble whose removal reaches it. Lifting a pebble removes its pair
+	// only when no other pebble pins the same element.
+	for i := range posA {
+		if posA[i] < 0 {
+			continue
+		}
+		shared := false
+		for j := range posA {
+			if j != i && posA[j] == posA[i] {
+				shared = true
+			}
+		}
+		if _, isConst := g.base.Lookup(posA[i]); shared || isConst {
+			continue // lifting leaves the map unchanged: no progress here
+		}
+		sub := cur.Remove(posA[i])
+		if r2, rem2 := s.round(sub); rem2 && r2 < r {
+			return Move{Pebble: i, Lift: true}, true
+		}
+	}
+	// Case 2: forth failure — find a placement for which every duplicator
+	// answer lands in a position removed strictly earlier (positions that
+	// are not homomorphisms at all count as removed at round 0).
+	winningPlacement := -1
+	for a := 0; a < g.A.N && winningPlacement < 0; a++ {
+		if _, ok := cur.Lookup(a); ok {
+			continue
+		}
+		bad := true
+		for b := 0; b < g.B.N; b++ {
+			r2, rem2 := s.round(cur.Extend(a, b))
+			if !rem2 || r2 >= r {
+				bad = false
+				break
+			}
+		}
+		if bad {
+			winningPlacement = a
+		}
+	}
+	if winningPlacement >= 0 {
+		for i := range posA {
+			if posA[i] < 0 {
+				return Move{Pebble: i, A: winningPlacement}, true
+			}
+		}
+		// All pebbles placed but the map is smaller than k+l, so two
+		// pebbles share an element; lifting one frees a pebble without
+		// changing the map.
+		for i := range posA {
+			for j := range posA {
+				if j != i && posA[j] == posA[i] {
+					return Move{Pebble: i, Lift: true}, true
+				}
+			}
+		}
+	}
+	// No progress found (should not happen when the solver says I wins);
+	// resign rather than loop.
+	return Move{}, false
+}

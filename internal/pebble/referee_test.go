@@ -1,0 +1,169 @@
+package pebble
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/structure"
+)
+
+func TestFamilyStrategySurvivesRandomSchedules(t *testing.T) {
+	a := pathStruct(4)
+	b := pathStruct(7)
+	g := NewGame(a, b, 2)
+	strat, err := NewFamilyStrategy(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := NewReferee(a, b, 2)
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 50; trial++ {
+		moves := RandomSchedule(rng, a.N, 2, 40)
+		if err := ref.Play(strat, moves); err != nil {
+			t.Fatalf("trial %d: family strategy lost: %v", trial, err)
+		}
+	}
+}
+
+func TestFamilyStrategyVersusFamilySpoiler(t *testing.T) {
+	// On a game Player I wins, the spoiler extracted from the solver must
+	// beat ANY duplicator — in particular a duplicator that plays the
+	// greedy "stay in the family" policy (which has no winning family to
+	// stay in, but still answers greedily with locally valid responses).
+	a := pathStruct(6)
+	b := pathStruct(4)
+	g := NewGame(a, b, 2)
+	if g.MustSolve() != PlayerI {
+		t.Fatal("setup: I should win (long path into short)")
+	}
+	spo, err := NewFamilySpoiler(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := NewReferee(a, b, 2)
+	if err := ref.PlayAgainst(NewGreedyDuplicator(a, b), spo, 200); err == nil {
+		t.Fatal("spoiler failed to beat the greedy duplicator")
+	}
+}
+
+func TestFamilySpoilerBeatsGreedyOnCrossing(t *testing.T) {
+	// Example 4.5 structures at k=3 (the paper's attack): the extracted
+	// spoiler must defeat the greedy duplicator.
+	ga, _, _, _, _ := graph.TwoDisjointPathsGraph(2, 2)
+	gb, _, _, _, _ := graph.CrossingPathsGraph(1)
+	a := structure.FromGraph(ga, nil, nil)
+	b := structure.FromGraph(gb, nil, nil)
+	g := NewGame(a, b, 3)
+	if g.MustSolve() != PlayerI {
+		t.Fatal("setup: I should win")
+	}
+	spo, err := NewFamilySpoiler(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := NewReferee(a, b, 3)
+	if err := ref.PlayAgainst(NewGreedyDuplicator(a, b), spo, 500); err == nil {
+		t.Fatal("spoiler failed on the crossing-paths pair")
+	}
+}
+
+func TestNewFamilyStrategyRejectsLostGames(t *testing.T) {
+	a := pathStruct(6)
+	b := pathStruct(4)
+	if _, err := NewFamilyStrategy(NewGame(a, b, 2)); err == nil {
+		t.Fatal("strategy extraction must fail when Player I wins")
+	}
+	if _, err := NewFamilySpoiler(NewGame(b, a, 2)); err == nil {
+		t.Fatal("spoiler extraction must fail when Player II wins")
+	}
+}
+
+func TestRefereeDetectsIllegalMoves(t *testing.T) {
+	a := pathStruct(3)
+	b := pathStruct(5)
+	strat, err := NewFamilyStrategy(NewGame(a, b, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := NewReferee(a, b, 2)
+	cases := [][]Move{
+		{{Pebble: 5, A: 0}},                    // pebble out of range
+		{{Pebble: 0, Lift: true}},              // lifting unplaced
+		{{Pebble: 0, A: 99}},                   // element out of range
+		{{Pebble: 0, A: 0}, {Pebble: 0, A: 1}}, // double placement
+	}
+	for i, moves := range cases {
+		if err := ref.Play(strat, moves); err == nil {
+			t.Fatalf("case %d: illegal schedule accepted", i)
+		}
+	}
+}
+
+func TestRefereeCatchesBadDuplicator(t *testing.T) {
+	// A duplicator that always answers 0 breaks the homomorphism as soon
+	// as two adjacent nodes are pebbled.
+	a := pathStruct(3)
+	b := pathStruct(5)
+	ref := NewReferee(a, b, 2)
+	moves := []Move{{Pebble: 0, A: 0}, {Pebble: 1, A: 1}}
+	if err := ref.Play(constantDuplicator(0), moves); err == nil {
+		t.Fatal("constant duplicator must lose")
+	}
+}
+
+func TestPositionWellDefined(t *testing.T) {
+	a := pathStruct(3)
+	b := pathStruct(5)
+	ref := NewReferee(a, b, 2)
+	// Two pebbles on the same A element with different images: the map is
+	// not well-defined and the referee must flag it.
+	ref.reset()
+	ref.posA[0], ref.posB[0] = 1, 1
+	ref.posA[1], ref.posB[1] = 1, 2
+	if _, err := ref.Position(); err == nil {
+		t.Fatal("ill-defined position accepted")
+	}
+	ref.posB[1] = 1
+	if _, err := ref.Position(); err != nil {
+		t.Fatalf("well-defined position rejected: %v", err)
+	}
+}
+
+func TestRandomScheduleShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	moves := RandomSchedule(rng, 10, 3, 60)
+	if len(moves) != 60 {
+		t.Fatalf("len = %d", len(moves))
+	}
+	placed := map[int]bool{}
+	for i, mv := range moves {
+		if mv.Lift {
+			if !placed[mv.Pebble] {
+				t.Fatalf("move %d lifts unplaced pebble", i)
+			}
+			placed[mv.Pebble] = false
+		} else {
+			if placed[mv.Pebble] {
+				t.Fatalf("move %d double-places pebble", i)
+			}
+			if mv.A < 0 || mv.A >= 10 {
+				t.Fatalf("move %d out of range", i)
+			}
+			placed[mv.Pebble] = true
+		}
+	}
+}
+
+type constErr string
+
+func (e constErr) Error() string { return string(e) }
+
+const errNoResponse = constErr("no locally valid response")
+
+// constantDuplicator always answers the same element.
+type constantDuplicator int
+
+func (constantDuplicator) Reset()                        {}
+func (constantDuplicator) Lift(int)                      {}
+func (c constantDuplicator) Place(i, a int) (int, error) { return int(c), nil }

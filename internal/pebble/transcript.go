@@ -1,0 +1,106 @@
+package pebble
+
+import (
+	"fmt"
+
+	"repro/internal/structure"
+)
+
+// GreedyDuplicator is the baseline Player II: it answers each placement
+// with the first locally valid response (a partial one-to-one
+// homomorphism after the move) and no lookahead. It wins exactly when
+// local consistency happens to suffice; the FamilySpoiler beats it
+// whenever Player I wins at all, which makes it the standard opponent for
+// producing demonstration transcripts.
+type GreedyDuplicator struct {
+	A, B *structure.Structure
+
+	posA []int
+	posB []int
+}
+
+// NewGreedyDuplicator builds the baseline duplicator.
+func NewGreedyDuplicator(a, b *structure.Structure) *GreedyDuplicator {
+	return &GreedyDuplicator{A: a, B: b}
+}
+
+// Reset implements Duplicator.
+func (d *GreedyDuplicator) Reset() {
+	d.posA = nil
+	d.posB = nil
+}
+
+func (d *GreedyDuplicator) ensure(i int) {
+	for i >= len(d.posA) {
+		d.posA = append(d.posA, -1)
+		d.posB = append(d.posB, -1)
+	}
+}
+
+// Lift implements Duplicator.
+func (d *GreedyDuplicator) Lift(i int) {
+	d.ensure(i)
+	d.posA[i] = -1
+	d.posB[i] = -1
+}
+
+// Place implements Duplicator.
+func (d *GreedyDuplicator) Place(i, a int) (int, error) {
+	d.ensure(i)
+	cur := structure.ConstantMap(d.A, d.B)
+	for j := range d.posA {
+		if d.posA[j] >= 0 {
+			if _, ok := cur.Lookup(d.posA[j]); !ok {
+				cur = cur.Extend(d.posA[j], d.posB[j])
+			}
+		}
+	}
+	if b, ok := cur.Lookup(a); ok {
+		d.posA[i], d.posB[i] = a, b
+		return b, nil
+	}
+	for b := 0; b < d.B.N; b++ {
+		if structure.ExtensionOK(d.A, d.B, cur, a, b, true) {
+			d.posA[i], d.posB[i] = a, b
+			return b, nil
+		}
+	}
+	return 0, fmt.Errorf("no locally valid response for element %d", a)
+}
+
+// Transcript plays the extracted FamilySpoiler against the greedy
+// duplicator on a game Player I wins and returns a human-readable move
+// record ending in Player I's win. It errors if Player II wins the game
+// (no spoiler exists) or if the spoiler unexpectedly fails to finish
+// within maxSteps.
+func Transcript(g *Game, maxSteps int) ([]string, error) {
+	spo, err := NewFamilySpoiler(g)
+	if err != nil {
+		return nil, err
+	}
+	dup := NewGreedyDuplicator(g.A, g.B)
+	ref := &Referee{A: g.A, B: g.B, K: g.K, OneToOne: g.OneToOne}
+	ref.reset()
+	dup.Reset()
+	var lines []string
+	for step := 0; step < maxSteps; step++ {
+		mv, ok := spo.NextMove(append([]int(nil), ref.posA...), append([]int(nil), ref.posB...))
+		if !ok {
+			return nil, fmt.Errorf("pebble: spoiler resigned unexpectedly at step %d", step)
+		}
+		if mv.Lift {
+			lines = append(lines, fmt.Sprintf("I lifts p%d (was on %d)", mv.Pebble, ref.posA[mv.Pebble]))
+		} else {
+			lines = append(lines, fmt.Sprintf("I places p%d on %d", mv.Pebble, mv.A))
+		}
+		err := ref.Play1(dup, mv, step)
+		if err != nil {
+			lines = append(lines, fmt.Sprintf("Player I wins: %v", err))
+			return lines, nil
+		}
+		if !mv.Lift {
+			lines[len(lines)-1] += fmt.Sprintf("; II answers %d", ref.posB[mv.Pebble])
+		}
+	}
+	return nil, fmt.Errorf("pebble: no win within %d steps", maxSteps)
+}

@@ -1,0 +1,153 @@
+package pebble
+
+import (
+	"repro/internal/structure"
+)
+
+// The second formulation of Proposition 5.3: decide the game by the
+// explicit Win_k move recursion instead of the greatest winning family.
+// A position (a partial map of pebbled pairs plus the constants) is
+// winning for Player I iff he has a move — lifting a pebble or placing a
+// fresh one — after which every Player II reply is again winning for I;
+// non-homomorphism positions are immediately won. The two formulations
+// must agree (they are dual fixpoints); the solver tests and benches
+// cross-validate them, and DESIGN.md records the ablation.
+
+// WinkSolver decides the existential k-pebble game by memoized
+// least-fixpoint iteration over spoiler-winning positions.
+type WinkSolver struct {
+	A, B     *structure.Structure
+	K        int
+	OneToOne bool
+
+	base   structure.PartialMap
+	baseOK bool
+	// spoilerWin maps position keys to the iteration round at which they
+	// were shown winning for Player I (0 = not a homomorphism).
+	spoilerWin map[string]int
+	solved     bool
+	winner     Winner
+}
+
+// NewWinkSolver builds the solver for the one-to-one game.
+func NewWinkSolver(a, b *structure.Structure, k int) *WinkSolver {
+	return &WinkSolver{A: a, B: b, K: k, OneToOne: true}
+}
+
+// Solve decides the game. It shares the size guard with Game.
+func (s *WinkSolver) Solve() (Winner, error) {
+	if s.solved {
+		return s.winner, nil
+	}
+	if err := (&Game{A: s.A, B: s.B, K: s.K}).Check(); err != nil {
+		return PlayerI, err
+	}
+	s.solved = true
+	if !structure.ConstantMapOK(s.A, s.B) {
+		s.winner = PlayerI
+		return s.winner, nil
+	}
+	base := structure.ConstantMap(s.A, s.B)
+	if (s.OneToOne && !base.Injective()) || !structure.IsPartialHomomorphism(s.A, s.B, base) {
+		s.winner = PlayerI
+		return s.winner, nil
+	}
+	s.base = base
+	s.baseOK = true
+	s.run()
+	if _, bad := s.spoilerWin[base.Key()]; bad {
+		s.winner = PlayerI
+	} else {
+		s.winner = PlayerII
+	}
+	return s.winner, nil
+}
+
+// run iterates the Win recursion to its least fixpoint over all positions
+// reachable in the game (partial 1-1 homomorphisms extending the base).
+func (s *WinkSolver) run() {
+	// Enumerate positions (reusing the family enumeration shape).
+	positions := map[string]structure.PartialMap{s.base.Key(): s.base}
+	var rec func(m structure.PartialMap, minA, extra int)
+	rec = func(m structure.PartialMap, minA, extra int) {
+		if extra == s.K {
+			return
+		}
+		for a := minA; a < s.A.N; a++ {
+			if _, ok := m.Lookup(a); ok {
+				continue
+			}
+			for b := 0; b < s.B.N; b++ {
+				if !structure.ExtensionOK(s.A, s.B, m, a, b, s.OneToOne) {
+					continue
+				}
+				ext := m.Extend(a, b)
+				key := ext.Key()
+				if _, seen := positions[key]; !seen {
+					positions[key] = ext
+					rec(ext, a+1, extra+1)
+				}
+			}
+		}
+	}
+	rec(s.base, 0, 0)
+
+	s.spoilerWin = map[string]int{}
+	l := s.base.Len()
+	for round := 1; ; round++ {
+		changed := false
+		for key, m := range positions {
+			if _, won := s.spoilerWin[key]; won {
+				continue
+			}
+			if s.spoilerMove(m, l) {
+				s.spoilerWin[key] = round
+				changed = true
+			}
+		}
+		if !changed {
+			return
+		}
+	}
+}
+
+// spoilerMove reports whether Player I has a winning move from m against
+// the current spoilerWin set.
+func (s *WinkSolver) spoilerMove(m structure.PartialMap, l int) bool {
+	// Lifting: any removal of a non-constant pair reaching a known
+	// spoiler win. (Lifting one of several pebbles on the same element
+	// leaves the map unchanged and gains nothing, so maps model positions
+	// faithfully here.)
+	for _, pair := range m.Pairs() {
+		if _, isConst := s.base.Lookup(pair[0]); isConst {
+			continue
+		}
+		sub := m.Remove(pair[0])
+		if _, won := s.spoilerWin[sub.Key()]; won {
+			return true
+		}
+	}
+	// Placing: some a such that every b-reply is losing for II — either
+	// not a partial (1-1) homomorphism at all, or already spoiler-won.
+	if m.Len() < s.K+l {
+		for a := 0; a < s.A.N; a++ {
+			if _, ok := m.Lookup(a); ok {
+				continue
+			}
+			bad := true
+			for b := 0; b < s.B.N; b++ {
+				if !structure.ExtensionOK(s.A, s.B, m, a, b, s.OneToOne) {
+					continue
+				}
+				if _, won := s.spoilerWin[m.Extend(a, b).Key()]; !won {
+					bad = false
+					break
+				}
+			}
+			if bad {
+				return true
+			}
+		}
+	}
+	return false
+}

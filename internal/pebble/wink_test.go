@@ -1,0 +1,80 @@
+package pebble
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/structure"
+)
+
+func TestWinkAgreesOnExamples(t *testing.T) {
+	short := pathStruct(4)
+	long := pathStruct(6)
+	if w, err := NewWinkSolver(short, long, 2).Solve(); err != nil || w != PlayerII {
+		t.Fatalf("short into long: %v %v", w, err)
+	}
+	if w, err := NewWinkSolver(long, short, 2).Solve(); err != nil || w != PlayerI {
+		t.Fatalf("long into short: %v %v", w, err)
+	}
+	ga, _, _, _, _ := graph.TwoDisjointPathsGraph(2, 2)
+	gb, _, _, _, _ := graph.CrossingPathsGraph(1)
+	a := structure.FromGraph(ga, nil, nil)
+	b := structure.FromGraph(gb, nil, nil)
+	if w, err := NewWinkSolver(a, b, 3).Solve(); err != nil || w != PlayerI {
+		t.Fatalf("Example 4.5: %v %v", w, err)
+	}
+}
+
+func TestWinkAgreesWithFamilySolver(t *testing.T) {
+	// The two formulations of Proposition 5.3 are dual fixpoints and must
+	// produce the same winner everywhere.
+	prop := func(sa, sb int64, k8 uint8) bool {
+		a := structFromSeed(sa)
+		b := structFromSeed(sb)
+		k := 1 + int(k8)%3
+		w1 := NewGame(a, b, k).MustSolve()
+		w2, err := NewWinkSolver(a, b, k).Solve()
+		return err == nil && w1 == w2
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWinkWithConstants(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	for trial := 0; trial < 20; trial++ {
+		ga := graph.Random(4, 0.3, rng)
+		gb := graph.Random(5, 0.3, rng)
+		a := structure.FromGraph(ga, []string{"s", "t"}, []int{0, 3})
+		b := structure.FromGraph(gb, []string{"s", "t"}, []int{0, 4})
+		w1 := NewGame(a, b, 2).MustSolve()
+		w2, err := NewWinkSolver(a, b, 2).Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w1 != w2 {
+			t.Fatalf("trial %d: family says %s, wink says %s", trial, w1, w2)
+		}
+	}
+}
+
+func TestWinkImmediateLosses(t *testing.T) {
+	// Incompatible constants: Player I wins before any move in both
+	// formulations.
+	g := graph.DirectedPath(3)
+	a := structure.FromGraph(g, []string{"s", "t"}, []int{0, 0})
+	b := structure.FromGraph(g, []string{"s", "t"}, []int{0, 2})
+	if w, err := NewWinkSolver(a, b, 1).Solve(); err != nil || w != PlayerI {
+		t.Fatalf("constant clash: %v %v", w, err)
+	}
+}
+
+func TestWinkSizeGuard(t *testing.T) {
+	a := pathStruct(2000)
+	if _, err := NewWinkSolver(a, a, 3).Solve(); err == nil {
+		t.Fatal("oversized instance must be rejected")
+	}
+}

@@ -1,0 +1,31 @@
+package structure
+
+import "repro/internal/graph"
+
+// FromGraph converts a directed graph with distinguished nodes into a
+// relational structure over the graph vocabulary with one constant per
+// distinguished node. constNames and distinguished run in parallel.
+func FromGraph(g *graph.Graph, constNames []string, distinguished []int) *Structure {
+	if len(constNames) != len(distinguished) {
+		panic("structure: constant name/node count mismatch")
+	}
+	voc := GraphVocabulary(constNames...)
+	s := New(voc, g.N())
+	for _, e := range g.Edges() {
+		s.AddFact("E", e[0], e[1])
+	}
+	for i, c := range constNames {
+		s.SetConstant(c, distinguished[i])
+	}
+	return s
+}
+
+// ToGraph converts a structure over a vocabulary containing the binary
+// relation E back into a directed graph, ignoring other relations.
+func ToGraph(s *Structure) *graph.Graph {
+	g := graph.New(s.N)
+	for _, t := range s.Rel("E").Tuples() {
+		g.AddEdge(t[0], t[1])
+	}
+	return g
+}

@@ -1,0 +1,82 @@
+package structure
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+func TestIsomorphicBasics(t *testing.T) {
+	a := FromGraph(graph.DirectedPath(4), nil, nil)
+	b := FromGraph(graph.DirectedPath(4), nil, nil)
+	if !Isomorphic(a, b) {
+		t.Fatal("identical paths are isomorphic")
+	}
+	c := FromGraph(graph.DirectedCycle(4), nil, nil)
+	if Isomorphic(a, c) {
+		t.Fatal("path vs cycle")
+	}
+	d := FromGraph(graph.DirectedPath(5), nil, nil)
+	if Isomorphic(a, d) {
+		t.Fatal("different sizes")
+	}
+}
+
+func TestIsomorphicUnderRelabeling(t *testing.T) {
+	prop := func(seed, permSeed int64) bool {
+		g := graph.Random(6, 0.3, rand.New(rand.NewSource(seed)))
+		perm := rand.New(rand.NewSource(permSeed)).Perm(6)
+		h := graph.New(6)
+		for _, e := range g.Edges() {
+			h.AddEdge(perm[e[0]], perm[e[1]])
+		}
+		return Isomorphic(FromGraph(g, nil, nil), FromGraph(h, nil, nil))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIsomorphicDetectsEdgeFlip(t *testing.T) {
+	// Same degree sequence, different structure: 0->1->2 vs 0->1<-2.
+	g := graph.New(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	h := graph.New(3)
+	h.AddEdge(0, 1)
+	h.AddEdge(2, 1)
+	if Isomorphic(FromGraph(g, nil, nil), FromGraph(h, nil, nil)) {
+		t.Fatal("chain vs confluence misjudged")
+	}
+}
+
+func TestIsomorphicRespectsConstants(t *testing.T) {
+	g := graph.DirectedPath(3)
+	a := FromGraph(g, []string{"s"}, []int{0})
+	b := FromGraph(g, []string{"s"}, []int{2})
+	if Isomorphic(a, b) {
+		t.Fatal("constants pin the endpoints: source vs sink")
+	}
+	c := FromGraph(g, []string{"s"}, []int{0})
+	if !Isomorphic(a, c) {
+		t.Fatal("same pinning should be isomorphic")
+	}
+}
+
+func TestIsomorphicStrictOnSubrelations(t *testing.T) {
+	// Same node count, A's edges a strict subset of B's: a one-to-one
+	// homomorphism exists, an isomorphism does not.
+	g := graph.DirectedPath(4)
+	h := graph.DirectedPath(4)
+	h.AddEdge(0, 2)
+	a := FromGraph(g, nil, nil)
+	b := FromGraph(h, nil, nil)
+	if !TotalHomomorphismExists(a, b, true) {
+		t.Fatal("embedding exists")
+	}
+	if Isomorphic(a, b) {
+		t.Fatal("edge counts differ: not isomorphic")
+	}
+}

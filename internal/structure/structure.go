@@ -1,0 +1,237 @@
+// Package structure implements finite relational structures over a
+// vocabulary of relation and constant symbols — the semantic objects of the
+// paper. Structures interpret every relation symbol by a set of tuples over
+// a universe {0,...,N-1} and every constant symbol by an element.
+//
+// The package also provides the (partial one-to-one) homomorphism machinery
+// that the existential k-pebble games of Section 4 are built on.
+package structure
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// RelSymbol is a relation symbol with its arity.
+type RelSymbol struct {
+	Name  string
+	Arity int
+}
+
+// Vocabulary is a finite list of relation symbols and constant symbols
+// (Definition 3.1's proviso: vocabularies are finite).
+type Vocabulary struct {
+	Relations []RelSymbol
+	Constants []string
+}
+
+// NewVocabulary builds a vocabulary; it panics on duplicate names or
+// non-positive arities, which are programming errors.
+func NewVocabulary(rels []RelSymbol, consts []string) *Vocabulary {
+	seen := map[string]bool{}
+	for _, r := range rels {
+		if r.Arity <= 0 {
+			panic(fmt.Sprintf("structure: relation %s has arity %d", r.Name, r.Arity))
+		}
+		if seen[r.Name] {
+			panic("structure: duplicate relation symbol " + r.Name)
+		}
+		seen[r.Name] = true
+	}
+	for _, c := range consts {
+		if seen[c] {
+			panic("structure: duplicate symbol " + c)
+		}
+		seen[c] = true
+	}
+	return &Vocabulary{Relations: rels, Constants: consts}
+}
+
+// Relation looks up a relation symbol by name.
+func (v *Vocabulary) Relation(name string) (RelSymbol, bool) {
+	for _, r := range v.Relations {
+		if r.Name == name {
+			return r, true
+		}
+	}
+	return RelSymbol{}, false
+}
+
+// GraphVocabulary returns the vocabulary of directed graphs with the given
+// constant symbols: a single binary relation E plus the constants.
+func GraphVocabulary(constants ...string) *Vocabulary {
+	return NewVocabulary([]RelSymbol{{Name: "E", Arity: 2}}, constants)
+}
+
+// Tuple is a tuple of universe elements.
+type Tuple []int
+
+func (t Tuple) key() string {
+	var b strings.Builder
+	for i, x := range t {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", x)
+	}
+	return b.String()
+}
+
+// Relation is a set of same-arity tuples.
+type Relation struct {
+	Arity  int
+	tuples map[string]Tuple
+	// byElem indexes, for each universe element, the tuples containing it;
+	// built lazily by the homomorphism checks.
+	byElem map[int][]Tuple
+}
+
+// NewRelation returns an empty relation of the given arity.
+func NewRelation(arity int) *Relation {
+	return &Relation{Arity: arity, tuples: make(map[string]Tuple)}
+}
+
+// Add inserts a tuple; it panics on arity mismatch and reports whether the
+// tuple was new.
+func (r *Relation) Add(t Tuple) bool {
+	if len(t) != r.Arity {
+		panic(fmt.Sprintf("structure: tuple %v in relation of arity %d", t, r.Arity))
+	}
+	k := t.key()
+	if _, ok := r.tuples[k]; ok {
+		return false
+	}
+	cp := make(Tuple, len(t))
+	copy(cp, t)
+	r.tuples[k] = cp
+	r.byElem = nil
+	return true
+}
+
+// Has reports membership.
+func (r *Relation) Has(t Tuple) bool {
+	_, ok := r.tuples[t.key()]
+	return ok
+}
+
+// Size returns the number of tuples.
+func (r *Relation) Size() int { return len(r.tuples) }
+
+// Tuples returns all tuples in deterministic (lexicographic) order.
+func (r *Relation) Tuples() []Tuple {
+	ts := make([]Tuple, 0, len(r.tuples))
+	for _, t := range r.tuples {
+		ts = append(ts, t)
+	}
+	sort.Slice(ts, func(i, j int) bool {
+		for k := range ts[i] {
+			if ts[i][k] != ts[j][k] {
+				return ts[i][k] < ts[j][k]
+			}
+		}
+		return false
+	})
+	return ts
+}
+
+// TuplesWith returns the tuples containing element x.
+func (r *Relation) TuplesWith(x int) []Tuple {
+	if r.byElem == nil {
+		r.byElem = make(map[int][]Tuple)
+		for _, t := range r.tuples {
+			seen := map[int]bool{}
+			for _, e := range t {
+				if !seen[e] {
+					seen[e] = true
+					r.byElem[e] = append(r.byElem[e], t)
+				}
+			}
+		}
+	}
+	return r.byElem[x]
+}
+
+// Structure is a finite relational structure.
+type Structure struct {
+	Voc  *Vocabulary
+	N    int // universe is {0, ..., N-1}
+	rels map[string]*Relation
+	cons map[string]int
+}
+
+// New returns a structure over voc with an n-element universe, all
+// relations empty and all constants interpreted as element 0 (override with
+// SetConstant).
+func New(voc *Vocabulary, n int) *Structure {
+	s := &Structure{Voc: voc, N: n, rels: make(map[string]*Relation), cons: make(map[string]int)}
+	for _, r := range voc.Relations {
+		s.rels[r.Name] = NewRelation(r.Arity)
+	}
+	for _, c := range voc.Constants {
+		s.cons[c] = 0
+	}
+	return s
+}
+
+// Rel returns the interpretation of the named relation; it panics on
+// unknown names.
+func (s *Structure) Rel(name string) *Relation {
+	r, ok := s.rels[name]
+	if !ok {
+		panic("structure: unknown relation " + name)
+	}
+	return r
+}
+
+// AddFact inserts a tuple into the named relation.
+func (s *Structure) AddFact(name string, t ...int) {
+	for _, x := range t {
+		if x < 0 || x >= s.N {
+			panic(fmt.Sprintf("structure: element %d outside universe of size %d", x, s.N))
+		}
+	}
+	s.Rel(name).Add(Tuple(t))
+}
+
+// SetConstant interprets the named constant as element x.
+func (s *Structure) SetConstant(name string, x int) {
+	if _, ok := s.cons[name]; !ok {
+		panic("structure: unknown constant " + name)
+	}
+	if x < 0 || x >= s.N {
+		panic(fmt.Sprintf("structure: constant %s = %d outside universe", name, x))
+	}
+	s.cons[name] = x
+}
+
+// Constant returns the interpretation of the named constant.
+func (s *Structure) Constant(name string) int {
+	x, ok := s.cons[name]
+	if !ok {
+		panic("structure: unknown constant " + name)
+	}
+	return x
+}
+
+// ConstantElems returns the constant interpretations in vocabulary order.
+func (s *Structure) ConstantElems() []int {
+	out := make([]int, len(s.Voc.Constants))
+	for i, c := range s.Voc.Constants {
+		out[i] = s.cons[c]
+	}
+	return out
+}
+
+// String renders the structure for debugging.
+func (s *Structure) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "universe=%d", s.N)
+	for _, rs := range s.Voc.Relations {
+		fmt.Fprintf(&b, " %s=%d", rs.Name, s.rels[rs.Name].Size())
+	}
+	for _, c := range s.Voc.Constants {
+		fmt.Fprintf(&b, " %s=%d", c, s.cons[c])
+	}
+	return b.String()
+}

@@ -1,0 +1,286 @@
+package structure
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestVocabularyValidation(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("dup relation", func() {
+		NewVocabulary([]RelSymbol{{"E", 2}, {"E", 3}}, nil)
+	})
+	mustPanic("zero arity", func() {
+		NewVocabulary([]RelSymbol{{"E", 0}}, nil)
+	})
+	mustPanic("relation/constant clash", func() {
+		NewVocabulary([]RelSymbol{{"E", 2}}, []string{"E"})
+	})
+	v := GraphVocabulary("s", "t")
+	if r, ok := v.Relation("E"); !ok || r.Arity != 2 {
+		t.Fatal("graph vocabulary malformed")
+	}
+	if _, ok := v.Relation("F"); ok {
+		t.Fatal("unknown relation found")
+	}
+}
+
+func TestRelationBasics(t *testing.T) {
+	r := NewRelation(2)
+	if !r.Add(Tuple{1, 2}) {
+		t.Fatal("fresh add")
+	}
+	if r.Add(Tuple{1, 2}) {
+		t.Fatal("duplicate add")
+	}
+	r.Add(Tuple{2, 1})
+	if !r.Has(Tuple{1, 2}) || r.Has(Tuple{2, 2}) {
+		t.Fatal("membership wrong")
+	}
+	if r.Size() != 2 {
+		t.Fatalf("size = %d, want 2", r.Size())
+	}
+	ts := r.Tuples()
+	if len(ts) != 2 || ts[0][0] != 1 {
+		t.Fatalf("tuples not sorted: %v", ts)
+	}
+	with1 := r.TuplesWith(1)
+	if len(with1) != 2 {
+		t.Fatalf("TuplesWith(1) = %v, want both tuples", with1)
+	}
+	if got := r.TuplesWith(9); len(got) != 0 {
+		t.Fatalf("TuplesWith(9) = %v, want empty", got)
+	}
+}
+
+func TestTupleKeyDistinguishes(t *testing.T) {
+	// (1,23) vs (12,3) must not collide.
+	a := Tuple{1, 23}
+	b := Tuple{12, 3}
+	if a.key() == b.key() {
+		t.Fatal("tuple key collision")
+	}
+}
+
+func TestRelationIndexInvalidation(t *testing.T) {
+	r := NewRelation(1)
+	r.Add(Tuple{0})
+	_ = r.TuplesWith(0) // builds index
+	r.Add(Tuple{1})
+	if len(r.TuplesWith(1)) != 1 {
+		t.Fatal("index stale after Add")
+	}
+}
+
+func TestStructureConstants(t *testing.T) {
+	s := New(GraphVocabulary("s", "t"), 5)
+	s.SetConstant("s", 1)
+	s.SetConstant("t", 4)
+	if s.Constant("s") != 1 || s.Constant("t") != 4 {
+		t.Fatal("constants wrong")
+	}
+	ce := s.ConstantElems()
+	if len(ce) != 2 || ce[0] != 1 || ce[1] != 4 {
+		t.Fatalf("ConstantElems = %v", ce)
+	}
+}
+
+func TestAddFactBounds(t *testing.T) {
+	s := New(GraphVocabulary(), 3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-universe fact should panic")
+		}
+	}()
+	s.AddFact("E", 0, 3)
+}
+
+func TestPartialMapOps(t *testing.T) {
+	m := NewPartialMap().Extend(3, 7).Extend(1, 5)
+	if m.Len() != 2 {
+		t.Fatalf("len = %d", m.Len())
+	}
+	if y, ok := m.Lookup(3); !ok || y != 7 {
+		t.Fatal("lookup 3 failed")
+	}
+	if _, ok := m.Lookup(2); ok {
+		t.Fatal("phantom lookup")
+	}
+	if !m.HasImage(5) || m.HasImage(6) {
+		t.Fatal("HasImage wrong")
+	}
+	pairs := m.Pairs()
+	if pairs[0] != [2]int{1, 5} || pairs[1] != [2]int{3, 7} {
+		t.Fatalf("pairs unsorted: %v", pairs)
+	}
+	m2 := m.Remove(3)
+	if m2.Len() != 1 || m.Len() != 2 {
+		t.Fatal("Remove must not mutate the receiver")
+	}
+	if m.Key() == m2.Key() {
+		t.Fatal("keys should differ")
+	}
+	if !m.Injective() {
+		t.Fatal("injective map misclassified")
+	}
+	if NewPartialMap().Extend(0, 4).Extend(1, 4).Injective() {
+		t.Fatal("non-injective map misclassified")
+	}
+	// Extending with an existing identical pair is a no-op.
+	if m.Extend(1, 5).Len() != 2 {
+		t.Fatal("re-extend changed map")
+	}
+}
+
+func TestExtendConflictPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("conflicting Extend should panic")
+		}
+	}()
+	NewPartialMap().Extend(1, 5).Extend(1, 6)
+}
+
+func pathStructure(n int) *Structure {
+	return FromGraph(graph.DirectedPath(n), nil, nil)
+}
+
+func TestIsPartialHomomorphism(t *testing.T) {
+	a := pathStructure(3) // 0->1->2
+	b := pathStructure(5)
+	ok := NewPartialMap().Extend(0, 1).Extend(1, 2)
+	if !IsPartialOneToOneHomomorphism(a, b, ok) {
+		t.Fatal("shift-by-one should be a partial 1-1 homomorphism")
+	}
+	bad := NewPartialMap().Extend(0, 2).Extend(1, 1)
+	if IsPartialHomomorphism(a, b, bad) {
+		t.Fatal("edge-reversing map accepted")
+	}
+	// Map with a gap: only node 0 and 2 mapped; edge (0,1),(1,2) not fully
+	// in domain so anything goes.
+	gap := NewPartialMap().Extend(0, 4).Extend(2, 0)
+	if !IsPartialHomomorphism(a, b, gap) {
+		t.Fatal("gapped map should vacuously be a homomorphism")
+	}
+}
+
+func TestExtensionOK(t *testing.T) {
+	a := pathStructure(3)
+	b := pathStructure(5)
+	m := NewPartialMap().Extend(0, 1)
+	if !ExtensionOK(a, b, m, 1, 2, true) {
+		t.Fatal("good extension rejected")
+	}
+	if ExtensionOK(a, b, m, 1, 3, true) {
+		t.Fatal("edge-breaking extension accepted")
+	}
+	if ExtensionOK(a, b, m, 1, 1, true) {
+		t.Fatal("injectivity violation accepted")
+	}
+	// Non-injective mode: 1->1 still must satisfy edges: edge (0,1) in A
+	// would map to (1,1), which is not an edge of the path — reject.
+	if ExtensionOK(a, b, m, 1, 1, false) {
+		t.Fatal("non-injective mode must still check edges")
+	}
+	// Re-adding the same pair is OK; conflicting pair is not.
+	if !ExtensionOK(a, b, m, 0, 1, true) {
+		t.Fatal("identical re-extension rejected")
+	}
+	if ExtensionOK(a, b, m, 0, 2, true) {
+		t.Fatal("conflicting re-extension accepted")
+	}
+}
+
+func TestConstantsMachinery(t *testing.T) {
+	g := graph.DirectedPath(3)
+	a := FromGraph(g, []string{"s", "t"}, []int{0, 2})
+	b := FromGraph(graph.DirectedPath(4), []string{"s", "t"}, []int{0, 3})
+	if !ConstantMapOK(a, b) {
+		t.Fatal("constant map should be fine")
+	}
+	m := ConstantMap(a, b)
+	if m.Len() != 2 {
+		t.Fatalf("constant map size = %d", m.Len())
+	}
+	if !RespectsConstants(a, b, m) {
+		t.Fatal("constant map must respect constants")
+	}
+	if RespectsConstants(a, b, NewPartialMap()) {
+		t.Fatal("empty map cannot respect constants")
+	}
+	// Conflicting: A's two constants coincide, B's do not.
+	a2 := FromGraph(g, []string{"s", "t"}, []int{0, 0})
+	if ConstantMapOK(a2, b) {
+		t.Fatal("coinciding constants vs distinct must conflict")
+	}
+	// And the injective-collapse direction.
+	b2 := FromGraph(graph.DirectedPath(4), []string{"s", "t"}, []int{0, 0})
+	if ConstantMapOK(a, b2) {
+		t.Fatal("distinct constants collapsing in B must conflict")
+	}
+}
+
+func TestTotalHomomorphismExists(t *testing.T) {
+	a := pathStructure(3)
+	b := pathStructure(5)
+	if !TotalHomomorphismExists(a, b, true) {
+		t.Fatal("short path embeds in long path")
+	}
+	if TotalHomomorphismExists(b, a, true) {
+		t.Fatal("long path cannot 1-1 embed in short path")
+	}
+	// Non-injective: path of length 4 maps homomorphically onto a cycle.
+	c := FromGraph(graph.DirectedCycle(3), nil, nil)
+	if !TotalHomomorphismExists(b, c, false) {
+		t.Fatal("path wraps around cycle homomorphically")
+	}
+	if TotalHomomorphismExists(b, c, true) {
+		t.Fatal("5-node path cannot embed 1-1 into 3-cycle")
+	}
+}
+
+func TestTotalHomomorphismWithConstants(t *testing.T) {
+	// s,t pinned: 2-path into 3-path with matching endpoints impossible,
+	// because the images are forced and the middle cannot stretch.
+	a := FromGraph(graph.DirectedPath(3), []string{"s", "t"}, []int{0, 2})
+	b := FromGraph(graph.DirectedPath(4), []string{"s", "t"}, []int{0, 3})
+	if TotalHomomorphismExists(a, b, true) {
+		t.Fatal("length-2 path cannot map onto length-3 path with pinned ends")
+	}
+	b2 := FromGraph(graph.DirectedPath(3), []string{"s", "t"}, []int{0, 2})
+	if !TotalHomomorphismExists(a, b2, true) {
+		t.Fatal("identity embedding exists")
+	}
+}
+
+func TestGraphBridgeRoundTrip(t *testing.T) {
+	g := graph.DirectedCycle(4)
+	s := FromGraph(g, []string{"r"}, []int{2})
+	if s.N != 4 || s.Rel("E").Size() != 4 {
+		t.Fatalf("bridge shape wrong: %v", s)
+	}
+	if s.Constant("r") != 2 {
+		t.Fatal("constant lost")
+	}
+	back := ToGraph(s)
+	if !back.Equal(g) {
+		t.Fatal("round trip changed graph")
+	}
+}
+
+func TestStructureString(t *testing.T) {
+	s := FromGraph(graph.DirectedPath(2), []string{"s"}, []int{0})
+	str := s.String()
+	if str == "" {
+		t.Fatal("empty String()")
+	}
+}

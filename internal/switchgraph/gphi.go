@@ -1,0 +1,198 @@
+package switchgraph
+
+import (
+	"fmt"
+
+	"repro/internal/cnf"
+	"repro/internal/graph"
+)
+
+// Column is one vertical column of a variable building block (Figure 2):
+// the literal's occurrences in series, each vertical edge replaced by the
+// q(g,h) path of the occurrence's switch. Junctions[0] is the block's top
+// node and Junctions[len-1] its bottom node (shared with the twin column).
+type Column struct {
+	Literal   cnf.Literal
+	Junctions []int     // o+1 junctions for o switches
+	Switches  []*Switch // the occurrence switches, top to bottom
+}
+
+// SegmentLen returns the number of edges contributed by one occurrence
+// segment: junction→g, the six q(g,h) edges, h→junction... g and h ARE the
+// endpoints of q(g,h), so a segment is j→g (1) + g..h (6) + h→j' (1) = 8.
+const SegmentLen = 8
+
+// Len returns the column's edge count.
+func (c *Column) Len() int {
+	if len(c.Switches) == 0 {
+		return 1 // empty column degenerates to a single top→bottom edge
+	}
+	return SegmentLen * len(c.Switches)
+}
+
+// VarBlock is the building block of Figure 2 for one variable: two
+// columns, sharing top and bottom junctions.
+type VarBlock struct {
+	Var int // 1-based variable index
+	Pos *Column
+	Neg *Column
+}
+
+// Top returns the block's entry node.
+func (b *VarBlock) Top() int { return b.Pos.Junctions[0] }
+
+// Bottom returns the block's exit node.
+func (b *VarBlock) Bottom() int { return b.Pos.Junctions[len(b.Pos.Junctions)-1] }
+
+// Construction is the reduction graph G_φ of Section 6.2 with all its
+// labelled parts.
+type Construction struct {
+	G       *graph.Graph
+	Formula *cnf.Formula
+
+	S1, S2, S3, S4 int
+
+	// Switches in linking order (Figure 4), one per literal occurrence.
+	Switches []*Switch
+	// Blocks for variables x_1..x_m in order.
+	Blocks []*VarBlock
+	// ClauseNodes are n_0..n_l.
+	ClauseNodes []int
+	// ClauseSwitches[j] lists the switches of clause j+1's occurrences.
+	ClauseSwitches [][]*Switch
+
+	// Labels names every node for DOT output and debugging.
+	Labels map[int]string
+}
+
+// Build constructs G_φ for a CNF formula following Section 6.2:
+//
+//  1. one switch per literal occurrence; the occurrence's vertical edge in
+//     its literal's column becomes the switch's q(g,h) path, and one of
+//     the n_{j-1}→n_j routes of its clause becomes the switch's p(e,f);
+//  2. switches are chained: d_i → b_{i+1} and a_i → c_{i-1};
+//  3. the variable blocks are chained top to bottom and feed n_0;
+//  4. s1 → c of the last switch, a of the first switch → s2,
+//     s3 → b of the first switch, d of the last switch → top of block 1,
+//     and n_l → s4.
+func Build(f *cnf.Formula) *Construction {
+	g := graph.New(0)
+	c := &Construction{G: g, Formula: f, Labels: map[int]string{}}
+
+	// Distinguished nodes first.
+	c.S1 = g.AddNode()
+	c.S2 = g.AddNode()
+	c.S3 = g.AddNode()
+	c.S4 = g.AddNode()
+	c.Labels[c.S1] = "s1"
+	c.Labels[c.S2] = "s2"
+	c.Labels[c.S3] = "s3"
+	c.Labels[c.S4] = "s4"
+
+	// One switch per occurrence, in clause order (the linking order is
+	// arbitrary per the paper; clause order keeps things readable).
+	c.ClauseSwitches = make([][]*Switch, len(f.Clauses))
+	byLiteral := map[cnf.Literal][]*Switch{}
+	id := 0
+	for j, clause := range f.Clauses {
+		for _, lit := range clause {
+			sw := AddSwitch(g, id, lit, j, c.Labels)
+			c.Switches = append(c.Switches, sw)
+			c.ClauseSwitches[j] = append(c.ClauseSwitches[j], sw)
+			byLiteral[lit] = append(byLiteral[lit], sw)
+			id++
+		}
+	}
+
+	// Link the switches (Figure 4): d_i → b_{i+1}, a_{i+1} → c_i.
+	for i := 0; i+1 < len(c.Switches); i++ {
+		g.AddEdge(c.Switches[i].Node("d"), c.Switches[i+1].Node("b"))
+		g.AddEdge(c.Switches[i+1].Node("a"), c.Switches[i].Node("c"))
+	}
+
+	// Variable building blocks.
+	for v := 1; v <= f.Vars; v++ {
+		top := g.AddNode()
+		bottom := g.AddNode()
+		c.Labels[top] = fmt.Sprintf("x%d.top", v)
+		c.Labels[bottom] = fmt.Sprintf("x%d.bot", v)
+		block := &VarBlock{
+			Var: v,
+			Pos: buildColumn(c, cnf.Literal(v), byLiteral[cnf.Literal(v)], top, bottom),
+			Neg: buildColumn(c, cnf.Literal(-v), byLiteral[cnf.Literal(-v)], top, bottom),
+		}
+		c.Blocks = append(c.Blocks, block)
+		if v > 1 {
+			g.AddEdge(c.Blocks[v-2].Bottom(), top)
+		}
+	}
+
+	// Clause chain n_0..n_l with one p(e,f) route per occurrence.
+	for j := 0; j <= len(f.Clauses); j++ {
+		n := g.AddNode()
+		c.Labels[n] = fmt.Sprintf("n%d", j)
+		c.ClauseNodes = append(c.ClauseNodes, n)
+	}
+	for j, sws := range c.ClauseSwitches {
+		for _, sw := range sws {
+			g.AddEdge(c.ClauseNodes[j], sw.Node("e"))
+			g.AddEdge(sw.Node("f"), c.ClauseNodes[j+1])
+		}
+	}
+
+	// Final wiring.
+	last := c.Switches[len(c.Switches)-1]
+	first := c.Switches[0]
+	g.AddEdge(c.S1, last.Node("c"))
+	g.AddEdge(first.Node("a"), c.S2)
+	g.AddEdge(c.S3, first.Node("b"))
+	g.AddEdge(last.Node("d"), c.Blocks[0].Top())
+	g.AddEdge(c.Blocks[len(c.Blocks)-1].Bottom(), c.ClauseNodes[0])
+	g.AddEdge(c.ClauseNodes[len(c.ClauseNodes)-1], c.S4)
+	return c
+}
+
+func buildColumn(c *Construction, lit cnf.Literal, sws []*Switch, top, bottom int) *Column {
+	g := c.G
+	col := &Column{Literal: lit, Switches: sws}
+	if len(sws) == 0 {
+		// A literal with no occurrences: single direct edge.
+		col.Junctions = []int{top, bottom}
+		g.AddEdge(top, bottom)
+		return col
+	}
+	col.Junctions = append(col.Junctions, top)
+	cur := top
+	for i, sw := range sws {
+		g.AddEdge(cur, sw.Node("g"))
+		var next int
+		if i == len(sws)-1 {
+			next = bottom
+		} else {
+			next = g.AddNode()
+			c.Labels[next] = fmt.Sprintf("%s.j%d", lit, i+1)
+		}
+		g.AddEdge(sw.Node("h"), next)
+		col.Junctions = append(col.Junctions, next)
+		cur = next
+	}
+	return col
+}
+
+// TwoDisjointPathsQuery returns the graph and the four distinguished nodes
+// of the H1-subgraph homeomorphism instance the reduction produces.
+func (c *Construction) TwoDisjointPathsQuery() (g *graph.Graph, s1, s2, s3, s4 int) {
+	return c.G, c.S1, c.S2, c.S3, c.S4
+}
+
+// DOT renders the construction in Graphviz syntax.
+func (c *Construction) DOT(name string) string {
+	hl := map[int]bool{c.S1: true, c.S2: true, c.S3: true, c.S4: true}
+	return c.G.DOT(name, c.Labels, hl)
+}
+
+// Stats summarizes the construction's size.
+func (c *Construction) Stats() string {
+	return fmt.Sprintf("%d nodes, %d edges, %d switches, %d variable blocks, %d clauses",
+		c.G.N(), c.G.M(), len(c.Switches), len(c.Blocks), len(c.ClauseSwitches))
+}

@@ -1,0 +1,92 @@
+package switchgraph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cnf"
+)
+
+// uniformFormulaFromSeed generates small uniform formulas (clauses added
+// in complementary pairs so every literal occurs as often as its
+// negation). Total literal occurrences are capped at 4: each occurrence
+// is a 32-node switch, and the UNSAT direction of the reduction check is
+// decided by exhaustive path search, which blows up past ~150 nodes.
+func uniformFormulaFromSeed(seed int64) *cnf.Formula {
+	rng := rand.New(rand.NewSource(seed))
+	nv := 1 + rng.Intn(2)
+	var c cnf.Clause
+	width := 1 + rng.Intn(2)
+	for j := 0; j < width; j++ {
+		v := 1 + rng.Intn(nv)
+		if rng.Intn(2) == 0 {
+			c = append(c, cnf.Literal(v))
+		} else {
+			c = append(c, cnf.Literal(-v))
+		}
+	}
+	neg := make(cnf.Clause, len(c))
+	for j, l := range c {
+		neg[j] = l.Neg()
+	}
+	return cnf.New(c, neg)
+}
+
+func TestQuickReductionSoundOnRandomFormulas(t *testing.T) {
+	prop := func(seed int64) bool {
+		f := uniformFormulaFromSeed(seed)
+		_, sat := f.Satisfiable()
+		c := Build(f)
+		g, s1, s2, s3, s4 := c.TwoDisjointPathsQuery()
+		return g.TwoDisjointPaths(s1, s2, s3, s4) == sat
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickConstructionSize(t *testing.T) {
+	// |G_φ| is linear in the number of literal occurrences: 32 nodes per
+	// switch plus blocks, clause chain, junctions and the 4 distinguished
+	// nodes.
+	prop := func(seed int64) bool {
+		f := uniformFormulaFromSeed(seed)
+		c := Build(f)
+		occ := 0
+		for _, cl := range f.Clauses {
+			occ += len(cl)
+		}
+		lower := 32 * occ
+		upper := 32*occ + 8*occ + 4*f.Vars + len(f.Clauses) + 10
+		return c.G.N() >= lower && c.G.N() <= upper
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickStandardPathsLengthInvariant(t *testing.T) {
+	// For uniform formulas all standard s3→s4 paths have the layout's
+	// length regardless of assignment and picks.
+	prop := func(seed int64, mask uint8) bool {
+		f := uniformFormulaFromSeed(seed)
+		c := Build(f)
+		if !c.Uniform() {
+			return true
+		}
+		assign := cnf.Assignment{}
+		for v := 1; v <= f.Vars; v++ {
+			assign[v] = mask&(1<<uint(v%8)) != 0
+		}
+		picks := make([]int, len(c.ClauseSwitches))
+		for j := range picks {
+			picks[j] = int(mask) % len(c.ClauseSwitches[j])
+		}
+		p := c.StandardPath34(assign, picks)
+		return p.Len() == len(c.Layout34())-1 && p.ValidIn(c.G)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

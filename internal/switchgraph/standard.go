@@ -1,0 +1,231 @@
+package switchgraph
+
+import (
+	"fmt"
+
+	"repro/internal/cnf"
+	"repro/internal/graph"
+)
+
+// Standard paths (proof of Theorem 6.6). A standard path from s1 to s2
+// passes through every switch, from last to first, via exactly one of
+// p(c,a) / q(c,a). A standard path from s3 to s4 passes through every
+// switch via p(b,d)/q(b,d), descends exactly one column of every variable
+// block, and crosses every clause gap n_{j-1}→n_j via the p(e,f) of one of
+// the clause's switches. All standard s1→s2 paths share one length, and —
+// when the formula is uniform (all literals of a variable occur equally
+// often, as in φ_k) — so do all standard s3→s4 paths.
+
+// PosKind classifies a position on a standard path.
+type PosKind int
+
+const (
+	// PosFixed positions land on the same node in every standard path.
+	PosFixed PosKind = iota
+	// PosCA positions are interior to a c→a switch traversal; the node
+	// depends on the p/q choice for that switch.
+	PosCA
+	// PosBD positions are interior to a b→d switch traversal.
+	PosBD
+	// PosCol positions are inside a variable block; the node depends on
+	// the column choice for that variable.
+	PosCol
+	// PosEF positions are interior (or terminal e/f) to a clause gap; the
+	// node depends on which occurrence switch carries the path.
+	PosEF
+)
+
+func (k PosKind) String() string {
+	switch k {
+	case PosFixed:
+		return "fixed"
+	case PosCA:
+		return "c→a"
+	case PosBD:
+		return "b→d"
+	case PosCol:
+		return "column"
+	case PosEF:
+		return "e→f"
+	}
+	return "?"
+}
+
+// PosDesc describes one position of a standard path layout.
+type PosDesc struct {
+	Kind   PosKind
+	Node   int     // PosFixed: the node
+	Switch *Switch // PosCA, PosBD: the switch
+	Idx    int     // PosCA/PosBD: interior index 1..5; PosCol: segment offset 0..7; PosEF: offset 0..6
+	Block  *VarBlock
+	Seg    int // PosCol: occurrence segment within the column
+	Clause int // PosEF: 0-based clause index
+}
+
+// Layout12 returns the position descriptors of the standard s1→s2 paths,
+// ordered from s1 (index 0) to s2.
+func (c *Construction) Layout12() []PosDesc {
+	var out []PosDesc
+	out = append(out, PosDesc{Kind: PosFixed, Node: c.S1})
+	for i := len(c.Switches) - 1; i >= 0; i-- {
+		sw := c.Switches[i]
+		out = append(out, PosDesc{Kind: PosFixed, Node: sw.Node("c")})
+		for idx := 1; idx <= 5; idx++ {
+			out = append(out, PosDesc{Kind: PosCA, Switch: sw, Idx: idx})
+		}
+		out = append(out, PosDesc{Kind: PosFixed, Node: sw.Node("a")})
+	}
+	out = append(out, PosDesc{Kind: PosFixed, Node: c.S2})
+	return out
+}
+
+// Uniform reports whether every pair of twin columns has equal length, so
+// that all standard s3→s4 paths share one length (true for φ_k).
+func (c *Construction) Uniform() bool {
+	for _, b := range c.Blocks {
+		if b.Pos.Len() != b.Neg.Len() {
+			return false
+		}
+	}
+	return true
+}
+
+// Layout34 returns the position descriptors of the standard s3→s4 paths.
+// It panics when the construction is not uniform, since then different
+// column choices yield different path lengths and no common layout exists.
+func (c *Construction) Layout34() []PosDesc {
+	if !c.Uniform() {
+		panic("switchgraph: Layout34 requires a uniform construction")
+	}
+	var out []PosDesc
+	out = append(out, PosDesc{Kind: PosFixed, Node: c.S3})
+	for _, sw := range c.Switches {
+		out = append(out, PosDesc{Kind: PosFixed, Node: sw.Node("b")})
+		for idx := 1; idx <= 5; idx++ {
+			out = append(out, PosDesc{Kind: PosBD, Switch: sw, Idx: idx})
+		}
+		out = append(out, PosDesc{Kind: PosFixed, Node: sw.Node("d")})
+	}
+	for _, b := range c.Blocks {
+		out = append(out, PosDesc{Kind: PosFixed, Node: b.Top()})
+		segs := len(b.Pos.Switches)
+		if segs == 0 {
+			// Degenerate empty columns: a single top→bottom edge.
+			out = append(out, PosDesc{Kind: PosFixed, Node: b.Bottom()})
+			continue
+		}
+		for s := 0; s < segs; s++ {
+			for off := 0; off <= 6; off++ { // g, five interior, h
+				out = append(out, PosDesc{Kind: PosCol, Block: b, Seg: s, Idx: off})
+			}
+			if s == segs-1 {
+				out = append(out, PosDesc{Kind: PosFixed, Node: b.Bottom()})
+			} else {
+				out = append(out, PosDesc{Kind: PosCol, Block: b, Seg: s, Idx: 7})
+			}
+		}
+	}
+	for j := range c.ClauseSwitches {
+		out = append(out, PosDesc{Kind: PosFixed, Node: c.ClauseNodes[j]})
+		for off := 0; off <= 6; off++ { // e, five interior, f
+			out = append(out, PosDesc{Kind: PosEF, Clause: j, Idx: off})
+		}
+	}
+	out = append(out, PosDesc{Kind: PosFixed, Node: c.ClauseNodes[len(c.ClauseNodes)-1]})
+	out = append(out, PosDesc{Kind: PosFixed, Node: c.S4})
+	return out
+}
+
+// CANode resolves a c→a position: idx 0..6 along CA(p).
+func (c *Construction) CANode(sw *Switch, p bool, idx int) int { return sw.CA(p)[idx] }
+
+// BDNode resolves a b→d position: idx 0..6 along BD(p).
+func (c *Construction) BDNode(sw *Switch, p bool, idx int) int { return sw.BD(p)[idx] }
+
+// ColNode resolves a column position. neg selects the x̄ column; seg is the
+// occurrence segment; off is 0 (g), 1..5 (q(g,h) interior), 6 (h), or 7
+// (the junction below the segment).
+func (c *Construction) ColNode(b *VarBlock, neg bool, seg, off int) int {
+	col := b.Pos
+	if neg {
+		col = b.Neg
+	}
+	sw := col.Switches[seg]
+	switch {
+	case off == 7:
+		return col.Junctions[seg+1]
+	default:
+		return sw.PathQGH()[off]
+	}
+}
+
+// EFNode resolves a clause-gap position on the chosen switch: off 0..6
+// along p(e,f).
+func (c *Construction) EFNode(sw *Switch, off int) int { return sw.PathPEF()[off] }
+
+// StandardPath12 materializes the standard s1→s2 path for the per-switch
+// group choices (choices[sw.ID] = true selects the p-group).
+func (c *Construction) StandardPath12(choices map[int]bool) graph.Path {
+	var p graph.Path
+	for _, d := range c.Layout12() {
+		switch d.Kind {
+		case PosFixed:
+			p = append(p, d.Node)
+		case PosCA:
+			p = append(p, c.CANode(d.Switch, choices[d.Switch.ID], d.Idx))
+		}
+	}
+	return p
+}
+
+// StandardPath34 materializes the standard s3→s4 path for a truth
+// assignment (true literals route p-group; blocks descend the false
+// literal's column) and per-clause occurrence picks (picks[j] indexes into
+// ClauseSwitches[j]). The result need not be simple — for unsatisfiable
+// formulas it never is (proof of Theorem 6.6).
+func (c *Construction) StandardPath34(assign cnf.Assignment, picks []int) graph.Path {
+	var p graph.Path
+	for _, d := range c.Layout34() {
+		switch d.Kind {
+		case PosFixed:
+			p = append(p, d.Node)
+		case PosBD:
+			lit := d.Switch.Literal
+			litTrue := assign[lit.Var()] == lit.Positive()
+			p = append(p, c.BDNode(d.Switch, litTrue, d.Idx))
+		case PosCol:
+			// x true → descend the x̄ column.
+			p = append(p, c.ColNode(d.Block, assign[d.Block.Var], d.Seg, d.Idx))
+		case PosEF:
+			sw := c.ClauseSwitches[d.Clause][picks[d.Clause]]
+			p = append(p, c.EFNode(sw, d.Idx))
+		}
+	}
+	return p
+}
+
+// GroupChoice returns the p/q group a truth assignment induces for a
+// switch: p when the occurrence's literal is true.
+func GroupChoice(sw *Switch, assign cnf.Assignment) bool {
+	return assign[sw.Literal.Var()] == sw.Literal.Positive()
+}
+
+// SatisfyingPicks returns, for each clause, the index of an occurrence
+// whose literal is true under the assignment, or an error if some clause
+// has none (the assignment does not satisfy the formula).
+func (c *Construction) SatisfyingPicks(assign cnf.Assignment) ([]int, error) {
+	picks := make([]int, len(c.ClauseSwitches))
+	for j, sws := range c.ClauseSwitches {
+		picks[j] = -1
+		for i, sw := range sws {
+			if assign[sw.Literal.Var()] == sw.Literal.Positive() {
+				picks[j] = i
+				break
+			}
+		}
+		if picks[j] < 0 {
+			return nil, fmt.Errorf("switchgraph: clause %d unsatisfied", j+1)
+		}
+	}
+	return picks, nil
+}

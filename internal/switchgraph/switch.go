@@ -1,0 +1,160 @@
+// Package switchgraph implements the gadget machinery of Section 6.2: the
+// FHW switch (Figure 1), the variable and clause building blocks
+// (Figure 2 and the clause chain), and the full reduction graph G_φ
+// (Figures 3–6) mapping SATISFIABILITY to the two-disjoint-paths query.
+//
+// The switch is reconstructed from the six named passing paths the paper
+// lists; Lemma 6.4 is then verified computationally by exhaustive
+// enumeration of all passing paths (see the tests and experiment E7), so
+// an incorrect reconstruction could not go unnoticed.
+package switchgraph
+
+import (
+	"fmt"
+
+	"repro/internal/cnf"
+	"repro/internal/graph"
+)
+
+// Terminal and internal node roles of a switch. Sources (indegree 0) are
+// c, b, e, g; sinks (outdegree 0) are a, d, f, h.
+var switchRoles = []string{
+	"a", "b", "c", "d", "e", "f", "g", "h",
+	"1", "2", "3", "4", "5", "6", "7", "8", "9", "10", "11", "12",
+	"1'", "2'", "3'", "4'", "5'", "6'", "7'", "8'", "9'", "10'", "11'", "12'",
+}
+
+// The six distinguished passing paths of Figure 1, by role sequence.
+// p-group: p(c,a), p(b,d), p(e,f); q-group: q(c,a), q(b,d), q(g,h).
+var (
+	rolesPCA = []string{"c", "5", "4", "3", "2", "1", "a"}
+	rolesPBD = []string{"b", "6'", "2'", "7", "9", "12", "d"}
+	rolesPEF = []string{"e", "8'", "9'", "10'", "4'", "11'", "f"}
+	rolesQCA = []string{"c", "5'", "4'", "3'", "2'", "1'", "a"}
+	rolesQBD = []string{"b", "6", "2", "7'", "9'", "12'", "d"}
+	rolesQGH = []string{"g", "8", "9", "10", "4", "11", "h"}
+)
+
+// Switch is one instance of the Figure 1 gadget embedded in a larger
+// graph, associated with one occurrence of a literal in a clause.
+type Switch struct {
+	// ID is the switch's position in the linking order of Figure 4.
+	ID int
+	// Literal is the occurrence's literal; Clause its clause index.
+	Literal cnf.Literal
+	Clause  int
+	// nodes maps each role to the node id in the host graph.
+	nodes map[string]int
+}
+
+// Node returns the host-graph node for a role; it panics on bad roles.
+func (sw *Switch) Node(role string) int {
+	v, ok := sw.nodes[role]
+	if !ok {
+		panic("switchgraph: unknown switch role " + role)
+	}
+	return v
+}
+
+// Has reports whether the node belongs to this switch and returns its role.
+func (sw *Switch) Role(node int) (string, bool) {
+	for role, v := range sw.nodes {
+		if v == node {
+			return role, true
+		}
+	}
+	return "", false
+}
+
+func (sw *Switch) path(roles []string) graph.Path {
+	p := make(graph.Path, len(roles))
+	for i, r := range roles {
+		p[i] = sw.nodes[r]
+	}
+	return p
+}
+
+// PathPCA returns p(c,a) = c,5,4,3,2,1,a as host-graph nodes. The other
+// accessors follow the same naming.
+func (sw *Switch) PathPCA() graph.Path { return sw.path(rolesPCA) }
+
+// PathPBD returns p(b,d).
+func (sw *Switch) PathPBD() graph.Path { return sw.path(rolesPBD) }
+
+// PathPEF returns p(e,f).
+func (sw *Switch) PathPEF() graph.Path { return sw.path(rolesPEF) }
+
+// PathQCA returns q(c,a).
+func (sw *Switch) PathQCA() graph.Path { return sw.path(rolesQCA) }
+
+// PathQBD returns q(b,d).
+func (sw *Switch) PathQBD() graph.Path { return sw.path(rolesQBD) }
+
+// PathQGH returns q(g,h).
+func (sw *Switch) PathQGH() graph.Path { return sw.path(rolesQGH) }
+
+// CA returns the c→a traversal for the given group (true = p-group).
+func (sw *Switch) CA(p bool) graph.Path {
+	if p {
+		return sw.PathPCA()
+	}
+	return sw.PathQCA()
+}
+
+// BD returns the b→d traversal for the given group (true = p-group).
+func (sw *Switch) BD(p bool) graph.Path {
+	if p {
+		return sw.PathPBD()
+	}
+	return sw.PathQBD()
+}
+
+// AddSwitch appends a fresh switch to the graph, wiring the six passing
+// paths, and labels its nodes in labels (may be nil).
+func AddSwitch(g *graph.Graph, id int, lit cnf.Literal, clause int, labels map[int]string) *Switch {
+	sw := &Switch{ID: id, Literal: lit, Clause: clause, nodes: map[string]int{}}
+	for _, role := range switchRoles {
+		v := g.AddNode()
+		sw.nodes[role] = v
+		if labels != nil {
+			labels[v] = fmt.Sprintf("sw%d.%s", id, role)
+		}
+	}
+	for _, roles := range [][]string{rolesPCA, rolesPBD, rolesPEF, rolesQCA, rolesQBD, rolesQGH} {
+		for i := 0; i+1 < len(roles); i++ {
+			g.AddEdge(sw.nodes[roles[i]], sw.nodes[roles[i+1]])
+		}
+	}
+	return sw
+}
+
+// StandaloneSwitch builds a switch in its own graph (for Lemma 6.4 checks).
+func StandaloneSwitch() (*graph.Graph, *Switch) {
+	g := graph.New(0)
+	sw := AddSwitch(g, 0, cnf.Literal(1), 0, nil)
+	return g, sw
+}
+
+// PassingPaths enumerates all simple paths of the standalone switch that
+// pass through it: start at an indegree-0 node and end at an outdegree-0
+// node.
+func PassingPaths(g *graph.Graph) []graph.Path {
+	var sources, sinks []int
+	for v := 0; v < g.N(); v++ {
+		if g.InDegree(v) == 0 && g.OutDegree(v) > 0 {
+			sources = append(sources, v)
+		}
+		if g.OutDegree(v) == 0 && g.InDegree(v) > 0 {
+			sinks = append(sinks, v)
+		}
+	}
+	var out []graph.Path
+	for _, s := range sources {
+		for _, t := range sinks {
+			g.SimplePaths(s, t, 0, func(p graph.Path) {
+				out = append(out, p)
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,320 @@
+package switchgraph
+
+import (
+	"testing"
+
+	"repro/internal/cnf"
+	"repro/internal/graph"
+)
+
+func TestSwitchShape(t *testing.T) {
+	g, sw := StandaloneSwitch()
+	if g.N() != 32 {
+		t.Fatalf("switch has %d nodes, want 32 (8 terminals + 24 internal)", g.N())
+	}
+	// Sources and sinks are exactly the terminals the reduction uses.
+	wantSources := map[int]bool{sw.Node("b"): true, sw.Node("c"): true, sw.Node("e"): true, sw.Node("g"): true}
+	wantSinks := map[int]bool{sw.Node("a"): true, sw.Node("d"): true, sw.Node("f"): true, sw.Node("h"): true}
+	for v := 0; v < g.N(); v++ {
+		if g.InDegree(v) == 0 && !wantSources[v] {
+			t.Fatalf("unexpected source node %d", v)
+		}
+		if g.OutDegree(v) == 0 && !wantSinks[v] {
+			t.Fatalf("unexpected sink node %d", v)
+		}
+	}
+	// The six distinguished paths are valid and have length 6.
+	for _, p := range []graph.Path{sw.PathPCA(), sw.PathPBD(), sw.PathPEF(), sw.PathQCA(), sw.PathQBD(), sw.PathQGH()} {
+		if !p.ValidIn(g) {
+			t.Fatalf("distinguished path %v invalid", p)
+		}
+		if p.Len() != 6 {
+			t.Fatalf("distinguished path length %d, want 6", p.Len())
+		}
+		if !p.Simple() {
+			t.Fatalf("distinguished path %v not simple", p)
+		}
+	}
+}
+
+func TestSwitchGroupsInternallyDisjoint(t *testing.T) {
+	// The p-group paths are pairwise node-disjoint, likewise the q-group;
+	// mixed pairs from opposite groups intersect except the (c,a)/(e,f)
+	// and (b,d)/(g,h) combinations the reduction never mixes... in fact
+	// Lemma 6.4 only needs: within-group disjointness, and that the
+	// opposite-group "third path" clashes. Verify the stated clashes.
+	_, sw := StandaloneSwitch()
+	pGroup := []graph.Path{sw.PathPCA(), sw.PathPBD(), sw.PathPEF()}
+	qGroup := []graph.Path{sw.PathQCA(), sw.PathQBD(), sw.PathQGH()}
+	for i := range pGroup {
+		for j := i + 1; j < len(pGroup); j++ {
+			if !graph.NodeDisjoint(pGroup[i], pGroup[j], false) {
+				t.Fatalf("p-group paths %d,%d intersect", i, j)
+			}
+			if !graph.NodeDisjoint(qGroup[i], qGroup[j], false) {
+				t.Fatalf("q-group paths %d,%d intersect", i, j)
+			}
+		}
+	}
+	// q(g,h) clashes with both p(c,a) (node 4) and p(b,d) (node 9).
+	if graph.NodeDisjoint(sw.PathQGH(), sw.PathPCA(), false) {
+		t.Fatal("q(g,h) should intersect p(c,a)")
+	}
+	if graph.NodeDisjoint(sw.PathQGH(), sw.PathPBD(), false) {
+		t.Fatal("q(g,h) should intersect p(b,d)")
+	}
+	// p(e,f) clashes with q(c,a) (node 4') and q(b,d) (node 9').
+	if graph.NodeDisjoint(sw.PathPEF(), sw.PathQCA(), false) {
+		t.Fatal("p(e,f) should intersect q(c,a)")
+	}
+	if graph.NodeDisjoint(sw.PathPEF(), sw.PathQBD(), false) {
+		t.Fatal("p(e,f) should intersect q(b,d)")
+	}
+}
+
+// TestLemma64 verifies the crucial combinatorial property of the switch
+// (Lemma 6.4) by exhaustive enumeration of all passing paths.
+func TestLemma64(t *testing.T) {
+	g, sw := StandaloneSwitch()
+	paths := PassingPaths(g)
+	if len(paths) < 6 {
+		t.Fatalf("only %d passing paths found", len(paths))
+	}
+	b, a, c, d := sw.Node("b"), sw.Node("a"), sw.Node("c"), sw.Node("d")
+	pca, pbd, pef := sw.PathPCA(), sw.PathPBD(), sw.PathPEF()
+	qca, qbd, qgh := sw.PathQCA(), sw.PathQBD(), sw.PathQGH()
+	eq := func(x, y graph.Path) bool {
+		if len(x) != len(y) {
+			return false
+		}
+		for i := range x {
+			if x[i] != y[i] {
+				return false
+			}
+		}
+		return true
+	}
+	checked := 0
+	for _, pa := range paths {
+		if pa[len(pa)-1] != a {
+			continue
+		}
+		for _, pb := range paths {
+			if pb[0] != b {
+				continue
+			}
+			if !graph.NodeDisjoint(pa, pb, false) {
+				continue
+			}
+			checked++
+			// Lemma: pa starts at c, pb ends at d.
+			if pa[0] != c {
+				t.Fatalf("disjoint pair with a-path starting at %d, not c", pa[0])
+			}
+			if pb[len(pb)-1] != d {
+				t.Fatalf("disjoint pair with b-path ending at %d, not d", pb[len(pb)-1])
+			}
+			// And the pair is {p(c,a),p(b,d)} or {q(c,a),q(b,d)}.
+			isP := eq(pa, pca) && eq(pb, pbd)
+			isQ := eq(pa, qca) && eq(pb, qbd)
+			if !isP && !isQ {
+				t.Fatalf("unexpected disjoint pair:\n%v\n%v", pa, pb)
+			}
+			// The unique third disjoint passing path.
+			var thirds []graph.Path
+			for _, pc := range paths {
+				if graph.NodeDisjoint(pc, pa, false) && graph.NodeDisjoint(pc, pb, false) {
+					thirds = append(thirds, pc)
+				}
+			}
+			if len(thirds) != 1 {
+				t.Fatalf("expected exactly one third path, got %d", len(thirds))
+			}
+			if isP && !eq(thirds[0], pef) {
+				t.Fatalf("third path for p-pair is %v, want p(e,f)", thirds[0])
+			}
+			if isQ && !eq(thirds[0], qgh) {
+				t.Fatalf("third path for q-pair is %v, want q(g,h)", thirds[0])
+			}
+		}
+	}
+	if checked != 2 {
+		t.Fatalf("expected exactly the two disjoint (a,b)-pairs, found %d", checked)
+	}
+}
+
+func TestBuildStats(t *testing.T) {
+	f := cnf.New(cnf.Clause{1, -1}) // Figure 5's formula x1 ∨ ~x1
+	c := Build(f)
+	if len(c.Switches) != 2 || len(c.Blocks) != 1 || len(c.ClauseNodes) != 2 {
+		t.Fatalf("unexpected shape: %s", c.Stats())
+	}
+	// Everything reachable & labelled.
+	for v := 0; v < c.G.N(); v++ {
+		if _, ok := c.Labels[v]; !ok {
+			t.Fatalf("node %d unlabelled", v)
+		}
+	}
+	if c.DOT("gphi") == "" {
+		t.Fatal("DOT output empty")
+	}
+}
+
+func TestStandardPath12Valid(t *testing.T) {
+	f := cnf.Complete(2)
+	c := Build(f)
+	// Any p/q choice combination yields a valid simple path of the same
+	// length.
+	lens := map[int]bool{}
+	for mask := 0; mask < 4; mask++ {
+		choices := map[int]bool{}
+		for i := range c.Switches {
+			choices[i] = (mask>>uint(i%2))&1 == 1
+		}
+		p := c.StandardPath12(choices)
+		if !p.ValidIn(c.G) {
+			t.Fatalf("mask %d: standard path invalid", mask)
+		}
+		if !p.Simple() {
+			t.Fatalf("mask %d: standard path not simple", mask)
+		}
+		if p[0] != c.S1 || p[len(p)-1] != c.S2 {
+			t.Fatalf("mask %d: wrong endpoints", mask)
+		}
+		lens[p.Len()] = true
+	}
+	if len(lens) != 1 {
+		t.Fatalf("standard s1→s2 paths have varying lengths: %v", lens)
+	}
+}
+
+func TestStandardPath34Valid(t *testing.T) {
+	// On a satisfiable uniform formula, the standard s3→s4 path built
+	// from a satisfying assignment is valid AND simple.
+	f := cnf.New(cnf.Clause{1, -2}, cnf.Clause{-1, 2}) // uniform, satisfiable
+	if !uniformFormula(f) {
+		t.Fatal("setup: formula must be uniform")
+	}
+	c := Build(f)
+	if !c.Uniform() {
+		t.Fatal("construction should be uniform")
+	}
+	assign, ok := f.Satisfiable()
+	if !ok {
+		t.Fatal("setup: satisfiable")
+	}
+	// Complete the assignment on all vars.
+	for v := 1; v <= f.Vars; v++ {
+		if _, has := assign[v]; !has {
+			assign[v] = true
+		}
+	}
+	picks, err := c.SatisfyingPicks(assign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := c.StandardPath34(assign, picks)
+	if !p.ValidIn(c.G) {
+		t.Fatal("standard s3→s4 path invalid")
+	}
+	if !p.Simple() {
+		t.Fatal("standard s3→s4 path from a satisfying assignment must be simple")
+	}
+	if p[0] != c.S3 || p[len(p)-1] != c.S4 {
+		t.Fatal("wrong endpoints")
+	}
+}
+
+func uniformFormula(f *cnf.Formula) bool {
+	occ := f.OccurrenceCount()
+	for v := 1; v <= f.Vars; v++ {
+		if occ[cnf.Literal(v)] != occ[cnf.Literal(-v)] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestStandardPath34UniformLengths(t *testing.T) {
+	f := cnf.Complete(2)
+	c := Build(f)
+	lens := map[int]bool{}
+	for mask := 0; mask < 4; mask++ {
+		assign := cnf.Assignment{1: mask&1 == 1, 2: mask&2 == 2}
+		picks := make([]int, len(c.ClauseSwitches))
+		for j := range picks {
+			picks[j] = mask % len(c.ClauseSwitches[j])
+		}
+		p := c.StandardPath34(assign, picks)
+		if !p.ValidIn(c.G) {
+			t.Fatalf("mask %d: path steps over a non-edge", mask)
+		}
+		lens[p.Len()] = true
+	}
+	if len(lens) != 1 {
+		t.Fatalf("standard s3→s4 lengths vary: %v", lens)
+	}
+}
+
+func TestStandardPath34NotSimpleOnUnsat(t *testing.T) {
+	// For the unsatisfiable φ_1, no standard path is simple: the paper
+	// notes a simple standard path would yield a satisfying assignment.
+	f := cnf.Complete(1)
+	c := Build(f)
+	for _, val := range []bool{true, false} {
+		assign := cnf.Assignment{1: val}
+		for p0 := 0; p0 < 1; p0++ {
+			picks := []int{0, 0}
+			p := c.StandardPath34(assign, picks)
+			if p.Simple() && p.ValidIn(c.G) {
+				t.Fatalf("assign x1=%v picks %v: simple valid standard path on UNSAT formula", val, picks)
+			}
+		}
+	}
+}
+
+func TestLayout34RejectsNonUniform(t *testing.T) {
+	f := cnf.New(cnf.Clause{1}, cnf.Clause{1}) // x1 occurs twice, ~x1 never
+	c := Build(f)
+	if c.Uniform() {
+		t.Fatal("construction should be non-uniform")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Layout34 must panic on non-uniform constructions")
+		}
+	}()
+	c.Layout34()
+}
+
+func TestLayoutsCoverPathPositions(t *testing.T) {
+	f := cnf.Complete(2)
+	c := Build(f)
+	l12 := c.Layout12()
+	l34 := c.Layout34()
+	choices := map[int]bool{}
+	p12 := c.StandardPath12(choices)
+	if len(l12) != len(p12) {
+		t.Fatalf("Layout12 has %d positions, path has %d nodes", len(l12), len(p12))
+	}
+	assign := cnf.Assignment{1: true, 2: true}
+	picks := make([]int, len(c.ClauseSwitches))
+	p34 := c.StandardPath34(assign, picks)
+	if len(l34) != len(p34) {
+		t.Fatalf("Layout34 has %d positions, path has %d nodes", len(l34), len(p34))
+	}
+	// Fixed positions resolve to the same node independent of choices.
+	choices2 := map[int]bool{}
+	for i := range c.Switches {
+		choices2[i] = true
+	}
+	p12b := c.StandardPath12(choices2)
+	for i, d := range l12 {
+		if d.Kind == PosFixed && p12[i] != p12b[i] {
+			t.Fatalf("fixed position %d moved between choices", i)
+		}
+		if d.Kind == PosFixed && p12[i] != d.Node {
+			t.Fatalf("fixed position %d node mismatch", i)
+		}
+	}
+}

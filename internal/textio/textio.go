@@ -1,0 +1,98 @@
+// Package textio implements the small text formats the command-line tools
+// share: the edge-list graph format (with optional node counts and named
+// distinguished constants) used by cmd/pebble and cmd/homeo.
+//
+// Format, one item per line ('#' starts a comment):
+//
+//	nodes 5        # optional: declare isolated trailing nodes
+//	0 1            # an edge
+//	const s1 0     # optional: a named distinguished node
+package textio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/graph"
+	"repro/internal/structure"
+)
+
+// Parsed is the result of reading a graph file.
+type Parsed struct {
+	Graph *graph.Graph
+	// ConstNames/ConstNodes list the named distinguished nodes sorted by
+	// name (parallel slices).
+	ConstNames []string
+	ConstNodes []int
+}
+
+// ParseGraph reads the edge-list format.
+func ParseGraph(r io.Reader, name string) (*Parsed, error) {
+	g := graph.New(0)
+	consts := map[string]int{}
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if i := strings.IndexByte(text, '#'); i >= 0 {
+			text = strings.TrimSpace(text[:i])
+		}
+		if text == "" {
+			continue
+		}
+		fields := strings.Fields(text)
+		switch {
+		case fields[0] == "nodes" && len(fields) == 2:
+			n, err := strconv.Atoi(fields[1])
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("%s:%d: bad node count %q", name, line, fields[1])
+			}
+			g.EnsureNodes(n)
+		case fields[0] == "const" && len(fields) == 3:
+			v, err := strconv.Atoi(fields[2])
+			if err != nil || v < 0 {
+				return nil, fmt.Errorf("%s:%d: bad constant node %q", name, line, fields[2])
+			}
+			if _, dup := consts[fields[1]]; dup {
+				return nil, fmt.Errorf("%s:%d: duplicate constant %q", name, line, fields[1])
+			}
+			consts[fields[1]] = v
+		case len(fields) == 2:
+			u, err1 := strconv.Atoi(fields[0])
+			v, err2 := strconv.Atoi(fields[1])
+			if err1 != nil || err2 != nil || u < 0 || v < 0 {
+				return nil, fmt.Errorf("%s:%d: bad edge %q", name, line, text)
+			}
+			g.AddEdge(u, v)
+		default:
+			return nil, fmt.Errorf("%s:%d: unrecognized line %q", name, line, text)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	p := &Parsed{Graph: g}
+	for cn := range consts {
+		p.ConstNames = append(p.ConstNames, cn)
+	}
+	sort.Strings(p.ConstNames)
+	for _, cn := range p.ConstNames {
+		v := consts[cn]
+		if v >= g.N() {
+			return nil, fmt.Errorf("%s: constant %s = %d outside the %d-node graph", name, cn, v, g.N())
+		}
+		p.ConstNodes = append(p.ConstNodes, v)
+	}
+	return p, nil
+}
+
+// Structure converts the parsed graph into a relational structure with its
+// named constants.
+func (p *Parsed) Structure() *structure.Structure {
+	return structure.FromGraph(p.Graph, p.ConstNames, p.ConstNodes)
+}

@@ -1,0 +1,69 @@
+package textio
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseGraphBasics(t *testing.T) {
+	src := `
+		# a commented graph
+		nodes 5
+		0 1
+		1 2   # trailing comment
+		const s 0
+		const t 2
+	`
+	p, err := ParseGraph(strings.NewReader(src), "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Graph.N() != 5 || p.Graph.M() != 2 {
+		t.Fatalf("shape: %s", p.Graph.Describe())
+	}
+	if len(p.ConstNames) != 2 || p.ConstNames[0] != "s" || p.ConstNodes[1] != 2 {
+		t.Fatalf("constants: %v %v", p.ConstNames, p.ConstNodes)
+	}
+	s := p.Structure()
+	if s.Constant("s") != 0 || s.Constant("t") != 2 {
+		t.Fatal("structure constants wrong")
+	}
+}
+
+func TestParseGraphGrowsFromEdges(t *testing.T) {
+	p, err := ParseGraph(strings.NewReader("3 7"), "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Graph.N() != 8 {
+		t.Fatalf("N = %d, want 8", p.Graph.N())
+	}
+}
+
+func TestParseGraphErrors(t *testing.T) {
+	cases := []string{
+		"nodes x",
+		"const s q",
+		"const s 0\nconst s 1\n0 1",
+		"0 1 2 3",
+		"a b",
+		"-1 0",
+		"hello",
+		"nodes 2\nconst s 9",
+	}
+	for _, src := range cases {
+		if _, err := ParseGraph(strings.NewReader(src), "t"); err == nil {
+			t.Fatalf("expected error for %q", src)
+		}
+	}
+}
+
+func TestParseGraphEmptyIsValid(t *testing.T) {
+	p, err := ParseGraph(strings.NewReader("# nothing\n"), "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Graph.N() != 0 {
+		t.Fatal("empty file should give empty graph")
+	}
+}

@@ -1,0 +1,147 @@
+package repro
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/datalog"
+	"repro/internal/graph"
+	"repro/internal/pebble"
+	"repro/internal/structure"
+)
+
+// The paper's central transfer principle, exercised end to end across the
+// engine, the translation, and the games: Datalog(≠) ⊆ L^ω (Theorem 3.6)
+// and A ⪯k B preserves L^k sentences (Theorem 4.8 / Definition 4.1).
+// Concretely: reachability-with-constants lives in L^3 (Example 3.4), so
+// whenever Player II wins the existential 3-pebble game on (A, B) with
+// constants (s, t), TC_A(s,t) must imply TC_B(s,t); likewise for the
+// w-avoiding-path query of Example 2.1 with (s, t, w) as constants. The
+// homomorphism-variant game does the same for pure Datalog (Remark 4.12).
+
+func tcHolds(g *graph.Graph, s, t int) bool {
+	for _, y := range g.Out(s) {
+		if y == t || g.Reachable(y, t) {
+			return true
+		}
+	}
+	return false
+}
+
+func avoidHolds(g *graph.Graph, s, t, w int) bool {
+	res := datalog.MustEval(datalog.AvoidingPathProgram(), datalog.FromGraph(g))
+	return res.IDB["T"].Has(datalog.Tuple{s, t, w})
+}
+
+func TestTransferTCUnderPreceq3(t *testing.T) {
+	rng := rand.New(rand.NewSource(777))
+	wins, transfers := 0, 0
+	for trial := 0; trial < 120; trial++ {
+		ga := graph.Random(4, 0.3, rng)
+		var gb *graph.Graph
+		if trial%2 == 0 {
+			// Half the trials embed A in a larger B so that Player II
+			// wins often and the property is exercised non-vacuously.
+			gb = ga.Clone()
+			extra := gb.AddNode()
+			gb.AddEdge(rng.Intn(4), extra)
+			gb.AddEdge(extra, rng.Intn(4))
+		} else {
+			gb = graph.Random(5, 0.3, rng)
+		}
+		sA, tA := 0, 3
+		sB, tB := 0, 3
+		a := structure.FromGraph(ga, []string{"s", "t"}, []int{sA, tA})
+		b := structure.FromGraph(gb, []string{"s", "t"}, []int{sB, tB})
+		w, err := pebble.NewGame(a, b, 3).Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w != pebble.PlayerII {
+			continue
+		}
+		wins++
+		if tcHolds(ga, sA, tA) {
+			transfers++
+			if !tcHolds(gb, sB, tB) {
+				t.Fatalf("trial %d: A ⪯³ B but TC(s,t) failed to transfer\nA: %s\nB: %s",
+					trial, ga, gb)
+			}
+		}
+	}
+	if wins < 10 || transfers < 3 {
+		t.Fatalf("property exercised too rarely: %d wins, %d transfers", wins, transfers)
+	}
+}
+
+func TestTransferAvoidingPathUnderPreceq3(t *testing.T) {
+	rng := rand.New(rand.NewSource(778))
+	wins, transfers := 0, 0
+	for trial := 0; trial < 120; trial++ {
+		ga := graph.Random(4, 0.35, rng)
+		gb := ga.Clone()
+		extra := gb.AddNode()
+		gb.AddEdge(rng.Intn(4), extra)
+		sA, tA, wA := 0, 2, 3
+		a := structure.FromGraph(ga, []string{"s", "t", "w"}, []int{sA, tA, wA})
+		b := structure.FromGraph(gb, []string{"s", "t", "w"}, []int{sA, tA, wA})
+		win, err := pebble.NewGame(a, b, 3).Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if win != pebble.PlayerII {
+			continue
+		}
+		wins++
+		if avoidHolds(ga, sA, tA, wA) {
+			transfers++
+			if !avoidHolds(gb, sA, tA, wA) {
+				t.Fatalf("trial %d: T(s,t,w) failed to transfer\nA: %s\nB: %s", trial, ga, gb)
+			}
+		}
+	}
+	if wins < 10 || transfers < 3 {
+		t.Fatalf("property exercised too rarely: %d wins, %d transfers", wins, transfers)
+	}
+}
+
+func TestTransferPureDatalogUnderHomGame(t *testing.T) {
+	// Remark 4.12(1): the homomorphism-variant game preserves
+	// inequality-free Datalog. TC transfers even when B collapses
+	// elements of A (which the one-to-one game would forbid).
+	rng := rand.New(rand.NewSource(779))
+	wins, transfers := 0, 0
+	for trial := 0; trial < 120; trial++ {
+		ga := graph.Random(4, 0.35, rng)
+		// B = A with nodes 2 and 3 collapsed — a homomorphic image.
+		gb := graph.New(3)
+		collapse := func(v int) int {
+			if v == 3 {
+				return 2
+			}
+			return v
+		}
+		for _, e := range ga.Edges() {
+			gb.AddEdge(collapse(e[0]), collapse(e[1]))
+		}
+		a := structure.FromGraph(ga, []string{"s", "t"}, []int{0, 3})
+		b := structure.FromGraph(gb, []string{"s", "t"}, []int{0, 2})
+		win, err := pebble.NewHomGame(a, b, 3).Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if win != pebble.PlayerII {
+			continue
+		}
+		wins++
+		if tcHolds(ga, 0, 3) {
+			transfers++
+			if !tcHolds(gb, 0, 2) {
+				t.Fatalf("trial %d: pure-Datalog TC failed to transfer under collapse", trial)
+			}
+		}
+	}
+	if wins < 20 || transfers < 5 {
+		t.Fatalf("property exercised too rarely: %d wins, %d transfers", wins, transfers)
+	}
+}
