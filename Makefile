@@ -1,0 +1,35 @@
+GO ?= go
+
+# Benchmarks that gate evaluation-core performance work (E1: transitive
+# closure semi-naive; E5: disjoint paths; E14: index ablation).
+BENCH_PATTERN := BenchmarkE1_TransitiveClosureSemiNaive|BenchmarkE5_DisjointPathsProgram|BenchmarkE14_IndexAblation
+
+.PHONY: build test verify bench bench-json clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# verify is the tier-1 gate: build, full tests, vet, and the race
+# detector over the packages with concurrent code paths (the parallel
+# rule-firing worker pool and the pebble-game referee).
+verify:
+	$(GO) build ./...
+	$(GO) test ./...
+	$(GO) vet ./...
+	$(GO) test -race ./internal/datalog/... ./internal/pebble/...
+
+# bench runs the evaluation-core benchmarks with allocation counts and
+# keeps the raw text output in BENCH_eval.txt.
+bench:
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem -count 5 . | tee BENCH_eval.txt
+
+# bench-json additionally converts the raw output to BENCH_eval.json via
+# cmd/benchjson (name, iterations, ns/op, B/op, allocs/op per entry).
+bench-json:
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem -count 5 . | tee BENCH_eval.txt | $(GO) run ./cmd/benchjson > BENCH_eval.json
+
+clean:
+	rm -f BENCH_eval.txt BENCH_eval.json

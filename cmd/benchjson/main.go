@@ -1,0 +1,94 @@
+// Command benchjson converts `go test -bench` text output on stdin into a
+// JSON array on stdout, one object per benchmark line:
+//
+//	go test -bench 'E1|E5|E14' -benchmem . | benchjson > BENCH_eval.json
+//
+// Only fields present on the line are emitted; -benchmem adds bytes/op and
+// allocs/op. Non-benchmark lines (headers, PASS, ok) are skipped.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Entry is one parsed benchmark result.
+type Entry struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  *int64  `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *int64  `json:"allocs_per_op,omitempty"`
+}
+
+func main() {
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	var out []Entry
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		e, ok := parseLine(line)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchjson: skipping unparseable line: %s\n", line)
+			continue
+		}
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parseLine parses a line of the form
+//
+//	BenchmarkName-8  1234  987 ns/op  65 B/op  3 allocs/op
+func parseLine(line string) (Entry, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Entry{}, false
+	}
+	e := Entry{Name: fields[0]}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Entry{}, false
+	}
+	e.Iterations = iters
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, unit := fields[i], fields[i+1]
+		switch unit {
+		case "ns/op":
+			v, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return Entry{}, false
+			}
+			e.NsPerOp = v
+		case "B/op":
+			v, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return Entry{}, false
+			}
+			e.BytesPerOp = &v
+		case "allocs/op":
+			v, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return Entry{}, false
+			}
+			e.AllocsPerOp = &v
+		}
+	}
+	return e, true
+}

@@ -73,7 +73,7 @@ func main() {
 				formulaSays := logic.Eval(s, f, env)
 				// Compare against "derived by the engine at stage <= n".
 				inStage := false
-				if st, ok := res.Stage[prog.Goal][keyOf(tup)]; ok && st <= *n {
+				if st, ok := res.StageOf(prog.Goal, tup); ok && st <= *n {
 					inStage = true
 				}
 				if formulaSays == inStage {
@@ -94,17 +94,6 @@ func main() {
 			os.Exit(1)
 		}
 	}
-}
-
-func keyOf(tup []int) string {
-	out := ""
-	for i, x := range tup {
-		if i > 0 {
-			out += ","
-		}
-		out += fmt.Sprint(x)
-	}
-	return out
 }
 
 func fatalIf(err error) {

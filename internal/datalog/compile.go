@@ -1,0 +1,189 @@
+package datalog
+
+// Rule compilation. Eval compiles every rule once into a numeric form the
+// join loop can interpret with no string hashing and no per-tuple
+// allocations:
+//
+//   - variables are renamed to dense integer ids, so the binding
+//     environment is a flat []int instead of a map[string]int;
+//   - each argument position is classified statically as probe (constant
+//     or variable bound by an earlier atom — part of the index mask, so a
+//     candidate tuple already matches it), bind (first occurrence of a
+//     variable — unconditional env write), or check (repeated occurrence
+//     within the same atom — env compare). Because every read of a
+//     variable happens at a level where it is statically bound, stale env
+//     entries are harmless and no unbinding is needed on backtrack;
+//   - each constraint is scheduled at the earliest level at which both of
+//     its sides are bound and is checked exactly once per enumeration
+//     path, which prunes at the same point the dynamic checker did;
+//   - predicates are resolved to integer IDB ids (doubling as delta-pool
+//     slots) or, for EDB atoms, to direct *Relation pointers.
+//
+// The compiled form is per-evaluation (it captures resolved EDB
+// relations), so compilation cost is one pass over the program per Eval.
+
+// cTerm is a term with its variable renamed: varID >= 0 indexes the
+// environment, varID < 0 means the constant val.
+type cTerm struct {
+	varID int
+	val   int
+}
+
+func (t cTerm) eval(env []int) int {
+	if t.varID >= 0 {
+		return env[t.varID]
+	}
+	return t.val
+}
+
+// cAction applies one argument position to a candidate tuple.
+type cAction struct {
+	pos   int
+	varID int
+}
+
+// cPat fills one probe-pattern position before a lookup.
+type cPat struct {
+	pos int
+	t   cTerm
+}
+
+// cAtom is a body atom with its probe mask and post-probe actions.
+type cAtom struct {
+	pred   string
+	arity  int
+	idbID  int       // >= 0: IDB predicate id; -1: EDB
+	edbRel *Relation // resolved EDB relation when idbID == -1
+	mask   uint64
+	pat    []cPat    // mask positions to fill into the probe pattern
+	binds  []cAction // first-occurrence variables: env[varID] = tup[pos]
+	checks []cAction // repeated-in-atom variables: env[varID] == tup[pos]?
+}
+
+// cCons is a compiled constraint.
+type cCons struct {
+	l, r cTerm
+	neq  bool
+}
+
+// cRule is the compiled form of one rule.
+type cRule struct {
+	ri     int
+	headID int // IDB id of the head predicate
+	head   []cTerm
+	atoms  []cAtom
+	free   []int // var ids bound by no atom, in Vars() order
+	// consAt[lvl] holds the constraints first fully bound after completing
+	// level lvl: levels 0..len(atoms)-1 are body atoms, len(atoms)+k is
+	// the k-th free variable.
+	consAt [][]cCons
+	never  bool // a constant-only constraint is violated: the rule is dead
+	maxAr  int
+	nv     int
+}
+
+// compileRule translates rule ri into its numeric form using the
+// evaluator's predicate tables.
+func (e *evaluator) compileRule(ri int, r Rule) *cRule {
+	atoms := r.Atoms()
+	vars := r.Vars()
+	ids := make(map[string]int, len(vars))
+	for i, v := range vars {
+		ids[v] = i
+	}
+	cr := &cRule{ri: ri, headID: e.idbID[r.Head.Pred], nv: len(vars)}
+
+	// Bind level of each variable: the first atom containing it, or, for
+	// variables in no atom, len(atoms) + its position in the free list.
+	level := make([]int, len(vars))
+	for i := range level {
+		level[i] = -1
+	}
+	for ai, a := range atoms {
+		for _, t := range a.Args {
+			if t.IsVar() && level[ids[t.Var]] < 0 {
+				level[ids[t.Var]] = ai
+			}
+		}
+	}
+	for _, v := range vars {
+		if level[ids[v]] < 0 {
+			level[ids[v]] = len(atoms) + len(cr.free)
+			cr.free = append(cr.free, ids[v])
+		}
+	}
+
+	term := func(t Term) cTerm {
+		if t.IsVar() {
+			return cTerm{varID: ids[t.Var]}
+		}
+		return cTerm{varID: -1, val: t.Const}
+	}
+
+	cr.head = make([]cTerm, len(r.Head.Args))
+	for i, t := range r.Head.Args {
+		cr.head[i] = term(t)
+	}
+
+	cr.atoms = make([]cAtom, len(atoms))
+	for ai, a := range atoms {
+		ca := cAtom{pred: a.Pred, arity: len(a.Args), idbID: -1}
+		if id, ok := e.idbID[a.Pred]; ok {
+			ca.idbID = id
+		} else {
+			ca.edbRel = e.edb[a.Pred]
+		}
+		if ca.arity > cr.maxAr {
+			cr.maxAr = ca.arity
+		}
+		seen := map[int]bool{}
+		for i, t := range a.Args {
+			switch {
+			case !t.IsVar():
+				ca.mask |= 1 << uint(i)
+				ca.pat = append(ca.pat, cPat{pos: i, t: term(t)})
+			case level[ids[t.Var]] < ai:
+				ca.mask |= 1 << uint(i)
+				ca.pat = append(ca.pat, cPat{pos: i, t: term(t)})
+			case seen[ids[t.Var]]:
+				ca.checks = append(ca.checks, cAction{pos: i, varID: ids[t.Var]})
+			default:
+				seen[ids[t.Var]] = true
+				ca.binds = append(ca.binds, cAction{pos: i, varID: ids[t.Var]})
+			}
+		}
+		cr.atoms[ai] = ca
+	}
+
+	// Schedule each constraint at the level where both sides are bound.
+	cr.consAt = make([][]cCons, len(atoms)+len(cr.free))
+	for _, c := range r.Constraints() {
+		l, rt := term(c.Left), term(c.Right)
+		ready := -1
+		if l.varID >= 0 && level[l.varID] > ready {
+			ready = level[l.varID]
+		}
+		if rt.varID >= 0 && level[rt.varID] > ready {
+			ready = level[rt.varID]
+		}
+		if ready < 0 {
+			// Both sides constant: decide once.
+			if (l.val == rt.val) == c.Neq {
+				cr.never = true
+			}
+			continue
+		}
+		cr.consAt[ready] = append(cr.consAt[ready], cCons{l: l, r: rt, neq: c.Neq})
+	}
+	return cr
+}
+
+// consOK evaluates a scheduled constraint batch against the environment.
+func consOK(cons []cCons, env []int) bool {
+	for _, c := range cons {
+		if (c.l.eval(env) == c.r.eval(env)) == c.neq {
+			return false
+		}
+	}
+	return true
+}

@@ -14,55 +14,71 @@ import (
 // Tuple is a row of universe elements.
 type Tuple []int
 
-func (t Tuple) key() string {
+// String renders (1,2,3).
+func (t Tuple) String() string {
 	var b strings.Builder
+	b.WriteByte('(')
 	for i, x := range t {
 		if i > 0 {
 			b.WriteByte(',')
 		}
 		b.WriteString(strconv.Itoa(x))
 	}
+	b.WriteByte(')')
 	return b.String()
 }
 
-// String renders (1,2,3).
-func (t Tuple) String() string { return "(" + t.key() + ")" }
-
 // Relation is a set of same-arity tuples with optional join indexes.
+// Storage is keyed on the packed integer encoding of key.go rather than a
+// formatted string, so membership tests and index probes allocate nothing.
+// Indexes are persistent: once registered (explicitly via ensureIndex or
+// lazily by lookup) they are maintained incrementally by every Add, never
+// rebuilt from scratch.
+//
+// Methods that mutate (Add, ensureIndex, reset) must not race with readers;
+// the evaluator only mutates relations between parallel firing phases.
 type Relation struct {
 	Arity  int
-	tuples map[string]Tuple
-	// indexes maps a column mask to a hash from projected-key to tuples.
-	indexes map[uint64]map[string][]Tuple
+	tuples map[tupleKey]Tuple
+	// indexes maps a bound-column mask to a hash from projected key to the
+	// tuples matching it.
+	indexes map[uint64]map[tupleKey][]Tuple
 }
 
 // NewDLRelation returns an empty relation.
 func NewDLRelation(arity int) *Relation {
-	return &Relation{Arity: arity, tuples: map[string]Tuple{}, indexes: map[uint64]map[string][]Tuple{}}
+	return &Relation{Arity: arity, tuples: map[tupleKey]Tuple{}, indexes: map[uint64]map[tupleKey][]Tuple{}}
 }
 
 // Add inserts a tuple and reports whether it was new.
 func (r *Relation) Add(t Tuple) bool {
+	_, isNew := r.add(t)
+	return isNew
+}
+
+// add is Add, additionally returning the tuple's canonical key so commit
+// paths can reuse it for stage and provenance bookkeeping.
+func (r *Relation) add(t Tuple) (tupleKey, bool) {
 	if len(t) != r.Arity {
 		panic(fmt.Sprintf("datalog: arity mismatch: tuple %v in relation of arity %d", t, r.Arity))
 	}
-	k := t.key()
+	k := keyOf(t)
 	if _, ok := r.tuples[k]; ok {
-		return false
+		return k, false
 	}
 	cp := make(Tuple, len(t))
 	copy(cp, t)
 	r.tuples[k] = cp
 	for mask, idx := range r.indexes {
-		pk := projectKey(cp, mask)
+		pk := keyProjected(cp, mask)
 		idx[pk] = append(idx[pk], cp)
 	}
-	return true
+	return k, true
 }
 
 // Has reports membership.
 func (r *Relation) Has(t Tuple) bool {
-	_, ok := r.tuples[t.key()]
+	_, ok := r.tuples[keyOf(t)]
 	return ok
 }
 
@@ -95,20 +111,38 @@ func (r *Relation) each(f func(Tuple) bool) {
 	}
 }
 
-func projectKey(t Tuple, mask uint64) string {
-	var b strings.Builder
-	for i, x := range t {
-		if mask&(1<<uint(i)) != 0 {
-			b.WriteString(strconv.Itoa(x))
-			b.WriteByte(',')
-		}
+// ensureIndex registers and builds the hash index on the given column mask
+// if it does not exist yet. Subsequent Adds maintain it incrementally.
+func (r *Relation) ensureIndex(mask uint64) {
+	if mask == 0 {
+		return
 	}
-	return b.String()
+	if _, ok := r.indexes[mask]; ok {
+		return
+	}
+	idx := make(map[tupleKey][]Tuple, len(r.tuples))
+	for _, t := range r.tuples {
+		pk := keyProjected(t, mask)
+		idx[pk] = append(idx[pk], t)
+	}
+	r.indexes[mask] = idx
+}
+
+// reset empties the relation in place, keeping the registered index masks
+// (their entries are cleared) and the map capacity. The evaluator uses it
+// to recycle per-round delta relations.
+func (r *Relation) reset() {
+	clear(r.tuples)
+	for _, idx := range r.indexes {
+		clear(idx)
+	}
 }
 
 // lookup returns the tuples matching the bound columns of pattern, where
 // mask marks bound positions. With indexing enabled a hash index on the
-// mask is built on first use; otherwise a full scan filters.
+// mask is built on first use and kept up to date by Add; otherwise a full
+// scan filters. Callers running concurrently must pre-register their masks
+// with ensureIndex so lookup never mutates.
 func (r *Relation) lookup(pattern Tuple, mask uint64, useIndex bool) []Tuple {
 	if mask == 0 {
 		return r.TuplesUnordered()
@@ -128,14 +162,10 @@ func (r *Relation) lookup(pattern Tuple, mask uint64, useIndex bool) []Tuple {
 	}
 	idx, ok := r.indexes[mask]
 	if !ok {
-		idx = map[string][]Tuple{}
-		for _, t := range r.tuples {
-			pk := projectKey(t, mask)
-			idx[pk] = append(idx[pk], t)
-		}
-		r.indexes[mask] = idx
+		r.ensureIndex(mask)
+		idx = r.indexes[mask]
 	}
-	return idx[projectKey(pattern, mask)]
+	return idx[keyProjected(pattern, mask)]
 }
 
 // TuplesUnordered returns the tuples without sorting (hot path).

@@ -2,6 +2,10 @@ package datalog
 
 import (
 	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
 )
 
 // Options configures evaluation.
@@ -10,7 +14,10 @@ type Options struct {
 	// round-based iteration. Both compute the same least fixpoint and the
 	// same per-tuple first stages.
 	SemiNaive bool
-	// UseIndexes enables hash join indexes on bound column sets.
+	// UseIndexes enables hash join indexes on bound column sets. The
+	// evaluator pre-registers an index for every statically-known bound
+	// mask of every rule atom, and the indexes are maintained
+	// incrementally across rounds rather than rebuilt.
 	UseIndexes bool
 	// MaxRounds aborts evaluation after this many rounds when > 0 (a
 	// safety valve; the fixpoint is always reached within N^r rounds).
@@ -18,6 +25,13 @@ type Options struct {
 	// TrackProvenance records each tuple's first derivation for
 	// Result.Prove.
 	TrackProvenance bool
+	// Parallelism bounds the worker pool that fires rules within a round:
+	// one task per rule (naive) or per (rule, delta-position) pair
+	// (semi-naive). 0 means runtime.GOMAXPROCS(0); 1 fires strictly
+	// sequentially on the calling goroutine. Workers emit into private
+	// buffers that are merged in deterministic task order before the
+	// commit, so IDB, Stage and Rounds are identical at every setting.
+	Parallelism int
 }
 
 // DefaultOptions is semi-naive with indexes.
@@ -27,49 +41,96 @@ var DefaultOptions = Options{SemiNaive: true, UseIndexes: true}
 type Result struct {
 	// IDB maps each intensional predicate to its fixpoint relation.
 	IDB map[string]*Relation
-	// Stage maps predicate -> tuple key -> the stage Θ^n at which the
-	// tuple first appears (1-based), matching the paper's stages.
-	Stage map[string]map[string]int
+	// Stage maps each intensional predicate to the stages Θ^n at which its
+	// tuples first appear (1-based), matching the paper's stage semantics;
+	// see Result.StageOf and Result.EachStage.
+	Stage map[string]*StageTable
 	// Rounds is the number of iteration rounds executed until stability.
 	Rounds int
 	// Derivations counts successful rule firings (including duplicates).
 	Derivations int
 
-	prov map[string]map[string]*Derivation
+	prov map[string]map[tupleKey]*Derivation
 }
 
 // Goal returns the fixpoint relation of the program goal.
 func (res *Result) Goal(p *Program) *Relation { return res.IDB[p.Goal] }
 
 // Eval computes the least fixpoint semantics π^∞ of the program on the
-// database (Section 2). Missing EDB relations are treated as empty.
+// database (Section 2). Missing EDB relations are treated as empty; the
+// input database is never mutated (beyond join-index caches on its
+// relations when UseIndexes is set).
 func Eval(p *Program, db *Database, opt Options) (*Result, error) {
 	if err := Validate(p); err != nil {
 		return nil, err
 	}
 	arity := p.Arities()
 	idbSet := p.IDBs()
-	e := &evaluator{p: p, db: db, opt: opt, idbSet: idbSet}
-	e.idb = map[string]*Relation{}
-	e.stage = map[string]map[string]int{}
-	for name := range idbSet {
-		e.idb[name] = NewDLRelation(arity[name])
-		e.stage[name] = map[string]int{}
+	par := opt.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
 	}
-	// EDB relations referenced but absent become empty relations.
-	for name := range p.EDBs() {
-		if db.Relation(name) == nil {
-			db.EnsureRelation(name, arity[name])
-		} else if db.Relation(name).Arity != arity[name] {
-			return nil, fmt.Errorf("datalog: EDB %s has arity %d in the database but %d in the program",
-				name, db.Relation(name).Arity, arity[name])
+	e := &evaluator{p: p, db: db, opt: opt, par: par, idbSet: idbSet}
+	// Intensional predicates get dense ids (sorted for determinism); the
+	// id doubles as the predicate's slot in the delta pools.
+	e.idbID = make(map[string]int, len(idbSet))
+	for name := range idbSet {
+		e.idbNames = append(e.idbNames, name)
+	}
+	sort.Strings(e.idbNames)
+	for i, name := range e.idbNames {
+		e.idbID[name] = i
+	}
+	e.idb = map[string]*Relation{}
+	e.stage = map[string]*StageTable{}
+	e.idbByID = make([]*Relation, len(e.idbNames))
+	e.stageByID = make([]*StageTable, len(e.idbNames))
+	for i, name := range e.idbNames {
+		r := NewDLRelation(arity[name])
+		e.idb[name] = r
+		e.idbByID[i] = r
+		st := newStageTable(r)
+		e.stage[name] = st
+		e.stageByID[i] = st
+	}
+	e.empty = map[int]*Relation{}
+	for _, a := range arity {
+		if _, ok := e.empty[a]; !ok {
+			e.empty[a] = NewDLRelation(a)
 		}
+	}
+	// EDB relations referenced but absent resolve to a shared empty
+	// relation; the caller's database is left untouched.
+	e.edb = map[string]*Relation{}
+	for name := range p.EDBs() {
+		r := db.Relation(name)
+		if r == nil {
+			r = e.empty[arity[name]]
+		} else if r.Arity != arity[name] {
+			return nil, fmt.Errorf("datalog: EDB %s has arity %d in the database but %d in the program",
+				name, r.Arity, arity[name])
+		}
+		e.edb[name] = r
 	}
 	if opt.TrackProvenance {
-		e.prov = map[string]map[string]*Derivation{}
-		for name := range idbSet {
-			e.prov[name] = map[string]*Derivation{}
+		e.prov = map[string]map[tupleKey]*Derivation{}
+		e.provByID = make([]map[tupleKey]*Derivation, len(e.idbNames))
+		for i, name := range e.idbNames {
+			m := map[tupleKey]*Derivation{}
+			e.prov[name] = m
+			e.provByID[i] = m
 		}
+	}
+	e.rules = make([]*cRule, len(p.Rules))
+	for ri, r := range p.Rules {
+		e.rules[ri] = e.compileRule(ri, r)
+	}
+	if opt.UseIndexes {
+		e.prepareIndexes()
+	}
+	e.deltaPool = [2][]*Relation{
+		make([]*Relation, len(e.idbNames)),
+		make([]*Relation, len(e.idbNames)),
 	}
 	if opt.SemiNaive {
 		e.runSemiNaive()
@@ -93,24 +154,84 @@ type evaluator struct {
 	p      *Program
 	db     *Database
 	opt    Options
+	par    int
 	idbSet map[string]bool
 
-	idb         map[string]*Relation
-	stage       map[string]map[string]int
-	prov        map[string]map[string]*Derivation
+	idbNames []string       // sorted IDB predicate names; position = id
+	idbID    map[string]int // predicate name -> dense id
+
+	idb       map[string]*Relation
+	idbByID   []*Relation
+	edb       map[string]*Relation // resolved EDB reads (shared empties when absent)
+	empty     map[int]*Relation    // shared read-only empty relation per arity
+	stage     map[string]*StageTable
+	stageByID []*StageTable
+	prov      map[string]map[tupleKey]*Derivation
+	provByID  []map[tupleKey]*Derivation
+
+	// rules holds the compiled form of every program rule; see compile.go.
+	// All join masks are known statically from it, so every index can be
+	// registered before workers fire in parallel.
+	rules []*cRule
+	// deltaMasks[id] collects the masks probed on predicate id's delta.
+	deltaMasks [][]uint64
+	// deltaPool ping-pongs two sets of per-predicate delta relations so
+	// steady-state rounds recycle buffers instead of reallocating.
+	deltaPool [2][]*Relation
+	// pending is the reused per-round emission buffer; its capacity tracks
+	// the previous round's cardinality.
+	pending []fact
+	tasks   []fireTask
+
 	rounds      int
 	derivations int
 }
 
+// fireTask is one unit of per-round work: fire rule ri with body atom
+// occurrence deltaIdx reading from the delta relations (-1 for none).
+type fireTask struct {
+	ri       int
+	deltaIdx int
+}
+
+// prepareIndexes registers every statically-probed join index up front:
+// on IDB relations (then maintained incrementally by commit) and on the
+// EDB relations (built once over the stable extensional data). It also
+// collects the masks each predicate's delta relations will need.
+func (e *evaluator) prepareIndexes() {
+	e.deltaMasks = make([][]uint64, len(e.idbNames))
+	for _, cr := range e.rules {
+		for ai := range cr.atoms {
+			a := &cr.atoms[ai]
+			if a.mask == 0 {
+				continue
+			}
+			if a.idbID >= 0 {
+				e.idbByID[a.idbID].ensureIndex(a.mask)
+				if !containsMask(e.deltaMasks[a.idbID], a.mask) {
+					e.deltaMasks[a.idbID] = append(e.deltaMasks[a.idbID], a.mask)
+				}
+			} else if a.edbRel != nil {
+				a.edbRel.ensureIndex(a.mask)
+			}
+		}
+	}
+}
+
+func containsMask(ms []uint64, m uint64) bool {
+	for _, x := range ms {
+		if x == m {
+			return true
+		}
+	}
+	return false
+}
+
 func (e *evaluator) runNaive() {
+	tasks := e.allRuleTasks()
 	for {
 		e.rounds++
-		var pending []fact
-		for ri, r := range e.p.Rules {
-			e.fireRule(ri, r, nil, -1, func(t Tuple, d *Derivation) {
-				pending = append(pending, fact{pred: r.Head.Pred, t: t, deriv: d})
-			})
-		}
+		pending := e.collect(tasks, nil)
 		if !e.commit(pending) {
 			return
 		}
@@ -123,53 +244,109 @@ func (e *evaluator) runNaive() {
 func (e *evaluator) runSemiNaive() {
 	// Round 1: full evaluation from empty IDBs (only rules whose IDB
 	// atoms can be satisfied — with empty IDBs that means EDB-only rules).
-	delta := map[string]*Relation{}
+	cur, nxt := e.deltaPool[0], e.deltaPool[1]
 	e.rounds = 1
-	var pending []fact
-	for ri, r := range e.p.Rules {
-		e.fireRule(ri, r, nil, -1, func(t Tuple, d *Derivation) {
-			pending = append(pending, fact{pred: r.Head.Pred, t: t, deriv: d})
-		})
-	}
-	newDelta := e.commitDelta(pending)
-	for len(newDelta) > 0 {
-		delta = newDelta
+	anyNew := e.commitDelta(e.collect(e.allRuleTasks(), nil), cur)
+	for anyNew {
+		delta := cur
 		e.rounds++
 		if e.opt.MaxRounds > 0 && e.rounds > e.opt.MaxRounds {
 			return
 		}
-		pending = pending[:0]
-		for ri, r := range e.p.Rules {
-			atoms := r.Atoms()
-			for ai, a := range atoms {
-				if !e.idbSet[a.Pred] {
+		e.tasks = e.tasks[:0]
+		for ri, cr := range e.rules {
+			for ai := range cr.atoms {
+				id := cr.atoms[ai].idbID
+				if id < 0 {
 					continue
 				}
-				if d := delta[a.Pred]; d != nil && d.Size() > 0 {
-					e.fireRule(ri, r, delta, ai, func(t Tuple, dv *Derivation) {
-						pending = append(pending, fact{pred: r.Head.Pred, t: t, deriv: dv})
-					})
+				if d := delta[id]; d != nil && d.Size() > 0 {
+					e.tasks = append(e.tasks, fireTask{ri: ri, deltaIdx: ai})
 				}
 			}
 		}
-		newDelta = e.commitDelta(pending)
+		anyNew = e.commitDelta(e.collect(e.tasks, delta), nxt)
+		cur, nxt = nxt, cur
 	}
 }
 
+// allRuleTasks returns one task per rule with no delta position.
+func (e *evaluator) allRuleTasks() []fireTask {
+	e.tasks = e.tasks[:0]
+	for ri := range e.p.Rules {
+		e.tasks = append(e.tasks, fireTask{ri: ri, deltaIdx: -1})
+	}
+	return e.tasks
+}
+
+// collect fires all tasks and returns the emitted facts in deterministic
+// task order. With Parallelism > 1 the tasks are distributed over a
+// bounded worker pool; each worker emits into a private buffer and the
+// buffers are concatenated in task order, which reproduces the sequential
+// emission order exactly (and hence identical Stage, Rounds and
+// first-derivation provenance commits). During firing the workers only
+// read the IDB/EDB/delta relations — every join index they probe was
+// registered up front — so no synchronization beyond the final join is
+// needed.
+func (e *evaluator) collect(tasks []fireTask, delta []*Relation) []fact {
+	e.pending = e.pending[:0]
+	if e.par <= 1 || len(tasks) <= 1 {
+		for _, tk := range tasks {
+			cr := e.rules[tk.ri]
+			e.fireRule(cr, delta, tk.deltaIdx, func(t Tuple, d *Derivation) {
+				e.pending = append(e.pending, fact{predID: cr.headID, t: t, deriv: d})
+			})
+		}
+		return e.pending
+	}
+	bufs := make([][]fact, len(tasks))
+	workers := e.par
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(tasks) {
+					return
+				}
+				tk := tasks[i]
+				cr := e.rules[tk.ri]
+				var buf []fact
+				e.fireRule(cr, delta, tk.deltaIdx, func(t Tuple, d *Derivation) {
+					buf = append(buf, fact{predID: cr.headID, t: t, deriv: d})
+				})
+				bufs[i] = buf
+			}
+		}()
+	}
+	wg.Wait()
+	for _, b := range bufs {
+		e.pending = append(e.pending, b...)
+	}
+	return e.pending
+}
+
 type fact struct {
-	pred  string
-	t     Tuple
-	deriv *Derivation
+	predID int
+	t      Tuple
+	deriv  *Derivation
 }
 
 // commit adds pending facts, recording stages; reports whether anything new.
 func (e *evaluator) commit(pending []fact) bool {
+	e.derivations += len(pending)
 	anyNew := false
 	for _, f := range pending {
-		if e.idb[f.pred].Add(f.t) {
-			e.stage[f.pred][f.t.key()] = e.rounds
-			if e.prov != nil {
-				e.prov[f.pred][f.t.key()] = f.deriv
+		if k, isNew := e.idbByID[f.predID].add(f.t); isNew {
+			e.stageByID[f.predID].m[k] = e.rounds
+			if e.provByID != nil {
+				e.provByID[f.predID][k] = f.deriv
 			}
 			anyNew = true
 		}
@@ -177,156 +354,129 @@ func (e *evaluator) commit(pending []fact) bool {
 	return anyNew
 }
 
-// commitDelta adds pending facts and returns the per-predicate delta.
-func (e *evaluator) commitDelta(pending []fact) map[string]*Relation {
-	delta := map[string]*Relation{}
+// commitDelta adds pending facts into the IDB and the recycled delta
+// relations in out, reporting whether anything new was derived.
+func (e *evaluator) commitDelta(pending []fact, out []*Relation) bool {
+	e.derivations += len(pending)
+	for _, d := range out {
+		if d != nil {
+			d.reset()
+		}
+	}
+	anyNew := false
 	for _, f := range pending {
-		if e.idb[f.pred].Add(f.t) {
-			e.stage[f.pred][f.t.key()] = e.rounds
-			if e.prov != nil {
-				e.prov[f.pred][f.t.key()] = f.deriv
+		if k, isNew := e.idbByID[f.predID].add(f.t); isNew {
+			e.stageByID[f.predID].m[k] = e.rounds
+			if e.provByID != nil {
+				e.provByID[f.predID][k] = f.deriv
 			}
-			d := delta[f.pred]
+			d := out[f.predID]
 			if d == nil {
 				d = NewDLRelation(len(f.t))
-				delta[f.pred] = d
+				if e.deltaMasks != nil {
+					for _, m := range e.deltaMasks[f.predID] {
+						d.ensureIndex(m)
+					}
+				}
+				out[f.predID] = d
 			}
 			d.Add(f.t)
+			anyNew = true
 		}
 	}
-	return delta
+	return anyNew
 }
 
-// relFor resolves the relation an atom reads from: the delta relation when
-// this occurrence is the designated delta position, else the IDB state or
-// the EDB database.
-func (e *evaluator) relFor(a Atom, isDelta bool, delta map[string]*Relation) *Relation {
-	if isDelta {
-		if d := delta[a.Pred]; d != nil {
-			return d
-		}
-		return NewDLRelation(len(a.Args))
+// fireRule enumerates all satisfying assignments of the compiled rule
+// body and emits the corresponding head tuples with (optional)
+// provenance. deltaIdx >= 0 designates the body atom occurrence that must
+// read from the delta relations. fireRule only reads evaluator state, so
+// distinct tasks may run it concurrently.
+func (e *evaluator) fireRule(cr *cRule, delta []*Relation, deltaIdx int, emit func(Tuple, *Derivation)) {
+	if cr.never {
+		return
 	}
-	if e.idbSet[a.Pred] {
-		return e.idb[a.Pred]
-	}
-	return e.db.Relation(a.Pred)
-}
-
-// fireRule enumerates all satisfying assignments of the rule body and
-// emits the corresponding head tuples with (optional) provenance.
-// deltaIdx >= 0 designates the body atom occurrence that must read from
-// the delta relations.
-func (e *evaluator) fireRule(ri int, r Rule, delta map[string]*Relation, deltaIdx int, emit func(Tuple, *Derivation)) {
-	atoms := r.Atoms()
-	cons := r.Constraints()
-	binding := map[string]int{}
-	matched := make([]Tuple, len(atoms))
-
-	// consOK checks every constraint whose two sides are both bound;
-	// returns false on a violated one.
-	consOK := func() bool {
-		for _, c := range cons {
-			lv, lok := termValue(c.Left, binding)
-			rv, rok := termValue(c.Right, binding)
-			if !lok || !rok {
-				continue
-			}
-			if (lv == rv) == c.Neq {
-				return false
-			}
-		}
-		return true
+	env := make([]int, cr.nv)
+	pat := make(Tuple, cr.maxAr)
+	var matched []Tuple
+	if e.prov != nil {
+		matched = make([]Tuple, len(cr.atoms))
 	}
 
-	var finish func()
-	finish = func() {
-		// Enumerate any variables still unbound (head or constraint
-		// variables occurring in no atom) over the whole universe.
-		unbound := ""
-		for _, v := range r.Vars() {
-			if _, ok := binding[v]; !ok {
-				unbound = v
-				break
+	// finish enumerates the variables bound by no atom (head or constraint
+	// variables) over the whole universe, then emits the head.
+	var finish func(k int)
+	finish = func(k int) {
+		if k == len(cr.free) {
+			head := make(Tuple, len(cr.head))
+			for i, t := range cr.head {
+				head[i] = t.eval(env)
 			}
-		}
-		if unbound == "" {
-			if !consOK() {
-				return
-			}
-			head := make(Tuple, len(r.Head.Args))
-			for i, t := range r.Head.Args {
-				v, _ := termValue(t, binding)
-				head[i] = v
-			}
-			e.derivations++
 			var deriv *Derivation
-			if e.prov != nil {
-				deriv = &Derivation{Rule: ri}
-				for i, a := range atoms {
+			if matched != nil {
+				deriv = &Derivation{Rule: cr.ri}
+				for i := range cr.atoms {
 					cp := make(Tuple, len(matched[i]))
 					copy(cp, matched[i])
-					deriv.Body = append(deriv.Body, Fact{Pred: a.Pred, Tuple: cp})
+					deriv.Body = append(deriv.Body, Fact{Pred: cr.atoms[i].pred, Tuple: cp})
 				}
 			}
 			emit(head, deriv)
 			return
 		}
+		v := cr.free[k]
+		cons := cr.consAt[len(cr.atoms)+k]
 		for x := 0; x < e.db.N; x++ {
-			binding[unbound] = x
-			if consOK() {
-				finish()
+			env[v] = x
+			if consOK(cons, env) {
+				finish(k + 1)
 			}
-			delete(binding, unbound)
 		}
 	}
 
 	var step func(ai int)
 	step = func(ai int) {
-		if ai == len(atoms) {
-			finish()
+		if ai == len(cr.atoms) {
+			finish(0)
 			return
 		}
-		a := atoms[ai]
-		rel := e.relFor(a, ai == deltaIdx, delta)
-		if rel == nil || rel.Size() == 0 {
+		a := &cr.atoms[ai]
+		var rel *Relation
+		switch {
+		case ai == deltaIdx:
+			rel = delta[a.idbID]
+		case a.idbID >= 0:
+			rel = e.idbByID[a.idbID]
+		default:
+			rel = a.edbRel
+		}
+		if rel == nil || len(rel.tuples) == 0 {
 			return
 		}
-		pattern := make(Tuple, len(a.Args))
-		var mask uint64
-		for i, t := range a.Args {
-			if v, ok := termValue(t, binding); ok {
-				pattern[i] = v
-				mask |= 1 << uint(i)
+		for _, p := range a.pat {
+			pat[p.pos] = p.t.eval(env)
+		}
+		cons := cr.consAt[ai]
+		for _, tup := range rel.lookup(pat[:a.arity], a.mask, e.opt.UseIndexes) {
+			// Probe-mask positions already match; apply the remaining
+			// positions. Binds are unconditional writes — every later read
+			// of a variable is statically downstream of its bind, so no
+			// unbinding is needed when backtracking.
+			for _, b := range a.binds {
+				env[b.varID] = tup[b.pos]
 			}
-		}
-		for _, tup := range rel.lookup(pattern, mask, e.opt.UseIndexes) {
-			matched[ai] = tup
-			var bound []string
 			ok := true
-			for i, t := range a.Args {
-				if !t.IsVar() {
-					if tup[i] != t.Const {
-						ok = false
-						break
-					}
-					continue
+			for _, c := range a.checks {
+				if env[c.varID] != tup[c.pos] {
+					ok = false
+					break
 				}
-				if v, has := binding[t.Var]; has {
-					if v != tup[i] {
-						ok = false
-						break
-					}
-					continue
-				}
-				binding[t.Var] = tup[i]
-				bound = append(bound, t.Var)
 			}
-			if ok && consOK() {
+			if ok && consOK(cons, env) {
+				if matched != nil {
+					matched[ai] = tup
+				}
 				step(ai + 1)
-			}
-			for _, v := range bound {
-				delete(binding, v)
 			}
 		}
 	}

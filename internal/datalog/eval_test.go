@@ -33,9 +33,10 @@ func evalBoth(t *testing.T, p *Program, db *Database) *Result {
 			if !semi.IDB[name].Has(tup) {
 				t.Fatalf("%s: semi-naive missing %v", name, tup)
 			}
-			if naive.Stage[name][tup.key()] != semi.Stage[name][tup.key()] {
-				t.Fatalf("%s %v: stage naive %d vs semi %d", name, tup,
-					naive.Stage[name][tup.key()], semi.Stage[name][tup.key()])
+			ns, _ := naive.StageOf(name, tup)
+			ss, _ := semi.StageOf(name, tup)
+			if ns != ss {
+				t.Fatalf("%s %v: stage naive %d vs semi %d", name, tup, ns, ss)
 			}
 		}
 	}
@@ -67,7 +68,7 @@ func TestTransitiveClosureStages(t *testing.T) {
 	res := MustEval(TransitiveClosureProgram(), FromGraph(g))
 	for k := 1; k <= 5; k++ {
 		tup := Tuple{0, k}
-		if got := res.Stage["S"][tup.key()]; got != k {
+		if got, _ := res.StageOf("S", tup); got != k {
 			t.Fatalf("stage of (0,%d) = %d, want %d", k, got, k)
 		}
 	}

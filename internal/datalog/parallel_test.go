@@ -1,0 +1,173 @@
+package datalog
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// sameResult asserts two evaluation results are observationally identical:
+// same rounds, same IDB contents, same per-tuple first stages.
+func sameResult(t *testing.T, label string, a, b *Result) {
+	t.Helper()
+	if a.Rounds != b.Rounds {
+		t.Fatalf("%s: rounds %d vs %d", label, a.Rounds, b.Rounds)
+	}
+	if a.Derivations != b.Derivations {
+		t.Fatalf("%s: derivations %d vs %d", label, a.Derivations, b.Derivations)
+	}
+	for name, rel := range a.IDB {
+		if rel.Size() != b.IDB[name].Size() {
+			t.Fatalf("%s: |%s| = %d vs %d", label, name, rel.Size(), b.IDB[name].Size())
+		}
+		for _, tup := range rel.Tuples() {
+			if !b.IDB[name].Has(tup) {
+				t.Fatalf("%s: %s missing %v", label, name, tup)
+			}
+			sa, okA := a.StageOf(name, tup)
+			sb, okB := b.StageOf(name, tup)
+			if !okA || !okB || sa != sb {
+				t.Fatalf("%s: stage of %s%v = %d/%v vs %d/%v", label, name, tup, sa, okA, sb, okB)
+			}
+		}
+	}
+}
+
+// TestParallelMatchesSequential is the determinism regression for the
+// worker-pool rule firing: every experiment program must produce an
+// identical Result at Parallelism 1 and Parallelism 8, under both engines.
+func TestParallelMatchesSequential(t *testing.T) {
+	progs := map[string]*Program{
+		"tc":       TransitiveClosureProgram(),
+		"avoiding": AvoidingPathProgram(),
+		"q20":      QklPrograms(2, 0),
+	}
+	rng := rand.New(rand.NewSource(21))
+	for name, p := range progs {
+		for trial := 0; trial < 5; trial++ {
+			db := FromGraph(graph.Random(7, 0.3, rng))
+			for _, semi := range []bool{false, true} {
+				seq, err := Eval(p, db, Options{SemiNaive: semi, UseIndexes: true, Parallelism: 1})
+				if err != nil {
+					t.Fatal(err)
+				}
+				par, err := Eval(p, db, Options{SemiNaive: semi, UseIndexes: true, Parallelism: 8})
+				if err != nil {
+					t.Fatal(err)
+				}
+				sameResult(t, name, seq, par)
+			}
+		}
+	}
+}
+
+func TestParallelNonGraphPrograms(t *testing.T) {
+	// Same-generation on a small tree.
+	sg := NewDatabase(7)
+	for c, p := range map[int]int{1: 0, 2: 0, 3: 1, 4: 1, 5: 2, 6: 2} {
+		sg.AddFact("Up", c, p)
+		sg.AddFact("Down", p, c)
+	}
+	sg.AddFact("Flat", 0, 0)
+	// Path systems with an unprovable node.
+	ps := NewDatabase(5)
+	ps.AddFact("A", 0)
+	ps.AddFact("A", 1)
+	ps.AddFact("R", 2, 0, 1)
+	ps.AddFact("R", 3, 2, 0)
+	ps.AddFact("R", 4, 3, 4)
+	cases := []struct {
+		name string
+		p    *Program
+		db   *Database
+	}{
+		{"samegen", SameGenerationProgram(), sg},
+		{"pathsys", PathSystemsProgram(), ps},
+	}
+	for _, c := range cases {
+		seq, err := Eval(c.p, c.db, Options{SemiNaive: true, UseIndexes: true, Parallelism: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := Eval(c.p, c.db, Options{SemiNaive: true, UseIndexes: true, Parallelism: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameResult(t, c.name, seq, par)
+	}
+}
+
+func TestParallelProvenanceStillProves(t *testing.T) {
+	// First-derivation choice may legitimately differ between worker
+	// interleavings of equal-stage alternatives, but every recorded
+	// derivation must still unfold into a valid proof grounded in the EDB.
+	g := graph.Random(8, 0.25, rand.New(rand.NewSource(23)))
+	p := TransitiveClosureProgram()
+	db := FromGraph(g)
+	res, err := Eval(p, db, Options{SemiNaive: true, UseIndexes: true, TrackProvenance: true, Parallelism: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tup := range res.IDB["S"].Tuples() {
+		proof, err := res.Prove(p, "S", tup)
+		if err != nil {
+			t.Fatalf("no proof for S%v: %v", tup, err)
+		}
+		for _, leaf := range proof.Leaves() {
+			if leaf.Pred != "E" || !db.Relation("E").Has(leaf.Tuple) {
+				t.Fatalf("proof of S%v rests on non-EDB leaf %s", tup, leaf)
+			}
+		}
+	}
+}
+
+func TestParallelMaxRoundsTruncatesIdentically(t *testing.T) {
+	g := graph.DirectedPath(30)
+	for _, rounds := range []int{1, 2, 5} {
+		seq, err := Eval(TransitiveClosureProgram(), FromGraph(g),
+			Options{SemiNaive: true, UseIndexes: true, MaxRounds: rounds, Parallelism: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := Eval(TransitiveClosureProgram(), FromGraph(g),
+			Options{SemiNaive: true, UseIndexes: true, MaxRounds: rounds, Parallelism: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameResult(t, "maxrounds", seq, par)
+	}
+}
+
+func TestEvalDoesNotMutateInputDatabase(t *testing.T) {
+	p := TransitiveClosureProgram()
+	db := NewDatabase(4)
+	res, err := Eval(p, db, DefaultOptions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IDB["S"].Size() != 0 {
+		t.Fatal("no edges should mean empty closure")
+	}
+	if db.Relation("E") != nil {
+		t.Fatal("Eval created the missing EDB relation in the caller's database")
+	}
+	if len(db.Names()) != 0 {
+		t.Fatalf("Eval left relations behind: %v", db.Names())
+	}
+}
+
+func TestTopDownDoesNotMutateInputDatabase(t *testing.T) {
+	p := TransitiveClosureProgram()
+	db := NewDatabase(4)
+	td, err := NewTopDown(p, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := td.Ask(NewGoal("S", 2, nil)); len(got) != 0 {
+		t.Fatalf("derived %v from an empty database", got)
+	}
+	if db.Relation("E") != nil {
+		t.Fatal("NewTopDown created the missing EDB relation in the caller's database")
+	}
+}

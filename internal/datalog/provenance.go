@@ -92,7 +92,7 @@ func (res *Result) Prove(p *Program, pred string, t Tuple) (*Proof, error) {
 		if !idb[f.Pred] {
 			return &Proof{Fact: f, Rule: -1}, nil
 		}
-		d, ok := res.prov[f.Pred][f.Tuple.key()]
+		d, ok := res.prov[f.Pred][keyOf(f.Tuple)]
 		if !ok {
 			return nil, fmt.Errorf("datalog: no derivation recorded for %s", f)
 		}

@@ -3,7 +3,6 @@ package datalog
 import (
 	"fmt"
 	"sort"
-	"strings"
 )
 
 // Goal-directed evaluation: a tabled, QSQ-flavoured top-down engine that
@@ -40,17 +39,23 @@ func NewGoal(pred string, arity int, bindings map[int]int) Goal {
 	return g
 }
 
-func (g Goal) key() string {
-	var b strings.Builder
-	b.WriteString(g.Pred)
-	for i := range g.Bound {
-		if g.Bound[i] {
-			fmt.Fprintf(&b, ",%d", g.Value[i])
-		} else {
-			b.WriteString(",_")
+// goalKey is the normalized memo-table key of a subgoal call: the
+// predicate, the bitmask of bound positions, and the packed encoding of
+// the bound values. Building one allocates nothing in the common case.
+type goalKey struct {
+	pred string
+	mask uint64
+	vals tupleKey
+}
+
+func (g Goal) key() goalKey {
+	var mask uint64
+	for i, b := range g.Bound {
+		if b {
+			mask |= 1 << uint(i)
 		}
 	}
-	return b.String()
+	return goalKey{pred: g.Pred, mask: mask, vals: keyProjected(Tuple(g.Value), mask)}
 }
 
 // matches reports whether a tuple satisfies the goal's bindings.
@@ -70,13 +75,17 @@ type TopDown struct {
 	idbSet map[string]bool
 	arity  map[string]int
 
+	// edb resolves extensional reads; predicates absent from the database
+	// share an empty relation so the input is never mutated.
+	edb map[string]*Relation
+
 	// tables maps goal keys to their answer relations; complete marks
 	// fully evaluated tables; active guards against re-entering a goal
 	// that is already being solved higher up the call stack (recursive
 	// predicates) — the outer Ask loop supplies the missing iterations.
-	tables   map[string]*Relation
-	complete map[string]bool
-	active   map[string]bool
+	tables   map[goalKey]*Relation
+	complete map[goalKey]bool
+	active   map[goalKey]bool
 	// Calls counts subgoal invocations (for the ablation stats).
 	Calls int
 }
@@ -87,18 +96,25 @@ func NewTopDown(p *Program, db *Database) (*TopDown, error) {
 		return nil, err
 	}
 	arity := p.Arities()
+	edb := map[string]*Relation{}
+	empty := map[int]*Relation{}
 	for name := range p.EDBs() {
-		if db.Relation(name) == nil {
-			db.EnsureRelation(name, arity[name])
-		} else if db.Relation(name).Arity != arity[name] {
+		r := db.Relation(name)
+		if r == nil {
+			if empty[arity[name]] == nil {
+				empty[arity[name]] = NewDLRelation(arity[name])
+			}
+			r = empty[arity[name]]
+		} else if r.Arity != arity[name] {
 			return nil, fmt.Errorf("datalog: EDB %s has arity %d in the database but %d in the program",
-				name, db.Relation(name).Arity, arity[name])
+				name, r.Arity, arity[name])
 		}
+		edb[name] = r
 	}
 	return &TopDown{
-		p: p, db: db, idbSet: p.IDBs(), arity: arity,
-		tables: map[string]*Relation{}, complete: map[string]bool{},
-		active: map[string]bool{},
+		p: p, db: db, idbSet: p.IDBs(), arity: arity, edb: edb,
+		tables: map[goalKey]*Relation{}, complete: map[goalKey]bool{},
+		active: map[goalKey]bool{},
 	}, nil
 }
 
@@ -110,12 +126,18 @@ func (td *TopDown) Ask(g Goal) []Tuple {
 	}
 	if !td.idbSet[g.Pred] {
 		var out []Tuple
-		td.db.Relation(g.Pred).each(func(t Tuple) bool {
-			if g.matches(t) {
-				out = append(out, t)
-			}
-			return true
-		})
+		rel := td.edb[g.Pred]
+		if rel == nil {
+			rel = td.db.Relation(g.Pred)
+		}
+		if rel != nil {
+			rel.each(func(t Tuple) bool {
+				if g.matches(t) {
+					out = append(out, t)
+				}
+				return true
+			})
+		}
 		sortTuples(out)
 		return out
 	}
@@ -273,7 +295,10 @@ func (td *TopDown) fireTopDown(r Rule, g Goal, emit func(Tuple)) {
 		if td.idbSet[a.Pred] {
 			candidates = td.solve(sub)
 		} else {
-			candidates = td.db.Relation(a.Pred)
+			candidates = td.edb[a.Pred]
+		}
+		if candidates == nil {
+			return
 		}
 		candidates.each(func(tup Tuple) bool {
 			if !sub.matches(tup) {

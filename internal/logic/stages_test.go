@@ -74,11 +74,19 @@ func TestStageFormulasMatchEngineStages(t *testing.T) {
 				got := stageRelation(t, tr, pred, n, s)
 				// Engine stage n = tuples with Stage <= n.
 				want := map[string]bool{}
-				for key, st := range res.Stage[pred] {
+				res.EachStage(pred, func(tup datalog.Tuple, st int) bool {
 					if st <= n {
+						key := ""
+						for i, x := range tup {
+							if i > 0 {
+								key += ","
+							}
+							key += itoa(x)
+						}
 						want[key] = true
 					}
-				}
+					return true
+				})
 				if len(got) != len(want) {
 					t.Fatalf("%s trial %d stage %d: formula %d tuples, engine %d",
 						name, trial, n, len(got), len(want))

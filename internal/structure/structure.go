@@ -8,6 +8,7 @@
 package structure
 
 import (
+	"encoding/binary"
 	"fmt"
 	"sort"
 	"strings"
@@ -67,15 +68,35 @@ func GraphVocabulary(constants ...string) *Vocabulary {
 // Tuple is a tuple of universe elements.
 type Tuple []int
 
+// key returns a canonical map key for the tuple. Universe elements are
+// small non-negative ints, so instead of formatting decimal text (which
+// costs a strings.Builder plus one strconv per element — measurably hot in
+// the pebble-game solver, whose position families key on tuples) the
+// elements are packed as fixed-width bytes behind a one-byte width tag.
+// The width is a pure function of the tuple's contents and tuples compared
+// within one map share an arity, so the encoding is injective.
 func (t Tuple) key() string {
-	var b strings.Builder
-	for i, x := range t {
-		if i > 0 {
-			b.WriteByte(',')
+	wide := false
+	for _, x := range t {
+		if x < 0 || x > 0xff {
+			wide = true
+			break
 		}
-		fmt.Fprintf(&b, "%d", x)
 	}
-	return b.String()
+	if !wide {
+		b := make([]byte, 1+len(t))
+		b[0] = 'b'
+		for i, x := range t {
+			b[1+i] = byte(x)
+		}
+		return string(b)
+	}
+	b := make([]byte, 1+8*len(t))
+	b[0] = 'q'
+	for i, x := range t {
+		binary.LittleEndian.PutUint64(b[1+8*i:], uint64(int64(x)))
+	}
+	return string(b)
 }
 
 // Relation is a set of same-arity tuples.
