@@ -1,8 +1,9 @@
 GO ?= go
 
 # Benchmarks that gate evaluation-core performance work (E1: transitive
-# closure semi-naive; E5: disjoint paths; E14: index ablation).
-BENCH_PATTERN := BenchmarkE1_TransitiveClosureSemiNaive|BenchmarkE5_DisjointPathsProgram|BenchmarkE14_IndexAblation
+# closure semi-naive; E5: disjoint paths; E14: index ablation; E24:
+# incremental maintenance vs. from-scratch re-evaluation).
+BENCH_PATTERN := BenchmarkE1_TransitiveClosureSemiNaive|BenchmarkE5_DisjointPathsProgram|BenchmarkE14_IndexAblation|BenchmarkE24_IncrementalMaintenance|BenchmarkE24_FullReeval
 
 .PHONY: build test verify bench bench-json clean
 
@@ -14,12 +15,13 @@ test:
 
 # verify is the tier-1 gate: build, full tests, vet, and the race
 # detector over the packages with concurrent code paths (the parallel
-# rule-firing worker pool and the pebble-game referee).
+# rule-firing worker pool, the pebble-game referee, and the incremental
+# service with its concurrent query/commit front end).
 verify:
 	$(GO) build ./...
 	$(GO) test ./...
 	$(GO) vet ./...
-	$(GO) test -race ./internal/datalog/... ./internal/pebble/...
+	$(GO) test -race ./internal/datalog/... ./internal/pebble/... ./internal/service/...
 
 # bench runs the evaluation-core benchmarks with allocation counts and
 # keeps the raw text output in BENCH_eval.txt.

@@ -92,6 +92,62 @@ func BenchmarkE14_IndexAblation(b *testing.B) {
 	})
 }
 
+// --- E24: incremental maintenance (internal/service substrate) ---
+
+// E24 measures keeping an 80-node transitive-closure fixpoint current
+// across single-edge EDB updates (the standing-query workload of
+// internal/service) against from-scratch re-evaluation.
+//
+// insert: add a shortcut edge the closure already implies, then revert —
+// the pure delta-seeding path (the added edge derives only duplicates).
+// delete: remove a load-bearing path edge (DRed over-deletes the ~1600
+// closure tuples crossing it), then restore it (delta seeding re-derives
+// them) — the worst-case maintenance cycle.
+// Compare per-op times against BenchmarkE24_FullReeval, which is what a
+// non-incremental engine pays on every commit.
+func BenchmarkE24_IncrementalMaintenance(b *testing.B) {
+	const n = 80
+	newInc := func(b *testing.B) *datalog.Incremental {
+		inc, err := datalog.NewIncremental(
+			datalog.TransitiveClosureProgram(), datalog.FromGraph(graph.DirectedPath(n)), datalog.DefaultOptions)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return inc
+	}
+	// Each iteration times one maintenance op; the revert restoring the
+	// 80-node fixpoint for the next iteration runs off the clock.
+	cycle := func(b *testing.B, timed, revert func(*datalog.Incremental, datalog.Fact) error, f datalog.Fact) {
+		b.Helper()
+		inc := newInc(b)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := timed(inc, f); err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			if err := revert(inc, f); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+		}
+	}
+	ins := func(inc *datalog.Incremental, f datalog.Fact) error { return inc.Insert(f) }
+	del := func(inc *datalog.Incremental, f datalog.Fact) error { return inc.Delete(f) }
+	b.Run("insert", func(b *testing.B) {
+		cycle(b, ins, del, datalog.Fact{Pred: "E", Tuple: datalog.Tuple{10, 12}})
+	})
+	b.Run("delete", func(b *testing.B) {
+		cycle(b, del, ins, datalog.Fact{Pred: "E", Tuple: datalog.Tuple{n/2 - 1, n / 2}})
+	})
+}
+
+func BenchmarkE24_FullReeval(b *testing.B) {
+	g := graph.DirectedPath(80)
+	benchEval(b, datalog.TransitiveClosureProgram(), g, datalog.DefaultOptions)
+}
+
 // --- E2/E3/E4: pebble games ---
 
 func BenchmarkE2_PathGame(b *testing.B) {

@@ -3,19 +3,28 @@
 //
 // Usage:
 //
-//	datalog -program prog.dl -facts db.facts [-naive] [-noindex] [-all] [-stats]
+//	datalog -program prog.dl -facts db.facts [-naive] [-noindex] [-all]
+//	        [-stats] [-parallel N] [-server http://host:8344 [-name cli]]
 //
 // With no file arguments it runs the transitive-closure quickstart on a
-// built-in example.
+// built-in example. With -server the program is registered on a running
+// cmd/serve instance, the facts are committed there, and the relations
+// are fetched over /query instead of being evaluated locally.
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
+	"sort"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/datalog"
+	"repro/internal/service"
 )
 
 func main() {
@@ -25,6 +34,9 @@ func main() {
 	noindex := flag.Bool("noindex", false, "disable join indexes")
 	all := flag.Bool("all", false, "print every IDB relation, not just the goal")
 	stats := flag.Bool("stats", false, "print evaluation statistics")
+	parallel := flag.Int("parallel", 0, "rule-firing parallelism (0 = GOMAXPROCS, 1 = sequential)")
+	server := flag.String("server", "", "run against a cmd/serve instance at this base URL instead of evaluating locally")
+	name := flag.String("name", "cli", "registration name used with -server")
 	flag.Parse()
 
 	progSrc := exampleProgram
@@ -45,7 +57,12 @@ func main() {
 	db, err := core.ParseDatabase(factsSrc)
 	fatalIf(err)
 
-	opts := datalog.Options{SemiNaive: !*naive, UseIndexes: !*noindex}
+	if *server != "" {
+		fatalIf(runRemote(*server, *name, progSrc, prog, db, *all))
+		return
+	}
+
+	opts := datalog.Options{SemiNaive: !*naive, UseIndexes: !*noindex, Parallelism: *parallel}
 	res, err := datalog.Eval(prog, db, opts)
 	fatalIf(err)
 
@@ -61,6 +78,69 @@ func main() {
 		fmt.Printf("rounds=%d derivations=%d recursive=%v idbs=%v edbs=%v\n",
 			res.Rounds, res.Derivations, info.Recursive, info.IDBs, info.EDBs)
 	}
+}
+
+// runRemote registers the program on the server, commits the facts, and
+// prints the queried relations — the same output shape as local mode.
+func runRemote(base, name, progSrc string, prog *datalog.Program, db *datalog.Database, all bool) error {
+	base = strings.TrimRight(base, "/")
+	var reg service.RegisterResponse
+	if err := call(base+"/register", service.RegisterRequest{Name: name, Program: progSrc}, &reg); err != nil {
+		return err
+	}
+	var commit service.CommitRequest
+	for _, rel := range db.Names() {
+		for _, t := range db.Relation(rel).Tuples() {
+			commit.Insert = append(commit.Insert, service.FactJSON{Pred: rel, Tuple: t})
+		}
+	}
+	var committed service.CommitResponse
+	if len(commit.Insert) > 0 {
+		if err := call(base+"/commit", commit, &committed); err != nil {
+			return err
+		}
+	}
+	preds := []string{prog.Goal}
+	if all {
+		preds = preds[:0]
+		for p := range prog.IDBs() {
+			preds = append(preds, p)
+		}
+		sort.Strings(preds)
+	}
+	for _, pred := range preds {
+		var q service.QueryResponse
+		if err := call(base+"/query", service.QueryRequestJSON{Program: name, Pred: pred}, &q); err != nil {
+			return err
+		}
+		fmt.Printf("%s (%d tuples):\n", pred, q.Count)
+		for _, t := range q.Tuples {
+			fmt.Println("  " + datalog.Tuple(t).String())
+		}
+	}
+	return nil
+}
+
+// call POSTs a JSON body and decodes the JSON answer, surfacing the
+// server's {"error": ...} payloads as errors.
+func call(url string, req, resp any) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	r, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		var e service.ErrorResponse
+		if err := json.NewDecoder(r.Body).Decode(&e); err == nil && e.Error != "" {
+			return fmt.Errorf("server: %s", e.Error)
+		}
+		return fmt.Errorf("server: %s", r.Status)
+	}
+	return json.NewDecoder(r.Body).Decode(resp)
 }
 
 func fatalIf(err error) {

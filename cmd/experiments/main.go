@@ -28,8 +28,9 @@ import (
 )
 
 var (
-	only  = flag.String("only", "", "run a single experiment, e.g. E9")
-	quick = flag.Bool("quick", false, "smaller instances for a fast pass")
+	only     = flag.String("only", "", "run a single experiment, e.g. E9")
+	quick    = flag.Bool("quick", false, "smaller instances for a fast pass")
+	parallel = flag.Int("parallel", 0, "datalog rule-firing parallelism (0 = GOMAXPROCS, 1 = sequential)")
 )
 
 type experiment struct {
@@ -76,6 +77,10 @@ func main() {
 		{"E21", "Engine extensions: top-down tabling, provenance, containment", runE21},
 		{"E22", "FHW Lemma 4: single-player vs two-player acyclic games", runE22},
 	}
+	// Every MustEval/DefaultOptions evaluation in the suite picks up the
+	// requested parallelism; explicit per-experiment Options (the E14
+	// ablations) stay as written, since their settings are the experiment.
+	datalog.DefaultOptions.Parallelism = *parallel
 	e := &env{rng: rand.New(rand.NewSource(2026)), quick: *quick}
 	allOK := true
 	for _, ex := range experiments {

@@ -1,0 +1,91 @@
+// Command serve runs the incremental Datalog(≠) service: a versioned EDB
+// store with registered programs maintained incrementally across commits,
+// served over HTTP+JSON.
+//
+// Usage:
+//
+//	serve [-addr :8344] [-universe 64] [-history 64] [-cache 256]
+//	      [-workers 0] [-parallel 0] [-facts db.facts]
+//	      [-program prog.dl] [-name main]
+//
+// With -facts the file's database is committed as version 1 at startup;
+// with -program the file is registered under -name before serving.
+//
+// Endpoints:
+//
+//	POST /register  {"name":"tc","program":"S(x,y) :- E(x,y). ... goal S."}
+//	POST /commit    {"insert":[{"pred":"E","tuple":[0,1]}],"delete":[...]}
+//	POST /query     {"program":"tc","pred":"S","version":3,"tuple":[0,1]}
+//	GET  /stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/datalog"
+	"repro/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8344", "listen address")
+	universe := flag.Int("universe", 64, "EDB universe size {0..n-1}")
+	history := flag.Int("history", 64, "EDB versions kept queryable")
+	cache := flag.Int("cache", 256, "query-result LRU capacity")
+	workers := flag.Int("workers", 0, "max concurrent from-scratch evaluations (0 = GOMAXPROCS)")
+	parallel := flag.Int("parallel", 0, "evaluator parallelism (0 = GOMAXPROCS, 1 = sequential)")
+	factsPath := flag.String("facts", "", "facts file committed as version 1 at startup")
+	progPath := flag.String("program", "", "program file registered at startup")
+	progName := flag.String("name", "main", "registration name for -program")
+	flag.Parse()
+
+	svc, err := service.New(service.Config{
+		Universe:     *universe,
+		History:      *history,
+		CacheEntries: *cache,
+		Workers:      *workers,
+		Parallelism:  *parallel,
+	})
+	fatalIf(err)
+
+	if *factsPath != "" {
+		b, err := os.ReadFile(*factsPath)
+		fatalIf(err)
+		db, err := core.ParseDatabase(string(b))
+		fatalIf(err)
+		if db.N > *universe {
+			fatalIf(fmt.Errorf("facts universe %d exceeds -universe %d", db.N, *universe))
+		}
+		var facts []datalog.Fact
+		for _, name := range db.Names() {
+			for _, t := range db.Relation(name).Tuples() {
+				facts = append(facts, datalog.Fact{Pred: name, Tuple: t})
+			}
+		}
+		info, err := svc.Commit(facts, nil)
+		fatalIf(err)
+		log.Printf("loaded %s: %d facts at version %d", *factsPath, info.Inserted, info.Version)
+	}
+	if *progPath != "" {
+		b, err := os.ReadFile(*progPath)
+		fatalIf(err)
+		info, err := svc.Register(*progName, string(b))
+		fatalIf(err)
+		log.Printf("registered %s as %q (hash %.12s, version %d)", *progPath, info.Name, info.Hash, info.Version)
+	}
+
+	log.Printf("serving Datalog(≠) on %s (universe %d, history %d, cache %d)",
+		*addr, *universe, *history, *cache)
+	fatalIf(http.ListenAndServe(*addr, svc.Handler()))
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "serve:", err)
+		os.Exit(1)
+	}
+}

@@ -76,6 +76,45 @@ func (r *Relation) add(t Tuple) (tupleKey, bool) {
 	return k, true
 }
 
+// Remove deletes a tuple, maintaining every registered index, and reports
+// whether it was present. Like Add, it must not race with readers.
+func (r *Relation) Remove(t Tuple) bool {
+	k := keyOf(t)
+	stored, ok := r.tuples[k]
+	if !ok {
+		return false
+	}
+	delete(r.tuples, k)
+	for mask, idx := range r.indexes {
+		pk := keyProjected(stored, mask)
+		bucket := idx[pk]
+		for i, bt := range bucket {
+			if keyOf(bt) == k {
+				bucket[i] = bucket[len(bucket)-1]
+				bucket[len(bucket)-1] = nil
+				idx[pk] = bucket[:len(bucket)-1]
+				break
+			}
+		}
+		if len(idx[pk]) == 0 {
+			delete(idx, pk)
+		}
+	}
+	return true
+}
+
+// Clone deep-copies the relation's tuples; indexes are not copied (they
+// are rebuilt lazily on the copy when first probed).
+func (r *Relation) Clone() *Relation {
+	nr := NewDLRelation(r.Arity)
+	for k, t := range r.tuples {
+		cp := make(Tuple, len(t))
+		copy(cp, t)
+		nr.tuples[k] = cp
+	}
+	return nr
+}
+
 // Has reports membership.
 func (r *Relation) Has(t Tuple) bool {
 	_, ok := r.tuples[keyOf(t)]
@@ -228,9 +267,24 @@ func (db *Database) Names() []string {
 func (db *Database) Clone() *Database {
 	out := NewDatabase(db.N)
 	for name, r := range db.rels {
-		nr := out.EnsureRelation(name, r.Arity)
-		for _, t := range r.tuples {
-			nr.Add(t)
+		out.rels[name] = r.Clone()
+	}
+	return out
+}
+
+// Fork returns a database that shares relation storage with db except for
+// the named relations, which are deep-copied so the fork can mutate them
+// without affecting db. This is the copy-on-write primitive behind
+// versioned EDB snapshots: a commit forks only the relations it touches
+// and the prior snapshot stays valid and immutable.
+func (db *Database) Fork(modified ...string) *Database {
+	out := &Database{N: db.N, rels: make(map[string]*Relation, len(db.rels))}
+	for name, r := range db.rels {
+		out.rels[name] = r
+	}
+	for _, name := range modified {
+		if r, ok := db.rels[name]; ok {
+			out.rels[name] = r.Clone()
 		}
 	}
 	return out

@@ -61,6 +61,23 @@ func (res *Result) Goal(p *Program) *Relation { return res.IDB[p.Goal] }
 // input database is never mutated (beyond join-index caches on its
 // relations when UseIndexes is set).
 func Eval(p *Program, db *Database, opt Options) (*Result, error) {
+	e, err := newEvaluator(p, db, opt)
+	if err != nil {
+		return nil, err
+	}
+	if opt.SemiNaive {
+		e.runSemiNaive()
+	} else {
+		e.runNaive()
+	}
+	return e.result(), nil
+}
+
+// newEvaluator validates the program and builds the full evaluation state:
+// dense predicate ids, output relations, resolved EDB reads, compiled
+// rules, pre-registered indexes and the delta pools. Eval runs it to the
+// fixpoint and discards it; Incremental keeps it alive across updates.
+func newEvaluator(p *Program, db *Database, opt Options) (*evaluator, error) {
 	if err := Validate(p); err != nil {
 		return nil, err
 	}
@@ -132,13 +149,14 @@ func Eval(p *Program, db *Database, opt Options) (*Result, error) {
 		make([]*Relation, len(e.idbNames)),
 		make([]*Relation, len(e.idbNames)),
 	}
-	if opt.SemiNaive {
-		e.runSemiNaive()
-	} else {
-		e.runNaive()
-	}
+	return e, nil
+}
+
+// result snapshots the evaluator's outputs. The maps are shared with the
+// evaluator, so for Incremental the returned view stays live.
+func (e *evaluator) result() *Result {
 	return &Result{IDB: e.idb, Stage: e.stage, Rounds: e.rounds,
-		Derivations: e.derivations, prov: e.prov}, nil
+		Derivations: e.derivations, prov: e.prov}
 }
 
 // MustEval is Eval with DefaultOptions that panics on error.
@@ -188,10 +206,13 @@ type evaluator struct {
 }
 
 // fireTask is one unit of per-round work: fire rule ri with body atom
-// occurrence deltaIdx reading from the delta relations (-1 for none).
+// occurrence deltaIdx reading from the relation rel instead of its usual
+// source (-1 for no delta position). rel is an IDB delta in the
+// semi-naive loop and an EDB delta when Incremental seeds an insertion.
 type fireTask struct {
 	ri       int
 	deltaIdx int
+	rel      *Relation
 }
 
 // prepareIndexes registers every statically-probed join index up front:
@@ -231,7 +252,7 @@ func (e *evaluator) runNaive() {
 	tasks := e.allRuleTasks()
 	for {
 		e.rounds++
-		pending := e.collect(tasks, nil)
+		pending := e.collect(tasks)
 		if !e.commit(pending) {
 			return
 		}
@@ -244,11 +265,19 @@ func (e *evaluator) runNaive() {
 func (e *evaluator) runSemiNaive() {
 	// Round 1: full evaluation from empty IDBs (only rules whose IDB
 	// atoms can be satisfied — with empty IDBs that means EDB-only rules).
-	cur, nxt := e.deltaPool[0], e.deltaPool[1]
 	e.rounds = 1
-	anyNew := e.commitDelta(e.collect(e.allRuleTasks(), nil), cur)
-	for anyNew {
-		delta := cur
+	if e.commitDelta(e.collect(e.allRuleTasks()), e.deltaPool[0]) {
+		e.loopSemiNaive(0)
+	}
+}
+
+// loopSemiNaive runs delta rounds to the fixpoint, reading the first
+// round's deltas from deltaPool[cur]. It is the continuation shared by
+// the initial evaluation and every incremental update: any caller that
+// commits fresh tuples into deltaPool[cur] can resume the fixpoint here.
+func (e *evaluator) loopSemiNaive(cur int) {
+	for {
+		delta := e.deltaPool[cur]
 		e.rounds++
 		if e.opt.MaxRounds > 0 && e.rounds > e.opt.MaxRounds {
 			return
@@ -261,12 +290,14 @@ func (e *evaluator) runSemiNaive() {
 					continue
 				}
 				if d := delta[id]; d != nil && d.Size() > 0 {
-					e.tasks = append(e.tasks, fireTask{ri: ri, deltaIdx: ai})
+					e.tasks = append(e.tasks, fireTask{ri: ri, deltaIdx: ai, rel: d})
 				}
 			}
 		}
-		anyNew = e.commitDelta(e.collect(e.tasks, delta), nxt)
-		cur, nxt = nxt, cur
+		if !e.commitDelta(e.collect(e.tasks), e.deltaPool[1-cur]) {
+			return
+		}
+		cur = 1 - cur
 	}
 }
 
@@ -288,12 +319,12 @@ func (e *evaluator) allRuleTasks() []fireTask {
 // read the IDB/EDB/delta relations — every join index they probe was
 // registered up front — so no synchronization beyond the final join is
 // needed.
-func (e *evaluator) collect(tasks []fireTask, delta []*Relation) []fact {
+func (e *evaluator) collect(tasks []fireTask) []fact {
 	e.pending = e.pending[:0]
 	if e.par <= 1 || len(tasks) <= 1 {
 		for _, tk := range tasks {
 			cr := e.rules[tk.ri]
-			e.fireRule(cr, delta, tk.deltaIdx, func(t Tuple, d *Derivation) {
+			e.fireRule(cr, tk.rel, tk.deltaIdx, func(t Tuple, d *Derivation) {
 				e.pending = append(e.pending, fact{predID: cr.headID, t: t, deriv: d})
 			})
 		}
@@ -318,7 +349,7 @@ func (e *evaluator) collect(tasks []fireTask, delta []*Relation) []fact {
 				tk := tasks[i]
 				cr := e.rules[tk.ri]
 				var buf []fact
-				e.fireRule(cr, delta, tk.deltaIdx, func(t Tuple, d *Derivation) {
+				e.fireRule(cr, tk.rel, tk.deltaIdx, func(t Tuple, d *Derivation) {
 					buf = append(buf, fact{predID: cr.headID, t: t, deriv: d})
 				})
 				bufs[i] = buf
@@ -390,9 +421,9 @@ func (e *evaluator) commitDelta(pending []fact, out []*Relation) bool {
 // fireRule enumerates all satisfying assignments of the compiled rule
 // body and emits the corresponding head tuples with (optional)
 // provenance. deltaIdx >= 0 designates the body atom occurrence that must
-// read from the delta relations. fireRule only reads evaluator state, so
-// distinct tasks may run it concurrently.
-func (e *evaluator) fireRule(cr *cRule, delta []*Relation, deltaIdx int, emit func(Tuple, *Derivation)) {
+// read from deltaRel instead of its usual relation. fireRule only reads
+// evaluator state, so distinct tasks may run it concurrently.
+func (e *evaluator) fireRule(cr *cRule, deltaRel *Relation, deltaIdx int, emit func(Tuple, *Derivation)) {
 	if cr.never {
 		return
 	}
@@ -444,7 +475,7 @@ func (e *evaluator) fireRule(cr *cRule, delta []*Relation, deltaIdx int, emit fu
 		var rel *Relation
 		switch {
 		case ai == deltaIdx:
-			rel = delta[a.idbID]
+			rel = deltaRel
 		case a.idbID >= 0:
 			rel = e.idbByID[a.idbID]
 		default:

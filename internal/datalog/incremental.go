@@ -1,0 +1,286 @@
+package datalog
+
+// Incremental view maintenance. An Incremental owns one program's
+// materialized fixpoint and keeps it current as the EDB changes, without
+// re-evaluating from scratch:
+//
+//   - Insertions re-enter the semi-naive delta loop seeded from the new
+//     facts: for every body-atom occurrence of an affected EDB predicate
+//     the rule fires once with that occurrence reading only the inserted
+//     tuples (the other occurrences read the full, already-updated
+//     relations), which derives exactly the consequences that use at
+//     least one new fact; the resulting IDB delta then drives the
+//     ordinary semi-naive continuation to the new fixpoint.
+//
+//   - Deletions use delete-and-rederive (DRed) with the engine's
+//     first-derivation provenance bounding the over-deletion phase: every
+//     IDB tuple carries a witness derivation whose body facts come from
+//     strictly earlier stages, so walking the tuples in ascending stage
+//     order and over-deleting exactly those whose witness lost a body
+//     fact (a deleted EDB fact, or an IDB fact over-deleted earlier in
+//     the walk) is sound — surviving tuples keep an intact, acyclic
+//     witness. The over-deleted tuples are removed and the rederivation
+//     phase resumes the semi-naive loop over the survivors; anything that
+//     comes back gets a fresh (still acyclic) witness.
+//
+// Stage numbers keep growing across updates (rounds are never reset), so
+// the witness-acyclicity invariant — every body fact of a recorded
+// derivation has a strictly smaller stage than its head — holds by
+// construction after any sequence of updates. Stages therefore order
+// derivations but no longer match a from-scratch evaluation; the
+// maintained IDB relations do, exactly.
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Incremental maintains the least fixpoint of a program across EDB
+// insertions and deletions. It owns a private copy of the database handed
+// to NewIncremental; the caller mutates the EDB only through Insert and
+// Delete. Methods must not be called concurrently (wrap the Incremental
+// in a lock to share it, as internal/service does).
+type Incremental struct {
+	p      *Program
+	db     *Database // owned copy; the evaluator's EDB pointers alias it
+	e      *evaluator
+	arity  map[string]int
+	edbSet map[string]bool
+	// updates counts applied Insert/Delete batches (for stats).
+	updates int
+}
+
+// NewIncremental evaluates the program to its fixpoint on a private copy
+// of db and returns the maintained view. SemiNaive and TrackProvenance
+// are forced on: the delta loop is what updates re-enter, and DRed needs
+// the per-tuple witness derivations.
+func NewIncremental(p *Program, db *Database, opt Options) (*Incremental, error) {
+	opt.SemiNaive = true
+	opt.TrackProvenance = true
+	owned := db.Clone()
+	arity := p.Arities()
+	edbSet := p.EDBs()
+	// Materialize every EDB relation the program reads so the compiled
+	// rules hold pointers into the owned database (never the shared empty
+	// fallback) and later insertions land where the rules look.
+	for name := range edbSet {
+		if r := owned.Relation(name); r != nil && r.Arity != arity[name] {
+			return nil, fmt.Errorf("datalog: EDB %s has arity %d in the database but %d in the program",
+				name, r.Arity, arity[name])
+		}
+		owned.EnsureRelation(name, arity[name])
+	}
+	e, err := newEvaluator(p, owned, opt)
+	if err != nil {
+		return nil, err
+	}
+	e.runSemiNaive()
+	return &Incremental{p: p, db: owned, e: e, arity: arity, edbSet: edbSet}, nil
+}
+
+// Program returns the maintained program.
+func (inc *Incremental) Program() *Program { return inc.p }
+
+// DB returns the owned EDB database. Callers must treat it as read-only.
+func (inc *Incremental) DB() *Database { return inc.db }
+
+// Updates returns the number of applied Insert/Delete batches.
+func (inc *Incremental) Updates() int { return inc.updates }
+
+// Result returns a live view of the maintained fixpoint: the IDB, stage
+// and provenance maps are shared with the evaluator, so the view reflects
+// every later update. Rounds and Derivations accumulate across updates.
+func (inc *Incremental) Result() *Result { return inc.e.result() }
+
+// Check validates an update batch before any mutation: facts naming
+// an IDB predicate of the program are rejected (the IDB is derived, not
+// asserted), facts for the program's EDB predicates must match their
+// arity, and every element must lie in the universe. Facts for predicates
+// the program never mentions are legal — they are returned as irrelevant
+// so callers sharing one fact stream across programs need no filtering.
+func (inc *Incremental) Check(facts ...Fact) error {
+	for _, f := range facts {
+		if inc.e.idbSet[f.Pred] {
+			return fmt.Errorf("datalog: %s is an IDB predicate of the program; its facts are derived, not asserted", f.Pred)
+		}
+		if inc.edbSet[f.Pred] && len(f.Tuple) != inc.arity[f.Pred] {
+			return fmt.Errorf("datalog: fact %s has arity %d but the program uses %s with arity %d",
+				f, len(f.Tuple), f.Pred, inc.arity[f.Pred])
+		}
+		for _, x := range f.Tuple {
+			if x < 0 || x >= inc.db.N {
+				return fmt.Errorf("datalog: fact %s has element %d outside the universe of size %d", f, x, inc.db.N)
+			}
+		}
+	}
+	return nil
+}
+
+// Insert adds EDB facts and maintains the fixpoint by re-entering the
+// semi-naive loop seeded from the genuinely-new tuples. The whole batch
+// is validated before anything mutates, so on error the view is
+// unchanged. Facts for predicates outside the program are ignored.
+func (inc *Incremental) Insert(facts ...Fact) error {
+	if err := inc.Check(facts...); err != nil {
+		return err
+	}
+	inc.updates++
+	// Apply to the EDB, collecting per-predicate delta relations holding
+	// only the facts that were actually new.
+	var deltas map[string]*Relation
+	for _, f := range facts {
+		if !inc.edbSet[f.Pred] {
+			continue
+		}
+		if inc.db.Relation(f.Pred).Add(f.Tuple) {
+			if deltas == nil {
+				deltas = map[string]*Relation{}
+			}
+			d := deltas[f.Pred]
+			if d == nil {
+				d = NewDLRelation(len(f.Tuple))
+				deltas[f.Pred] = d
+			}
+			d.Add(f.Tuple)
+		}
+	}
+	if deltas == nil {
+		return nil
+	}
+	e := inc.e
+	// Seed round: one task per body-atom occurrence of an affected EDB
+	// predicate, that occurrence reading the delta. Any rule firing that
+	// uses at least one inserted fact is covered by the task whose delta
+	// position is one of its new-fact occurrences; firings using only old
+	// facts were already materialized.
+	e.tasks = e.tasks[:0]
+	for ri, cr := range e.rules {
+		for ai := range cr.atoms {
+			a := &cr.atoms[ai]
+			if a.idbID >= 0 {
+				continue
+			}
+			if d := deltas[a.pred]; d != nil {
+				if e.opt.UseIndexes && a.mask != 0 {
+					d.ensureIndex(a.mask)
+				}
+				e.tasks = append(e.tasks, fireTask{ri: ri, deltaIdx: ai, rel: d})
+			}
+		}
+	}
+	if len(e.tasks) == 0 {
+		return nil
+	}
+	e.rounds++
+	if e.commitDelta(e.collect(e.tasks), e.deltaPool[0]) {
+		e.loopSemiNaive(0)
+	}
+	return nil
+}
+
+// Delete removes EDB facts and maintains the fixpoint by DRed: witnesses
+// invalidated by the removals are over-deleted in ascending stage order,
+// then the semi-naive loop resumes over the survivors to re-derive
+// anything still supported. The batch is validated before any mutation.
+func (inc *Incremental) Delete(facts ...Fact) error {
+	if err := inc.Check(facts...); err != nil {
+		return err
+	}
+	inc.updates++
+	// Apply to the EDB, remembering what was actually removed.
+	var removed map[string]map[tupleKey]bool
+	for _, f := range facts {
+		if !inc.edbSet[f.Pred] {
+			continue
+		}
+		if inc.db.Relation(f.Pred).Remove(f.Tuple) {
+			if removed == nil {
+				removed = map[string]map[tupleKey]bool{}
+			}
+			m := removed[f.Pred]
+			if m == nil {
+				m = map[tupleKey]bool{}
+				removed[f.Pred] = m
+			}
+			m[keyOf(f.Tuple)] = true
+		}
+	}
+	if removed == nil {
+		return nil
+	}
+	e := inc.e
+
+	// Over-deletion: walk every IDB tuple in ascending first-derivation
+	// stage order. A tuple is over-deleted exactly when its witness lost a
+	// body fact — a removed EDB fact, or an IDB fact over-deleted earlier
+	// in the walk (witness bodies always have strictly smaller stages, so
+	// they are decided first). Survivors keep an intact witness and are
+	// certainly still derivable.
+	type staged struct {
+		predID int
+		k      tupleKey
+		stage  int
+	}
+	var all []staged
+	for id := range e.idbNames {
+		st := e.stageByID[id]
+		for k := range e.idbByID[id].tuples {
+			all = append(all, staged{predID: id, k: k, stage: st.m[k]})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].stage < all[j].stage })
+	over := make([]map[tupleKey]bool, len(e.idbNames))
+	for i := range over {
+		over[i] = map[tupleKey]bool{}
+	}
+	overTotal := 0
+	for _, s := range all {
+		d := e.provByID[s.predID][s.k]
+		if d == nil {
+			continue // no recorded witness (cannot happen: provenance is forced on); treat as surviving
+		}
+		for _, bf := range d.Body {
+			if id, ok := e.idbID[bf.Pred]; ok {
+				if !over[id][keyOf(bf.Tuple)] {
+					continue
+				}
+			} else if !removed[bf.Pred][keyOf(bf.Tuple)] {
+				continue
+			}
+			over[s.predID][s.k] = true
+			overTotal++
+			break
+		}
+	}
+	if overTotal == 0 {
+		return nil
+	}
+	for id, m := range over {
+		rel := e.idbByID[id]
+		for k := range m {
+			rel.Remove(rel.tuples[k])
+			delete(e.stageByID[id].m, k)
+			delete(e.provByID[id], k)
+		}
+	}
+
+	// Rederivation: resume the fixpoint over the survivors. Every firing
+	// over the shrunken IDB and EDB lands inside the old fixpoint, so the
+	// only tuples that can commit are over-deleted ones coming back; rules
+	// whose head predicate lost nothing can be skipped in the full
+	// re-firing round.
+	e.tasks = e.tasks[:0]
+	for ri, cr := range e.rules {
+		if len(over[cr.headID]) > 0 {
+			e.tasks = append(e.tasks, fireTask{ri: ri, deltaIdx: -1})
+		}
+	}
+	if len(e.tasks) == 0 {
+		return nil
+	}
+	e.rounds++
+	if e.commitDelta(e.collect(e.tasks), e.deltaPool[0]) {
+		e.loopSemiNaive(0)
+	}
+	return nil
+}

@@ -1,0 +1,47 @@
+package service
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// executor bounds the number of concurrent from-scratch evaluations
+// (historical-version and ad-hoc queries). Materialized reads of
+// registered programs never pass through it — they are lock-protected map
+// reads — so a burst of expensive queries cannot starve the cheap path,
+// and N clients cost at most workers evaluations in flight.
+type executor struct {
+	sem      chan struct{}
+	inFlight atomic.Int64
+	total    atomic.Int64
+	peak     atomic.Int64
+}
+
+// newExecutor returns an executor with the given worker bound; 0 means
+// runtime.GOMAXPROCS(0).
+func newExecutor(workers int) *executor {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &executor{sem: make(chan struct{}, workers)}
+}
+
+// do runs f on the caller's goroutine once a worker slot is free.
+func (x *executor) do(f func()) {
+	x.sem <- struct{}{}
+	n := x.inFlight.Add(1)
+	for {
+		p := x.peak.Load()
+		if n <= p || x.peak.CompareAndSwap(p, n) {
+			break
+		}
+	}
+	x.total.Add(1)
+	defer func() {
+		x.inFlight.Add(-1)
+		<-x.sem
+	}()
+	f()
+}
+
+func (x *executor) workers() int { return cap(x.sem) }

@@ -1,0 +1,168 @@
+package service
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// Handler returns the HTTP front end:
+//
+//	POST /register  {"name": "tc", "program": "S(x,y) :- E(x,y). ..."}
+//	POST /commit    {"insert": [{"pred":"E","tuple":[0,1]}], "delete": [...]}
+//	POST /query     {"program": "tc", "pred": "S", "version": 3, "tuple": [0,1]}
+//	GET  /stats
+//
+// Commits apply deletions then insertions atomically and advance the EDB
+// version; queries default to the latest version and the program's goal.
+// All errors are JSON {"error": ...} with a 4xx/5xx status — handlers
+// validate rather than panic, which FuzzHTTPQuery/FuzzHTTPCommit enforce.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/register", s.handleRegister)
+	mux.HandleFunc("/unregister", s.handleUnregister)
+	mux.HandleFunc("/commit", s.handleCommit)
+	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/stats", s.handleStats)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v) // the status line is already out; nothing to recover
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, ErrorResponse{Error: err.Error()})
+}
+
+func requirePost(w http.ResponseWriter, r *http.Request) bool {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, ErrorResponse{Error: "use POST"})
+		return false
+	}
+	return true
+}
+
+func (s *Service) handleRegister(w http.ResponseWriter, r *http.Request) {
+	if !requirePost(w, r) {
+		return
+	}
+	var req RegisterRequest
+	if err := DecodeJSON(r.Body, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	info, err := s.Register(req.Name, req.Program)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, RegisterResponse{
+		Name: info.Name, Hash: info.Hash, Version: info.Version, IDBSizes: info.IDBSizes,
+	})
+}
+
+func (s *Service) handleUnregister(w http.ResponseWriter, r *http.Request) {
+	if !requirePost(w, r) {
+		return
+	}
+	var req struct {
+		Name string `json:"name"`
+	}
+	if err := DecodeJSON(r.Body, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"removed": s.Unregister(req.Name)})
+}
+
+func (s *Service) handleCommit(w http.ResponseWriter, r *http.Request) {
+	if !requirePost(w, r) {
+		return
+	}
+	var req CommitRequest
+	if err := DecodeJSON(r.Body, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	insert, err := factsFromWire(req.Insert)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	del, err := factsFromWire(req.Delete)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	info, err := s.Commit(insert, del)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	resp := CommitResponse{Version: info.Version, Inserted: info.Inserted, Deleted: info.Deleted}
+	if len(info.Maintained) > 0 {
+		resp.Maintained = map[string]int64{}
+		for name, d := range info.Maintained {
+			resp.Maintained[name] = d.Nanoseconds()
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Service) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if !requirePost(w, r) {
+		return
+	}
+	var req QueryRequestJSON
+	if err := DecodeJSON(r.Body, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	version := int64(-1)
+	if req.Version != nil {
+		version = *req.Version
+	}
+	res, err := s.Query(QueryRequest{
+		Program: req.Program, Source: req.Source, Pred: req.Pred, Version: version,
+	})
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	resp := QueryResponse{Pred: res.Pred, Version: res.Version, Count: len(res.Tuples), Origin: res.Origin}
+	if req.Tuple != nil {
+		has := false
+		for _, t := range res.Tuples {
+			if len(t) != len(req.Tuple) {
+				continue
+			}
+			same := true
+			for i := range t {
+				if t[i] != req.Tuple[i] {
+					same = false
+					break
+				}
+			}
+			if same {
+				has = true
+				break
+			}
+		}
+		resp.Has = &has
+	} else {
+		resp.Tuples = tuplesToWire(res.Tuples)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, ErrorResponse{Error: "use GET"})
+		return
+	}
+	writeJSON(w, http.StatusOK, s.Stats())
+}

@@ -1,0 +1,127 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func post(t *testing.T, h http.Handler, path, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, path, bytes.NewBufferString(body))
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	return w
+}
+
+func TestHTTPRoundTrip(t *testing.T) {
+	s, err := New(Config{Universe: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := s.Handler()
+
+	if w := post(t, h, "/register", `{"name":"tc","program":"S(x,y) :- E(x,y). S(x,y) :- E(x,z), S(z,y). goal S."}`); w.Code != http.StatusOK {
+		t.Fatalf("/register: %d %s", w.Code, w.Body)
+	}
+	w := post(t, h, "/commit", `{"insert":[{"pred":"E","tuple":[0,1]},{"pred":"E","tuple":[1,2]}]}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("/commit: %d %s", w.Code, w.Body)
+	}
+	var commit CommitResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &commit); err != nil {
+		t.Fatal(err)
+	}
+	if commit.Version != 1 || commit.Inserted != 2 {
+		t.Fatalf("commit response %+v", commit)
+	}
+
+	w = post(t, h, "/query", `{"program":"tc"}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("/query: %d %s", w.Code, w.Body)
+	}
+	var q QueryResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &q); err != nil {
+		t.Fatal(err)
+	}
+	if q.Count != 3 || q.Pred != "S" || q.Version != 1 {
+		t.Fatalf("query response %+v", q)
+	}
+
+	// Membership form.
+	w = post(t, h, "/query", `{"program":"tc","tuple":[0,2]}`)
+	var m QueryResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Has == nil || !*m.Has || m.Tuples != nil {
+		t.Fatalf("membership response %+v", m)
+	}
+
+	// Delete the bridging edge; the closure shrinks.
+	if w := post(t, h, "/commit", `{"delete":[{"pred":"E","tuple":[1,2]}]}`); w.Code != http.StatusOK {
+		t.Fatalf("/commit delete: %d %s", w.Code, w.Body)
+	}
+	w = post(t, h, "/query", `{"program":"tc"}`)
+	if err := json.Unmarshal(w.Body.Bytes(), &q); err != nil {
+		t.Fatal(err)
+	}
+	if q.Count != 1 || q.Version != 2 {
+		t.Fatalf("query after delete %+v", q)
+	}
+
+	// Stats is GET-only and reflects the traffic.
+	get := httptest.NewRequest(http.MethodGet, "/stats", nil)
+	sw := httptest.NewRecorder()
+	h.ServeHTTP(sw, get)
+	if sw.Code != http.StatusOK {
+		t.Fatalf("/stats: %d", sw.Code)
+	}
+	var st Stats
+	if err := json.Unmarshal(sw.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Commits != 2 || st.Version != 2 || len(st.Programs) != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+	if sw := post(t, h, "/stats", ""); sw.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /stats: %d", sw.Code)
+	}
+}
+
+func TestHTTPErrors(t *testing.T) {
+	s, err := New(Config{Universe: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := s.Handler()
+	cases := []struct {
+		name, path, body string
+	}{
+		{"query bad json", "/query", `{"program":`},
+		{"query unknown field", "/query", `{"programme":"tc"}`},
+		{"query no program", "/query", `{}`},
+		{"query unknown program", "/query", `{"program":"nope"}`},
+		{"query bad source", "/query", `{"source":"S(x :- E."}`},
+		{"commit bad json", "/commit", `{"insert":"E"}`},
+		{"commit empty pred", "/commit", `{"insert":[{"pred":"","tuple":[0]}]}`},
+		{"commit no tuple", "/commit", `{"insert":[{"pred":"E"}]}`},
+		{"commit out of range", "/commit", `{"insert":[{"pred":"E","tuple":[0,9]}]}`},
+		{"commit trailing data", "/commit", `{} {}`},
+		{"register bad program", "/register", `{"name":"x","program":"S("}`},
+		{"register no name", "/register", `{"program":"S(x) :- E(x)."}`},
+	}
+	for _, tc := range cases {
+		if w := post(t, h, tc.path, tc.body); w.Code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400 (body %s)", tc.name, w.Code, w.Body)
+		}
+	}
+	if w := httptest.NewRecorder(); true {
+		h.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/query", nil))
+		if w.Code != http.StatusMethodNotAllowed {
+			t.Errorf("GET /query: %d", w.Code)
+		}
+	}
+}

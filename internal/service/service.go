@@ -1,0 +1,407 @@
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/datalog"
+)
+
+// Config sizes the service.
+type Config struct {
+	// Universe is the size of the EDB universe {0..Universe-1}.
+	Universe int
+	// History is the number of EDB snapshots kept queryable (default 64).
+	History int
+	// CacheEntries bounds the query-result LRU (default 256).
+	CacheEntries int
+	// Workers bounds concurrent from-scratch evaluations for historical
+	// and ad-hoc queries (default GOMAXPROCS).
+	Workers int
+	// Parallelism is passed to the evaluator (datalog.Options.Parallelism)
+	// for both incremental maintenance and from-scratch queries.
+	Parallelism int
+}
+
+// Service is a concurrent Datalog(≠) service: a versioned EDB store plus
+// registered programs whose fixpoints are maintained incrementally on
+// every commit and served to many clients. Reads of materialized results
+// take a shared lock; commits take the exclusive lock; historical and
+// ad-hoc queries evaluate snapshot clones on a bounded worker pool.
+type Service struct {
+	cfg   Config
+	store *Store
+	cache *resultCache
+	exec  *executor
+
+	mu    sync.RWMutex // guards progs and every registration's view
+	progs map[string]*registration
+
+	commits     atomic.Int64
+	queries     atomic.Int64
+	scratchEval atomic.Int64
+}
+
+// registration is one registered program and its maintained view.
+type registration struct {
+	name    string
+	hash    string
+	source  string
+	prog    *datalog.Program
+	inc     *datalog.Incremental
+	version int64 // EDB version the materialization reflects
+
+	maintainTotal time.Duration
+	maintainLast  time.Duration
+}
+
+// New returns an empty service over Config.Universe elements.
+func New(cfg Config) (*Service, error) {
+	if cfg.Universe <= 0 {
+		return nil, fmt.Errorf("service: universe size must be positive, got %d", cfg.Universe)
+	}
+	if cfg.History == 0 {
+		cfg.History = 64
+	}
+	if cfg.CacheEntries == 0 {
+		cfg.CacheEntries = 256
+	}
+	return &Service{
+		cfg:   cfg,
+		store: NewStore(cfg.Universe, cfg.History),
+		cache: newResultCache(cfg.CacheEntries),
+		exec:  newExecutor(cfg.Workers),
+		progs: map[string]*registration{},
+	}, nil
+}
+
+// Store returns the underlying versioned EDB store.
+func (s *Service) Store() *Store { return s.store }
+
+// ProgramHash returns the canonical hash of a program: SHA-256 of its
+// printed form, so textual variants that parse to the same rules share
+// cache entries.
+func ProgramHash(p *datalog.Program) string {
+	sum := sha256.Sum256([]byte(p.String()))
+	return hex.EncodeToString(sum[:])
+}
+
+func (s *Service) evalOptions() datalog.Options {
+	opt := datalog.DefaultOptions
+	opt.Parallelism = s.cfg.Parallelism
+	return opt
+}
+
+// RegisterInfo describes a registration.
+type RegisterInfo struct {
+	Name     string
+	Hash     string
+	Version  int64
+	IDBSizes map[string]int
+}
+
+// Register parses the program source, evaluates it against the current
+// snapshot, and keeps its fixpoint maintained under the given name.
+// Re-registering a name replaces the previous program.
+func (s *Service) Register(name, source string) (RegisterInfo, error) {
+	if name == "" {
+		return RegisterInfo{}, fmt.Errorf("service: registration needs a name")
+	}
+	prog, err := datalog.Parse(source)
+	if err != nil {
+		return RegisterInfo{}, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	snap := s.store.Latest()
+	start := time.Now()
+	inc, err := datalog.NewIncremental(prog, snap.DB, s.evalOptions())
+	if err != nil {
+		return RegisterInfo{}, err
+	}
+	reg := &registration{
+		name:         name,
+		hash:         ProgramHash(prog),
+		source:       source,
+		prog:         prog,
+		inc:          inc,
+		version:      snap.Version,
+		maintainLast: time.Since(start),
+	}
+	reg.maintainTotal = reg.maintainLast
+	s.progs[name] = reg
+	return s.registerInfo(reg), nil
+}
+
+func (s *Service) registerInfo(reg *registration) RegisterInfo {
+	sizes := map[string]int{}
+	for name, rel := range reg.inc.Result().IDB {
+		sizes[name] = rel.Size()
+	}
+	return RegisterInfo{Name: reg.name, Hash: reg.hash, Version: reg.version, IDBSizes: sizes}
+}
+
+// Unregister drops a registered program, reporting whether it existed.
+// Cached results for its hash stay valid (they are version-pinned) and
+// age out of the LRU.
+func (s *Service) Unregister(name string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.progs[name]
+	delete(s.progs, name)
+	return ok
+}
+
+// CommitInfo describes an applied commit.
+type CommitInfo struct {
+	Version  int64
+	Inserted int
+	Deleted  int
+	// Maintained maps each registered program to the time spent updating
+	// its materialized fixpoint for this commit.
+	Maintained map[string]time.Duration
+}
+
+// Commit atomically applies deletions then insertions to the EDB store,
+// publishes the next version, and incrementally maintains every
+// registered program's fixpoint. The batch is validated against the store
+// and against every registered program before anything mutates; on error
+// no version is created and no view changes.
+func (s *Service) Commit(insert, del []datalog.Fact) (CommitInfo, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, reg := range s.progs {
+		if err := reg.inc.Check(insert...); err != nil {
+			return CommitInfo{}, fmt.Errorf("program %s: %w", reg.name, err)
+		}
+		if err := reg.inc.Check(del...); err != nil {
+			return CommitInfo{}, fmt.Errorf("program %s: %w", reg.name, err)
+		}
+	}
+	snap, err := s.store.Commit(insert, del)
+	if err != nil {
+		return CommitInfo{}, err
+	}
+	info := CommitInfo{Version: snap.Version, Inserted: snap.Inserted, Deleted: snap.Deleted,
+		Maintained: map[string]time.Duration{}}
+	for _, reg := range s.progs {
+		start := time.Now()
+		if err := reg.inc.Delete(del...); err != nil {
+			return info, fmt.Errorf("program %s: %w", reg.name, err)
+		}
+		if err := reg.inc.Insert(insert...); err != nil {
+			return info, fmt.Errorf("program %s: %w", reg.name, err)
+		}
+		reg.version = snap.Version
+		reg.maintainLast = time.Since(start)
+		reg.maintainTotal += reg.maintainLast
+		info.Maintained[reg.name] = reg.maintainLast
+	}
+	s.cache.invalidateBelow(s.store.Oldest())
+	s.commits.Add(1)
+	return info, nil
+}
+
+// QueryRequest asks for one IDB relation of a program at a version.
+type QueryRequest struct {
+	// Program names a registration; Source is inline program text for
+	// ad-hoc queries. Exactly one must be set.
+	Program string
+	Source  string
+	// Pred is the IDB predicate to read; empty means the program's goal.
+	Pred string
+	// Version pins the EDB version; <0 means the latest.
+	Version int64
+}
+
+// QueryResult is the answer to one query.
+type QueryResult struct {
+	Pred    string
+	Version int64
+	Tuples  []datalog.Tuple
+	// Origin reports how the result was obtained: "cache", "materialized"
+	// (registered program at its current version) or "eval" (from-scratch
+	// evaluation of a snapshot).
+	Origin string
+}
+
+// Query returns the tuples of one IDB predicate at an EDB version.
+// Current-version queries of registered programs read the materialized
+// fixpoint; anything else — historical versions, ad-hoc programs — is
+// evaluated from the pinned snapshot on the bounded executor. Results are
+// cached by (program hash, predicate, version).
+func (s *Service) Query(req QueryRequest) (QueryResult, error) {
+	s.queries.Add(1)
+	var prog *datalog.Program
+	var hash string
+	var reg *registration
+	switch {
+	case req.Program != "" && req.Source != "":
+		return QueryResult{}, fmt.Errorf("service: query must name a registered program or carry source, not both")
+	case req.Program != "":
+		s.mu.RLock()
+		reg = s.progs[req.Program]
+		s.mu.RUnlock()
+		if reg == nil {
+			return QueryResult{}, fmt.Errorf("service: no program registered as %q", req.Program)
+		}
+		prog, hash = reg.prog, reg.hash
+	case req.Source != "":
+		p, err := datalog.Parse(req.Source)
+		if err != nil {
+			return QueryResult{}, err
+		}
+		if err := datalog.Validate(p); err != nil {
+			return QueryResult{}, err
+		}
+		prog, hash = p, ProgramHash(p)
+	default:
+		return QueryResult{}, fmt.Errorf("service: query names no program and carries no source")
+	}
+	pred := req.Pred
+	if pred == "" {
+		pred = prog.Goal
+	}
+	if !prog.IDBs()[pred] {
+		return QueryResult{}, fmt.Errorf("service: %q is not an IDB predicate of the program", pred)
+	}
+	version := req.Version
+	if version < 0 {
+		version = s.store.Version()
+	}
+	key := cacheKey{hash: hash, pred: pred, version: version}
+	if tuples, ok := s.cache.get(key); ok {
+		return QueryResult{Pred: pred, Version: version, Tuples: tuples, Origin: "cache"}, nil
+	}
+
+	// Materialized fast path: a registered program at the version its
+	// view reflects is a shared-lock map read, no evaluation.
+	if reg != nil {
+		s.mu.RLock()
+		if reg.version == version {
+			tuples := reg.inc.Result().IDB[pred].Tuples()
+			s.mu.RUnlock()
+			s.cache.put(key, tuples)
+			return QueryResult{Pred: pred, Version: version, Tuples: tuples, Origin: "materialized"}, nil
+		}
+		s.mu.RUnlock()
+	}
+
+	// Historical or ad-hoc: evaluate the pinned snapshot. The snapshot is
+	// immutable, so it is cloned per evaluation (Eval registers join
+	// indexes on EDB relations, which must not race across queries).
+	snap, ok := s.store.At(version)
+	if !ok {
+		return QueryResult{}, fmt.Errorf("service: version %d is not retained (oldest is %d, latest %d)",
+			version, s.store.Oldest(), s.store.Version())
+	}
+	var tuples []datalog.Tuple
+	var evalErr error
+	s.exec.do(func() {
+		s.scratchEval.Add(1)
+		res, err := datalog.Eval(prog, snap.DB.Clone(), s.evalOptions())
+		if err != nil {
+			evalErr = err
+			return
+		}
+		tuples = res.IDB[pred].Tuples()
+	})
+	if evalErr != nil {
+		return QueryResult{}, evalErr
+	}
+	s.cache.put(key, tuples)
+	return QueryResult{Pred: pred, Version: version, Tuples: tuples, Origin: "eval"}, nil
+}
+
+// ProgramStats describes one registered program in Stats.
+type ProgramStats struct {
+	Name            string         `json:"name"`
+	Hash            string         `json:"hash"`
+	Version         int64          `json:"version"`
+	Goal            string         `json:"goal"`
+	Updates         int            `json:"updates"`
+	Rounds          int            `json:"rounds"`
+	Derivations     int            `json:"derivations"`
+	IDBSizes        map[string]int `json:"idb_sizes"`
+	MaintainTotalNs int64          `json:"maintain_total_ns"`
+	MaintainLastNs  int64          `json:"maintain_last_ns"`
+}
+
+// SnapshotStats describes one retained EDB version in Stats.
+type SnapshotStats struct {
+	Version  int64 `json:"version"`
+	Facts    int   `json:"facts"`
+	Inserted int   `json:"inserted"`
+	Deleted  int   `json:"deleted"`
+}
+
+// Stats is the service-wide observability snapshot served at /stats.
+type Stats struct {
+	Universe  int             `json:"universe"`
+	Version   int64           `json:"version"`
+	Oldest    int64           `json:"oldest_version"`
+	Commits   int64           `json:"commits"`
+	Queries   int64           `json:"queries"`
+	Evals     int64           `json:"scratch_evals"`
+	Snapshots []SnapshotStats `json:"snapshots"`
+	Programs  []ProgramStats  `json:"programs"`
+	Cache     struct {
+		Hits      int64 `json:"hits"`
+		Misses    int64 `json:"misses"`
+		Evictions int64 `json:"evictions"`
+		Entries   int   `json:"entries"`
+		Capacity  int   `json:"capacity"`
+	} `json:"cache"`
+	Executor struct {
+		Workers  int   `json:"workers"`
+		InFlight int64 `json:"in_flight"`
+		Peak     int64 `json:"peak"`
+		Total    int64 `json:"total"`
+	} `json:"executor"`
+}
+
+// Stats assembles the current counters.
+func (s *Service) Stats() Stats {
+	var st Stats
+	st.Universe = s.cfg.Universe
+	st.Commits = s.commits.Load()
+	st.Queries = s.queries.Load()
+	st.Evals = s.scratchEval.Load()
+	for _, snap := range s.store.Snapshots() {
+		st.Snapshots = append(st.Snapshots, SnapshotStats{
+			Version: snap.Version, Facts: snap.Facts,
+			Inserted: snap.Inserted, Deleted: snap.Deleted,
+		})
+	}
+	st.Version = st.Snapshots[len(st.Snapshots)-1].Version
+	st.Oldest = st.Snapshots[0].Version
+	s.mu.RLock()
+	for _, reg := range s.progs {
+		res := reg.inc.Result()
+		sizes := map[string]int{}
+		for name, rel := range res.IDB {
+			sizes[name] = rel.Size()
+		}
+		st.Programs = append(st.Programs, ProgramStats{
+			Name: reg.name, Hash: reg.hash, Version: reg.version,
+			Goal: reg.prog.Goal, Updates: reg.inc.Updates(),
+			Rounds: res.Rounds, Derivations: res.Derivations, IDBSizes: sizes,
+			MaintainTotalNs: reg.maintainTotal.Nanoseconds(),
+			MaintainLastNs:  reg.maintainLast.Nanoseconds(),
+		})
+	}
+	s.mu.RUnlock()
+	sort.Slice(st.Programs, func(i, j int) bool { return st.Programs[i].Name < st.Programs[j].Name })
+	st.Cache.Hits, st.Cache.Misses, st.Cache.Evictions, st.Cache.Entries = s.cache.counters()
+	st.Cache.Capacity = s.cache.cap
+	st.Executor.Workers = s.exec.workers()
+	st.Executor.InFlight = s.exec.inFlight.Load()
+	st.Executor.Peak = s.exec.peak.Load()
+	st.Executor.Total = s.exec.total.Load()
+	return st
+}

@@ -1,0 +1,168 @@
+// Package service is the long-lived, concurrent Datalog(≠) service layer:
+// a versioned EDB store with copy-on-write snapshots, registered programs
+// whose fixpoints are maintained incrementally across commits (delta
+// seeding for insertions, delete-and-rederive for deletions — see
+// internal/datalog's Incremental), an LRU cache of query results keyed by
+// (program hash, predicate, EDB version), and a bounded-worker executor
+// so many clients can evaluate concurrently against shared snapshots.
+// The HTTP front end in http.go exposes it as /register, /commit, /query
+// and /stats; cmd/serve runs it.
+package service
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/datalog"
+)
+
+// Snapshot is one immutable version of the EDB. The database must never
+// be mutated after publication; commits fork the relations they touch and
+// leave prior snapshots intact, so a snapshot can be read (or cloned for
+// evaluation) without any coordination with later commits.
+type Snapshot struct {
+	Version  int64
+	DB       *datalog.Database
+	Inserted int // facts actually added by the commit that produced this version
+	Deleted  int // facts actually removed by that commit
+	Facts    int // total facts across all relations
+}
+
+// Store is the versioned EDB store: an in-order history of copy-on-write
+// snapshots with a monotonically increasing version counter. Version 0 is
+// the empty database over the configured universe.
+type Store struct {
+	mu      sync.RWMutex
+	history int
+	snaps   []*Snapshot // ascending versions; at least one entry
+}
+
+// NewStore returns a store over an n-element universe retaining at most
+// history snapshots (minimum 1; the latest is always retained).
+func NewStore(n, history int) *Store {
+	if history < 1 {
+		history = 1
+	}
+	return &Store{
+		history: history,
+		snaps:   []*Snapshot{{Version: 0, DB: datalog.NewDatabase(n)}},
+	}
+}
+
+// Latest returns the current snapshot.
+func (s *Store) Latest() *Snapshot {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.snaps[len(s.snaps)-1]
+}
+
+// Version returns the current version.
+func (s *Store) Version() int64 { return s.Latest().Version }
+
+// Oldest returns the oldest retained version.
+func (s *Store) Oldest() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.snaps[0].Version
+}
+
+// At returns the snapshot at the given version, or false if it has been
+// evicted from the history (or never existed).
+func (s *Store) At(version int64) (*Snapshot, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	lo := s.snaps[0].Version
+	i := version - lo
+	if i < 0 || i >= int64(len(s.snaps)) {
+		return nil, false
+	}
+	return s.snaps[i], true
+}
+
+// Snapshots returns the retained history, oldest first.
+func (s *Store) Snapshots() []*Snapshot {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]*Snapshot, len(s.snaps))
+	copy(out, s.snaps)
+	return out
+}
+
+// validate checks a commit batch against the current snapshot without
+// mutating anything: every element must lie in the universe, and every
+// fact's arity must agree with the existing relation of the same name (or
+// with earlier facts of the batch for a new relation).
+func (s *Store) validate(db *datalog.Database, batch []datalog.Fact) error {
+	arities := map[string]int{}
+	for _, f := range batch {
+		if f.Pred == "" {
+			return fmt.Errorf("service: fact with empty predicate name")
+		}
+		if len(f.Tuple) == 0 {
+			return fmt.Errorf("service: fact %s has no arguments", f.Pred)
+		}
+		for _, x := range f.Tuple {
+			if x < 0 || x >= db.N {
+				return fmt.Errorf("service: fact %s has element %d outside the universe of size %d", f, x, db.N)
+			}
+		}
+		want := -1
+		if r := db.Relation(f.Pred); r != nil {
+			want = r.Arity
+		} else if a, ok := arities[f.Pred]; ok {
+			want = a
+		}
+		if want >= 0 && len(f.Tuple) != want {
+			return fmt.Errorf("service: fact %s has arity %d but relation %s has arity %d",
+				f, len(f.Tuple), f.Pred, want)
+		}
+		arities[f.Pred] = len(f.Tuple)
+	}
+	return nil
+}
+
+// Commit atomically applies a batch — deletions against the current
+// snapshot first, then insertions — and publishes the next version. The
+// whole batch is validated up front; on error no new version is created.
+// It returns the new snapshot. Prior snapshots are untouched: only the
+// relations the batch names are forked.
+func (s *Store) Commit(insert, del []datalog.Fact) (*Snapshot, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	prev := s.snaps[len(s.snaps)-1]
+	if err := s.validate(prev.DB, del); err != nil {
+		return nil, err
+	}
+	if err := s.validate(prev.DB, insert); err != nil {
+		return nil, err
+	}
+	touched := map[string]bool{}
+	var names []string
+	for _, f := range append(del[:len(del):len(del)], insert...) {
+		if !touched[f.Pred] {
+			touched[f.Pred] = true
+			names = append(names, f.Pred)
+		}
+	}
+	db := prev.DB.Fork(names...)
+	next := &Snapshot{Version: prev.Version + 1, DB: db}
+	for _, f := range del {
+		if r := db.Relation(f.Pred); r != nil && r.Remove(f.Tuple) {
+			next.Deleted++
+		}
+	}
+	for _, f := range insert {
+		if db.EnsureRelation(f.Pred, len(f.Tuple)).Add(f.Tuple) {
+			next.Inserted++
+		}
+	}
+	for _, name := range db.Names() {
+		next.Facts += db.Relation(name).Size()
+	}
+	s.snaps = append(s.snaps, next)
+	if len(s.snaps) > s.history {
+		copy(s.snaps, s.snaps[len(s.snaps)-s.history:])
+		s.snaps = s.snaps[:s.history]
+	}
+	return next, nil
+}

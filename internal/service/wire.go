@@ -1,0 +1,121 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/datalog"
+)
+
+// Wire types for the JSON front end. Decoding is strict: unknown fields,
+// trailing data and oversized bodies are errors, so malformed requests
+// fail loudly instead of being half-read. These types (and DecodeJSON)
+// are exported so clients — cmd/datalog's -server mode among them —
+// speak exactly the same schema the server validates.
+
+// maxBodyBytes bounds a request body (1 MiB is hundreds of thousands of
+// facts; anything bigger should be split across commits).
+const maxBodyBytes = 1 << 20
+
+// FactJSON is one fact on the wire.
+type FactJSON struct {
+	Pred  string `json:"pred"`
+	Tuple []int  `json:"tuple"`
+}
+
+// CommitRequest applies deletions (against the current version) then
+// insertions, producing one new version.
+type CommitRequest struct {
+	Insert []FactJSON `json:"insert,omitempty"`
+	Delete []FactJSON `json:"delete,omitempty"`
+}
+
+// CommitResponse reports the published version and per-program
+// maintenance times.
+type CommitResponse struct {
+	Version    int64            `json:"version"`
+	Inserted   int              `json:"inserted"`
+	Deleted    int              `json:"deleted"`
+	Maintained map[string]int64 `json:"maintained_ns,omitempty"`
+}
+
+// RegisterRequest registers (or replaces) a named program.
+type RegisterRequest struct {
+	Name    string `json:"name"`
+	Program string `json:"program"`
+}
+
+// RegisterResponse echoes the registration's identity and initial sizes.
+type RegisterResponse struct {
+	Name     string         `json:"name"`
+	Hash     string         `json:"hash"`
+	Version  int64          `json:"version"`
+	IDBSizes map[string]int `json:"idb_sizes"`
+}
+
+// QueryRequestJSON reads one IDB predicate at a version. Version omitted
+// or negative means the latest; Pred omitted means the goal. With Tuple
+// set the response carries a membership bit instead of the full relation.
+type QueryRequestJSON struct {
+	Program string `json:"program,omitempty"`
+	Source  string `json:"source,omitempty"`
+	Pred    string `json:"pred,omitempty"`
+	Version *int64 `json:"version,omitempty"`
+	Tuple   []int  `json:"tuple,omitempty"`
+}
+
+// QueryResponse is the answer to one query.
+type QueryResponse struct {
+	Pred    string  `json:"pred"`
+	Version int64   `json:"version"`
+	Count   int     `json:"count"`
+	Tuples  [][]int `json:"tuples,omitempty"`
+	Has     *bool   `json:"has,omitempty"`
+	Origin  string  `json:"origin"`
+}
+
+// ErrorResponse carries a request failure.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// DecodeJSON strictly decodes one JSON value from r into v: unknown
+// fields, malformed syntax, trailing non-whitespace and bodies over
+// maxBodyBytes are errors. It never panics on any input.
+func DecodeJSON(r io.Reader, v any) error {
+	dec := json.NewDecoder(io.LimitReader(r, maxBodyBytes+1))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("service: bad request body: %w", err)
+	}
+	if dec.More() {
+		return fmt.Errorf("service: trailing data after JSON body")
+	}
+	return nil
+}
+
+// factsFromWire converts wire facts, rejecting empty predicates and
+// missing tuples up front so engine-level validation never sees nils.
+func factsFromWire(in []FactJSON) ([]datalog.Fact, error) {
+	out := make([]datalog.Fact, 0, len(in))
+	for _, f := range in {
+		if f.Pred == "" {
+			return nil, fmt.Errorf("service: fact with empty predicate name")
+		}
+		if len(f.Tuple) == 0 {
+			return nil, fmt.Errorf("service: fact %s has no tuple", f.Pred)
+		}
+		out = append(out, datalog.Fact{Pred: f.Pred, Tuple: datalog.Tuple(f.Tuple)})
+	}
+	return out, nil
+}
+
+// tuplesToWire flattens engine tuples for JSON.
+func tuplesToWire(in []datalog.Tuple) [][]int {
+	out := make([][]int, len(in))
+	for i, t := range in {
+		out[i] = []int(t)
+	}
+	return out
+}
