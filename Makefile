@@ -15,13 +15,14 @@ test:
 
 # verify is the tier-1 gate: build, full tests, vet, and the race
 # detector over the packages with concurrent code paths (the parallel
-# rule-firing worker pool, the pebble-game referee, and the incremental
-# service with its concurrent query/commit front end).
+# rule-firing worker pool, the pebble-game referee, the incremental
+# service with its concurrent query/commit front end, and the metrics
+# registry).
 verify:
 	$(GO) build ./...
 	$(GO) test ./...
 	$(GO) vet ./...
-	$(GO) test -race ./internal/datalog/... ./internal/pebble/... ./internal/service/...
+	$(GO) test -race ./internal/datalog/... ./internal/pebble/... ./internal/service/... ./internal/obs/...
 
 # bench runs the evaluation-core benchmarks with allocation counts and
 # keeps the raw text output in BENCH_eval.txt.
@@ -29,7 +30,9 @@ bench:
 	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem -count 5 . | tee BENCH_eval.txt
 
 # bench-json additionally converts the raw output to BENCH_eval.json via
-# cmd/benchjson (name, iterations, ns/op, B/op, allocs/op per entry).
+# cmd/benchjson, stamped with the commit hash, UTC timestamp, and Go
+# version so bench files from different commits are directly comparable
+# (name, iterations, ns/op, B/op, allocs/op per entry).
 bench-json:
 	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem -count 5 . | tee BENCH_eval.txt | $(GO) run ./cmd/benchjson > BENCH_eval.json
 

@@ -1,10 +1,14 @@
 // Command benchjson converts `go test -bench` text output on stdin into a
-// JSON array on stdout, one object per benchmark line:
+// stamped JSON document on stdout:
 //
 //	go test -bench 'E1|E5|E14' -benchmem . | benchjson > BENCH_eval.json
 //
-// Only fields present on the line are emitted; -benchmem adds bytes/op and
-// allocs/op. Non-benchmark lines (headers, PASS, ok) are skipped.
+// The document carries the commit hash (from `git rev-parse HEAD`, or
+// "unknown" outside a checkout), the UTC generation time, and the Go
+// version alongside the benchmark entries, so BENCH_eval.json files from
+// different PRs are directly comparable. Only fields present on a line
+// are emitted; -benchmem adds bytes/op and allocs/op. Non-benchmark
+// lines (headers, PASS, ok) are skipped.
 package main
 
 import (
@@ -12,9 +16,20 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"os/exec"
+	"runtime"
 	"strconv"
 	"strings"
+	"time"
 )
+
+// Document is the stamped output: provenance plus the parsed entries.
+type Document struct {
+	Commit      string  `json:"commit"`
+	GeneratedAt string  `json:"generated_at"`
+	GoVersion   string  `json:"go_version"`
+	Benchmarks  []Entry `json:"benchmarks"`
+}
 
 // Entry is one parsed benchmark result.
 type Entry struct {
@@ -28,7 +43,11 @@ type Entry struct {
 func main() {
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
-	var out []Entry
+	doc := Document{
+		Commit:      commitHash(),
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+	}
 	for sc.Scan() {
 		line := sc.Text()
 		if !strings.HasPrefix(line, "Benchmark") {
@@ -39,7 +58,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "benchjson: skipping unparseable line: %s\n", line)
 			continue
 		}
-		out = append(out, e)
+		doc.Benchmarks = append(doc.Benchmarks, e)
 	}
 	if err := sc.Err(); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
@@ -47,10 +66,25 @@ func main() {
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(out); err != nil {
+	if err := enc.Encode(doc); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+}
+
+// commitHash asks git for HEAD, with a "-dirty" suffix when the
+// worktree has uncommitted changes; outside a repository (or without
+// git) the stamp degrades to "unknown" rather than failing the run.
+func commitHash() string {
+	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	hash := strings.TrimSpace(string(out))
+	if status, err := exec.Command("git", "status", "--porcelain").Output(); err == nil && len(status) > 0 {
+		hash += "-dirty"
+	}
+	return hash
 }
 
 // parseLine parses a line of the form

@@ -9,7 +9,7 @@
 // With no file arguments it runs the transitive-closure quickstart on a
 // built-in example. With -server the program is registered on a running
 // cmd/serve instance, the facts are committed there, and the relations
-// are fetched over /query instead of being evaluated locally.
+// are fetched over the /v1 API instead of being evaluated locally.
 package main
 
 import (
@@ -21,6 +21,7 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/datalog"
@@ -62,7 +63,10 @@ func main() {
 		return
 	}
 
-	opts := datalog.Options{SemiNaive: !*naive, UseIndexes: !*noindex, Parallelism: *parallel}
+	opts := datalog.DefaultOptions.
+		WithSemiNaive(!*naive).
+		WithIndexes(!*noindex).
+		WithParallelism(*parallel)
 	res, err := datalog.Eval(prog, db, opts)
 	fatalIf(err)
 
@@ -77,6 +81,16 @@ func main() {
 		info := datalog.Analyze(prog)
 		fmt.Printf("rounds=%d derivations=%d recursive=%v idbs=%v edbs=%v\n",
 			res.Rounds, res.Derivations, info.Recursive, info.IDBs, info.EDBs)
+		if res.Stats != nil {
+			fmt.Printf("time=%s firings=%d new=%d duplicates=%d index_probes=%d\n",
+				time.Duration(res.Stats.TimeNs), res.Stats.Firings,
+				res.Stats.New, res.Stats.Duplicates, res.Stats.Probes)
+			for _, rs := range res.Stats.Rules {
+				fmt.Printf("  rule %q: firings=%d new=%d duplicates=%d probes=%d time=%s\n",
+					rs.Rule, rs.Firings, rs.New, rs.Duplicates, rs.Probes,
+					time.Duration(rs.TimeNs))
+			}
+		}
 	}
 }
 
@@ -85,7 +99,7 @@ func main() {
 func runRemote(base, name, progSrc string, prog *datalog.Program, db *datalog.Database, all bool) error {
 	base = strings.TrimRight(base, "/")
 	var reg service.RegisterResponse
-	if err := call(base+"/register", service.RegisterRequest{Name: name, Program: progSrc}, &reg); err != nil {
+	if err := call(base+"/v1/register", service.RegisterRequest{Name: name, Program: progSrc}, &reg); err != nil {
 		return err
 	}
 	var commit service.CommitRequest
@@ -96,7 +110,7 @@ func runRemote(base, name, progSrc string, prog *datalog.Program, db *datalog.Da
 	}
 	var committed service.CommitResponse
 	if len(commit.Insert) > 0 {
-		if err := call(base+"/commit", commit, &committed); err != nil {
+		if err := call(base+"/v1/commit", commit, &committed); err != nil {
 			return err
 		}
 	}
@@ -110,7 +124,7 @@ func runRemote(base, name, progSrc string, prog *datalog.Program, db *datalog.Da
 	}
 	for _, pred := range preds {
 		var q service.QueryResponse
-		if err := call(base+"/query", service.QueryRequestJSON{Program: name, Pred: pred}, &q); err != nil {
+		if err := call(base+"/v1/query", service.QueryRequestJSON{Program: name, Pred: pred}, &q); err != nil {
 			return err
 		}
 		fmt.Printf("%s (%d tuples):\n", pred, q.Count)
@@ -134,9 +148,9 @@ func call(url string, req, resp any) error {
 	}
 	defer r.Body.Close()
 	if r.StatusCode != http.StatusOK {
-		var e service.ErrorResponse
-		if err := json.NewDecoder(r.Body).Decode(&e); err == nil && e.Error != "" {
-			return fmt.Errorf("server: %s", e.Error)
+		var e service.ErrorEnvelope
+		if err := json.NewDecoder(r.Body).Decode(&e); err == nil && e.Message != "" {
+			return fmt.Errorf("server: %s (%s)", e.Message, e.Code)
 		}
 		return fmt.Errorf("server: %s", r.Status)
 	}

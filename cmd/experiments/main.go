@@ -49,6 +49,18 @@ type row struct {
 type env struct {
 	rng   *rand.Rand
 	quick bool
+	opts  datalog.Options
+}
+
+// mustEval evaluates with the suite-wide options (DefaultOptions plus the
+// -parallel flag). Experiments whose settings ARE the experiment (the E14
+// ablations, provenance runs) construct their own Options explicitly.
+func (e *env) mustEval(p *datalog.Program, db *datalog.Database) *datalog.Result {
+	res, err := datalog.Eval(p, db, e.opts)
+	if err != nil {
+		panic(err)
+	}
+	return res
 }
 
 func main() {
@@ -77,11 +89,15 @@ func main() {
 		{"E21", "Engine extensions: top-down tabling, provenance, containment", runE21},
 		{"E22", "FHW Lemma 4: single-player vs two-player acyclic games", runE22},
 	}
-	// Every MustEval/DefaultOptions evaluation in the suite picks up the
-	// requested parallelism; explicit per-experiment Options (the E14
-	// ablations) stay as written, since their settings are the experiment.
-	datalog.DefaultOptions.Parallelism = *parallel
-	e := &env{rng: rand.New(rand.NewSource(2026)), quick: *quick}
+	// Every mustEval in the suite picks up the requested parallelism via
+	// the builder — DefaultOptions itself is never mutated. Explicit
+	// per-experiment Options (the E14 ablations) stay as written, since
+	// their settings are the experiment.
+	e := &env{
+		rng:   rand.New(rand.NewSource(2026)),
+		quick: *quick,
+		opts:  datalog.DefaultOptions.WithParallelism(*parallel),
+	}
 	allOK := true
 	for _, ex := range experiments {
 		if *only != "" && ex.ID != *only {
@@ -122,7 +138,7 @@ func runE1(e *env) []row {
 	trials := 30
 	for t := 0; t < trials; t++ {
 		g := graph.Random(8, 0.2, e.rng)
-		res := datalog.MustEval(datalog.TransitiveClosureProgram(), datalog.FromGraph(g))
+		res := e.mustEval(datalog.TransitiveClosureProgram(), datalog.FromGraph(g))
 		if res.IDB["S"].Size() != len(g.TransitiveClosure()) {
 			mismatches++
 		}
@@ -134,7 +150,7 @@ func runE1(e *env) []row {
 	mismatches = 0
 	for t := 0; t < 10; t++ {
 		g := graph.Random(6, 0.25, e.rng)
-		res := datalog.MustEval(datalog.AvoidingPathProgram(), datalog.FromGraph(g))
+		res := e.mustEval(datalog.AvoidingPathProgram(), datalog.FromGraph(g))
 		for x := 0; x < 6; x++ {
 			for y := 0; y < 6; y++ {
 				for w := 0; w < 6; w++ {
@@ -233,7 +249,7 @@ func runE5(e *env) []row {
 	prog := datalog.QklPrograms(2, 0)
 	for t := 0; t < trials; t++ {
 		g := graph.Random(6, 0.3, e.rng)
-		res := datalog.MustEval(prog, datalog.FromGraph(g))
+		res := e.mustEval(prog, datalog.FromGraph(g))
 		for s := 0; s < 6; s++ {
 			for s1 := 0; s1 < 6; s1++ {
 				for s2 := s1 + 1; s2 < 6; s2++ {
@@ -297,7 +313,7 @@ func runE6(e *env) []row {
 			mismatchGame++
 		}
 		prog := datalog.TwoDisjointPathsAcyclicProgram(perm[0], perm[1], perm[2], perm[3])
-		res := datalog.MustEval(prog, datalog.FromGraph(g))
+		res := e.mustEval(prog, datalog.FromGraph(g))
 		if res.IDB["D"].Has(datalog.Tuple{perm[0], perm[2]}) != brute {
 			mismatchDL++
 		}
@@ -865,7 +881,7 @@ func runE21(e *env) []row {
 	for trial := 0; trial < 10; trial++ {
 		g := graph.Random(6, 0.3, e.rng)
 		p := datalog.AvoidingPathProgram()
-		bu := datalog.MustEval(p, datalog.FromGraph(g))
+		bu := e.mustEval(p, datalog.FromGraph(g))
 		td, err := datalog.NewTopDown(p, datalog.FromGraph(g))
 		if err != nil {
 			return []row{check("top-down builds", "ok", err.Error())}

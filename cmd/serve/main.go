@@ -5,26 +5,40 @@
 // Usage:
 //
 //	serve [-addr :8344] [-universe 64] [-history 64] [-cache 256]
-//	      [-workers 0] [-parallel 0] [-facts db.facts]
-//	      [-program prog.dl] [-name main]
+//	      [-workers 0] [-parallel 0] [-query-timeout 0] [-pprof]
+//	      [-facts db.facts] [-program prog.dl] [-name main]
 //
 // With -facts the file's database is committed as version 1 at startup;
 // with -program the file is registered under -name before serving.
+// -query-timeout bounds each query's queueing plus evaluation; -pprof
+// exposes net/http/pprof under /debug/pprof/ on the same listener.
 //
-// Endpoints:
+// Endpoints (versioned; the unversioned paths remain as aliases):
 //
-//	POST /register  {"name":"tc","program":"S(x,y) :- E(x,y). ... goal S."}
-//	POST /commit    {"insert":[{"pred":"E","tuple":[0,1]}],"delete":[...]}
-//	POST /query     {"program":"tc","pred":"S","version":3,"tuple":[0,1]}
-//	GET  /stats
+//	POST /v1/register    {"name":"tc","program":"S(x,y) :- E(x,y). ... goal S."}
+//	POST /v1/unregister  {"name":"tc"}
+//	POST /v1/commit      {"insert":[{"pred":"E","tuple":[0,1]}],"delete":[...]}
+//	POST /v1/query       {"program":"tc","pred":"S","version":3,"tuple":[0,1]}
+//	GET  /v1/stats
+//	GET  /v1/metrics     (?format=prometheus for exposition text)
+//
+// Requests are logged as structured slog lines with request IDs (taken
+// from X-Request-Id or generated). SIGINT/SIGTERM drain the listener,
+// abort in-flight evaluations, and exit cleanly.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/datalog"
@@ -38,10 +52,14 @@ func main() {
 	cache := flag.Int("cache", 256, "query-result LRU capacity")
 	workers := flag.Int("workers", 0, "max concurrent from-scratch evaluations (0 = GOMAXPROCS)")
 	parallel := flag.Int("parallel", 0, "evaluator parallelism (0 = GOMAXPROCS, 1 = sequential)")
+	queryTimeout := flag.Duration("query-timeout", 0, "per-query deadline covering queueing and evaluation (0 = none)")
+	withPprof := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	factsPath := flag.String("facts", "", "facts file committed as version 1 at startup")
 	progPath := flag.String("program", "", "program file registered at startup")
 	progName := flag.String("name", "main", "registration name for -program")
 	flag.Parse()
+
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
 
 	svc, err := service.New(service.Config{
 		Universe:     *universe,
@@ -49,8 +67,10 @@ func main() {
 		CacheEntries: *cache,
 		Workers:      *workers,
 		Parallelism:  *parallel,
+		QueryTimeout: *queryTimeout,
 	})
 	fatalIf(err)
+	defer svc.Close()
 
 	if *factsPath != "" {
 		b, err := os.ReadFile(*factsPath)
@@ -68,19 +88,54 @@ func main() {
 		}
 		info, err := svc.Commit(facts, nil)
 		fatalIf(err)
-		log.Printf("loaded %s: %d facts at version %d", *factsPath, info.Inserted, info.Version)
+		logger.Info("loaded facts", "path", *factsPath, "facts", info.Inserted, "version", info.Version)
 	}
 	if *progPath != "" {
 		b, err := os.ReadFile(*progPath)
 		fatalIf(err)
 		info, err := svc.Register(*progName, string(b))
 		fatalIf(err)
-		log.Printf("registered %s as %q (hash %.12s, version %d)", *progPath, info.Name, info.Hash, info.Version)
+		logger.Info("registered program",
+			"path", *progPath, "name", info.Name, "hash", info.Hash[:12], "version", info.Version)
 	}
 
-	log.Printf("serving Datalog(≠) on %s (universe %d, history %d, cache %d)",
-		*addr, *universe, *history, *cache)
-	fatalIf(http.ListenAndServe(*addr, svc.Handler()))
+	mux := http.NewServeMux()
+	mux.Handle("/", service.LogRequests(logger, svc.Handler()))
+	if *withPprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		logger.Info("pprof enabled", "path", "/debug/pprof/")
+	}
+	server := &http.Server{Addr: *addr, Handler: mux}
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		logger.Info("shutting down")
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		// Stop accepting, drain handlers, then abort whatever is still
+		// evaluating — queries in flight past the drain window fail with
+		// a 503 rather than holding shutdown hostage.
+		if err := server.Shutdown(ctx); err != nil {
+			logger.Error("shutdown", "err", err)
+		}
+		svc.Close()
+	}()
+
+	logger.Info("serving Datalog(≠)",
+		"addr", *addr, "universe", *universe, "history", *history,
+		"cache", *cache, "query_timeout", *queryTimeout)
+	if err := server.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+		fatalIf(err)
+	}
+	<-done
 }
 
 func fatalIf(err error) {

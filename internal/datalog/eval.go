@@ -1,41 +1,13 @@
 package datalog
 
 import (
+	"context"
 	"fmt"
-	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 )
-
-// Options configures evaluation.
-type Options struct {
-	// SemiNaive selects delta-driven evaluation; false means naive
-	// round-based iteration. Both compute the same least fixpoint and the
-	// same per-tuple first stages.
-	SemiNaive bool
-	// UseIndexes enables hash join indexes on bound column sets. The
-	// evaluator pre-registers an index for every statically-known bound
-	// mask of every rule atom, and the indexes are maintained
-	// incrementally across rounds rather than rebuilt.
-	UseIndexes bool
-	// MaxRounds aborts evaluation after this many rounds when > 0 (a
-	// safety valve; the fixpoint is always reached within N^r rounds).
-	MaxRounds int
-	// TrackProvenance records each tuple's first derivation for
-	// Result.Prove.
-	TrackProvenance bool
-	// Parallelism bounds the worker pool that fires rules within a round:
-	// one task per rule (naive) or per (rule, delta-position) pair
-	// (semi-naive). 0 means runtime.GOMAXPROCS(0); 1 fires strictly
-	// sequentially on the calling goroutine. Workers emit into private
-	// buffers that are merged in deterministic task order before the
-	// commit, so IDB, Stage and Rounds are identical at every setting.
-	Parallelism int
-}
-
-// DefaultOptions is semi-naive with indexes.
-var DefaultOptions = Options{SemiNaive: true, UseIndexes: true}
 
 // Result holds the computed least fixpoint.
 type Result struct {
@@ -49,6 +21,8 @@ type Result struct {
 	Rounds int
 	// Derivations counts successful rule firings (including duplicates).
 	Derivations int
+	// Stats holds the per-rule and per-round instrumentation counters.
+	Stats *EvalStats
 
 	prov map[string]map[tupleKey]*Derivation
 }
@@ -57,37 +31,57 @@ type Result struct {
 func (res *Result) Goal(p *Program) *Relation { return res.IDB[p.Goal] }
 
 // Eval computes the least fixpoint semantics π^∞ of the program on the
-// database (Section 2). Missing EDB relations are treated as empty; the
-// input database is never mutated (beyond join-index caches on its
-// relations when UseIndexes is set).
+// database (Section 2) with a background context. Missing EDB relations
+// are treated as empty; the input database is never mutated (beyond
+// join-index caches on its relations when UseIndexes is set).
 func Eval(p *Program, db *Database, opt Options) (*Result, error) {
-	e, err := newEvaluator(p, db, opt)
+	return EvalContext(context.Background(), p, db, opt)
+}
+
+// EvalContext is Eval under a context: cancellation and deadlines are
+// checked at every iteration round and between rule-firing tasks in the
+// parallel workers, so a runaway fixpoint aborts within one round of the
+// context ending. On cancellation it returns ctx.Err() alongside the
+// partial Result computed so far (a consistent prefix of the fixpoint:
+// whole rounds only, never a half-committed round).
+func EvalContext(ctx context.Context, p *Program, db *Database, opt Options) (*Result, error) {
+	e, err := newEvaluator(ctx, p, db, opt)
 	if err != nil {
 		return nil, err
 	}
-	if opt.SemiNaive {
-		e.runSemiNaive()
-	} else {
-		e.runNaive()
+	runErr := e.run()
+	res := e.result()
+	if runErr != nil {
+		return res, runErr
 	}
-	return e.result(), nil
+	return res, nil
+}
+
+// run executes the configured strategy to the fixpoint, accumulating the
+// evaluation's wall time. It returns the context's error on abort.
+func (e *evaluator) run() error {
+	start := time.Now()
+	defer func() { e.elapsedNs += time.Since(start).Nanoseconds() }()
+	if e.opt.SemiNaive {
+		return e.runSemiNaive()
+	}
+	return e.runNaive()
 }
 
 // newEvaluator validates the program and builds the full evaluation state:
 // dense predicate ids, output relations, resolved EDB reads, compiled
 // rules, pre-registered indexes and the delta pools. Eval runs it to the
 // fixpoint and discards it; Incremental keeps it alive across updates.
-func newEvaluator(p *Program, db *Database, opt Options) (*evaluator, error) {
+func newEvaluator(ctx context.Context, p *Program, db *Database, opt Options) (*evaluator, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
 	if err := Validate(p); err != nil {
 		return nil, err
 	}
 	arity := p.Arities()
 	idbSet := p.IDBs()
-	par := opt.Parallelism
-	if par <= 0 {
-		par = runtime.GOMAXPROCS(0)
-	}
-	e := &evaluator{p: p, db: db, opt: opt, par: par, idbSet: idbSet}
+	e := &evaluator{ctx: ctx, p: p, db: db, opt: opt, par: opt.workers(), idbSet: idbSet}
 	// Intensional predicates get dense ids (sorted for determinism); the
 	// id doubles as the predicate's slot in the delta pools.
 	e.idbID = make(map[string]int, len(idbSet))
@@ -142,6 +136,7 @@ func newEvaluator(p *Program, db *Database, opt Options) (*evaluator, error) {
 	for ri, r := range p.Rules {
 		e.rules[ri] = e.compileRule(ri, r)
 	}
+	e.ruleStats = make([]ruleCounters, len(p.Rules))
 	if opt.UseIndexes {
 		e.prepareIndexes()
 	}
@@ -153,10 +148,11 @@ func newEvaluator(p *Program, db *Database, opt Options) (*evaluator, error) {
 }
 
 // result snapshots the evaluator's outputs. The maps are shared with the
-// evaluator, so for Incremental the returned view stays live.
+// evaluator, so for Incremental the returned view stays live; Stats is a
+// fresh copy per call.
 func (e *evaluator) result() *Result {
 	return &Result{IDB: e.idb, Stage: e.stage, Rounds: e.rounds,
-		Derivations: e.derivations, prov: e.prov}
+		Derivations: e.derivations, Stats: e.statsSnapshot(), prov: e.prov}
 }
 
 // MustEval is Eval with DefaultOptions that panics on error.
@@ -169,6 +165,7 @@ func MustEval(p *Program, db *Database) *Result {
 }
 
 type evaluator struct {
+	ctx    context.Context
 	p      *Program
 	db     *Database
 	opt    Options
@@ -197,12 +194,28 @@ type evaluator struct {
 	// steady-state rounds recycle buffers instead of reallocating.
 	deltaPool [2][]*Relation
 	// pending is the reused per-round emission buffer; its capacity tracks
-	// the previous round's cardinality.
+	// the previous round's cardinality. spans attributes contiguous ranges
+	// of pending to the rule that emitted them (one span per task, in
+	// deterministic task order).
 	pending []fact
+	spans   []span
 	tasks   []fireTask
+
+	// Instrumentation accumulators; see stats.go.
+	ruleStats     []ruleCounters
+	roundStats    []RoundStats
+	roundsDropped int64
+	elapsedNs     int64
 
 	rounds      int
 	derivations int
+}
+
+// span attributes pending[start:end] to rule ri for per-rule commit
+// accounting.
+type span struct {
+	ri         int
+	start, end int
 }
 
 // fireTask is one unit of per-round work: fire rule ri with body atom
@@ -248,39 +261,65 @@ func containsMask(ms []uint64, m uint64) bool {
 	return false
 }
 
-func (e *evaluator) runNaive() {
+func (e *evaluator) runNaive() error {
 	tasks := e.allRuleTasks()
 	for {
+		if err := e.ctx.Err(); err != nil {
+			return err
+		}
 		e.rounds++
+		start := time.Now()
 		pending := e.collect(tasks)
-		if !e.commit(pending) {
-			return
+		if err := e.ctx.Err(); err != nil {
+			// Abort before the commit: the round's emissions are discarded,
+			// so the result stays a whole-rounds-only prefix.
+			e.rounds--
+			return err
+		}
+		fresh := e.commit(pending)
+		e.recordRound(RoundStats{Round: e.rounds, Tasks: len(tasks),
+			Derived: int64(len(pending)), New: int64(fresh), TimeNs: time.Since(start).Nanoseconds()})
+		if fresh == 0 {
+			return nil
 		}
 		if e.opt.MaxRounds > 0 && e.rounds >= e.opt.MaxRounds {
-			return
+			return nil
 		}
 	}
 }
 
-func (e *evaluator) runSemiNaive() {
+func (e *evaluator) runSemiNaive() error {
 	// Round 1: full evaluation from empty IDBs (only rules whose IDB
 	// atoms can be satisfied — with empty IDBs that means EDB-only rules).
-	e.rounds = 1
-	if e.commitDelta(e.collect(e.allRuleTasks()), e.deltaPool[0]) {
-		e.loopSemiNaive(0)
+	if err := e.ctx.Err(); err != nil {
+		return err
 	}
+	e.rounds = 1
+	anyNew, err := e.deltaRound(e.allRuleTasks(), e.deltaPool[0])
+	if err != nil {
+		e.rounds--
+		return err
+	}
+	if anyNew {
+		return e.loopSemiNaive(0)
+	}
+	return nil
 }
 
 // loopSemiNaive runs delta rounds to the fixpoint, reading the first
 // round's deltas from deltaPool[cur]. It is the continuation shared by
 // the initial evaluation and every incremental update: any caller that
 // commits fresh tuples into deltaPool[cur] can resume the fixpoint here.
-func (e *evaluator) loopSemiNaive(cur int) {
+func (e *evaluator) loopSemiNaive(cur int) error {
 	for {
+		if err := e.ctx.Err(); err != nil {
+			return err
+		}
 		delta := e.deltaPool[cur]
 		e.rounds++
 		if e.opt.MaxRounds > 0 && e.rounds > e.opt.MaxRounds {
-			return
+			e.rounds--
+			return nil
 		}
 		e.tasks = e.tasks[:0]
 		for ri, cr := range e.rules {
@@ -294,11 +333,50 @@ func (e *evaluator) loopSemiNaive(cur int) {
 				}
 			}
 		}
-		if !e.commitDelta(e.collect(e.tasks), e.deltaPool[1-cur]) {
-			return
+		anyNew, err := e.deltaRound(e.tasks, e.deltaPool[1-cur])
+		if err != nil {
+			e.rounds--
+			return err
+		}
+		if !anyNew {
+			return nil
 		}
 		cur = 1 - cur
 	}
+}
+
+// resumeFixpoint runs the already-scheduled e.tasks as a fresh delta
+// round into deltaPool[0] and continues the semi-naive loop to the new
+// fixpoint — the continuation Incremental updates re-enter. Wall time is
+// accumulated into the evaluator's elapsed total.
+func (e *evaluator) resumeFixpoint() error {
+	start := time.Now()
+	defer func() { e.elapsedNs += time.Since(start).Nanoseconds() }()
+	e.rounds++
+	anyNew, err := e.deltaRound(e.tasks, e.deltaPool[0])
+	if err != nil {
+		e.rounds--
+		return err
+	}
+	if anyNew {
+		return e.loopSemiNaive(0)
+	}
+	return nil
+}
+
+// deltaRound fires tasks, commits the emissions into the IDB and the
+// delta relations in out, and records the round's counters. It aborts
+// without committing when the context ends during firing.
+func (e *evaluator) deltaRound(tasks []fireTask, out []*Relation) (bool, error) {
+	start := time.Now()
+	pending := e.collect(tasks)
+	if err := e.ctx.Err(); err != nil {
+		return false, err
+	}
+	fresh := e.commitDelta(pending, out)
+	e.recordRound(RoundStats{Round: e.rounds, Tasks: len(tasks),
+		Derived: int64(len(pending)), New: int64(fresh), TimeNs: time.Since(start).Nanoseconds()})
+	return fresh > 0, nil
 }
 
 // allRuleTasks returns one task per rule with no delta position.
@@ -311,26 +389,38 @@ func (e *evaluator) allRuleTasks() []fireTask {
 }
 
 // collect fires all tasks and returns the emitted facts in deterministic
-// task order. With Parallelism > 1 the tasks are distributed over a
-// bounded worker pool; each worker emits into a private buffer and the
-// buffers are concatenated in task order, which reproduces the sequential
-// emission order exactly (and hence identical Stage, Rounds and
-// first-derivation provenance commits). During firing the workers only
-// read the IDB/EDB/delta relations — every join index they probe was
-// registered up front — so no synchronization beyond the final join is
-// needed.
+// task order, recording per-rule firing counters as it goes. With
+// Parallelism > 1 the tasks are distributed over a bounded worker pool;
+// each worker emits into a private buffer and the buffers are
+// concatenated in task order, which reproduces the sequential emission
+// order exactly (and hence identical Stage, Rounds and first-derivation
+// provenance commits). During firing the workers only read the
+// IDB/EDB/delta relations — every join index they probe was registered up
+// front — so no synchronization beyond the final join is needed. Workers
+// check the context between tasks and stop taking new ones once it ends.
 func (e *evaluator) collect(tasks []fireTask) []fact {
 	e.pending = e.pending[:0]
+	e.spans = e.spans[:0]
 	if e.par <= 1 || len(tasks) <= 1 {
 		for _, tk := range tasks {
+			if e.ctx.Err() != nil {
+				break
+			}
 			cr := e.rules[tk.ri]
-			e.fireRule(cr, tk.rel, tk.deltaIdx, func(t Tuple, d *Derivation) {
+			rc := &e.ruleStats[tk.ri]
+			begin := len(e.pending)
+			t0 := time.Now()
+			e.fireRule(cr, tk.rel, tk.deltaIdx, &rc.probes, func(t Tuple, d *Derivation) {
 				e.pending = append(e.pending, fact{predID: cr.headID, t: t, deriv: d})
 			})
+			rc.timeNs += time.Since(t0).Nanoseconds()
+			rc.firings++
+			rc.derived += int64(len(e.pending) - begin)
+			e.spans = append(e.spans, span{ri: tk.ri, start: begin, end: len(e.pending)})
 		}
 		return e.pending
 	}
-	bufs := make([][]fact, len(tasks))
+	outs := make([]taskOut, len(tasks))
 	workers := e.par
 	if workers > len(tasks) {
 		workers = len(tasks)
@@ -342,25 +432,50 @@ func (e *evaluator) collect(tasks []fireTask) []fact {
 		go func() {
 			defer wg.Done()
 			for {
+				if e.ctx.Err() != nil {
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= len(tasks) {
 					return
 				}
 				tk := tasks[i]
 				cr := e.rules[tk.ri]
-				var buf []fact
-				e.fireRule(cr, tk.rel, tk.deltaIdx, func(t Tuple, d *Derivation) {
-					buf = append(buf, fact{predID: cr.headID, t: t, deriv: d})
+				o := &outs[i]
+				t0 := time.Now()
+				e.fireRule(cr, tk.rel, tk.deltaIdx, &o.probes, func(t Tuple, d *Derivation) {
+					o.buf = append(o.buf, fact{predID: cr.headID, t: t, deriv: d})
 				})
-				bufs[i] = buf
+				o.durNs = time.Since(t0).Nanoseconds()
+				o.fired = true
 			}
 		}()
 	}
 	wg.Wait()
-	for _, b := range bufs {
-		e.pending = append(e.pending, b...)
+	for i := range outs {
+		o := &outs[i]
+		if !o.fired {
+			continue
+		}
+		rc := &e.ruleStats[tasks[i].ri]
+		rc.firings++
+		rc.derived += int64(len(o.buf))
+		rc.probes += o.probes
+		rc.timeNs += o.durNs
+		begin := len(e.pending)
+		e.pending = append(e.pending, o.buf...)
+		e.spans = append(e.spans, span{ri: tasks[i].ri, start: begin, end: len(e.pending)})
 	}
 	return e.pending
+}
+
+// taskOut is one parallel task's private output: its emission buffer and
+// its locally-accumulated counters, merged in task order after the join.
+type taskOut struct {
+	buf    []fact
+	probes int64
+	durNs  int64
+	fired  bool
 }
 
 type fact struct {
@@ -369,61 +484,77 @@ type fact struct {
 	deriv  *Derivation
 }
 
-// commit adds pending facts, recording stages; reports whether anything new.
-func (e *evaluator) commit(pending []fact) bool {
+// commit adds pending facts, recording stages and attributing new/dup
+// counts to the emitting rules via the collected spans; returns how many
+// facts were new.
+func (e *evaluator) commit(pending []fact) int {
 	e.derivations += len(pending)
-	anyNew := false
-	for _, f := range pending {
-		if k, isNew := e.idbByID[f.predID].add(f.t); isNew {
-			e.stageByID[f.predID].m[k] = e.rounds
-			if e.provByID != nil {
-				e.provByID[f.predID][k] = f.deriv
+	fresh := 0
+	for _, sp := range e.spans {
+		rc := &e.ruleStats[sp.ri]
+		for _, f := range pending[sp.start:sp.end] {
+			if k, isNew := e.idbByID[f.predID].add(f.t); isNew {
+				e.stageByID[f.predID].m[k] = e.rounds
+				if e.provByID != nil {
+					e.provByID[f.predID][k] = f.deriv
+				}
+				rc.fresh++
+				fresh++
+			} else {
+				rc.duplicates++
 			}
-			anyNew = true
 		}
 	}
-	return anyNew
+	return fresh
 }
 
 // commitDelta adds pending facts into the IDB and the recycled delta
-// relations in out, reporting whether anything new was derived.
-func (e *evaluator) commitDelta(pending []fact, out []*Relation) bool {
+// relations in out, returning how many were new.
+func (e *evaluator) commitDelta(pending []fact, out []*Relation) int {
 	e.derivations += len(pending)
 	for _, d := range out {
 		if d != nil {
 			d.reset()
 		}
 	}
-	anyNew := false
-	for _, f := range pending {
-		if k, isNew := e.idbByID[f.predID].add(f.t); isNew {
-			e.stageByID[f.predID].m[k] = e.rounds
-			if e.provByID != nil {
-				e.provByID[f.predID][k] = f.deriv
-			}
-			d := out[f.predID]
-			if d == nil {
-				d = NewDLRelation(len(f.t))
-				if e.deltaMasks != nil {
-					for _, m := range e.deltaMasks[f.predID] {
-						d.ensureIndex(m)
-					}
+	fresh := 0
+	for _, sp := range e.spans {
+		rc := &e.ruleStats[sp.ri]
+		for _, f := range pending[sp.start:sp.end] {
+			if k, isNew := e.idbByID[f.predID].add(f.t); isNew {
+				e.stageByID[f.predID].m[k] = e.rounds
+				if e.provByID != nil {
+					e.provByID[f.predID][k] = f.deriv
 				}
-				out[f.predID] = d
+				d := out[f.predID]
+				if d == nil {
+					d = NewDLRelation(len(f.t))
+					if e.deltaMasks != nil {
+						for _, m := range e.deltaMasks[f.predID] {
+							d.ensureIndex(m)
+						}
+					}
+					out[f.predID] = d
+				}
+				d.Add(f.t)
+				rc.fresh++
+				fresh++
+			} else {
+				rc.duplicates++
 			}
-			d.Add(f.t)
-			anyNew = true
 		}
 	}
-	return anyNew
+	return fresh
 }
 
 // fireRule enumerates all satisfying assignments of the compiled rule
 // body and emits the corresponding head tuples with (optional)
-// provenance. deltaIdx >= 0 designates the body atom occurrence that must
-// read from deltaRel instead of its usual relation. fireRule only reads
-// evaluator state, so distinct tasks may run it concurrently.
-func (e *evaluator) fireRule(cr *cRule, deltaRel *Relation, deltaIdx int, emit func(Tuple, *Derivation)) {
+// provenance, counting relation lookups into probes. deltaIdx >= 0
+// designates the body atom occurrence that must read from deltaRel
+// instead of its usual relation. fireRule only reads evaluator state, so
+// distinct tasks may run it concurrently (each with its own probes
+// counter).
+func (e *evaluator) fireRule(cr *cRule, deltaRel *Relation, deltaIdx int, probes *int64, emit func(Tuple, *Derivation)) {
 	if cr.never {
 		return
 	}
@@ -488,6 +619,7 @@ func (e *evaluator) fireRule(cr *cRule, deltaRel *Relation, deltaIdx int, emit f
 			pat[p.pos] = p.t.eval(env)
 		}
 		cons := cr.consAt[ai]
+		*probes++
 		for _, tup := range rel.lookup(pat[:a.arity], a.mask, e.opt.UseIndexes) {
 			// Probe-mask positions already match; apply the remaining
 			// positions. Binds are unconditional writes — every later read

@@ -29,11 +29,26 @@ package datalog
 // construction after any sequence of updates. Stages therefore order
 // derivations but no longer match a from-scratch evaluation; the
 // maintained IDB relations do, exactly.
+//
+// Context-aware maintenance: InsertContext and DeleteContext check the
+// context at every fixpoint round exactly like EvalContext. A cancelled
+// maintenance run leaves the materialized view part-way between two
+// fixpoints, so the Incremental marks itself broken — every later call
+// returns ErrViewBroken (wrapped) and the owner must rebuild the view
+// with NewIncremental. Cancellation is therefore for teardown paths
+// (process shutdown), not for routine timeouts on a view worth keeping.
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 )
+
+// ErrViewBroken reports that an Incremental's maintenance was aborted
+// mid-update (by context cancellation), leaving the materialized view
+// inconsistent. The view must be rebuilt with NewIncremental.
+var ErrViewBroken = errors.New("datalog: incremental view broken by an aborted update")
 
 // Incremental maintains the least fixpoint of a program across EDB
 // insertions and deletions. It owns a private copy of the database handed
@@ -48,6 +63,9 @@ type Incremental struct {
 	edbSet map[string]bool
 	// updates counts applied Insert/Delete batches (for stats).
 	updates int
+	// broken records the error of an aborted maintenance run; once set,
+	// the view is stale and every method fails.
+	broken error
 }
 
 // NewIncremental evaluates the program to its fixpoint on a private copy
@@ -55,6 +73,13 @@ type Incremental struct {
 // are forced on: the delta loop is what updates re-enter, and DRed needs
 // the per-tuple witness derivations.
 func NewIncremental(p *Program, db *Database, opt Options) (*Incremental, error) {
+	return NewIncrementalContext(context.Background(), p, db, opt)
+}
+
+// NewIncrementalContext is NewIncremental under a context; the initial
+// evaluation aborts with ctx.Err() within one round of the context
+// ending (nothing to poison — no view is returned on error).
+func NewIncrementalContext(ctx context.Context, p *Program, db *Database, opt Options) (*Incremental, error) {
 	opt.SemiNaive = true
 	opt.TrackProvenance = true
 	owned := db.Clone()
@@ -70,11 +95,14 @@ func NewIncremental(p *Program, db *Database, opt Options) (*Incremental, error)
 		}
 		owned.EnsureRelation(name, arity[name])
 	}
-	e, err := newEvaluator(p, owned, opt)
+	e, err := newEvaluator(ctx, p, owned, opt)
 	if err != nil {
 		return nil, err
 	}
-	e.runSemiNaive()
+	if err := e.run(); err != nil {
+		return nil, err
+	}
+	e.ctx = context.Background()
 	return &Incremental{p: p, db: owned, e: e, arity: arity, edbSet: edbSet}, nil
 }
 
@@ -87,9 +115,18 @@ func (inc *Incremental) DB() *Database { return inc.db }
 // Updates returns the number of applied Insert/Delete batches.
 func (inc *Incremental) Updates() int { return inc.updates }
 
+// Rounds returns the accumulated iteration-round count without building
+// a full Result snapshot (cheap enough for per-commit metrics).
+func (inc *Incremental) Rounds() int { return inc.e.rounds }
+
+// Err returns the error that broke the view (wrapping ErrViewBroken), or
+// nil while the view is consistent.
+func (inc *Incremental) Err() error { return inc.broken }
+
 // Result returns a live view of the maintained fixpoint: the IDB, stage
 // and provenance maps are shared with the evaluator, so the view reflects
-// every later update. Rounds and Derivations accumulate across updates.
+// every later update. Rounds and Derivations accumulate across updates,
+// as do the Stats counters.
 func (inc *Incremental) Result() *Result { return inc.e.result() }
 
 // Check validates an update batch before any mutation: facts naming
@@ -116,12 +153,44 @@ func (inc *Incremental) Check(facts ...Fact) error {
 	return nil
 }
 
-// Insert adds EDB facts and maintains the fixpoint by re-entering the
-// semi-naive loop seeded from the genuinely-new tuples. The whole batch
-// is validated before anything mutates, so on error the view is
-// unchanged. Facts for predicates outside the program are ignored.
+// begin gates a maintenance run: it rejects calls on a broken view and
+// installs the run's context on the evaluator.
+func (inc *Incremental) begin(ctx context.Context) error {
+	if inc.broken != nil {
+		return fmt.Errorf("%w: %w", ErrViewBroken, inc.broken)
+	}
+	inc.e.ctx = ctx
+	return nil
+}
+
+// finish restores the evaluator's context and poisons the view when the
+// maintenance run aborted after mutating state.
+func (inc *Incremental) finish(err error) error {
+	inc.e.ctx = context.Background()
+	if err != nil {
+		inc.broken = err
+	}
+	return err
+}
+
+// Insert adds EDB facts and maintains the fixpoint with a background
+// context; see InsertContext.
 func (inc *Incremental) Insert(facts ...Fact) error {
+	return inc.InsertContext(context.Background(), facts...)
+}
+
+// InsertContext adds EDB facts and maintains the fixpoint by re-entering
+// the semi-naive loop seeded from the genuinely-new tuples. The whole
+// batch is validated before anything mutates, so on a validation error
+// the view is unchanged; a context abort mid-maintenance breaks the view
+// (see ErrViewBroken). Facts for predicates outside the program are
+// ignored.
+func (inc *Incremental) InsertContext(ctx context.Context, facts ...Fact) error {
+	if err := inc.begin(ctx); err != nil {
+		return err
+	}
 	if err := inc.Check(facts...); err != nil {
+		inc.e.ctx = context.Background()
 		return err
 	}
 	inc.updates++
@@ -145,7 +214,7 @@ func (inc *Incremental) Insert(facts ...Fact) error {
 		}
 	}
 	if deltas == nil {
-		return nil
+		return inc.finish(nil)
 	}
 	e := inc.e
 	// Seed round: one task per body-atom occurrence of an affected EDB
@@ -169,21 +238,29 @@ func (inc *Incremental) Insert(facts ...Fact) error {
 		}
 	}
 	if len(e.tasks) == 0 {
-		return nil
+		return inc.finish(nil)
 	}
-	e.rounds++
-	if e.commitDelta(e.collect(e.tasks), e.deltaPool[0]) {
-		e.loopSemiNaive(0)
-	}
-	return nil
+	return inc.finish(e.resumeFixpoint())
 }
 
-// Delete removes EDB facts and maintains the fixpoint by DRed: witnesses
-// invalidated by the removals are over-deleted in ascending stage order,
-// then the semi-naive loop resumes over the survivors to re-derive
-// anything still supported. The batch is validated before any mutation.
+// Delete removes EDB facts and maintains the fixpoint with a background
+// context; see DeleteContext.
 func (inc *Incremental) Delete(facts ...Fact) error {
+	return inc.DeleteContext(context.Background(), facts...)
+}
+
+// DeleteContext removes EDB facts and maintains the fixpoint by DRed:
+// witnesses invalidated by the removals are over-deleted in ascending
+// stage order, then the semi-naive loop resumes over the survivors to
+// re-derive anything still supported. The batch is validated before any
+// mutation; a context abort mid-maintenance breaks the view (see
+// ErrViewBroken).
+func (inc *Incremental) DeleteContext(ctx context.Context, facts ...Fact) error {
+	if err := inc.begin(ctx); err != nil {
+		return err
+	}
 	if err := inc.Check(facts...); err != nil {
+		inc.e.ctx = context.Background()
 		return err
 	}
 	inc.updates++
@@ -206,7 +283,7 @@ func (inc *Incremental) Delete(facts ...Fact) error {
 		}
 	}
 	if removed == nil {
-		return nil
+		return inc.finish(nil)
 	}
 	e := inc.e
 
@@ -253,7 +330,7 @@ func (inc *Incremental) Delete(facts ...Fact) error {
 		}
 	}
 	if overTotal == 0 {
-		return nil
+		return inc.finish(nil)
 	}
 	for id, m := range over {
 		rel := e.idbByID[id]
@@ -276,11 +353,7 @@ func (inc *Incremental) Delete(facts ...Fact) error {
 		}
 	}
 	if len(e.tasks) == 0 {
-		return nil
+		return inc.finish(nil)
 	}
-	e.rounds++
-	if e.commitDelta(e.collect(e.tasks), e.deltaPool[0]) {
-		e.loopSemiNaive(0)
-	}
-	return nil
+	return inc.finish(e.resumeFixpoint())
 }

@@ -1,0 +1,79 @@
+package datalog
+
+import (
+	"fmt"
+	"runtime"
+)
+
+// Options configures evaluation. Zero value is naive evaluation without
+// indexes; start from DefaultOptions and derive variants with the With*
+// builders, which is the supported way to configure commands and services
+// without mutating shared state.
+type Options struct {
+	// SemiNaive selects delta-driven evaluation; false means naive
+	// round-based iteration. Both compute the same least fixpoint and the
+	// same per-tuple first stages.
+	SemiNaive bool
+	// UseIndexes enables hash join indexes on bound column sets. The
+	// evaluator pre-registers an index for every statically-known bound
+	// mask of every rule atom, and the indexes are maintained
+	// incrementally across rounds rather than rebuilt.
+	UseIndexes bool
+	// MaxRounds aborts evaluation after this many rounds when > 0 (a
+	// safety valve; the fixpoint is always reached within N^r rounds).
+	MaxRounds int
+	// TrackProvenance records each tuple's first derivation for
+	// Result.Prove.
+	TrackProvenance bool
+	// Parallelism bounds the worker pool that fires rules within a round:
+	// one task per rule (naive) or per (rule, delta-position) pair
+	// (semi-naive). 0 means runtime.GOMAXPROCS(0); 1 fires strictly
+	// sequentially on the calling goroutine. Workers emit into private
+	// buffers that are merged in deterministic task order before the
+	// commit, so IDB, Stage and Rounds are identical at every setting.
+	Parallelism int
+}
+
+// DefaultOptions is semi-naive with indexes. Treat it as read-only: derive
+// per-caller variants with the With* builders instead of mutating it
+// (mutation changes behavior for every DefaultOptions user in the
+// process, which is exactly the shared-state bug the builders avoid).
+var DefaultOptions = Options{SemiNaive: true, UseIndexes: true}
+
+// WithSemiNaive returns a copy with delta-driven evaluation on or off.
+func (o Options) WithSemiNaive(on bool) Options { o.SemiNaive = on; return o }
+
+// WithIndexes returns a copy with join indexes on or off.
+func (o Options) WithIndexes(on bool) Options { o.UseIndexes = on; return o }
+
+// WithMaxRounds returns a copy that aborts after n rounds (0 = no bound).
+func (o Options) WithMaxRounds(n int) Options { o.MaxRounds = n; return o }
+
+// WithProvenance returns a copy with first-derivation tracking on or off.
+func (o Options) WithProvenance(on bool) Options { o.TrackProvenance = on; return o }
+
+// WithParallelism returns a copy with the rule-firing worker bound set
+// (0 = GOMAXPROCS, 1 = strictly sequential).
+func (o Options) WithParallelism(n int) Options { o.Parallelism = n; return o }
+
+// Validate reports whether the options are well formed. It is the single
+// validation point: every evaluation entry (Eval, EvalContext,
+// NewIncremental) passes through it, so knob errors surface identically
+// everywhere.
+func (o Options) Validate() error {
+	if o.MaxRounds < 0 {
+		return fmt.Errorf("datalog: Options.MaxRounds must be >= 0, got %d", o.MaxRounds)
+	}
+	if o.Parallelism < 0 {
+		return fmt.Errorf("datalog: Options.Parallelism must be >= 0, got %d", o.Parallelism)
+	}
+	return nil
+}
+
+// workers resolves the effective worker-pool size.
+func (o Options) workers() int {
+	if o.Parallelism <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return o.Parallelism
+}

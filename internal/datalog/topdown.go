@@ -1,6 +1,7 @@
 package datalog
 
 import (
+	"context"
 	"fmt"
 	"sort"
 )
@@ -88,6 +89,11 @@ type TopDown struct {
 	active   map[goalKey]bool
 	// Calls counts subgoal invocations (for the ablation stats).
 	Calls int
+
+	// ctx is the active AskContext context; cancelled makes solve and the
+	// enumeration loops unwind without deriving further.
+	ctx       context.Context
+	cancelled bool
 }
 
 // NewTopDown validates the program and prepares the engine.
@@ -121,9 +127,21 @@ func NewTopDown(p *Program, db *Database) (*TopDown, error) {
 // Ask answers a goal: all derivable tuples of the goal's predicate
 // matching its bindings.
 func (td *TopDown) Ask(g Goal) []Tuple {
+	out, _ := td.AskContext(context.Background(), g)
+	return out
+}
+
+// AskContext is Ask under a context: the context is checked at every
+// subgoal invocation and between fixpoint passes, so a long-running
+// derivation aborts promptly with ctx.Err(). The memo tables keep the
+// answers derived so far (all sound — tabling only ever adds derivable
+// tuples), so the engine remains usable after a cancelled ask.
+func (td *TopDown) AskContext(ctx context.Context, g Goal) ([]Tuple, error) {
 	if len(g.Bound) != td.arity[g.Pred] {
 		panic(fmt.Sprintf("datalog: goal arity %d for %s (want %d)", len(g.Bound), g.Pred, td.arity[g.Pred]))
 	}
+	td.ctx, td.cancelled = ctx, false
+	defer func() { td.ctx, td.cancelled = nil, false }()
 	if !td.idbSet[g.Pred] {
 		var out []Tuple
 		rel := td.edb[g.Pred]
@@ -139,14 +157,20 @@ func (td *TopDown) Ask(g Goal) []Tuple {
 			})
 		}
 		sortTuples(out)
-		return out
+		return out, ctx.Err()
 	}
 	// Local fixpoint: iterate the goal's derivation until its table and
 	// the tables of everything it depends on stop growing.
 	key := g.key()
 	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		before := td.totalFacts()
 		td.solve(g)
+		if td.cancelled {
+			return nil, ctx.Err()
+		}
 		if td.totalFacts() == before {
 			break
 		}
@@ -158,7 +182,7 @@ func (td *TopDown) Ask(g Goal) []Tuple {
 		return true
 	})
 	sortTuples(out)
-	return out
+	return out, nil
 }
 
 func sortTuples(ts []Tuple) {
@@ -192,6 +216,13 @@ func (td *TopDown) solve(g Goal) *Relation {
 		td.tables[key] = table
 	}
 	if td.complete[key] || td.active[key] {
+		return table
+	}
+	// One context check per subgoal invocation; once it fires, the
+	// cancelled flag short-circuits every enumeration loop so the whole
+	// recursion unwinds without further derivation work.
+	if td.cancelled || (td.ctx != nil && td.ctx.Err() != nil) {
+		td.cancelled = true
 		return table
 	}
 	td.active[key] = true
@@ -301,6 +332,9 @@ func (td *TopDown) fireTopDown(r Rule, g Goal, emit func(Tuple)) {
 			return
 		}
 		candidates.each(func(tup Tuple) bool {
+			if td.cancelled {
+				return false
+			}
 			if !sub.matches(tup) {
 				return true
 			}

@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("requests_total", "requests served")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	// Re-registration returns the same instance.
+	if r.Counter("requests_total", "ignored") != c {
+		t.Fatal("re-registration must return the existing counter")
+	}
+	g := r.Gauge("in_flight", "live requests")
+	g.Set(7)
+	g.Add(-2)
+	if g.Value() != 5 {
+		t.Fatalf("gauge = %d, want 5", g.Value())
+	}
+	r.GaugeFunc("version", "store version", func() float64 { return 42 })
+
+	snap := r.Snapshot()
+	b, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`"requests_total":{"type":"counter","value":5}`,
+		`"in_flight":{"type":"gauge","value":5}`,
+		`"version":{"type":"gauge","value":42}`,
+	} {
+		if !strings.Contains(string(b), want) {
+			t.Fatalf("snapshot JSON missing %s:\n%s", want, b)
+		}
+	}
+}
+
+func TestKindCollisionPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering x as a gauge after a counter must panic")
+		}
+	}()
+	r.Gauge("x", "")
+}
+
+func TestHistogram(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("latency_seconds", "query latency", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 {
+		t.Fatalf("count = %d, want 4", h.Count())
+	}
+	var buf bytes.Buffer
+	r.WritePrometheus(&buf)
+	out := buf.String()
+	for _, want := range []string{
+		"# HELP latency_seconds query latency",
+		"# TYPE latency_seconds histogram",
+		`latency_seconds_bucket{le="0.01"} 1`,
+		`latency_seconds_bucket{le="0.1"} 2`,
+		`latency_seconds_bucket{le="1"} 3`,
+		`latency_seconds_bucket{le="+Inf"} 4`,
+		"latency_seconds_sum 5.555",
+		"latency_seconds_count 4",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+	// Boundary observation lands in the bucket whose upper bound it equals.
+	h2 := r.Histogram("edge_seconds", "", []float64{1, 2})
+	h2.Observe(1)
+	var b2 bytes.Buffer
+	r.WritePrometheus(&b2)
+	if !strings.Contains(b2.String(), `edge_seconds_bucket{le="1"} 1`) {
+		t.Fatalf("inclusive upper bound broken:\n%s", b2.String())
+	}
+}
+
+func TestPrometheusOutputSortedAndTyped(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_total", "")
+	r.Gauge("a_level", "")
+	var buf bytes.Buffer
+	r.WritePrometheus(&buf)
+	out := buf.String()
+	if strings.Index(out, "a_level") > strings.Index(out, "b_total") {
+		t.Fatalf("metrics not sorted:\n%s", out)
+	}
+	if !strings.Contains(out, "# TYPE a_level gauge") || !strings.Contains(out, "# TYPE b_total counter") {
+		t.Fatalf("type headers missing:\n%s", out)
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("n", "")
+	h := r.Histogram("h", "", nil)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				h.Observe(0.001)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 || h.Count() != 8000 {
+		t.Fatalf("counter %d histogram %d, want 8000 each", c.Value(), h.Count())
+	}
+}

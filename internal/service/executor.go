@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"runtime"
 	"sync/atomic"
 )
@@ -26,9 +27,15 @@ func newExecutor(workers int) *executor {
 	return &executor{sem: make(chan struct{}, workers)}
 }
 
-// do runs f on the caller's goroutine once a worker slot is free.
-func (x *executor) do(f func()) {
-	x.sem <- struct{}{}
+// do runs f on the caller's goroutine once a worker slot is free. A
+// context that ends while queued returns ctx.Err() without running f —
+// cancelled clients stop occupying the queue the moment they give up.
+func (x *executor) do(ctx context.Context, f func()) error {
+	select {
+	case x.sem <- struct{}{}:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 	n := x.inFlight.Add(1)
 	for {
 		p := x.peak.Load()
@@ -42,6 +49,7 @@ func (x *executor) do(f func()) {
 		<-x.sem
 	}()
 	f()
+	return nil
 }
 
 func (x *executor) workers() int { return cap(x.sem) }

@@ -1,28 +1,47 @@
 package service
 
 import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
+	"errors"
+	"log/slog"
 	"net/http"
+	"strings"
+	"time"
 )
 
-// Handler returns the HTTP front end:
+// Handler returns the HTTP front end. The versioned surface lives under
+// /v1 and is the one to build against:
 //
-//	POST /register  {"name": "tc", "program": "S(x,y) :- E(x,y). ..."}
-//	POST /commit    {"insert": [{"pred":"E","tuple":[0,1]}], "delete": [...]}
-//	POST /query     {"program": "tc", "pred": "S", "version": 3, "tuple": [0,1]}
-//	GET  /stats
+//	POST /v1/register    {"name": "tc", "program": "S(x,y) :- E(x,y). ..."}
+//	POST /v1/unregister  {"name": "tc"}
+//	POST /v1/commit      {"insert": [{"pred":"E","tuple":[0,1]}], "delete": [...]}
+//	POST /v1/query       {"program": "tc", "pred": "S", "version": 3, "tuple": [0,1]}
+//	GET  /v1/stats
+//	GET  /v1/metrics     (?format=prometheus or Accept: text/plain for exposition text)
+//
+// Errors under /v1 are the structured envelope {"code": ..., "message":
+// ...}. The original unversioned paths (/register, /commit, ...) remain
+// as thin aliases with the legacy {"error": ...} shape so existing
+// clients keep working; they serve the same handlers otherwise.
 //
 // Commits apply deletions then insertions atomically and advance the EDB
-// version; queries default to the latest version and the program's goal.
-// All errors are JSON {"error": ...} with a 4xx/5xx status — handlers
-// validate rather than panic, which FuzzHTTPQuery/FuzzHTTPCommit enforce.
+// version; queries default to the latest version and the program's goal,
+// run under the request's context, and abort within one fixpoint round
+// when the client disconnects. Handlers validate rather than panic,
+// which FuzzHTTPQuery/FuzzHTTPCommit enforce.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/register", s.handleRegister)
-	mux.HandleFunc("/unregister", s.handleUnregister)
-	mux.HandleFunc("/commit", s.handleCommit)
-	mux.HandleFunc("/query", s.handleQuery)
-	mux.HandleFunc("/stats", s.handleStats)
+	for _, prefix := range []string{"", "/v1"} {
+		mux.HandleFunc(prefix+"/register", s.handleRegister)
+		mux.HandleFunc(prefix+"/unregister", s.handleUnregister)
+		mux.HandleFunc(prefix+"/commit", s.handleCommit)
+		mux.HandleFunc(prefix+"/query", s.handleQuery)
+		mux.HandleFunc(prefix+"/stats", s.handleStats)
+		mux.HandleFunc(prefix+"/metrics", s.handleMetrics)
+	}
 	return mux
 }
 
@@ -34,30 +53,70 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v) // the status line is already out; nothing to recover
 }
 
-func writeError(w http.ResponseWriter, status int, err error) {
+// isV1 reports whether the request came in on the versioned surface and
+// should get the structured error envelope.
+func isV1(r *http.Request) bool {
+	return strings.HasPrefix(r.URL.Path, "/v1/")
+}
+
+// errorCode maps an HTTP status to the envelope's stable machine code.
+func errorCode(status int) string {
+	switch status {
+	case http.StatusBadRequest:
+		return "bad_request"
+	case http.StatusMethodNotAllowed:
+		return "method_not_allowed"
+	case http.StatusGatewayTimeout:
+		return "deadline_exceeded"
+	case http.StatusServiceUnavailable:
+		return "unavailable"
+	default:
+		return "internal"
+	}
+}
+
+// errorStatus picks the status for a failed request: context exhaustion
+// and shutdown are availability failures, everything else the handlers
+// produce is a caller error.
+func errorStatus(err error) int {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled), errors.Is(err, ErrClosed):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+func writeError(w http.ResponseWriter, r *http.Request, status int, err error) {
+	if isV1(r) {
+		writeJSON(w, status, ErrorEnvelope{Code: errorCode(status), Message: err.Error()})
+		return
+	}
 	writeJSON(w, status, ErrorResponse{Error: err.Error()})
 }
 
-func requirePost(w http.ResponseWriter, r *http.Request) bool {
-	if r.Method != http.MethodPost {
-		writeJSON(w, http.StatusMethodNotAllowed, ErrorResponse{Error: "use POST"})
+func requireMethod(w http.ResponseWriter, r *http.Request, method string) bool {
+	if r.Method != method {
+		writeError(w, r, http.StatusMethodNotAllowed, errors.New("use "+method))
 		return false
 	}
 	return true
 }
 
 func (s *Service) handleRegister(w http.ResponseWriter, r *http.Request) {
-	if !requirePost(w, r) {
+	if !requireMethod(w, r, http.MethodPost) {
 		return
 	}
 	var req RegisterRequest
 	if err := DecodeJSON(r.Body, &req); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, r, http.StatusBadRequest, err)
 		return
 	}
-	info, err := s.Register(req.Name, req.Program)
+	info, err := s.RegisterContext(r.Context(), req.Name, req.Program)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, r, errorStatus(err), err)
 		return
 	}
 	writeJSON(w, http.StatusOK, RegisterResponse{
@@ -66,41 +125,41 @@ func (s *Service) handleRegister(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Service) handleUnregister(w http.ResponseWriter, r *http.Request) {
-	if !requirePost(w, r) {
+	if !requireMethod(w, r, http.MethodPost) {
 		return
 	}
 	var req struct {
 		Name string `json:"name"`
 	}
 	if err := DecodeJSON(r.Body, &req); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]bool{"removed": s.Unregister(req.Name)})
 }
 
 func (s *Service) handleCommit(w http.ResponseWriter, r *http.Request) {
-	if !requirePost(w, r) {
+	if !requireMethod(w, r, http.MethodPost) {
 		return
 	}
 	var req CommitRequest
 	if err := DecodeJSON(r.Body, &req); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	insert, err := factsFromWire(req.Insert)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	del, err := factsFromWire(req.Delete)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	info, err := s.Commit(insert, del)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, r, errorStatus(err), err)
 		return
 	}
 	resp := CommitResponse{Version: info.Version, Inserted: info.Inserted, Deleted: info.Deleted}
@@ -114,23 +173,23 @@ func (s *Service) handleCommit(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Service) handleQuery(w http.ResponseWriter, r *http.Request) {
-	if !requirePost(w, r) {
+	if !requireMethod(w, r, http.MethodPost) {
 		return
 	}
 	var req QueryRequestJSON
 	if err := DecodeJSON(r.Body, &req); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	version := int64(-1)
 	if req.Version != nil {
 		version = *req.Version
 	}
-	res, err := s.Query(QueryRequest{
+	res, err := s.QueryContext(r.Context(), QueryRequest{
 		Program: req.Program, Source: req.Source, Pred: req.Pred, Version: version,
 	})
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, r, errorStatus(err), err)
 		return
 	}
 	resp := QueryResponse{Pred: res.Pred, Version: res.Version, Count: len(res.Tuples), Origin: res.Origin}
@@ -160,9 +219,71 @@ func (s *Service) handleQuery(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		writeJSON(w, http.StatusMethodNotAllowed, ErrorResponse{Error: "use GET"})
+	if !requireMethod(w, r, http.MethodGet) {
 		return
 	}
 	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+// handleMetrics serves the obs registry: JSON by default, Prometheus text
+// exposition when asked for via ?format=prometheus or an Accept header
+// preferring text/plain.
+func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	wantProm := r.URL.Query().Get("format") == "prometheus" ||
+		strings.HasPrefix(r.Header.Get("Accept"), "text/plain")
+	if wantProm {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		s.reg.WritePrometheus(w)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.reg.Snapshot())
+}
+
+// statusRecorder captures the status code a handler writes so the logging
+// middleware can report it.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sr *statusRecorder) WriteHeader(status int) {
+	sr.status = status
+	sr.ResponseWriter.WriteHeader(status)
+}
+
+// LogRequests wraps h with structured request logging: one slog line per
+// request carrying the request id (X-Request-Id, generated when absent
+// and echoed back either way), method, path, status, and duration.
+func LogRequests(logger *slog.Logger, h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get("X-Request-Id")
+		if id == "" {
+			id = newRequestID()
+		}
+		w.Header().Set("X-Request-Id", id)
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		h.ServeHTTP(rec, r)
+		logger.Info("request",
+			slog.String("id", id),
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.Int("status", rec.status),
+			slog.Duration("duration", time.Since(start)),
+		)
+	})
+}
+
+// newRequestID returns 8 random bytes as hex — unique enough to correlate
+// a log line with a client-side trace.
+func newRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "unknown"
+	}
+	return hex.EncodeToString(b[:])
 }

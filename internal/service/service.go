@@ -1,8 +1,10 @@
 package service
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -10,7 +12,12 @@ import (
 	"time"
 
 	"repro/internal/datalog"
+	"repro/internal/obs"
 )
+
+// ErrClosed reports an operation on a service whose Close has been
+// called; in-flight evaluations are aborted and new work is refused.
+var ErrClosed = errors.New("service: closed")
 
 // Config sizes the service.
 type Config struct {
@@ -26,18 +33,32 @@ type Config struct {
 	// Parallelism is passed to the evaluator (datalog.Options.Parallelism)
 	// for both incremental maintenance and from-scratch queries.
 	Parallelism int
+	// QueryTimeout bounds each query's queueing plus evaluation time when
+	// > 0; queries exceeding it fail with context.DeadlineExceeded.
+	QueryTimeout time.Duration
 }
 
 // Service is a concurrent Datalog(≠) service: a versioned EDB store plus
 // registered programs whose fixpoints are maintained incrementally on
 // every commit and served to many clients. Reads of materialized results
 // take a shared lock; commits take the exclusive lock; historical and
-// ad-hoc queries evaluate snapshot clones on a bounded worker pool.
+// ad-hoc queries evaluate snapshot clones on a bounded worker pool under
+// the caller's context — a cancelled request or a closed service aborts
+// the evaluation within one fixpoint round.
 type Service struct {
 	cfg   Config
+	opts  datalog.Options
 	store *Store
 	cache *resultCache
 	exec  *executor
+
+	// root ends when Close is called; every evaluation context is tied to
+	// it so shutdown aborts in-flight work.
+	root context.Context
+	stop context.CancelFunc
+
+	reg *obs.Registry
+	met serviceMetrics
 
 	mu    sync.RWMutex // guards progs and every registration's view
 	progs map[string]*registration
@@ -45,6 +66,23 @@ type Service struct {
 	commits     atomic.Int64
 	queries     atomic.Int64
 	scratchEval atomic.Int64
+}
+
+// serviceMetrics is the service's obs instrumentation; see initMetrics
+// for the meaning of each series.
+type serviceMetrics struct {
+	queries         *obs.Counter
+	queryErrors     *obs.Counter
+	commits         *obs.Counter
+	commitErrors    *obs.Counter
+	scratchEvals    *obs.Counter
+	evalRounds      *obs.Counter
+	cacheHits       *obs.Counter
+	cacheMisses     *obs.Counter
+	programsDropped *obs.Counter
+	querySeconds    *obs.Histogram
+	commitSeconds   *obs.Histogram
+	maintainSeconds *obs.Histogram
 }
 
 // registration is one registered program and its maintained view.
@@ -60,7 +98,8 @@ type registration struct {
 	maintainLast  time.Duration
 }
 
-// New returns an empty service over Config.Universe elements.
+// New returns an empty service over Config.Universe elements. Callers
+// that want shutdown to abort in-flight evaluations must call Close.
 func New(cfg Config) (*Service, error) {
 	if cfg.Universe <= 0 {
 		return nil, fmt.Errorf("service: universe size must be positive, got %d", cfg.Universe)
@@ -71,13 +110,82 @@ func New(cfg Config) (*Service, error) {
 	if cfg.CacheEntries == 0 {
 		cfg.CacheEntries = 256
 	}
-	return &Service{
+	root, stop := context.WithCancel(context.Background())
+	s := &Service{
 		cfg:   cfg,
+		opts:  datalog.DefaultOptions.WithParallelism(cfg.Parallelism),
 		store: NewStore(cfg.Universe, cfg.History),
 		cache: newResultCache(cfg.CacheEntries),
 		exec:  newExecutor(cfg.Workers),
+		root:  root,
+		stop:  stop,
 		progs: map[string]*registration{},
-	}, nil
+	}
+	s.initMetrics()
+	return s, nil
+}
+
+// initMetrics registers the service's series on a fresh obs registry.
+func (s *Service) initMetrics() {
+	r := obs.NewRegistry()
+	s.reg = r
+	s.met = serviceMetrics{
+		queries:         r.Counter("datalog_queries_total", "queries answered (any origin)"),
+		queryErrors:     r.Counter("datalog_query_errors_total", "queries that returned an error"),
+		commits:         r.Counter("datalog_commits_total", "EDB commits applied"),
+		commitErrors:    r.Counter("datalog_commit_errors_total", "commits rejected or aborted"),
+		scratchEvals:    r.Counter("datalog_scratch_evals_total", "from-scratch fixpoint evaluations"),
+		evalRounds:      r.Counter("datalog_eval_rounds_total", "fixpoint rounds executed by evaluations and maintenance"),
+		cacheHits:       r.Counter("datalog_cache_hits_total", "query-result cache hits"),
+		cacheMisses:     r.Counter("datalog_cache_misses_total", "query-result cache misses"),
+		programsDropped: r.Counter("datalog_programs_dropped_total", "registrations dropped after an aborted maintenance run"),
+		querySeconds:    r.Histogram("datalog_query_seconds", "end-to-end query latency", nil),
+		commitSeconds:   r.Histogram("datalog_commit_seconds", "commit latency including all maintenance", nil),
+		maintainSeconds: r.Histogram("datalog_maintain_seconds", "per-program incremental maintenance latency", nil),
+	}
+	r.GaugeFunc("datalog_store_version", "latest committed EDB version", func() float64 {
+		return float64(s.store.Version())
+	})
+	r.GaugeFunc("datalog_store_oldest_version", "oldest retained EDB version", func() float64 {
+		return float64(s.store.Oldest())
+	})
+	r.GaugeFunc("datalog_store_snapshots", "retained EDB snapshots", func() float64 {
+		return float64(len(s.store.Snapshots()))
+	})
+	r.GaugeFunc("datalog_programs_registered", "registered programs with maintained views", func() float64 {
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+		return float64(len(s.progs))
+	})
+	r.GaugeFunc("datalog_executor_in_flight", "from-scratch evaluations running now", func() float64 {
+		return float64(s.exec.inFlight.Load())
+	})
+	r.GaugeFunc("datalog_cache_entries", "live query-result cache entries", func() float64 {
+		_, _, _, entries := s.cache.counters()
+		return float64(entries)
+	})
+}
+
+// Metrics returns the service's metrics registry (served at /v1/metrics).
+func (s *Service) Metrics() *obs.Registry { return s.reg }
+
+// Close aborts in-flight evaluations and makes every later operation
+// fail with ErrClosed. It is idempotent.
+func (s *Service) Close() { s.stop() }
+
+// scoped derives the evaluation context for one request: it ends when
+// the caller's context ends, when the service closes, or — if timeout is
+// positive — when the timeout elapses. Queries pass cfg.QueryTimeout;
+// registration passes 0 (its initial evaluation is setup, not a query).
+func (s *Service) scoped(ctx context.Context, timeout time.Duration) (context.Context, context.CancelFunc) {
+	var cancel context.CancelFunc
+	if timeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+	} else {
+		ctx, cancel = context.WithCancel(ctx)
+	}
+	unhook := context.AfterFunc(s.root, cancel)
+	return ctx, func() { unhook(); cancel() }
 }
 
 // Store returns the underlying versioned EDB store.
@@ -91,11 +199,7 @@ func ProgramHash(p *datalog.Program) string {
 	return hex.EncodeToString(sum[:])
 }
 
-func (s *Service) evalOptions() datalog.Options {
-	opt := datalog.DefaultOptions
-	opt.Parallelism = s.cfg.Parallelism
-	return opt
-}
+func (s *Service) evalOptions() datalog.Options { return s.opts }
 
 // RegisterInfo describes a registration.
 type RegisterInfo struct {
@@ -105,10 +209,19 @@ type RegisterInfo struct {
 	IDBSizes map[string]int
 }
 
-// Register parses the program source, evaluates it against the current
-// snapshot, and keeps its fixpoint maintained under the given name.
-// Re-registering a name replaces the previous program.
+// Register is RegisterContext with a background context.
 func (s *Service) Register(name, source string) (RegisterInfo, error) {
+	return s.RegisterContext(context.Background(), name, source)
+}
+
+// RegisterContext parses the program source, evaluates it against the
+// current snapshot under ctx, and keeps its fixpoint maintained under the
+// given name. Re-registering a name replaces the previous program. A
+// context abort during the initial evaluation registers nothing.
+func (s *Service) RegisterContext(ctx context.Context, name, source string) (RegisterInfo, error) {
+	if err := s.root.Err(); err != nil {
+		return RegisterInfo{}, ErrClosed
+	}
 	if name == "" {
 		return RegisterInfo{}, fmt.Errorf("service: registration needs a name")
 	}
@@ -116,14 +229,17 @@ func (s *Service) Register(name, source string) (RegisterInfo, error) {
 	if err != nil {
 		return RegisterInfo{}, err
 	}
+	ctx, done := s.scoped(ctx, 0)
+	defer done()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	snap := s.store.Latest()
 	start := time.Now()
-	inc, err := datalog.NewIncremental(prog, snap.DB, s.evalOptions())
+	inc, err := datalog.NewIncrementalContext(ctx, prog, snap.DB, s.evalOptions())
 	if err != nil {
 		return RegisterInfo{}, err
 	}
+	s.met.evalRounds.Add(int64(inc.Rounds()))
 	reg := &registration{
 		name:         name,
 		hash:         ProgramHash(prog),
@@ -171,10 +287,26 @@ type CommitInfo struct {
 // publishes the next version, and incrementally maintains every
 // registered program's fixpoint. The batch is validated against the store
 // and against every registered program before anything mutates; on error
-// no version is created and no view changes.
+// no version is created and no view changes. Maintenance runs under the
+// service's lifetime context only (never a request context): a commit
+// must finish its maintenance or the affected view is unusable, so only
+// Close aborts it — and a registration whose maintenance was aborted is
+// dropped, counted by datalog_programs_dropped_total.
 func (s *Service) Commit(insert, del []datalog.Fact) (CommitInfo, error) {
+	info, err := s.commit(insert, del)
+	if err != nil {
+		s.met.commitErrors.Inc()
+	}
+	return info, err
+}
+
+func (s *Service) commit(insert, del []datalog.Fact) (CommitInfo, error) {
+	start := time.Now()
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err := s.root.Err(); err != nil {
+		return CommitInfo{}, ErrClosed
+	}
 	for _, reg := range s.progs {
 		if err := reg.inc.Check(insert...); err != nil {
 			return CommitInfo{}, fmt.Errorf("program %s: %w", reg.name, err)
@@ -190,21 +322,38 @@ func (s *Service) Commit(insert, del []datalog.Fact) (CommitInfo, error) {
 	info := CommitInfo{Version: snap.Version, Inserted: snap.Inserted, Deleted: snap.Deleted,
 		Maintained: map[string]time.Duration{}}
 	for _, reg := range s.progs {
-		start := time.Now()
-		if err := reg.inc.Delete(del...); err != nil {
-			return info, fmt.Errorf("program %s: %w", reg.name, err)
+		mstart := time.Now()
+		roundsBefore := reg.inc.Rounds()
+		if err := reg.inc.DeleteContext(s.root, del...); err != nil {
+			return info, s.maintenanceFailed(reg, err)
 		}
-		if err := reg.inc.Insert(insert...); err != nil {
-			return info, fmt.Errorf("program %s: %w", reg.name, err)
+		if err := reg.inc.InsertContext(s.root, insert...); err != nil {
+			return info, s.maintenanceFailed(reg, err)
 		}
 		reg.version = snap.Version
-		reg.maintainLast = time.Since(start)
+		reg.maintainLast = time.Since(mstart)
 		reg.maintainTotal += reg.maintainLast
 		info.Maintained[reg.name] = reg.maintainLast
+		s.met.evalRounds.Add(int64(reg.inc.Rounds() - roundsBefore))
+		s.met.maintainSeconds.Observe(reg.maintainLast.Seconds())
 	}
 	s.cache.invalidateBelow(s.store.Oldest())
 	s.commits.Add(1)
+	s.met.commits.Inc()
+	s.met.commitSeconds.Observe(time.Since(start).Seconds())
 	return info, nil
+}
+
+// maintenanceFailed handles a registration whose maintenance errored
+// mid-commit. A broken view (aborted fixpoint) cannot serve another read
+// or update, so the registration is dropped rather than left poisoned.
+func (s *Service) maintenanceFailed(reg *registration, err error) error {
+	if reg.inc.Err() != nil {
+		delete(s.progs, reg.name)
+		s.met.programsDropped.Inc()
+		return fmt.Errorf("program %s: maintenance aborted, registration dropped: %w", reg.name, err)
+	}
+	return fmt.Errorf("program %s: %w", reg.name, err)
 }
 
 // QueryRequest asks for one IDB relation of a program at a version.
@@ -230,13 +379,35 @@ type QueryResult struct {
 	Origin string
 }
 
-// Query returns the tuples of one IDB predicate at an EDB version.
+// Query is QueryContext with a background context.
+func (s *Service) Query(req QueryRequest) (QueryResult, error) {
+	return s.QueryContext(context.Background(), req)
+}
+
+// QueryContext returns the tuples of one IDB predicate at an EDB version.
 // Current-version queries of registered programs read the materialized
 // fixpoint; anything else — historical versions, ad-hoc programs — is
-// evaluated from the pinned snapshot on the bounded executor. Results are
-// cached by (program hash, predicate, version).
-func (s *Service) Query(req QueryRequest) (QueryResult, error) {
+// evaluated from the pinned snapshot on the bounded executor under ctx
+// (plus the per-query timeout and the service lifetime): a cancelled
+// client stops queueing immediately and aborts a running evaluation
+// within one fixpoint round. Results are cached by (program hash,
+// predicate, version).
+func (s *Service) QueryContext(ctx context.Context, req QueryRequest) (QueryResult, error) {
 	s.queries.Add(1)
+	s.met.queries.Inc()
+	start := time.Now()
+	res, err := s.queryContext(ctx, req)
+	s.met.querySeconds.Observe(time.Since(start).Seconds())
+	if err != nil {
+		s.met.queryErrors.Inc()
+	}
+	return res, err
+}
+
+func (s *Service) queryContext(ctx context.Context, req QueryRequest) (QueryResult, error) {
+	if err := s.root.Err(); err != nil {
+		return QueryResult{}, ErrClosed
+	}
 	var prog *datalog.Program
 	var hash string
 	var reg *registration
@@ -276,8 +447,10 @@ func (s *Service) Query(req QueryRequest) (QueryResult, error) {
 	}
 	key := cacheKey{hash: hash, pred: pred, version: version}
 	if tuples, ok := s.cache.get(key); ok {
+		s.met.cacheHits.Inc()
 		return QueryResult{Pred: pred, Version: version, Tuples: tuples, Origin: "cache"}, nil
 	}
+	s.met.cacheMisses.Inc()
 
 	// Materialized fast path: a registered program at the version its
 	// view reflects is a shared-lock map read, no evaluation.
@@ -300,17 +473,26 @@ func (s *Service) Query(req QueryRequest) (QueryResult, error) {
 		return QueryResult{}, fmt.Errorf("service: version %d is not retained (oldest is %d, latest %d)",
 			version, s.store.Oldest(), s.store.Version())
 	}
+	ctx, done := s.scoped(ctx, s.cfg.QueryTimeout)
+	defer done()
 	var tuples []datalog.Tuple
 	var evalErr error
-	s.exec.do(func() {
+	err := s.exec.do(ctx, func() {
 		s.scratchEval.Add(1)
-		res, err := datalog.Eval(prog, snap.DB.Clone(), s.evalOptions())
+		s.met.scratchEvals.Inc()
+		res, err := datalog.EvalContext(ctx, prog, snap.DB.Clone(), s.evalOptions())
+		if res != nil {
+			s.met.evalRounds.Add(int64(res.Rounds))
+		}
 		if err != nil {
 			evalErr = err
 			return
 		}
 		tuples = res.IDB[pred].Tuples()
 	})
+	if err != nil {
+		return QueryResult{}, err
+	}
 	if evalErr != nil {
 		return QueryResult{}, evalErr
 	}
@@ -320,16 +502,17 @@ func (s *Service) Query(req QueryRequest) (QueryResult, error) {
 
 // ProgramStats describes one registered program in Stats.
 type ProgramStats struct {
-	Name            string         `json:"name"`
-	Hash            string         `json:"hash"`
-	Version         int64          `json:"version"`
-	Goal            string         `json:"goal"`
-	Updates         int            `json:"updates"`
-	Rounds          int            `json:"rounds"`
-	Derivations     int            `json:"derivations"`
-	IDBSizes        map[string]int `json:"idb_sizes"`
-	MaintainTotalNs int64          `json:"maintain_total_ns"`
-	MaintainLastNs  int64          `json:"maintain_last_ns"`
+	Name            string              `json:"name"`
+	Hash            string              `json:"hash"`
+	Version         int64               `json:"version"`
+	Goal            string              `json:"goal"`
+	Updates         int                 `json:"updates"`
+	Rounds          int                 `json:"rounds"`
+	Derivations     int                 `json:"derivations"`
+	IDBSizes        map[string]int      `json:"idb_sizes"`
+	MaintainTotalNs int64               `json:"maintain_total_ns"`
+	MaintainLastNs  int64               `json:"maintain_last_ns"`
+	Rules           []datalog.RuleStats `json:"rules"`
 }
 
 // SnapshotStats describes one retained EDB version in Stats.
@@ -340,7 +523,7 @@ type SnapshotStats struct {
 	Deleted  int   `json:"deleted"`
 }
 
-// Stats is the service-wide observability snapshot served at /stats.
+// Stats is the service-wide observability snapshot served at /v1/stats.
 type Stats struct {
 	Universe  int             `json:"universe"`
 	Version   int64           `json:"version"`
@@ -393,6 +576,7 @@ func (s *Service) Stats() Stats {
 			Rounds: res.Rounds, Derivations: res.Derivations, IDBSizes: sizes,
 			MaintainTotalNs: reg.maintainTotal.Nanoseconds(),
 			MaintainLastNs:  reg.maintainLast.Nanoseconds(),
+			Rules:           res.Stats.Rules,
 		})
 	}
 	s.mu.RUnlock()

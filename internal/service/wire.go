@@ -75,9 +75,17 @@ type QueryResponse struct {
 	Origin  string  `json:"origin"`
 }
 
-// ErrorResponse carries a request failure.
+// ErrorResponse carries a request failure on the legacy unversioned
+// paths.
 type ErrorResponse struct {
 	Error string `json:"error"`
+}
+
+// ErrorEnvelope carries a request failure on the /v1 surface: a stable
+// machine-readable code plus a human-readable message.
+type ErrorEnvelope struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
 }
 
 // DecodeJSON strictly decodes one JSON value from r into v: unknown
