@@ -5,7 +5,12 @@ GO ?= go
 # incremental maintenance vs. from-scratch re-evaluation).
 BENCH_PATTERN := BenchmarkE1_TransitiveClosureSemiNaive|BenchmarkE5_DisjointPathsProgram|BenchmarkE14_IndexAblation|BenchmarkE24_IncrementalMaintenance|BenchmarkE24_FullReeval
 
-.PHONY: build test verify bench bench-json clean
+# Benchmarks that gate pebble-game solver performance work (E25: packed
+# worklist solver vs the retained reference algorithm, parallelism sweep,
+# and the homomorphism-variant guard).
+BENCH_PEBBLE_PATTERN := BenchmarkE25_
+
+.PHONY: build test verify bench bench-json bench-pebble bench-pebble-json clean
 
 build:
 	$(GO) build ./...
@@ -36,5 +41,13 @@ bench:
 bench-json:
 	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem -count 5 . | tee BENCH_eval.txt | $(GO) run ./cmd/benchjson > BENCH_eval.json
 
+# bench-pebble / bench-pebble-json are the same harness pointed at the
+# E25 game-solver benchmarks, producing BENCH_pebble.{txt,json}.
+bench-pebble:
+	$(GO) test -run '^$$' -bench '$(BENCH_PEBBLE_PATTERN)' -benchmem -count 5 . | tee BENCH_pebble.txt
+
+bench-pebble-json:
+	$(GO) test -run '^$$' -bench '$(BENCH_PEBBLE_PATTERN)' -benchmem -count 5 . | tee BENCH_pebble.txt | $(GO) run ./cmd/benchjson > BENCH_pebble.json
+
 clean:
-	rm -f BENCH_eval.txt BENCH_eval.json
+	rm -f BENCH_eval.txt BENCH_eval.json BENCH_pebble.txt BENCH_pebble.json

@@ -593,6 +593,106 @@ func BenchmarkE22_SinglePlayerVsTwoPlayer(b *testing.B) {
 	})
 }
 
+// --- E25: packed worklist game solver ---
+
+// E25 measures the rebuilt pebble-game solver (packed position keys,
+// reverse-dependency worklist pruning, bounded-worker parallelism) against
+// the retained seed algorithm (pebble.ReferenceSolve: string keys,
+// round-based full rescans) on the k=3 instances of E3/E4.
+
+func e25Instances() []struct {
+	name     string
+	a, b     *structure.Structure
+	oneToOne bool
+} {
+	ga, _, _, _, _ := graph.TwoDisjointPathsGraph(4, 4)
+	gb, _, _, _, _ := graph.CrossingPathsGraph(2)
+	return []struct {
+		name     string
+		a, b     *structure.Structure
+		oneToOne bool
+	}{
+		{"paths-10-12", structure.FromGraph(graph.DirectedPath(10), nil, nil),
+			structure.FromGraph(graph.DirectedPath(12), nil, nil), true},
+		{"disjoint-vs-crossing", structure.FromGraph(ga, nil, nil),
+			structure.FromGraph(gb, nil, nil), true},
+		{"hom-paths-10-12", structure.FromGraph(graph.DirectedPath(10), nil, nil),
+			structure.FromGraph(graph.DirectedPath(12), nil, nil), false},
+	}
+}
+
+func BenchmarkE25_SolveK3(b *testing.B) {
+	for _, tc := range e25Instances() {
+		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				g := &pebble.Game{A: tc.a, B: tc.b, K: 3, OneToOne: tc.oneToOne}
+				if _, err := g.Solve(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkE25_SolverAblation(b *testing.B) {
+	// Packed worklist solver (sequential, to isolate the algorithmic win)
+	// vs the retained seed algorithm on the same instance.
+	a := structure.FromGraph(graph.DirectedPath(10), nil, nil)
+	bb := structure.FromGraph(graph.DirectedPath(12), nil, nil)
+	b.Run("packed-seq", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			g := &pebble.Game{A: a, B: bb, K: 3, OneToOne: true, Parallelism: 1}
+			if _, err := g.Solve(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("reference", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := pebble.ReferenceSolve(a, bb, 3, true, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkE25_ParallelismSweep(b *testing.B) {
+	a := structure.FromGraph(graph.DirectedPath(12), nil, nil)
+	bb := structure.FromGraph(graph.DirectedPath(14), nil, nil)
+	for _, par := range []int{1, 2, 4, 0} {
+		name := fmt.Sprintf("par-%d", par)
+		if par == 0 {
+			name = "par-auto"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				g := &pebble.Game{A: a, B: bb, K: 3, OneToOne: true, Parallelism: par}
+				if _, err := g.Solve(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkE25_HomGameGuard(b *testing.B) {
+	// Guard for the short-circuit fix: the homomorphism-variant forth check
+	// must consult OneToOne before paying for injectivity scans. A cycle
+	// target keeps every extension legal, maximizing forth probes.
+	a := structure.FromGraph(graph.DirectedPath(8), nil, nil)
+	bb := structure.FromGraph(graph.DirectedCycle(6), nil, nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g := pebble.NewHomGame(a, bb, 3)
+		if _, err := g.Solve(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // --- flow substrate ---
 
 func BenchmarkFlow_MaxDisjointPaths(b *testing.B) {

@@ -2,6 +2,7 @@
 // stamped JSON document on stdout:
 //
 //	go test -bench 'E1|E5|E14' -benchmem . | benchjson > BENCH_eval.json
+//	go test -bench 'E25' -benchmem . | benchjson > BENCH_pebble.json
 //
 // The document carries the commit hash (from `git rev-parse HEAD`, or
 // "unknown" outside a checkout), the UTC generation time, and the Go

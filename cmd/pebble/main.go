@@ -11,7 +11,7 @@
 //
 // Usage:
 //
-//	pebble -k 2 -a a.graph -b b.graph [-hom] [-family]
+//	pebble -k 2 -a a.graph -b b.graph [-hom] [-family] [-parallel N] [-stats]
 //
 // With no files it plays Example 4.4 (paths of lengths 3 and 5).
 package main
@@ -35,6 +35,8 @@ func main() {
 	family := flag.Bool("family", false, "print the surviving winning family")
 	wink := flag.Bool("wink", false, "cross-check with the Win_k move-recursion solver")
 	trace := flag.Bool("trace", false, "when Player I wins, print a winning move transcript")
+	parallel := flag.Int("parallel", 0, "solver worker bound (0 = GOMAXPROCS, 1 = sequential)")
+	stats := flag.Bool("stats", false, "print per-phase solver counters and timings")
 	flag.Parse()
 
 	var a, b *structure.Structure
@@ -47,10 +49,17 @@ func main() {
 		b = loadStructure(*bPath)
 	}
 
-	g := pebble.Game{A: a, B: b, K: *k, OneToOne: !*hom}
+	g := pebble.Game{A: a, B: b, K: *k, OneToOne: !*hom, Parallelism: *parallel}
 	w, err := g.Solve()
 	fatalIf(err)
 	fmt.Printf("existential %d-pebble game: %s wins\n", *k, w)
+	if *stats {
+		if st, ok := g.Stats(); ok {
+			fmt.Println("solver:", st.String())
+		} else {
+			fmt.Println("solver: decided on the constant map alone, nothing enumerated")
+		}
+	}
 	if w == pebble.PlayerII {
 		fmt.Printf("hence A ⪯%d B: every L^%d sentence true in A holds in B (Theorem 4.8)\n", *k, *k)
 	}

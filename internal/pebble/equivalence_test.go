@@ -1,0 +1,148 @@
+package pebble
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/structure"
+)
+
+// The packed worklist solver must be indistinguishable from the retained
+// seed algorithm: same winner, same surviving family, and the same removal
+// round for every pruned position (the spoiler transcripts are derived
+// from those rounds, so agreement here means byte-identical play).
+
+// randomInstance draws a small random game: graph structures of 2-4
+// elements with up to two shared constants, k in 1..3, either variant.
+func randomInstance(rng *rand.Rand) (a, b *structure.Structure, k int, oneToOne bool) {
+	an := 2 + rng.Intn(3)
+	bn := 2 + rng.Intn(3)
+	ga := graph.Random(an, 0.2+0.5*rng.Float64(), rng)
+	gb := graph.Random(bn, 0.2+0.5*rng.Float64(), rng)
+	var names []string
+	var da, db []int
+	for i := 0; i < rng.Intn(3); i++ {
+		names = append(names, fmt.Sprintf("c%d", i))
+		da = append(da, rng.Intn(an))
+		db = append(db, rng.Intn(bn))
+	}
+	a = structure.FromGraph(ga, names, da)
+	b = structure.FromGraph(gb, names, db)
+	return a, b, 1 + rng.Intn(3), rng.Intn(2) == 0
+}
+
+// checkAgainstReference solves one instance both ways and cross-checks
+// every observable of the solver.
+func checkAgainstReference(t *testing.T, trial int, a, b *structure.Structure, k int, oneToOne bool, parallelism int) {
+	t.Helper()
+	ref, err := ReferenceSolve(a, b, k, oneToOne, 0)
+	if err != nil {
+		t.Fatalf("trial %d: reference: %v", trial, err)
+	}
+	g := &Game{A: a, B: b, K: k, OneToOne: oneToOne, Parallelism: parallelism}
+	w, err := g.Solve()
+	if err != nil {
+		t.Fatalf("trial %d: packed: %v", trial, err)
+	}
+	if w != ref.Winner {
+		t.Fatalf("trial %d (k=%d 1-1=%v par=%d): packed says %v, reference says %v",
+			trial, k, oneToOne, parallelism, w, ref.Winner)
+	}
+	fam := g.Family()
+	if len(fam) != len(ref.Family) {
+		t.Fatalf("trial %d: family size %d != reference %d", trial, len(fam), len(ref.Family))
+	}
+	for i := range fam {
+		if fam[i].Key() != ref.Family[i].Key() {
+			t.Fatalf("trial %d: family[%d] = %v != reference %v", trial, i, fam[i], ref.Family[i])
+		}
+	}
+	for _, rem := range ref.Removed {
+		round, removed := g.posRound(rem.M)
+		if !removed || round != rem.Round {
+			t.Fatalf("trial %d: position %v removed at round %d per packed (removed=%v), round %d per reference",
+				trial, rem.M, round, removed, rem.Round)
+		}
+	}
+	if st, ok := g.Stats(); ok && st.Removed != len(ref.Removed) {
+		t.Fatalf("trial %d: packed removed %d positions, reference removed %d",
+			trial, st.Removed, len(ref.Removed))
+	}
+}
+
+func TestEquivalenceRandomized(t *testing.T) {
+	trials := 1000
+	if testing.Short() {
+		trials = 150
+	}
+	rng := rand.New(rand.NewSource(425))
+	pars := []int{1, 2, 4}
+	for trial := 0; trial < trials; trial++ {
+		a, b, k, oneToOne := randomInstance(rng)
+		checkAgainstReference(t, trial, a, b, k, oneToOne, pars[trial%len(pars)])
+	}
+}
+
+// TestParallelDeterminism solves the same instances at several Parallelism
+// settings and demands identical enumeration order and removal rounds —
+// not just the same winner. Run under -race (make verify does) this also
+// exercises the parallel enumeration and pruning paths for data races.
+func TestParallelDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 20; trial++ {
+		a, b, k, oneToOne := randomInstance(rng)
+		var first *Game
+		for _, par := range []int{1, 2, 4, 8} {
+			g := &Game{A: a, B: b, K: k, OneToOne: oneToOne, Parallelism: par}
+			w, err := g.Solve()
+			if err != nil {
+				t.Fatalf("trial %d par %d: %v", trial, par, err)
+			}
+			if first == nil {
+				first = g
+				continue
+			}
+			if w != first.winner {
+				t.Fatalf("trial %d: winner %v at par %d, %v at par 1", trial, w, par, first.winner)
+			}
+			if g.fam == nil != (first.fam == nil) {
+				t.Fatalf("trial %d: family built at one setting only", trial)
+			}
+			if g.fam == nil {
+				continue
+			}
+			if len(g.fam.pos) != len(first.fam.pos) {
+				t.Fatalf("trial %d: %d positions at par %d, %d at par 1",
+					trial, len(g.fam.pos), par, len(first.fam.pos))
+			}
+			for i := range g.fam.pos {
+				if g.fam.pos[i].Key() != first.fam.pos[i].Key() {
+					t.Fatalf("trial %d: enumeration order diverges at id %d under par %d", trial, i, par)
+				}
+				if g.fam.removedAt[i] != first.fam.removedAt[i] {
+					t.Fatalf("trial %d: position %d removed at round %d under par %d, %d under par 1",
+						trial, i, g.fam.removedAt[i], par, first.fam.removedAt[i])
+				}
+			}
+		}
+	}
+}
+
+// TestEquivalenceLargerSpot spot-checks a handful of larger instances
+// (closer to the benchmark sizes) where parallel pruning actually engages.
+func TestEquivalenceLargerSpot(t *testing.T) {
+	if testing.Short() {
+		t.Skip("larger equivalence instances skipped in -short")
+	}
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 6; trial++ {
+		n := 5 + rng.Intn(2)
+		ga := graph.Random(n, 0.3, rng)
+		gb := graph.Random(n, 0.3, rng)
+		a := structure.FromGraph(ga, nil, nil)
+		b := structure.FromGraph(gb, nil, nil)
+		checkAgainstReference(t, trial, a, b, 3, trial%2 == 0, 4)
+	}
+}

@@ -1,0 +1,476 @@
+package pebble
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/structure"
+)
+
+// packedFamily is the solver's core state: the enumerated position family
+// in dense-id form, keyed by packed position keys, plus the
+// reverse-dependency graph that drives worklist pruning.
+//
+// Pruning computes the greatest family closed under the two conditions of
+// Definition 4.7 — subfunction closure and the forth property up to k —
+// but instead of rescanning every position each round, it tracks exactly
+// the dependencies those conditions induce between a position and its
+// one-pair extensions:
+//
+//   - subfunction closure: position e requires its immediate subfunction
+//     m = e \ {(a,b)} for every non-constant pair; when m dies, e dies.
+//   - forth property: position m (shorter than k plus the constants)
+//     requires, for every unpebbled a, at least one live extension
+//     m ∪ {(a,b)}; a per-(m,a) support counter is decremented when an
+//     extension dies, and m dies when a counter reaches zero.
+//
+// Both conditions ride the same edge set (e, m, a), stored once in CSR
+// form in each direction, so total pruning work is proportional to the
+// edges of the dependency graph rather than rounds × family size.
+// Deaths are processed in levels — all positions killed by level-r deaths
+// form level r+1 — which reproduces the synchronous fixpoint exactly:
+// the surviving family AND every removal round match the round-based
+// reference solver position for position.
+type packedFamily struct {
+	g     *Game
+	coder structure.PosCoder
+	index map[structure.PosKey]int32
+	pos   []structure.PartialMap
+
+	baseLen  int
+	forthLen int    // K + baseLen: positions shorter than this owe forth
+	isConst  []bool // A-elements pinned by the constant map (base domain)
+
+	// removedAt[i] is 0 while position i is alive, else the 1-based
+	// pruning round at which it was removed.
+	removedAt []int32
+
+	// Child edges in CSR form: for position e and each of its
+	// non-constant pairs (a, b), the id of the immediate subfunction
+	// e \ {(a,b)} and the domain element a. ceOff[e]..ceOff[e+1] spans
+	// ceParent/ceA.
+	ceOff    []int32
+	ceParent []int32
+	ceA      []int32
+
+	// Supers in CSR form (the reverse edges): suOff[m]..suOff[m+1] spans
+	// the ids of positions extending m by exactly one pair.
+	suOff []int32
+	su    []int32
+
+	// Forth-support counters: cnt[cntOff[m]+a] is the number of live
+	// a-extensions of m. cntOff[m] is -1 for maximal positions, which owe
+	// no forth property.
+	cntOff []int64
+	cnt    []int32
+
+	stats SolveStats
+}
+
+// newPackedFamily enumerates the family of candidate positions extending
+// base, builds the dependency graph, and prunes to the greatest fixpoint.
+func newPackedFamily(g *Game, base structure.PartialMap) *packedFamily {
+	maxPairs := base.Len() + g.K
+	if maxPairs > g.A.N {
+		maxPairs = g.A.N
+	}
+	f := &packedFamily{
+		g:        g,
+		coder:    structure.NewPosCoder(g.A.N, g.B.N, maxPairs),
+		baseLen:  base.Len(),
+		forthLen: g.K + base.Len(),
+	}
+	f.isConst = make([]bool, g.A.N)
+	for i := 0; i < base.Len(); i++ {
+		a, _ := base.At(i)
+		f.isConst[a] = true
+	}
+	f.stats.Packed = f.coder.Packed()
+	f.stats.Parallelism = g.workers()
+	// Pre-build the lazy per-element tuple indexes so the parallel
+	// enumeration workers only ever read them.
+	for _, rs := range g.A.Voc.Relations {
+		g.A.Rel(rs.Name).WarmIndexes()
+	}
+	f.enumerate(base)
+	f.buildIndex()
+	f.buildGraph()
+	f.prune()
+	f.stats.Survivors = f.stats.Positions - f.stats.Removed
+	return f
+}
+
+// workers resolves the effective worker bound for a game.
+func (g *Game) workers() int {
+	if g.Parallelism <= 0 {
+		return defaultWorkers()
+	}
+	return g.Parallelism
+}
+
+// enumerate generates every partial (1-1) homomorphism extending base with
+// up to K additional pairs. Pairs are added in increasing domain order, so
+// every position is produced exactly once and the result needs no
+// deduplication; the top-level extensions partition the space into
+// disjoint subtrees, which parallel workers enumerate into private buffers
+// merged in deterministic task order.
+func (f *packedFamily) enumerate(base structure.PartialMap) {
+	g := f.g
+	t0 := time.Now()
+	type topTask struct{ a, b int }
+	var tasks []topTask
+	var scratch structure.Tuple
+	for a := 0; a < g.A.N; a++ {
+		if _, ok := base.Lookup(a); ok {
+			continue
+		}
+		for b := 0; b < g.B.N; b++ {
+			ok, s := structure.ExtensionOKBuf(g.A, g.B, base, a, b, g.OneToOne, scratch)
+			scratch = s
+			if ok {
+				tasks = append(tasks, topTask{a, b})
+			}
+		}
+	}
+	bufs := make([][]structure.PartialMap, len(tasks))
+	run := func(ti int) {
+		t := tasks[ti]
+		var buf []structure.PartialMap
+		var scr structure.Tuple
+		var walk func(m structure.PartialMap, minA, extra int)
+		walk = func(m structure.PartialMap, minA, extra int) {
+			buf = append(buf, m)
+			if extra == g.K {
+				return
+			}
+			for a := minA; a < g.A.N; a++ {
+				if _, ok := m.Lookup(a); ok {
+					continue
+				}
+				for b := 0; b < g.B.N; b++ {
+					ok, s := structure.ExtensionOKBuf(g.A, g.B, m, a, b, g.OneToOne, scr)
+					scr = s
+					if ok {
+						walk(m.Extend(a, b), a+1, extra+1)
+					}
+				}
+			}
+		}
+		walk(base.Extend(t.a, t.b), t.a+1, 1)
+		bufs[ti] = buf
+	}
+	workers := g.workers()
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	if workers <= 1 {
+		for i := range tasks {
+			run(i)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(tasks) {
+						return
+					}
+					run(i)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	total := 1
+	for _, b := range bufs {
+		total += len(b)
+	}
+	f.pos = make([]structure.PartialMap, 0, total)
+	f.pos = append(f.pos, base)
+	for _, b := range bufs {
+		f.pos = append(f.pos, b...)
+	}
+	f.stats.Positions = len(f.pos)
+	f.stats.EnumNs = time.Since(t0).Nanoseconds()
+}
+
+// buildIndex keys every position for the strategy probes and the
+// dependency-graph construction. A duplicate key would mean the packed
+// encoding is not injective — a programming error worth crashing on.
+func (f *packedFamily) buildIndex() {
+	t0 := time.Now()
+	f.index = make(map[structure.PosKey]int32, len(f.pos))
+	for i, m := range f.pos {
+		k := f.coder.Key(m)
+		if _, dup := f.index[k]; dup {
+			panic("pebble: internal: duplicate position key")
+		}
+		f.index[k] = int32(i)
+	}
+	f.stats.IndexNs = time.Since(t0).Nanoseconds()
+}
+
+// buildGraph materializes the dependency edges and the forth-support
+// counters. Every immediate subfunction of an enumerated position is
+// itself enumerated (subsets of partial homomorphisms are partial
+// homomorphisms), so each parent lookup must hit.
+func (f *packedFamily) buildGraph() {
+	g := f.g
+	t0 := time.Now()
+	n := len(f.pos)
+	f.removedAt = make([]int32, n)
+	f.cntOff = make([]int64, n)
+	var cntLen int64
+	for i, m := range f.pos {
+		if m.Len() < f.forthLen {
+			f.cntOff[i] = cntLen
+			cntLen += int64(g.A.N)
+		} else {
+			f.cntOff[i] = -1
+		}
+	}
+	f.cnt = make([]int32, cntLen)
+	f.ceOff = make([]int32, n+1)
+	for i, m := range f.pos {
+		f.ceOff[i+1] = f.ceOff[i] + int32(m.Len()-f.baseLen)
+	}
+	ne := int(f.ceOff[n])
+	f.stats.Edges = ne
+	f.ceParent = make([]int32, ne)
+	f.ceA = make([]int32, ne)
+	f.parallelRanges(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			m := f.pos[i]
+			off := f.ceOff[i]
+			for pi := 0; pi < m.Len(); pi++ {
+				a, _ := m.At(pi)
+				if f.isConst[a] {
+					continue
+				}
+				pid, ok := f.index[f.coder.KeyWithout(m, pi)]
+				if !ok {
+					panic("pebble: internal: subfunction not enumerated")
+				}
+				f.ceParent[off] = pid
+				f.ceA[off] = int32(a)
+				off++
+				atomic.AddInt32(&f.cnt[f.cntOff[pid]+int64(a)], 1)
+			}
+		}
+	})
+	// Reverse CSR: supers of m in ascending child-id order.
+	f.suOff = make([]int32, n+1)
+	for _, p := range f.ceParent {
+		f.suOff[p+1]++
+	}
+	for i := 0; i < n; i++ {
+		f.suOff[i+1] += f.suOff[i]
+	}
+	f.su = make([]int32, ne)
+	cursor := make([]int32, n)
+	copy(cursor, f.suOff[:n])
+	for i := 0; i < n; i++ {
+		for e := f.ceOff[i]; e < f.ceOff[i+1]; e++ {
+			p := f.ceParent[e]
+			f.su[cursor[p]] = int32(i)
+			cursor[p]++
+		}
+	}
+	f.stats.GraphNs = time.Since(t0).Nanoseconds()
+}
+
+// prune runs the worklist to the greatest fixpoint. Level 1 is every
+// position whose forth property fails against the full family; level r+1
+// is every position first broken by a level-r death. Matching the
+// synchronous reference solver, removedAt records the level.
+func (f *packedFamily) prune() {
+	g := f.g
+	t0 := time.Now()
+	n := len(f.pos)
+	// Initial support scan: a position alive in the full family fails only
+	// through forth — all subfunctions are enumerated — so seed the
+	// worklist with positions having an unpebbled a with zero support.
+	var mu sync.Mutex
+	var dead []int32
+	f.parallelRanges(n, func(lo, hi int) {
+		var local []int32
+		for i := lo; i < hi; i++ {
+			off := f.cntOff[i]
+			if off < 0 {
+				continue
+			}
+			m := f.pos[i]
+			pi := 0
+			for a := 0; a < g.A.N; a++ {
+				if pi < m.Len() {
+					if da, _ := m.At(pi); da == a {
+						pi++
+						continue
+					}
+				}
+				if f.cnt[off+int64(a)] == 0 {
+					f.removedAt[i] = 1
+					local = append(local, int32(i))
+					break
+				}
+			}
+		}
+		if len(local) > 0 {
+			mu.Lock()
+			dead = append(dead, local...)
+			mu.Unlock()
+		}
+	})
+	sortIDs(dead)
+	f.stats.InitialFailures = len(dead)
+	round := int32(1)
+	for len(dead) > 0 {
+		f.stats.Removed += len(dead)
+		dead = f.processLevel(dead, round+1)
+		sortIDs(dead)
+		round++
+	}
+	f.stats.Rounds = int(round) - 1
+	f.stats.PruneNs = time.Since(t0).Nanoseconds()
+}
+
+// processLevel propagates one level of deaths and returns the next level.
+// The parallel path uses atomic decrements and a CAS on removedAt, so each
+// casualty is claimed by exactly one worker; the result set is identical
+// to the sequential path (sorted by the caller), only its discovery order
+// differs.
+func (f *packedFamily) processLevel(dead []int32, nextRound int32) []int32 {
+	workers := f.g.workers()
+	const parThreshold = 1024
+	if workers <= 1 || len(dead) < parThreshold {
+		var next []int32
+		for _, d := range dead {
+			next = f.propagate(d, nextRound, next, false)
+		}
+		return next
+	}
+	var mu sync.Mutex
+	var next []int32
+	chunk := (len(dead) + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < len(dead); lo += chunk {
+		hi := lo + chunk
+		if hi > len(dead) {
+			hi = len(dead)
+		}
+		wg.Add(1)
+		go func(part []int32) {
+			defer wg.Done()
+			var local []int32
+			for _, d := range part {
+				local = f.propagate(d, nextRound, local, true)
+			}
+			if len(local) > 0 {
+				mu.Lock()
+				next = append(next, local...)
+				mu.Unlock()
+			}
+		}(dead[lo:hi])
+	}
+	wg.Wait()
+	return next
+}
+
+// propagate applies the two death rules for one casualty d, appending
+// newly doomed positions to next.
+func (f *packedFamily) propagate(d, nextRound int32, next []int32, par bool) []int32 {
+	// Subfunction closure: every position extending d dies with it.
+	for j := f.suOff[d]; j < f.suOff[d+1]; j++ {
+		s := f.su[j]
+		if par {
+			if atomic.CompareAndSwapInt32(&f.removedAt[s], 0, nextRound) {
+				next = append(next, s)
+			}
+		} else if f.removedAt[s] == 0 {
+			f.removedAt[s] = nextRound
+			next = append(next, s)
+		}
+	}
+	// Forth support: each parent loses one a-extension witness.
+	for j := f.ceOff[d]; j < f.ceOff[d+1]; j++ {
+		p := f.ceParent[j]
+		off := f.cntOff[p]
+		idx := off + int64(f.ceA[j])
+		if par {
+			if atomic.AddInt32(&f.cnt[idx], -1) == 0 &&
+				atomic.CompareAndSwapInt32(&f.removedAt[p], 0, nextRound) {
+				next = append(next, p)
+			}
+		} else {
+			f.cnt[idx]--
+			if f.cnt[idx] == 0 && f.removedAt[p] == 0 {
+				f.removedAt[p] = nextRound
+				next = append(next, p)
+			}
+		}
+	}
+	return next
+}
+
+// parallelRanges splits [0, n) into one contiguous chunk per worker and
+// runs fn on each, blocking until all finish. With one worker (or a tiny
+// n) it degenerates to a single inline call.
+func (f *packedFamily) parallelRanges(n int, fn func(lo, hi int)) {
+	workers := f.g.workers()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		fn(0, n)
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// aliveID reports whether position id survives.
+func (f *packedFamily) aliveID(id int32) bool { return f.removedAt[id] == 0 }
+
+// sortIDs sorts a worklist level in place for deterministic processing.
+func sortIDs(ids []int32) {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+}
+
+// lessPos orders positions by their flattened (a,b) pair sequences,
+// shorter prefixes first — the order the seed solver's string keys
+// induced, kept so Family output stays byte-identical.
+func lessPos(x, y structure.PartialMap) bool {
+	n := x.Len()
+	if y.Len() < n {
+		n = y.Len()
+	}
+	for i := 0; i < n; i++ {
+		ax, bx := x.At(i)
+		ay, by := y.At(i)
+		if ax != ay {
+			return ax < ay
+		}
+		if bx != by {
+			return bx < by
+		}
+	}
+	return x.Len() < y.Len()
+}

@@ -8,15 +8,24 @@
 // switched off decides the homomorphism variant that characterizes
 // inequality-free Datalog (Remark 4.12(1)).
 //
-// The family is enumerated explicitly, so runtime and memory grow as
-// (|A|·|B|)^k: polynomial for fixed k (Proposition 5.3) but practical only
-// for small structures. Game.Check guards against oversized instances.
+// The family is still enumerated explicitly, so memory grows with the
+// number of candidate positions — at most ~(|A|·|B|)^min(k,|A|,|B|),
+// polynomial for fixed k (Proposition 5.3) — and Game.Check guards
+// against oversized instances. Within that budget the solver is packed
+// and worklist-driven: positions are encoded as single machine words
+// (structure.PosCoder), pruning touches only the dependency edges
+// between a position and its one-pair extensions instead of rescanning
+// the family every round, and enumeration and pruning fan out over a
+// bounded worker pool (Game.Parallelism) with deterministic merges, so
+// the winner, family, and removal rounds are identical at every setting.
 // For the large lower-bound structures of Theorem 6.6 the homeo package
 // instead validates the paper's explicit strategy by simulation.
 package pebble
 
 import (
+	"errors"
 	"fmt"
+	"runtime"
 	"sort"
 
 	"repro/internal/structure"
@@ -42,6 +51,11 @@ func (w Winner) String() string {
 
 // Game is an existential k-pebble game on a pair of structures over the
 // same vocabulary.
+//
+// A Game memoizes its first Solve. The configuration fields (K, OneToOne,
+// MaxPositions) are snapshotted at that point; mutating them afterwards
+// makes subsequent Solve calls fail with ErrMutatedAfterSolve rather than
+// silently serving a winner computed under different rules.
 type Game struct {
 	A, B *structure.Structure
 	K    int
@@ -54,13 +68,34 @@ type Game struct {
 	// MaxPositions caps the enumerated family size; 0 means the default.
 	MaxPositions int
 
-	solved    bool
-	winner    Winner
-	family    map[string]structure.PartialMap // surviving positions
-	removedAt map[string]int                  // pruning round of removed positions
-	base      structure.PartialMap
-	baseOK    bool
+	// Parallelism bounds the worker pool for enumeration and pruning;
+	// 0 means GOMAXPROCS, 1 runs strictly sequentially. The winner,
+	// family, and removal rounds are identical at every setting.
+	Parallelism int
+
+	solved bool
+	cfg    gameConfig
+	winner Winner
+	fam    *packedFamily
+	stats  SolveStats
+	base   structure.PartialMap
+	baseOK bool
 }
+
+// gameConfig is the snapshot of the result-determining knobs taken at the
+// first Solve. Parallelism is deliberately absent: it cannot change the
+// result, so re-reading a solved game at a different setting is harmless.
+type gameConfig struct {
+	k            int
+	oneToOne     bool
+	maxPositions int
+}
+
+// ErrMutatedAfterSolve reports that K, OneToOne, or MaxPositions changed
+// after the game was solved; results are memoized, so create a new Game
+// for the new configuration.
+var ErrMutatedAfterSolve = errors.New(
+	"pebble: game configuration (K/OneToOne/MaxPositions) changed after Solve; create a new Game")
 
 // DefaultMaxPositions bounds the solver's explicit position enumeration.
 const DefaultMaxPositions = 6_000_000
@@ -75,7 +110,17 @@ func NewHomGame(a, b *structure.Structure, k int) *Game {
 	return &Game{A: a, B: b, K: k, OneToOne: false}
 }
 
+// defaultWorkers is the resolved worker bound when Parallelism is 0.
+func defaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
 // Check verifies the instance is within the solver's practical bounds.
+// The estimate sums, over each number of placed pebble pairs j, the
+// number of ordered placements: the domain elements of a position are
+// distinct (and for one-to-one games the images too), so at most
+// min(K, |A|) pairs — min(K, |A|, |B|) for one-to-one games — are ever
+// placeable and the j-th pair has at most (|A|-j)·(|B|-j) choices. The
+// seed solver's (|A|·|B|)^K bound rejected feasible instances with large
+// k and small universes outright.
 func (g *Game) Check() error {
 	if g.K < 1 {
 		return fmt.Errorf("pebble: k must be >= 1")
@@ -84,25 +129,44 @@ func (g *Game) Check() error {
 	if limit == 0 {
 		limit = DefaultMaxPositions
 	}
-	count := 1.0
-	for i := 0; i < g.K; i++ {
-		count *= float64(g.A.N) * float64(g.B.N)
-		if count > float64(limit) {
-			return fmt.Errorf("pebble: instance too large: ~(%d*%d)^%d positions exceeds limit %d",
-				g.A.N, g.B.N, g.K, limit)
+	steps := g.K
+	if g.A.N < steps {
+		steps = g.A.N
+	}
+	if g.OneToOne && g.B.N < steps {
+		steps = g.B.N
+	}
+	total, prod := 0.0, 1.0
+	for i := 0; i < steps; i++ {
+		fa, fb := float64(g.A.N-i), float64(g.B.N)
+		if g.OneToOne {
+			fb = float64(g.B.N - i)
+		}
+		prod *= fa * fb
+		total += prod
+		if total > float64(limit) {
+			return fmt.Errorf(
+				"pebble: instance too large: ~%.3g positions within %d of %d pebble placements exceeds limit %d",
+				total, i+1, g.K, limit)
 		}
 	}
 	return nil
 }
 
-// Solve decides the game and returns the winner.
+// Solve decides the game and returns the winner. The first call computes
+// and memoizes the result; later calls return it, or fail with
+// ErrMutatedAfterSolve if the configuration was changed in between.
 func (g *Game) Solve() (Winner, error) {
 	if g.solved {
+		if g.cfg != (gameConfig{g.K, g.OneToOne, g.MaxPositions}) {
+			return PlayerI, ErrMutatedAfterSolve
+		}
 		return g.winner, nil
 	}
 	if err := g.Check(); err != nil {
 		return PlayerI, err
 	}
+	g.cfg = gameConfig{g.K, g.OneToOne, g.MaxPositions}
 	g.solved = true
 	// The initial position maps constants to constants; if it is not a
 	// well-defined partial (1-1) homomorphism Player I wins before any
@@ -122,9 +186,9 @@ func (g *Game) Solve() (Winner, error) {
 	}
 	g.base = base
 	g.baseOK = true
-	g.family = g.enumerate(base)
-	g.prune(base)
-	if _, ok := g.family[base.Key()]; ok {
+	g.fam = newPackedFamily(g, base)
+	g.stats = g.fam.stats
+	if g.fam.aliveID(0) { // the base position has id 0
 		g.winner = PlayerII
 	} else {
 		g.winner = PlayerI
@@ -141,112 +205,80 @@ func (g *Game) MustSolve() Winner {
 	return w
 }
 
-// enumerate generates every partial (1-1) homomorphism extending base with
-// up to K additional pairs.
-func (g *Game) enumerate(base structure.PartialMap) map[string]structure.PartialMap {
-	family := map[string]structure.PartialMap{base.Key(): base}
-	var rec func(m structure.PartialMap, minA int, extra int)
-	rec = func(m structure.PartialMap, minA int, extra int) {
-		if extra == g.K {
-			return
-		}
-		for a := minA; a < g.A.N; a++ {
-			if _, ok := m.Lookup(a); ok {
-				continue
-			}
-			for b := 0; b < g.B.N; b++ {
-				if !structure.ExtensionOK(g.A, g.B, m, a, b, g.OneToOne) {
-					continue
-				}
-				ext := m.Extend(a, b)
-				key := ext.Key()
-				if _, seen := family[key]; !seen {
-					family[key] = ext
-					rec(ext, a+1, extra+1)
-				}
-			}
-		}
-	}
-	rec(base, 0, 0)
-	return family
-}
-
-// prune iterates removal to the greatest fixpoint of the two closure
-// conditions of Definition 4.7: subfunction closure and the forth property
-// up to k. Enumerating extensions of non-members is unnecessary because
-// extensions of removed maps are removed by subfunction closure.
-func (g *Game) prune(base structure.PartialMap) {
-	l := base.Len()
-	g.removedAt = map[string]int{}
-	for round := 1; ; round++ {
-		var doomed []string
-		for key, m := range g.family {
-			if !g.positionOK(m, l) {
-				doomed = append(doomed, key)
-			}
-		}
-		if len(doomed) == 0 {
-			return
-		}
-		for _, key := range doomed {
-			delete(g.family, key)
-			g.removedAt[key] = round
-		}
-	}
-}
-
-// positionOK checks both closure conditions for m against the current
-// family.
-func (g *Game) positionOK(m structure.PartialMap, l int) bool {
-	// Subfunction closure: removing any non-constant pair must stay in
-	// the family. (Constant pairs are permanent.)
-	constElems := map[int]bool{}
-	for _, c := range g.A.Voc.Constants {
-		constElems[g.A.Constant(c)] = true
-	}
-	for _, pair := range m.Pairs() {
-		if constElems[pair[0]] {
-			continue
-		}
-		sub := m.Remove(pair[0])
-		if _, ok := g.family[sub.Key()]; !ok {
-			return false
-		}
-	}
-	// Forth property up to k.
-	if m.Len() < g.K+l {
-		for a := 0; a < g.A.N; a++ {
-			if _, ok := m.Lookup(a); ok {
-				continue
-			}
-			found := false
-			for b := 0; b < g.B.N; b++ {
-				ext := m.Extend(a, b)
-				if !ext.Injective() && g.OneToOne {
-					continue
-				}
-				if _, ok := g.family[ext.Key()]; ok {
-					found = true
-					break
-				}
-			}
-			if !found {
-				return false
-			}
-		}
-	}
-	return true
+// Stats returns the per-phase solver counters of the memoized Solve; ok
+// is false if the game has not been solved (or was decided on the
+// constants alone, before any enumeration).
+func (g *Game) Stats() (SolveStats, bool) {
+	return g.stats, g.solved && g.fam != nil
 }
 
 // Family returns the surviving winning family (empty when Player I wins).
 // The maps include the constant pairs. Solve must have been called.
 func (g *Game) Family() []structure.PartialMap {
-	var out []structure.PartialMap
-	for _, m := range g.family {
-		out = append(out, m)
+	if g.fam == nil {
+		return nil
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+	var out []structure.PartialMap
+	for i, m := range g.fam.pos {
+		if g.fam.removedAt[i] == 0 {
+			out = append(out, m)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return lessPos(out[i], out[j]) })
 	return out
+}
+
+// alive reports whether position m survives in the winning family.
+func (g *Game) alive(m structure.PartialMap) bool {
+	if g.fam == nil || m.Len() > g.fam.coder.MaxPairs() {
+		return false
+	}
+	id, ok := g.fam.index[g.fam.coder.Key(m)]
+	return ok && g.fam.aliveID(id)
+}
+
+// aliveExt reports whether m ∪ {(a,b)} survives in the winning family,
+// without materializing the extension. a must not be in m's domain.
+func (g *Game) aliveExt(m structure.PartialMap, a, b int) bool {
+	if g.fam == nil || m.Len()+1 > g.fam.coder.MaxPairs() {
+		return false
+	}
+	id, ok := g.fam.index[g.fam.coder.KeyExtend(m, a, b)]
+	return ok && g.fam.aliveID(id)
+}
+
+// posRound returns the pruning round at which position m was removed:
+// 0 with removed=true for positions that were never enumerated (not
+// partial (1-1) homomorphisms at all — lost immediately), a positive
+// round for pruned positions, and removed=false for survivors.
+func (g *Game) posRound(m structure.PartialMap) (round int, removed bool) {
+	if g.fam == nil || m.Len() > g.fam.coder.MaxPairs() {
+		return 0, true
+	}
+	id, ok := g.fam.index[g.fam.coder.Key(m)]
+	if !ok {
+		return 0, true
+	}
+	if r := g.fam.removedAt[id]; r != 0 {
+		return int(r), true
+	}
+	return 0, false
+}
+
+// extRound is posRound for m ∪ {(a,b)} without materializing the
+// extension. a must not be in m's domain.
+func (g *Game) extRound(m structure.PartialMap, a, b int) (round int, removed bool) {
+	if g.fam == nil || m.Len()+1 > g.fam.coder.MaxPairs() {
+		return 0, true
+	}
+	id, ok := g.fam.index[g.fam.coder.KeyExtend(m, a, b)]
+	if !ok {
+		return 0, true
+	}
+	if r := g.fam.removedAt[id]; r != 0 {
+		return int(r), true
+	}
+	return 0, false
 }
 
 // Preceq reports whether A ⪯k B (Definition 4.1): every L^k sentence true

@@ -2,6 +2,7 @@ package pebble
 
 import (
 	"math/rand"
+	"strings"
 	"testing"
 
 	"repro/internal/graph"
@@ -269,6 +270,108 @@ func TestCheckRejectsOversized(t *testing.T) {
 	}
 	if err := NewGame(a, b, 0).Check(); err == nil {
 		t.Fatal("k=0 must be rejected")
+	}
+}
+
+func TestSolveDetectsConfigMutation(t *testing.T) {
+	// Regression: the memoized winner used to be served even after the
+	// caller changed K/OneToOne/MaxPositions, silently answering for a
+	// different game. Paths of length 3 vs 5 flip winner between k=2 (II)
+	// and... stay with II, but the point is the error, not the winner.
+	a := pathStruct(3)
+	b := pathStruct(5)
+	for _, mutate := range []struct {
+		name string
+		f    func(g *Game)
+	}{
+		{"K", func(g *Game) { g.K++ }},
+		{"OneToOne", func(g *Game) { g.OneToOne = false }},
+		{"MaxPositions", func(g *Game) { g.MaxPositions = 1 }},
+	} {
+		g := NewGame(a, b, 2)
+		if _, err := g.Solve(); err != nil {
+			t.Fatalf("%s: first solve: %v", mutate.name, err)
+		}
+		mutate.f(g)
+		if _, err := g.Solve(); err != ErrMutatedAfterSolve {
+			t.Fatalf("mutating %s after Solve: got err %v, want ErrMutatedAfterSolve", mutate.name, err)
+		}
+	}
+	// Parallelism is not part of the result-determining config; changing it
+	// after Solve just re-serves the memoized winner.
+	g := NewGame(a, b, 2)
+	w1, err := g.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Parallelism = 7
+	w2, err := g.Solve()
+	if err != nil || w2 != w1 {
+		t.Fatalf("changing Parallelism after Solve: got (%v, %v), want (%v, nil)", w2, err, w1)
+	}
+	// Reverting the mutation before the next Solve call is also fine.
+	g2 := NewGame(a, b, 2)
+	if _, err := g2.Solve(); err != nil {
+		t.Fatal(err)
+	}
+	g2.K = 3
+	g2.K = 2
+	if _, err := g2.Solve(); err != nil {
+		t.Fatalf("reverted mutation must still serve the memo: %v", err)
+	}
+}
+
+func TestCheckBoundCountsPlaceablePairs(t *testing.T) {
+	// Regression: the seed bound (|A|·|B|)^K rejected one-to-one games
+	// with large k on small universes — (3·3)^20 overflows any limit —
+	// even though at most min(K,|A|,|B|) = 3 pairs are ever placeable
+	// (81 ordered placements here).
+	a := pathStruct(3)
+	g := NewGame(a, pathStruct(3), 20)
+	if err := g.Check(); err != nil {
+		t.Fatalf("k=20 on 3-element universes is tiny, Check rejected it: %v", err)
+	}
+	if w := g.MustSolve(); w != PlayerII {
+		t.Fatalf("identity embedding: II must win, got %s", w)
+	}
+	// The homomorphism variant repeats images, so only |A| caps the pair
+	// count; with A small it must likewise pass.
+	hg := NewHomGame(a, pathStruct(3), 20)
+	if err := hg.Check(); err != nil {
+		t.Fatalf("hom variant: %v", err)
+	}
+}
+
+func TestCheckErrorReportsTrippingExponent(t *testing.T) {
+	// Regression: the error message always printed exponent K even when a
+	// shorter prefix of placements already exceeded the limit. On 2000-node
+	// paths the first placement (4·10^6 positions) fits the default limit
+	// but the second does not, so the message must say "within 2 of 3".
+	g := NewGame(pathStruct(2000), pathStruct(2000), 3)
+	err := g.Check()
+	if err == nil {
+		t.Fatal("oversized instance must be rejected")
+	}
+	if !strings.Contains(err.Error(), "within 2 of 3") {
+		t.Fatalf("error must report the tripping exponent, got: %v", err)
+	}
+}
+
+func TestStatsPopulatedAfterSolve(t *testing.T) {
+	g := NewGame(pathStruct(3), pathStruct(5), 2)
+	if _, ok := g.Stats(); ok {
+		t.Fatal("stats must not be available before Solve")
+	}
+	g.MustSolve()
+	st, ok := g.Stats()
+	if !ok {
+		t.Fatal("stats must be available after Solve")
+	}
+	if st.Positions <= 0 || st.Survivors <= 0 || st.Positions != st.Survivors+st.Removed {
+		t.Fatalf("inconsistent counters: %+v", st)
+	}
+	if st.Survivors != len(g.Family()) {
+		t.Fatalf("Survivors %d != |Family()| %d", st.Survivors, len(g.Family()))
 	}
 }
 

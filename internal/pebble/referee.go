@@ -159,8 +159,7 @@ func (s *FamilyStrategy) Place(i, a int) (int, error) {
 		return b, nil
 	}
 	for b := 0; b < s.game.B.N; b++ {
-		ext := cur.Extend(a, b)
-		if _, ok := s.game.family[ext.Key()]; ok {
+		if s.game.aliveExt(cur, a, b) {
 			s.posA[i] = a
 			s.posB[i] = b
 			return b, nil
@@ -295,13 +294,7 @@ func NewFamilySpoiler(g *Game) (*FamilySpoiler, error) {
 // enumerated), a positive round for pruned positions, and ok=false for
 // survivors.
 func (s *FamilySpoiler) round(m structure.PartialMap) (int, bool) {
-	if _, alive := s.game.family[m.Key()]; alive {
-		return 0, false
-	}
-	if r, removed := s.game.removedAt[m.Key()]; removed {
-		return r, true
-	}
-	return 0, true // never a homomorphism: lost immediately
+	return s.game.posRound(m)
 }
 
 // NextMove implements Spoiler.
@@ -359,7 +352,7 @@ func (s *FamilySpoiler) NextMove(posA, posB []int) (Move, bool) {
 		}
 		bad := true
 		for b := 0; b < g.B.N; b++ {
-			r2, rem2 := s.round(cur.Extend(a, b))
+			r2, rem2 := g.extRound(cur, a, b)
 			if !rem2 || r2 >= r {
 				bad = false
 				break

@@ -1,0 +1,179 @@
+package pebble
+
+import (
+	"sort"
+
+	"repro/internal/structure"
+)
+
+// The seed solver, retained verbatim as ground truth: string-keyed
+// position maps, full (|A|·|B|)^k enumeration with a seen-set, and a
+// prune loop that rescans the whole family every round. The packed
+// worklist solver must agree with it on the winner, the surviving family,
+// and every removal round — the randomized equivalence tests cross-check
+// all three — and the benchmarks keep it around to measure the rewrite's
+// speedup honestly.
+
+// RemovedPosition is a pruned position together with the 1-based round of
+// the synchronous fixpoint at which it was removed.
+type RemovedPosition struct {
+	M     structure.PartialMap
+	Round int
+}
+
+// ReferenceResult is the full output of the reference solver.
+type ReferenceResult struct {
+	Winner Winner
+	// Family is the surviving winning family, sorted like Game.Family
+	// (empty when Player I wins on the constants alone).
+	Family []structure.PartialMap
+	// Removed lists every enumerated-then-pruned position.
+	Removed []RemovedPosition
+}
+
+// ReferenceSolve decides the game with the retained seed algorithm.
+// maxPositions of 0 means DefaultMaxPositions.
+func ReferenceSolve(a, b *structure.Structure, k int, oneToOne bool, maxPositions int) (*ReferenceResult, error) {
+	g := &Game{A: a, B: b, K: k, OneToOne: oneToOne, MaxPositions: maxPositions}
+	if err := g.Check(); err != nil {
+		return nil, err
+	}
+	res := &ReferenceResult{}
+	if !structure.ConstantMapOK(a, b) {
+		res.Winner = PlayerI
+		return res, nil
+	}
+	base := structure.ConstantMap(a, b)
+	if (oneToOne && !base.Injective()) || !structure.IsPartialHomomorphism(a, b, base) {
+		res.Winner = PlayerI
+		return res, nil
+	}
+	r := &refSolver{a: a, b: b, k: k, oneToOne: oneToOne, base: base}
+	r.family = r.enumerate()
+	r.prune()
+	if _, ok := r.family[base.Key()]; ok {
+		res.Winner = PlayerII
+	} else {
+		res.Winner = PlayerI
+	}
+	for _, m := range r.family {
+		res.Family = append(res.Family, m)
+	}
+	sort.Slice(res.Family, func(i, j int) bool { return lessPos(res.Family[i], res.Family[j]) })
+	for key, round := range r.removedAt {
+		res.Removed = append(res.Removed, RemovedPosition{M: r.all[key], Round: round})
+	}
+	sort.Slice(res.Removed, func(i, j int) bool { return lessPos(res.Removed[i].M, res.Removed[j].M) })
+	return res, nil
+}
+
+// refSolver carries the seed solver's state.
+type refSolver struct {
+	a, b     *structure.Structure
+	k        int
+	oneToOne bool
+	base     structure.PartialMap
+
+	family    map[string]structure.PartialMap
+	all       map[string]structure.PartialMap // every enumerated position
+	removedAt map[string]int
+}
+
+// enumerate generates every partial (1-1) homomorphism extending base with
+// up to k additional pairs (the seed's recursive generator).
+func (r *refSolver) enumerate() map[string]structure.PartialMap {
+	family := map[string]structure.PartialMap{r.base.Key(): r.base}
+	var rec func(m structure.PartialMap, minA int, extra int)
+	rec = func(m structure.PartialMap, minA int, extra int) {
+		if extra == r.k {
+			return
+		}
+		for a := minA; a < r.a.N; a++ {
+			if _, ok := m.Lookup(a); ok {
+				continue
+			}
+			for b := 0; b < r.b.N; b++ {
+				if !structure.ExtensionOK(r.a, r.b, m, a, b, r.oneToOne) {
+					continue
+				}
+				ext := m.Extend(a, b)
+				key := ext.Key()
+				if _, seen := family[key]; !seen {
+					family[key] = ext
+					rec(ext, a+1, extra+1)
+				}
+			}
+		}
+	}
+	rec(r.base, 0, 0)
+	r.all = make(map[string]structure.PartialMap, len(family))
+	for key, m := range family {
+		r.all[key] = m
+	}
+	return family
+}
+
+// prune iterates removal to the greatest fixpoint of the two closure
+// conditions of Definition 4.7 by full rescans, the seed's round-based
+// loop.
+func (r *refSolver) prune() {
+	l := r.base.Len()
+	r.removedAt = map[string]int{}
+	for round := 1; ; round++ {
+		var doomed []string
+		for key, m := range r.family {
+			if !r.positionOK(m, l) {
+				doomed = append(doomed, key)
+			}
+		}
+		if len(doomed) == 0 {
+			return
+		}
+		for _, key := range doomed {
+			delete(r.family, key)
+			r.removedAt[key] = round
+		}
+	}
+}
+
+// positionOK checks both closure conditions for m against the current
+// family. (The forth check consults oneToOne before paying for the
+// injectivity scan — the seed evaluated Injective() on every extension
+// even in homomorphism games.)
+func (r *refSolver) positionOK(m structure.PartialMap, l int) bool {
+	constElems := map[int]bool{}
+	for _, c := range r.a.Voc.Constants {
+		constElems[r.a.Constant(c)] = true
+	}
+	for _, pair := range m.Pairs() {
+		if constElems[pair[0]] {
+			continue
+		}
+		sub := m.Remove(pair[0])
+		if _, ok := r.family[sub.Key()]; !ok {
+			return false
+		}
+	}
+	if m.Len() < r.k+l {
+		for a := 0; a < r.a.N; a++ {
+			if _, ok := m.Lookup(a); ok {
+				continue
+			}
+			found := false
+			for b := 0; b < r.b.N; b++ {
+				ext := m.Extend(a, b)
+				if r.oneToOne && !ext.Injective() {
+					continue
+				}
+				if _, ok := r.family[ext.Key()]; ok {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+	}
+	return true
+}

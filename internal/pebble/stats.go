@@ -1,0 +1,72 @@
+package pebble
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+// SolveStats reports the per-phase counters of one packed-solver run:
+// how large the enumerated position family was, how dense its dependency
+// graph is, and how the worklist pruning converged. All counts are
+// deterministic for a given instance at every Parallelism setting; only
+// the *Ns wall times vary run to run.
+type SolveStats struct {
+	// Positions is the number of enumerated candidate positions
+	// (partial (1-1) homomorphisms extending the constant map).
+	Positions int
+	// Edges counts the dependency edges of the pruning graph: one per
+	// (position, non-constant pair), linking the position to its
+	// immediate subfunction.
+	Edges int
+	// InitialFailures is the number of positions that violate the forth
+	// property against the full family (pruning round 1).
+	InitialFailures int
+	// Removed is the total number of pruned positions; Survivors is the
+	// size of the greatest winning family (Positions - Removed).
+	Removed   int
+	Survivors int
+	// Rounds is the number of worklist levels with removals — identical
+	// to the rounds a synchronous fixpoint would take.
+	Rounds int
+	// Packed reports whether positions fit the single-uint64 encoding;
+	// false means the spill (string-key) fallback was in use.
+	Packed bool
+	// Parallelism is the resolved worker bound the solve ran with.
+	Parallelism int
+	// Per-phase wall times in nanoseconds: position enumeration, key
+	// index construction, dependency-graph construction, and worklist
+	// pruning (including the initial support scan).
+	EnumNs, IndexNs, GraphNs, PruneNs int64
+}
+
+// TotalNs is the summed wall time of all solver phases.
+func (s SolveStats) TotalNs() int64 { return s.EnumNs + s.IndexNs + s.GraphNs + s.PruneNs }
+
+// String renders a compact one-line summary.
+func (s SolveStats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "positions=%d edges=%d removed=%d survivors=%d rounds=%d initial=%d",
+		s.Positions, s.Edges, s.Removed, s.Survivors, s.Rounds, s.InitialFailures)
+	fmt.Fprintf(&b, " packed=%v parallelism=%d", s.Packed, s.Parallelism)
+	fmt.Fprintf(&b, " enum=%.3fms index=%.3fms graph=%.3fms prune=%.3fms",
+		float64(s.EnumNs)/1e6, float64(s.IndexNs)/1e6, float64(s.GraphNs)/1e6, float64(s.PruneNs)/1e6)
+	return b.String()
+}
+
+// Publish accumulates the stats into an obs registry under the given
+// metric prefix (e.g. "pebble"), following the same conventions as the
+// Datalog service metrics so callers can expose solver activity at a
+// metrics endpoint or dump a JSON snapshot.
+func (s SolveStats) Publish(reg *obs.Registry, prefix string) {
+	reg.Counter(prefix+"_solves_total", "pebble-game solves completed").Inc()
+	reg.Counter(prefix+"_positions_total", "candidate positions enumerated").Add(int64(s.Positions))
+	reg.Counter(prefix+"_edges_total", "dependency edges in pruning graphs").Add(int64(s.Edges))
+	reg.Counter(prefix+"_removed_total", "positions pruned").Add(int64(s.Removed))
+	reg.Counter(prefix+"_survivors_total", "positions surviving in winning families").Add(int64(s.Survivors))
+	reg.Counter(prefix+"_prune_rounds_total", "worklist pruning levels executed").Add(int64(s.Rounds))
+	reg.Gauge(prefix+"_last_parallelism", "worker bound of the most recent solve").Set(int64(s.Parallelism))
+	reg.Histogram(prefix+"_solve_seconds", "wall time of solver runs", nil).
+		Observe(float64(s.TotalNs()) / 1e9)
+}

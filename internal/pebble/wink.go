@@ -39,7 +39,7 @@ func (s *WinkSolver) Solve() (Winner, error) {
 	if s.solved {
 		return s.winner, nil
 	}
-	if err := (&Game{A: s.A, B: s.B, K: s.K}).Check(); err != nil {
+	if err := (&Game{A: s.A, B: s.B, K: s.K, OneToOne: s.OneToOne}).Check(); err != nil {
 		return PlayerI, err
 	}
 	s.solved = true

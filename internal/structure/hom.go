@@ -89,6 +89,11 @@ func (m PartialMap) Remove(a int) PartialMap {
 	return m
 }
 
+// At returns the i-th pair in domain order. It is the allocation-free
+// accessor the pebble-game solver iterates positions with; use Pairs when
+// a materialized slice is wanted.
+func (m PartialMap) At(i int) (a, b int) { return m.dom[i], m.img[i] }
+
 // Pairs returns the (a,b) pairs in domain order.
 func (m PartialMap) Pairs() [][2]int {
 	out := make([][2]int, len(m.dom))
@@ -154,26 +159,50 @@ func IsPartialOneToOneHomomorphism(a, b *Structure, m PartialMap) bool {
 // need checking, which keeps pebble-game moves cheap. If oneToOne is set it
 // also rejects y already in the range of m.
 func ExtensionOK(a, b *Structure, m PartialMap, x, y int, oneToOne bool) bool {
+	ok, _ := ExtensionOKBuf(a, b, m, x, y, oneToOne, nil)
+	return ok
+}
+
+// ExtensionOKBuf is ExtensionOK with a caller-provided scratch tuple, so
+// the pebble-game enumeration (which performs this check for every
+// candidate pair of every position) allocates nothing per probe. The
+// returned slice is the possibly-grown scratch buffer to reuse.
+func ExtensionOKBuf(a, b *Structure, m PartialMap, x, y int, oneToOne bool, buf Tuple) (bool, Tuple) {
 	if old, ok := m.Lookup(x); ok {
-		return old == y
+		return old == y, buf
 	}
 	if oneToOne && m.HasImage(y) {
-		return false
+		return false, buf
 	}
-	ext := m.Extend(x, y)
 	for _, rs := range a.Voc.Relations {
 		ra, rb := a.Rel(rs.Name), b.Rel(rs.Name)
 		for _, t := range ra.TuplesWith(x) {
-			img, ok := mapTuple(ext, t)
-			if !ok {
+			if cap(buf) < len(t) {
+				buf = make(Tuple, len(t))
+			}
+			img := buf[:len(t)]
+			inside := true
+			for i, e := range t {
+				if e == x {
+					img[i] = y
+					continue
+				}
+				v, ok := m.Lookup(e)
+				if !ok {
+					inside = false
+					break
+				}
+				img[i] = v
+			}
+			if !inside {
 				continue
 			}
 			if !rb.Has(img) {
-				return false
+				return false, buf
 			}
 		}
 	}
-	return true
+	return true, buf
 }
 
 // RespectsConstants reports whether m maps each constant of A to the

@@ -1,0 +1,166 @@
+package structure
+
+import "encoding/binary"
+
+// Packed position keys. The pebble-game solver enumerates families of
+// partial maps and dedups, indexes and probes them constantly, so key
+// construction is its hottest operation — exactly the role tupleKey plays
+// in the Datalog engine, and the encoding mirrors that scheme. A position
+// is a sorted sequence of (a,b) pairs over the fixed universes
+// A = {0..aN-1} and B = {0..bN-1}; since the universes and the maximum
+// pair count are known when a game is built, a PosCoder picks the minimal
+// per-pair width once and packs every position of the game into a single
+// uint64: pair i occupies pairBits = bits(aN)+bits(bN) bits at offset
+// i·pairBits, and the pair count sits above the payload so positions of
+// different lengths can never collide inside one map. Domain elements are
+// distinct and pairs are kept sorted by domain, so the encoding is
+// injective.
+//
+// Positions that cannot fit — count·pairBits plus the count field
+// exceeding 64 bits — spill to a raw-byte string of fixed 8-byte words
+// behind a marker byte. A coder is entirely packed or entirely spill, so
+// the two modes never mix inside one family.
+
+// PosKey is a canonical, comparable key for a PartialMap position. Packed
+// keys carry an empty spill string and cost no allocation; spill keys are
+// always non-empty strings.
+type PosKey struct {
+	packed uint64
+	spill  string
+}
+
+// PosCoder encodes positions over fixed universes. The zero value is not
+// usable; call NewPosCoder.
+type PosCoder struct {
+	aBits, bBits uint
+	pairBits     uint
+	countShift   uint
+	maxPairs     int
+	packed       bool
+}
+
+// bitsFor returns the minimal width holding values 0..n-1 (at least 1).
+func bitsFor(n int) uint {
+	b := uint(1)
+	for n > 1<<b {
+		b++
+	}
+	return b
+}
+
+// NewPosCoder builds a coder for positions with at most maxPairs pairs
+// (a,b), a < aN, b < bN.
+func NewPosCoder(aN, bN, maxPairs int) PosCoder {
+	c := PosCoder{aBits: bitsFor(aN), bBits: bitsFor(bN), maxPairs: maxPairs}
+	c.pairBits = c.aBits + c.bBits
+	cntBits := bitsFor(maxPairs + 1)
+	c.countShift = uint(maxPairs) * c.pairBits
+	c.packed = c.countShift+cntBits <= 64
+	return c
+}
+
+// Packed reports whether the coder fits every position into a uint64; when
+// false all keys spill to strings.
+func (c PosCoder) Packed() bool { return c.packed }
+
+// MaxPairs returns the pair-count bound the coder was built for; keys of
+// longer positions are undefined.
+func (c PosCoder) MaxPairs() int { return c.maxPairs }
+
+// Key returns the canonical key of m.
+func (c PosCoder) Key(m PartialMap) PosKey {
+	if c.packed {
+		k := uint64(m.Len()) << c.countShift
+		shift := uint(0)
+		for i := 0; i < m.Len(); i++ {
+			a, b := m.At(i)
+			k |= (uint64(a)<<c.bBits | uint64(b)) << shift
+			shift += c.pairBits
+		}
+		return PosKey{packed: k}
+	}
+	buf := make([]byte, 1+16*m.Len())
+	buf[0] = 's'
+	for i := 0; i < m.Len(); i++ {
+		a, b := m.At(i)
+		binary.LittleEndian.PutUint64(buf[1+16*i:], uint64(int64(a)))
+		binary.LittleEndian.PutUint64(buf[1+16*i+8:], uint64(int64(b)))
+	}
+	return PosKey{spill: string(buf)}
+}
+
+// KeyExtend returns the key of m ∪ {(a,b)} without materializing the
+// extended map. The caller must ensure a is not already in the domain.
+func (c PosCoder) KeyExtend(m PartialMap, a, b int) PosKey {
+	if c.packed {
+		k := uint64(m.Len()+1) << c.countShift
+		shift := uint(0)
+		inserted := false
+		for i := 0; i < m.Len(); i++ {
+			ai, bi := m.At(i)
+			if !inserted && ai > a {
+				k |= (uint64(a)<<c.bBits | uint64(b)) << shift
+				shift += c.pairBits
+				inserted = true
+			}
+			k |= (uint64(ai)<<c.bBits | uint64(bi)) << shift
+			shift += c.pairBits
+		}
+		if !inserted {
+			k |= (uint64(a)<<c.bBits | uint64(b)) << shift
+		}
+		return PosKey{packed: k}
+	}
+	buf := make([]byte, 1+16*(m.Len()+1))
+	buf[0] = 's'
+	j := 0
+	inserted := false
+	put := func(a, b int) {
+		binary.LittleEndian.PutUint64(buf[1+16*j:], uint64(int64(a)))
+		binary.LittleEndian.PutUint64(buf[1+16*j+8:], uint64(int64(b)))
+		j++
+	}
+	for i := 0; i < m.Len(); i++ {
+		ai, bi := m.At(i)
+		if !inserted && ai > a {
+			put(a, b)
+			inserted = true
+		}
+		put(ai, bi)
+	}
+	if !inserted {
+		put(a, b)
+	}
+	return PosKey{spill: string(buf)}
+}
+
+// KeyWithout returns the key of m with its skip-th pair (in domain order)
+// removed, without materializing the reduced map.
+func (c PosCoder) KeyWithout(m PartialMap, skip int) PosKey {
+	if c.packed {
+		k := uint64(m.Len()-1) << c.countShift
+		shift := uint(0)
+		for i := 0; i < m.Len(); i++ {
+			if i == skip {
+				continue
+			}
+			a, b := m.At(i)
+			k |= (uint64(a)<<c.bBits | uint64(b)) << shift
+			shift += c.pairBits
+		}
+		return PosKey{packed: k}
+	}
+	buf := make([]byte, 1+16*(m.Len()-1))
+	buf[0] = 's'
+	j := 0
+	for i := 0; i < m.Len(); i++ {
+		if i == skip {
+			continue
+		}
+		a, b := m.At(i)
+		binary.LittleEndian.PutUint64(buf[1+16*j:], uint64(int64(a)))
+		binary.LittleEndian.PutUint64(buf[1+16*j+8:], uint64(int64(b)))
+		j++
+	}
+	return PosKey{spill: string(buf)}
+}

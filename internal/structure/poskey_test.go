@@ -1,0 +1,92 @@
+package structure
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randPartial builds a random partial map a -> b over the given universes.
+func randPartial(rng *rand.Rand, aN, bN, maxPairs int) PartialMap {
+	m := NewPartialMap()
+	n := rng.Intn(maxPairs + 1)
+	perm := rng.Perm(aN)
+	for i := 0; i < n && i < aN; i++ {
+		m = m.Extend(perm[i], rng.Intn(bN))
+	}
+	return m
+}
+
+func TestPosCoderInjective(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, cfg := range []struct{ aN, bN, maxPairs int }{
+		{4, 4, 3},   // packed, tiny
+		{16, 18, 5}, // packed, medium
+		{300, 7, 4}, // packed, asymmetric widths
+		{50, 50, 9}, // spill: 9*(6+6)+4 > 64
+	} {
+		c := NewPosCoder(cfg.aN, cfg.bN, cfg.maxPairs)
+		seen := map[PosKey][]int{} // key -> flattened pairs
+		for trial := 0; trial < 4000; trial++ {
+			m := randPartial(rng, cfg.aN, cfg.bN, cfg.maxPairs)
+			var flat []int
+			for i := 0; i < m.Len(); i++ {
+				a, b := m.At(i)
+				flat = append(flat, a, b)
+			}
+			k := c.Key(m)
+			if old, ok := seen[k]; ok {
+				if len(old) != len(flat) {
+					t.Fatalf("cfg %+v: key collision between %v and %v", cfg, old, flat)
+				}
+				for i := range old {
+					if old[i] != flat[i] {
+						t.Fatalf("cfg %+v: key collision between %v and %v", cfg, old, flat)
+					}
+				}
+			} else {
+				seen[k] = flat
+			}
+		}
+	}
+}
+
+func TestPosCoderExtendWithoutAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for _, cfg := range []struct{ aN, bN, maxPairs int }{
+		{5, 6, 4},
+		{40, 40, 10}, // spill mode
+	} {
+		c := NewPosCoder(cfg.aN, cfg.bN, cfg.maxPairs)
+		for trial := 0; trial < 2000; trial++ {
+			m := randPartial(rng, cfg.aN, cfg.bN, cfg.maxPairs-1)
+			// KeyExtend must agree with materializing the extension.
+			a := rng.Intn(cfg.aN)
+			if _, ok := m.Lookup(a); !ok {
+				b := rng.Intn(cfg.bN)
+				if got, want := c.KeyExtend(m, a, b), c.Key(m.Extend(a, b)); got != want {
+					t.Fatalf("cfg %+v: KeyExtend(%v,%d,%d) = %v, want %v", cfg, m.Pairs(), a, b, got, want)
+				}
+			}
+			// KeyWithout must agree with materializing the removal.
+			if m.Len() > 0 {
+				i := rng.Intn(m.Len())
+				ai, _ := m.At(i)
+				if got, want := c.KeyWithout(m, i), c.Key(m.Remove(ai)); got != want {
+					t.Fatalf("cfg %+v: KeyWithout(%v,%d) = %v, want %v", cfg, m.Pairs(), i, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestPosCoderPackedModeSelection(t *testing.T) {
+	if !NewPosCoder(16, 16, 7).Packed() {
+		t.Fatal("7 pairs of 4+4 bits plus count must pack")
+	}
+	if NewPosCoder(1<<20, 1<<20, 3).Packed() {
+		t.Fatal("3 pairs of 20+20 bits cannot pack")
+	}
+	if !NewPosCoder(1, 1, 1).Packed() {
+		t.Fatal("degenerate universes must pack")
+	}
+}

@@ -106,11 +106,36 @@ type Relation struct {
 	// byElem indexes, for each universe element, the tuples containing it;
 	// built lazily by the homomorphism checks.
 	byElem map[int][]Tuple
+	// fastSet mirrors the tuple set under a packed uint64 key (8 bits per
+	// element) whenever every tuple fits — arity <= 7, elements < 256 —
+	// so the membership probes that dominate pebble-game moves allocate
+	// nothing. fastOK flips off permanently on the first unpackable tuple.
+	fastSet map[uint64]struct{}
+	fastOK  bool
 }
 
 // NewRelation returns an empty relation of the given arity.
 func NewRelation(arity int) *Relation {
-	return &Relation{Arity: arity, tuples: make(map[string]Tuple)}
+	return &Relation{
+		Arity:   arity,
+		tuples:  make(map[string]Tuple),
+		fastSet: make(map[uint64]struct{}),
+		fastOK:  arity <= 7,
+	}
+}
+
+// fastKey packs t into a uint64 at 8 bits per element; ok is false when an
+// element is out of byte range. Within one relation the arity is fixed, so
+// the packing is injective.
+func fastKey(t Tuple) (uint64, bool) {
+	var k uint64
+	for i, x := range t {
+		if x < 0 || x > 0xff {
+			return 0, false
+		}
+		k |= uint64(x) << uint(8*i)
+	}
+	return k, true
 }
 
 // Add inserts a tuple; it panics on arity mismatch and reports whether the
@@ -127,13 +152,51 @@ func (r *Relation) Add(t Tuple) bool {
 	copy(cp, t)
 	r.tuples[k] = cp
 	r.byElem = nil
+	if r.fastOK {
+		if fk, ok := fastKey(t); ok {
+			r.fastSet[fk] = struct{}{}
+		} else {
+			r.fastOK = false
+			r.fastSet = nil
+		}
+	}
 	return true
 }
 
 // Has reports membership.
 func (r *Relation) Has(t Tuple) bool {
+	if r.fastOK {
+		fk, ok := fastKey(t)
+		if !ok {
+			return false // every stored tuple packs, so t cannot be one
+		}
+		_, present := r.fastSet[fk]
+		return present
+	}
 	_, ok := r.tuples[t.key()]
 	return ok
+}
+
+// WarmIndexes forces construction of the lazy per-element tuple index so
+// that later concurrent readers (the parallel pebble-game enumeration)
+// never race to build it. Safe to call repeatedly.
+func (r *Relation) WarmIndexes() { r.buildByElem() }
+
+// buildByElem materializes the per-element index if absent.
+func (r *Relation) buildByElem() {
+	if r.byElem != nil {
+		return
+	}
+	r.byElem = make(map[int][]Tuple)
+	for _, t := range r.tuples {
+		seen := map[int]bool{}
+		for _, e := range t {
+			if !seen[e] {
+				seen[e] = true
+				r.byElem[e] = append(r.byElem[e], t)
+			}
+		}
+	}
 }
 
 // Size returns the number of tuples.
@@ -158,18 +221,7 @@ func (r *Relation) Tuples() []Tuple {
 
 // TuplesWith returns the tuples containing element x.
 func (r *Relation) TuplesWith(x int) []Tuple {
-	if r.byElem == nil {
-		r.byElem = make(map[int][]Tuple)
-		for _, t := range r.tuples {
-			seen := map[int]bool{}
-			for _, e := range t {
-				if !seen[e] {
-					seen[e] = true
-					r.byElem[e] = append(r.byElem[e], t)
-				}
-			}
-		}
-	}
+	r.buildByElem()
 	return r.byElem[x]
 }
 
