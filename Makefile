@@ -10,7 +10,11 @@ BENCH_PATTERN := BenchmarkE1_TransitiveClosureSemiNaive|BenchmarkE5_DisjointPath
 # and the homomorphism-variant guard).
 BENCH_PEBBLE_PATTERN := BenchmarkE25_
 
-.PHONY: build test verify bench bench-json bench-pebble bench-pebble-json clean
+# Benchmarks that gate goal-directed evaluation (E26: magic-set rewrite
+# vs full saturation vs top-down tabling on bound queries).
+BENCH_MAGIC_PATTERN := BenchmarkE26_
+
+.PHONY: build test verify bench bench-json bench-pebble bench-pebble-json bench-magic bench-magic-json clean
 
 build:
 	$(GO) build ./...
@@ -27,7 +31,7 @@ verify:
 	$(GO) build ./...
 	$(GO) test ./...
 	$(GO) vet ./...
-	$(GO) test -race ./internal/datalog/... ./internal/pebble/... ./internal/service/... ./internal/obs/...
+	$(GO) test -race ./internal/datalog/... ./internal/magic/... ./internal/pebble/... ./internal/service/... ./internal/obs/...
 
 # bench runs the evaluation-core benchmarks with allocation counts and
 # keeps the raw text output in BENCH_eval.txt.
@@ -49,5 +53,13 @@ bench-pebble:
 bench-pebble-json:
 	$(GO) test -run '^$$' -bench '$(BENCH_PEBBLE_PATTERN)' -benchmem -count 5 . | tee BENCH_pebble.txt | $(GO) run ./cmd/benchjson > BENCH_pebble.json
 
+# bench-magic / bench-magic-json point the same harness at the E26
+# goal-directed evaluation benchmarks, producing BENCH_magic.{txt,json}.
+bench-magic:
+	$(GO) test -run '^$$' -bench '$(BENCH_MAGIC_PATTERN)' -benchmem -count 5 . | tee BENCH_magic.txt
+
+bench-magic-json:
+	$(GO) test -run '^$$' -bench '$(BENCH_MAGIC_PATTERN)' -benchmem -count 5 . | tee BENCH_magic.txt | $(GO) run ./cmd/benchjson > BENCH_magic.json
+
 clean:
-	rm -f BENCH_eval.txt BENCH_eval.json BENCH_pebble.txt BENCH_pebble.json
+	rm -f BENCH_eval.txt BENCH_eval.json BENCH_pebble.txt BENCH_pebble.json BENCH_magic.txt BENCH_magic.json

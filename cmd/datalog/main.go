@@ -4,16 +4,25 @@
 // Usage:
 //
 //	datalog -program prog.dl -facts db.facts [-naive] [-noindex] [-all]
-//	        [-stats] [-parallel N] [-server http://host:8344 [-name cli]]
+//	        [-goal 'S(0,_)'] [-stats] [-parallel N]
+//	        [-server http://host:8344 [-name cli]]
 //
 // With no file arguments it runs the transitive-closure quickstart on a
 // built-in example. With -server the program is registered on a running
 // cmd/serve instance, the facts are committed there, and the relations
 // are fetched over the /v1 API instead of being evaluated locally.
+//
+// -goal switches to goal-directed evaluation: the argument is a goal
+// pattern — constants bind positions, `_` (or any variable) leaves them
+// free — and the program is magic-set rewritten for that adornment
+// before evaluation, deriving only the facts the bound query demands.
+// With -server the binding travels as the query's "bind" field and the
+// rewrite runs server-side.
 package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -25,6 +34,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/datalog"
+	"repro/internal/magic"
 	"repro/internal/service"
 )
 
@@ -36,6 +46,7 @@ func main() {
 	all := flag.Bool("all", false, "print every IDB relation, not just the goal")
 	stats := flag.Bool("stats", false, "print evaluation statistics")
 	parallel := flag.Int("parallel", 0, "rule-firing parallelism (0 = GOMAXPROCS, 1 = sequential)")
+	goalPat := flag.String("goal", "", "goal pattern like 'S(0,_)': evaluate goal-directed via magic-set rewriting")
 	server := flag.String("server", "", "run against a cmd/serve instance at this base URL instead of evaluating locally")
 	name := flag.String("name", "cli", "registration name used with -server")
 	flag.Parse()
@@ -58,8 +69,15 @@ func main() {
 	db, err := core.ParseDatabase(factsSrc)
 	fatalIf(err)
 
+	var goal *datalog.Goal
+	if *goalPat != "" {
+		g, err := datalog.ParseGoal(*goalPat)
+		fatalIf(err)
+		goal = &g
+	}
+
 	if *server != "" {
-		fatalIf(runRemote(*server, *name, progSrc, prog, db, *all))
+		fatalIf(runRemote(*server, *name, progSrc, prog, db, *all, goal))
 		return
 	}
 
@@ -67,6 +85,12 @@ func main() {
 		WithSemiNaive(!*naive).
 		WithIndexes(!*noindex).
 		WithParallelism(*parallel)
+
+	if goal != nil {
+		fatalIf(runGoal(prog, db, *goal, opts, *stats))
+		return
+	}
+
 	res, err := datalog.Eval(prog, db, opts)
 	fatalIf(err)
 
@@ -94,9 +118,33 @@ func main() {
 	}
 }
 
+// runGoal answers one bound goal pattern locally through the magic-set
+// pipeline and prints the restricted answer set (plus the rewrite's
+// statistics with -stats).
+func runGoal(prog *datalog.Program, db *datalog.Database, goal datalog.Goal, opts datalog.Options, stats bool) error {
+	res, err := magic.EvalGoal(context.Background(), prog, db, goal, magic.Options{Eval: opts})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s (%d tuples):\n", goal.String(), len(res.Answers))
+	for _, t := range res.Answers {
+		fmt.Println("  " + t.String())
+	}
+	if stats {
+		st := res.Stats
+		fmt.Printf("adornment=%s sip=%s rules=%d magic_preds=%d sup_preds=%d\n",
+			st.Adornment, st.SIP, st.RewrittenRules, st.MagicPreds, st.SupPreds)
+		fmt.Printf("demand_facts=%d sup_facts=%d answer_facts=%d answers=%d rounds=%d derivations=%d\n",
+			st.DemandFacts, st.SupFacts, st.AnswerFacts, st.Answers, st.Rounds, st.Derivations)
+	}
+	return nil
+}
+
 // runRemote registers the program on the server, commits the facts, and
 // prints the queried relations — the same output shape as local mode.
-func runRemote(base, name, progSrc string, prog *datalog.Program, db *datalog.Database, all bool) error {
+// With a goal pattern the query carries the binding in its "bind" field
+// and the server answers it goal-directed.
+func runRemote(base, name, progSrc string, prog *datalog.Program, db *datalog.Database, all bool, goal *datalog.Goal) error {
 	base = strings.TrimRight(base, "/")
 	var reg service.RegisterResponse
 	if err := call(base+"/v1/register", service.RegisterRequest{Name: name, Program: progSrc}, &reg); err != nil {
@@ -113,6 +161,31 @@ func runRemote(base, name, progSrc string, prog *datalog.Program, db *datalog.Da
 		if err := call(base+"/v1/commit", commit, &committed); err != nil {
 			return err
 		}
+	}
+	if goal != nil {
+		bind := make([]*int, len(goal.Bound))
+		for i, b := range goal.Bound {
+			if b {
+				v := goal.Value[i]
+				bind[i] = &v
+			}
+		}
+		var q service.QueryResponse
+		if err := call(base+"/v1/query", service.QueryRequestJSON{Program: name, Pred: goal.Pred, Bind: bind}, &q); err != nil {
+			return err
+		}
+		label := q.Goal
+		if label == "" {
+			label = goal.String()
+		}
+		fmt.Printf("%s (%d tuples):\n", label, q.Count)
+		for _, t := range q.Tuples {
+			fmt.Println("  " + datalog.Tuple(t).String())
+		}
+		if q.DemandFacts != nil {
+			fmt.Printf("origin=%s demand_facts=%d\n", q.Origin, *q.DemandFacts)
+		}
+		return nil
 	}
 	preds := []string{prog.Goal}
 	if all {

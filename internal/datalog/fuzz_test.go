@@ -44,6 +44,46 @@ func FuzzParse(f *testing.F) {
 	})
 }
 
+func FuzzParseGoal(f *testing.F) {
+	seeds := []string{
+		"S(0,_)",
+		"S(0, _).",
+		"Reach(a,_)",
+		"Q2(0,1,2)",
+		"T(_,_,_)",
+		"S()",
+		"S",
+		"S(0,_) extra",
+		"s(0)",
+		"S(-1)",
+		"S(x,x)",
+		"S(0',_)",
+		"goal(1)",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		g, err := ParseGoal(src)
+		if err != nil {
+			return
+		}
+		// Accepted goals must be internally consistent and round-trip
+		// through String (which canonicalizes variables to '_').
+		if len(g.Bound) != len(g.Value) || len(g.Bound) == 0 {
+			t.Fatalf("accepted goal has bad shape: %+v", g)
+		}
+		text := g.String()
+		h, err := ParseGoal(text)
+		if err != nil {
+			t.Fatalf("accepted goal failed to reparse: %v\n%s", err, text)
+		}
+		if h.String() != text {
+			t.Fatalf("goal print/parse not idempotent: %q vs %q", text, h.String())
+		}
+	})
+}
+
 func FuzzParseDatabase(f *testing.F) {
 	seeds := []string{
 		"universe 3\nE(0,1).",

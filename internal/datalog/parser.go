@@ -3,6 +3,7 @@ package datalog
 import (
 	"fmt"
 	"strconv"
+	"strings"
 )
 
 // Parse parses a Datalog(≠) program in the text syntax:
@@ -203,4 +204,54 @@ func (p *parser) term() (Term, error) {
 
 func isPredName(s string) bool {
 	return len(s) > 0 && s[0] >= 'A' && s[0] <= 'Z'
+}
+
+// ParseGoal parses a goal pattern through the same lexer and atom
+// grammar as Parse:
+//
+//	S(0, _)
+//
+// Integer arguments are bound positions; '_' or any variable name marks
+// a free position (a repeated variable does not constrain the answers —
+// the pattern carries per-position bindings only, like Goal itself). A
+// trailing '.' is optional. The predicate is not checked against any
+// program here; EvalGoal/TopDown do that against theirs.
+func ParseGoal(src string) (Goal, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return Goal{}, err
+	}
+	p := &parser{toks: toks}
+	a, err := p.atom()
+	if err != nil {
+		return Goal{}, err
+	}
+	if p.at(tokDot) {
+		p.next()
+	}
+	if _, err := p.expect(tokEOF); err != nil {
+		return Goal{}, err
+	}
+	g := Goal{Pred: a.Pred, Bound: make([]bool, len(a.Args)), Value: make([]int, len(a.Args))}
+	for i, t := range a.Args {
+		if !t.IsVar() {
+			g.Bound[i] = true
+			g.Value[i] = t.Const
+		}
+	}
+	return g, nil
+}
+
+// String renders the goal in ParseGoal's syntax: bound positions as
+// their values, free positions as '_'.
+func (g Goal) String() string {
+	parts := make([]string, len(g.Bound))
+	for i := range g.Bound {
+		if g.Bound[i] {
+			parts[i] = strconv.Itoa(g.Value[i])
+		} else {
+			parts[i] = "_"
+		}
+	}
+	return fmt.Sprintf("%s(%s)", g.Pred, strings.Join(parts, ","))
 }

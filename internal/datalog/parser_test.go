@@ -183,3 +183,63 @@ func TestParseDatabaseErrors(t *testing.T) {
 		}
 	}
 }
+
+func TestParseGoal(t *testing.T) {
+	cases := []struct {
+		src  string
+		want Goal
+	}{
+		{"S(0,_)", NewGoal("S", 2, map[int]int{0: 0})},
+		{"S(0, _).", NewGoal("S", 2, map[int]int{0: 0})},
+		{"S(_,5)", NewGoal("S", 2, map[int]int{1: 5})},
+		{"Q2(0,1,2)", NewGoal("Q2", 3, map[int]int{0: 0, 1: 1, 2: 2})},
+		{"T(_,_,_)", NewGoal("T", 3, nil)},
+		{"Reach(x, y)", NewGoal("Reach", 2, nil)}, // named variables are free positions
+	}
+	for _, tc := range cases {
+		g, err := ParseGoal(tc.src)
+		if err != nil {
+			t.Fatalf("ParseGoal(%q): %v", tc.src, err)
+		}
+		if g.Pred != tc.want.Pred || len(g.Bound) != len(tc.want.Bound) {
+			t.Fatalf("ParseGoal(%q) = %+v, want %+v", tc.src, g, tc.want)
+		}
+		for i := range g.Bound {
+			if g.Bound[i] != tc.want.Bound[i] || (g.Bound[i] && g.Value[i] != tc.want.Value[i]) {
+				t.Fatalf("ParseGoal(%q) = %+v, want %+v", tc.src, g, tc.want)
+			}
+		}
+	}
+}
+
+func TestParseGoalErrors(t *testing.T) {
+	cases := []string{
+		"",            // empty
+		"S",           // no argument list
+		"S()",         // zero arity
+		"s(0)",        // lowercase predicate
+		"S(0,_) junk", // trailing tokens
+		"S(0,_). S(1)",
+		"S(0,",
+		"goal(1)", // 'goal' is lowercase, not a predicate
+	}
+	for _, src := range cases {
+		if _, err := ParseGoal(src); err == nil {
+			t.Fatalf("expected error for %q", src)
+		}
+	}
+}
+
+func TestGoalString(t *testing.T) {
+	g := NewGoal("S", 3, map[int]int{0: 4, 2: 0})
+	if got := g.String(); got != "S(4,_,0)" {
+		t.Fatalf("Goal.String() = %q", got)
+	}
+	back, err := ParseGoal(g.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.String() != g.String() {
+		t.Fatalf("round-trip mismatch: %q vs %q", back.String(), g.String())
+	}
+}

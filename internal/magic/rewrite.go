@@ -1,0 +1,410 @@
+package magic
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/datalog"
+)
+
+// Rewrite is the compiled, seedless magic-set form of one (program,
+// adornment) pair. It is immutable after NewRewrite and safe to share
+// across goroutines, which is what lets the service cache rewrites by
+// (program hash, adornment) and seed a cached one per query.
+type Rewrite struct {
+	// Source is the program the rewrite was derived from.
+	Source *datalog.Program
+	// Pred and Adornment identify the goal: the source IDB predicate and
+	// its 'b'/'f' binding pattern.
+	Pred      string
+	Adornment string
+	// SIPName records the information-passing strategy used.
+	SIPName string
+
+	// Program is the rewritten program without the demand seed. Its goal
+	// is GoalPred. Evaluating it directly derives nothing goal-directed
+	// (the magic relations stay empty); call Seeded first.
+	Program *datalog.Program
+	// GoalPred is the adorned name of the goal predicate; answers live
+	// in this relation after evaluation.
+	GoalPred string
+	// MagicGoalPred is the demand predicate Seeded populates with the
+	// goal's bound values. Empty when the adornment is all-free, in
+	// which case Seeded returns Program unchanged.
+	MagicGoalPred string
+
+	// Kinds classifies every IDB predicate of Program; Origin maps
+	// adorned answer predicates back to their source predicate.
+	Kinds  map[string]PredKind
+	Origin map[string]string
+}
+
+// Seeded returns the rewritten program with the goal's bound values
+// installed as the initial demand fact. The seed is a constant-head rule
+// with a trivially true ground-equality body (the same convention the
+// paper programs use for constant seed rules, and the only bodyless form
+// Validate admits). The receiver is not mutated.
+func (rw *Rewrite) Seeded(g datalog.Goal) (*datalog.Program, error) {
+	if g.Pred != rw.Pred || AdornmentOf(g) != rw.Adornment {
+		return nil, fmt.Errorf("magic: goal %s^%s does not match rewrite %s^%s",
+			g.Pred, AdornmentOf(g), rw.Pred, rw.Adornment)
+	}
+	if rw.MagicGoalPred == "" {
+		return rw.Program, nil
+	}
+	var args []datalog.Term
+	for i, b := range g.Bound {
+		if b {
+			args = append(args, datalog.C(g.Value[i]))
+		}
+	}
+	seed := datalog.NewRule(
+		datalog.NewAtom(rw.MagicGoalPred, args...),
+		datalog.Eq(datalog.C(g.Value[firstBound(g)]), datalog.C(g.Value[firstBound(g)])),
+	)
+	rules := make([]datalog.Rule, 0, len(rw.Program.Rules)+1)
+	rules = append(rules, seed)
+	rules = append(rules, rw.Program.Rules...)
+	return &datalog.Program{Rules: rules, Goal: rw.Program.Goal}, nil
+}
+
+func firstBound(g datalog.Goal) int {
+	for i, b := range g.Bound {
+		if b {
+			return i
+		}
+	}
+	return 0
+}
+
+// NewRewrite runs the adorn-and-rewrite pipeline for the goal's binding
+// pattern (the bound values themselves are irrelevant here — they only
+// enter via Seeded). The result depends on the program text, the goal's
+// predicate + adornment, and the SIP, making (program hash, adornment)
+// a sound cache key per strategy.
+func NewRewrite(p *datalog.Program, g datalog.Goal, sip SIP) (*Rewrite, error) {
+	if err := datalog.Validate(p); err != nil {
+		return nil, err
+	}
+	if sip == nil {
+		sip = BoundFirstSIP{}
+	}
+	if !p.IDBs()[g.Pred] {
+		return nil, fmt.Errorf("magic: goal predicate %s is not an IDB of the program", g.Pred)
+	}
+	if ar := p.Arities()[g.Pred]; len(g.Bound) != ar {
+		return nil, fmt.Errorf("magic: goal for %s has %d positions, predicate has arity %d", g.Pred, len(g.Bound), ar)
+	}
+	// Generated names join components with a separator; lengthen it until
+	// no generated name collides with a source predicate or another
+	// generated name of a different role (a source predicate literally
+	// named P_bf, say, forces P__bf).
+	for sepLen := 1; ; sepLen++ {
+		if sepLen > 16 {
+			return nil, fmt.Errorf("magic: cannot derive collision-free predicate names for %s", g.Pred)
+		}
+		rw := newRewriter(p, sip, strings.Repeat("_", sepLen))
+		out := rw.run(g)
+		if !rw.clash {
+			return out, nil
+		}
+	}
+}
+
+type adornedPred struct{ pred, adorn string }
+
+type rewriter struct {
+	src   *datalog.Program
+	sip   SIP
+	sep   string
+	idb   map[string]bool
+	preds map[string]bool // every predicate name of the source program
+
+	queue []adornedPred
+	seen  map[adornedPred]bool
+
+	rules  []datalog.Rule
+	kinds  map[string]PredKind
+	origin map[string]string
+
+	// owner maps each generated name to the role it was minted for;
+	// minting the same name for two roles (or shadowing a source
+	// predicate) sets clash, and NewRewrite retries with a longer
+	// separator.
+	owner map[string]string
+	clash bool
+}
+
+func newRewriter(p *datalog.Program, sip SIP, sep string) *rewriter {
+	preds := map[string]bool{}
+	for name := range p.Arities() {
+		preds[name] = true
+	}
+	return &rewriter{
+		src:    p,
+		sip:    sip,
+		sep:    sep,
+		idb:    p.IDBs(),
+		preds:  preds,
+		seen:   map[adornedPred]bool{},
+		kinds:  map[string]PredKind{},
+		origin: map[string]string{},
+		owner:  map[string]string{},
+	}
+}
+
+// mint registers a generated predicate name for a role, flagging
+// collisions with source predicates or differently-rolled generated
+// names.
+func (rw *rewriter) mint(name, role string) string {
+	if rw.preds[name] {
+		rw.clash = true
+	}
+	if prev, ok := rw.owner[name]; ok && prev != role {
+		rw.clash = true
+	}
+	rw.owner[name] = role
+	return name
+}
+
+func (rw *rewriter) answerName(pa adornedPred) string {
+	n := rw.mint(pa.pred+rw.sep+pa.adorn, "a:"+pa.pred+":"+pa.adorn)
+	rw.kinds[n] = KindAnswer
+	rw.origin[n] = pa.pred
+	return n
+}
+
+func (rw *rewriter) magicName(pa adornedPred) string {
+	n := rw.mint("M"+rw.sep+pa.pred+rw.sep+pa.adorn, "m:"+pa.pred+":"+pa.adorn)
+	rw.kinds[n] = KindMagic
+	return n
+}
+
+func (rw *rewriter) supName(pa adornedPred, ruleIdx, supIdx int) string {
+	base := fmt.Sprintf("Sup%s%s%s%s%s%d%s%d", rw.sep, pa.pred, rw.sep, pa.adorn, rw.sep, ruleIdx, rw.sep, supIdx)
+	n := rw.mint(base, "s:"+base)
+	rw.kinds[n] = KindSupplementary
+	return n
+}
+
+// enqueue records demand for an adorned predicate, scheduling its rules
+// for rewriting the first time the pattern is seen.
+func (rw *rewriter) enqueue(pred, adorn string) {
+	pa := adornedPred{pred, adorn}
+	if !rw.seen[pa] {
+		rw.seen[pa] = true
+		rw.queue = append(rw.queue, pa)
+	}
+}
+
+func (rw *rewriter) run(g datalog.Goal) *Rewrite {
+	goalPA := adornedPred{g.Pred, AdornmentOf(g)}
+	rw.enqueue(goalPA.pred, goalPA.adorn)
+	for len(rw.queue) > 0 {
+		pa := rw.queue[0]
+		rw.queue = rw.queue[1:]
+		for ri, r := range rw.src.Rules {
+			if r.Head.Pred == pa.pred {
+				rw.rewriteRule(pa, ri, r)
+			}
+		}
+	}
+	out := &Rewrite{
+		Source:    rw.src,
+		Pred:      g.Pred,
+		Adornment: goalPA.adorn,
+		SIPName:   rw.sip.Name(),
+		Program:   &datalog.Program{Rules: rw.rules, Goal: rw.answerName(goalPA)},
+		GoalPred:  rw.answerName(goalPA),
+		Kinds:     rw.kinds,
+		Origin:    rw.origin,
+	}
+	if strings.ContainsRune(goalPA.adorn, 'b') {
+		out.MagicGoalPred = rw.magicName(goalPA)
+	}
+	return out
+}
+
+// rewriteRule emits the adorned answer rule for (rule, adornment), plus
+// the magic rules for every IDB subgoal it demands and the supplementary
+// rules that share join prefixes between them.
+func (rw *rewriter) rewriteRule(pa adornedPred, ruleIdx int, r datalog.Rule) {
+	atoms := r.Atoms()
+	cons := r.Constraints()
+
+	// Variables bound before any body atom fires: bound head positions.
+	bound := map[string]bool{}
+	var magicArgs []datalog.Term
+	for i, c := range pa.adorn {
+		if c == 'b' {
+			t := r.Head.Args[i]
+			magicArgs = append(magicArgs, t)
+			if t.IsVar() {
+				bound[t.Var] = true
+			}
+		}
+	}
+
+	// guard is the growing rewritten body: the magic guard (if any),
+	// then atoms in SIP order interleaved with constraints as soon as
+	// their variables are bound. Constraints whose variables never all
+	// bind (universe-ranging) are appended at the end; the compiler
+	// schedules constraints by bind level, so placement is for human
+	// readers, not correctness.
+	var guard []datalog.BodyItem
+	if len(magicArgs) > 0 {
+		guard = append(guard, atomItem(datalog.NewAtom(rw.magicName(pa), magicArgs...)))
+	}
+	consUsed := make([]bool, len(cons))
+	attach := func() {
+		for ci := range cons {
+			if !consUsed[ci] && consBound(cons[ci], bound) {
+				consUsed[ci] = true
+				guard = append(guard, consItem(cons[ci]))
+			}
+		}
+	}
+	attach()
+
+	order := rw.sip.Order(atoms, bound)
+	supIdx := 0
+	for oi, ai := range order {
+		at := atoms[ai]
+		if rw.idb[at.Pred] {
+			adorn := adornAtom(at, bound)
+			sub := adornedPred{at.Pred, adorn}
+			rw.enqueue(sub.pred, sub.adorn)
+			if strings.ContainsRune(adorn, 'b') {
+				// Collapse the prefix into a supplementary predicate when
+				// it holds more than one item, so the magic rule below and
+				// the rule's continuation share the join instead of each
+				// recomputing it.
+				if len(guard) >= 2 {
+					needed := rw.neededVars(r, bound, atoms, order[oi:], cons, consUsed)
+					if len(needed) > 0 {
+						supHead := datalog.NewAtom(rw.supName(pa, ruleIdx, supIdx), varTerms(needed)...)
+						supIdx++
+						rw.rules = append(rw.rules, datalog.Rule{Head: supHead, Body: guard})
+						guard = []datalog.BodyItem{atomItem(supHead)}
+						bound = map[string]bool{}
+						for _, v := range needed {
+							bound[v] = true
+						}
+					}
+				}
+				var boundArgs []datalog.Term
+				for i, c := range adorn {
+					if c == 'b' {
+						boundArgs = append(boundArgs, at.Args[i])
+					}
+				}
+				mBody := make([]datalog.BodyItem, len(guard))
+				copy(mBody, guard)
+				if len(mBody) == 0 {
+					// Demand exists unconditionally (the bound positions are
+					// constants and nothing precedes the atom); Validate
+					// rejects bodyless rules, so use the ground-equality form.
+					mBody = []datalog.BodyItem{consItem(datalog.Eq(boundArgs[0], boundArgs[0]))}
+				}
+				rw.rules = append(rw.rules, datalog.Rule{
+					Head: datalog.NewAtom(rw.magicName(sub), boundArgs...),
+					Body: mBody,
+				})
+			}
+			at = datalog.NewAtom(rw.answerName(sub), at.Args...)
+		}
+		guard = append(guard, atomItem(at))
+		for _, t := range atoms[ai].Args {
+			if t.IsVar() {
+				bound[t.Var] = true
+			}
+		}
+		attach()
+	}
+	for ci := range cons {
+		if !consUsed[ci] {
+			guard = append(guard, consItem(cons[ci]))
+		}
+	}
+	rw.rules = append(rw.rules, datalog.Rule{
+		Head: datalog.NewAtom(rw.answerName(pa), r.Head.Args...),
+		Body: guard,
+	})
+}
+
+// neededVars returns, in first-occurrence order over the rule, the
+// currently bound variables still referenced by the head, the remaining
+// atoms, or the not-yet-attached constraints — the supplementary
+// predicate's argument list. Bound variables absent from all three are
+// dead and may be projected away.
+func (rw *rewriter) neededVars(r datalog.Rule, bound map[string]bool, atoms []datalog.Atom, rest []int, cons []datalog.Constraint, consUsed []bool) []string {
+	wanted := map[string]bool{}
+	for _, t := range r.Head.Args {
+		if t.IsVar() {
+			wanted[t.Var] = true
+		}
+	}
+	for _, ai := range rest {
+		for _, t := range atoms[ai].Args {
+			if t.IsVar() {
+				wanted[t.Var] = true
+			}
+		}
+	}
+	for ci := range cons {
+		if !consUsed[ci] {
+			for _, t := range []datalog.Term{cons[ci].Left, cons[ci].Right} {
+				if t.IsVar() {
+					wanted[t.Var] = true
+				}
+			}
+		}
+	}
+	var out []string
+	for _, v := range r.Vars() {
+		if bound[v] && wanted[v] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// adornAtom derives a body atom's adornment from the current bound set:
+// constants and bound variables are 'b', the rest 'f'.
+func adornAtom(a datalog.Atom, bound map[string]bool) string {
+	var b strings.Builder
+	for _, t := range a.Args {
+		if !t.IsVar() || bound[t.Var] {
+			b.WriteByte('b')
+		} else {
+			b.WriteByte('f')
+		}
+	}
+	return b.String()
+}
+
+// consBound reports whether every variable of the constraint is bound.
+func consBound(c datalog.Constraint, bound map[string]bool) bool {
+	if c.Left.IsVar() && !bound[c.Left.Var] {
+		return false
+	}
+	if c.Right.IsVar() && !bound[c.Right.Var] {
+		return false
+	}
+	return true
+}
+
+func varTerms(names []string) []datalog.Term {
+	out := make([]datalog.Term, len(names))
+	for i, n := range names {
+		out[i] = datalog.V(n)
+	}
+	return out
+}
+
+func atomItem(a datalog.Atom) datalog.BodyItem { cp := a; return datalog.BodyItem{Atom: &cp} }
+
+func consItem(c datalog.Constraint) datalog.BodyItem {
+	cp := c
+	return datalog.BodyItem{Constraint: &cp}
+}

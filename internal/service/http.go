@@ -19,6 +19,7 @@ import (
 //	POST /v1/unregister  {"name": "tc"}
 //	POST /v1/commit      {"insert": [{"pred":"E","tuple":[0,1]}], "delete": [...]}
 //	POST /v1/query       {"program": "tc", "pred": "S", "version": 3, "tuple": [0,1]}
+//	POST /v1/query       {"program": "tc", "pred": "S", "bind": [0, null]}   (goal-directed)
 //	GET  /v1/stats
 //	GET  /v1/metrics     (?format=prometheus or Accept: text/plain for exposition text)
 //
@@ -187,12 +188,17 @@ func (s *Service) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	res, err := s.QueryContext(r.Context(), QueryRequest{
 		Program: req.Program, Source: req.Source, Pred: req.Pred, Version: version,
+		Bind: req.Bind,
 	})
 	if err != nil {
 		writeError(w, r, errorStatus(err), err)
 		return
 	}
-	resp := QueryResponse{Pred: res.Pred, Version: res.Version, Count: len(res.Tuples), Origin: res.Origin}
+	resp := QueryResponse{Pred: res.Pred, Version: res.Version, Count: len(res.Tuples), Origin: res.Origin, Goal: res.Goal}
+	if res.GoalStats != nil {
+		demand := res.GoalStats.DemandFacts
+		resp.DemandFacts = &demand
+	}
 	if req.Tuple != nil {
 		has := false
 		for _, t := range res.Tuples {

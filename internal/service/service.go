@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/datalog"
+	"repro/internal/magic"
 	"repro/internal/obs"
 )
 
@@ -27,6 +28,9 @@ type Config struct {
 	History int
 	// CacheEntries bounds the query-result LRU (default 256).
 	CacheEntries int
+	// RewriteCacheEntries bounds the magic-set rewrite LRU, keyed by
+	// (program hash, goal predicate, adornment) (default 64).
+	RewriteCacheEntries int
 	// Workers bounds concurrent from-scratch evaluations for historical
 	// and ad-hoc queries (default GOMAXPROCS).
 	Workers int
@@ -46,11 +50,12 @@ type Config struct {
 // the caller's context — a cancelled request or a closed service aborts
 // the evaluation within one fixpoint round.
 type Service struct {
-	cfg   Config
-	opts  datalog.Options
-	store *Store
-	cache *resultCache
-	exec  *executor
+	cfg      Config
+	opts     datalog.Options
+	store    *Store
+	cache    *resultCache
+	rewrites *rewriteCache
+	exec     *executor
 
 	// root ends when Close is called; every evaluation context is tied to
 	// it so shutdown aborts in-flight work.
@@ -80,9 +85,13 @@ type serviceMetrics struct {
 	cacheHits       *obs.Counter
 	cacheMisses     *obs.Counter
 	programsDropped *obs.Counter
+	goalQueries     *obs.Counter
+	rewriteHits     *obs.Counter
+	rewriteMisses   *obs.Counter
 	querySeconds    *obs.Histogram
 	commitSeconds   *obs.Histogram
 	maintainSeconds *obs.Histogram
+	demandFacts     *obs.Histogram
 }
 
 // registration is one registered program and its maintained view.
@@ -110,16 +119,20 @@ func New(cfg Config) (*Service, error) {
 	if cfg.CacheEntries == 0 {
 		cfg.CacheEntries = 256
 	}
+	if cfg.RewriteCacheEntries == 0 {
+		cfg.RewriteCacheEntries = 64
+	}
 	root, stop := context.WithCancel(context.Background())
 	s := &Service{
-		cfg:   cfg,
-		opts:  datalog.DefaultOptions.WithParallelism(cfg.Parallelism),
-		store: NewStore(cfg.Universe, cfg.History),
-		cache: newResultCache(cfg.CacheEntries),
-		exec:  newExecutor(cfg.Workers),
-		root:  root,
-		stop:  stop,
-		progs: map[string]*registration{},
+		cfg:      cfg,
+		opts:     datalog.DefaultOptions.WithParallelism(cfg.Parallelism),
+		store:    NewStore(cfg.Universe, cfg.History),
+		cache:    newResultCache(cfg.CacheEntries),
+		rewrites: newRewriteCache(cfg.RewriteCacheEntries),
+		exec:     newExecutor(cfg.Workers),
+		root:     root,
+		stop:     stop,
+		progs:    map[string]*registration{},
 	}
 	s.initMetrics()
 	return s, nil
@@ -139,9 +152,13 @@ func (s *Service) initMetrics() {
 		cacheHits:       r.Counter("datalog_cache_hits_total", "query-result cache hits"),
 		cacheMisses:     r.Counter("datalog_cache_misses_total", "query-result cache misses"),
 		programsDropped: r.Counter("datalog_programs_dropped_total", "registrations dropped after an aborted maintenance run"),
+		goalQueries:     r.Counter("datalog_goal_queries_total", "bound queries answered through the magic-set pipeline"),
+		rewriteHits:     r.Counter("datalog_rewrite_cache_hits_total", "magic rewrite cache hits"),
+		rewriteMisses:   r.Counter("datalog_rewrite_cache_misses_total", "magic rewrite cache misses"),
 		querySeconds:    r.Histogram("datalog_query_seconds", "end-to-end query latency", nil),
 		commitSeconds:   r.Histogram("datalog_commit_seconds", "commit latency including all maintenance", nil),
 		maintainSeconds: r.Histogram("datalog_maintain_seconds", "per-program incremental maintenance latency", nil),
+		demandFacts:     r.Histogram("datalog_magic_demand_facts", "demand-set size (magic facts) per goal-directed query", nil),
 	}
 	r.GaugeFunc("datalog_store_version", "latest committed EDB version", func() float64 {
 		return float64(s.store.Version())
@@ -162,6 +179,10 @@ func (s *Service) initMetrics() {
 	})
 	r.GaugeFunc("datalog_cache_entries", "live query-result cache entries", func() float64 {
 		_, _, _, entries := s.cache.counters()
+		return float64(entries)
+	})
+	r.GaugeFunc("datalog_rewrite_cache_entries", "live magic rewrite cache entries", func() float64 {
+		_, _, _, entries := s.rewrites.counters()
 		return float64(entries)
 	})
 }
@@ -366,6 +387,13 @@ type QueryRequest struct {
 	Pred string
 	// Version pins the EDB version; <0 means the latest.
 	Version int64
+	// Bind, when non-nil, must have one entry per argument of Pred: a
+	// non-nil entry binds that position to its value, nil leaves it free.
+	// A query with at least one bound position is answered goal-directed
+	// through the magic-set pipeline; an all-free (or nil) Bind falls
+	// back to the unrewritten view — materialized, cached, or evaluated
+	// from scratch as before.
+	Bind []*int
 }
 
 // QueryResult is the answer to one query.
@@ -374,9 +402,16 @@ type QueryResult struct {
 	Version int64
 	Tuples  []datalog.Tuple
 	// Origin reports how the result was obtained: "cache", "materialized"
-	// (registered program at its current version) or "eval" (from-scratch
-	// evaluation of a snapshot).
+	// (registered program at its current version), "eval" (from-scratch
+	// evaluation of a snapshot) or "magic" (goal-directed evaluation of
+	// the magic-set rewrite).
 	Origin string
+	// Goal echoes the binding pattern of a goal-directed query in
+	// datalog.Goal.String form (e.g. "S(0,_)"); empty otherwise.
+	Goal string
+	// GoalStats carries the magic pipeline's counters (demand-set size
+	// among them) for Origin "magic"; nil otherwise.
+	GoalStats *magic.GoalStats
 }
 
 // Query is QueryContext with a background context.
@@ -391,7 +426,10 @@ func (s *Service) Query(req QueryRequest) (QueryResult, error) {
 // (plus the per-query timeout and the service lifetime): a cancelled
 // client stops queueing immediately and aborts a running evaluation
 // within one fixpoint round. Results are cached by (program hash,
-// predicate, version).
+// predicate, version), goal-directed results additionally by binding
+// pattern. A request with bound positions (Bind) is answered through
+// the magic-set pipeline (see goalQuery); an unbound request uses the
+// incremental/materialized path unchanged.
 func (s *Service) QueryContext(ctx context.Context, req QueryRequest) (QueryResult, error) {
 	s.queries.Add(1)
 	s.met.queries.Inc()
@@ -444,6 +482,9 @@ func (s *Service) queryContext(ctx context.Context, req QueryRequest) (QueryResu
 	version := req.Version
 	if version < 0 {
 		version = s.store.Version()
+	}
+	if boundCount(req.Bind) > 0 {
+		return s.goalQuery(ctx, prog, hash, pred, version, req.Bind)
 	}
 	key := cacheKey{hash: hash, pred: pred, version: version}
 	if tuples, ok := s.cache.get(key); ok {
@@ -500,6 +541,90 @@ func (s *Service) queryContext(ctx context.Context, req QueryRequest) (QueryResu
 	return QueryResult{Pred: pred, Version: version, Tuples: tuples, Origin: "eval"}, nil
 }
 
+// boundCount counts the bound positions of a wire binding.
+func boundCount(bind []*int) int {
+	n := 0
+	for _, b := range bind {
+		if b != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// goalQuery answers a bound query through the magic-set pipeline: the
+// program is rewritten for the binding's adornment (cached by program
+// hash + adornment), the rewrite is seeded with the bound values, and
+// the rewritten program is evaluated against a clone of the pinned
+// snapshot on the bounded executor. The registered incremental view is
+// never touched — goal-directed evaluation works on snapshot clones, so
+// a cancelled or failed goal query cannot poison maintained state.
+func (s *Service) goalQuery(ctx context.Context, prog *datalog.Program, hash, pred string, version int64, bind []*int) (QueryResult, error) {
+	arity := prog.Arities()[pred]
+	if len(bind) != arity {
+		return QueryResult{}, fmt.Errorf("service: bind has %d positions, predicate %s has arity %d", len(bind), pred, arity)
+	}
+	goal := datalog.Goal{Pred: pred, Bound: make([]bool, arity), Value: make([]int, arity)}
+	for i, b := range bind {
+		if b != nil {
+			goal.Bound[i] = true
+			goal.Value[i] = *b
+		}
+	}
+	s.met.goalQueries.Inc()
+	key := cacheKey{hash: hash, pred: pred, version: version, bind: goal.String()}
+	if tuples, ok := s.cache.get(key); ok {
+		s.met.cacheHits.Inc()
+		return QueryResult{Pred: pred, Version: version, Tuples: tuples, Origin: "cache", Goal: goal.String()}, nil
+	}
+	s.met.cacheMisses.Inc()
+
+	rk := rewriteKey{hash: hash, pred: pred, adornment: magic.AdornmentOf(goal), sip: magic.BoundFirstSIP{}.Name()}
+	rw, ok := s.rewrites.get(rk)
+	if ok {
+		s.met.rewriteHits.Inc()
+	} else {
+		s.met.rewriteMisses.Inc()
+		var err error
+		rw, err = magic.NewRewrite(prog, goal, magic.BoundFirstSIP{})
+		if err != nil {
+			return QueryResult{}, err
+		}
+		s.rewrites.put(rk, rw)
+	}
+
+	snap, ok := s.store.At(version)
+	if !ok {
+		return QueryResult{}, fmt.Errorf("service: version %d is not retained (oldest is %d, latest %d)",
+			version, s.store.Oldest(), s.store.Version())
+	}
+	ctx, done := s.scoped(ctx, s.cfg.QueryTimeout)
+	defer done()
+	var goalRes *magic.GoalResult
+	var evalErr error
+	err := s.exec.do(ctx, func() {
+		s.scratchEval.Add(1)
+		s.met.scratchEvals.Inc()
+		goalRes, evalErr = magic.EvalRewritten(ctx, rw, snap.DB.Clone(), goal, s.evalOptions())
+		if goalRes != nil && goalRes.Result != nil {
+			s.met.evalRounds.Add(int64(goalRes.Result.Rounds))
+		}
+	})
+	if err != nil {
+		return QueryResult{}, err
+	}
+	if evalErr != nil {
+		return QueryResult{}, evalErr
+	}
+	s.met.demandFacts.Observe(float64(goalRes.Stats.DemandFacts))
+	s.cache.put(key, goalRes.Answers)
+	stats := goalRes.Stats
+	return QueryResult{
+		Pred: pred, Version: version, Tuples: goalRes.Answers,
+		Origin: "magic", Goal: goal.String(), GoalStats: &stats,
+	}, nil
+}
+
 // ProgramStats describes one registered program in Stats.
 type ProgramStats struct {
 	Name            string              `json:"name"`
@@ -546,6 +671,13 @@ type Stats struct {
 		Peak     int64 `json:"peak"`
 		Total    int64 `json:"total"`
 	} `json:"executor"`
+	Magic struct {
+		GoalQueries   int64 `json:"goal_queries"`
+		RewriteHits   int64 `json:"rewrite_hits"`
+		RewriteMisses int64 `json:"rewrite_misses"`
+		Entries       int   `json:"rewrite_entries"`
+		Capacity      int   `json:"rewrite_capacity"`
+	} `json:"magic"`
 }
 
 // Stats assembles the current counters.
@@ -583,6 +715,9 @@ func (s *Service) Stats() Stats {
 	sort.Slice(st.Programs, func(i, j int) bool { return st.Programs[i].Name < st.Programs[j].Name })
 	st.Cache.Hits, st.Cache.Misses, st.Cache.Evictions, st.Cache.Entries = s.cache.counters()
 	st.Cache.Capacity = s.cache.cap
+	st.Magic.GoalQueries = s.met.goalQueries.Value()
+	st.Magic.RewriteHits, st.Magic.RewriteMisses, _, st.Magic.Entries = s.rewrites.counters()
+	st.Magic.Capacity = s.rewrites.cap
 	st.Executor.Workers = s.exec.workers()
 	st.Executor.InFlight = s.exec.inFlight.Load()
 	st.Executor.Peak = s.exec.peak.Load()

@@ -57,22 +57,32 @@ type RegisterResponse struct {
 // QueryRequestJSON reads one IDB predicate at a version. Version omitted
 // or negative means the latest; Pred omitted means the goal. With Tuple
 // set the response carries a membership bit instead of the full relation.
+// Bind, when present, must list one entry per argument of the predicate:
+// a number binds that position, null leaves it free — `"bind": [0, null]`
+// asks for the tuples whose first component is 0. A binding with at
+// least one bound position is answered goal-directed via the magic-set
+// rewrite of the program.
 type QueryRequestJSON struct {
 	Program string `json:"program,omitempty"`
 	Source  string `json:"source,omitempty"`
 	Pred    string `json:"pred,omitempty"`
 	Version *int64 `json:"version,omitempty"`
 	Tuple   []int  `json:"tuple,omitempty"`
+	Bind    []*int `json:"bind,omitempty"`
 }
 
-// QueryResponse is the answer to one query.
+// QueryResponse is the answer to one query. Goal and DemandFacts are set
+// for goal-directed (bound) queries: the canonical binding pattern and
+// the size of the demand set the magic evaluation derived.
 type QueryResponse struct {
-	Pred    string  `json:"pred"`
-	Version int64   `json:"version"`
-	Count   int     `json:"count"`
-	Tuples  [][]int `json:"tuples,omitempty"`
-	Has     *bool   `json:"has,omitempty"`
-	Origin  string  `json:"origin"`
+	Pred        string  `json:"pred"`
+	Version     int64   `json:"version"`
+	Count       int     `json:"count"`
+	Tuples      [][]int `json:"tuples,omitempty"`
+	Has         *bool   `json:"has,omitempty"`
+	Origin      string  `json:"origin"`
+	Goal        string  `json:"goal,omitempty"`
+	DemandFacts *int    `json:"demand_facts,omitempty"`
 }
 
 // ErrorResponse carries a request failure on the legacy unversioned
