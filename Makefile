@@ -14,7 +14,12 @@ BENCH_PEBBLE_PATTERN := BenchmarkE25_
 # vs full saturation vs top-down tabling on bound queries).
 BENCH_MAGIC_PATTERN := BenchmarkE26_
 
-.PHONY: build test verify bench bench-json bench-pebble bench-pebble-json bench-magic bench-magic-json clean
+# Benchmarks that gate the cost-based join planner (E27: adversarially
+# ordered rule bodies planned vs textual, planning/stats/cache-hit cost,
+# and the subsumption pre-pass).
+BENCH_PLAN_PATTERN := BenchmarkE27_
+
+.PHONY: build test verify bench bench-json bench-pebble bench-pebble-json bench-magic bench-magic-json bench-plan bench-plan-json clean
 
 build:
 	$(GO) build ./...
@@ -31,7 +36,7 @@ verify:
 	$(GO) build ./...
 	$(GO) test ./...
 	$(GO) vet ./...
-	$(GO) test -race ./internal/datalog/... ./internal/magic/... ./internal/pebble/... ./internal/service/... ./internal/obs/...
+	$(GO) test -race ./internal/datalog/... ./internal/magic/... ./internal/pebble/... ./internal/service/... ./internal/obs/... ./internal/plan/...
 
 # bench runs the evaluation-core benchmarks with allocation counts and
 # keeps the raw text output in BENCH_eval.txt.
@@ -61,5 +66,13 @@ bench-magic:
 bench-magic-json:
 	$(GO) test -run '^$$' -bench '$(BENCH_MAGIC_PATTERN)' -benchmem -count 5 . | tee BENCH_magic.txt | $(GO) run ./cmd/benchjson > BENCH_magic.json
 
+# bench-plan / bench-plan-json point the same harness at the E27 join
+# planner benchmarks, producing BENCH_plan.{txt,json}.
+bench-plan:
+	$(GO) test -run '^$$' -bench '$(BENCH_PLAN_PATTERN)' -benchmem -count 5 . | tee BENCH_plan.txt
+
+bench-plan-json:
+	$(GO) test -run '^$$' -bench '$(BENCH_PLAN_PATTERN)' -benchmem -count 5 . | tee BENCH_plan.txt | $(GO) run ./cmd/benchjson > BENCH_plan.json
+
 clean:
-	rm -f BENCH_eval.txt BENCH_eval.json BENCH_pebble.txt BENCH_pebble.json BENCH_magic.txt BENCH_magic.json
+	rm -f BENCH_eval.txt BENCH_eval.json BENCH_pebble.txt BENCH_pebble.json BENCH_magic.txt BENCH_magic.json BENCH_plan.txt BENCH_plan.json

@@ -4,7 +4,7 @@
 // Usage:
 //
 //	datalog -program prog.dl -facts db.facts [-naive] [-noindex] [-all]
-//	        [-goal 'S(0,_)'] [-stats] [-parallel N]
+//	        [-goal 'S(0,_)'] [-explain 'S(0,_)'] [-stats] [-parallel N]
 //	        [-server http://host:8344 [-name cli]]
 //
 // With no file arguments it runs the transitive-closure quickstart on a
@@ -18,6 +18,13 @@
 // before evaluation, deriving only the facts the bound query demands.
 // With -server the binding travels as the query's "bind" field and the
 // rewrite runs server-side.
+//
+// -explain takes the same pattern shape but prints the cost-based join
+// plan instead of tuples: per rule the chosen atom order, the probe
+// columns each join step uses, and estimated versus actual rows. A
+// pattern with bound positions explains the magic-set-rewritten, seeded
+// program — exactly what a bound query executes. With -server the plan
+// comes from POST /v1/explain and reflects the server's statistics.
 package main
 
 import (
@@ -35,6 +42,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/datalog"
 	"repro/internal/magic"
+	"repro/internal/plan"
 	"repro/internal/service"
 )
 
@@ -47,6 +55,7 @@ func main() {
 	stats := flag.Bool("stats", false, "print evaluation statistics")
 	parallel := flag.Int("parallel", 0, "rule-firing parallelism (0 = GOMAXPROCS, 1 = sequential)")
 	goalPat := flag.String("goal", "", "goal pattern like 'S(0,_)': evaluate goal-directed via magic-set rewriting")
+	explainPat := flag.String("explain", "", "pattern like 'S(0,_)': print the join plan (atom order, probe columns, est vs actual rows) instead of tuples")
 	server := flag.String("server", "", "run against a cmd/serve instance at this base URL instead of evaluating locally")
 	name := flag.String("name", "cli", "registration name used with -server")
 	flag.Parse()
@@ -77,6 +86,12 @@ func main() {
 	}
 
 	if *server != "" {
+		if *explainPat != "" {
+			g, err := datalog.ParseGoal(*explainPat)
+			fatalIf(err)
+			fatalIf(explainRemote(*server, *name, progSrc, db, g))
+			return
+		}
 		fatalIf(runRemote(*server, *name, progSrc, prog, db, *all, goal))
 		return
 	}
@@ -85,6 +100,13 @@ func main() {
 		WithSemiNaive(!*naive).
 		WithIndexes(!*noindex).
 		WithParallelism(*parallel)
+
+	if *explainPat != "" {
+		g, err := datalog.ParseGoal(*explainPat)
+		fatalIf(err)
+		fatalIf(explainLocal(prog, db, g, opts))
+		return
+	}
 
 	if goal != nil {
 		fatalIf(runGoal(prog, db, *goal, opts, *stats))
@@ -136,6 +158,147 @@ func runGoal(prog *datalog.Program, db *datalog.Database, goal datalog.Goal, opt
 			st.Adornment, st.SIP, st.RewrittenRules, st.MagicPreds, st.SupPreds)
 		fmt.Printf("demand_facts=%d sup_facts=%d answer_facts=%d answers=%d rounds=%d derivations=%d\n",
 			st.DemandFacts, st.SupFacts, st.AnswerFacts, st.Answers, st.Rounds, st.Derivations)
+	}
+	return nil
+}
+
+// explainLocal plans the query the way the service would — bound
+// patterns through the magic rewrite, free patterns directly — then
+// evaluates the planned program to print estimated versus actual rows.
+func explainLocal(prog *datalog.Program, db *datalog.Database, g datalog.Goal, opts datalog.Options) error {
+	if !prog.IDBs()[g.Pred] {
+		return fmt.Errorf("%q is not an IDB predicate of the program", g.Pred)
+	}
+	target := prog
+	bound := false
+	for _, b := range g.Bound {
+		bound = bound || b
+	}
+	if bound {
+		rw, err := magic.NewRewrite(prog, g, magic.BoundFirstSIP{})
+		if err != nil {
+			return err
+		}
+		if target, err = rw.Seeded(g); err != nil {
+			return err
+		}
+	}
+	pl := plan.New(plan.Config{})
+	cat := plan.Collect(db)
+	pp, _ := pl.PlanProgram(target, cat)
+	res, err := datalog.Eval(pp.Program(), db, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("plan for %s  [strategy %s, epoch %016x]\n", g, pp.Strategy, pp.Epoch)
+	for i, rp := range pp.Rules {
+		var actual *datalog.RuleStats
+		if res.Stats != nil && i < len(res.Stats.Rules) {
+			actual = &res.Stats.Rules[i]
+		}
+		printRulePlan(i, rp, actual)
+	}
+	for _, pr := range pp.Pruned {
+		fmt.Printf("pruned: %s  (subsumed by %s)\n", pr.Rule, pr.By)
+	}
+	return nil
+}
+
+// printRulePlan renders one rule's plan: the executed order, each join
+// step's probe columns and estimates, and the observed row counts.
+func printRulePlan(i int, rp plan.RulePlan, actual *datalog.RuleStats) {
+	mark := ""
+	if rp.Reordered {
+		mark = "  (reordered)"
+	}
+	fmt.Printf("rule %d: %s%s\n", i+1, rp.Planned, mark)
+	if rp.Reordered {
+		fmt.Printf("  textual: %s\n", rp.Original)
+	}
+	for j, st := range rp.Steps {
+		fmt.Printf("  %d. %-24s probe=%v  est_fanout=%.3g  est_rows=%.3g\n",
+			j+1, st.Atom, probeCols(st.Probe), st.EstFanout, st.EstRows)
+	}
+	fmt.Printf("  est_rows=%.3g est_cost=%.3g", rp.EstRows, rp.EstCost)
+	if actual != nil {
+		fmt.Printf("  actual: derived=%d new=%d firings=%d time=%s",
+			actual.Derived, actual.New, actual.Firings, time.Duration(actual.TimeNs))
+	}
+	fmt.Println()
+}
+
+// probeCols expands a probe mask for display.
+func probeCols(mask uint64) []int {
+	cols := []int{}
+	for i := 0; mask != 0; i, mask = i+1, mask>>1 {
+		if mask&1 != 0 {
+			cols = append(cols, i)
+		}
+	}
+	return cols
+}
+
+// explainRemote registers the program, commits the facts, and prints the
+// server's plan from POST /v1/explain.
+func explainRemote(base, name, progSrc string, db *datalog.Database, g datalog.Goal) error {
+	base = strings.TrimRight(base, "/")
+	var reg service.RegisterResponse
+	if err := call(base+"/v1/register", service.RegisterRequest{Name: name, Program: progSrc}, &reg); err != nil {
+		return err
+	}
+	var commit service.CommitRequest
+	for _, rel := range db.Names() {
+		for _, t := range db.Relation(rel).Tuples() {
+			commit.Insert = append(commit.Insert, service.FactJSON{Pred: rel, Tuple: t})
+		}
+	}
+	if len(commit.Insert) > 0 {
+		var committed service.CommitResponse
+		if err := call(base+"/v1/commit", commit, &committed); err != nil {
+			return err
+		}
+	}
+	req := service.ExplainRequestJSON{Program: name, Pred: g.Pred}
+	for i, b := range g.Bound {
+		if b {
+			v := g.Value[i]
+			req.Bind = append(req.Bind, &v)
+		} else {
+			req.Bind = append(req.Bind, nil)
+		}
+	}
+	var resp service.ExplainResponse
+	if err := call(base+"/v1/explain", req, &resp); err != nil {
+		return err
+	}
+	label := resp.Goal
+	if label == "" {
+		label = g.String()
+	}
+	fmt.Printf("plan for %s  [strategy %s, epoch %s, cache_hit=%t]\n",
+		label, resp.Strategy, resp.Epoch, resp.PlanCacheHit)
+	for i, r := range resp.Rules {
+		mark := ""
+		if r.Reordered {
+			mark = "  (reordered)"
+		}
+		fmt.Printf("rule %d: %s%s\n", i+1, r.Planned, mark)
+		if r.Reordered {
+			fmt.Printf("  textual: %s\n", r.Original)
+		}
+		for j, st := range r.Steps {
+			cols := st.ProbeCols
+			if cols == nil {
+				cols = []int{}
+			}
+			fmt.Printf("  %d. %-24s probe=%v  est_fanout=%.3g  est_rows=%.3g\n",
+				j+1, st.Atom, cols, st.EstFanout, st.EstRows)
+		}
+		fmt.Printf("  est_rows=%.3g est_cost=%.3g  actual: derived=%d new=%d firings=%d time=%s\n",
+			r.EstRows, r.EstCost, r.ActualRows, r.NewRows, r.Firings, time.Duration(r.TimeNs))
+	}
+	for _, pr := range resp.Pruned {
+		fmt.Printf("pruned: %s  (subsumed by %s)\n", pr.Rule, pr.By)
 	}
 	return nil
 }

@@ -25,6 +25,7 @@ import (
 	"repro/internal/logic"
 	"repro/internal/magic"
 	"repro/internal/pebble"
+	"repro/internal/plan"
 	"repro/internal/structure"
 	"repro/internal/switchgraph"
 )
@@ -94,6 +95,7 @@ func main() {
 		// benchmark harness (bench_test.go); their tables live in
 		// EXPERIMENTS.md.
 		{"E26", "Goal-directed magic sets vs saturation vs top-down tabling", runE26},
+		{"E27", "Cost-based join planner: order search, pruning, plan cache", runE27},
 	}
 	// Every mustEval in the suite picks up the requested parallelism via
 	// the builder — DefaultOptions itself is never mutated. Explicit
@@ -1141,6 +1143,121 @@ func runE26(e *env) []row {
 	dfull := e.mustEval(dprog, ddb.Clone())
 	rows = append(rows, boolRow("D(0,1) magic = saturation restricted (constraint-heavy rules)",
 		true, sameSet(dres.Answers, filtered(dfull, dGoal))))
+	return rows
+}
+
+// runE27 checks the cost-based join planner (internal/plan, DESIGN.md
+// §11) for the properties wall-clock numbers can't show: planned
+// evaluation is observationally identical to textual-order evaluation,
+// the adversarially ordered rule is reordered to anchor on the tiny
+// relation, the containment pre-pass drops subsumed rules and redundant
+// atoms, and the plan cache keys on (program, stats epoch) — hitting
+// across small data changes, missing after big ones. The wall-clock
+// side (≥2x on the adversarial join, ~0-cost cache hits) is
+// BenchmarkE27_* / BENCH_plan.json.
+func runE27(e *env) []row {
+	var rows []row
+	pl := plan.New(plan.Config{})
+
+	// Planned ≡ textual across named programs on random graphs (the
+	// 330-workload randomized suite lives in internal/plan/quick_test.go;
+	// this is the experiment-level spot check).
+	progs := []*datalog.Program{
+		datalog.TransitiveClosureProgram(),
+		datalog.AvoidingPathProgram(),
+		datalog.SameGenerationProgram(),
+		datalog.QklPrograms(2, 0),
+	}
+	trials := 16
+	if e.quick {
+		trials = 6
+	}
+	mismatch := 0
+	for t := 0; t < trials; t++ {
+		prog := progs[t%len(progs)]
+		db := datalog.FromGraph(graph.Random(8, 0.3, e.rng))
+		textual := e.mustEval(prog, db.Clone())
+		planned, err := datalog.Eval(prog, db.Clone(), e.opts.WithPlanner(pl))
+		if err != nil {
+			return append(rows, check("planned eval runs", "ok", err.Error()))
+		}
+		for name, rel := range textual.IDB {
+			if rel.Size() != planned.IDB[name].Size() {
+				mismatch++
+				break
+			}
+		}
+		if textual.Rounds != planned.Rounds {
+			mismatch++
+		}
+	}
+	rows = append(rows, check(
+		fmt.Sprintf("planned ≡ textual on %d named-program workloads", trials),
+		"0 mismatches", fmt.Sprintf("%d mismatches", mismatch)))
+
+	// The adversarial join: dense E self-joined twice before a 3-row R.
+	// The planner must reorder to anchor on R.
+	adv, err := datalog.Parse("P(x,w) :- E(x,y), E(y,z), R(z,w). goal P.")
+	if err != nil {
+		return append(rows, check("adversarial program parses", "ok", err.Error()))
+	}
+	advDB := datalog.FromGraph(graph.Random(24, 0.25, e.rng))
+	advDB.EnsureRelation("R", 2)
+	advDB.AddFact("R", 0, 1)
+	advDB.AddFact("R", 2, 3)
+	cat := plan.Collect(advDB)
+	pp, _ := pl.PlanProgram(adv, cat)
+	rp := pp.Rules[0]
+	rows = append(rows, boolRow("adversarial rule reordered to anchor on R",
+		true, rp.Reordered && len(rp.Steps) == 3 && rp.Steps[0].Atom[0] == 'R'))
+	advTextual := e.mustEval(adv, advDB.Clone())
+	advPlanned, err := datalog.Eval(adv, advDB.Clone(), e.opts.WithPlanner(pl))
+	if err != nil {
+		return append(rows, check("adversarial planned eval runs", "ok", err.Error()))
+	}
+	rows = append(rows, boolRow("adversarial planned IDB = textual IDB",
+		true, advTextual.IDB["P"].Size() == advPlanned.IDB["P"].Size()))
+
+	// Containment pre-pass: an alpha-renamed twin is subsumed, a verbatim
+	// duplicate atom is minimized away, and the recursive rule (outside
+	// the CQ fragment) passes through untouched.
+	red, err := datalog.Parse(
+		"S(x,y) :- E(x,y), E(x,y). S(a,b) :- E(a,b). S(x,y) :- E(x,z), S(z,y). goal S.")
+	if err != nil {
+		return append(rows, check("redundant program parses", "ok", err.Error()))
+	}
+	before := pl.Counters()
+	rpp, _ := pl.PlanProgram(red, cat)
+	after := pl.Counters()
+	rows = append(rows, check("subsumed twin dropped, recursive rule kept",
+		"2 rules, 1 pruned",
+		fmt.Sprintf("%d rules, %d pruned", len(rpp.PlannedRules()), len(rpp.Pruned))))
+	rows = append(rows, boolRow("duplicate body atom minimized away",
+		true, after.AtomsPruned > before.AtomsPruned))
+	redTextual := e.mustEval(red, advDB.Clone())
+	redPlanned, err := datalog.Eval(red, advDB.Clone(), e.opts.WithPlanner(pl))
+	if err != nil {
+		return append(rows, check("pruned eval runs", "ok", err.Error()))
+	}
+	rows = append(rows, boolRow("pruned program computes the same closure",
+		true, redTextual.IDB["S"].Size() == redPlanned.IDB["S"].Size()))
+
+	// Plan cache keying: same program + same epoch hits; one extra tuple
+	// keeps the epoch (log2 bucketing); 4x growth of E changes it.
+	_, hit := pl.PlanProgram(adv, cat)
+	rows = append(rows, boolRow("replanning the same program hits the cache", true, hit))
+	small := advDB.Clone()
+	small.AddFact("R", 4, 5)
+	_, hit = pl.PlanProgram(adv, plan.Collect(small))
+	rows = append(rows, boolRow("one-tuple commit keeps the stats epoch (cache hit)", true, hit))
+	big := advDB.Clone()
+	for i := 0; i < 24; i++ {
+		for j := 0; j < 24; j++ {
+			big.AddFact("E", i, j)
+		}
+	}
+	_, hit = pl.PlanProgram(adv, plan.Collect(big))
+	rows = append(rows, boolRow("4x relation growth changes the epoch (cache miss)", false, hit))
 	return rows
 }
 

@@ -178,6 +178,34 @@ func (e *evaluator) compileRule(ri int, r Rule) *cRule {
 	return cr
 }
 
+// ProbeMasks returns, per body atom of r, the probe mask compileRule
+// will use for that atom: bit i set means argument i is a constant or a
+// variable bound by an earlier atom, so it is part of the indexed
+// lookup. Exported so internal/plan's cost model and the -explain output
+// describe exactly the masks the join loop executes.
+func ProbeMasks(r Rule) []uint64 {
+	atoms := r.Atoms()
+	masks := make([]uint64, len(atoms))
+	level := map[string]int{}
+	for ai, a := range atoms {
+		for _, t := range a.Args {
+			if t.IsVar() {
+				if _, ok := level[t.Var]; !ok {
+					level[t.Var] = ai
+				}
+			}
+		}
+	}
+	for ai, a := range atoms {
+		for i, t := range a.Args {
+			if !t.IsVar() || level[t.Var] < ai {
+				masks[ai] |= 1 << uint(i)
+			}
+		}
+	}
+	return masks
+}
+
 // consOK evaluates a scheduled constraint batch against the environment.
 func consOK(cons []cCons, env []int) bool {
 	for _, c := range cons {

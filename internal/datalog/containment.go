@@ -62,13 +62,15 @@ func ParseCQ(src string) (CQ, error) {
 }
 
 // canonical freezes the query: distinct variables become distinct fresh
-// universe elements (constants keep their values, shifted into range). It
-// returns the database and the frozen head tuple.
+// universe elements while constants keep their literal values — a
+// constant is not a variable, so freezing it to a fresh element would
+// let the containment check unify it with a different constant of the
+// other query and report false non-containments (or worse). Fresh
+// elements start just above the largest constant. It returns the
+// database and the frozen head tuple.
 func (q CQ) canonical() (*Database, Tuple) {
-	// Collect constants and variables.
-	elems := map[int]int{} // original constant -> canonical element
+	next := maxConst(q.Rule) + 1
 	vars := map[string]int{}
-	next := 0
 	elem := func(t Term) int {
 		if t.IsVar() {
 			if v, ok := vars[t.Var]; ok {
@@ -78,12 +80,7 @@ func (q CQ) canonical() (*Database, Tuple) {
 			next++
 			return next - 1
 		}
-		if v, ok := elems[t.Const]; ok {
-			return v
-		}
-		elems[t.Const] = next
-		next++
-		return next - 1
+		return t.Const
 	}
 	type frozenAtom struct {
 		pred string
@@ -117,13 +114,44 @@ func (q CQ) ContainedIn(other CQ) (bool, error) {
 			len(q.Rule.Head.Args), len(other.Rule.Head.Args))
 	}
 	db, frozenHead := q.canonical()
-	// Rename other's head predicate to match evaluation lookups.
+	// Constants of other that exceed the canonical universe cannot match
+	// any frozen fact, but the packed lookups assume every element is
+	// inside the universe — grow it so they stay well formed. A larger
+	// universe never changes a CQ's answers (no constraints range over it).
+	if mc := maxConst(other.Rule); mc >= db.N {
+		grown := NewDatabase(mc + 1)
+		for _, name := range db.Names() {
+			r := db.Relation(name)
+			for _, t := range r.Tuples() {
+				grown.AddFact(name, t...)
+			}
+		}
+		db = grown
+	}
 	prog := &Program{Rules: []Rule{other.Rule}, Goal: other.Rule.Head.Pred}
 	res, err := Eval(prog, db, DefaultOptions)
 	if err != nil {
 		return false, err
 	}
 	return res.IDB[other.Rule.Head.Pred].Has(frozenHead), nil
+}
+
+// maxConst returns the largest constant appearing in the rule's head or
+// body atoms, or -1 if it is constant-free.
+func maxConst(r Rule) int {
+	mc := -1
+	scan := func(ts []Term) {
+		for _, t := range ts {
+			if !t.IsVar() && t.Const > mc {
+				mc = t.Const
+			}
+		}
+	}
+	scan(r.Head.Args)
+	for _, a := range r.Atoms() {
+		scan(a.Args)
+	}
+	return mc
 }
 
 // EquivalentTo reports mutual containment.

@@ -77,6 +77,61 @@ func TestContainmentConstants(t *testing.T) {
 	}
 }
 
+func TestContainmentConstantReflexivity(t *testing.T) {
+	// Regression: canonical() used to freeze constants to fresh elements
+	// like variables, so a query with a constant was reported as NOT
+	// contained in an identical copy of itself.
+	a := mustCQ(t, "H(x) :- E(x, 3).")
+	b := mustCQ(t, "H(x) :- E(x, 3).")
+	eq, err := a.EquivalentTo(b)
+	if err != nil || !eq {
+		t.Fatalf("a query with constants must contain itself: %v %v", eq, err)
+	}
+}
+
+func TestContainmentDistinctConstants(t *testing.T) {
+	// Different constants must not unify: E(x,2) and E(x,3) are
+	// incomparable. The old fresh-element freezing conflated them.
+	a := mustCQ(t, "H(x) :- E(x, 2).")
+	b := mustCQ(t, "H(x) :- E(x, 3).")
+	if ok, err := a.ContainedIn(b); err != nil || ok {
+		t.Fatalf("E(x,2) ⊄ E(x,3): %v %v", ok, err)
+	}
+	if ok, err := b.ContainedIn(a); err != nil || ok {
+		t.Fatalf("E(x,3) ⊄ E(x,2): %v %v", ok, err)
+	}
+}
+
+func TestContainmentConstantOutsideCanonicalUniverse(t *testing.T) {
+	// other's constant (7) exceeds q's canonical universe; the check must
+	// grow the universe rather than alias packed elements.
+	q := mustCQ(t, "H(x) :- E(x, y).")
+	big := mustCQ(t, "H(x) :- E(x, 7).")
+	if ok, err := q.ContainedIn(big); err != nil || ok {
+		t.Fatalf("variable query ⊄ constant-7 query: %v %v", ok, err)
+	}
+	if ok, err := big.ContainedIn(q); err != nil || !ok {
+		t.Fatalf("constant-7 query ⊆ variable query: %v %v", ok, err)
+	}
+}
+
+func TestMinimizeWithConstants(t *testing.T) {
+	// E(x,3) subsumes E(x,y): the variable atom folds onto the constant
+	// one under the identity-on-constants homomorphism.
+	q := mustCQ(t, "H(x) :- E(x, 3), E(x, y).")
+	m, err := q.Minimize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(m.Rule.Atoms()); got != 1 {
+		t.Fatalf("minimized to %d atoms, want 1: %s", got, m.Rule)
+	}
+	eq, err := q.EquivalentTo(m)
+	if err != nil || !eq {
+		t.Fatalf("minimization changed semantics: %v %v", eq, err)
+	}
+}
+
 func TestContainmentSemanticCheck(t *testing.T) {
 	// Containment verdicts agree with evaluation on random databases:
 	// q ⊆ p means q's answers are always a subset of p's.

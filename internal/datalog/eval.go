@@ -79,6 +79,22 @@ func newEvaluator(ctx context.Context, p *Program, db *Database, opt Options) (*
 	if err := Validate(p); err != nil {
 		return nil, err
 	}
+	if opt.Planner != nil {
+		planned, err := opt.Planner.PlanRules(p, db)
+		if err != nil {
+			return nil, fmt.Errorf("datalog: planner: %w", err)
+		}
+		if len(planned) > 0 {
+			// The planner's contract guarantees the rewritten program computes
+			// the same fixpoint, stages and rounds; everything downstream
+			// (compilation, stats, provenance rule ids) refers to the planned
+			// rules.
+			p = &Program{Rules: planned, Goal: p.Goal}
+			if err := Validate(p); err != nil {
+				return nil, fmt.Errorf("datalog: planner produced invalid program: %w", err)
+			}
+		}
+	}
 	arity := p.Arities()
 	idbSet := p.IDBs()
 	e := &evaluator{ctx: ctx, p: p, db: db, opt: opt, par: opt.workers(), idbSet: idbSet}

@@ -5,6 +5,18 @@ import (
 	"runtime"
 )
 
+// Planner rewrites a program before compilation: reordering body atoms,
+// dropping subsumed rules, or removing redundant atoms. The returned
+// rules must compute the same least fixpoint, the same per-tuple first
+// stages and the same round count as the input on every database —
+// internal/plan's cost-based join orderer is the implementation; the
+// engine stays oblivious to how the order was chosen. The database is
+// read-only input for statistics. Returning an empty slice (or a nil
+// Planner) leaves the program untouched.
+type Planner interface {
+	PlanRules(p *Program, db *Database) ([]Rule, error)
+}
+
 // Options configures evaluation. Zero value is naive evaluation without
 // indexes; start from DefaultOptions and derive variants with the With*
 // builders, which is the supported way to configure commands and services
@@ -32,6 +44,11 @@ type Options struct {
 	// buffers that are merged in deterministic task order before the
 	// commit, so IDB, Stage and Rounds are identical at every setting.
 	Parallelism int
+	// Planner, when non-nil, rewrites the program (join order, subsumed
+	// rules) before every compilation — Eval, NewIncremental and the
+	// magic-set paths all pass through it. nil evaluates rules in textual
+	// body order.
+	Planner Planner
 }
 
 // DefaultOptions is semi-naive with indexes. Treat it as read-only: derive
@@ -55,6 +72,10 @@ func (o Options) WithProvenance(on bool) Options { o.TrackProvenance = on; retur
 // WithParallelism returns a copy with the rule-firing worker bound set
 // (0 = GOMAXPROCS, 1 = strictly sequential).
 func (o Options) WithParallelism(n int) Options { o.Parallelism = n; return o }
+
+// WithPlanner returns a copy evaluating through the given planner (nil
+// restores textual-order evaluation).
+func (o Options) WithPlanner(pl Planner) Options { o.Planner = pl; return o }
 
 // Validate reports whether the options are well formed. It is the single
 // validation point: every evaluation entry (Eval, EvalContext,

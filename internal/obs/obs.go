@@ -140,6 +140,30 @@ func (g *gaugeFunc) writeProm(w io.Writer, name string) {
 	fmt.Fprintf(w, "%s %s\n", name, formatFloat(g.f()))
 }
 
+// counterFunc samples a monotone total at export time — for counters an
+// owning subsystem already maintains in its own atomics (the planner's
+// lifetime totals) that would be wasteful to mirror on every increment.
+type counterFunc struct {
+	help string
+	f    func() int64
+}
+
+// CounterFunc registers a counter whose value is sampled from f at
+// snapshot time. f must be monotone non-decreasing and safe for
+// concurrent use.
+func (r *Registry) CounterFunc(name, help string, f func() int64) {
+	r.register(name, &counterFunc{help: help, f: f})
+}
+
+func (c *counterFunc) kind() string     { return "counter" }
+func (c *counterFunc) helpText() string { return c.help }
+func (c *counterFunc) snapshotValue() any {
+	return map[string]any{"type": "counter", "value": c.f()}
+}
+func (c *counterFunc) writeProm(w io.Writer, name string) {
+	fmt.Fprintf(w, "%s %d\n", name, c.f())
+}
+
 // Histogram is a fixed-bucket histogram of float64 observations
 // (conventionally seconds, following Prometheus usage).
 type Histogram struct {

@@ -126,3 +126,24 @@ func TestConcurrentUse(t *testing.T) {
 		t.Fatalf("counter %d histogram %d, want 8000 each", c.Value(), h.Count())
 	}
 }
+
+func TestCounterFunc(t *testing.T) {
+	r := NewRegistry()
+	var n int64
+	r.CounterFunc("plans_built_total", "plans constructed", func() int64 { return n })
+	n = 9
+	b, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"plans_built_total":{"type":"counter","value":9}`) {
+		t.Fatalf("snapshot did not sample the live value:\n%s", b)
+	}
+	var buf bytes.Buffer
+	r.WritePrometheus(&buf)
+	for _, want := range []string{"# TYPE plans_built_total counter", "plans_built_total 9"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("exposition missing %q:\n%s", want, buf.String())
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package plan
+
+import (
+	"container/list"
+	"sync"
+)
+
+// planKey identifies one cacheable planning problem: the program (by
+// content hash), the statistics epoch it was costed under, and the
+// strategy knobs that shaped the search. A magic-rewritten program
+// hashes differently per binding, so goal-directed plans get their own
+// lines; a commit that moves no cardinality across a power-of-two
+// boundary keeps the epoch, so its plans keep hitting.
+type planKey struct {
+	hash     string
+	epoch    uint64
+	strategy string
+}
+
+// planCache is a mutex-guarded LRU of finished plans, the same shape as
+// the service's result cache. Plans are immutable once built, so a hit
+// is returned without copying.
+type planCache struct {
+	mu      sync.Mutex
+	max     int
+	order   *list.List // front = most recent; values are *planEntry
+	entries map[planKey]*list.Element
+}
+
+type planEntry struct {
+	key planKey
+	pp  *ProgramPlan
+}
+
+func newPlanCache(max int) *planCache {
+	return &planCache{max: max, order: list.New(), entries: map[planKey]*list.Element{}}
+}
+
+func (c *planCache) get(key planKey) *ProgramPlan {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return nil
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*planEntry).pp
+}
+
+func (c *planCache) put(key planKey, pp *ProgramPlan) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*planEntry).pp = pp
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&planEntry{key: key, pp: pp})
+	for c.order.Len() > c.max {
+		last := c.order.Back()
+		c.order.Remove(last)
+		delete(c.entries, last.Value.(*planEntry).key)
+	}
+}
+
+func (c *planCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

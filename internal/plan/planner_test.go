@@ -1,0 +1,273 @@
+package plan
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/datalog"
+	"repro/internal/graph"
+)
+
+// adversarialDB builds the E27 shape: a dense binary E and a tiny R, so
+// textual order E,E,R pays the E⋈E blowup while the cheap order starts
+// at R.
+func adversarialDB(t testing.TB, n int) *datalog.Database {
+	rng := rand.New(rand.NewSource(7))
+	db := datalog.FromGraph(graph.Random(n, 0.2, rng))
+	db.EnsureRelation("R", 2)
+	db.AddFact("R", 1, 0)
+	db.AddFact("R", 2, 0)
+	return db
+}
+
+func mustParse(t testing.TB, src string) *datalog.Program {
+	t.Helper()
+	p, err := datalog.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestCatalogCollect(t *testing.T) {
+	db := datalog.NewDatabase(10)
+	db.AddFact("E", 0, 1)
+	db.AddFact("E", 0, 2)
+	db.AddFact("E", 1, 2)
+	cat := Collect(db)
+	st, ok := cat.Rel("E")
+	if !ok {
+		t.Fatal("E not cataloged")
+	}
+	if st.Rows != 3 || st.Distinct[0] != 2 || st.Distinct[1] != 2 {
+		t.Fatalf("bad stats: %+v", st)
+	}
+	if cat.DefaultRows() != 3 {
+		t.Fatalf("default rows = %d, want 3", cat.DefaultRows())
+	}
+}
+
+func TestCatalogRefreshSharesUntouched(t *testing.T) {
+	db := datalog.NewDatabase(10)
+	db.AddFact("E", 0, 1)
+	db.AddFact("F", 3)
+	cat := Collect(db)
+	db.AddFact("E", 1, 2)
+	next := cat.Refresh(db, "E")
+	stE, _ := next.Rel("E")
+	if stE.Rows != 2 {
+		t.Fatalf("E not rescanned: %+v", stE)
+	}
+	oldF, _ := cat.Rel("F")
+	newF, _ := next.Rel("F")
+	if oldF != newF {
+		t.Fatal("untouched relation was rescanned instead of shared")
+	}
+}
+
+func TestFingerprintBucketsSmallChanges(t *testing.T) {
+	db := datalog.NewDatabase(64)
+	for i := 0; i < 16; i++ {
+		db.AddFact("E", i, i+1)
+	}
+	cat := Collect(db)
+	// 16 → 17 rows stays in the same log2 bucket (old distincts too).
+	db.AddFact("E", 20, 40)
+	small := cat.Refresh(db, "E")
+	if cat.Fingerprint() != small.Fingerprint() {
+		t.Fatal("sub-2x growth should keep the stats epoch")
+	}
+	// Quadrupling the relation crosses buckets.
+	for i := 0; i < 60; i++ {
+		db.AddFact("E", i%60, (i*7)%60)
+	}
+	big := cat.Refresh(db, "E")
+	if cat.Fingerprint() == big.Fingerprint() {
+		t.Fatal("4x growth must change the stats epoch")
+	}
+}
+
+func TestPlannerAnchorsOnSmallRelation(t *testing.T) {
+	p := mustParse(t, "P(x,w) :- E(x,y), E(y,z), R(z,w).")
+	db := adversarialDB(t, 40)
+	pl := New(Config{})
+	pp, hit := pl.PlanProgram(p, Collect(db))
+	if hit {
+		t.Fatal("first plan cannot be a cache hit")
+	}
+	rp := pp.Rules[0]
+	if !rp.Reordered || !rp.Exhaustive {
+		t.Fatalf("expected an exhaustive reorder: %+v", rp)
+	}
+	if !strings.HasPrefix(rp.Steps[0].Atom, "R(") {
+		t.Fatalf("plan should start at the 2-row relation, got %s (plan %s)", rp.Steps[0].Atom, rp.Planned)
+	}
+	// Every later step must probe at least one bound column.
+	for _, step := range rp.Steps[1:] {
+		if step.Probe == 0 {
+			t.Fatalf("step %s has an empty probe mask: %s", step.Atom, rp.Planned)
+		}
+	}
+}
+
+func TestPlannerKeepsTextualOrderOnTies(t *testing.T) {
+	// Transitive closure: E(x,y) and the recursive S probe tie or favor
+	// textual order; the planner must not churn it.
+	p := datalog.TransitiveClosureProgram()
+	db := datalog.FromGraph(graph.Random(12, 0.3, rand.New(rand.NewSource(3))))
+	pl := New(Config{})
+	pp, _ := pl.PlanProgram(p, Collect(db))
+	for _, rp := range pp.Rules {
+		if rp.Reordered {
+			t.Fatalf("transitive closure should keep textual order: %s -> %s", rp.Original, rp.Planned)
+		}
+	}
+}
+
+func TestPlanCacheHitsAndEpochs(t *testing.T) {
+	p := mustParse(t, "P(x,w) :- E(x,y), E(y,z), R(z,w).")
+	db := adversarialDB(t, 30)
+	pl := New(Config{})
+	cat := Collect(db)
+	pp1, hit := pl.PlanProgram(p, cat)
+	if hit {
+		t.Fatal("cold lookup hit")
+	}
+	pp2, hit := pl.PlanProgram(p, cat)
+	if !hit || pp1 != pp2 {
+		t.Fatal("warm lookup must return the cached plan")
+	}
+	// Reparsing the program must hit too: the key is content-addressed.
+	pp3, hit := pl.PlanProgram(mustParse(t, p.String()), cat)
+	if !hit || pp3 != pp1 {
+		t.Fatal("content-identical program missed the cache")
+	}
+	c := pl.Counters()
+	if c.Built != 1 || c.CacheHits != 2 || c.CacheMisses != 1 {
+		t.Fatalf("counters: %+v", c)
+	}
+	// A big data change moves the epoch: same program replans.
+	for i := 0; i < 29; i++ {
+		for j := 0; j < 20; j++ {
+			db.AddFact("R", i, j)
+		}
+	}
+	if _, hit := pl.PlanProgram(p, cat.Refresh(db, "R")); hit {
+		t.Fatal("stale-epoch plan served after the stats moved")
+	}
+}
+
+func TestPruneSubsumedRule(t *testing.T) {
+	// The 2-step rule is contained in the 1-step rule: it must be dropped.
+	p := mustParse(t, "P(x) :- E(x,y).\nP(x) :- E(x,y), E(y,z).")
+	pl := New(Config{})
+	pp, _ := pl.PlanProgram(p, Collect(datalog.NewDatabase(4)))
+	if len(pp.Rules) != 1 || len(pp.Pruned) != 1 {
+		t.Fatalf("want 1 kept + 1 pruned, got %d + %d", len(pp.Rules), len(pp.Pruned))
+	}
+	if !strings.Contains(pp.Pruned[0].Rule, "E(y,z)") {
+		t.Fatalf("dropped the wrong rule: %+v", pp.Pruned[0])
+	}
+}
+
+func TestPruneKeepsEarlierOfEquivalentPair(t *testing.T) {
+	p := mustParse(t, "P(x) :- E(x,y).\nP(u) :- E(u,v).")
+	pl := New(Config{})
+	pp, _ := pl.PlanProgram(p, Collect(datalog.NewDatabase(4)))
+	if len(pp.Rules) != 1 {
+		t.Fatalf("equivalent pair should collapse to one rule, got %d", len(pp.Rules))
+	}
+	if pp.Rules[0].Original != "P(x) :- E(x,y)." {
+		t.Fatalf("kept the later twin: %s", pp.Rules[0].Original)
+	}
+}
+
+func TestPruneMinimizesRedundantAtoms(t *testing.T) {
+	p := mustParse(t, "P(x) :- E(x,y), E(x,z).")
+	pl := New(Config{})
+	pp, _ := pl.PlanProgram(p, Collect(datalog.NewDatabase(4)))
+	if got := len(pp.Rules[0].Steps); got != 1 {
+		t.Fatalf("redundant atom survived: %s", pp.Rules[0].Planned)
+	}
+	c := pl.Counters()
+	if c.AtomsPruned != 1 {
+		t.Fatalf("AtomsPruned = %d, want 1", c.AtomsPruned)
+	}
+}
+
+func TestPruneLeavesNonCQRulesAlone(t *testing.T) {
+	// Inequality rules, recursive rules and constraint-only seed rules
+	// (the magic rewrite's shape) are outside the CQ fragment: the prune
+	// pass must pass them through even when they look redundant.
+	p := mustParse(t,
+		"P(x) :- E(x,y), x != y.\nP(x) :- E(x,y).\nS(x,y) :- E(x,y).\nS(x,y) :- E(x,z), S(z,y).")
+	seed := datalog.NewRule(
+		datalog.NewAtom("P", datalog.C(1)),
+		datalog.Eq(datalog.C(1), datalog.C(1)),
+	)
+	p.Rules = append([]datalog.Rule{seed}, p.Rules...)
+	pl := New(Config{})
+	pp, _ := pl.PlanProgram(p, Collect(datalog.NewDatabase(4)))
+	if len(pp.Rules) != 5 || len(pp.Pruned) != 0 {
+		t.Fatalf("non-CQ rules must survive: kept %d pruned %d", len(pp.Rules), len(pp.Pruned))
+	}
+}
+
+func TestPlanRulesThroughEvalOptions(t *testing.T) {
+	// End to end through the engine hook: planned evaluation returns the
+	// same fixpoint and the plan cache absorbs the repeat.
+	p := mustParse(t, "P(x,w) :- E(x,y), E(y,z), R(z,w).")
+	db := adversarialDB(t, 25)
+	pl := New(Config{})
+	opts := datalog.DefaultOptions.WithPlanner(pl)
+	planned, err := datalog.Eval(p, db.Clone(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	textual, err := datalog.Eval(p, db.Clone(), datalog.DefaultOptions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if planned.IDB["P"].Size() != textual.IDB["P"].Size() {
+		t.Fatalf("planned %d tuples, textual %d", planned.IDB["P"].Size(), textual.IDB["P"].Size())
+	}
+	if _, err := datalog.Eval(p, db.Clone(), opts); err != nil {
+		t.Fatal(err)
+	}
+	if c := pl.Counters(); c.CacheHits < 1 {
+		t.Fatalf("second eval should hit the plan cache: %+v", c)
+	}
+}
+
+func TestEstimationErrors(t *testing.T) {
+	p := mustParse(t, "P(x,w) :- E(x,y), E(y,z), R(z,w).")
+	db := adversarialDB(t, 25)
+	pl := New(Config{})
+	pp, _ := pl.PlanProgram(p, Collect(db))
+	res, err := datalog.Eval(pp.Program(), db.Clone(), datalog.DefaultOptions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errs := EstimationErrors(pp, res.Stats)
+	if len(errs) != 1 {
+		t.Fatalf("want 1 rule error, got %d", len(errs))
+	}
+	if errs[0].AbsLog2 < 0 || errs[0].Actual != float64(res.Stats.Rules[0].Derived) {
+		t.Fatalf("bad error record: %+v", errs[0])
+	}
+}
+
+func TestProbeMasksMatchPlanSteps(t *testing.T) {
+	p := mustParse(t, "P(x,w) :- E(x,y), E(y,z), R(z,w).")
+	db := adversarialDB(t, 20)
+	pl := New(Config{})
+	pp, _ := pl.PlanProgram(p, Collect(db))
+	rp := pp.Rules[0]
+	masks := datalog.ProbeMasks(rp.Rule)
+	for i, step := range rp.Steps {
+		if masks[i] != step.Probe {
+			t.Fatalf("step %d probe %b, engine mask %b", i, step.Probe, masks[i])
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package plan
+
+import "repro/internal/datalog"
+
+// Containment pre-pass: before any ordering happens, fold redundant
+// atoms out of conjunctive-query rule bodies (CQ minimization) and drop
+// rules another same-head rule provably subsumes (Chandra–Merlin
+// containment, internal/datalog/containment.go).
+//
+// Both transformations preserve the per-round immediate consequence
+// operator, not just the fixpoint: an equivalent minimized body derives
+// exactly the same head tuples from any instance, and a subsumed rule's
+// per-instance derivations are a subset of its subsumer's — so stages
+// and round counts survive, which is what lets the planned≡textual
+// equivalence tests compare them strictly.
+//
+// Rules that are not conjunctive queries — bodies with ≠ constraints,
+// recursion through the head, or constraint-only bodies like the magic
+// rewrite's seed rules — are never touched: CQ containment is unsound
+// for them (the canonical-database method breaks with inequalities),
+// so they pass through verbatim.
+
+// pruneRules returns the surviving rules in original order (minimized
+// where possible), the list of dropped rules, and how many redundant
+// body atoms minimization removed.
+func pruneRules(rules []datalog.Rule, cfg Config) ([]datalog.Rule, []PrunedRule, int) {
+	if len(rules) < 1 || len(rules) > cfg.MaxPruneRules {
+		return rules, nil, 0
+	}
+	out := make([]datalog.Rule, len(rules))
+	copy(out, rules)
+	cqs := make([]datalog.CQ, len(rules))
+	eligible := make([]bool, len(rules))
+	atomsDropped := 0
+	for i, r := range rules {
+		cq, err := datalog.NewCQ(r)
+		if err != nil {
+			continue
+		}
+		if len(r.Atoms()) <= cfg.MaxPruneAtoms {
+			if m, err := cq.Minimize(); err == nil {
+				if d := len(cq.Rule.Atoms()) - len(m.Rule.Atoms()); d > 0 {
+					atomsDropped += d
+					cq = m
+					out[i] = m.Rule
+				}
+			}
+		}
+		cqs[i] = cq
+		eligible[i] = true
+	}
+
+	drop := make([]bool, len(rules))
+	var pruned []PrunedRule
+	for i := range rules {
+		if !eligible[i] || drop[i] {
+			continue
+		}
+		for j := range rules {
+			if j == i || !eligible[j] || drop[j] {
+				continue
+			}
+			if cqs[i].Rule.Head.Pred != cqs[j].Rule.Head.Pred ||
+				len(cqs[i].Rule.Head.Args) != len(cqs[j].Rule.Head.Args) {
+				continue
+			}
+			contained, err := cqs[i].ContainedIn(cqs[j])
+			if err != nil || !contained {
+				continue
+			}
+			// Equivalent pair: keep the textually earlier rule. i survives
+			// here; the later outer iteration at j drops j against i.
+			if back, err := cqs[j].ContainedIn(cqs[i]); err == nil && back && i < j {
+				continue
+			}
+			drop[i] = true
+			pruned = append(pruned, PrunedRule{Rule: out[i].String(), By: out[j].String()})
+			break
+		}
+	}
+	if pruned == nil && atomsDropped == 0 {
+		return out, nil, 0
+	}
+	kept := out[:0]
+	for i, r := range out {
+		if !drop[i] {
+			kept = append(kept, r)
+		}
+	}
+	return kept, pruned, atomsDropped
+}

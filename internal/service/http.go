@@ -40,6 +40,7 @@ func (s *Service) Handler() http.Handler {
 		mux.HandleFunc(prefix+"/unregister", s.handleUnregister)
 		mux.HandleFunc(prefix+"/commit", s.handleCommit)
 		mux.HandleFunc(prefix+"/query", s.handleQuery)
+		mux.HandleFunc(prefix+"/explain", s.handleExplain)
 		mux.HandleFunc(prefix+"/stats", s.handleStats)
 		mux.HandleFunc(prefix+"/metrics", s.handleMetrics)
 	}
@@ -222,6 +223,33 @@ func (s *Service) handleQuery(w http.ResponseWriter, r *http.Request) {
 		resp.Tuples = tuplesToWire(res.Tuples)
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleExplain plans a query and reports the chosen join orders with
+// estimated and actual row counts (POST /v1/explain, same request shape
+// as /v1/query minus the membership tuple).
+func (s *Service) handleExplain(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodPost) {
+		return
+	}
+	var req ExplainRequestJSON
+	if err := DecodeJSON(r.Body, &req); err != nil {
+		writeError(w, r, http.StatusBadRequest, err)
+		return
+	}
+	version := int64(-1)
+	if req.Version != nil {
+		version = *req.Version
+	}
+	res, err := s.ExplainContext(r.Context(), ExplainRequest{
+		Program: req.Program, Source: req.Source, Pred: req.Pred, Version: version,
+		Bind: req.Bind,
+	})
+	if err != nil {
+		writeError(w, r, errorStatus(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, explainToWire(res))
 }
 
 func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {

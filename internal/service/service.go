@@ -14,6 +14,7 @@ import (
 	"repro/internal/datalog"
 	"repro/internal/magic"
 	"repro/internal/obs"
+	"repro/internal/plan"
 )
 
 // ErrClosed reports an operation on a service whose Close has been
@@ -40,6 +41,12 @@ type Config struct {
 	// QueryTimeout bounds each query's queueing plus evaluation time when
 	// > 0; queries exceeding it fail with context.DeadlineExceeded.
 	QueryTimeout time.Duration
+	// NoPlanner disables the cost-based join planner; evaluation falls
+	// back to textual body order. On by default because planning is
+	// answer-preserving and cached.
+	NoPlanner bool
+	// PlanCacheEntries bounds the planner's plan cache (default 128).
+	PlanCacheEntries int
 }
 
 // Service is a concurrent Datalog(≠) service: a versioned EDB store plus
@@ -56,6 +63,10 @@ type Service struct {
 	cache    *resultCache
 	rewrites *rewriteCache
 	exec     *executor
+	// planner is the shared cost-based join planner (nil with
+	// Config.NoPlanner); evaluations bind it to their snapshot's
+	// statistics catalog via optsFor.
+	planner *plan.Planner
 
 	// root ends when Close is called; every evaluation context is tied to
 	// it so shutdown aborts in-flight work.
@@ -92,7 +103,12 @@ type serviceMetrics struct {
 	commitSeconds   *obs.Histogram
 	maintainSeconds *obs.Histogram
 	demandFacts     *obs.Histogram
+	planEstError    *obs.Histogram
 }
+
+// planEstErrorBuckets bucket |log₂(estimated/actual)| rows: 0 means the
+// cost model nailed it, 3 means it was 8x off in either direction.
+var planEstErrorBuckets = []float64{0.5, 1, 2, 3, 4, 6, 8, 12}
 
 // registration is one registered program and its maintained view.
 type registration struct {
@@ -122,6 +138,9 @@ func New(cfg Config) (*Service, error) {
 	if cfg.RewriteCacheEntries == 0 {
 		cfg.RewriteCacheEntries = 64
 	}
+	if cfg.PlanCacheEntries == 0 {
+		cfg.PlanCacheEntries = 128
+	}
 	root, stop := context.WithCancel(context.Background())
 	s := &Service{
 		cfg:      cfg,
@@ -133,6 +152,9 @@ func New(cfg Config) (*Service, error) {
 		root:     root,
 		stop:     stop,
 		progs:    map[string]*registration{},
+	}
+	if !cfg.NoPlanner {
+		s.planner = plan.New(plan.Config{CacheEntries: cfg.PlanCacheEntries})
 	}
 	s.initMetrics()
 	return s, nil
@@ -185,6 +207,28 @@ func (s *Service) initMetrics() {
 		_, _, _, entries := s.rewrites.counters()
 		return float64(entries)
 	})
+	if s.planner != nil {
+		s.met.planEstError = r.Histogram("datalog_plan_estimation_error",
+			"per-rule |log2(estimated/actual)| derived rows", planEstErrorBuckets)
+		r.CounterFunc("datalog_plans_built_total", "join plans constructed", func() int64 {
+			return s.planner.Counters().Built
+		})
+		r.CounterFunc("datalog_plan_cache_hits_total", "plan cache hits", func() int64 {
+			return s.planner.Counters().CacheHits
+		})
+		r.CounterFunc("datalog_plan_cache_misses_total", "plan cache misses", func() int64 {
+			return s.planner.Counters().CacheMisses
+		})
+		r.CounterFunc("datalog_plan_rules_pruned_total", "subsumed rules dropped by the containment pre-pass", func() int64 {
+			return s.planner.Counters().RulesPruned
+		})
+		r.CounterFunc("datalog_plan_atoms_pruned_total", "redundant body atoms removed by CQ minimization", func() int64 {
+			return s.planner.Counters().AtomsPruned
+		})
+		r.GaugeFunc("datalog_plan_cache_entries", "live plan cache entries", func() float64 {
+			return float64(s.planner.Counters().CacheEntries)
+		})
+	}
 }
 
 // Metrics returns the service's metrics registry (served at /v1/metrics).
@@ -220,7 +264,30 @@ func ProgramHash(p *datalog.Program) string {
 	return hex.EncodeToString(sum[:])
 }
 
-func (s *Service) evalOptions() datalog.Options { return s.opts }
+// optsFor returns the evaluation options for one snapshot: the base
+// options with the cost-based planner bound to that snapshot's statistics
+// catalog. Binding per snapshot (rather than sharing one catalog) keeps
+// historical queries planned against the statistics of their own version.
+func (s *Service) optsFor(snap *Snapshot) datalog.Options {
+	if s.planner == nil {
+		return s.opts
+	}
+	return s.opts.WithPlanner(s.planner.With(snap.Stats))
+}
+
+// observeEstimation scores the cost model against reality: it re-fetches
+// the plan the evaluation used (a warm plan-cache hit) and records each
+// rule's |log2(estimated/actual)| derived-row error in the
+// datalog_plan_estimation_error histogram.
+func (s *Service) observeEstimation(prog *datalog.Program, snap *Snapshot, st *datalog.EvalStats) {
+	if s.planner == nil || st == nil {
+		return
+	}
+	pp, _ := s.planner.PlanProgram(prog, snap.Stats)
+	for _, re := range plan.EstimationErrors(pp, st) {
+		s.met.planEstError.Observe(re.AbsLog2)
+	}
+}
 
 // RegisterInfo describes a registration.
 type RegisterInfo struct {
@@ -256,11 +323,12 @@ func (s *Service) RegisterContext(ctx context.Context, name, source string) (Reg
 	defer s.mu.Unlock()
 	snap := s.store.Latest()
 	start := time.Now()
-	inc, err := datalog.NewIncrementalContext(ctx, prog, snap.DB, s.evalOptions())
+	inc, err := datalog.NewIncrementalContext(ctx, prog, snap.DB, s.optsFor(snap))
 	if err != nil {
 		return RegisterInfo{}, err
 	}
 	s.met.evalRounds.Add(int64(inc.Rounds()))
+	s.observeEstimation(prog, snap, inc.Result().Stats)
 	reg := &registration{
 		name:         name,
 		hash:         ProgramHash(prog),
@@ -442,46 +510,53 @@ func (s *Service) QueryContext(ctx context.Context, req QueryRequest) (QueryResu
 	return res, err
 }
 
-func (s *Service) queryContext(ctx context.Context, req QueryRequest) (QueryResult, error) {
-	if err := s.root.Err(); err != nil {
-		return QueryResult{}, ErrClosed
-	}
-	var prog *datalog.Program
-	var hash string
-	var reg *registration
+// resolveQuery resolves the program (registered by name or parsed from
+// inline source), target predicate (defaulting to the program's goal) and
+// pinned version (<0 means latest) of a query or explain request. reg is
+// non-nil iff the request named a registration.
+func (s *Service) resolveQuery(program, source, pred string, version int64) (prog *datalog.Program, hash string, reg *registration, rpred string, rversion int64, err error) {
 	switch {
-	case req.Program != "" && req.Source != "":
-		return QueryResult{}, fmt.Errorf("service: query must name a registered program or carry source, not both")
-	case req.Program != "":
+	case program != "" && source != "":
+		return nil, "", nil, "", 0, fmt.Errorf("service: query must name a registered program or carry source, not both")
+	case program != "":
 		s.mu.RLock()
-		reg = s.progs[req.Program]
+		reg = s.progs[program]
 		s.mu.RUnlock()
 		if reg == nil {
-			return QueryResult{}, fmt.Errorf("service: no program registered as %q", req.Program)
+			return nil, "", nil, "", 0, fmt.Errorf("service: no program registered as %q", program)
 		}
 		prog, hash = reg.prog, reg.hash
-	case req.Source != "":
-		p, err := datalog.Parse(req.Source)
+	case source != "":
+		p, err := datalog.Parse(source)
 		if err != nil {
-			return QueryResult{}, err
+			return nil, "", nil, "", 0, err
 		}
 		if err := datalog.Validate(p); err != nil {
-			return QueryResult{}, err
+			return nil, "", nil, "", 0, err
 		}
 		prog, hash = p, ProgramHash(p)
 	default:
-		return QueryResult{}, fmt.Errorf("service: query names no program and carries no source")
+		return nil, "", nil, "", 0, fmt.Errorf("service: query names no program and carries no source")
 	}
-	pred := req.Pred
 	if pred == "" {
 		pred = prog.Goal
 	}
 	if !prog.IDBs()[pred] {
-		return QueryResult{}, fmt.Errorf("service: %q is not an IDB predicate of the program", pred)
+		return nil, "", nil, "", 0, fmt.Errorf("service: %q is not an IDB predicate of the program", pred)
 	}
-	version := req.Version
 	if version < 0 {
 		version = s.store.Version()
+	}
+	return prog, hash, reg, pred, version, nil
+}
+
+func (s *Service) queryContext(ctx context.Context, req QueryRequest) (QueryResult, error) {
+	if err := s.root.Err(); err != nil {
+		return QueryResult{}, ErrClosed
+	}
+	prog, hash, reg, pred, version, err := s.resolveQuery(req.Program, req.Source, req.Pred, req.Version)
+	if err != nil {
+		return QueryResult{}, err
 	}
 	if boundCount(req.Bind) > 0 {
 		return s.goalQuery(ctx, prog, hash, pred, version, req.Bind)
@@ -518,10 +593,10 @@ func (s *Service) queryContext(ctx context.Context, req QueryRequest) (QueryResu
 	defer done()
 	var tuples []datalog.Tuple
 	var evalErr error
-	err := s.exec.do(ctx, func() {
+	err = s.exec.do(ctx, func() {
 		s.scratchEval.Add(1)
 		s.met.scratchEvals.Inc()
-		res, err := datalog.EvalContext(ctx, prog, snap.DB.Clone(), s.evalOptions())
+		res, err := datalog.EvalContext(ctx, prog, snap.DB.Clone(), s.optsFor(snap))
 		if res != nil {
 			s.met.evalRounds.Add(int64(res.Rounds))
 		}
@@ -529,6 +604,7 @@ func (s *Service) queryContext(ctx context.Context, req QueryRequest) (QueryResu
 			evalErr = err
 			return
 		}
+		s.observeEstimation(prog, snap, res.Stats)
 		tuples = res.IDB[pred].Tuples()
 	})
 	if err != nil {
@@ -605,7 +681,7 @@ func (s *Service) goalQuery(ctx context.Context, prog *datalog.Program, hash, pr
 	err := s.exec.do(ctx, func() {
 		s.scratchEval.Add(1)
 		s.met.scratchEvals.Inc()
-		goalRes, evalErr = magic.EvalRewritten(ctx, rw, snap.DB.Clone(), goal, s.evalOptions())
+		goalRes, evalErr = magic.EvalRewritten(ctx, rw, snap.DB.Clone(), goal, s.optsFor(snap))
 		if goalRes != nil && goalRes.Result != nil {
 			s.met.evalRounds.Add(int64(goalRes.Result.Rounds))
 		}
@@ -616,6 +692,9 @@ func (s *Service) goalQuery(ctx context.Context, prog *datalog.Program, hash, pr
 	if evalErr != nil {
 		return QueryResult{}, evalErr
 	}
+	if seeded, err := rw.Seeded(goal); err == nil {
+		s.observeEstimation(seeded, snap, goalRes.Result.Stats)
+	}
 	s.met.demandFacts.Observe(float64(goalRes.Stats.DemandFacts))
 	s.cache.put(key, goalRes.Answers)
 	stats := goalRes.Stats
@@ -623,6 +702,123 @@ func (s *Service) goalQuery(ctx context.Context, prog *datalog.Program, hash, pr
 		Pred: pred, Version: version, Tuples: goalRes.Answers,
 		Origin: "magic", Goal: goal.String(), GoalStats: &stats,
 	}, nil
+}
+
+// ExplainRequest asks for the join plan of a query without serving its
+// tuples from cache: same resolution fields as QueryRequest.
+type ExplainRequest struct {
+	Program string
+	Source  string
+	Pred    string
+	Version int64
+	Bind    []*int
+}
+
+// ExplainResult is the planner's account of how a query would run (and,
+// because the plan is evaluated to gather actuals, how it did run).
+type ExplainResult struct {
+	Pred    string
+	Version int64
+	// Goal is the binding pattern for a bound request (e.g. "S(0,_)");
+	// empty when every position is free.
+	Goal string
+	// Strategy and Epoch identify the plan cache key components beyond the
+	// program hash.
+	Strategy string
+	Epoch    uint64
+	// CacheHit reports whether the plan came out of the plan cache.
+	CacheHit bool
+	// Plan is the full per-rule plan: atom order, probe masks, estimates.
+	Plan *plan.ProgramPlan
+	// Actuals are the per-rule evaluation statistics of the planned
+	// program, index-aligned with Plan.Rules.
+	Actuals []datalog.RuleStats
+}
+
+// Explain is ExplainContext with a background context.
+func (s *Service) Explain(req ExplainRequest) (ExplainResult, error) {
+	return s.ExplainContext(context.Background(), req)
+}
+
+// ExplainContext plans a query and evaluates the planned program against
+// the pinned snapshot to report estimated versus actual rows per rule.
+// Bound requests are explained as the service would run them: the plan
+// shown is the plan of the magic-set-rewritten, seeded program. Requires
+// the planner (Config.NoPlanner unset).
+func (s *Service) ExplainContext(ctx context.Context, req ExplainRequest) (ExplainResult, error) {
+	if err := s.root.Err(); err != nil {
+		return ExplainResult{}, ErrClosed
+	}
+	if s.planner == nil {
+		return ExplainResult{}, fmt.Errorf("service: planner is disabled")
+	}
+	prog, _, _, pred, version, err := s.resolveQuery(req.Program, req.Source, req.Pred, req.Version)
+	if err != nil {
+		return ExplainResult{}, err
+	}
+	snap, ok := s.store.At(version)
+	if !ok {
+		return ExplainResult{}, fmt.Errorf("service: version %d is not retained (oldest is %d, latest %d)",
+			version, s.store.Oldest(), s.store.Version())
+	}
+	out := ExplainResult{Pred: pred, Version: version, Strategy: s.planner.Strategy()}
+
+	// For a bound request, explain the program the service actually
+	// evaluates: the magic rewrite seeded with the bound values.
+	target := prog
+	if boundCount(req.Bind) > 0 {
+		arity := prog.Arities()[pred]
+		if len(req.Bind) != arity {
+			return ExplainResult{}, fmt.Errorf("service: bind has %d positions, predicate %s has arity %d", len(req.Bind), pred, arity)
+		}
+		goal := datalog.Goal{Pred: pred, Bound: make([]bool, arity), Value: make([]int, arity)}
+		for i, b := range req.Bind {
+			if b != nil {
+				goal.Bound[i] = true
+				goal.Value[i] = *b
+			}
+		}
+		rw, err := magic.NewRewrite(prog, goal, magic.BoundFirstSIP{})
+		if err != nil {
+			return ExplainResult{}, err
+		}
+		if target, err = rw.Seeded(goal); err != nil {
+			return ExplainResult{}, err
+		}
+		out.Goal = goal.String()
+	}
+
+	pp, hit := s.planner.PlanProgram(target, snap.Stats)
+	out.Plan, out.CacheHit, out.Epoch = pp, hit, pp.Epoch
+
+	// Evaluate the planned program for actual row counts. Runs on the
+	// bounded executor like any other from-scratch query.
+	ctx, done := s.scoped(ctx, s.cfg.QueryTimeout)
+	defer done()
+	var evalErr error
+	err = s.exec.do(ctx, func() {
+		s.scratchEval.Add(1)
+		s.met.scratchEvals.Inc()
+		res, err := datalog.EvalContext(ctx, pp.Program(), snap.DB.Clone(), s.opts)
+		if res != nil {
+			s.met.evalRounds.Add(int64(res.Rounds))
+		}
+		if err != nil {
+			evalErr = err
+			return
+		}
+		out.Actuals = res.Stats.Rules
+		for _, re := range plan.EstimationErrors(pp, res.Stats) {
+			s.met.planEstError.Observe(re.AbsLog2)
+		}
+	})
+	if err != nil {
+		return ExplainResult{}, err
+	}
+	if evalErr != nil {
+		return ExplainResult{}, evalErr
+	}
+	return out, nil
 }
 
 // ProgramStats describes one registered program in Stats.
@@ -678,6 +874,16 @@ type Stats struct {
 		Entries       int   `json:"rewrite_entries"`
 		Capacity      int   `json:"rewrite_capacity"`
 	} `json:"magic"`
+	Planner struct {
+		Enabled     bool   `json:"enabled"`
+		Built       int64  `json:"plans_built"`
+		CacheHits   int64  `json:"cache_hits"`
+		CacheMisses int64  `json:"cache_misses"`
+		RulesPruned int64  `json:"rules_pruned"`
+		AtomsPruned int64  `json:"atoms_pruned"`
+		Entries     int64  `json:"cache_entries"`
+		Epoch       string `json:"stats_epoch"` // latest snapshot's catalog fingerprint, hex
+	} `json:"planner"`
 }
 
 // Stats assembles the current counters.
@@ -722,5 +928,16 @@ func (s *Service) Stats() Stats {
 	st.Executor.InFlight = s.exec.inFlight.Load()
 	st.Executor.Peak = s.exec.peak.Load()
 	st.Executor.Total = s.exec.total.Load()
+	if s.planner != nil {
+		c := s.planner.Counters()
+		st.Planner.Enabled = true
+		st.Planner.Built = c.Built
+		st.Planner.CacheHits = c.CacheHits
+		st.Planner.CacheMisses = c.CacheMisses
+		st.Planner.RulesPruned = c.RulesPruned
+		st.Planner.AtomsPruned = c.AtomsPruned
+		st.Planner.Entries = c.CacheEntries
+		st.Planner.Epoch = fmt.Sprintf("%016x", s.store.Latest().Stats.Fingerprint())
+	}
 	return st
 }

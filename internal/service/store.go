@@ -14,6 +14,7 @@ import (
 	"sync"
 
 	"repro/internal/datalog"
+	"repro/internal/plan"
 )
 
 // Snapshot is one immutable version of the EDB. The database must never
@@ -26,6 +27,12 @@ type Snapshot struct {
 	Inserted int // facts actually added by the commit that produced this version
 	Deleted  int // facts actually removed by that commit
 	Facts    int // total facts across all relations
+	// Stats is the planner's statistics catalog for this version. Like the
+	// database it is immutable; Commit refreshes only the relations the
+	// batch touched and shares the rest with the previous snapshot, so the
+	// per-commit cost is proportional to the changed relations, not the
+	// whole EDB.
+	Stats *plan.Catalog
 }
 
 // Store is the versioned EDB store: an in-order history of copy-on-write
@@ -43,9 +50,10 @@ func NewStore(n, history int) *Store {
 	if history < 1 {
 		history = 1
 	}
+	db := datalog.NewDatabase(n)
 	return &Store{
 		history: history,
-		snaps:   []*Snapshot{{Version: 0, DB: datalog.NewDatabase(n)}},
+		snaps:   []*Snapshot{{Version: 0, DB: db, Stats: plan.Collect(db)}},
 	}
 }
 
@@ -159,6 +167,7 @@ func (s *Store) Commit(insert, del []datalog.Fact) (*Snapshot, error) {
 	for _, name := range db.Names() {
 		next.Facts += db.Relation(name).Size()
 	}
+	next.Stats = prev.Stats.Refresh(db, names...)
 	s.snaps = append(s.snaps, next)
 	if len(s.snaps) > s.history {
 		copy(s.snaps, s.snaps[len(s.snaps)-s.history:])

@@ -85,6 +85,102 @@ type QueryResponse struct {
 	DemandFacts *int    `json:"demand_facts,omitempty"`
 }
 
+// ExplainRequestJSON asks for the join plan of a query: same resolution
+// fields as QueryRequestJSON. A bind with a bound position explains the
+// magic-set-rewritten, seeded program the service would actually run.
+type ExplainRequestJSON struct {
+	Program string `json:"program,omitempty"`
+	Source  string `json:"source,omitempty"`
+	Pred    string `json:"pred,omitempty"`
+	Version *int64 `json:"version,omitempty"`
+	Bind    []*int `json:"bind,omitempty"`
+}
+
+// ExplainStepJSON is one join step of a planned rule body.
+type ExplainStepJSON struct {
+	Atom      string  `json:"atom"`
+	OrigIndex int     `json:"orig_index"`
+	ProbeCols []int   `json:"probe_cols"`
+	EstFanout float64 `json:"est_fanout"`
+	EstRows   float64 `json:"est_rows"`
+}
+
+// ExplainRuleJSON is the plan and the observed statistics for one rule.
+type ExplainRuleJSON struct {
+	Original   string            `json:"original"`
+	Planned    string            `json:"planned"`
+	Reordered  bool              `json:"reordered"`
+	Exhaustive bool              `json:"exhaustive"`
+	EstRows    float64           `json:"est_rows"`
+	EstCost    float64           `json:"est_cost"`
+	Steps      []ExplainStepJSON `json:"steps"`
+	ActualRows int64             `json:"actual_rows"` // derived rows, duplicates included
+	NewRows    int64             `json:"new_rows"`
+	Firings    int64             `json:"firings"`
+	TimeNs     int64             `json:"time_ns"`
+}
+
+// ExplainPrunedJSON records a rule the containment pre-pass dropped.
+type ExplainPrunedJSON struct {
+	Rule string `json:"rule"`
+	By   string `json:"subsumed_by"`
+}
+
+// ExplainResponse is the plan of one query plus actual row counts from
+// evaluating it.
+type ExplainResponse struct {
+	Pred         string              `json:"pred"`
+	Version      int64               `json:"version"`
+	Goal         string              `json:"goal,omitempty"`
+	Strategy     string              `json:"strategy"`
+	Epoch        string              `json:"stats_epoch"`
+	PlanCacheHit bool                `json:"plan_cache_hit"`
+	Pruned       []ExplainPrunedJSON `json:"pruned,omitempty"`
+	Rules        []ExplainRuleJSON   `json:"rules"`
+}
+
+// maskCols expands a probe bitmask into the column indexes it covers.
+func maskCols(mask uint64) []int {
+	var cols []int
+	for i := 0; mask != 0; i, mask = i+1, mask>>1 {
+		if mask&1 != 0 {
+			cols = append(cols, i)
+		}
+	}
+	return cols
+}
+
+// explainToWire flattens an ExplainResult for JSON.
+func explainToWire(res ExplainResult) ExplainResponse {
+	out := ExplainResponse{
+		Pred: res.Pred, Version: res.Version, Goal: res.Goal,
+		Strategy: res.Strategy, Epoch: fmt.Sprintf("%016x", res.Epoch),
+		PlanCacheHit: res.CacheHit,
+	}
+	for _, pr := range res.Plan.Pruned {
+		out.Pruned = append(out.Pruned, ExplainPrunedJSON{Rule: pr.Rule, By: pr.By})
+	}
+	for i, rp := range res.Plan.Rules {
+		rj := ExplainRuleJSON{
+			Original: rp.Original, Planned: rp.Planned,
+			Reordered: rp.Reordered, Exhaustive: rp.Exhaustive,
+			EstRows: rp.EstRows, EstCost: rp.EstCost,
+		}
+		for _, st := range rp.Steps {
+			rj.Steps = append(rj.Steps, ExplainStepJSON{
+				Atom: st.Atom, OrigIndex: st.OrigIndex, ProbeCols: maskCols(st.Probe),
+				EstFanout: st.EstFanout, EstRows: st.EstRows,
+			})
+		}
+		if i < len(res.Actuals) {
+			a := res.Actuals[i]
+			rj.ActualRows, rj.NewRows, rj.Firings, rj.TimeNs = a.Derived, a.New, a.Firings, a.TimeNs
+		}
+		out.Rules = append(out.Rules, rj)
+	}
+	return out
+}
+
 // ErrorResponse carries a request failure on the legacy unversioned
 // paths.
 type ErrorResponse struct {
