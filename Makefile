@@ -19,7 +19,12 @@ BENCH_MAGIC_PATTERN := BenchmarkE26_
 # and the subsumption pre-pass).
 BENCH_PLAN_PATTERN := BenchmarkE27_
 
-.PHONY: build test verify bench bench-json bench-pebble bench-pebble-json bench-magic bench-magic-json bench-plan bench-plan-json clean
+# Benchmarks that gate the durable storage subsystem (E28: commit latency
+# per fsync policy vs the memory-only floor, and cold-start recovery time
+# vs WAL length with and without checkpoints).
+BENCH_STORAGE_PATTERN := BenchmarkE28_
+
+.PHONY: build test verify bench bench-json bench-pebble bench-pebble-json bench-magic bench-magic-json bench-plan bench-plan-json bench-storage bench-storage-json clean
 
 build:
 	$(GO) build ./...
@@ -30,13 +35,13 @@ test:
 # verify is the tier-1 gate: build, full tests, vet, and the race
 # detector over the packages with concurrent code paths (the parallel
 # rule-firing worker pool, the pebble-game referee, the incremental
-# service with its concurrent query/commit front end, and the metrics
-# registry).
+# service with its concurrent query/commit front end, the WAL with its
+# group-commit flusher, and the metrics registry).
 verify:
 	$(GO) build ./...
 	$(GO) test ./...
 	$(GO) vet ./...
-	$(GO) test -race ./internal/datalog/... ./internal/magic/... ./internal/pebble/... ./internal/service/... ./internal/obs/... ./internal/plan/...
+	$(GO) test -race ./internal/datalog/... ./internal/magic/... ./internal/pebble/... ./internal/service/... ./internal/obs/... ./internal/plan/... ./internal/storage/...
 
 # bench runs the evaluation-core benchmarks with allocation counts and
 # keeps the raw text output in BENCH_eval.txt.
@@ -74,5 +79,13 @@ bench-plan:
 bench-plan-json:
 	$(GO) test -run '^$$' -bench '$(BENCH_PLAN_PATTERN)' -benchmem -count 5 . | tee BENCH_plan.txt | $(GO) run ./cmd/benchjson > BENCH_plan.json
 
+# bench-storage / bench-storage-json point the same harness at the E28
+# durable-storage benchmarks, producing BENCH_storage.{txt,json}.
+bench-storage:
+	$(GO) test -run '^$$' -bench '$(BENCH_STORAGE_PATTERN)' -benchmem -count 5 . | tee BENCH_storage.txt
+
+bench-storage-json:
+	$(GO) test -run '^$$' -bench '$(BENCH_STORAGE_PATTERN)' -benchmem -count 5 . | tee BENCH_storage.txt | $(GO) run ./cmd/benchjson > BENCH_storage.json
+
 clean:
-	rm -f BENCH_eval.txt BENCH_eval.json BENCH_pebble.txt BENCH_pebble.json BENCH_magic.txt BENCH_magic.json BENCH_plan.txt BENCH_plan.json
+	rm -f BENCH_eval.txt BENCH_eval.json BENCH_pebble.txt BENCH_pebble.json BENCH_magic.txt BENCH_magic.json BENCH_plan.txt BENCH_plan.json BENCH_storage.txt BENCH_storage.json

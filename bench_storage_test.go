@@ -1,0 +1,122 @@
+// E28: the durable storage subsystem. Two questions, per DESIGN.md §12:
+// what each fsync policy costs per acknowledged commit (against the
+// memory-only service as the floor), and how cold-start recovery time
+// scales with WAL length — and how checkpoints flatten it.
+package repro
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/datalog"
+	"repro/internal/service"
+)
+
+const e28Universe = 256
+
+func e28Fact(i int) datalog.Fact {
+	return datalog.Fact{Pred: "E", Tuple: datalog.Tuple{i % e28Universe, (i*7 + 3) % e28Universe}}
+}
+
+// benchE28Commits measures per-commit latency of one-fact commits against
+// a live service. Checkpointing is disabled so the run measures the
+// append path, not periodic snapshot writes.
+func benchE28Commits(b *testing.B, cfg service.Config) {
+	b.Helper()
+	svc, err := service.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := svc.Commit([]datalog.Fact{e28Fact(i)}, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if err := svc.Close(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkE28_CommitFsync(b *testing.B) {
+	for _, policy := range []string{"always", "interval", "none"} {
+		b.Run(policy, func(b *testing.B) {
+			benchE28Commits(b, service.Config{
+				Universe: e28Universe, History: 4,
+				DataDir: b.TempDir(), Fsync: policy, CheckpointEvery: -1,
+			})
+		})
+	}
+	// The floor: the identical commit path with storage disabled.
+	b.Run("memory", func(b *testing.B) {
+		benchE28Commits(b, service.Config{Universe: e28Universe, History: 4})
+	})
+}
+
+// seedWAL builds a data directory holding n one-fact commits and returns
+// its config for reopening. Fsync "none" keeps seeding fast; the records
+// are identical to what "always" would leave behind.
+func seedWAL(b *testing.B, n, checkpointEvery int) service.Config {
+	b.Helper()
+	cfg := service.Config{
+		Universe: e28Universe, History: 4,
+		DataDir: b.TempDir(), Fsync: "none", CheckpointEvery: checkpointEvery,
+	}
+	svc, err := service.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if _, err := svc.Commit([]datalog.Fact{e28Fact(i)}, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := svc.Close(); err != nil {
+		b.Fatal(err)
+	}
+	return cfg
+}
+
+// BenchmarkE28_Recovery times New → Close over a prebuilt directory:
+// cold-start recovery. The wal-N variants replay N commits with no
+// checkpoint; the checkpointed variant holds the same 1024 commits but
+// checkpoints every 256, so recovery loads the last snapshot and replays
+// nothing — the knob that bounds restart time.
+func BenchmarkE28_Recovery(b *testing.B) {
+	for _, n := range []int{64, 256, 1024} {
+		b.Run(fmt.Sprintf("wal-%d", n), func(b *testing.B) {
+			cfg := seedWAL(b, n, -1)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				svc, err := service.New(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if got := svc.Store().Version(); got != int64(n) {
+					b.Fatalf("recovered to version %d, want %d", got, n)
+				}
+				if err := svc.Close(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	b.Run("checkpointed-1024", func(b *testing.B) {
+		cfg := seedWAL(b, 1024, 256)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			svc, err := service.New(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if got := svc.Store().Version(); got != 1024 {
+				b.Fatalf("recovered to version %d, want 1024", got)
+			}
+			if err := svc.Close(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -7,11 +7,22 @@
 //	serve [-addr :8344] [-universe 64] [-history 64] [-cache 256]
 //	      [-workers 0] [-parallel 0] [-query-timeout 0] [-pprof]
 //	      [-facts db.facts] [-program prog.dl] [-name main]
+//	      [-data-dir dir] [-fsync always] [-fsync-interval 2ms]
+//	      [-checkpoint-every 256] [-segment-bytes 8388608]
 //
 // With -facts the file's database is committed as version 1 at startup;
 // with -program the file is registered under -name before serving.
 // -query-timeout bounds each query's queueing plus evaluation; -pprof
 // exposes net/http/pprof under /debug/pprof/ on the same listener.
+//
+// With -data-dir the service is durable: commits and registrations are
+// appended to a checksummed write-ahead log under the directory and
+// replayed on startup, so a restart resumes at the last durable version
+// with every program re-registered and its view re-derived. -fsync picks
+// the durability/latency trade (always | interval | none), -fsync-interval
+// sizes the group-commit window for "interval", -checkpoint-every bounds
+// replay length (and WAL disk footprint) in commits, and -segment-bytes
+// sizes WAL segment files.
 //
 // Endpoints (versioned; the unversioned paths remain as aliases):
 //
@@ -57,20 +68,42 @@ func main() {
 	factsPath := flag.String("facts", "", "facts file committed as version 1 at startup")
 	progPath := flag.String("program", "", "program file registered at startup")
 	progName := flag.String("name", "main", "registration name for -program")
+	dataDir := flag.String("data-dir", "", "durable storage directory (empty = memory-only)")
+	fsync := flag.String("fsync", "always", "WAL sync policy: always | interval | none")
+	fsyncInterval := flag.Duration("fsync-interval", 2*time.Millisecond, "group-commit window for -fsync interval")
+	checkpointEvery := flag.Int("checkpoint-every", 256, "commits between snapshot checkpoints (negative = never)")
+	segmentBytes := flag.Int64("segment-bytes", 8<<20, "WAL segment size before rotation")
 	flag.Parse()
 
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
 
 	svc, err := service.New(service.Config{
-		Universe:     *universe,
-		History:      *history,
-		CacheEntries: *cache,
-		Workers:      *workers,
-		Parallelism:  *parallel,
-		QueryTimeout: *queryTimeout,
+		Universe:        *universe,
+		History:         *history,
+		CacheEntries:    *cache,
+		Workers:         *workers,
+		Parallelism:     *parallel,
+		QueryTimeout:    *queryTimeout,
+		DataDir:         *dataDir,
+		Fsync:           *fsync,
+		FsyncInterval:   *fsyncInterval,
+		CheckpointEvery: *checkpointEvery,
+		SegmentBytes:    *segmentBytes,
 	})
 	fatalIf(err)
 	defer svc.Close()
+
+	if rec := svc.Recovery(); rec.Enabled {
+		logger.Info("recovered durable state",
+			"dir", *dataDir, "fsync", *fsync,
+			"version", rec.Version, "checkpoint_version", rec.CheckpointVersion,
+			"replayed_commits", rec.ReplayedCommits, "programs", rec.Programs)
+		if rec.TornTail || rec.CorruptRecords > 0 || rec.BadCheckpoints > 0 {
+			logger.Warn("recovery discarded damaged log data",
+				"torn_tail", rec.TornTail, "corrupt_records", rec.CorruptRecords,
+				"dropped_bytes", rec.DroppedBytes, "bad_checkpoints", rec.BadCheckpoints)
+		}
+	}
 
 	if *factsPath != "" {
 		b, err := os.ReadFile(*factsPath)
@@ -126,7 +159,9 @@ func main() {
 		if err := server.Shutdown(ctx); err != nil {
 			logger.Error("shutdown", "err", err)
 		}
-		svc.Close()
+		if err := svc.Close(); err != nil {
+			logger.Error("closing durable log", "err", err)
+		}
 	}()
 
 	logger.Info("serving Datalog(≠)",

@@ -137,7 +137,12 @@ func (s *Service) handleUnregister(w http.ResponseWriter, r *http.Request) {
 		writeError(w, r, http.StatusBadRequest, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]bool{"removed": s.Unregister(req.Name)})
+	removed, err := s.Unregister(req.Name)
+	if err != nil {
+		writeError(w, r, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"removed": removed})
 }
 
 func (s *Service) handleCommit(w http.ResponseWriter, r *http.Request) {

@@ -56,7 +56,7 @@ func TestPlannedServiceEquivalence(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		t.Cleanup(s.Close)
+		t.Cleanup(func() { s.Close() })
 		advCommit(t, s)
 		if _, err := s.Commit([]datalog.Fact{{Pred: "R", Tuple: datalog.Tuple{4, 5}}}, nil); err != nil {
 			t.Fatal(err)

@@ -15,6 +15,7 @@ import (
 	"repro/internal/magic"
 	"repro/internal/obs"
 	"repro/internal/plan"
+	"repro/internal/storage"
 )
 
 // ErrClosed reports an operation on a service whose Close has been
@@ -47,6 +48,27 @@ type Config struct {
 	NoPlanner bool
 	// PlanCacheEntries bounds the planner's plan cache (default 128).
 	PlanCacheEntries int
+
+	// DataDir enables durable storage: commits, registrations and
+	// unregistrations are appended to a checksummed WAL under this
+	// directory, snapshot checkpoints bound replay, and New recovers the
+	// store to the last durable commit on startup. Empty means
+	// memory-only (the pre-storage behavior).
+	DataDir string
+	// Fsync selects the WAL sync policy when DataDir is set: "always"
+	// (default — an acknowledged commit is durable), "interval"
+	// (group commit: batches fsynced at most every FsyncInterval), or
+	// "none" (the OS decides; fsync only on rotation/checkpoint/close).
+	Fsync string
+	// FsyncInterval is the group-commit window for Fsync "interval"
+	// (default 2ms).
+	FsyncInterval time.Duration
+	// CheckpointEvery writes a snapshot checkpoint (and truncates covered
+	// WAL segments) every this many commits (default 256; negative
+	// disables checkpointing).
+	CheckpointEvery int
+	// SegmentBytes rolls WAL segments at this size (default 8 MiB).
+	SegmentBytes int64
 }
 
 // Service is a concurrent Datalog(≠) service: a versioned EDB store plus
@@ -68,10 +90,19 @@ type Service struct {
 	// statistics catalog via optsFor.
 	planner *plan.Planner
 
+	// log is the durable write-ahead log (nil without Config.DataDir).
+	// Appends happen under mu, after the in-memory store publishes and
+	// before the commit is acknowledged; recovery replays it in New.
+	log       *storage.Log
+	recovered RecoveryInfo
+	sinceCkpt int // commits since the last checkpoint, guarded by mu
+
 	// root ends when Close is called; every evaluation context is tied to
 	// it so shutdown aborts in-flight work.
-	root context.Context
-	stop context.CancelFunc
+	root      context.Context
+	stop      context.CancelFunc
+	closeOnce sync.Once
+	closeErr  error
 
 	reg *obs.Registry
 	met serviceMetrics
@@ -87,23 +118,24 @@ type Service struct {
 // serviceMetrics is the service's obs instrumentation; see initMetrics
 // for the meaning of each series.
 type serviceMetrics struct {
-	queries         *obs.Counter
-	queryErrors     *obs.Counter
-	commits         *obs.Counter
-	commitErrors    *obs.Counter
-	scratchEvals    *obs.Counter
-	evalRounds      *obs.Counter
-	cacheHits       *obs.Counter
-	cacheMisses     *obs.Counter
-	programsDropped *obs.Counter
-	goalQueries     *obs.Counter
-	rewriteHits     *obs.Counter
-	rewriteMisses   *obs.Counter
-	querySeconds    *obs.Histogram
-	commitSeconds   *obs.Histogram
-	maintainSeconds *obs.Histogram
-	demandFacts     *obs.Histogram
-	planEstError    *obs.Histogram
+	queries          *obs.Counter
+	queryErrors      *obs.Counter
+	commits          *obs.Counter
+	commitErrors     *obs.Counter
+	scratchEvals     *obs.Counter
+	evalRounds       *obs.Counter
+	cacheHits        *obs.Counter
+	cacheMisses      *obs.Counter
+	programsDropped  *obs.Counter
+	goalQueries      *obs.Counter
+	rewriteHits      *obs.Counter
+	rewriteMisses    *obs.Counter
+	checkpointErrors *obs.Counter
+	querySeconds     *obs.Histogram
+	commitSeconds    *obs.Histogram
+	maintainSeconds  *obs.Histogram
+	demandFacts      *obs.Histogram
+	planEstError     *obs.Histogram
 }
 
 // planEstErrorBuckets bucket |log₂(estimated/actual)| rows: 0 means the
@@ -123,8 +155,14 @@ type registration struct {
 	maintainLast  time.Duration
 }
 
-// New returns an empty service over Config.Universe elements. Callers
-// that want shutdown to abort in-flight evaluations must call Close.
+// New returns a service over Config.Universe elements. With
+// Config.DataDir set it opens the durable log and rebuilds the store to
+// the last durable commit: the newest valid checkpoint is loaded, WAL
+// records after it are replayed through the ordinary commit/registration
+// paths (so incremental views are re-derived by the same maintenance code
+// that built them), and the log is left appendable. Callers that want
+// shutdown to abort in-flight evaluations — and, with storage, the final
+// WAL flush — must call Close.
 func New(cfg Config) (*Service, error) {
 	if cfg.Universe <= 0 {
 		return nil, fmt.Errorf("service: universe size must be positive, got %d", cfg.Universe)
@@ -141,6 +179,9 @@ func New(cfg Config) (*Service, error) {
 	if cfg.PlanCacheEntries == 0 {
 		cfg.PlanCacheEntries = 128
 	}
+	if cfg.CheckpointEvery == 0 {
+		cfg.CheckpointEvery = 256
+	}
 	root, stop := context.WithCancel(context.Background())
 	s := &Service{
 		cfg:      cfg,
@@ -156,8 +197,121 @@ func New(cfg Config) (*Service, error) {
 	if !cfg.NoPlanner {
 		s.planner = plan.New(plan.Config{CacheEntries: cfg.PlanCacheEntries})
 	}
+	if cfg.DataDir != "" {
+		if err := s.openStorage(); err != nil {
+			stop()
+			return nil, err
+		}
+	}
 	s.initMetrics()
 	return s, nil
+}
+
+// RecoveryInfo describes what startup recovery rebuilt from DataDir.
+type RecoveryInfo struct {
+	// Enabled is true when the service runs with durable storage.
+	Enabled bool
+	// Version is the EDB version recovered to (0 for a fresh directory).
+	Version int64
+	// CheckpointVersion is the version of the checkpoint replay started
+	// from (0 if none).
+	CheckpointVersion int64
+	// ReplayedCommits and ReplayedRegistrations count WAL records applied
+	// on top of the checkpoint; Programs is the registration count after
+	// recovery.
+	ReplayedCommits       int
+	ReplayedRegistrations int
+	Programs              int
+	// TornTail, CorruptRecords, DroppedBytes and BadCheckpoints surface
+	// damage the recovery scan found and discarded (see storage.Recovery).
+	TornTail       bool
+	CorruptRecords int
+	DroppedBytes   int64
+	BadCheckpoints int
+}
+
+// Recovery returns what startup recovery found; zero-valued without
+// DataDir.
+func (s *Service) Recovery() RecoveryInfo { return s.recovered }
+
+// openStorage opens the WAL directory and rebuilds the service's durable
+// state. Called from New before the service is shared, so no locking.
+func (s *Service) openStorage() error {
+	policy, err := storage.ParseSyncPolicy(s.cfg.Fsync)
+	if err != nil {
+		return err
+	}
+	log, rec, err := storage.Open(s.cfg.DataDir, storage.Options{
+		Sync:         policy,
+		SyncInterval: s.cfg.FsyncInterval,
+		SegmentBytes: s.cfg.SegmentBytes,
+	})
+	if err != nil {
+		return err
+	}
+	s.log = log
+	s.recovered = RecoveryInfo{
+		Enabled:        true,
+		TornTail:       rec.TornTail,
+		CorruptRecords: rec.CorruptRecords,
+		DroppedBytes:   rec.DroppedBytes,
+		BadCheckpoints: rec.BadCheckpoints,
+	}
+	if ck := rec.Checkpoint; ck != nil {
+		if ck.Universe != s.cfg.Universe {
+			log.Close()
+			return fmt.Errorf("service: data dir %s was created with universe %d, configured %d",
+				s.cfg.DataDir, ck.Universe, s.cfg.Universe)
+		}
+		s.store = NewStoreAt(ck.DB, ck.Version, s.cfg.History)
+		s.recovered.CheckpointVersion = ck.Version
+		for _, p := range ck.Programs {
+			if _, err := s.registerLocked(s.root, p.Name, p.Source, false); err != nil {
+				log.Close()
+				return fmt.Errorf("service: recovering program %s from checkpoint: %w", p.Name, err)
+			}
+		}
+	}
+	for _, r := range rec.Records {
+		if err := s.replayRecord(r); err != nil {
+			log.Close()
+			return err
+		}
+	}
+	s.recovered.Version = s.store.Version()
+	s.recovered.Programs = len(s.progs)
+	return nil
+}
+
+// replayRecord applies one recovered WAL record through the same code
+// paths a live request would take, minus the WAL append: commits run
+// store.Commit plus incremental maintenance of every registration live at
+// that point in the log, so recovered views are re-derived by the
+// maintenance engine, not deserialized.
+func (s *Service) replayRecord(r *storage.Record) error {
+	switch r.Type {
+	case storage.RecCommit:
+		info, err := s.commitLocked(r.Insert, r.Delete, false)
+		if err != nil {
+			return fmt.Errorf("service: replaying commit lsn %d: %w", r.LSN, err)
+		}
+		if info.Version != r.Version {
+			return fmt.Errorf("service: replay desync at lsn %d: store version %d, record version %d",
+				r.LSN, info.Version, r.Version)
+		}
+		s.recovered.ReplayedCommits++
+	case storage.RecRegister:
+		if _, err := s.registerLocked(s.root, r.Name, r.Source, false); err != nil {
+			return fmt.Errorf("service: replaying registration of %s (lsn %d): %w", r.Name, r.LSN, err)
+		}
+		s.recovered.ReplayedRegistrations++
+	case storage.RecUnregister:
+		delete(s.progs, r.Name)
+		s.recovered.ReplayedRegistrations++
+	default:
+		return fmt.Errorf("service: unknown WAL record type %d at lsn %d", r.Type, r.LSN)
+	}
+	return nil
 }
 
 // initMetrics registers the service's series on a fresh obs registry.
@@ -207,6 +361,30 @@ func (s *Service) initMetrics() {
 		_, _, _, entries := s.rewrites.counters()
 		return float64(entries)
 	})
+	if s.log != nil {
+		s.met.checkpointErrors = r.Counter("datalog_checkpoint_errors_total", "checkpoint writes that failed (retried on a later commit)")
+		r.CounterFunc("datalog_wal_records_total", "WAL records appended this process", func() int64 {
+			return s.log.Counters().Records
+		})
+		r.CounterFunc("datalog_wal_bytes_total", "WAL bytes appended (headers + payloads)", func() int64 {
+			return s.log.Counters().AppendedBytes
+		})
+		r.CounterFunc("datalog_wal_fsyncs_total", "fsync calls on the active WAL segment", func() int64 {
+			return s.log.Counters().Fsyncs
+		})
+		r.CounterFunc("datalog_wal_sync_nanos_total", "cumulative nanoseconds inside WAL flush+fsync", func() int64 {
+			return s.log.Counters().SyncNanos
+		})
+		r.CounterFunc("datalog_checkpoints_total", "checkpoint files written", func() int64 {
+			return s.log.Counters().Checkpoints
+		})
+		r.GaugeFunc("datalog_wal_segments", "WAL segments on disk (incl. active)", func() float64 {
+			return float64(s.log.Counters().Segments)
+		})
+		r.GaugeFunc("datalog_recovered_version", "EDB version startup recovery rebuilt to", func() float64 {
+			return float64(s.recovered.Version)
+		})
+	}
 	if s.planner != nil {
 		s.met.planEstError = r.Histogram("datalog_plan_estimation_error",
 			"per-rule |log2(estimated/actual)| derived rows", planEstErrorBuckets)
@@ -234,9 +412,23 @@ func (s *Service) initMetrics() {
 // Metrics returns the service's metrics registry (served at /v1/metrics).
 func (s *Service) Metrics() *obs.Registry { return s.reg }
 
-// Close aborts in-flight evaluations and makes every later operation
-// fail with ErrClosed. It is idempotent.
-func (s *Service) Close() { s.stop() }
+// Close aborts in-flight evaluations, makes every later operation fail
+// with ErrClosed and — with durable storage — flushes and closes the WAL,
+// returning its error. It is idempotent: later calls return the first
+// result.
+func (s *Service) Close() error {
+	s.closeOnce.Do(func() {
+		s.stop()
+		if s.log != nil {
+			// Taking mu orders the close after any in-flight commit's append,
+			// so the final flush covers everything that was acknowledged.
+			s.mu.Lock()
+			s.closeErr = s.log.Close()
+			s.mu.Unlock()
+		}
+	})
+	return s.closeErr
+}
 
 // scoped derives the evaluation context for one request: it ends when
 // the caller's context ends, when the service closes, or — if timeout is
@@ -305,11 +497,26 @@ func (s *Service) Register(name, source string) (RegisterInfo, error) {
 // RegisterContext parses the program source, evaluates it against the
 // current snapshot under ctx, and keeps its fixpoint maintained under the
 // given name. Re-registering a name replaces the previous program. A
-// context abort during the initial evaluation registers nothing.
+// context abort during the initial evaluation registers nothing. With
+// durable storage the registration is appended to the WAL only after its
+// initial evaluation succeeds — a program that cannot evaluate is never
+// made durable — and a WAL failure rolls the registration back.
 func (s *Service) RegisterContext(ctx context.Context, name, source string) (RegisterInfo, error) {
 	if err := s.root.Err(); err != nil {
 		return RegisterInfo{}, ErrClosed
 	}
+	ctx, done := s.scoped(ctx, 0)
+	defer done()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.registerLocked(ctx, name, source, true)
+}
+
+// registerLocked evaluates and installs one registration; the caller
+// holds mu. persist=false is the recovery path: the registration comes
+// from the checkpoint or the WAL, so nothing is appended and no request
+// metrics are recorded (replay rebuilds state, it does not serve traffic).
+func (s *Service) registerLocked(ctx context.Context, name, source string, persist bool) (RegisterInfo, error) {
 	if name == "" {
 		return RegisterInfo{}, fmt.Errorf("service: registration needs a name")
 	}
@@ -317,18 +524,16 @@ func (s *Service) RegisterContext(ctx context.Context, name, source string) (Reg
 	if err != nil {
 		return RegisterInfo{}, err
 	}
-	ctx, done := s.scoped(ctx, 0)
-	defer done()
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	snap := s.store.Latest()
 	start := time.Now()
 	inc, err := datalog.NewIncrementalContext(ctx, prog, snap.DB, s.optsFor(snap))
 	if err != nil {
 		return RegisterInfo{}, err
 	}
-	s.met.evalRounds.Add(int64(inc.Rounds()))
-	s.observeEstimation(prog, snap, inc.Result().Stats)
+	if persist {
+		s.met.evalRounds.Add(int64(inc.Rounds()))
+		s.observeEstimation(prog, snap, inc.Result().Stats)
+	}
 	reg := &registration{
 		name:         name,
 		hash:         ProgramHash(prog),
@@ -339,7 +544,20 @@ func (s *Service) RegisterContext(ctx context.Context, name, source string) (Reg
 		maintainLast: time.Since(start),
 	}
 	reg.maintainTotal = reg.maintainLast
+	prev, hadPrev := s.progs[name]
 	s.progs[name] = reg
+	if persist && s.log != nil {
+		if _, err := s.log.AppendRegister(name, source); err != nil {
+			// Roll back: an unlogged registration would silently vanish on
+			// restart, which is worse than failing the request.
+			if hadPrev {
+				s.progs[name] = prev
+			} else {
+				delete(s.progs, name)
+			}
+			return RegisterInfo{}, fmt.Errorf("service: persisting registration %s: %w", name, err)
+		}
+	}
 	return s.registerInfo(reg), nil
 }
 
@@ -353,13 +571,23 @@ func (s *Service) registerInfo(reg *registration) RegisterInfo {
 
 // Unregister drops a registered program, reporting whether it existed.
 // Cached results for its hash stay valid (they are version-pinned) and
-// age out of the LRU.
-func (s *Service) Unregister(name string) bool {
+// age out of the LRU. With durable storage the drop is logged so the
+// program stays gone after a restart; the in-memory drop stands even if
+// the append fails (the error reports the durability gap).
+func (s *Service) Unregister(name string) (bool, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	_, ok := s.progs[name]
+	if !ok {
+		return false, nil
+	}
 	delete(s.progs, name)
-	return ok
+	if s.log != nil {
+		if _, err := s.log.AppendUnregister(name); err != nil {
+			return true, fmt.Errorf("service: persisting unregistration of %s: %w", name, err)
+		}
+	}
+	return true, nil
 }
 
 // CommitInfo describes an applied commit.
@@ -376,23 +604,30 @@ type CommitInfo struct {
 // publishes the next version, and incrementally maintains every
 // registered program's fixpoint. The batch is validated against the store
 // and against every registered program before anything mutates; on error
-// no version is created and no view changes. Maintenance runs under the
+// no version is created and no view changes. With durable storage the
+// commit is appended to the WAL between the store publish and the
+// maintenance pass — under Fsync "always" an acknowledged commit is on
+// disk; a WAL failure fails the commit and poisons the log, so no later
+// commit can be acknowledged past the gap. Maintenance runs under the
 // service's lifetime context only (never a request context): a commit
 // must finish its maintenance or the affected view is unusable, so only
 // Close aborts it — and a registration whose maintenance was aborted is
 // dropped, counted by datalog_programs_dropped_total.
 func (s *Service) Commit(insert, del []datalog.Fact) (CommitInfo, error) {
-	info, err := s.commit(insert, del)
+	s.mu.Lock()
+	info, err := s.commitLocked(insert, del, true)
+	s.mu.Unlock()
 	if err != nil {
 		s.met.commitErrors.Inc()
 	}
 	return info, err
 }
 
-func (s *Service) commit(insert, del []datalog.Fact) (CommitInfo, error) {
+// commitLocked applies one commit; the caller holds mu. persist=false is
+// WAL replay: the record is already durable, so nothing is appended, no
+// checkpoint is triggered, and no request metrics are recorded.
+func (s *Service) commitLocked(insert, del []datalog.Fact, persist bool) (CommitInfo, error) {
 	start := time.Now()
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	if err := s.root.Err(); err != nil {
 		return CommitInfo{}, ErrClosed
 	}
@@ -407,6 +642,15 @@ func (s *Service) commit(insert, del []datalog.Fact) (CommitInfo, error) {
 	snap, err := s.store.Commit(insert, del)
 	if err != nil {
 		return CommitInfo{}, err
+	}
+	if persist && s.log != nil {
+		if _, err := s.log.AppendCommit(snap.Version, insert, del); err != nil {
+			// The version is published in memory but not durable. The log's
+			// sticky error refuses every later append, so no subsequent
+			// commit can be acknowledged either — the durable prefix stays a
+			// prefix, and a restart recovers to the last logged version.
+			return CommitInfo{}, fmt.Errorf("service: persisting commit %d: %w", snap.Version, err)
+		}
 	}
 	info := CommitInfo{Version: snap.Version, Inserted: snap.Inserted, Deleted: snap.Deleted,
 		Maintained: map[string]time.Duration{}}
@@ -423,14 +667,46 @@ func (s *Service) commit(insert, del []datalog.Fact) (CommitInfo, error) {
 		reg.maintainLast = time.Since(mstart)
 		reg.maintainTotal += reg.maintainLast
 		info.Maintained[reg.name] = reg.maintainLast
-		s.met.evalRounds.Add(int64(reg.inc.Rounds() - roundsBefore))
-		s.met.maintainSeconds.Observe(reg.maintainLast.Seconds())
+		if persist {
+			s.met.evalRounds.Add(int64(reg.inc.Rounds() - roundsBefore))
+			s.met.maintainSeconds.Observe(reg.maintainLast.Seconds())
+		}
 	}
 	s.cache.invalidateBelow(s.store.Oldest())
 	s.commits.Add(1)
-	s.met.commits.Inc()
-	s.met.commitSeconds.Observe(time.Since(start).Seconds())
+	s.sinceCkpt++
+	if persist {
+		s.met.commits.Inc()
+		s.met.commitSeconds.Observe(time.Since(start).Seconds())
+		s.maybeCheckpointLocked()
+	}
 	return info, nil
+}
+
+// maybeCheckpointLocked writes a snapshot checkpoint once CheckpointEvery
+// commits have accumulated since the last one (counting replayed commits,
+// so a recovery with a long replay re-checkpoints promptly). A checkpoint
+// failure does not fail the commit — the commit is already durable in the
+// WAL — but the counter is left alone so the next commit retries.
+func (s *Service) maybeCheckpointLocked() {
+	if s.log == nil || s.cfg.CheckpointEvery < 0 || s.sinceCkpt < s.cfg.CheckpointEvery {
+		return
+	}
+	snap := s.store.Latest()
+	st := &storage.CheckpointState{
+		Universe: s.cfg.Universe,
+		Version:  snap.Version,
+		LSN:      s.log.LastLSN(),
+		DB:       snap.DB,
+	}
+	for _, reg := range s.progs {
+		st.Programs = append(st.Programs, storage.Program{Name: reg.name, Source: reg.source})
+	}
+	if err := s.log.WriteCheckpoint(st); err != nil {
+		s.met.checkpointErrors.Inc()
+		return
+	}
+	s.sinceCkpt = 0
 }
 
 // maintenanceFailed handles a registration whose maintenance errored
@@ -884,6 +1160,25 @@ type Stats struct {
 		Entries     int64  `json:"cache_entries"`
 		Epoch       string `json:"stats_epoch"` // latest snapshot's catalog fingerprint, hex
 	} `json:"planner"`
+	Storage struct {
+		Enabled bool   `json:"enabled"`
+		Dir     string `json:"dir,omitempty"`
+		Fsync   string `json:"fsync,omitempty"`
+		// Cumulative WAL counters for this process.
+		Records       int64 `json:"wal_records"`
+		AppendedBytes int64 `json:"wal_bytes"`
+		Fsyncs        int64 `json:"wal_fsyncs"`
+		Segments      int64 `json:"wal_segments"`
+		Checkpoints   int64 `json:"checkpoints"`
+		// What startup recovery rebuilt (see RecoveryInfo).
+		RecoveredVersion  int64 `json:"recovered_version"`
+		CheckpointVersion int64 `json:"checkpoint_version"`
+		ReplayedCommits   int   `json:"replayed_commits"`
+		TornTail          bool  `json:"torn_tail"`
+		CorruptRecords    int   `json:"corrupt_records"`
+		DroppedBytes      int64 `json:"dropped_bytes"`
+		BadCheckpoints    int   `json:"bad_checkpoints"`
+	} `json:"storage"`
 }
 
 // Stats assembles the current counters.
@@ -938,6 +1233,24 @@ func (s *Service) Stats() Stats {
 		st.Planner.AtomsPruned = c.AtomsPruned
 		st.Planner.Entries = c.CacheEntries
 		st.Planner.Epoch = fmt.Sprintf("%016x", s.store.Latest().Stats.Fingerprint())
+	}
+	if s.log != nil {
+		c := s.log.Counters()
+		st.Storage.Enabled = true
+		st.Storage.Dir = s.log.Dir()
+		st.Storage.Fsync = s.log.Policy().String()
+		st.Storage.Records = c.Records
+		st.Storage.AppendedBytes = c.AppendedBytes
+		st.Storage.Fsyncs = c.Fsyncs
+		st.Storage.Segments = c.Segments
+		st.Storage.Checkpoints = c.Checkpoints
+		st.Storage.RecoveredVersion = s.recovered.Version
+		st.Storage.CheckpointVersion = s.recovered.CheckpointVersion
+		st.Storage.ReplayedCommits = s.recovered.ReplayedCommits
+		st.Storage.TornTail = s.recovered.TornTail
+		st.Storage.CorruptRecords = s.recovered.CorruptRecords
+		st.Storage.DroppedBytes = s.recovered.DroppedBytes
+		st.Storage.BadCheckpoints = s.recovered.BadCheckpoints
 	}
 	return st
 }

@@ -149,11 +149,11 @@ func TestHistoryEviction(t *testing.T) {
 
 func TestUnregister(t *testing.T) {
 	s := newTC(t, 4)
-	if !s.Unregister("tc") {
-		t.Fatal("registered program not found")
+	if ok, err := s.Unregister("tc"); err != nil || !ok {
+		t.Fatalf("registered program not found: %v %v", ok, err)
 	}
-	if s.Unregister("tc") {
-		t.Fatal("double unregister reported success")
+	if ok, err := s.Unregister("tc"); err != nil || ok {
+		t.Fatalf("double unregister reported success: %v %v", ok, err)
 	}
 	if _, err := s.Query(QueryRequest{Program: "tc"}); err == nil {
 		t.Fatal("query against unregistered program succeeded")

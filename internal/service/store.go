@@ -57,6 +57,23 @@ func NewStore(n, history int) *Store {
 	}
 }
 
+// NewStoreAt returns a store whose first retained snapshot is the given
+// database at the given version — the recovery entry point: the database
+// comes from a checkpoint and WAL replay commits on top of it. Versions
+// below the checkpoint are not retained (their snapshots no longer
+// exist), so the queryable history window after a restart begins at the
+// checkpoint and grows forward as replay and live commits add versions.
+func NewStoreAt(db *datalog.Database, version int64, history int) *Store {
+	if history < 1 {
+		history = 1
+	}
+	snap := &Snapshot{Version: version, DB: db, Stats: plan.Collect(db)}
+	for _, name := range db.Names() {
+		snap.Facts += db.Relation(name).Size()
+	}
+	return &Store{history: history, snaps: []*Snapshot{snap}}
+}
+
 // Latest returns the current snapshot.
 func (s *Store) Latest() *Snapshot {
 	s.mu.RLock()

@@ -1,0 +1,251 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/datalog"
+)
+
+// Checkpoint files bound replay: a checkpoint is the full durable state
+// (EDB facts plus registered program sources) as of one WAL position, so
+// recovery loads the newest valid checkpoint and replays only the records
+// after its LSN. Once a checkpoint is durable the segments it covers are
+// deleted — the log's disk footprint is bounded by checkpoint cadence,
+// not by history length.
+//
+// Layout (all integers little-endian or uvarint):
+//
+//	magic "DLOGCKP1"
+//	uvarint format (=1)
+//	uvarint universe
+//	uvarint version          — EDB version the state reflects
+//	uvarint lsn              — last WAL record folded into the state
+//	uvarint nPrograms { str name, str source }
+//	uvarint nRelations { str name, uvarint arity, uvarint count,
+//	                     count × (arity order-preserving elements) }
+//	crc32c over everything above
+//
+// Each relation's tuples are written as a sorted run in codec byte order:
+// the checkpoint doubles as an ordered export of the EDB (cheap verify,
+// mergeable, range-scannable), not just an opaque blob. The file is
+// written to a temp name, fsynced, and renamed, so a crash mid-checkpoint
+// leaves the previous checkpoint intact.
+
+const (
+	ckptMagic  = "DLOGCKP1"
+	ckptFormat = 1
+	ckptPrefix = "ckpt-"
+	ckptSuffix = ".ckpt"
+)
+
+// Program is one registered program in a checkpoint.
+type Program struct {
+	Name   string
+	Source string
+}
+
+// CheckpointState is the durable state captured by (or recovered from) a
+// checkpoint.
+type CheckpointState struct {
+	Universe int
+	Version  int64
+	LSN      uint64
+	Programs []Program
+	DB       *datalog.Database
+}
+
+func checkpointName(lsn uint64) string {
+	return fmt.Sprintf("%s%016x%s", ckptPrefix, lsn, ckptSuffix)
+}
+
+// encodeCheckpoint renders the state to bytes, CRC trailer included.
+func encodeCheckpoint(st *CheckpointState) []byte {
+	b := []byte(ckptMagic)
+	b = appendUvarint(b, ckptFormat)
+	b = appendUvarint(b, uint64(st.Universe))
+	b = appendUvarint(b, uint64(st.Version))
+	b = appendUvarint(b, st.LSN)
+	progs := append([]Program(nil), st.Programs...)
+	sort.Slice(progs, func(i, j int) bool { return progs[i].Name < progs[j].Name })
+	b = appendUvarint(b, uint64(len(progs)))
+	for _, p := range progs {
+		b = appendString(b, p.Name)
+		b = appendString(b, p.Source)
+	}
+	names := st.DB.Names()
+	// Skip empty relations: they carry no facts and EnsureRelation
+	// re-creates them on demand.
+	var nonEmpty []string
+	for _, name := range names {
+		if st.DB.Relation(name).Size() > 0 {
+			nonEmpty = append(nonEmpty, name)
+		}
+	}
+	b = appendUvarint(b, uint64(len(nonEmpty)))
+	for _, name := range nonEmpty {
+		r := st.DB.Relation(name)
+		b = appendString(b, name)
+		b = appendUvarint(b, uint64(r.Arity))
+		b = appendUvarint(b, uint64(r.Size()))
+		enc := make([][]byte, 0, r.Size())
+		for _, t := range r.TuplesUnordered() {
+			enc = append(enc, AppendTuple(nil, t))
+		}
+		sortTupleBytes(enc)
+		for _, e := range enc {
+			b = append(b, e...)
+		}
+	}
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.Checksum(b, castagnoli))
+	return append(b, crc[:]...)
+}
+
+// readCheckpoint loads and validates one checkpoint file.
+func readCheckpoint(path string) (*CheckpointState, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) < len(ckptMagic)+4 || string(data[:len(ckptMagic)]) != ckptMagic {
+		return nil, fmt.Errorf("storage: %s: not a checkpoint file", filepath.Base(path))
+	}
+	body, tail := data[:len(data)-4], data[len(data)-4:]
+	if crc32.Checksum(body, castagnoli) != binary.LittleEndian.Uint32(tail) {
+		return nil, fmt.Errorf("storage: %s: checksum mismatch", filepath.Base(path))
+	}
+	p := &payloadReader{b: body[len(ckptMagic):]}
+	if f := p.uvarint(); p.err == nil && f != ckptFormat {
+		return nil, fmt.Errorf("storage: %s: unsupported checkpoint format %d", filepath.Base(path), f)
+	}
+	st := &CheckpointState{
+		Universe: int(p.uvarint()),
+		Version:  int64(p.uvarint()),
+		LSN:      p.uvarint(),
+	}
+	nProgs := p.uvarint()
+	if p.err != nil {
+		return nil, p.err
+	}
+	if nProgs > uint64(len(p.b)) {
+		return nil, fmt.Errorf("storage: program count %d exceeds file", nProgs)
+	}
+	for i := uint64(0); i < nProgs; i++ {
+		name := p.str()
+		src := p.str()
+		if p.err != nil {
+			return nil, p.err
+		}
+		st.Programs = append(st.Programs, Program{Name: name, Source: src})
+	}
+	st.DB = datalog.NewDatabase(st.Universe)
+	nRels := p.uvarint()
+	if p.err != nil {
+		return nil, p.err
+	}
+	if nRels > uint64(len(p.b)) {
+		return nil, fmt.Errorf("storage: relation count %d exceeds file", nRels)
+	}
+	for i := uint64(0); i < nRels; i++ {
+		name := p.str()
+		arity := p.uvarint()
+		count := p.uvarint()
+		if p.err != nil {
+			return nil, p.err
+		}
+		if name == "" || arity == 0 || arity > 64 || count > uint64(len(p.b)) {
+			return nil, fmt.Errorf("storage: bad relation header %q/%d/%d", name, arity, count)
+		}
+		rel := st.DB.EnsureRelation(name, int(arity))
+		t := make(datalog.Tuple, arity)
+		for j := uint64(0); j < count; j++ {
+			for k := range t {
+				x, rest, err := DecodeElem(p.b)
+				if err != nil {
+					return nil, err
+				}
+				if x < 0 || x >= st.Universe {
+					return nil, fmt.Errorf("storage: element %d outside universe %d", x, st.Universe)
+				}
+				t[k] = x
+				p.b = rest
+			}
+			rel.Add(t)
+		}
+	}
+	if err := p.done(); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// WriteCheckpoint durably writes a checkpoint of the given state, retires
+// checkpoints beyond Options.KeepCheckpoints, and truncates WAL segments
+// the new checkpoint covers. The WAL is synced first so the checkpoint
+// never claims coverage of records that could outrun it on disk.
+func (l *Log) WriteCheckpoint(st *CheckpointState) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.usableLocked(); err != nil {
+		return err
+	}
+	if err := l.flushSyncLocked(); err != nil {
+		return err
+	}
+	data := encodeCheckpoint(st)
+	final := filepath.Join(l.dir, checkpointName(st.LSN))
+	tmp := final + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	syncDir(l.dir)
+	l.ctr.checkpoints.Add(1)
+
+	// Retire old checkpoints (keep the newest KeepCheckpoints) and the
+	// segments this one covers. Failures here are cleanup failures, not
+	// durability failures — the new checkpoint is already safe — but we
+	// surface them so the operator learns the disk is misbehaving.
+	entries, err := os.ReadDir(l.dir)
+	if err != nil {
+		return err
+	}
+	var ckpts []string
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), ckptPrefix) && strings.HasSuffix(e.Name(), ckptSuffix) {
+			ckpts = append(ckpts, e.Name())
+		}
+	}
+	sort.Strings(ckpts)
+	for len(ckpts) > l.opts.KeepCheckpoints {
+		if err := os.Remove(filepath.Join(l.dir, ckpts[0])); err != nil {
+			return err
+		}
+		ckpts = ckpts[1:]
+	}
+	return l.truncateThroughLocked(st.LSN)
+}

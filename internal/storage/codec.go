@@ -1,0 +1,197 @@
+// Package storage is the durable persistence layer behind the service's
+// versioned EDB store: an order-preserving byte codec for tuples, an
+// append-only checksummed write-ahead log with segment rotation and
+// group-commit batching, periodic snapshot checkpoints that bound replay,
+// and crash recovery that rebuilds the store to the last durable commit.
+//
+// The layering mirrors internal/datalog/key.go: where the in-memory engine
+// packs a tuple into a single comparable uint64 for hash maps, the durable
+// layer needs keys whose *byte* order equals tuple order, so checkpoint
+// files can store sorted runs and any future on-disk index (EAVT/AEVT
+// style, as in janus-datalog) can range-scan without decoding. The codec
+// here is that bridge; the WAL and checkpoint formats are built on it.
+package storage
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/datalog"
+)
+
+// Element encoding: a one-byte tag followed by the minimal big-endian
+// payload, chosen so that for any two ints x < y,
+// bytes.Compare(AppendElem(nil,x), AppendElem(nil,y)) < 0.
+//
+//	x >= 0:  tag = 0x80+n, then the n ∈ [1,8] significant bytes of x,
+//	         big-endian, no leading zero (n is minimal).
+//	x <  0:  tag = 0x80-n, then the low n bytes of the two's-complement
+//	         uint64(x), big-endian, where n is the minimal byte length of
+//	         ^uint64(x) (the complement strips the sign-extension 0xFF
+//	         prefix).
+//
+// Order holds across the three ranges: negative tags (0x78..0x7F) sort
+// below every non-negative tag (0x81..0x88); within the negatives a larger
+// magnitude needs more complement bytes and therefore a smaller tag; within
+// one tag the payloads are fixed-width big-endian and compare directly.
+// The encoding is also prefix-free (the tag fixes the total length), so
+// concatenating element encodings preserves lexicographic tuple order for
+// same-arity tuples — exactly the arity-homogeneous setting of relations
+// and indexes.
+//
+// Universe elements are non-negative and small, so the common case is two
+// bytes per element; the full int range is still covered (and fuzzed)
+// because the codec outlives any one caller's validation.
+
+// elemTagZero is the boundary tag: non-negative values use
+// elemTagZero+n, negative values elemTagZero-n.
+const elemTagZero = 0x80
+
+// maxElemLen is the largest encoded element: tag plus eight payload bytes.
+const maxElemLen = 9
+
+// AppendElem appends the order-preserving encoding of x to dst and
+// returns the extended slice.
+func AppendElem(dst []byte, x int) []byte {
+	u := uint64(x)
+	var n int
+	if x >= 0 {
+		n = byteLen(u)
+		dst = append(dst, byte(elemTagZero+n))
+	} else {
+		n = byteLen(^u)
+		dst = append(dst, byte(elemTagZero-n))
+	}
+	for i := n - 1; i >= 0; i-- {
+		dst = append(dst, byte(u>>(8*uint(i))))
+	}
+	return dst
+}
+
+// byteLen returns the number of significant bytes of u, minimum 1.
+func byteLen(u uint64) int {
+	n := 1
+	for u > 0xFF {
+		u >>= 8
+		n++
+	}
+	return n
+}
+
+// DecodeElem decodes one element from the front of b, returning the value
+// and the remaining bytes. Only canonical encodings are accepted: a
+// non-minimal payload (leading 0x00 on a positive, leading 0xFF on a
+// negative that could drop a byte) is rejected, so every decodable byte
+// string is exactly what AppendElem produces.
+func DecodeElem(b []byte) (int, []byte, error) {
+	if len(b) == 0 {
+		return 0, nil, fmt.Errorf("storage: empty element encoding")
+	}
+	tag := int(b[0])
+	var n int
+	neg := false
+	switch {
+	case tag > elemTagZero && tag <= elemTagZero+8:
+		n = tag - elemTagZero
+	case tag < elemTagZero && tag >= elemTagZero-8:
+		n = elemTagZero - tag
+		neg = true
+	default:
+		return 0, nil, fmt.Errorf("storage: bad element tag 0x%02x", tag)
+	}
+	if len(b) < 1+n {
+		return 0, nil, fmt.Errorf("storage: element truncated: tag wants %d payload bytes, have %d", n, len(b)-1)
+	}
+	var u uint64
+	for _, c := range b[1 : 1+n] {
+		u = u<<8 | uint64(c)
+	}
+	if neg {
+		// Sign-extend: the stripped prefix is all ones.
+		if n < 8 {
+			u |= ^uint64(0) << (8 * uint(n))
+		}
+		if n > 1 && byteLen(^u) != n {
+			return 0, nil, fmt.Errorf("storage: non-canonical negative element (payload has a droppable 0xff)")
+		}
+		if n == 8 && u>>63 == 0 {
+			return 0, nil, fmt.Errorf("storage: negative element payload out of range")
+		}
+	} else {
+		if n > 1 && b[1] == 0 {
+			return 0, nil, fmt.Errorf("storage: non-canonical element (leading zero payload byte)")
+		}
+		if u > math.MaxInt64 {
+			return 0, nil, fmt.Errorf("storage: element %d overflows int", u)
+		}
+	}
+	return int(u), b[1+n:], nil
+}
+
+// AppendTuple appends the order-preserving encoding of t: the
+// concatenation of its element encodings. For tuples of equal arity the
+// byte order of the result equals lexicographic tuple order; a strict
+// prefix tuple sorts before any extension, matching slice comparison.
+func AppendTuple(dst []byte, t datalog.Tuple) []byte {
+	for _, x := range t {
+		dst = AppendElem(dst, x)
+	}
+	return dst
+}
+
+// DecodeTuple decodes a whole buffer produced by AppendTuple. The arity is
+// implied by the buffer (the element encoding is self-delimiting); pass
+// arity >= 0 to additionally enforce an expected arity, or -1 to accept
+// any.
+func DecodeTuple(b []byte, arity int) (datalog.Tuple, error) {
+	var t datalog.Tuple
+	if arity >= 0 {
+		t = make(datalog.Tuple, 0, arity)
+	}
+	for len(b) > 0 {
+		x, rest, err := DecodeElem(b)
+		if err != nil {
+			return nil, err
+		}
+		t = append(t, x)
+		b = rest
+	}
+	if arity >= 0 && len(t) != arity {
+		return nil, fmt.Errorf("storage: decoded tuple has arity %d, want %d", len(t), arity)
+	}
+	return t, nil
+}
+
+// CompareTuples is lexicographic tuple order: element-wise, with a strict
+// prefix sorting first. It is the order the codec preserves, asserted by
+// the codec property tests and the fuzz target.
+func CompareTuples(a, b datalog.Tuple) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			if a[i] < b[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	switch {
+	case len(a) < len(b):
+		return -1
+	case len(a) > len(b):
+		return 1
+	}
+	return 0
+}
+
+// sortTupleBytes sorts encoded tuples in place by byte order — the
+// checkpoint writer stores each relation as a sorted run so readers (and
+// future range scans) see tuples in codec order.
+func sortTupleBytes(enc [][]byte) {
+	sort.Slice(enc, func(i, j int) bool { return bytes.Compare(enc[i], enc[j]) < 0 })
+}

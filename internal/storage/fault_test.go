@@ -1,0 +1,242 @@
+package storage
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/datalog"
+)
+
+// The fault-injection suite simulates the crash shapes the WAL must
+// survive: a kill at an arbitrary byte offset (torn tail), corruption of
+// an arbitrary byte (bad sector), a missing segment in the chain, and a
+// corrupt checkpoint. The invariant everywhere: Open never returns a data
+// error, recovers exactly the longest intact prefix of the record
+// sequence, and leaves the log appendable.
+
+// buildSingleSegmentLog writes n commit records with SyncAlways and
+// returns the segment path plus every record's end offset, in order.
+func buildSingleSegmentLog(t *testing.T, dir string, n int) (string, []int64) {
+	t.Helper()
+	l, _ := mustOpen(t, dir, Options{})
+	for v := int64(1); v <= int64(n); v++ {
+		if _, err := l.AppendCommit(v, []datalog.Fact{fact("E", int(v)%9, int(v+1)%9)},
+			[]datalog.Fact{fact("E", int(v+3)%9, int(v)%9)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, segmentName(1))
+	records, goodOff, size, err := scanSegment(path, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != n || goodOff != size {
+		t.Fatalf("freshly written segment scans to %d records, good %d of %d bytes", len(records), goodOff, size)
+	}
+	ends := make([]int64, n)
+	for i, r := range records {
+		ends[i] = r.end
+	}
+	return path, ends
+}
+
+func copyFile(t *testing.T, src, dst string) {
+	t.Helper()
+	b, err := os.ReadFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(dst, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// reopenAndCheckPrefix opens the faulted directory and asserts the
+// recovered records are exactly the first want commits, then proves the
+// log is appendable and that the appended record survives another cycle.
+func reopenAndCheckPrefix(t *testing.T, dir string, want int) {
+	t.Helper()
+	l, rec := mustOpen(t, dir, Options{})
+	if len(rec.Records) != want {
+		l.Close()
+		t.Fatalf("recovered %d records, want %d", len(rec.Records), want)
+	}
+	for i, r := range rec.Records {
+		if r.Type != RecCommit || r.Version != int64(i+1) || len(r.Insert) != 1 || len(r.Delete) != 1 {
+			l.Close()
+			t.Fatalf("record %d is %+v, not commit v%d", i, r, i+1)
+		}
+	}
+	if _, err := l.AppendCommit(int64(want+1), []datalog.Fact{fact("E", 1, 2)}, nil); err != nil {
+		l.Close()
+		t.Fatalf("log not appendable after recovery: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, rec2 := mustOpen(t, dir, Options{})
+	defer l2.Close()
+	if len(rec2.Records) != want+1 {
+		t.Fatalf("after post-recovery append: %d records, want %d", len(rec2.Records), want+1)
+	}
+}
+
+func TestKillAtEveryOffset(t *testing.T) {
+	src := t.TempDir()
+	path, ends := buildSingleSegmentLog(t, src, 25)
+	size := ends[len(ends)-1]
+	step := int64(1)
+	if testing.Short() {
+		step = 13
+	}
+	for off := int64(0); off < size; off += step {
+		dir := t.TempDir()
+		copyFile(t, path, filepath.Join(dir, segmentName(1)))
+		if err := os.Truncate(filepath.Join(dir, segmentName(1)), off); err != nil {
+			t.Fatal(err)
+		}
+		want := 0
+		for _, end := range ends {
+			if end <= off {
+				want++
+			}
+		}
+		reopenAndCheckPrefix(t, dir, want)
+	}
+}
+
+func TestCorruptByteAtEveryOffset(t *testing.T) {
+	src := t.TempDir()
+	path, ends := buildSingleSegmentLog(t, src, 12)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	step := 1
+	if testing.Short() {
+		step = 11
+	}
+	for off := 0; off < len(data); off += step {
+		dir := t.TempDir()
+		mutated := append([]byte(nil), data...)
+		mutated[off] ^= 0x41
+		if err := os.WriteFile(filepath.Join(dir, segmentName(1)), mutated, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		// A flip at offset X invalidates the record containing X (or the
+		// whole segment if X is in the header); everything before is
+		// intact, everything after is dropped with it.
+		want := 0
+		if off >= segHeaderLen {
+			for _, end := range ends {
+				if end <= int64(off) {
+					want++
+				}
+			}
+		}
+		reopenAndCheckPrefix(t, dir, want)
+	}
+}
+
+func TestMissingMiddleSegmentDropsSuffix(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir, Options{SegmentBytes: 200})
+	for v := int64(1); v <= 30; v++ {
+		if _, err := l.AppendCommit(v, []datalog.Fact{fact("E", int(v)%9, int(v+1)%9)},
+			[]datalog.Fact{fact("E", int(v+3)%9, int(v)%9)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := filepath.Glob(filepath.Join(dir, segPrefix+"*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 4 {
+		t.Fatalf("want ≥4 segments, have %d", len(segs))
+	}
+	// Remove the second segment: the chain breaks at its first LSN.
+	second := segs[1]
+	secondFirst, _ := parseSegmentName(filepath.Base(second))
+	if err := os.Remove(second); err != nil {
+		t.Fatal(err)
+	}
+	l2, rec := mustOpen(t, dir, Options{SegmentBytes: 200})
+	defer l2.Close()
+	if want := int(secondFirst) - 1; len(rec.Records) != want {
+		t.Fatalf("recovered %d records, want %d (up to the missing segment)", len(rec.Records), want)
+	}
+	if rec.CorruptRecords == 0 && rec.DroppedBytes == 0 {
+		t.Fatalf("recovery reported no damage: %+v", rec)
+	}
+}
+
+func TestCorruptCheckpointFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir, Options{})
+	db := datalog.NewDatabase(8)
+	db.EnsureRelation("E", 2).Add(datalog.Tuple{0, 1})
+	for v := int64(1); v <= 4; v++ {
+		if _, err := l.AppendCommit(v, []datalog.Fact{fact("E", 0, int(v)%8)}, nil); err != nil {
+			t.Fatal(err)
+		}
+		if err := l.WriteCheckpoint(&CheckpointState{Universe: 8, Version: v, LSN: l.LastLSN(), DB: db}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ckpts, err := filepath.Glob(filepath.Join(dir, ckptPrefix+"*"))
+	if err != nil || len(ckpts) != 2 {
+		t.Fatalf("checkpoints on disk: %v (%v)", ckpts, err)
+	}
+	// Corrupt the newest checkpoint: recovery must fall back to the
+	// previous one and replay the records after ITS LSN.
+	newest := ckpts[len(ckpts)-1]
+	b, err := os.ReadFile(newest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)/2] ^= 0xFF
+	if err := os.WriteFile(newest, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l2, rec := mustOpen(t, dir, Options{})
+	defer l2.Close()
+	if rec.BadCheckpoints != 1 {
+		t.Fatalf("BadCheckpoints = %d, want 1", rec.BadCheckpoints)
+	}
+	if rec.Checkpoint == nil || rec.Checkpoint.Version != 3 {
+		t.Fatalf("fell back to checkpoint %+v, want version 3", rec.Checkpoint)
+	}
+	if len(rec.Records) != 1 || rec.Records[0].Version != 4 {
+		t.Fatalf("replay after fallback: %+v", rec.Records)
+	}
+}
+
+// TestTornTailFlag pins the reporting split: a truncated final record is
+// TornTail, a mid-file flip counts as CorruptRecords.
+func TestTornTailFlag(t *testing.T) {
+	src := t.TempDir()
+	path, ends := buildSingleSegmentLog(t, src, 5)
+	dir := t.TempDir()
+	copyFile(t, path, filepath.Join(dir, segmentName(1)))
+	if err := os.Truncate(filepath.Join(dir, segmentName(1)), ends[4]-3); err != nil {
+		t.Fatal(err)
+	}
+	l, rec := mustOpen(t, dir, Options{})
+	defer l.Close()
+	if !rec.TornTail || rec.DroppedBytes == 0 {
+		t.Fatalf("torn tail not reported: %+v", rec)
+	}
+	if len(rec.Records) != 4 {
+		t.Fatalf("recovered %d records, want 4", len(rec.Records))
+	}
+}

@@ -1,0 +1,219 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/datalog"
+)
+
+// WAL record types. Every record the log accepts is one durable state
+// transition of the service: an EDB commit, a program registration, or an
+// unregistration. Checkpoints are separate files, not log records — the
+// log stays a pure append-only sequence.
+const (
+	RecCommit     byte = 1
+	RecRegister   byte = 2
+	RecUnregister byte = 3
+)
+
+// Record is one decoded WAL entry. LSN is the log sequence number, a
+// strictly increasing counter across segments; checkpoints store the LSN
+// they cover so replay knows where to resume.
+type Record struct {
+	LSN  uint64
+	Type byte
+
+	// Commit fields.
+	Version int64
+	Insert  []datalog.Fact
+	Delete  []datalog.Fact
+
+	// Register / unregister fields.
+	Name   string
+	Source string
+}
+
+// Framing on disk (little-endian):
+//
+//	record := type u8 | payloadLen u32 | crc u32 | payload
+//
+// crc is CRC-32C (Castagnoli) over type||payload, so a bit flip in the
+// type byte, the payload, or a torn write is detected; a corrupt length
+// field is caught by the sanity bound below or by the CRC of whatever the
+// bogus length framed. payload begins with the record's LSN, then the
+// type-specific body. Elements inside facts use the order-preserving codec
+// — one encoding for WAL, checkpoint, and any future on-disk index.
+
+// recHeaderLen is type + length + crc.
+const recHeaderLen = 1 + 4 + 4
+
+// maxRecordLen bounds a single record's payload; a corrupt length field
+// must not drive a giant allocation during recovery.
+const maxRecordLen = 1 << 28
+
+func appendUvarint(dst []byte, u uint64) []byte {
+	return binary.AppendUvarint(dst, u)
+}
+
+func appendString(dst []byte, s string) []byte {
+	dst = appendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+func appendFacts(dst []byte, facts []datalog.Fact) []byte {
+	dst = appendUvarint(dst, uint64(len(facts)))
+	for _, f := range facts {
+		dst = appendString(dst, f.Pred)
+		dst = appendUvarint(dst, uint64(len(f.Tuple)))
+		dst = AppendTuple(dst, f.Tuple)
+	}
+	return dst
+}
+
+// encodeCommit builds the payload of a commit record.
+func encodeCommit(dst []byte, lsn uint64, version int64, insert, del []datalog.Fact) []byte {
+	dst = appendUvarint(dst, lsn)
+	dst = appendUvarint(dst, uint64(version))
+	dst = appendFacts(dst, insert)
+	dst = appendFacts(dst, del)
+	return dst
+}
+
+// encodeRegister builds the payload of a register record.
+func encodeRegister(dst []byte, lsn uint64, name, source string) []byte {
+	dst = appendUvarint(dst, lsn)
+	dst = appendString(dst, name)
+	dst = appendString(dst, source)
+	return dst
+}
+
+// encodeUnregister builds the payload of an unregister record.
+func encodeUnregister(dst []byte, lsn uint64, name string) []byte {
+	dst = appendUvarint(dst, lsn)
+	return appendString(dst, name)
+}
+
+// appendRecordPayload re-encodes a decoded record (fuzz/canonicality
+// checks and segment rewriting in tests).
+func appendRecordPayload(dst []byte, r *Record) []byte {
+	switch r.Type {
+	case RecCommit:
+		return encodeCommit(dst, r.LSN, r.Version, r.Insert, r.Delete)
+	case RecRegister:
+		return encodeRegister(dst, r.LSN, r.Name, r.Source)
+	case RecUnregister:
+		return encodeUnregister(dst, r.LSN, r.Name)
+	}
+	panic(fmt.Sprintf("storage: unknown record type %d", r.Type))
+}
+
+type payloadReader struct {
+	b   []byte
+	err error
+}
+
+func (p *payloadReader) uvarint() uint64 {
+	if p.err != nil {
+		return 0
+	}
+	u, n := binary.Uvarint(p.b)
+	if n <= 0 {
+		p.err = fmt.Errorf("storage: bad uvarint in record payload")
+		return 0
+	}
+	p.b = p.b[n:]
+	return u
+}
+
+func (p *payloadReader) str() string {
+	n := p.uvarint()
+	if p.err != nil {
+		return ""
+	}
+	if n > uint64(len(p.b)) {
+		p.err = fmt.Errorf("storage: string length %d exceeds payload", n)
+		return ""
+	}
+	s := string(p.b[:n])
+	p.b = p.b[n:]
+	return s
+}
+
+func (p *payloadReader) facts() []datalog.Fact {
+	n := p.uvarint()
+	if p.err != nil {
+		return nil
+	}
+	if n > uint64(len(p.b)) { // every fact takes ≥1 byte; cheap allocation guard
+		p.err = fmt.Errorf("storage: fact count %d exceeds payload", n)
+		return nil
+	}
+	facts := make([]datalog.Fact, 0, n)
+	for i := uint64(0); i < n; i++ {
+		pred := p.str()
+		arity := p.uvarint()
+		if p.err != nil {
+			return nil
+		}
+		if arity == 0 || arity > uint64(len(p.b)) {
+			p.err = fmt.Errorf("storage: bad fact arity %d", arity)
+			return nil
+		}
+		t := make(datalog.Tuple, 0, arity)
+		for j := uint64(0); j < arity; j++ {
+			x, rest, err := DecodeElem(p.b)
+			if err != nil {
+				p.err = err
+				return nil
+			}
+			t = append(t, x)
+			p.b = rest
+		}
+		if pred == "" {
+			p.err = fmt.Errorf("storage: fact with empty predicate")
+			return nil
+		}
+		facts = append(facts, datalog.Fact{Pred: pred, Tuple: t})
+	}
+	return facts
+}
+
+func (p *payloadReader) done() error {
+	if p.err != nil {
+		return p.err
+	}
+	if len(p.b) != 0 {
+		return fmt.Errorf("storage: %d trailing bytes in record payload", len(p.b))
+	}
+	return nil
+}
+
+// decodeRecord decodes one CRC-verified payload into a Record.
+func decodeRecord(typ byte, payload []byte) (*Record, error) {
+	p := &payloadReader{b: payload}
+	rec := &Record{Type: typ, LSN: p.uvarint()}
+	switch typ {
+	case RecCommit:
+		rec.Version = int64(p.uvarint())
+		rec.Insert = p.facts()
+		rec.Delete = p.facts()
+	case RecRegister:
+		rec.Name = p.str()
+		rec.Source = p.str()
+		if p.err == nil && rec.Name == "" {
+			return nil, fmt.Errorf("storage: register record with empty name")
+		}
+	case RecUnregister:
+		rec.Name = p.str()
+		if p.err == nil && rec.Name == "" {
+			return nil, fmt.Errorf("storage: unregister record with empty name")
+		}
+	default:
+		return nil, fmt.Errorf("storage: unknown record type %d", typ)
+	}
+	if err := p.done(); err != nil {
+		return nil, err
+	}
+	return rec, nil
+}

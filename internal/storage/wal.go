@@ -1,0 +1,639 @@
+package storage
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/datalog"
+)
+
+// SyncPolicy controls when appended records are forced to disk.
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs before every append returns: an acknowledged
+	// commit is durable. Highest latency, zero loss window.
+	SyncAlways SyncPolicy = iota
+	// SyncInterval is group commit: appends return after the buffered
+	// write and a background flusher fsyncs the accumulated batch at most
+	// every Options.SyncInterval. A crash can lose at most the last
+	// interval's worth of acknowledged commits (the synchronous_commit=off
+	// trade, with a bounded window).
+	SyncInterval
+	// SyncNone never fsyncs on the append path; data reaches disk when
+	// the OS writes it back, on segment rotation, on checkpoint, and on
+	// Close. Fastest, unbounded loss window on power failure.
+	SyncNone
+)
+
+// ParseSyncPolicy maps the flag spellings to a policy.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch strings.ToLower(s) {
+	case "", "always":
+		return SyncAlways, nil
+	case "interval", "batch", "group":
+		return SyncInterval, nil
+	case "none", "never", "os":
+		return SyncNone, nil
+	}
+	return 0, fmt.Errorf("storage: unknown fsync policy %q (want always, interval or none)", s)
+}
+
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncInterval:
+		return "interval"
+	case SyncNone:
+		return "none"
+	}
+	return fmt.Sprintf("SyncPolicy(%d)", int(p))
+}
+
+// Options size the log.
+type Options struct {
+	// Sync is the fsync policy (default SyncAlways).
+	Sync SyncPolicy
+	// SyncInterval is the group-commit window for SyncInterval
+	// (default 2ms).
+	SyncInterval time.Duration
+	// SegmentBytes rolls the active segment once it exceeds this size
+	// (default 8 MiB).
+	SegmentBytes int64
+	// KeepCheckpoints retains this many checkpoint files, newest first
+	// (default 2: the live one plus a fallback if its successor is found
+	// corrupt).
+	KeepCheckpoints int
+}
+
+func (o Options) withDefaults() Options {
+	if o.SyncInterval <= 0 {
+		o.SyncInterval = 2 * time.Millisecond
+	}
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 8 << 20
+	}
+	if o.KeepCheckpoints <= 0 {
+		o.KeepCheckpoints = 2
+	}
+	return o
+}
+
+// Counters are the log's cumulative observability counters; safe to read
+// concurrently with appends.
+type Counters struct {
+	Records         int64 // records appended this process
+	AppendedBytes   int64 // bytes appended (headers + payloads)
+	Fsyncs          int64 // fsync calls on the active segment
+	SyncNanos       int64 // cumulative time inside flush+fsync
+	Checkpoints     int64 // checkpoint files written
+	SegmentsCreated int64
+	SegmentsDeleted int64
+	Segments        int64 // segments on disk now (incl. active)
+}
+
+type counters struct {
+	records, appendedBytes, fsyncs, syncNanos   atomic.Int64
+	checkpoints, segsCreated, segsDeleted, segs atomic.Int64
+}
+
+// segment file layout: a 16-byte header (magic + first LSN, little-endian)
+// followed by records. The name also carries the first LSN so truncation
+// can reason about coverage without opening files.
+const (
+	segMagic     = "DLOGWAL1"
+	segHeaderLen = 16
+	segPrefix    = "wal-"
+	segSuffix    = ".log"
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+func segmentName(first uint64) string {
+	return fmt.Sprintf("%s%016x%s", segPrefix, first, segSuffix)
+}
+
+func parseSegmentName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, segPrefix) || !strings.HasSuffix(name, segSuffix) {
+		return 0, false
+	}
+	hexPart := strings.TrimSuffix(strings.TrimPrefix(name, segPrefix), segSuffix)
+	if len(hexPart) != 16 {
+		return 0, false
+	}
+	u, err := strconv.ParseUint(hexPart, 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return u, true
+}
+
+type segmentInfo struct {
+	name  string
+	first uint64 // first LSN the segment holds
+}
+
+// Log is the append-only write-ahead log: an ordered chain of checksummed
+// segment files plus the most recent checkpoint. One goroutine may append
+// at a time from the caller's perspective (the service serializes commits
+// under its own lock), but Append/Sync/Checkpoint/Close are all
+// mutex-safe, and the group-commit flusher runs concurrently.
+type Log struct {
+	dir  string
+	opts Options
+
+	mu          sync.Mutex
+	f           *os.File
+	w           *bufio.Writer
+	size        int64
+	nextLSN     uint64
+	segFirst    uint64
+	sealed      []segmentInfo // older segments, ascending first-LSN
+	syncPending bool
+	timer       *time.Timer
+	err         error // sticky write/sync error: the log refuses further appends
+	closed      bool
+	buf         []byte // payload scratch, reused across appends
+
+	ctr counters
+}
+
+// Recovery reports what Open reconstructed from disk.
+type Recovery struct {
+	// Checkpoint is the newest valid checkpoint, nil if none.
+	Checkpoint *CheckpointState
+	// Records are the WAL records after the checkpoint, in LSN order.
+	Records []*Record
+	// TornTail is true when the final records were cut mid-write (the
+	// classic crash shape); CorruptRecords counts records dropped for
+	// checksum or decoding failures, including everything after the first
+	// bad one. DroppedBytes is the total bytes discarded either way.
+	TornTail       bool
+	CorruptRecords int
+	DroppedBytes   int64
+	// BadCheckpoints counts checkpoint files that failed validation and
+	// were skipped in favor of an older one.
+	BadCheckpoints int
+}
+
+// Open opens (or initializes) the log directory and recovers its state:
+// the newest valid checkpoint plus every intact record after it. A torn
+// or corrupt tail is truncated so the log is immediately appendable; a
+// corrupt record in the middle of the chain ends replay there — later
+// records are unreachable without the intervening state and are dropped
+// (counted in Recovery).
+func Open(dir string, opts Options) (*Log, *Recovery, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, err
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	var segs []segmentInfo
+	var ckpts []string
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if first, ok := parseSegmentName(e.Name()); ok {
+			segs = append(segs, segmentInfo{name: e.Name(), first: first})
+		}
+		if strings.HasPrefix(e.Name(), ckptPrefix) && strings.HasSuffix(e.Name(), ckptSuffix) {
+			ckpts = append(ckpts, e.Name())
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].first < segs[j].first })
+	sort.Strings(ckpts) // name embeds the LSN in fixed-width hex: ascending
+
+	rec := &Recovery{}
+	var ckptLSN uint64
+	for i := len(ckpts) - 1; i >= 0; i-- {
+		st, err := readCheckpoint(filepath.Join(dir, ckpts[i]))
+		if err != nil {
+			rec.BadCheckpoints++
+			continue
+		}
+		rec.Checkpoint = st
+		ckptLSN = st.LSN
+		break
+	}
+
+	l := &Log{dir: dir, opts: opts}
+	lastLSN := ckptLSN
+	// Scan the segment chain in order, collecting records past the
+	// checkpoint. The first bad record ends the scan: the offending
+	// segment is truncated to its last good offset and every later
+	// segment is removed, so post-recovery appends continue from a clean,
+	// consistent tail.
+	var keep []segmentInfo
+	truncated := false
+	for si, seg := range segs {
+		if truncated {
+			rec.CorruptRecords++ // at least; we do not scan past the break
+			if err := os.Remove(filepath.Join(dir, seg.name)); err != nil {
+				return nil, nil, err
+			}
+			l.ctr.segsDeleted.Add(1)
+			continue
+		}
+		path := filepath.Join(dir, seg.name)
+		records, goodOff, fileSize, scanErr := scanSegment(path, seg.first)
+		if scanErr != nil {
+			return nil, nil, scanErr
+		}
+		// Enforce the LSN chain across segments: a gap means lost or
+		// reordered records, and nothing after it can be trusted.
+		goodEnd := int64(segHeaderLen)
+		for i, r := range records {
+			if r.LSN <= ckptLSN {
+				goodEnd = r.end
+				continue
+			}
+			if r.LSN != lastLSN+1 {
+				goodOff = goodEnd
+				records = records[:i]
+				break
+			}
+			lastLSN = r.LSN
+			goodEnd = r.end
+		}
+		for _, r := range records {
+			if r.LSN > ckptLSN {
+				rec.Records = append(rec.Records, r.Record)
+			}
+		}
+		if goodOff < segHeaderLen {
+			// The segment header itself is unreadable: nothing in the file
+			// is trustworthy, so remove it outright.
+			rec.DroppedBytes += fileSize
+			rec.CorruptRecords++
+			if err := os.Remove(path); err != nil {
+				return nil, nil, err
+			}
+			l.ctr.segsDeleted.Add(1)
+			truncated = true
+			continue
+		}
+		if goodOff < fileSize {
+			rec.DroppedBytes += fileSize - goodOff
+			if si == len(segs)-1 {
+				rec.TornTail = true
+			} else {
+				rec.CorruptRecords++
+			}
+			if err := os.Truncate(path, goodOff); err != nil {
+				return nil, nil, err
+			}
+			truncated = true
+		}
+		keep = append(keep, seg)
+	}
+	l.sealed = keep
+	l.nextLSN = lastLSN + 1
+	if l.nextLSN == 0 {
+		l.nextLSN = 1
+	}
+
+	// Open the tail segment for append, or start a fresh one.
+	if n := len(l.sealed); n > 0 {
+		tail := l.sealed[n-1]
+		path := filepath.Join(dir, tail.name)
+		f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+		if err != nil {
+			return nil, nil, err
+		}
+		st, err := f.Stat()
+		if err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		if st.Size() < l.opts.SegmentBytes {
+			if _, err := f.Seek(0, io.SeekEnd); err != nil {
+				f.Close()
+				return nil, nil, err
+			}
+			l.f, l.w, l.size, l.segFirst = f, bufio.NewWriter(f), st.Size(), tail.first
+			l.sealed = l.sealed[:n-1]
+		} else {
+			f.Close()
+		}
+	}
+	if l.f == nil {
+		if err := l.newSegmentLocked(); err != nil {
+			return nil, nil, err
+		}
+	}
+	l.ctr.segs.Store(int64(len(l.sealed) + 1))
+
+	// Drop segments the checkpoint fully covers (a crash between
+	// checkpoint and truncation leaves them behind).
+	l.mu.Lock()
+	err = l.truncateThroughLocked(ckptLSN)
+	l.mu.Unlock()
+	if err != nil {
+		return nil, nil, err
+	}
+	return l, rec, nil
+}
+
+// scannedRecord carries scan bookkeeping alongside the decoded record:
+// end is the file offset just past the record.
+type scannedRecord struct {
+	*Record
+	end int64
+}
+
+// scanSegment reads every intact record of one segment. It returns the
+// records, the offset just past the last good record, and the file size;
+// goodOff < fileSize signals a torn or corrupt tail the caller should
+// truncate, and goodOff < segHeaderLen an unreadable segment header.
+// I/O errors (not data corruption) are returned as scanErr.
+func scanSegment(path string, wantFirst uint64) ([]scannedRecord, int64, int64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	fileSize := int64(len(data))
+	if fileSize < segHeaderLen || string(data[:8]) != segMagic ||
+		binary.LittleEndian.Uint64(data[8:16]) != wantFirst {
+		// A segment whose header is wrong holds nothing trustworthy.
+		return nil, 0, fileSize, nil
+	}
+	var out []scannedRecord
+	off := int64(segHeaderLen)
+	for {
+		rest := data[off:]
+		if len(rest) < recHeaderLen {
+			return out, off, fileSize, nil // clean end, or torn header
+		}
+		typ := rest[0]
+		plen := binary.LittleEndian.Uint32(rest[1:5])
+		crc := binary.LittleEndian.Uint32(rest[5:9])
+		if plen > maxRecordLen || int64(len(rest)) < int64(recHeaderLen)+int64(plen) {
+			return out, off, fileSize, nil // bogus length or torn payload
+		}
+		payload := rest[recHeaderLen : recHeaderLen+int(plen)]
+		sum := crc32.Update(0, castagnoli, rest[:1])
+		sum = crc32.Update(sum, castagnoli, payload)
+		if sum != crc {
+			return out, off, fileSize, nil // corrupt record
+		}
+		r, err := decodeRecord(typ, payload)
+		if err != nil {
+			return out, off, fileSize, nil // CRC-valid but undecodable: treat as corrupt
+		}
+		off += int64(recHeaderLen) + int64(plen)
+		out = append(out, scannedRecord{Record: r, end: off})
+	}
+}
+
+// newSegmentLocked seals nothing and starts a fresh segment whose first
+// LSN is the next to be appended. Called with l.mu held (or before the
+// log is shared).
+func (l *Log) newSegmentLocked() error {
+	name := segmentName(l.nextLSN)
+	f, err := os.OpenFile(filepath.Join(l.dir, name), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	var hdr [segHeaderLen]byte
+	copy(hdr[:8], segMagic)
+	binary.LittleEndian.PutUint64(hdr[8:16], l.nextLSN)
+	if _, err := f.Write(hdr[:]); err != nil {
+		f.Close()
+		return err
+	}
+	l.f, l.w, l.size, l.segFirst = f, bufio.NewWriter(f), segHeaderLen, l.nextLSN
+	l.ctr.segsCreated.Add(1)
+	l.ctr.segs.Add(1)
+	syncDir(l.dir)
+	return nil
+}
+
+// syncDir fsyncs a directory so renames and creates are durable;
+// best-effort on filesystems that refuse directory fsync.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}
+
+// AppendCommit appends a commit record and applies the sync policy. It
+// returns the record's LSN.
+func (l *Log) AppendCommit(version int64, insert, del []datalog.Fact) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.usableLocked(); err != nil {
+		return 0, err
+	}
+	lsn := l.nextLSN
+	l.buf = encodeCommit(l.buf[:0], lsn, version, insert, del)
+	return lsn, l.appendLocked(RecCommit, l.buf)
+}
+
+// AppendRegister appends a program-registration record.
+func (l *Log) AppendRegister(name, source string) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.usableLocked(); err != nil {
+		return 0, err
+	}
+	lsn := l.nextLSN
+	l.buf = encodeRegister(l.buf[:0], lsn, name, source)
+	return lsn, l.appendLocked(RecRegister, l.buf)
+}
+
+// AppendUnregister appends an unregistration record.
+func (l *Log) AppendUnregister(name string) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.usableLocked(); err != nil {
+		return 0, err
+	}
+	lsn := l.nextLSN
+	l.buf = encodeUnregister(l.buf[:0], lsn, name)
+	return lsn, l.appendLocked(RecUnregister, l.buf)
+}
+
+func (l *Log) usableLocked() error {
+	if l.closed {
+		return fmt.Errorf("storage: log is closed")
+	}
+	if l.err != nil {
+		return fmt.Errorf("storage: log is poisoned by an earlier write error: %w", l.err)
+	}
+	return nil
+}
+
+func (l *Log) appendLocked(typ byte, payload []byte) error {
+	recLen := int64(recHeaderLen) + int64(len(payload))
+	if l.size > segHeaderLen && l.size+recLen > l.opts.SegmentBytes {
+		if err := l.rotateLocked(); err != nil {
+			l.err = err
+			return err
+		}
+	}
+	var hdr [recHeaderLen]byte
+	hdr[0] = typ
+	binary.LittleEndian.PutUint32(hdr[1:5], uint32(len(payload)))
+	sum := crc32.Update(0, castagnoli, hdr[:1])
+	sum = crc32.Update(sum, castagnoli, payload)
+	binary.LittleEndian.PutUint32(hdr[5:9], sum)
+	if _, err := l.w.Write(hdr[:]); err != nil {
+		l.err = err
+		return err
+	}
+	if _, err := l.w.Write(payload); err != nil {
+		l.err = err
+		return err
+	}
+	l.nextLSN++
+	l.size += recLen
+	l.ctr.records.Add(1)
+	l.ctr.appendedBytes.Add(recLen)
+	switch l.opts.Sync {
+	case SyncAlways:
+		return l.flushSyncLocked()
+	case SyncInterval:
+		if !l.syncPending {
+			l.syncPending = true
+			l.timer = time.AfterFunc(l.opts.SyncInterval, l.backgroundSync)
+		}
+	case SyncNone:
+		// Flushed on rotation, checkpoint, Sync and Close.
+	}
+	return nil
+}
+
+func (l *Log) backgroundSync() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.syncPending = false
+	if l.closed || l.err != nil {
+		return
+	}
+	l.flushSyncLocked() // sticky error recorded by flushSyncLocked
+}
+
+func (l *Log) flushSyncLocked() error {
+	start := time.Now()
+	if err := l.w.Flush(); err != nil {
+		l.err = err
+		return err
+	}
+	if err := l.f.Sync(); err != nil {
+		l.err = err
+		return err
+	}
+	l.ctr.fsyncs.Add(1)
+	l.ctr.syncNanos.Add(time.Since(start).Nanoseconds())
+	return nil
+}
+
+func (l *Log) rotateLocked() error {
+	if err := l.flushSyncLocked(); err != nil {
+		return err
+	}
+	if err := l.f.Close(); err != nil {
+		return err
+	}
+	l.sealed = append(l.sealed, segmentInfo{name: segmentName(l.segFirst), first: l.segFirst})
+	return l.newSegmentLocked()
+}
+
+// Sync flushes buffered records and fsyncs the active segment.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.usableLocked(); err != nil {
+		return err
+	}
+	return l.flushSyncLocked()
+}
+
+// LastLSN returns the LSN of the most recently appended record (0 when
+// the log is empty).
+func (l *Log) LastLSN() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.nextLSN - 1
+}
+
+// truncateThroughLocked removes sealed segments every record of which has
+// LSN <= lsn: a sealed segment is deletable when its successor (the next
+// sealed segment or the active one) starts at or below lsn+1.
+func (l *Log) truncateThroughLocked(lsn uint64) error {
+	for len(l.sealed) > 0 {
+		next := l.segFirst
+		if len(l.sealed) > 1 {
+			next = l.sealed[1].first
+		}
+		if next > lsn+1 {
+			break
+		}
+		if err := os.Remove(filepath.Join(l.dir, l.sealed[0].name)); err != nil && !os.IsNotExist(err) {
+			return err
+		}
+		l.sealed = l.sealed[1:]
+		l.ctr.segsDeleted.Add(1)
+		l.ctr.segs.Add(-1)
+	}
+	return nil
+}
+
+// Close flushes, fsyncs, and closes the active segment. The log refuses
+// appends afterwards; Close is idempotent.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	if l.timer != nil {
+		l.timer.Stop()
+	}
+	var err error
+	if l.err == nil {
+		err = l.flushSyncLocked()
+	}
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	l.closed = true
+	return err
+}
+
+// Counters returns a snapshot of the log's observability counters.
+func (l *Log) Counters() Counters {
+	return Counters{
+		Records:         l.ctr.records.Load(),
+		AppendedBytes:   l.ctr.appendedBytes.Load(),
+		Fsyncs:          l.ctr.fsyncs.Load(),
+		SyncNanos:       l.ctr.syncNanos.Load(),
+		Checkpoints:     l.ctr.checkpoints.Load(),
+		SegmentsCreated: l.ctr.segsCreated.Load(),
+		SegmentsDeleted: l.ctr.segsDeleted.Load(),
+		Segments:        l.ctr.segs.Load(),
+	}
+}
+
+// Dir returns the log's directory.
+func (l *Log) Dir() string { return l.dir }
+
+// Policy returns the configured sync policy.
+func (l *Log) Policy() SyncPolicy { return l.opts.Sync }

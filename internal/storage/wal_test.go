@@ -1,0 +1,290 @@
+package storage
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/datalog"
+)
+
+func fact(pred string, xs ...int) datalog.Fact {
+	return datalog.Fact{Pred: pred, Tuple: datalog.Tuple(xs)}
+}
+
+func mustOpen(t *testing.T, dir string, opts Options) (*Log, *Recovery) {
+	t.Helper()
+	l, rec, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l, rec
+}
+
+func TestAppendReopenReplay(t *testing.T) {
+	dir := t.TempDir()
+	l, rec := mustOpen(t, dir, Options{})
+	if rec.Checkpoint != nil || len(rec.Records) != 0 {
+		t.Fatalf("fresh dir recovered %+v", rec)
+	}
+	if _, err := l.AppendRegister("tc", "S(x,y) :- E(x,y). goal S."); err != nil {
+		t.Fatal(err)
+	}
+	for v := int64(1); v <= 5; v++ {
+		if _, err := l.AppendCommit(v, []datalog.Fact{fact("E", int(v-1), int(v))}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := l.AppendUnregister("tc"); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, rec2 := mustOpen(t, dir, Options{})
+	defer l2.Close()
+	if len(rec2.Records) != 7 {
+		t.Fatalf("replayed %d records, want 7", len(rec2.Records))
+	}
+	if r := rec2.Records[0]; r.Type != RecRegister || r.Name != "tc" || !strings.Contains(r.Source, "goal S") {
+		t.Fatalf("first record %+v", r)
+	}
+	for i := 1; i <= 5; i++ {
+		r := rec2.Records[i]
+		if r.Type != RecCommit || r.Version != int64(i) || len(r.Insert) != 1 || len(r.Delete) != 0 {
+			t.Fatalf("record %d: %+v", i, r)
+		}
+		if r.Insert[0].Pred != "E" || r.Insert[0].Tuple[0] != i-1 || r.Insert[0].Tuple[1] != i {
+			t.Fatalf("record %d fact %v", i, r.Insert[0])
+		}
+		if r.LSN != uint64(i+1) {
+			t.Fatalf("record %d has LSN %d", i, r.LSN)
+		}
+	}
+	if r := rec2.Records[6]; r.Type != RecUnregister || r.Name != "tc" {
+		t.Fatalf("last record %+v", r)
+	}
+	// Appends continue after the replayed tail.
+	lsn, err := l2.AppendCommit(6, []datalog.Fact{fact("E", 5, 6)}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn != 8 {
+		t.Fatalf("post-recovery LSN %d, want 8", lsn)
+	}
+}
+
+func TestSegmentRotationAndScan(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir, Options{SegmentBytes: 256})
+	const n = 50
+	for v := int64(1); v <= n; v++ {
+		if _, err := l.AppendCommit(v, []datalog.Fact{fact("E", int(v)%7, int(v+1)%7)}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c := l.Counters(); c.Segments < 3 {
+		t.Fatalf("only %d segments with 256-byte cap", c.Segments)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, rec := mustOpen(t, dir, Options{SegmentBytes: 256})
+	defer l2.Close()
+	if len(rec.Records) != n {
+		t.Fatalf("replayed %d records across segments, want %d", len(rec.Records), n)
+	}
+	for i, r := range rec.Records {
+		if r.LSN != uint64(i+1) || r.Version != int64(i+1) {
+			t.Fatalf("record %d: lsn %d version %d", i, r.LSN, r.Version)
+		}
+	}
+}
+
+func TestCheckpointBoundsReplayAndTruncates(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir, Options{SegmentBytes: 256})
+	db := datalog.NewDatabase(16)
+	for v := int64(1); v <= 40; v++ {
+		f := fact("E", int(v)%16, int(v+1)%16)
+		db.EnsureRelation("E", 2).Add(f.Tuple)
+		if _, err := l.AppendCommit(v, []datalog.Fact{f}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	segsBefore := l.Counters().Segments
+	st := &CheckpointState{
+		Universe: 16, Version: 40, LSN: l.LastLSN(),
+		Programs: []Program{{Name: "tc", Source: "S(x,y) :- E(x,y). goal S."}},
+		DB:       db,
+	}
+	if err := l.WriteCheckpoint(st); err != nil {
+		t.Fatal(err)
+	}
+	if c := l.Counters(); c.Segments >= segsBefore {
+		t.Fatalf("checkpoint did not truncate: %d -> %d segments", segsBefore, c.Segments)
+	}
+	// Post-checkpoint commits replay on top of the checkpoint state.
+	for v := int64(41); v <= 43; v++ {
+		if _, err := l.AppendCommit(v, []datalog.Fact{fact("E", int(v)%16, int(v+3)%16)}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, rec := mustOpen(t, dir, Options{SegmentBytes: 256})
+	defer l2.Close()
+	if rec.Checkpoint == nil {
+		t.Fatal("no checkpoint recovered")
+	}
+	if rec.Checkpoint.Version != 40 || rec.Checkpoint.Universe != 16 {
+		t.Fatalf("checkpoint header %+v", rec.Checkpoint)
+	}
+	if got := rec.Checkpoint.DB.Relation("E").Size(); got != db.Relation("E").Size() {
+		t.Fatalf("checkpoint EDB has %d tuples, want %d", got, db.Relation("E").Size())
+	}
+	if len(rec.Checkpoint.Programs) != 1 || rec.Checkpoint.Programs[0].Name != "tc" {
+		t.Fatalf("checkpoint programs %+v", rec.Checkpoint.Programs)
+	}
+	if len(rec.Records) != 3 {
+		t.Fatalf("replay after checkpoint has %d records, want 3", len(rec.Records))
+	}
+	if rec.Records[0].Version != 41 {
+		t.Fatalf("first replayed version %d, want 41", rec.Records[0].Version)
+	}
+}
+
+func TestCheckpointRetention(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir, Options{KeepCheckpoints: 2})
+	db := datalog.NewDatabase(4)
+	for v := int64(1); v <= 6; v++ {
+		if _, err := l.AppendCommit(v, []datalog.Fact{fact("E", int(v)%4, (int(v)+1)%4)}, nil); err != nil {
+			t.Fatal(err)
+		}
+		if err := l.WriteCheckpoint(&CheckpointState{Universe: 4, Version: v, LSN: l.LastLSN(), DB: db}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckpts := 0
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), ckptPrefix) {
+			ckpts++
+		}
+	}
+	if ckpts != 2 {
+		t.Fatalf("%d checkpoint files retained, want 2", ckpts)
+	}
+}
+
+func TestSyncIntervalFlushesInBackground(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir, Options{Sync: SyncInterval, SyncInterval: time.Millisecond})
+	if _, err := l.AppendCommit(1, []datalog.Fact{fact("E", 0, 1)}, nil); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for l.Counters().Fsyncs == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("background group-commit flusher never fsynced")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The batch is on disk: a reopen replays it.
+	l2, rec := mustOpen(t, dir, Options{})
+	defer l2.Close()
+	if len(rec.Records) != 1 {
+		t.Fatalf("replayed %d records, want 1", len(rec.Records))
+	}
+}
+
+func TestSyncNoneStillDurableAfterClose(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir, Options{Sync: SyncNone})
+	for v := int64(1); v <= 10; v++ {
+		if _, err := l.AppendCommit(v, []datalog.Fact{fact("E", 0, 1)}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c := l.Counters(); c.Fsyncs != 0 {
+		t.Fatalf("SyncNone fsynced %d times on the append path", c.Fsyncs)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, rec := mustOpen(t, dir, Options{})
+	defer l2.Close()
+	if len(rec.Records) != 10 {
+		t.Fatalf("replayed %d records, want 10", len(rec.Records))
+	}
+}
+
+func TestClosedLogRefusesAppends(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir, Options{})
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.AppendCommit(1, nil, nil); err == nil {
+		t.Fatal("append after Close succeeded")
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+func TestParseSyncPolicy(t *testing.T) {
+	for in, want := range map[string]SyncPolicy{
+		"always": SyncAlways, "": SyncAlways,
+		"interval": SyncInterval, "batch": SyncInterval, "group": SyncInterval,
+		"none": SyncNone, "never": SyncNone, "os": SyncNone,
+	} {
+		got, err := ParseSyncPolicy(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseSyncPolicy(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseSyncPolicy("sometimes"); err == nil {
+		t.Fatal("bogus policy accepted")
+	}
+	if SyncAlways.String() != "always" || SyncInterval.String() != "interval" || SyncNone.String() != "none" {
+		t.Fatal("SyncPolicy.String mismatch")
+	}
+}
+
+// TestSegmentNames pins the on-disk naming scheme recovery relies on.
+func TestSegmentNames(t *testing.T) {
+	if segmentName(5) != "wal-0000000000000005.log" {
+		t.Fatalf("segmentName(5) = %s", segmentName(5))
+	}
+	if first, ok := parseSegmentName("wal-00000000000000ff.log"); !ok || first != 255 {
+		t.Fatalf("parseSegmentName = %d, %v", first, ok)
+	}
+	for _, bad := range []string{"wal-.log", "wal-xyz.log", "ckpt-0000000000000001.ckpt", "wal-01.log"} {
+		if _, ok := parseSegmentName(bad); ok {
+			t.Fatalf("parseSegmentName accepted %q", bad)
+		}
+	}
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir, Options{})
+	defer l.Close()
+	names, err := filepath.Glob(filepath.Join(dir, segPrefix+"*"))
+	if err != nil || len(names) != 1 {
+		t.Fatalf("glob %v %v", names, err)
+	}
+}
