@@ -24,7 +24,12 @@ BENCH_PLAN_PATTERN := BenchmarkE27_
 # vs WAL length with and without checkpoints).
 BENCH_STORAGE_PATTERN := BenchmarkE28_
 
-.PHONY: build test verify bench bench-json bench-pebble bench-pebble-json bench-magic bench-magic-json bench-plan bench-plan-json bench-storage bench-storage-json clean
+# Benchmarks that gate the streaming execution layer (E29: full drain of
+# a layered join streamed vs materialized, and limit-N early
+# termination).
+BENCH_STREAM_PATTERN := BenchmarkE29_
+
+.PHONY: build test verify bench bench-json bench-pebble bench-pebble-json bench-magic bench-magic-json bench-plan bench-plan-json bench-storage bench-storage-json bench-stream bench-stream-json clean
 
 build:
 	$(GO) build ./...
@@ -35,13 +40,14 @@ test:
 # verify is the tier-1 gate: build, full tests, vet, and the race
 # detector over the packages with concurrent code paths (the parallel
 # rule-firing worker pool, the pebble-game referee, the incremental
-# service with its concurrent query/commit front end, the WAL with its
+# service with its concurrent query/commit front end, the streaming
+# executor with its randomized equivalence suite, the WAL with its
 # group-commit flusher, and the metrics registry).
 verify:
 	$(GO) build ./...
 	$(GO) test ./...
 	$(GO) vet ./...
-	$(GO) test -race ./internal/datalog/... ./internal/magic/... ./internal/pebble/... ./internal/service/... ./internal/obs/... ./internal/plan/... ./internal/storage/...
+	$(GO) test -race ./internal/datalog/... ./internal/magic/... ./internal/pebble/... ./internal/service/... ./internal/stream/... ./internal/obs/... ./internal/plan/... ./internal/storage/...
 
 # bench runs the evaluation-core benchmarks with allocation counts and
 # keeps the raw text output in BENCH_eval.txt.
@@ -87,5 +93,13 @@ bench-storage:
 bench-storage-json:
 	$(GO) test -run '^$$' -bench '$(BENCH_STORAGE_PATTERN)' -benchmem -count 5 . | tee BENCH_storage.txt | $(GO) run ./cmd/benchjson > BENCH_storage.json
 
+# bench-stream / bench-stream-json point the same harness at the E29
+# streaming-execution benchmarks, producing BENCH_stream.{txt,json}.
+bench-stream:
+	$(GO) test -run '^$$' -bench '$(BENCH_STREAM_PATTERN)' -benchmem -count 5 . | tee BENCH_stream.txt
+
+bench-stream-json:
+	$(GO) test -run '^$$' -bench '$(BENCH_STREAM_PATTERN)' -benchmem -count 5 . | tee BENCH_stream.txt | $(GO) run ./cmd/benchjson > BENCH_stream.json
+
 clean:
-	rm -f BENCH_eval.txt BENCH_eval.json BENCH_pebble.txt BENCH_pebble.json BENCH_magic.txt BENCH_magic.json BENCH_plan.txt BENCH_plan.json BENCH_storage.txt BENCH_storage.json
+	rm -f BENCH_eval.txt BENCH_eval.json BENCH_pebble.txt BENCH_pebble.json BENCH_magic.txt BENCH_magic.json BENCH_plan.txt BENCH_plan.json BENCH_storage.txt BENCH_storage.json BENCH_stream.txt BENCH_stream.json

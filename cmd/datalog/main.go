@@ -5,6 +5,7 @@
 //
 //	datalog -program prog.dl -facts db.facts [-naive] [-noindex] [-all]
 //	        [-goal 'S(0,_)'] [-explain 'S(0,_)'] [-stats] [-parallel N]
+//	        [-limit N] [-stream]
 //	        [-server http://host:8344 [-name cli]]
 //
 // With no file arguments it runs the transitive-closure quickstart on a
@@ -25,12 +26,21 @@
 // pattern with bound positions explains the magic-set-rewritten, seeded
 // program — exactly what a bound query executes. With -server the plan
 // comes from POST /v1/explain and reflects the server's statistics.
+//
+// -stream evaluates through the streaming executor: answers print as
+// they are derived (in derivation order, not sorted) and a recursive
+// program falls back to materialized evaluation. -limit N stops after N
+// answers — under -stream this terminates evaluation early instead of
+// discarding tuples. With -server, -stream requests NDJSON from
+// /v1/query and prints tuples as the server produces them, and -limit
+// travels as the query's "limit" field.
 package main
 
 import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
@@ -44,6 +54,7 @@ import (
 	"repro/internal/magic"
 	"repro/internal/plan"
 	"repro/internal/service"
+	"repro/internal/stream"
 )
 
 func main() {
@@ -56,6 +67,8 @@ func main() {
 	parallel := flag.Int("parallel", 0, "rule-firing parallelism (0 = GOMAXPROCS, 1 = sequential)")
 	goalPat := flag.String("goal", "", "goal pattern like 'S(0,_)': evaluate goal-directed via magic-set rewriting")
 	explainPat := flag.String("explain", "", "pattern like 'S(0,_)': print the join plan (atom order, probe columns, est vs actual rows) instead of tuples")
+	limit := flag.Int("limit", 0, "stop after N answers (0 = all); with -stream this ends evaluation early")
+	streamF := flag.Bool("stream", false, "evaluate through the streaming executor, printing answers as they are derived (NDJSON with -server)")
 	server := flag.String("server", "", "run against a cmd/serve instance at this base URL instead of evaluating locally")
 	name := flag.String("name", "cli", "registration name used with -server")
 	flag.Parse()
@@ -92,7 +105,7 @@ func main() {
 			fatalIf(explainRemote(*server, *name, progSrc, db, g))
 			return
 		}
-		fatalIf(runRemote(*server, *name, progSrc, prog, db, *all, goal))
+		fatalIf(runRemote(*server, *name, progSrc, prog, db, *all, goal, *limit, *streamF))
 		return
 	}
 
@@ -108,6 +121,11 @@ func main() {
 		return
 	}
 
+	if *streamF {
+		fatalIf(runStream(prog, db, goal, opts, *all, *limit))
+		return
+	}
+
 	if goal != nil {
 		fatalIf(runGoal(prog, db, *goal, opts, *stats))
 		return
@@ -117,9 +135,18 @@ func main() {
 	fatalIf(err)
 
 	if *all {
-		for name, rel := range res.IDB {
-			fmt.Print(core.FormatRelation(name, rel))
+		// Deterministic output: relations in predicate-name order, not
+		// map-iteration order.
+		names := make([]string, 0, len(res.IDB))
+		for name := range res.IDB {
+			names = append(names, name)
 		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Print(core.FormatRelation(name, res.IDB[name]))
+		}
+	} else if *limit > 0 {
+		printTuples(prog.Goal, res.Goal(prog).Tuples(), *limit)
 	} else {
 		fmt.Print(core.FormatRelation(prog.Goal, res.Goal(prog)))
 	}
@@ -138,6 +165,84 @@ func main() {
 			}
 		}
 	}
+}
+
+// printTuples prints up to limit tuples (0 = all) in the relation
+// format core.FormatRelation uses.
+func printTuples(name string, tuples []datalog.Tuple, limit int) {
+	if limit > 0 && len(tuples) > limit {
+		tuples = tuples[:limit]
+	}
+	fmt.Printf("%s (%d tuples):\n", name, len(tuples))
+	for _, t := range tuples {
+		fmt.Println("  " + t.String())
+	}
+}
+
+// runStream evaluates through the streaming executor, printing answers
+// in arrival (derivation) order as they are produced; a recursive
+// program falls back to materialized evaluation. A bound goal streams
+// the seeded magic-set rewrite's answer predicate under the goal filter.
+func runStream(prog *datalog.Program, db *datalog.Database, goal *datalog.Goal, opts datalog.Options, all bool, limit int) error {
+	ctx := context.Background()
+	run := func(p *datalog.Program, pred, label string, filter *datalog.Goal) error {
+		opt := stream.Options{Eval: opts, Limit: limit, Filter: filter}
+		st, err := stream.Open(ctx, p, db, pred, opt)
+		if err != nil {
+			if !errors.Is(err, stream.ErrRecursive) {
+				return err
+			}
+			tuples, origin, err := stream.Tuples(ctx, p, db, pred, opt)
+			if err != nil {
+				return err
+			}
+			printTuples(label, tuples, limit)
+			fmt.Printf("origin=%s (recursive: materialized fallback)\n", origin)
+			return nil
+		}
+		defer st.Close()
+		fmt.Printf("%s (streaming):\n", label)
+		n := 0
+		for {
+			t, ok := st.Next()
+			if !ok {
+				break
+			}
+			fmt.Println("  " + t.String())
+			n++
+		}
+		if err := st.Err(); err != nil {
+			return err
+		}
+		c := st.Counters()
+		fmt.Printf("count=%d pulls=%d peak_buffered=%d\n", n, c.Pulls, c.PeakBuffered)
+		return nil
+	}
+	if goal != nil {
+		rw, err := magic.NewRewrite(prog, *goal, magic.BoundFirstSIP{})
+		if err != nil {
+			return err
+		}
+		seeded, err := rw.Seeded(*goal)
+		if err != nil {
+			return err
+		}
+		return run(seeded, rw.GoalPred, goal.String(), goal)
+	}
+	preds := []string{prog.Goal}
+	if all {
+		preds = preds[:0]
+		for p := range prog.IDBs() {
+			preds = append(preds, p)
+		}
+		sort.Strings(preds)
+	}
+	for _, pred := range preds {
+		if err := run(prog, pred, pred, nil); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // runGoal answers one bound goal pattern locally through the magic-set
@@ -306,8 +411,9 @@ func explainRemote(base, name, progSrc string, db *datalog.Database, g datalog.G
 // runRemote registers the program on the server, commits the facts, and
 // prints the queried relations — the same output shape as local mode.
 // With a goal pattern the query carries the binding in its "bind" field
-// and the server answers it goal-directed.
-func runRemote(base, name, progSrc string, prog *datalog.Program, db *datalog.Database, all bool, goal *datalog.Goal) error {
+// and the server answers it goal-directed. With streamQ the query asks
+// for NDJSON and tuples print as the server produces them.
+func runRemote(base, name, progSrc string, prog *datalog.Program, db *datalog.Database, all bool, goal *datalog.Goal, limit int, streamQ bool) error {
 	base = strings.TrimRight(base, "/")
 	var reg service.RegisterResponse
 	if err := call(base+"/v1/register", service.RegisterRequest{Name: name, Program: progSrc}, &reg); err != nil {
@@ -333,8 +439,12 @@ func runRemote(base, name, progSrc string, prog *datalog.Program, db *datalog.Da
 				bind[i] = &v
 			}
 		}
+		req := service.QueryRequestJSON{Program: name, Pred: goal.Pred, Bind: bind, Limit: limit}
+		if streamQ {
+			return callStream(base+"/v1/query", req, goal.String())
+		}
 		var q service.QueryResponse
-		if err := call(base+"/v1/query", service.QueryRequestJSON{Program: name, Pred: goal.Pred, Bind: bind}, &q); err != nil {
+		if err := call(base+"/v1/query", req, &q); err != nil {
 			return err
 		}
 		label := q.Goal
@@ -359,16 +469,81 @@ func runRemote(base, name, progSrc string, prog *datalog.Program, db *datalog.Da
 		sort.Strings(preds)
 	}
 	for _, pred := range preds {
+		req := service.QueryRequestJSON{Program: name, Pred: pred, Limit: limit}
+		if streamQ {
+			if err := callStream(base+"/v1/query", req, pred); err != nil {
+				return err
+			}
+			continue
+		}
 		var q service.QueryResponse
-		if err := call(base+"/v1/query", service.QueryRequestJSON{Program: name, Pred: pred}, &q); err != nil {
+		if err := call(base+"/v1/query", req, &q); err != nil {
 			return err
 		}
 		fmt.Printf("%s (%d tuples):\n", pred, q.Count)
 		for _, t := range q.Tuples {
 			fmt.Println("  " + datalog.Tuple(t).String())
 		}
+		if q.NextCursor != "" {
+			fmt.Printf("next_cursor=%s\n", q.NextCursor)
+		}
 	}
 	return nil
+}
+
+// callStream POSTs a query with "stream": true and prints the NDJSON
+// response — header line, tuples as they arrive, trailer — line by line.
+func callStream(url string, req service.QueryRequestJSON, label string) error {
+	req.Stream = true
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	r, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		var e service.ErrorEnvelope
+		if err := json.NewDecoder(r.Body).Decode(&e); err == nil && e.Message != "" {
+			return fmt.Errorf("server: %s (%s)", e.Message, e.Code)
+		}
+		return fmt.Errorf("server: %s", r.Status)
+	}
+	dec := json.NewDecoder(r.Body)
+	var hdr service.StreamHeaderJSON
+	if err := dec.Decode(&hdr); err != nil {
+		return fmt.Errorf("stream header: %w", err)
+	}
+	fmt.Printf("%s (streaming, origin=%s, version=%d):\n", label, hdr.Origin, hdr.Version)
+	for {
+		var raw json.RawMessage
+		if err := dec.Decode(&raw); err != nil {
+			return fmt.Errorf("stream: %w", err)
+		}
+		var tuple []int
+		if err := json.Unmarshal(raw, &tuple); err == nil {
+			fmt.Println("  " + datalog.Tuple(tuple).String())
+			continue
+		}
+		var tr service.StreamTrailerJSON
+		if err := json.Unmarshal(raw, &tr); err != nil {
+			return fmt.Errorf("stream trailer: %w", err)
+		}
+		if tr.Error != "" {
+			return fmt.Errorf("server stream: %s", tr.Error)
+		}
+		fmt.Printf("count=%d", tr.Count)
+		if tr.NextCursor != "" {
+			fmt.Printf(" next_cursor=%s", tr.NextCursor)
+		}
+		if tr.Truncated {
+			fmt.Print(" truncated=true")
+		}
+		fmt.Println()
+		return nil
+	}
 }
 
 // call POSTs a JSON body and decodes the JSON answer, surfacing the

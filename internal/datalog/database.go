@@ -124,20 +124,36 @@ func (r *Relation) Has(t Tuple) bool {
 // Size returns the number of tuples.
 func (r *Relation) Size() int { return len(r.tuples) }
 
-// Tuples returns all tuples sorted lexicographically.
+// CompareTuples is the canonical tuple order: lexicographic by components.
+// It returns -1, 0, or +1. This is the order Tuples() sorts into, the order
+// /v1/query responses are serialized in, and the order pagination cursors
+// are compared against — every sorted tuple slice in the system must agree
+// with it.
+func CompareTuples(a, b Tuple) int {
+	for k := range a {
+		if k >= len(b) {
+			return 1
+		}
+		if a[k] != b[k] {
+			if a[k] < b[k] {
+				return -1
+			}
+			return 1
+		}
+	}
+	if len(a) < len(b) {
+		return -1
+	}
+	return 0
+}
+
+// Tuples returns all tuples sorted in the canonical CompareTuples order.
 func (r *Relation) Tuples() []Tuple {
 	out := make([]Tuple, 0, len(r.tuples))
 	for _, t := range r.tuples {
 		out = append(out, t)
 	}
-	sort.Slice(out, func(i, j int) bool {
-		for k := range out[i] {
-			if out[i][k] != out[j][k] {
-				return out[i][k] < out[j][k]
-			}
-		}
-		return false
-	})
+	sort.Slice(out, func(i, j int) bool { return CompareTuples(out[i], out[j]) < 0 })
 	return out
 }
 
@@ -205,6 +221,20 @@ func (r *Relation) lookup(pattern Tuple, mask uint64, useIndex bool) []Tuple {
 		idx = r.indexes[mask]
 	}
 	return idx[keyProjected(pattern, mask)]
+}
+
+// EnsureIndex registers and builds the hash index on the given column mask
+// if absent; subsequent Adds maintain it incrementally. Exported so the
+// streaming executor can pre-register probe masks before iteration begins
+// (Matches never mutates once the mask is registered).
+func (r *Relation) EnsureIndex(mask uint64) { r.ensureIndex(mask) }
+
+// Matches returns the tuples whose positions selected by mask equal the
+// corresponding positions of pattern (an indexed probe; the index is built
+// on first use). mask == 0 returns every tuple in arbitrary order. The
+// returned slice aliases index storage and must not be mutated.
+func (r *Relation) Matches(pattern Tuple, mask uint64) []Tuple {
+	return r.lookup(pattern, mask, true)
 }
 
 // TuplesUnordered returns the tuples without sorting (hot path).

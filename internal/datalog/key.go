@@ -34,6 +34,21 @@ type tupleKey struct {
 	spill  string
 }
 
+// TupleKey is the exported name of the canonical packed tuple key, so
+// sibling packages (internal/stream's distinct sets and symmetric-hash-join
+// tables) can key maps on tuples with the same zero-allocation encoding the
+// engine uses, without re-deriving the packing scheme.
+type TupleKey = tupleKey
+
+// KeyOf returns the canonical comparable key of a tuple. Keys of
+// same-arity tuples are equal iff the tuples are equal.
+func KeyOf(t Tuple) TupleKey { return keyOf(t) }
+
+// KeyProjected returns the canonical key of the subsequence of t selected
+// by the column mask (bit i set selects position i). As with KeyOf, the
+// injectivity guarantee holds within a fixed (arity, mask) pair.
+func KeyProjected(t Tuple, mask uint64) TupleKey { return keyProjected(t, mask) }
+
 // packedBits is the payload width of a packed key; the top two bits hold
 // the element-width tag.
 const packedBits = 62

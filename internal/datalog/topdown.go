@@ -59,8 +59,8 @@ func (g Goal) key() goalKey {
 	return goalKey{pred: g.Pred, mask: mask, vals: keyProjected(Tuple(g.Value), mask)}
 }
 
-// matches reports whether a tuple satisfies the goal's bindings.
-func (g Goal) matches(t Tuple) bool {
+// Matches reports whether a tuple satisfies the goal's bindings.
+func (g Goal) Matches(t Tuple) bool {
 	for i := range g.Bound {
 		if g.Bound[i] && t[i] != g.Value[i] {
 			return false
@@ -150,7 +150,7 @@ func (td *TopDown) AskContext(ctx context.Context, g Goal) ([]Tuple, error) {
 		}
 		if rel != nil {
 			rel.each(func(t Tuple) bool {
-				if g.matches(t) {
+				if g.Matches(t) {
 					out = append(out, t)
 				}
 				return true
@@ -186,15 +186,12 @@ func (td *TopDown) AskContext(ctx context.Context, g Goal) ([]Tuple, error) {
 }
 
 func sortTuples(ts []Tuple) {
-	sort.Slice(ts, func(i, j int) bool {
-		for k := range ts[i] {
-			if ts[i][k] != ts[j][k] {
-				return ts[i][k] < ts[j][k]
-			}
-		}
-		return false
-	})
+	sort.Slice(ts, func(i, j int) bool { return CompareTuples(ts[i], ts[j]) < 0 })
 }
+
+// SortTuples sorts a tuple slice into the canonical CompareTuples order,
+// the order all sorted API responses use.
+func SortTuples(ts []Tuple) { sortTuples(ts) }
 
 func (td *TopDown) totalFacts() int {
 	n := 0
@@ -335,7 +332,7 @@ func (td *TopDown) fireTopDown(r Rule, g Goal, emit func(Tuple)) {
 			if td.cancelled {
 				return false
 			}
-			if !sub.matches(tup) {
+			if !sub.Matches(tup) {
 				return true
 			}
 			var bound []string

@@ -39,7 +39,6 @@ package magic
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 
 	"repro/internal/datalog"
@@ -203,28 +202,12 @@ func (o Options) sip() SIP {
 	return o.SIP
 }
 
-// matches reports whether a tuple satisfies the goal's bindings
-// (mirrors the unexported datalog.Goal.matches).
-func matches(g datalog.Goal, t datalog.Tuple) bool {
-	for i := range g.Bound {
-		if g.Bound[i] && t[i] != g.Value[i] {
-			return false
-		}
-	}
-	return true
-}
+// matches reports whether a tuple satisfies the goal's bindings.
+func matches(g datalog.Goal, t datalog.Tuple) bool { return g.Matches(t) }
 
-// sortTuples orders tuples lexicographically for deterministic answers.
-func sortTuples(ts []datalog.Tuple) {
-	sort.Slice(ts, func(i, j int) bool {
-		for k := range ts[i] {
-			if ts[i][k] != ts[j][k] {
-				return ts[i][k] < ts[j][k]
-			}
-		}
-		return false
-	})
-}
+// sortTuples orders tuples in the canonical datalog.CompareTuples order
+// for deterministic answers.
+func sortTuples(ts []datalog.Tuple) { datalog.SortTuples(ts) }
 
 // validateGoal checks a goal against a program: the predicate must be an
 // IDB of matching arity and every bound value must lie in [0, n).

@@ -108,6 +108,17 @@ func (g *Gauge) Add(n int64) { g.v.Add(n) }
 // Value returns the current level.
 func (g *Gauge) Value() int64 { return g.v.Load() }
 
+// SetMax raises the gauge to v if v exceeds the current level (an atomic
+// running maximum — used for high-water marks like peak buffered tuples).
+func (g *Gauge) SetMax(v int64) {
+	for {
+		cur := g.v.Load()
+		if v <= cur || g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
 func (g *Gauge) kind() string     { return "gauge" }
 func (g *Gauge) helpText() string { return g.help }
 func (g *Gauge) snapshotValue() any {

@@ -221,6 +221,21 @@ type ProgramPlan struct {
 // slice backs every evaluation that hits this cache entry).
 func (pp *ProgramPlan) PlannedRules() []datalog.Rule { return pp.prog.Rules }
 
+// EstPredRows returns the estimated number of tuples the plan expects pred
+// to hold at fixpoint: the sum of final-step row estimates over the rules
+// with that head (0 when no rule derives it — e.g. it was pruned). The
+// streaming executor uses this to pick stream vs. materialize per join
+// step.
+func (pp *ProgramPlan) EstPredRows(pred string) float64 {
+	var sum float64
+	for i := range pp.Rules {
+		if pp.Rules[i].Rule.Head.Pred == pred {
+			sum += pp.Rules[i].EstRows
+		}
+	}
+	return sum
+}
+
 // Program returns the planned program (read-only, shared).
 func (pp *ProgramPlan) Program() *datalog.Program { return pp.prog }
 

@@ -27,10 +27,11 @@ func newExecutor(workers int) *executor {
 	return &executor{sem: make(chan struct{}, workers)}
 }
 
-// do runs f on the caller's goroutine once a worker slot is free. A
-// context that ends while queued returns ctx.Err() without running f —
-// cancelled clients stop occupying the queue the moment they give up.
-func (x *executor) do(ctx context.Context, f func()) error {
+// acquire claims a worker slot, waiting until one frees up. A context
+// that ends while queued returns ctx.Err() without claiming — cancelled
+// clients stop occupying the queue the moment they give up. Every
+// successful acquire must be paired with a release.
+func (x *executor) acquire(ctx context.Context) error {
 	select {
 	case x.sem <- struct{}{}:
 	case <-ctx.Done():
@@ -44,10 +45,23 @@ func (x *executor) do(ctx context.Context, f func()) error {
 		}
 	}
 	x.total.Add(1)
-	defer func() {
-		x.inFlight.Add(-1)
-		<-x.sem
-	}()
+	return nil
+}
+
+// release returns a slot claimed by acquire.
+func (x *executor) release() {
+	x.inFlight.Add(-1)
+	<-x.sem
+}
+
+// do runs f on the caller's goroutine once a worker slot is free.
+// Streaming queries, whose evaluation spans the whole response drain,
+// use acquire/release directly so the slot covers every pull.
+func (x *executor) do(ctx context.Context, f func()) error {
+	if err := x.acquire(ctx); err != nil {
+		return err
+	}
+	defer x.release()
 	f()
 	return nil
 }

@@ -23,10 +23,20 @@ import (
 //	GET  /v1/stats
 //	GET  /v1/metrics     (?format=prometheus or Accept: text/plain for exposition text)
 //
+// /v1/query additionally accepts "limit", "cursor" and "stream": limited
+// responses carry next_cursor for stable pagination (tuples are in the
+// canonical component-sorted order), and "stream": true — or an Accept
+// header of application/x-ndjson — switches the response to NDJSON: a
+// header line, one JSON array per tuple written as it is produced, and a
+// trailer line with the count and pagination state. A client that
+// disconnects mid-stream cancels the evaluation.
+//
 // Errors under /v1 are the structured envelope {"code": ..., "message":
 // ...}. The original unversioned paths (/register, /commit, ...) remain
-// as thin aliases with the legacy {"error": ...} shape so existing
-// clients keep working; they serve the same handlers otherwise.
+// as deprecated aliases with the legacy {"error": ...} shape so existing
+// clients keep working: they serve the same handlers but mark every
+// response with a Deprecation header and a Link to the /v1 successor,
+// and the first such request logs a warning.
 //
 // Commits apply deletions then insertions atomically and advance the EDB
 // version; queries default to the latest version and the program's goal,
@@ -35,16 +45,40 @@ import (
 // which FuzzHTTPQuery/FuzzHTTPCommit enforce.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
-	for _, prefix := range []string{"", "/v1"} {
-		mux.HandleFunc(prefix+"/register", s.handleRegister)
-		mux.HandleFunc(prefix+"/unregister", s.handleUnregister)
-		mux.HandleFunc(prefix+"/commit", s.handleCommit)
-		mux.HandleFunc(prefix+"/query", s.handleQuery)
-		mux.HandleFunc(prefix+"/explain", s.handleExplain)
-		mux.HandleFunc(prefix+"/stats", s.handleStats)
-		mux.HandleFunc(prefix+"/metrics", s.handleMetrics)
+	routes := []struct {
+		path string
+		h    http.HandlerFunc
+	}{
+		{"/register", s.handleRegister},
+		{"/unregister", s.handleUnregister},
+		{"/commit", s.handleCommit},
+		{"/query", s.handleQuery},
+		{"/explain", s.handleExplain},
+		{"/stats", s.handleStats},
+		{"/metrics", s.handleMetrics},
+	}
+	for _, rt := range routes {
+		mux.HandleFunc("/v1"+rt.path, rt.h)
+		mux.HandleFunc(rt.path, s.deprecated(rt.path, rt.h))
 	}
 	return mux
+}
+
+// deprecated wraps a legacy unversioned route: the response advertises
+// the deprecation (RFC 9745 Deprecation header) and its /v1 successor,
+// the hit is counted in datalog_deprecated_requests_total, and the first
+// hit across all legacy routes logs one warning.
+func (s *Service) deprecated(path string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", "</v1"+path+`>; rel="successor-version"`)
+		s.met.deprecatedReqs.Inc()
+		s.deprecateOnce.Do(func() {
+			slog.Warn("deprecated unversioned API path used; migrate to /v1",
+				slog.String("path", path))
+		})
+		h(w, r)
+	}
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -192,15 +226,19 @@ func (s *Service) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if req.Version != nil {
 		version = *req.Version
 	}
+	if req.Stream || strings.Contains(r.Header.Get("Accept"), "application/x-ndjson") {
+		s.handleQueryStream(w, r, req, version)
+		return
+	}
 	res, err := s.QueryContext(r.Context(), QueryRequest{
 		Program: req.Program, Source: req.Source, Pred: req.Pred, Version: version,
-		Bind: req.Bind,
+		Bind: req.Bind, Limit: req.Limit, Cursor: req.Cursor,
 	})
 	if err != nil {
 		writeError(w, r, errorStatus(err), err)
 		return
 	}
-	resp := QueryResponse{Pred: res.Pred, Version: res.Version, Count: len(res.Tuples), Origin: res.Origin, Goal: res.Goal}
+	resp := QueryResponse{Pred: res.Pred, Version: res.Version, Count: len(res.Tuples), Origin: res.Origin, Goal: res.Goal, NextCursor: res.NextCursor}
 	if res.GoalStats != nil {
 		demand := res.GoalStats.DemandFacts
 		resp.DemandFacts = &demand
@@ -228,6 +266,64 @@ func (s *Service) handleQuery(w http.ResponseWriter, r *http.Request) {
 		resp.Tuples = tuplesToWire(res.Tuples)
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleQueryStream serves one query as NDJSON: a StreamHeaderJSON line,
+// one JSON array per answer tuple flushed as it is produced, and a
+// StreamTrailerJSON line. Tuples stream straight out of the pull
+// iterator, so the client sees first answers before evaluation finishes
+// and a disconnect (r.Context() ends) cancels the evaluation within one
+// context-poll interval.
+func (s *Service) handleQueryStream(w http.ResponseWriter, r *http.Request, req QueryRequestJSON, version int64) {
+	if req.Tuple != nil {
+		writeError(w, r, http.StatusBadRequest,
+			errors.New("service: tuple membership is not available on a streamed response"))
+		return
+	}
+	q, err := s.QueryStream(r.Context(), QueryRequest{
+		Program: req.Program, Source: req.Source, Pred: req.Pred, Version: version,
+		Bind: req.Bind, Limit: req.Limit, Cursor: req.Cursor,
+	})
+	if err != nil {
+		writeError(w, r, errorStatus(err), err)
+		return
+	}
+	defer q.Close()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	flush := func() {
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(StreamHeaderJSON{Pred: q.Pred, Version: q.Version, Origin: q.Origin, Goal: q.Goal, Sorted: q.Sorted})
+	flush()
+	count := 0
+	for {
+		t, ok := q.Next()
+		if !ok {
+			break
+		}
+		if err := enc.Encode([]int(t)); err != nil {
+			return // client gone; Close cancels the evaluation
+		}
+		count++
+		flush()
+	}
+	trailer := StreamTrailerJSON{Count: count}
+	if err := q.Err(); err != nil {
+		trailer.Error = err.Error()
+	} else if q.More() {
+		if cur := q.NextCursor(); cur != "" {
+			trailer.NextCursor = cur
+		} else {
+			trailer.Truncated = true
+		}
+	}
+	_ = enc.Encode(trailer)
+	flush()
 }
 
 // handleExplain plans a query and reports the chosen join orders with

@@ -16,6 +16,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/storage"
+	"repro/internal/stream"
 )
 
 // ErrClosed reports an operation on a service whose Close has been
@@ -107,6 +108,10 @@ type Service struct {
 	reg *obs.Registry
 	met serviceMetrics
 
+	// deprecateOnce gates the one-time warning the first legacy
+	// (unversioned) HTTP request logs.
+	deprecateOnce sync.Once
+
 	mu    sync.RWMutex // guards progs and every registration's view
 	progs map[string]*registration
 
@@ -131,6 +136,12 @@ type serviceMetrics struct {
 	rewriteHits      *obs.Counter
 	rewriteMisses    *obs.Counter
 	checkpointErrors *obs.Counter
+	streamQueries    *obs.Counter
+	streamRows       *obs.Counter
+	streamFallbacks  *obs.Counter
+	deprecatedReqs   *obs.Counter
+	streamsActive    *obs.Gauge
+	streamPeakBuf    *obs.Gauge
 	querySeconds     *obs.Histogram
 	commitSeconds    *obs.Histogram
 	maintainSeconds  *obs.Histogram
@@ -331,6 +342,12 @@ func (s *Service) initMetrics() {
 		goalQueries:     r.Counter("datalog_goal_queries_total", "bound queries answered through the magic-set pipeline"),
 		rewriteHits:     r.Counter("datalog_rewrite_cache_hits_total", "magic rewrite cache hits"),
 		rewriteMisses:   r.Counter("datalog_rewrite_cache_misses_total", "magic rewrite cache misses"),
+		streamQueries:   r.Counter("datalog_stream_queries_total", "queries served through the streaming executor (QueryStream / NDJSON)"),
+		streamRows:      r.Counter("datalog_stream_rows_total", "tuples delivered by streaming queries"),
+		streamFallbacks: r.Counter("datalog_stream_fallbacks_total", "streaming queries that fell back to materialized evaluation (recursive slice)"),
+		deprecatedReqs:  r.Counter("datalog_deprecated_requests_total", "requests served on the legacy unversioned HTTP paths"),
+		streamsActive:   r.Gauge("datalog_streams_active", "streaming queries currently open"),
+		streamPeakBuf:   r.Gauge("datalog_stream_peak_buffered_rows", "high-water mark of rows buffered by any single streaming query"),
 		querySeconds:    r.Histogram("datalog_query_seconds", "end-to-end query latency", nil),
 		commitSeconds:   r.Histogram("datalog_commit_seconds", "commit latency including all maintenance", nil),
 		maintainSeconds: r.Histogram("datalog_maintain_seconds", "per-program incremental maintenance latency", nil),
@@ -738,6 +755,16 @@ type QueryRequest struct {
 	// back to the unrewritten view — materialized, cached, or evaluated
 	// from scratch as before.
 	Bind []*int
+	// Limit caps the number of tuples returned (0 = all). Non-streaming
+	// results are in the canonical datalog.CompareTuples order, so a
+	// limited page is a stable prefix; QueryResult.NextCursor resumes the
+	// next page.
+	Limit int
+	// Cursor resumes a paginated read strictly after the tuple a previous
+	// page's NextCursor named (comma-joined components). Cursors are
+	// defined only over the canonical sorted order, so a request with a
+	// cursor is always served from the sorted answer set.
+	Cursor string
 }
 
 // QueryResult is the answer to one query.
@@ -756,6 +783,10 @@ type QueryResult struct {
 	// GoalStats carries the magic pipeline's counters (demand-set size
 	// among them) for Origin "magic"; nil otherwise.
 	GoalStats *magic.GoalStats
+	// NextCursor is set when Limit truncated the (canonically sorted)
+	// answer set: passing it back as QueryRequest.Cursor returns the next
+	// page. Empty on the final page.
+	NextCursor string
 }
 
 // Query is QueryContext with a background context.
@@ -778,10 +809,23 @@ func (s *Service) QueryContext(ctx context.Context, req QueryRequest) (QueryResu
 	s.queries.Add(1)
 	s.met.queries.Inc()
 	start := time.Now()
-	res, err := s.queryContext(ctx, req)
+	var res QueryResult
+	var err error
+	if req.Limit < 0 {
+		err = fmt.Errorf("service: negative limit %d", req.Limit)
+	} else {
+		res, err = s.queryContext(ctx, req)
+	}
+	if err == nil && (req.Limit > 0 || req.Cursor != "") {
+		// Every non-streaming origin returns the canonical sorted order
+		// (see datalog.CompareTuples), so the page boundary is stable
+		// across repeated reads of the same version.
+		res.Tuples, res.NextCursor, err = pageTuples(res.Tuples, req.Cursor, req.Limit)
+	}
 	s.met.querySeconds.Observe(time.Since(start).Seconds())
 	if err != nil {
 		s.met.queryErrors.Inc()
+		return QueryResult{}, err
 	}
 	return res, err
 }
@@ -1009,6 +1053,11 @@ type ExplainResult struct {
 	// Actuals are the per-rule evaluation statistics of the planned
 	// program, index-aligned with Plan.Rules.
 	Actuals []datalog.RuleStats
+	// Stream is the streaming executor's per-step stream/materialize
+	// decisions for this query (rule- and step-aligned with Plan.Rules),
+	// including the estimated peak buffered-row footprint; Streaming is
+	// false with Reason "recursive" when a streamed run would fall back.
+	Stream *stream.Decisions
 }
 
 // Explain is ExplainContext with a background context.
@@ -1066,6 +1115,9 @@ func (s *Service) ExplainContext(ctx context.Context, req ExplainRequest) (Expla
 
 	pp, hit := s.planner.PlanProgram(target, snap.Stats)
 	out.Plan, out.CacheHit, out.Epoch = pp, hit, pp.Epoch
+	if sd, err := stream.Explain(target, pred, pp); err == nil {
+		out.Stream = sd
+	}
 
 	// Evaluate the planned program for actual row counts. Runs on the
 	// bounded executor like any other from-scratch query.
@@ -1150,6 +1202,14 @@ type Stats struct {
 		Entries       int   `json:"rewrite_entries"`
 		Capacity      int   `json:"rewrite_capacity"`
 	} `json:"magic"`
+	Stream struct {
+		Queries      int64 `json:"queries"`
+		Rows         int64 `json:"rows"`
+		Fallbacks    int64 `json:"fallbacks"`
+		Active       int64 `json:"active"`
+		PeakBuffered int64 `json:"peak_buffered_rows"`
+	} `json:"stream"`
+	DeprecatedRequests int64 `json:"deprecated_requests"`
 	Planner struct {
 		Enabled     bool   `json:"enabled"`
 		Built       int64  `json:"plans_built"`
@@ -1219,6 +1279,12 @@ func (s *Service) Stats() Stats {
 	st.Magic.GoalQueries = s.met.goalQueries.Value()
 	st.Magic.RewriteHits, st.Magic.RewriteMisses, _, st.Magic.Entries = s.rewrites.counters()
 	st.Magic.Capacity = s.rewrites.cap
+	st.Stream.Queries = s.met.streamQueries.Value()
+	st.Stream.Rows = s.met.streamRows.Value()
+	st.Stream.Fallbacks = s.met.streamFallbacks.Value()
+	st.Stream.Active = s.met.streamsActive.Value()
+	st.Stream.PeakBuffered = s.met.streamPeakBuf.Value()
+	st.DeprecatedRequests = s.met.deprecatedReqs.Value()
 	st.Executor.Workers = s.exec.workers()
 	st.Executor.InFlight = s.exec.inFlight.Load()
 	st.Executor.Peak = s.exec.peak.Load()

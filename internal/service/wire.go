@@ -6,6 +6,7 @@ import (
 	"io"
 
 	"repro/internal/datalog"
+	"repro/internal/stream"
 )
 
 // Wire types for the JSON front end. Decoding is strict: unknown fields,
@@ -62,6 +63,12 @@ type RegisterResponse struct {
 // asks for the tuples whose first component is 0. A binding with at
 // least one bound position is answered goal-directed via the magic-set
 // rewrite of the program.
+// Limit caps the returned tuples (0 = all); paginated responses carry
+// next_cursor, which Cursor passes back to resume strictly after the
+// last tuple of the previous page. Stream (or an Accept header of
+// application/x-ndjson) switches the response to NDJSON: a header line,
+// one JSON array per tuple produced as it is derived, and a trailer
+// line with the count and pagination state.
 type QueryRequestJSON struct {
 	Program string `json:"program,omitempty"`
 	Source  string `json:"source,omitempty"`
@@ -69,6 +76,9 @@ type QueryRequestJSON struct {
 	Version *int64 `json:"version,omitempty"`
 	Tuple   []int  `json:"tuple,omitempty"`
 	Bind    []*int `json:"bind,omitempty"`
+	Limit   int    `json:"limit,omitempty"`
+	Cursor  string `json:"cursor,omitempty"`
+	Stream  bool   `json:"stream,omitempty"`
 }
 
 // QueryResponse is the answer to one query. Goal and DemandFacts are set
@@ -83,6 +93,32 @@ type QueryResponse struct {
 	Origin      string  `json:"origin"`
 	Goal        string  `json:"goal,omitempty"`
 	DemandFacts *int    `json:"demand_facts,omitempty"`
+	// NextCursor resumes the next page of a limited query; tuples are in
+	// the canonical order (sorted by components), so the page boundary is
+	// stable. Empty on the final page.
+	NextCursor string `json:"next_cursor,omitempty"`
+}
+
+// StreamHeaderJSON is the first line of an NDJSON query response.
+// Sorted is false on the genuinely streamed origin: tuples arrive in
+// derivation order and a truncated stream has no cursor.
+type StreamHeaderJSON struct {
+	Pred    string `json:"pred"`
+	Version int64  `json:"version"`
+	Origin  string `json:"origin"`
+	Goal    string `json:"goal,omitempty"`
+	Sorted  bool   `json:"sorted"`
+}
+
+// StreamTrailerJSON is the last line of an NDJSON query response: the
+// tuple count, pagination state (NextCursor on sorted origins, the
+// Truncated flag on the unordered streamed origin), and the error that
+// cut the stream short, if any.
+type StreamTrailerJSON struct {
+	Count      int    `json:"count"`
+	NextCursor string `json:"next_cursor,omitempty"`
+	Truncated  bool   `json:"truncated,omitempty"`
+	Error      string `json:"error,omitempty"`
 }
 
 // ExplainRequestJSON asks for the join plan of a query: same resolution
@@ -96,13 +132,20 @@ type ExplainRequestJSON struct {
 	Bind    []*int `json:"bind,omitempty"`
 }
 
-// ExplainStepJSON is one join step of a planned rule body.
+// ExplainStepJSON is one join step of a planned rule body. Exec and Via
+// report the streaming executor's decision for the step — "stream"
+// (inlined producer or symmetric hash join) or "materialize" (scan or
+// probe of a stored relation) — and EstBufferRows the rows the step
+// forces it to hold.
 type ExplainStepJSON struct {
-	Atom      string  `json:"atom"`
-	OrigIndex int     `json:"orig_index"`
-	ProbeCols []int   `json:"probe_cols"`
-	EstFanout float64 `json:"est_fanout"`
-	EstRows   float64 `json:"est_rows"`
+	Atom          string  `json:"atom"`
+	OrigIndex     int     `json:"orig_index"`
+	ProbeCols     []int   `json:"probe_cols"`
+	EstFanout     float64 `json:"est_fanout"`
+	EstRows       float64 `json:"est_rows"`
+	Exec          string  `json:"exec,omitempty"`
+	Via           string  `json:"via,omitempty"`
+	EstBufferRows float64 `json:"est_buffer_rows,omitempty"`
 }
 
 // ExplainRuleJSON is the plan and the observed statistics for one rule.
@@ -137,6 +180,14 @@ type ExplainResponse struct {
 	PlanCacheHit bool                `json:"plan_cache_hit"`
 	Pruned       []ExplainPrunedJSON `json:"pruned,omitempty"`
 	Rules        []ExplainRuleJSON   `json:"rules"`
+	// Streaming reports whether a streamed run of this query executes in
+	// one streaming pass (false: the reachable slice is recursive and
+	// falls back to semi-naive materialization, see StreamReason).
+	// EstPeakBufferRows is the streaming executor's estimated peak
+	// buffered-row footprint.
+	Streaming         *bool   `json:"streaming,omitempty"`
+	StreamReason      string  `json:"stream_reason,omitempty"`
+	EstPeakBufferRows float64 `json:"est_peak_buffer_rows,omitempty"`
 }
 
 // maskCols expands a probe bitmask into the column indexes it covers.
@@ -160,17 +211,33 @@ func explainToWire(res ExplainResult) ExplainResponse {
 	for _, pr := range res.Plan.Pruned {
 		out.Pruned = append(out.Pruned, ExplainPrunedJSON{Rule: pr.Rule, By: pr.By})
 	}
+	if res.Stream != nil {
+		streaming := res.Stream.Streaming
+		out.Streaming = &streaming
+		out.StreamReason = res.Stream.Reason
+		out.EstPeakBufferRows = res.Stream.EstPeakBufferRows
+	}
 	for i, rp := range res.Plan.Rules {
 		rj := ExplainRuleJSON{
 			Original: rp.Original, Planned: rp.Planned,
 			Reordered: rp.Reordered, Exhaustive: rp.Exhaustive,
 			EstRows: rp.EstRows, EstCost: rp.EstCost,
 		}
-		for _, st := range rp.Steps {
-			rj.Steps = append(rj.Steps, ExplainStepJSON{
+		// Stream decisions align rule-for-rule and step-for-step with the
+		// plan (both follow the planned atom order).
+		var sdSteps []stream.StepDecision
+		if res.Stream != nil && i < len(res.Stream.Rules) {
+			sdSteps = res.Stream.Rules[i].Steps
+		}
+		for j, st := range rp.Steps {
+			ej := ExplainStepJSON{
 				Atom: st.Atom, OrigIndex: st.OrigIndex, ProbeCols: maskCols(st.Probe),
 				EstFanout: st.EstFanout, EstRows: st.EstRows,
-			})
+			}
+			if j < len(sdSteps) {
+				ej.Exec, ej.Via, ej.EstBufferRows = sdSteps[j].Exec, sdSteps[j].Via, sdSteps[j].EstBufferRows
+			}
+			rj.Steps = append(rj.Steps, ej)
 		}
 		if i < len(res.Actuals) {
 			a := res.Actuals[i]

@@ -1,0 +1,426 @@
+package stream
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/datalog"
+	"repro/internal/plan"
+)
+
+// Rule compilation for the streaming executor. This mirrors the numeric
+// form internal/datalog compiles rules into — dense variable ids, a probe
+// mask per atom (constants plus variables bound by earlier atoms), bind
+// and check actions per argument position, and constraints scheduled at
+// the earliest level where both sides are bound — but stays independent of
+// the evaluator's predicate tables: atoms are resolved to relations or
+// sub-streams when the pipeline is built, not at compile time.
+
+// sTerm is a term with its variable renamed: varID >= 0 indexes the
+// environment, varID < 0 means the constant val.
+type sTerm struct {
+	varID int
+	val   int
+}
+
+func (t sTerm) eval(env []int) int {
+	if t.varID >= 0 {
+		return env[t.varID]
+	}
+	return t.val
+}
+
+// sAction applies one argument position to a candidate tuple.
+type sAction struct {
+	pos   int
+	varID int
+}
+
+// sPat fills one probe-pattern position before a lookup.
+type sPat struct {
+	pos int
+	t   sTerm
+}
+
+// sAtom is a body atom with its probe mask and post-probe actions.
+type sAtom struct {
+	pred   string
+	arity  int
+	mask   uint64
+	pat    []sPat
+	binds  []sAction
+	checks []sAction
+	// checkBindPos[i] is the position whose bind produced the variable
+	// checks[i] compares against when that bind belongs to this same atom
+	// (-1 when the variable is bound by an earlier atom — only possible
+	// for the first atom of a body, where earlier-bound means "constant
+	// pattern" and the position sits in the mask instead). It lets the
+	// symmetric hash join pre-filter right-side tuples without an
+	// environment.
+	checkBindPos []int
+}
+
+// sCons is a compiled constraint.
+type sCons struct {
+	l, r sTerm
+	neq  bool
+}
+
+func consOK(cons []sCons, env []int) bool {
+	for _, c := range cons {
+		if (c.l.eval(env) == c.r.eval(env)) == c.neq {
+			return false
+		}
+	}
+	return true
+}
+
+// sRule is the compiled form of one rule.
+type sRule struct {
+	head  []sTerm
+	atoms []sAtom
+	free  []int // var ids bound by no atom, in Vars() order
+	// consAt[lvl] holds the constraints first fully bound after completing
+	// level lvl: levels 0..len(atoms)-1 are body atoms, len(atoms)+k is
+	// the k-th free variable.
+	consAt [][]sCons
+	never  bool // a constant-only constraint is violated: the rule is dead
+	nv     int
+}
+
+// compileSRule translates a rule into its numeric streaming form; the
+// algorithm is identical to the evaluator's compileRule so both executors
+// enumerate the same join order with the same probe masks.
+func compileSRule(r datalog.Rule) *sRule {
+	atoms := r.Atoms()
+	vars := r.Vars()
+	ids := make(map[string]int, len(vars))
+	for i, v := range vars {
+		ids[v] = i
+	}
+	sr := &sRule{nv: len(vars)}
+
+	level := make([]int, len(vars))
+	for i := range level {
+		level[i] = -1
+	}
+	for ai, a := range atoms {
+		for _, t := range a.Args {
+			if t.IsVar() && level[ids[t.Var]] < 0 {
+				level[ids[t.Var]] = ai
+			}
+		}
+	}
+	for _, v := range vars {
+		if level[ids[v]] < 0 {
+			level[ids[v]] = len(atoms) + len(sr.free)
+			sr.free = append(sr.free, ids[v])
+		}
+	}
+
+	term := func(t datalog.Term) sTerm {
+		if t.IsVar() {
+			return sTerm{varID: ids[t.Var]}
+		}
+		return sTerm{varID: -1, val: t.Const}
+	}
+
+	sr.head = make([]sTerm, len(r.Head.Args))
+	for i, t := range r.Head.Args {
+		sr.head[i] = term(t)
+	}
+
+	sr.atoms = make([]sAtom, len(atoms))
+	for ai, a := range atoms {
+		sa := sAtom{pred: a.Pred, arity: len(a.Args)}
+		seen := map[int]int{} // varID -> bind position within this atom
+		for i, t := range a.Args {
+			switch {
+			case !t.IsVar():
+				sa.mask |= 1 << uint(i)
+				sa.pat = append(sa.pat, sPat{pos: i, t: term(t)})
+			case level[ids[t.Var]] < ai:
+				sa.mask |= 1 << uint(i)
+				sa.pat = append(sa.pat, sPat{pos: i, t: term(t)})
+			default:
+				if bp, dup := seen[ids[t.Var]]; dup {
+					sa.checks = append(sa.checks, sAction{pos: i, varID: ids[t.Var]})
+					sa.checkBindPos = append(sa.checkBindPos, bp)
+				} else {
+					seen[ids[t.Var]] = i
+					sa.binds = append(sa.binds, sAction{pos: i, varID: ids[t.Var]})
+				}
+			}
+		}
+		sr.atoms[ai] = sa
+	}
+
+	sr.consAt = make([][]sCons, len(atoms)+len(sr.free))
+	for _, c := range r.Constraints() {
+		l, rt := term(c.Left), term(c.Right)
+		ready := -1
+		if l.varID >= 0 && level[l.varID] > ready {
+			ready = level[l.varID]
+		}
+		if rt.varID >= 0 && level[rt.varID] > ready {
+			ready = level[rt.varID]
+		}
+		if ready < 0 {
+			if (l.val == rt.val) == c.Neq {
+				sr.never = true
+			}
+			continue
+		}
+		sr.consAt[ready] = append(sr.consAt[ready], sCons{l: l, r: rt, neq: c.Neq})
+	}
+	return sr
+}
+
+// Execution-mode constants for StepDecision.Exec.
+const (
+	ExecStream      = "stream"
+	ExecMaterialize = "materialize"
+)
+
+// StepDecision is the stream/materialize choice for one join step of one
+// rule, aligned with the planner's AtomStep list for that rule.
+type StepDecision struct {
+	// Pred is the predicate probed or streamed at this step.
+	Pred string `json:"pred"`
+	// Exec is ExecStream (the step consumes a producer pipeline directly,
+	// inlined or through a symmetric hash join) or ExecMaterialize (the
+	// step scans or index-probes a stored relation — an EDB or a spooled
+	// intermediate).
+	Exec string `json:"exec"`
+	// Via details the operator: "scan", "probe", "inline" or "shj".
+	Via string `json:"via"`
+	// EstBufferRows estimates the rows this step forces the executor to
+	// hold: a spooled intermediate's size, a hash join's two tables, an
+	// inlined producer's distinct-key set. Zero for EDB scans/probes and
+	// when no plan estimates are available.
+	EstBufferRows float64 `json:"est_buffer_rows"`
+}
+
+// RuleDecision carries the per-step decisions of one rule; Steps is nil
+// for rules outside the slice reachable from the query predicate.
+type RuleDecision struct {
+	Steps []StepDecision `json:"steps,omitempty"`
+}
+
+// Decisions is the compile-time summary of a streaming query: what
+// /v1/explain renders next to the join plan.
+type Decisions struct {
+	// Streaming is false when the reachable slice is recursive and
+	// evaluation must fall back to semi-naive materialization (which
+	// still streams within each rule firing).
+	Streaming bool `json:"streaming"`
+	// Reason explains a false Streaming ("recursive").
+	Reason string `json:"reason,omitempty"`
+	// Target is the query predicate.
+	Target string `json:"target"`
+	// Rules aligns index-for-index with the (planned) program's rules.
+	Rules []RuleDecision `json:"rules,omitempty"`
+	// EstPeakBufferRows is the estimated peak buffered-row footprint of
+	// the whole stream: spooled intermediates, hash-join tables and
+	// distinct-key sets combined (0 without plan estimates).
+	EstPeakBufferRows float64 `json:"est_peak_buffer_rows"`
+}
+
+// shjLeftFactor caps how much larger the estimated left side of a join may
+// be than the streamed predicate before the executor prefers spooling the
+// predicate into an indexed relation: a symmetric hash join buffers every
+// left row it sees, so a huge left side would cost more memory than the
+// spool it avoids.
+const shjLeftFactor = 4
+
+// occurrence locates one body atom of the reachable slice.
+type occurrence struct {
+	ri, ai int
+}
+
+// analysis is the compile-time shape of one streaming query.
+type analysis struct {
+	eff      *datalog.Program
+	target   string
+	reach    map[string]bool
+	order    []string         // topo order of reachable IDB preds
+	ruleIdx  map[string][]int // pred -> rule indices in eff.Rules
+	compiled []*sRule         // aligned with eff.Rules (nil for unreachable)
+	// decision maps each reachable IDB pred to ExecStream or
+	// ExecMaterialize; the target pred is always ExecStream.
+	decision map[string]string
+	// via maps each (rule, atom) occurrence of a streamed pred to "inline"
+	// or "shj".
+	via map[occurrence]string
+	dec *Decisions
+}
+
+// analyze computes the reachable slice, rejects recursion, compiles the
+// reachable rules, and fixes the stream/materialize decision per
+// predicate and per join step, using the plan's row estimates when
+// available.
+func analyze(eff *datalog.Program, pred string, pp *plan.ProgramPlan) (*analysis, error) {
+	if !eff.IDBs()[pred] {
+		return nil, fmt.Errorf("stream: predicate %s is not an IDB of the program", pred)
+	}
+	reach := datalog.ReachableIDBs(eff, pred)
+	rec := datalog.RecursiveIDBs(eff)
+	for p := range reach {
+		if rec[p] {
+			return nil, fmt.Errorf("%w (predicate %s)", ErrRecursive, p)
+		}
+	}
+	order, err := datalog.TopoIDBs(eff, reach)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrRecursive, err)
+	}
+	an := &analysis{
+		eff:      eff,
+		target:   pred,
+		reach:    reach,
+		order:    order,
+		ruleIdx:  map[string][]int{},
+		compiled: make([]*sRule, len(eff.Rules)),
+		decision: map[string]string{},
+		via:      map[occurrence]string{},
+	}
+	// Index reachable rules and collect the occurrences of every
+	// reachable IDB predicate in reachable bodies.
+	occs := map[string][]occurrence{}
+	idb := eff.IDBs()
+	for ri, r := range eff.Rules {
+		if !reach[r.Head.Pred] {
+			continue
+		}
+		an.ruleIdx[r.Head.Pred] = append(an.ruleIdx[r.Head.Pred], ri)
+		an.compiled[ri] = compileSRule(r)
+		for ai, a := range r.Atoms() {
+			if idb[a.Pred] {
+				occs[a.Pred] = append(occs[a.Pred], occurrence{ri, ai})
+			}
+		}
+	}
+
+	estRows := func(p string) float64 {
+		if pp == nil {
+			return 0
+		}
+		return pp.EstPredRows(p)
+	}
+	// estLeft estimates the rows flowing into join step ai of rule ri.
+	estLeft := func(ri, ai int) float64 {
+		if pp == nil || ri >= len(pp.Rules) || ai <= 0 || ai > len(pp.Rules[ri].Steps) {
+			return 0
+		}
+		return pp.Rules[ri].Steps[ai-1].EstRows
+	}
+
+	// Per-predicate decision.
+	for _, p := range order {
+		if p == pred {
+			an.decision[p] = ExecStream
+			continue
+		}
+		os := occs[p]
+		if len(os) != 1 {
+			an.decision[p] = ExecMaterialize
+			continue
+		}
+		o := os[0]
+		if o.ai == 0 {
+			an.decision[p] = ExecStream
+			an.via[o] = "inline"
+			continue
+		}
+		mask := an.compiled[o.ri].atoms[o.ai].mask
+		if mask == 0 {
+			// No bound columns: a hash join would key everything on the
+			// empty key (a cross product held entirely in memory); spool
+			// and re-iterate instead.
+			an.decision[p] = ExecMaterialize
+			continue
+		}
+		if pp != nil {
+			l, r := estLeft(o.ri, o.ai), estRows(p)
+			if r < 1 {
+				r = 1
+			}
+			if l > shjLeftFactor*r {
+				an.decision[p] = ExecMaterialize
+				continue
+			}
+		}
+		an.decision[p] = ExecStream
+		an.via[o] = "shj"
+	}
+
+	// Per-step decisions and the peak-buffer estimate.
+	dec := &Decisions{Streaming: true, Target: pred, Rules: make([]RuleDecision, len(eff.Rules))}
+	spooled := map[string]bool{}
+	peak := estRows(pred) // the target's distinct-key set
+	for ri, r := range eff.Rules {
+		if an.compiled[ri] == nil {
+			continue
+		}
+		atoms := r.Atoms()
+		steps := make([]StepDecision, len(atoms))
+		for ai, a := range atoms {
+			sd := StepDecision{Pred: a.Pred}
+			via := "probe"
+			if ai == 0 {
+				via = "scan"
+			}
+			if !idb[a.Pred] {
+				sd.Exec = ExecMaterialize
+				sd.Via = via
+			} else if an.decision[a.Pred] == ExecStream {
+				sd.Exec = ExecStream
+				sd.Via = an.via[occurrence{ri, ai}]
+				rows := estRows(a.Pred)
+				if sd.Via == "shj" {
+					sd.EstBufferRows = estLeft(ri, ai) + rows
+				} else {
+					sd.EstBufferRows = rows // the producer's distinct-key set
+				}
+				peak += sd.EstBufferRows
+			} else {
+				sd.Exec = ExecMaterialize
+				sd.Via = via
+				sd.EstBufferRows = estRows(a.Pred)
+				if !spooled[a.Pred] {
+					spooled[a.Pred] = true
+					peak += sd.EstBufferRows
+				}
+			}
+			steps[ai] = sd
+		}
+		dec.Rules[ri] = RuleDecision{Steps: steps}
+	}
+	dec.EstPeakBufferRows = peak
+	an.dec = dec
+	return an, nil
+}
+
+// Explain returns the stream/materialize decisions Open would make for
+// pred without executing anything. A recursive slice is not an error here:
+// it yields Decisions{Streaming: false} so callers can render the
+// fallback. pp, when non-nil, supplies both the planned rule order and the
+// row estimates (pass the same plan /v1/explain renders so the step lists
+// align).
+func Explain(p *datalog.Program, pred string, pp *plan.ProgramPlan) (*Decisions, error) {
+	if err := datalog.Validate(p); err != nil {
+		return nil, err
+	}
+	eff := p
+	if pp != nil && len(pp.PlannedRules()) > 0 {
+		eff = &datalog.Program{Rules: pp.PlannedRules(), Goal: p.Goal}
+	}
+	an, err := analyze(eff, pred, pp)
+	if err == nil {
+		return an.dec, nil
+	}
+	if errors.Is(err, ErrRecursive) {
+		return &Decisions{Streaming: false, Reason: "recursive", Target: pred}, nil
+	}
+	return nil, err
+}

@@ -1,0 +1,265 @@
+package stream
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/datalog"
+	"repro/internal/magic"
+	"repro/internal/plan"
+)
+
+// Randomized streamed ≡ materialized equivalence. Each workload draws a
+// random layered Datalog(≠) program (some recursive, exercising the
+// fallback), a random database, and a query predicate, then requires the
+// streaming path to produce byte-identical answers (after canonical sort)
+// to full semi-naive materialization — per tuple, not per count. A second
+// pass routes random bound goals through the magic-set rewrite and streams
+// the rewritten answer predicate against magic.EvalGoal. Run under -race
+// via make verify.
+
+type progGen struct {
+	rng *rand.Rand
+	n   int // universe size
+}
+
+var genVars = []string{"x", "y", "z", "u", "v", "w"}
+
+func (g *progGen) term(vars []string) datalog.Term {
+	if g.rng.Intn(10) < 8 {
+		return datalog.V(vars[g.rng.Intn(len(vars))])
+	}
+	return datalog.C(g.rng.Intn(g.n))
+}
+
+// program draws a random layered program over EDBs E1/2, E2/2, E3/1.
+// allowRec lets later layers reference themselves or earlier layers
+// cyclically, producing recursive slices that must fall back.
+func (g *progGen) program(allowRec bool) *datalog.Program {
+	type predSig struct {
+		name  string
+		arity int
+	}
+	edbs := []predSig{{"E1", 2}, {"E2", 2}, {"E3", 1}}
+	nIDB := 2 + g.rng.Intn(3)
+	idbs := make([]predSig, nIDB)
+	for i := range idbs {
+		idbs[i] = predSig{fmt.Sprintf("P%d", i), 1 + g.rng.Intn(3)}
+	}
+	var rules []datalog.Rule
+	for i, ps := range idbs {
+		nRules := 1 + g.rng.Intn(2)
+		for r := 0; r < nRules; r++ {
+			nAtoms := 1 + g.rng.Intn(3)
+			var body []interface{}
+			bodyVars := map[string]bool{}
+			for a := 0; a < nAtoms; a++ {
+				// Draw from EDBs and earlier IDBs; occasionally (when
+				// recursion is allowed) from this or later layers.
+				var src predSig
+				pool := len(edbs) + i
+				if allowRec && g.rng.Intn(5) == 0 {
+					src = idbs[i+g.rng.Intn(nIDB-i)]
+				} else if k := g.rng.Intn(pool); k < len(edbs) {
+					src = edbs[k]
+				} else {
+					src = idbs[k-len(edbs)]
+				}
+				args := make([]datalog.Term, src.arity)
+				for j := range args {
+					args[j] = g.term(genVars)
+					if args[j].IsVar() {
+						bodyVars[args[j].Var] = true
+					}
+				}
+				body = append(body, datalog.NewAtom(src.name, args...))
+			}
+			// Occasional constraint; ground-false combinations are
+			// rewritten to hold so Validate accepts the program.
+			if g.rng.Intn(5) < 2 {
+				l, r := g.term(genVars), g.term(genVars)
+				neq := g.rng.Intn(4) > 0
+				if !l.IsVar() && !r.IsVar() {
+					neq = l.Const != r.Const
+				}
+				body = append(body, datalog.Constraint{Left: l, Right: r, Neq: neq})
+			}
+			headArgs := make([]datalog.Term, ps.arity)
+			for j := range headArgs {
+				// Prefer body variables; a small chance of a fresh free
+				// variable (universe-ranging) or a constant.
+				switch g.rng.Intn(10) {
+				case 0:
+					headArgs[j] = datalog.C(g.rng.Intn(g.n))
+				case 1:
+					headArgs[j] = datalog.V("f")
+				default:
+					var bv []string
+					for v := range bodyVars {
+						bv = append(bv, v)
+					}
+					if len(bv) == 0 {
+						headArgs[j] = datalog.V("f")
+					} else {
+						headArgs[j] = datalog.V(genVars[g.rng.Intn(len(genVars))])
+					}
+				}
+			}
+			rules = append(rules, datalog.NewRule(datalog.NewAtom(ps.name, headArgs...), body...))
+		}
+	}
+	return &datalog.Program{Rules: rules, Goal: idbs[nIDB-1].name}
+}
+
+func (g *progGen) database() *datalog.Database {
+	db := datalog.NewDatabase(g.n)
+	nFacts := g.n + g.rng.Intn(3*g.n)
+	for i := 0; i < nFacts; i++ {
+		db.AddFact("E1", g.rng.Intn(g.n), g.rng.Intn(g.n))
+	}
+	for i := 0; i < nFacts/2+1; i++ {
+		db.AddFact("E2", g.rng.Intn(g.n), g.rng.Intn(g.n))
+	}
+	for i := 0; i < g.n/2+1; i++ {
+		db.AddFact("E3", g.rng.Intn(g.n))
+	}
+	return db
+}
+
+// refSorted evaluates pred materialized and returns sorted tuples.
+func refSorted(t *testing.T, p *datalog.Program, db *datalog.Database, pred string, opt datalog.Options) []datalog.Tuple {
+	t.Helper()
+	res, err := datalog.EvalContext(context.Background(), p, db.Clone(), opt)
+	if err != nil {
+		t.Fatalf("reference eval: %v", err)
+	}
+	rel := res.IDB[pred]
+	if rel == nil {
+		return nil
+	}
+	return rel.Tuples()
+}
+
+func TestQuickStreamedEqualsMaterialized(t *testing.T) {
+	const workloads = 140
+	rng := rand.New(rand.NewSource(20260808))
+	streamed, fellBack := 0, 0
+	for w := 0; w < workloads; w++ {
+		g := &progGen{rng: rng, n: 4 + rng.Intn(5)}
+		p := g.program(w%3 == 2) // every third workload may be recursive
+		if err := datalog.Validate(p); err != nil {
+			t.Fatalf("workload %d: generated invalid program: %v\n%s", w, err, p)
+		}
+		db := g.database()
+		idbs := datalog.ReachableIDBs(p, p.Goal)
+		// Query every reachable predicate, not just the goal.
+		for pred := range idbs {
+			want := refSorted(t, p, db, pred, datalog.DefaultOptions)
+			opt := Options{Eval: datalog.DefaultOptions}
+			if w%3 == 1 {
+				// Exercise the planned path: estimates drive decisions.
+				pl := plan.New(plan.Config{})
+				if pp, _ := pl.PlanProgram(p, pl.CatalogFor(db)); pp != nil {
+					opt.Plan = pp
+				}
+			}
+			got, origin, err := Tuples(context.Background(), p, db.Clone(), pred, opt)
+			if err != nil {
+				t.Fatalf("workload %d pred %s: stream failed: %v\n%s", w, pred, err, p)
+			}
+			if origin == "stream" {
+				streamed++
+			} else {
+				fellBack++
+			}
+			if !sameTuples(got, want) {
+				t.Fatalf("workload %d pred %s via %s: answers differ\ngot  %v\nwant %v\nprogram:\n%s",
+					w, pred, origin, got, want, p)
+			}
+			// Limit: a prefix-sized subset of the full answer set.
+			if len(want) > 2 {
+				lim := len(want) / 2
+				optL := opt
+				optL.Limit = lim
+				gotL, _, err := Tuples(context.Background(), p, db.Clone(), pred, optL)
+				if err != nil {
+					t.Fatalf("workload %d pred %s: limited stream failed: %v", w, pred, err)
+				}
+				if len(gotL) != lim {
+					t.Fatalf("workload %d pred %s: limit %d returned %d", w, pred, lim, len(gotL))
+				}
+				set := map[string]bool{}
+				for _, tu := range want {
+					set[tu.String()] = true
+				}
+				for _, tu := range gotL {
+					if !set[tu.String()] {
+						t.Fatalf("workload %d pred %s: limited answer %v outside full set", w, pred, tu)
+					}
+				}
+			}
+		}
+	}
+	if streamed == 0 || fellBack == 0 {
+		t.Fatalf("suite did not cover both paths: streamed=%d fallback=%d", streamed, fellBack)
+	}
+	t.Logf("workloads=%d streamed=%d fallback=%d", workloads, streamed, fellBack)
+}
+
+func TestQuickBoundGoalsThroughMagic(t *testing.T) {
+	const workloads = 80
+	rng := rand.New(rand.NewSource(424242))
+	checked := 0
+	for w := 0; w < workloads; w++ {
+		g := &progGen{rng: rng, n: 4 + rng.Intn(5)}
+		p := g.program(w%4 == 3)
+		if err := datalog.Validate(p); err != nil {
+			t.Fatalf("workload %d: invalid program: %v", w, err)
+		}
+		db := g.database()
+		// Random bound goal over the program goal predicate.
+		arity := p.Arities()[p.Goal]
+		bindings := map[int]int{}
+		for i := 0; i < arity; i++ {
+			if rng.Intn(2) == 0 {
+				bindings[i] = rng.Intn(g.n)
+			}
+		}
+		if len(bindings) == 0 {
+			bindings[0] = rng.Intn(g.n)
+		}
+		goal := datalog.NewGoal(p.Goal, arity, bindings)
+
+		// Reference: the magic-set pipeline end to end.
+		ref, err := magic.EvalGoal(context.Background(), p, db.Clone(), goal, magic.DefaultOptions())
+		if err != nil {
+			t.Fatalf("workload %d: magic eval: %v", w, err)
+		}
+
+		// Streaming: evaluate the seeded rewrite's answer predicate with
+		// the goal filter — the answer-projection stage of a bound query.
+		rw, err := magic.NewRewrite(p, goal, nil)
+		if err != nil {
+			t.Fatalf("workload %d: rewrite: %v", w, err)
+		}
+		seeded, err := rw.Seeded(goal)
+		if err != nil {
+			t.Fatalf("workload %d: seed: %v", w, err)
+		}
+		got, origin, err := Tuples(context.Background(), seeded, db.Clone(), rw.GoalPred,
+			Options{Eval: datalog.DefaultOptions, Filter: &goal})
+		if err != nil {
+			t.Fatalf("workload %d: streamed rewrite failed (%s): %v\nseeded:\n%s", w, origin, err, seeded)
+		}
+		if !sameTuples(got, ref.Answers) {
+			t.Fatalf("workload %d via %s: bound answers differ\ngoal %s\ngot  %v\nwant %v\nseeded:\n%s",
+				w, origin, goal, got, ref.Answers, seeded)
+		}
+		checked++
+	}
+	if checked != workloads {
+		t.Fatalf("checked %d of %d workloads", checked, workloads)
+	}
+}

@@ -1,0 +1,296 @@
+// Package stream is the pull-based streaming execution layer over the
+// packed-tuple engine of internal/datalog. Where the bottom-up evaluator
+// materializes every relation, delta and join index before a caller sees
+// the first answer, this package compiles the non-recursive slice of a
+// program that a query predicate depends on into a tree of pull iterators
+// — index scans, per-row index probes, selections, projections, symmetric
+// hash joins for stream-to-stream joins, and spooling buffers where
+// re-iteration is required — so answers are produced as they are derived
+// and memory scales with what must be remembered (distinct-key sets,
+// hash-join tables, spooled multi-use predicates) rather than with every
+// intermediate relation.
+//
+// The stream/materialize decision is made per join step, optionally driven
+// by the cost-based planner's per-step row estimates (internal/plan):
+//
+//   - the query predicate itself always streams (it is the output);
+//   - an intermediate predicate consumed exactly once as the first atom of
+//     its consumer is inlined: the consumer's pipeline pulls directly from
+//     the producer's pipeline and the predicate is never stored beyond its
+//     distinct-key set;
+//   - an intermediate predicate consumed exactly once at a later join
+//     position joins via symmetric hash join when the probe has bound
+//     columns and the estimated left-side cardinality does not dwarf the
+//     predicate (estLeft ≤ 4·estRows; without estimates SHJ is assumed),
+//     otherwise it is spooled into an indexed relation;
+//   - a predicate consumed more than once — or probed with no bound
+//     columns — is spooled into an indexed relation the consumers probe
+//     (buffered re-iteration).
+//
+// Recursive slices cannot be computed in one streaming pass; Open returns
+// ErrRecursive and callers fall back to semi-naive materialization (which
+// already streams within each rule firing via its emit callbacks).
+package stream
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/datalog"
+	"repro/internal/plan"
+)
+
+// ErrRecursive reports that the program slice reachable from the query
+// predicate contains a dependency cycle, which a single streaming pass
+// cannot evaluate; callers should fall back to materialized (semi-naive)
+// evaluation.
+var ErrRecursive = errors.New("stream: program slice is recursive; use materialized evaluation")
+
+// Iterator is a pull-based tuple stream. Next returns the next tuple until
+// the stream is exhausted or fails; after Next returns false, Err reports
+// a context cancellation (nil on normal exhaustion). The returned tuples
+// are fresh copies the caller may retain. Close releases buffered state
+// and is idempotent.
+type Iterator interface {
+	Next() (datalog.Tuple, bool)
+	Err() error
+	Close()
+}
+
+// Counters are the observable side of one stream's execution.
+type Counters struct {
+	// Pulls counts candidate rows considered across every operator in the
+	// iterator tree (the streaming analogue of the evaluator's derivation
+	// counter).
+	Pulls int64
+	// Buffered is the current number of rows held by buffering operators:
+	// distinct-key sets, symmetric-hash-join tables, and spooled relations.
+	Buffered int64
+	// PeakBuffered is the high-water mark of Buffered — the number that
+	// bounds the stream's memory footprint.
+	PeakBuffered int64
+}
+
+// ctxCheckEvery is how many pulls pass between context polls; cheap enough
+// to keep cancellation latency low without touching the context per row.
+const ctxCheckEvery = 256
+
+// tracker carries the shared execution state of one stream: the context,
+// the first error, and the pull/buffer counters every operator reports to.
+type tracker struct {
+	ctx        context.Context
+	err        error
+	pulls      int64
+	buffered   int64
+	peak       int64
+	sinceCheck int64
+}
+
+// tick records one candidate row and polls the context every
+// ctxCheckEvery pulls; it returns false once the stream has failed.
+func (t *tracker) tick() bool {
+	if t.err != nil {
+		return false
+	}
+	t.pulls++
+	t.sinceCheck++
+	if t.sinceCheck >= ctxCheckEvery {
+		t.sinceCheck = 0
+		if t.ctx != nil {
+			if err := t.ctx.Err(); err != nil {
+				t.err = err
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// addBuffered adjusts the buffered-row level and the peak.
+func (t *tracker) addBuffered(n int64) {
+	t.buffered += n
+	if t.buffered > t.peak {
+		t.peak = t.buffered
+	}
+}
+
+// Options configures a streaming query.
+type Options struct {
+	// Eval supplies the engine knobs shared with materialized evaluation:
+	// the planner hook (applied before compilation exactly as the
+	// evaluator applies it) and the options used by callers that fall
+	// back to datalog.EvalContext on ErrRecursive.
+	Eval datalog.Options
+	// Plan, when non-nil, supplies the already-planned rule list and the
+	// per-step row estimates that drive the stream/materialize decision;
+	// it takes precedence over Eval.Planner. The plan must have been built
+	// for the same program.
+	Plan *plan.ProgramPlan
+	// Limit stops the stream after this many distinct answers (0 = no
+	// limit). Because iterators pull lazily, a reached limit terminates
+	// evaluation early instead of discarding computed tuples.
+	Limit int
+	// Filter, when non-nil, restricts the answers to tuples matching the
+	// goal's bound positions (the answer-projection step of bound
+	// queries).
+	Filter *datalog.Goal
+}
+
+// Stream is a running streaming query over one predicate. It implements
+// Iterator; answers arrive in derivation order (not the canonical sorted
+// order — sort with datalog.SortTuples when order matters).
+type Stream struct {
+	t      *tracker
+	out    *predStream
+	dec    *Decisions
+	closed bool
+}
+
+// Open compiles the slice of p reachable from pred into an iterator tree
+// over db and returns the un-started stream. It returns ErrRecursive when
+// the slice contains a dependency cycle. The database is read under lazily
+// built indexes, so the caller must own db for the stream's lifetime (the
+// service evaluates on snapshot clones).
+func Open(ctx context.Context, p *datalog.Program, db *datalog.Database, pred string, opt Options) (*Stream, error) {
+	if err := opt.Eval.Validate(); err != nil {
+		return nil, err
+	}
+	eff, err := effectiveProgram(p, db, opt)
+	if err != nil {
+		return nil, err
+	}
+	an, err := analyze(eff, pred, opt.Plan)
+	if err != nil {
+		return nil, err
+	}
+	t := &tracker{ctx: ctx}
+	b := &builder{t: t, an: an, db: db, slots: map[string]*relSlot{}}
+	out := b.predStream(pred)
+	out.filter = opt.Filter
+	out.limit = opt.Limit
+	return &Stream{t: t, out: out, dec: an.dec}, nil
+}
+
+// Next returns the next answer tuple.
+func (s *Stream) Next() (datalog.Tuple, bool) {
+	if s.closed {
+		return nil, false
+	}
+	return s.out.Next()
+}
+
+// Err reports the failure that ended the stream, nil after normal
+// exhaustion.
+func (s *Stream) Err() error { return s.t.err }
+
+// Close releases buffered state; the stream yields no further tuples.
+func (s *Stream) Close() {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	s.out.close()
+}
+
+// Counters returns the stream's execution counters so far.
+func (s *Stream) Counters() Counters {
+	return Counters{Pulls: s.t.pulls, Buffered: s.t.buffered, PeakBuffered: s.t.peak}
+}
+
+// Decisions returns the per-step stream/materialize decisions the compile
+// made (what /v1/explain surfaces).
+func (s *Stream) Decisions() *Decisions { return s.dec }
+
+// Collect drains the stream and returns every answer in the canonical
+// datalog.CompareTuples order, closing it.
+func Collect(s *Stream) ([]datalog.Tuple, error) {
+	defer s.Close()
+	var out []datalog.Tuple
+	for {
+		t, ok := s.Next()
+		if !ok {
+			break
+		}
+		out = append(out, t)
+	}
+	if err := s.Err(); err != nil {
+		return nil, err
+	}
+	datalog.SortTuples(out)
+	return out, nil
+}
+
+// Tuples answers pred over db fully streaming when the reachable slice is
+// non-recursive and falls back to materialized evaluation otherwise,
+// returning the sorted answers and which path ran ("stream" or "eval").
+// It is the convenience entry for callers that want streaming
+// opportunistically (the CLI, the equivalence suites).
+func Tuples(ctx context.Context, p *datalog.Program, db *datalog.Database, pred string, opt Options) ([]datalog.Tuple, string, error) {
+	s, err := Open(ctx, p, db, pred, opt)
+	if err == nil {
+		out, cerr := Collect(s)
+		if cerr != nil {
+			return nil, "stream", cerr
+		}
+		if opt.Limit > 0 && len(out) > opt.Limit {
+			out = out[:opt.Limit]
+		}
+		return out, "stream", nil
+	}
+	if !errors.Is(err, ErrRecursive) {
+		return nil, "stream", err
+	}
+	res, evalErr := datalog.EvalContext(ctx, p, db, opt.Eval)
+	if res == nil {
+		return nil, "eval", evalErr
+	}
+	if evalErr != nil {
+		return nil, "eval", evalErr
+	}
+	rel := res.IDB[pred]
+	if rel == nil {
+		return nil, "eval", fmt.Errorf("stream: predicate %s not derived", pred)
+	}
+	out := make([]datalog.Tuple, 0, rel.Size())
+	for _, t := range rel.Tuples() {
+		if opt.Filter != nil && !opt.Filter.Matches(t) {
+			continue
+		}
+		out = append(out, t)
+		if opt.Limit > 0 && len(out) >= opt.Limit {
+			break
+		}
+	}
+	return out, "eval", nil
+}
+
+// effectiveProgram validates p and applies the planner exactly as the
+// evaluator does: Options.Plan wins, then Eval.Planner, then textual
+// order.
+func effectiveProgram(p *datalog.Program, db *datalog.Database, opt Options) (*datalog.Program, error) {
+	if err := datalog.Validate(p); err != nil {
+		return nil, err
+	}
+	if opt.Plan != nil {
+		planned := opt.Plan.PlannedRules()
+		if len(planned) > 0 {
+			return &datalog.Program{Rules: planned, Goal: p.Goal}, nil
+		}
+		return p, nil
+	}
+	if opt.Eval.Planner != nil {
+		planned, err := opt.Eval.Planner.PlanRules(p, db)
+		if err != nil {
+			return nil, fmt.Errorf("stream: planner: %w", err)
+		}
+		if len(planned) > 0 {
+			eff := &datalog.Program{Rules: planned, Goal: p.Goal}
+			if err := datalog.Validate(eff); err != nil {
+				return nil, fmt.Errorf("stream: planner produced invalid program: %w", err)
+			}
+			return eff, nil
+		}
+	}
+	return p, nil
+}
