@@ -1,0 +1,39 @@
+package stream
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/datalog"
+)
+
+// Repro: streamed pred S joined by symmetric hash join at position 3,
+// upstream chain A(x) -> B(x,y) with multiple B rows per x.
+func TestSHJUpstreamEnvCorruption(t *testing.T) {
+	p := mustParse(t, `
+		S(y,z) :- G(y,z).
+		Q(x,y,z) :- A(x), B(x,y), S(y,z).
+		goal Q.`)
+	db := datalog.NewDatabase(100)
+	for x := 1; x <= 5; x++ {
+		db.AddFact("A", x)
+		for k := 0; k < 3; k++ {
+			y := 10 + x*3 + k
+			db.AddFact("B", x, y)
+			db.AddFact("G", y, y+20)
+		}
+	}
+	want := evalSorted(t, p, db, "Q")
+	for i := 0; i < 20; i++ {
+		got, origin, err := Tuples(context.Background(), p, db.Clone(), "Q", Options{Eval: datalog.DefaultOptions})
+		if err != nil {
+			t.Fatalf("stream: %v", err)
+		}
+		if origin != "stream" {
+			t.Fatalf("origin = %q, want stream", origin)
+		}
+		if !sameTuples(got, want) {
+			t.Fatalf("run %d: stream answers differ:\n got %v\nwant %v", i, got, want)
+		}
+	}
+}
