@@ -29,7 +29,12 @@ BENCH_STORAGE_PATTERN := BenchmarkE28_
 # termination).
 BENCH_STREAM_PATTERN := BenchmarkE29_
 
-.PHONY: build test verify bench bench-json bench-pebble bench-pebble-json bench-magic bench-magic-json bench-plan bench-plan-json bench-storage bench-storage-json bench-stream bench-stream-json clean
+# Benchmarks that gate live subscriptions (E30: commit-to-notification
+# latency through maintenance, delta extraction and hub delivery, and
+# fan-out scaling across concurrent subscribers).
+BENCH_SUBSCRIBE_PATTERN := BenchmarkE30_
+
+.PHONY: build test verify bench bench-json bench-pebble bench-pebble-json bench-magic bench-magic-json bench-plan bench-plan-json bench-storage bench-storage-json bench-stream bench-stream-json bench-subscribe bench-subscribe-json clean
 
 build:
 	$(GO) build ./...
@@ -40,14 +45,17 @@ test:
 # verify is the tier-1 gate: build, full tests, vet, and the race
 # detector over the packages with concurrent code paths (the parallel
 # rule-firing worker pool, the pebble-game referee, the incremental
-# service with its concurrent query/commit front end, the streaming
-# executor with its randomized equivalence suite, the WAL with its
-# group-commit flusher, and the metrics registry).
+# service with its concurrent query/commit front end and subscription
+# hub, the WAL with its group-commit flusher, and the metrics registry).
+# The streaming executor gets its own -count=3 race pass: its property
+# suite is seeded-random, and repeated runs vary the operator-tree
+# shapes the env-ownership assertions see.
 verify:
 	$(GO) build ./...
 	$(GO) test ./...
 	$(GO) vet ./...
-	$(GO) test -race ./internal/datalog/... ./internal/magic/... ./internal/pebble/... ./internal/service/... ./internal/stream/... ./internal/obs/... ./internal/plan/... ./internal/storage/...
+	$(GO) test -race ./internal/datalog/... ./internal/magic/... ./internal/pebble/... ./internal/service/... ./internal/obs/... ./internal/plan/... ./internal/storage/...
+	$(GO) test -race -count=3 ./internal/stream/...
 
 # bench runs the evaluation-core benchmarks with allocation counts and
 # keeps the raw text output in BENCH_eval.txt.
@@ -101,5 +109,13 @@ bench-stream:
 bench-stream-json:
 	$(GO) test -run '^$$' -bench '$(BENCH_STREAM_PATTERN)' -benchmem -count 5 . | tee BENCH_stream.txt | $(GO) run ./cmd/benchjson > BENCH_stream.json
 
+# bench-subscribe / bench-subscribe-json point the same harness at the
+# E30 live-subscription benchmarks, producing BENCH_subscribe.{txt,json}.
+bench-subscribe:
+	$(GO) test -run '^$$' -bench '$(BENCH_SUBSCRIBE_PATTERN)' -benchmem -count 5 . | tee BENCH_subscribe.txt
+
+bench-subscribe-json:
+	$(GO) test -run '^$$' -bench '$(BENCH_SUBSCRIBE_PATTERN)' -benchmem -count 5 . | tee BENCH_subscribe.txt | $(GO) run ./cmd/benchjson > BENCH_subscribe.json
+
 clean:
-	rm -f BENCH_eval.txt BENCH_eval.json BENCH_pebble.txt BENCH_pebble.json BENCH_magic.txt BENCH_magic.json BENCH_plan.txt BENCH_plan.json BENCH_storage.txt BENCH_storage.json BENCH_stream.txt BENCH_stream.json
+	rm -f BENCH_eval.txt BENCH_eval.json BENCH_pebble.txt BENCH_pebble.json BENCH_magic.txt BENCH_magic.json BENCH_plan.txt BENCH_plan.json BENCH_storage.txt BENCH_storage.json BENCH_stream.txt BENCH_stream.json BENCH_subscribe.txt BENCH_subscribe.json

@@ -1,0 +1,115 @@
+package repro
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/datalog"
+	"repro/internal/service"
+)
+
+// E30: live subscription benchmarks. Commit-to-notification latency is
+// the full path one update travels: store commit, WAL-free incremental
+// maintenance, delta extraction and netting, hub publish, and delivery
+// on the subscriber's channel. Fan-out scaling measures how that cost
+// grows with the number of concurrent subscribers all watching the same
+// program.
+
+// subBenchService builds a service with one registered single-rule view
+// over a pre-committed edge set. The alternating insert/delete of one
+// out-of-band edge guarantees every benchmark commit changes the view,
+// so each iteration delivers exactly one delta event per subscriber.
+func subBenchService(b *testing.B, universe, baseEdges int) *service.Service {
+	b.Helper()
+	s, err := service.New(service.Config{Universe: universe, SubscribeHistory: 16})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { s.Close() })
+	if _, err := s.Register("view", `S(x,y) :- E(x,y). goal S.`); err != nil {
+		b.Fatal(err)
+	}
+	var base []datalog.Fact
+	for i := 0; i < baseEdges; i++ {
+		base = append(base, datalog.Fact{Pred: "E", Tuple: datalog.Tuple{i % universe, (i*7 + 1) % universe}})
+	}
+	if _, err := s.Commit(base, nil); err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+// BenchmarkE30_CommitToNotify: one subscriber, one changed tuple per
+// commit; the timed region spans Commit through the delta event's
+// arrival on the subscriber channel.
+func BenchmarkE30_CommitToNotify(b *testing.B) {
+	const universe = 64
+	s := subBenchService(b, universe, 128)
+	sub, err := s.Subscribe(service.SubscribeRequest{Program: "view", FromVersion: -1, Buffer: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sub.Close()
+	if hello := <-sub.Events; hello.Type != service.EventHello {
+		b.Fatalf("expected hello, got %+v", hello)
+	}
+	flip := []datalog.Fact{{Pred: "E", Tuple: datalog.Tuple{universe - 1, universe - 2}}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		if i%2 == 0 {
+			_, err = s.Commit(flip, nil)
+		} else {
+			_, err = s.Commit(nil, flip)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		ev, ok := <-sub.Events
+		if !ok || ev.Type != service.EventDelta {
+			b.Fatalf("iteration %d: expected a delta event, got %+v (ok=%t)", i, ev, ok)
+		}
+	}
+}
+
+// BenchmarkE30_FanOut: the same single-changed-tuple commit delivered to
+// 1, 8 and 64 subscribers; the timed region ends when every subscriber
+// has received the commit's event.
+func BenchmarkE30_FanOut(b *testing.B) {
+	for _, subs := range []int{1, 8, 64} {
+		b.Run(fmt.Sprintf("subs=%d", subs), func(b *testing.B) {
+			const universe = 64
+			s := subBenchService(b, universe, 128)
+			channels := make([]<-chan service.SubEvent, subs)
+			for i := range channels {
+				sub, err := s.Subscribe(service.SubscribeRequest{Program: "view", FromVersion: -1, Buffer: 8})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer sub.Close()
+				if hello := <-sub.Events; hello.Type != service.EventHello {
+					b.Fatalf("expected hello, got %+v", hello)
+				}
+				channels[i] = sub.Events
+			}
+			flip := []datalog.Fact{{Pred: "E", Tuple: datalog.Tuple{universe - 1, universe - 2}}}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var err error
+				if i%2 == 0 {
+					_, err = s.Commit(flip, nil)
+				} else {
+					_, err = s.Commit(nil, flip)
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, ch := range channels {
+					if ev, ok := <-ch; !ok || ev.Type != service.EventDelta {
+						b.Fatalf("iteration %d: expected a delta event, got %+v (ok=%t)", i, ev, ok)
+					}
+				}
+			}
+		})
+	}
+}

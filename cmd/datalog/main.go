@@ -6,7 +6,7 @@
 //	datalog -program prog.dl -facts db.facts [-naive] [-noindex] [-all]
 //	        [-goal 'S(0,_)'] [-explain 'S(0,_)'] [-stats] [-parallel N]
 //	        [-limit N] [-stream]
-//	        [-server http://host:8344 [-name cli]]
+//	        [-server http://host:8344 [-name cli] [-subscribe] [-from N]]
 //
 // With no file arguments it runs the transitive-closure quickstart on a
 // built-in example. With -server the program is registered on a running
@@ -34,9 +34,18 @@
 // discarding tuples. With -server, -stream requests NDJSON from
 // /v1/query and prints tuples as the server produces them, and -limit
 // travels as the query's "limit" field.
+//
+// -subscribe (requires -server) registers the program, commits the
+// facts, then follows GET /v1/subscribe: one line per event as commits
+// land — the hello with the anchor version, per-commit tuple adds and
+// removes (restricted by -goal to a bound slice, e.g. -goal 'S(0,_)'),
+// and the terminal gap event if the stream loses continuity. -from N
+// resumes from version N, replaying retained deltas first. The stream
+// runs until interrupted.
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
@@ -44,6 +53,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/url"
 	"os"
 	"sort"
 	"strings"
@@ -71,6 +81,8 @@ func main() {
 	streamF := flag.Bool("stream", false, "evaluate through the streaming executor, printing answers as they are derived (NDJSON with -server)")
 	server := flag.String("server", "", "run against a cmd/serve instance at this base URL instead of evaluating locally")
 	name := flag.String("name", "cli", "registration name used with -server")
+	subscribe := flag.Bool("subscribe", false, "with -server: follow the program's live delta stream (/v1/subscribe) instead of querying")
+	from := flag.Int64("from", -1, "with -subscribe: resume from this version, replaying retained deltas (-1 = live from now)")
 	flag.Parse()
 
 	progSrc := exampleProgram
@@ -105,8 +117,15 @@ func main() {
 			fatalIf(explainRemote(*server, *name, progSrc, db, g))
 			return
 		}
+		if *subscribe {
+			fatalIf(subscribeRemote(*server, *name, progSrc, db, goal, *from))
+			return
+		}
 		fatalIf(runRemote(*server, *name, progSrc, prog, db, *all, goal, *limit, *streamF))
 		return
+	}
+	if *subscribe {
+		fatalIf(errors.New("-subscribe requires -server"))
 	}
 
 	opts := datalog.DefaultOptions.
@@ -488,6 +507,86 @@ func runRemote(base, name, progSrc string, prog *datalog.Program, db *datalog.Da
 			fmt.Printf("next_cursor=%s\n", q.NextCursor)
 		}
 	}
+	return nil
+}
+
+// subscribeRemote registers the program, commits the facts, and follows
+// the server's SSE delta stream, printing one line per event until the
+// stream ends or the process is interrupted. A bound -goal pattern
+// travels as the goal query parameter, so the server filters deltas to
+// the demand slice; -from resumes from a version, replaying retained
+// deltas first.
+func subscribeRemote(base, name, progSrc string, db *datalog.Database, goal *datalog.Goal, from int64) error {
+	base = strings.TrimRight(base, "/")
+	var reg service.RegisterResponse
+	if err := call(base+"/v1/register", service.RegisterRequest{Name: name, Program: progSrc}, &reg); err != nil {
+		return err
+	}
+	var commit service.CommitRequest
+	for _, rel := range db.Names() {
+		for _, t := range db.Relation(rel).Tuples() {
+			commit.Insert = append(commit.Insert, service.FactJSON{Pred: rel, Tuple: t})
+		}
+	}
+	if len(commit.Insert) > 0 {
+		var committed service.CommitResponse
+		if err := call(base+"/v1/commit", commit, &committed); err != nil {
+			return err
+		}
+	}
+
+	u := fmt.Sprintf("%s/v1/subscribe?program=%s&from=%d", base, url.QueryEscape(name), from)
+	if goal != nil {
+		u += "&goal=" + url.QueryEscape(goal.String())
+	}
+	r, err := http.Get(u)
+	if err != nil {
+		return err
+	}
+	defer r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		var e service.ErrorEnvelope
+		if err := json.NewDecoder(r.Body).Decode(&e); err == nil && e.Message != "" {
+			return fmt.Errorf("server: %s (%s)", e.Message, e.Code)
+		}
+		return fmt.Errorf("server: %s", r.Status)
+	}
+
+	// SSE framing: data: lines carry the event JSON, a blank line ends
+	// each frame; event:/id: lines duplicate fields already in the JSON.
+	sc := bufio.NewScanner(r.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var ev service.SubEvent
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+			return fmt.Errorf("subscribe: bad event payload: %w", err)
+		}
+		switch ev.Type {
+		case service.EventHello:
+			fmt.Printf("hello program=%s version=%d (snapshot your view here)\n", ev.Program, ev.Version)
+		case service.EventDelta:
+			fmt.Printf("version %d:\n", ev.Version)
+			for _, pd := range ev.Deltas {
+				for _, t := range pd.Adds {
+					fmt.Printf("  + %s%s\n", pd.Pred, datalog.Tuple(t).String())
+				}
+				for _, t := range pd.Removes {
+					fmt.Printf("  - %s%s\n", pd.Pred, datalog.Tuple(t).String())
+				}
+			}
+		case service.EventGap:
+			fmt.Printf("gap at version %d (%s): re-query at version %d and resubscribe with -from %d\n",
+				ev.Version, ev.Reason, ev.Resume, ev.Resume)
+			return nil
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("subscribe stream: %w", err)
+	}
+	fmt.Println("stream closed by server")
 	return nil
 }
 

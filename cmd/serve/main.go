@@ -9,6 +9,7 @@
 //	      [-facts db.facts] [-program prog.dl] [-name main]
 //	      [-data-dir dir] [-fsync always] [-fsync-interval 2ms]
 //	      [-checkpoint-every 256] [-segment-bytes 8388608]
+//	      [-sub-buffer 64] [-sub-history 0]
 //
 // With -facts the file's database is committed as version 1 at startup;
 // with -program the file is registered under -name before serving.
@@ -30,6 +31,7 @@
 //	POST /v1/unregister  {"name":"tc"}
 //	POST /v1/commit      {"insert":[{"pred":"E","tuple":[0,1]}],"delete":[...]}
 //	POST /v1/query       {"program":"tc","pred":"S","version":3,"tuple":[0,1]}
+//	GET  /v1/subscribe   ?program=tc&preds=S&goal=S(0,_)&from=-1  (SSE delta stream)
 //	GET  /v1/stats
 //	GET  /v1/metrics     (?format=prometheus for exposition text)
 //
@@ -73,22 +75,26 @@ func main() {
 	fsyncInterval := flag.Duration("fsync-interval", 2*time.Millisecond, "group-commit window for -fsync interval")
 	checkpointEvery := flag.Int("checkpoint-every", 256, "commits between snapshot checkpoints (negative = never)")
 	segmentBytes := flag.Int64("segment-bytes", 8<<20, "WAL segment size before rotation")
+	subBuffer := flag.Int("sub-buffer", 64, "default per-subscriber event buffer for /v1/subscribe")
+	subHistory := flag.Int("sub-history", 0, "commits retained for subscription resume (0 = -history)")
 	flag.Parse()
 
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
 
 	svc, err := service.New(service.Config{
-		Universe:        *universe,
-		History:         *history,
-		CacheEntries:    *cache,
-		Workers:         *workers,
-		Parallelism:     *parallel,
-		QueryTimeout:    *queryTimeout,
-		DataDir:         *dataDir,
-		Fsync:           *fsync,
-		FsyncInterval:   *fsyncInterval,
-		CheckpointEvery: *checkpointEvery,
-		SegmentBytes:    *segmentBytes,
+		Universe:         *universe,
+		History:          *history,
+		CacheEntries:     *cache,
+		Workers:          *workers,
+		Parallelism:      *parallel,
+		QueryTimeout:     *queryTimeout,
+		DataDir:          *dataDir,
+		Fsync:            *fsync,
+		FsyncInterval:    *fsyncInterval,
+		CheckpointEvery:  *checkpointEvery,
+		SegmentBytes:     *segmentBytes,
+		SubscribeBuffer:  *subBuffer,
+		SubscribeHistory: *subHistory,
 	})
 	fatalIf(err)
 	defer svc.Close()

@@ -1,0 +1,225 @@
+package datalog
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// viewTuples snapshots the maintained IDB as pred -> set of rendered
+// tuples, independent of the live relations.
+func viewTuples(inc *Incremental) map[string]map[string]bool {
+	out := map[string]map[string]bool{}
+	for name, rel := range inc.Result().IDB {
+		m := map[string]bool{}
+		for _, t := range rel.Tuples() {
+			m[t.String()] = true
+		}
+		out[name] = m
+	}
+	return out
+}
+
+// diffViews computes the per-predicate added/removed tuple strings
+// between two snapshots.
+func diffViews(before, after map[string]map[string]bool) (added, removed map[string][]string) {
+	added, removed = map[string][]string{}, map[string][]string{}
+	for pred, aft := range after {
+		for t := range aft {
+			if !before[pred][t] {
+				added[pred] = append(added[pred], t)
+			}
+		}
+	}
+	for pred, bef := range before {
+		for t := range bef {
+			if !after[pred][t] {
+				removed[pred] = append(removed[pred], t)
+			}
+		}
+	}
+	for _, m := range []map[string][]string{added, removed} {
+		for pred, ts := range m {
+			if len(ts) == 0 {
+				delete(m, pred)
+			} else {
+				sort.Strings(ts)
+			}
+		}
+	}
+	return added, removed
+}
+
+// deltaStrings renders a Delta in the same shape as diffViews.
+func deltaStrings(d Delta) (added, removed map[string][]string) {
+	added, removed = map[string][]string{}, map[string][]string{}
+	for pred, ts := range d.Added {
+		for _, t := range ts {
+			added[pred] = append(added[pred], t.String())
+		}
+		sort.Strings(added[pred])
+	}
+	for pred, ts := range d.Removed {
+		for _, t := range ts {
+			removed[pred] = append(removed[pred], t.String())
+		}
+		sort.Strings(removed[pred])
+	}
+	return added, removed
+}
+
+func sameStringSets(t *testing.T, label string, got, want map[string][]string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: got %v, want %v", label, got, want)
+	}
+	for pred, ts := range want {
+		g := got[pred]
+		if len(g) != len(ts) {
+			t.Fatalf("%s[%s]: got %v, want %v", label, pred, g, ts)
+		}
+		for i := range ts {
+			if g[i] != ts[i] {
+				t.Fatalf("%s[%s]: got %v, want %v", label, pred, g, ts)
+			}
+		}
+	}
+}
+
+// TestLastDeltaTransitiveClosure checks the surfaced maintenance deltas
+// against view snapshots on the transitive-closure program: inserting an
+// edge reports exactly the new paths, deleting it exactly the lost ones,
+// and sorted order is canonical.
+func TestLastDeltaTransitiveClosure(t *testing.T) {
+	p, err := Parse(`
+		S(x,y) :- E(x,y).
+		S(x,y) :- E(x,z), S(z,y).
+		goal S.`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := NewDatabase(16)
+	db.AddFact("E", 0, 1)
+	db.AddFact("E", 1, 2)
+	inc, err := NewIncremental(p, db, DefaultOptions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !inc.LastDelta().Empty() {
+		t.Fatalf("fresh view has a non-empty delta: %+v", inc.LastDelta())
+	}
+
+	before := viewTuples(inc)
+	if err := inc.Insert(Fact{Pred: "E", Tuple: Tuple{2, 3}}); err != nil {
+		t.Fatal(err)
+	}
+	d := inc.LastDelta()
+	wantAdd, wantRem := diffViews(before, viewTuples(inc))
+	gotAdd, gotRem := deltaStrings(d)
+	sameStringSets(t, "insert added", gotAdd, wantAdd)
+	sameStringSets(t, "insert removed", gotRem, wantRem)
+	if len(d.Added["S"]) != 3 { // (2,3), (1,3), (0,3)
+		t.Fatalf("insert of E(2,3) should add 3 paths, got %v", d.Added["S"])
+	}
+	for i := 1; i < len(d.Added["S"]); i++ {
+		if CompareTuples(d.Added["S"][i-1], d.Added["S"][i]) >= 0 {
+			t.Fatalf("delta tuples not in canonical order: %v", d.Added["S"])
+		}
+	}
+
+	before = viewTuples(inc)
+	if err := inc.Delete(Fact{Pred: "E", Tuple: Tuple{1, 2}}); err != nil {
+		t.Fatal(err)
+	}
+	d = inc.LastDelta()
+	wantAdd, wantRem = diffViews(before, viewTuples(inc))
+	gotAdd, gotRem = deltaStrings(d)
+	sameStringSets(t, "delete added", gotAdd, wantAdd)
+	sameStringSets(t, "delete removed", gotRem, wantRem)
+	if len(d.Removed["S"]) == 0 || len(d.Added["S"]) != 0 {
+		t.Fatalf("delete should only remove, got %+v", d)
+	}
+
+	// A no-op update (re-inserting an existing fact) reports emptiness,
+	// not the previous delta.
+	if err := inc.Insert(Fact{Pred: "E", Tuple: Tuple{0, 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if !inc.LastDelta().Empty() {
+		t.Fatalf("no-op insert left a delta: %+v", inc.LastDelta())
+	}
+}
+
+// TestLastDeltaRandomized cross-checks LastDelta against brute-force
+// view diffs over random update sequences on recursive programs.
+func TestLastDeltaRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260810))
+	p, err := Parse(`
+		S(x,y) :- E(x,y).
+		S(x,y) :- E(x,z), S(z,y).
+		T(x) :- S(x,x).
+		goal S.`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 12
+	for w := 0; w < 20; w++ {
+		db := NewDatabase(n)
+		var edges []Tuple
+		for i := 0; i < 8; i++ {
+			e := Tuple{rng.Intn(n), rng.Intn(n)}
+			db.AddFact("E", e...)
+			edges = append(edges, e)
+		}
+		inc, err := NewIncremental(p, db, DefaultOptions)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for step := 0; step < 12; step++ {
+			before := viewTuples(inc)
+			var upErr error
+			if rng.Intn(2) == 0 || len(edges) == 0 {
+				e := Tuple{rng.Intn(n), rng.Intn(n)}
+				edges = append(edges, e)
+				upErr = inc.Insert(Fact{Pred: "E", Tuple: e})
+			} else {
+				i := rng.Intn(len(edges))
+				e := edges[i]
+				edges = append(edges[:i], edges[i+1:]...)
+				upErr = inc.Delete(Fact{Pred: "E", Tuple: e})
+			}
+			if upErr != nil {
+				t.Fatal(upErr)
+			}
+			wantAdd, wantRem := diffViews(before, viewTuples(inc))
+			gotAdd, gotRem := deltaStrings(inc.LastDelta())
+			label := fmt.Sprintf("workload %d step %d", w, step)
+			sameStringSets(t, label+" added", gotAdd, wantAdd)
+			sameStringSets(t, label+" removed", gotRem, wantRem)
+		}
+	}
+}
+
+// TestMergeDeltas checks the delete-then-insert composition the service
+// uses for one commit: re-derived tuples cancel, everything else nets.
+func TestMergeDeltas(t *testing.T) {
+	tp := func(xs ...int) Tuple { return Tuple(xs) }
+	a := Delta{
+		Removed: map[string][]Tuple{"S": {tp(0, 1), tp(0, 2)}},
+	}
+	b := Delta{
+		Added: map[string][]Tuple{"S": {tp(0, 2), tp(0, 3)}, "T": {tp(5)}},
+	}
+	m := MergeDeltas(a, b)
+	gotAdd, gotRem := deltaStrings(m)
+	sameStringSets(t, "merged added", gotAdd, map[string][]string{
+		"S": {tp(0, 3).String()}, "T": {tp(5).String()},
+	})
+	sameStringSets(t, "merged removed", gotRem, map[string][]string{
+		"S": {tp(0, 1).String()},
+	})
+	if !MergeDeltas(Delta{}, Delta{}).Empty() {
+		t.Fatal("merging empty deltas must stay empty")
+	}
+}

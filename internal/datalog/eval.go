@@ -225,6 +225,13 @@ type evaluator struct {
 
 	rounds      int
 	derivations int
+
+	// changes, when non-nil, records every genuinely new IDB tuple the
+	// commit paths land, keyed by dense predicate id. Incremental turns it
+	// on around a maintenance run to surface the run's exact view delta
+	// (see Incremental.LastDelta); ordinary evaluations leave it nil and
+	// pay nothing.
+	changes []map[tupleKey]Tuple
 }
 
 // span attributes pending[start:end] to rule ri for per-rule commit
@@ -514,6 +521,9 @@ func (e *evaluator) commit(pending []fact) int {
 				if e.provByID != nil {
 					e.provByID[f.predID][k] = f.deriv
 				}
+				if e.changes != nil {
+					e.changes[f.predID][k] = f.t
+				}
 				rc.fresh++
 				fresh++
 			} else {
@@ -541,6 +551,9 @@ func (e *evaluator) commitDelta(pending []fact, out []*Relation) int {
 				e.stageByID[f.predID].m[k] = e.rounds
 				if e.provByID != nil {
 					e.provByID[f.predID][k] = f.deriv
+				}
+				if e.changes != nil {
+					e.changes[f.predID][k] = f.t
 				}
 				d := out[f.predID]
 				if d == nil {

@@ -50,6 +50,73 @@ import (
 // inconsistent. The view must be rebuilt with NewIncremental.
 var ErrViewBroken = errors.New("datalog: incremental view broken by an aborted update")
 
+// Delta is the net change one maintenance run (Insert or Delete) made
+// to the maintained fixpoint: per IDB predicate, the tuples the run
+// added to and removed from the view, each slice in the canonical
+// CompareTuples order. Predicates the run left unchanged are absent.
+// The maps and slices are freshly allocated per run and never mutated
+// afterwards, so callers may retain them (the service's /v1/subscribe
+// hub publishes them to live subscribers instead of discarding them).
+type Delta struct {
+	Added   map[string][]Tuple
+	Removed map[string][]Tuple
+}
+
+// Empty reports whether the run changed no IDB tuple at all.
+func (d Delta) Empty() bool { return len(d.Added) == 0 && len(d.Removed) == 0 }
+
+// MergeDeltas composes two deltas applied in sequence (a then b) into
+// the net view change — the shape one EDB commit produces when the
+// service runs its deletions and insertions as two maintenance passes.
+// A tuple removed by a and re-added by b (or vice versa) cancels out;
+// slices in the result are canonically sorted. When one side is empty
+// the other is returned as-is (both are immutable snapshots).
+func MergeDeltas(a, b Delta) Delta {
+	if a.Empty() {
+		return b
+	}
+	if b.Empty() {
+		return a
+	}
+	index := func(m map[string][]Tuple) map[string]map[tupleKey]bool {
+		out := make(map[string]map[tupleKey]bool, len(m))
+		for pred, ts := range m {
+			km := make(map[tupleKey]bool, len(ts))
+			for _, t := range ts {
+				km[keyOf(t)] = true
+			}
+			out[pred] = km
+		}
+		return out
+	}
+	aAdd, aRem := index(a.Added), index(a.Removed)
+	bAdd, bRem := index(b.Added), index(b.Removed)
+	var out Delta
+	net := func(first map[string][]Tuple, cancelIdx map[string]map[tupleKey]bool, dst *map[string][]Tuple) {
+		for pred, ts := range first {
+			for _, t := range ts {
+				if cancelIdx[pred][keyOf(t)] {
+					continue
+				}
+				if *dst == nil {
+					*dst = map[string][]Tuple{}
+				}
+				(*dst)[pred] = append((*dst)[pred], t)
+			}
+		}
+	}
+	net(a.Added, bRem, &out.Added)
+	net(b.Added, aRem, &out.Added)
+	net(a.Removed, bAdd, &out.Removed)
+	net(b.Removed, aAdd, &out.Removed)
+	for _, m := range []map[string][]Tuple{out.Added, out.Removed} {
+		for _, ts := range m {
+			SortTuples(ts)
+		}
+	}
+	return out
+}
+
 // Incremental maintains the least fixpoint of a program across EDB
 // insertions and deletions. It owns a private copy of the database handed
 // to NewIncremental; the caller mutates the EDB only through Insert and
@@ -66,6 +133,9 @@ type Incremental struct {
 	// broken records the error of an aborted maintenance run; once set,
 	// the view is stale and every method fails.
 	broken error
+	// lastDelta is the net IDB change of the most recent successful
+	// Insert/Delete; see LastDelta.
+	lastDelta Delta
 }
 
 // NewIncremental evaluates the program to its fixpoint on a private copy
@@ -122,6 +192,66 @@ func (inc *Incremental) Rounds() int { return inc.e.rounds }
 // Err returns the error that broke the view (wrapping ErrViewBroken), or
 // nil while the view is consistent.
 func (inc *Incremental) Err() error { return inc.broken }
+
+// LastDelta returns the net per-predicate IDB change of the most recent
+// successful Insert or Delete: exactly the tuples a reader of the view
+// gained and lost, in canonical order. A no-op update (nothing genuinely
+// new or removed) yields an empty Delta, as does any call before the
+// first update. The result is a stable snapshot — later updates replace
+// it but never mutate it.
+func (inc *Incremental) LastDelta() Delta { return inc.lastDelta }
+
+// beginChanges arms the evaluator's new-tuple recording for one
+// maintenance run.
+func (e *evaluator) beginChanges() {
+	e.changes = make([]map[tupleKey]Tuple, len(e.idbNames))
+	for i := range e.changes {
+		e.changes[i] = map[tupleKey]Tuple{}
+	}
+}
+
+// takeChanges disarms recording and returns what the run committed.
+func (e *evaluator) takeChanges() []map[tupleKey]Tuple {
+	ch := e.changes
+	e.changes = nil
+	return ch
+}
+
+// deltaOf folds per-id added/removed tuple maps into a Delta keyed by
+// predicate name, each slice canonically sorted. A key present in both
+// maps of one id cancels out (the run removed and re-derived the tuple,
+// so the view is unchanged for it).
+func (inc *Incremental) deltaOf(added, removed []map[tupleKey]Tuple) Delta {
+	e := inc.e
+	var d Delta
+	fold := func(src, other []map[tupleKey]Tuple, out *map[string][]Tuple) {
+		if src == nil {
+			return
+		}
+		for id, m := range src {
+			var ts []Tuple
+			for k, t := range m {
+				if other != nil && other[id] != nil {
+					if _, both := other[id][k]; both {
+						continue
+					}
+				}
+				ts = append(ts, t)
+			}
+			if len(ts) == 0 {
+				continue
+			}
+			SortTuples(ts)
+			if *out == nil {
+				*out = map[string][]Tuple{}
+			}
+			(*out)[e.idbNames[id]] = ts
+		}
+	}
+	fold(added, removed, &d.Added)
+	fold(removed, added, &d.Removed)
+	return d
+}
 
 // Result returns a live view of the maintained fixpoint: the IDB, stage
 // and provenance maps are shared with the evaluator, so the view reflects
@@ -194,6 +324,7 @@ func (inc *Incremental) InsertContext(ctx context.Context, facts ...Fact) error 
 		return err
 	}
 	inc.updates++
+	inc.lastDelta = Delta{}
 	// Apply to the EDB, collecting per-predicate delta relations holding
 	// only the facts that were actually new.
 	var deltas map[string]*Relation
@@ -240,7 +371,13 @@ func (inc *Incremental) InsertContext(ctx context.Context, facts ...Fact) error 
 	if len(e.tasks) == 0 {
 		return inc.finish(nil)
 	}
-	return inc.finish(e.resumeFixpoint())
+	e.beginChanges()
+	err := e.resumeFixpoint()
+	added := e.takeChanges()
+	if err == nil {
+		inc.lastDelta = inc.deltaOf(added, nil)
+	}
+	return inc.finish(err)
 }
 
 // Delete removes EDB facts and maintains the fixpoint with a background
@@ -264,6 +401,7 @@ func (inc *Incremental) DeleteContext(ctx context.Context, facts ...Fact) error 
 		return err
 	}
 	inc.updates++
+	inc.lastDelta = Delta{}
 	// Apply to the EDB, remembering what was actually removed.
 	var removed map[string]map[tupleKey]bool
 	for _, f := range facts {
@@ -332,10 +470,18 @@ func (inc *Incremental) DeleteContext(ctx context.Context, facts ...Fact) error 
 	if overTotal == 0 {
 		return inc.finish(nil)
 	}
+	// Snapshot the over-deleted tuples before removal: net with whatever
+	// the rederivation brings back, they are the run's view delta.
+	overTuples := make([]map[tupleKey]Tuple, len(e.idbNames))
 	for id, m := range over {
 		rel := e.idbByID[id]
+		if len(m) > 0 {
+			overTuples[id] = make(map[tupleKey]Tuple, len(m))
+		}
 		for k := range m {
-			rel.Remove(rel.tuples[k])
+			t := rel.tuples[k]
+			overTuples[id][k] = t
+			rel.Remove(t)
 			delete(e.stageByID[id].m, k)
 			delete(e.provByID[id], k)
 		}
@@ -352,8 +498,18 @@ func (inc *Incremental) DeleteContext(ctx context.Context, facts ...Fact) error 
 			e.tasks = append(e.tasks, fireTask{ri: ri, deltaIdx: -1})
 		}
 	}
-	if len(e.tasks) == 0 {
-		return inc.finish(nil)
+	var err error
+	var readded []map[tupleKey]Tuple
+	if len(e.tasks) > 0 {
+		e.beginChanges()
+		err = e.resumeFixpoint()
+		readded = e.takeChanges()
 	}
-	return inc.finish(e.resumeFixpoint())
+	if err == nil {
+		// Rederivation can only re-commit over-deleted tuples (every firing
+		// lands inside the old fixpoint), so the Added side nets to empty;
+		// deltaOf computes it anyway rather than assume it.
+		inc.lastDelta = inc.deltaOf(readded, overTuples)
+	}
+	return inc.finish(err)
 }

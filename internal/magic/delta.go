@@ -1,0 +1,27 @@
+package magic
+
+import (
+	"fmt"
+
+	"repro/internal/datalog"
+)
+
+// DeltaFilter returns the per-tuple demand filter a bound-goal
+// subscriber's view deltas pass through: accept exactly the tuples of
+// the goal predicate that match the goal's bound positions. The filter
+// is derived from (and validated against) the rewrite the service
+// answers the same goal with, so a subscriber's live slice agrees with
+// what a /v1/query for the same binding returns — the rewrite's answer
+// relation restricted by Goal.Matches is precisely the demand-relevant
+// subset of the maintained predicate, and maintenance deltas filtered
+// the same way keep a client-side copy of that subset current.
+func DeltaFilter(rw *Rewrite, g datalog.Goal) (func(datalog.Tuple) bool, error) {
+	if g.Pred != rw.Pred || AdornmentOf(g) != rw.Adornment {
+		return nil, fmt.Errorf("magic: goal %s^%s does not match rewrite %s^%s",
+			g.Pred, AdornmentOf(g), rw.Pred, rw.Adornment)
+	}
+	arity := len(g.Bound)
+	return func(t datalog.Tuple) bool {
+		return len(t) == arity && g.Matches(t)
+	}, nil
+}

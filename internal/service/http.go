@@ -6,10 +6,14 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"log/slog"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
+
+	"repro/internal/datalog"
 )
 
 // Handler returns the HTTP front end. The versioned surface lives under
@@ -20,6 +24,7 @@ import (
 //	POST /v1/commit      {"insert": [{"pred":"E","tuple":[0,1]}], "delete": [...]}
 //	POST /v1/query       {"program": "tc", "pred": "S", "version": 3, "tuple": [0,1]}
 //	POST /v1/query       {"program": "tc", "pred": "S", "bind": [0, null]}   (goal-directed)
+//	GET  /v1/subscribe   ?program=tc&preds=S&goal=S(0,_)&from=-1  (SSE delta stream)
 //	GET  /v1/stats
 //	GET  /v1/metrics     (?format=prometheus or Accept: text/plain for exposition text)
 //
@@ -61,7 +66,104 @@ func (s *Service) Handler() http.Handler {
 		mux.HandleFunc("/v1"+rt.path, rt.h)
 		mux.HandleFunc(rt.path, s.deprecated(rt.path, rt.h))
 	}
+	// Subscriptions were born versioned; no legacy alias.
+	mux.HandleFunc("/v1/subscribe", s.handleSubscribe)
 	return mux
+}
+
+// handleSubscribe serves one live delta stream as Server-Sent Events:
+//
+//	GET /v1/subscribe?program=tc&preds=S,T&goal=S(0,_)&from=-1&buffer=128
+//
+// program names a registration (required). preds restricts events to a
+// comma-separated predicate list; goal restricts the goal predicate's
+// deltas to a bound pattern (datalog.ParseGoal syntax, e.g. S(0,_)).
+// from >= 0 resumes: deltas of every retained commit after that version
+// are replayed before live delivery (a from below the history window
+// ends the stream immediately with a gap event). buffer overrides the
+// per-subscriber queue size.
+//
+// Each SSE frame is `event: <type>`, `id: <version>`, `data: <SubEvent
+// JSON>`. The stream opens with a hello event anchoring the version,
+// delivers one delta event per commit that changes the subscribed
+// slice, and ends either silently (client disconnect, shutdown) or
+// with a terminal gap event naming the version to re-snapshot at.
+func (s *Service) handleSubscribe(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	q := r.URL.Query()
+	req := SubscribeRequest{Program: q.Get("program"), FromVersion: -1}
+	if p := q.Get("preds"); p != "" {
+		req.Preds = strings.Split(p, ",")
+	}
+	if g := q.Get("goal"); g != "" {
+		goal, err := datalog.ParseGoal(g)
+		if err != nil {
+			writeError(w, r, http.StatusBadRequest, err)
+			return
+		}
+		req.Goal = &goal
+	}
+	if f := q.Get("from"); f != "" {
+		v, err := strconv.ParseInt(f, 10, 64)
+		if err != nil {
+			writeError(w, r, http.StatusBadRequest, errors.New("service: from must be an integer version"))
+			return
+		}
+		req.FromVersion = v
+	}
+	if b := q.Get("buffer"); b != "" {
+		v, err := strconv.Atoi(b)
+		if err != nil || v < 0 {
+			writeError(w, r, http.StatusBadRequest, errors.New("service: buffer must be a non-negative integer"))
+			return
+		}
+		req.Buffer = v
+	}
+	sub, err := s.Subscribe(req)
+	if err != nil {
+		writeError(w, r, errorStatus(err), err)
+		return
+	}
+	defer sub.Close()
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	emit := func(ev SubEvent) bool {
+		data, err := json.Marshal(ev)
+		if err != nil {
+			return false
+		}
+		if _, err := fmt.Fprintf(w, "event: %s\nid: %d\ndata: %s\n\n", ev.Type, ev.Version, data); err != nil {
+			return false
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return true
+	}
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case ev, ok := <-sub.Events:
+			if !ok {
+				// A dropped subscriber gets its terminal gap frame so the
+				// client knows the stream ended with lost continuity, not a
+				// clean shutdown.
+				if gap, gapped := sub.Gap(); gapped {
+					emit(gap)
+				}
+				return
+			}
+			if !emit(ev) {
+				return
+			}
+		}
+	}
 }
 
 // deprecated wraps a legacy unversioned route: the response advertises
@@ -388,6 +490,17 @@ type statusRecorder struct {
 func (sr *statusRecorder) WriteHeader(status int) {
 	sr.status = status
 	sr.ResponseWriter.WriteHeader(status)
+}
+
+// Flush forwards to the wrapped writer so streaming handlers (SSE,
+// NDJSON) still reach the client incrementally behind the logging
+// middleware — embedding the interface hides the underlying Flush, and
+// without it an open-ended /v1/subscribe response never leaves the
+// server's buffer.
+func (sr *statusRecorder) Flush() {
+	if f, ok := sr.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 // LogRequests wraps h with structured request logging: one slog line per

@@ -49,6 +49,14 @@ type Config struct {
 	NoPlanner bool
 	// PlanCacheEntries bounds the planner's plan cache (default 128).
 	PlanCacheEntries int
+	// SubscribeBuffer is the default per-subscriber event buffer for
+	// /v1/subscribe (default 64; requests may ask for more, capped at
+	// 4096). A subscriber whose buffer overflows is dropped with a gap
+	// event rather than stalling commits.
+	SubscribeBuffer int
+	// SubscribeHistory is how many recent commits' view deltas the
+	// subscription hub retains for resume-from-version (default: History).
+	SubscribeHistory int
 
 	// DataDir enables durable storage: commits, registrations and
 	// unregistrations are appended to a checksummed WAL under this
@@ -114,6 +122,10 @@ type Service struct {
 
 	mu    sync.RWMutex // guards progs and every registration's view
 	progs map[string]*registration
+
+	// subs fans each commit's maintenance deltas out to live
+	// subscriptions (see subscribe.go).
+	subs *subHub
 
 	commits     atomic.Int64
 	queries     atomic.Int64
@@ -193,6 +205,12 @@ func New(cfg Config) (*Service, error) {
 	if cfg.CheckpointEvery == 0 {
 		cfg.CheckpointEvery = 256
 	}
+	if cfg.SubscribeBuffer == 0 {
+		cfg.SubscribeBuffer = 64
+	}
+	if cfg.SubscribeHistory == 0 {
+		cfg.SubscribeHistory = cfg.History
+	}
 	root, stop := context.WithCancel(context.Background())
 	s := &Service{
 		cfg:      cfg,
@@ -204,6 +222,7 @@ func New(cfg Config) (*Service, error) {
 		root:     root,
 		stop:     stop,
 		progs:    map[string]*registration{},
+		subs:     newSubHub(cfg.SubscribeHistory, 0),
 	}
 	if !cfg.NoPlanner {
 		s.planner = plan.New(plan.Config{CacheEntries: cfg.PlanCacheEntries})
@@ -212,6 +231,11 @@ func New(cfg Config) (*Service, error) {
 		if err := s.openStorage(); err != nil {
 			stop()
 			return nil, err
+		}
+		// Recovery from a checkpoint with an empty WAL tail publishes
+		// nothing, so catch the hub's version anchor up to the store.
+		if s.subs.version < s.store.Version() {
+			s.subs.version = s.store.Version()
 		}
 	}
 	s.initMetrics()
@@ -370,6 +394,21 @@ func (s *Service) initMetrics() {
 	r.GaugeFunc("datalog_executor_in_flight", "from-scratch evaluations running now", func() float64 {
 		return float64(s.exec.inFlight.Load())
 	})
+	r.GaugeFunc("datalog_subscribers_active", "open /v1/subscribe streams", func() float64 {
+		return float64(s.subs.active())
+	})
+	r.GaugeFunc("datalog_subscribe_peak_queue", "high-water mark of any subscriber's event queue", func() float64 {
+		return float64(s.subs.peakQueue.Load())
+	})
+	r.CounterFunc("datalog_subscribe_events_total", "subscription events delivered (hello, delta, replay)", func() int64 {
+		return s.subs.events.Load()
+	})
+	r.CounterFunc("datalog_subscribe_replayed_total", "delta events replayed from the resume history", func() int64 {
+		return s.subs.replayed.Load()
+	})
+	r.CounterFunc("datalog_subscribe_dropped_total", "subscribers dropped with a gap event (slow consumer or stale resume)", func() int64 {
+		return s.subs.dropped.Load()
+	})
 	r.GaugeFunc("datalog_cache_entries", "live query-result cache entries", func() float64 {
 		_, _, _, entries := s.cache.counters()
 		return float64(entries)
@@ -436,6 +475,7 @@ func (s *Service) Metrics() *obs.Registry { return s.reg }
 func (s *Service) Close() error {
 	s.closeOnce.Do(func() {
 		s.stop()
+		s.subs.closeAll()
 		if s.log != nil {
 			// Taking mu orders the close after any in-flight commit's append,
 			// so the final flush covers everything that was acknowledged.
@@ -671,15 +711,20 @@ func (s *Service) commitLocked(insert, del []datalog.Fact, persist bool) (Commit
 	}
 	info := CommitInfo{Version: snap.Version, Inserted: snap.Inserted, Deleted: snap.Deleted,
 		Maintained: map[string]time.Duration{}}
+	deltas := map[string]datalog.Delta{}
 	for _, reg := range s.progs {
 		mstart := time.Now()
 		roundsBefore := reg.inc.Rounds()
 		if err := reg.inc.DeleteContext(s.root, del...); err != nil {
 			return info, s.maintenanceFailed(reg, err)
 		}
+		delDelta := reg.inc.LastDelta()
 		if err := reg.inc.InsertContext(s.root, insert...); err != nil {
 			return info, s.maintenanceFailed(reg, err)
 		}
+		// The commit's net view change is the delete pass composed with
+		// the insert pass (a tuple removed then re-derived cancels out).
+		deltas[reg.name] = datalog.MergeDeltas(delDelta, reg.inc.LastDelta())
 		reg.version = snap.Version
 		reg.maintainLast = time.Since(mstart)
 		reg.maintainTotal += reg.maintainLast
@@ -689,6 +734,11 @@ func (s *Service) commitLocked(insert, del []datalog.Fact, persist bool) (Commit
 			s.met.maintainSeconds.Observe(reg.maintainLast.Seconds())
 		}
 	}
+	// Publish every commit — replay included, which rebuilds the resume
+	// history after a restart — even when no view changed: retaining
+	// empty commits keeps the history's version range contiguous, which
+	// is what makes resume gap detection sound.
+	s.publishCommit(snap.Version, deltas)
 	s.cache.invalidateBelow(s.store.Oldest())
 	s.commits.Add(1)
 	s.sinceCkpt++
@@ -1209,8 +1259,17 @@ type Stats struct {
 		Active       int64 `json:"active"`
 		PeakBuffered int64 `json:"peak_buffered_rows"`
 	} `json:"stream"`
+	Subscribe struct {
+		Active    int   `json:"active"`
+		Events    int64 `json:"events"`
+		Replayed  int64 `json:"replayed"`
+		Dropped   int64 `json:"dropped"`
+		PeakQueue int64 `json:"peak_queue"`
+		History   int   `json:"history"`
+		Window    int   `json:"window"`
+	} `json:"subscribe"`
 	DeprecatedRequests int64 `json:"deprecated_requests"`
-	Planner struct {
+	Planner            struct {
 		Enabled     bool   `json:"enabled"`
 		Built       int64  `json:"plans_built"`
 		CacheHits   int64  `json:"cache_hits"`
@@ -1284,6 +1343,13 @@ func (s *Service) Stats() Stats {
 	st.Stream.Fallbacks = s.met.streamFallbacks.Value()
 	st.Stream.Active = s.met.streamsActive.Value()
 	st.Stream.PeakBuffered = s.met.streamPeakBuf.Value()
+	st.Subscribe.Active = s.subs.active()
+	st.Subscribe.Events = s.subs.events.Load()
+	st.Subscribe.Replayed = s.subs.replayed.Load()
+	st.Subscribe.Dropped = s.subs.dropped.Load()
+	st.Subscribe.PeakQueue = s.subs.peakQueue.Load()
+	st.Subscribe.History = s.subs.histLen()
+	st.Subscribe.Window = s.subs.window
 	st.DeprecatedRequests = s.met.deprecatedReqs.Value()
 	st.Executor.Workers = s.exec.workers()
 	st.Executor.InFlight = s.exec.inFlight.Load()

@@ -1,0 +1,251 @@
+package stream
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/datalog"
+	"repro/internal/magic"
+	"repro/internal/plan"
+)
+
+// checkedEnvOp asserts the env-ownership rule (ops.go, obligation 2) at
+// every resume: between a successful next() and the following call, the
+// consumer downstream must have restored every upstream-owned position to
+// the value this operator last bound. It wraps the operator handed to a
+// symmetric hash join via testWrapUpstream.
+type checkedEnvOp struct {
+	t     *testing.T
+	inner envOp
+	env   []int
+	owned []int
+	snap  []int
+	live  bool
+}
+
+func (c *checkedEnvOp) next() bool {
+	if c.live && !envSnapshotted(c.env, c.snap, c.owned) {
+		c.t.Errorf("env-ownership violated: upstream resumed with env %v, owned positions %v last bound as %v",
+			c.env, c.owned, c.snap)
+	}
+	ok := c.inner.next()
+	if ok {
+		if c.snap == nil {
+			c.snap = make([]int, len(c.env))
+		}
+		copy(c.snap, c.env)
+		c.live = true
+	}
+	return ok
+}
+
+// withEnvChecks installs the SHJ upstream wrapper for one test.
+func withEnvChecks(t *testing.T) {
+	t.Helper()
+	testWrapUpstream = func(up envOp, env []int, owned []int) envOp {
+		return &checkedEnvOp{t: t, inner: up, env: env, owned: owned}
+	}
+	t.Cleanup(func() { testWrapUpstream = nil })
+}
+
+// TestSHJEnvOwnershipAsserted re-runs the repro shape with the assertion
+// harness active: any future regression that resumes the upstream chain
+// under a stale environment fails here with the exact violated positions,
+// not just with wrong answers.
+func TestSHJEnvOwnershipAsserted(t *testing.T) {
+	withEnvChecks(t)
+	p := mustParse(t, `
+		S(y,z) :- G(y,z).
+		Q(x,y,z) :- A(x), B(x,y), S(y,z).
+		goal Q.`)
+	db := datalog.NewDatabase(100)
+	for x := 1; x <= 6; x++ {
+		db.AddFact("A", x)
+		for k := 0; k < 4; k++ {
+			y := 10 + x*4 + k
+			db.AddFact("B", x, y)
+			db.AddFact("G", y, (y+20)%100)
+		}
+	}
+	want := evalSorted(t, p, db, "Q")
+	for i := 0; i < 5; i++ {
+		got, origin, err := Tuples(context.Background(), p, db.Clone(), "Q", Options{Eval: datalog.DefaultOptions})
+		if err != nil || origin != "stream" {
+			t.Fatalf("stream: origin=%q err=%v", origin, err)
+		}
+		if !sameTuples(got, want) {
+			t.Fatalf("run %d: answers differ\ngot  %v\nwant %v", i, got, want)
+		}
+	}
+}
+
+// TestSHJDeepJoinPosition puts the streamed predicate at join position 4
+// below a three-atom fanout chain, so several upstream levels keep
+// rebinding between SHJ pulls.
+func TestSHJDeepJoinPosition(t *testing.T) {
+	withEnvChecks(t)
+	p := mustParse(t, `
+		S(u,v) :- G(u,v).
+		Q(x,y,z,u,v) :- A(x), B(x,y), C(y,z), D(z,u), S(u,v).
+		goal Q.`)
+	db := datalog.NewDatabase(200)
+	rng := rand.New(rand.NewSource(99))
+	for x := 0; x < 4; x++ {
+		db.AddFact("A", x)
+		for i := 0; i < 3; i++ {
+			y := 4 + rng.Intn(8)
+			db.AddFact("B", x, y)
+			for j := 0; j < 2; j++ {
+				z := 12 + rng.Intn(8)
+				db.AddFact("C", y, z)
+				u := 20 + rng.Intn(8)
+				db.AddFact("D", z, u)
+				db.AddFact("G", u, 28+rng.Intn(8))
+			}
+		}
+	}
+	want := evalSorted(t, p, db, "Q")
+	for i := 0; i < 10; i++ {
+		got, origin, err := Tuples(context.Background(), p, db.Clone(), "Q", Options{Eval: datalog.DefaultOptions})
+		if err != nil || origin != "stream" {
+			t.Fatalf("stream: origin=%q err=%v", origin, err)
+		}
+		if !sameTuples(got, want) {
+			t.Fatalf("run %d: deep SHJ answers differ\ngot  %v\nwant %v", i, got, want)
+		}
+	}
+}
+
+// shjProgram draws a random program whose shape forces a symmetric hash
+// join: an EDB fanout chain of length 2–4 above a single-use streamed
+// predicate joined at the chain's tail (position ≥ 2, often ≥ 3) on a
+// bound column.
+func shjProgram(rng *rand.Rand, n int) (*datalog.Program, *datalog.Database) {
+	chain := 2 + rng.Intn(3) // EDB atoms above the join
+	vars := []string{"x", "y", "z", "u", "v"}
+	var body []interface{}
+	body = append(body, datalog.NewAtom("A", datalog.V(vars[0])))
+	for i := 1; i < chain; i++ {
+		body = append(body, datalog.NewAtom(fmt.Sprintf("E%d", i), datalog.V(vars[i-1]), datalog.V(vars[i])))
+	}
+	// Streamed predicate S joins the last chain variable; second position
+	// is fresh.
+	sv := vars[chain-1]
+	body = append(body, datalog.NewAtom("S", datalog.V(sv), datalog.V("w")))
+	if rng.Intn(3) == 0 {
+		body = append(body, datalog.Constraint{Left: datalog.V("w"), Right: datalog.V(vars[0]), Neq: true})
+	}
+	headArgs := []datalog.Term{datalog.V(vars[0]), datalog.V(sv), datalog.V("w")}
+	rules := []datalog.Rule{
+		datalog.NewRule(datalog.NewAtom("S", datalog.V("a"), datalog.V("b")),
+			datalog.NewAtom("G", datalog.V("a"), datalog.V("b"))),
+		datalog.NewRule(datalog.NewAtom("Q", headArgs...), body...),
+	}
+	p := &datalog.Program{Rules: rules, Goal: "Q"}
+
+	db := datalog.NewDatabase(n)
+	roots := 2 + rng.Intn(4)
+	for r := 0; r < roots; r++ {
+		x := rng.Intn(n)
+		db.AddFact("A", x)
+		prev := []int{x}
+		for i := 1; i < chain; i++ {
+			var next []int
+			for _, pv := range prev {
+				fan := 1 + rng.Intn(3) // multi-row fanout above the join
+				for f := 0; f < fan; f++ {
+					nv := rng.Intn(n)
+					db.AddFact(fmt.Sprintf("E%d", i), pv, nv)
+					next = append(next, nv)
+				}
+			}
+			prev = next
+		}
+		for _, pv := range prev {
+			for f := 0; f < 1+rng.Intn(3); f++ {
+				db.AddFact("G", pv, rng.Intn(n))
+			}
+		}
+	}
+	return p, db
+}
+
+// TestQuickSHJForcingShapes is the SHJ-forcing slice of the streamed ≡
+// materialized property suite: random fanout chains with the streamed
+// predicate at position ≥ 2, plus bound goals through the magic rewrite.
+// The env-ownership assertion harness is active throughout. Run with
+// -count=3 under -race by make verify.
+func TestQuickSHJForcingShapes(t *testing.T) {
+	withEnvChecks(t)
+	const workloads = 60
+	rng := rand.New(rand.NewSource(20260809))
+	shjSeen := 0
+	for w := 0; w < workloads; w++ {
+		n := 6 + rng.Intn(8)
+		p, db := shjProgram(rng, n)
+		if err := datalog.Validate(p); err != nil {
+			t.Fatalf("workload %d: invalid program: %v\n%s", w, err, p)
+		}
+		opt := Options{Eval: datalog.DefaultOptions}
+		if w%2 == 1 {
+			pl := plan.New(plan.Config{})
+			if pp, _ := pl.PlanProgram(p, pl.CatalogFor(db)); pp != nil {
+				opt.Plan = pp
+			}
+		}
+		s, err := Open(context.Background(), p, db.Clone(), "Q", opt)
+		if err != nil {
+			t.Fatalf("workload %d: open: %v\n%s", w, err, p)
+		}
+		for _, rd := range s.Decisions().Rules {
+			for _, sd := range rd.Steps {
+				if sd.Via == "shj" {
+					shjSeen++
+				}
+			}
+		}
+		got, err := Collect(s)
+		if err != nil {
+			t.Fatalf("workload %d: collect: %v", w, err)
+		}
+		want := refSorted(t, p, db, "Q", datalog.DefaultOptions)
+		if !sameTuples(got, want) {
+			t.Fatalf("workload %d: SHJ-forcing answers differ\ngot  %v\nwant %v\nprogram:\n%s",
+				w, got, want, p)
+		}
+
+		// Bound goal through the cached magic rewrite: stream the seeded
+		// answer predicate with the goal filter, as /v1/query does.
+		if len(want) > 0 {
+			pick := want[rng.Intn(len(want))]
+			goal := datalog.NewGoal("Q", len(pick), map[int]int{0: pick[0]})
+			ref, err := magic.EvalGoal(context.Background(), p, db.Clone(), goal, magic.DefaultOptions())
+			if err != nil {
+				t.Fatalf("workload %d: magic eval: %v", w, err)
+			}
+			rw, err := magic.NewRewrite(p, goal, nil)
+			if err != nil {
+				t.Fatalf("workload %d: rewrite: %v", w, err)
+			}
+			seeded, err := rw.Seeded(goal)
+			if err != nil {
+				t.Fatalf("workload %d: seed: %v", w, err)
+			}
+			gotG, _, err := Tuples(context.Background(), seeded, db.Clone(), rw.GoalPred,
+				Options{Eval: datalog.DefaultOptions, Filter: &goal})
+			if err != nil {
+				t.Fatalf("workload %d: streamed rewrite: %v", w, err)
+			}
+			if !sameTuples(gotG, ref.Answers) {
+				t.Fatalf("workload %d: bound SHJ answers differ\ngoal %s\ngot  %v\nwant %v",
+					w, goal, gotG, ref.Answers)
+			}
+		}
+	}
+	if shjSeen == 0 {
+		t.Fatalf("suite never exercised a symmetric hash join")
+	}
+	t.Logf("workloads=%d shj steps=%d", workloads, shjSeen)
+}

@@ -11,9 +11,28 @@ import (
 // Because every variable read happens at a level where it is statically
 // bound — the same invariant the compiled-rule scheduler relies on — stale
 // entries from abandoned branches are harmless and no unbinding happens on
-// backtrack. Operators that must remember rows across pulls (the symmetric
-// hash join's tables, spooled relations, distinct-key sets) copy what they
-// keep and report it to the tracker's buffered counter.
+// backtrack.
+//
+// Environment ownership rule. The shared env has exactly one writer per
+// position (the operator whose level binds that variable), and an
+// operator may assume its upstream-bound positions hold the values of the
+// most recent successful up.next() — that is what probe patterns and
+// checks compare against. Two obligations follow:
+//
+//  1. Snapshot on banking. An operator that remembers a row across pulls
+//     (the symmetric hash join's left table and pending pairs) must copy
+//     the env at banking time; a banked alias would be silently rewritten
+//     by later upstream pulls.
+//  2. Restore on resume. An operator that overwrites upstream-owned
+//     positions (the SHJ replaying a banked row for emission) must restore
+//     the live upstream env — the snapshot taken at the last successful
+//     up.next() — before pulling upstream again, or the upstream chain's
+//     checks run against a stale environment and drop or misroute rows.
+//
+// envSnapshotted (used by the tests' checkedEnvOp) asserts obligation 2 at
+// every resume. Operators that must remember rows across pulls (the
+// symmetric hash join's tables, spooled relations, distinct-key sets) copy
+// what they keep and report it to the tracker's buffered counter.
 
 // envOp advances the shared environment to the next satisfying row.
 type envOp interface {
@@ -57,9 +76,27 @@ func (s *relSlot) get() *datalog.Relation {
 
 func (s *relSlot) allTuples() []datalog.Tuple {
 	if s.all == nil {
-		s.all = s.get().TuplesUnordered()
+		// Canonical order, not TuplesUnordered: mask-0 scans drive the
+		// order in which joins explore (and the SHJ banks) rows, and map
+		// iteration order would make repeated runs disagree.
+		s.all = s.get().Tuples()
 	}
 	return s.all
+}
+
+// envSnapshotted reports whether env matches the snapshot want at the
+// given owned positions — the variable ids bound by the upstream levels of
+// an operator being resumed. It is the checkable form of the env-ownership
+// rule's obligation 2: a consumer that overwrote upstream-owned positions
+// must have restored them before pulling upstream again. Exposed for the
+// package's checkedEnvOp test harness.
+func envSnapshotted(env, want []int, owned []int) bool {
+	for _, i := range owned {
+		if env[i] != want[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // scanOp is a first-atom source over a materialized relation: one probe on
@@ -200,9 +237,17 @@ type shjOp struct {
 	env  []int
 	cons []sCons
 
-	left  map[datalog.TupleKey][][]int        // key -> left env rows
+	left  map[datalog.TupleKey][][]int         // key -> left env rows (snapshots, never aliases of env)
 	right map[datalog.TupleKey][]datalog.Tuple // key -> right tuples
 	pat   datalog.Tuple
+
+	// live snapshots the env as of the last successful up.next(): the state
+	// the upstream chain expects to find when it is resumed. Emitting a
+	// banked pending pair overwrites upstream-owned env positions with a
+	// stale row, so pullLeftRow restores live before pulling again (the
+	// ops-comment env-ownership rule, obligation 2).
+	live     []int
+	envStale bool
 
 	pending   []shjPending
 	pi        int
@@ -213,7 +258,10 @@ type shjOp struct {
 
 func (o *shjOp) next() bool {
 	for {
-		// Drain pending matches first.
+		// Drain pending matches first. Pairs are emitted in arrival order
+		// (left rows in upstream order, right tuples in producer order);
+		// o.left and o.right are only ever probed by join key, never
+		// iterated, so emission order is independent of map iteration.
 		for o.pi < len(o.pending) {
 			if !o.t.tick() {
 				return false
@@ -221,6 +269,7 @@ func (o *shjOp) next() bool {
 			p := o.pending[o.pi]
 			o.pi++
 			copy(o.env, p.env)
+			o.envStale = true
 			if applyAtom(o.a, p.tup, o.env) && consOK(o.cons, o.env) {
 				return true
 			}
@@ -247,6 +296,13 @@ func (o *shjOp) next() bool {
 }
 
 func (o *shjOp) pullLeftRow() {
+	if o.envStale {
+		// Undo the pending-pair replay before the upstream chain resumes:
+		// its probe patterns and checks read the positions it bound on its
+		// last successful pull, not whatever banked row was emitted last.
+		copy(o.env, o.live)
+		o.envStale = false
+	}
 	if !o.up.next() {
 		o.leftDone = true
 		return
@@ -255,8 +311,11 @@ func (o *shjOp) pullLeftRow() {
 		o.pat[p.pos] = p.t.eval(o.env)
 	}
 	key := datalog.KeyProjected(o.pat, o.a.mask)
+	// Snapshot the row: the bank and the pending pairs must not alias the
+	// shared env, which upstream operators keep mutating.
 	row := make([]int, len(o.env))
 	copy(row, o.env)
+	copy(o.live, o.env)
 	if !o.rightDone {
 		o.left[key] = append(o.left[key], row)
 		o.t.addBuffered(1)
@@ -498,6 +557,24 @@ func (b *builder) predStream(pred string) *predStream {
 	return ps
 }
 
+// testWrapUpstream, when non-nil (set only by tests), wraps the upstream
+// operator handed to a symmetric hash join so the env-ownership rule can
+// be asserted at every resume (see checkedEnvOp in the tests).
+var testWrapUpstream func(up envOp, env []int, owned []int) envOp
+
+// upstreamOwned lists the variable ids bound by the levels before atom ai
+// — the env positions a consumer at level ai must leave intact (or
+// restore) whenever it resumes its upstream.
+func upstreamOwned(sr *sRule, ai int) []int {
+	var owned []int
+	for k := 0; k < ai; k++ {
+		for _, bnd := range sr.atoms[k].binds {
+			owned = append(owned, bnd.varID)
+		}
+	}
+	return owned
+}
+
 // rulePipe compiles one rule into its operator chain.
 func (b *builder) rulePipe(ri int, sr *sRule) *rulePipe {
 	env := make([]int, sr.nv)
@@ -519,11 +596,15 @@ func (b *builder) rulePipe(ri int, sr *sRule) *rulePipe {
 			continue
 		}
 		if streamed {
+			if testWrapUpstream != nil {
+				op = testWrapUpstream(op, env, upstreamOwned(sr, ai))
+			}
 			op = &shjOp{
 				t: b.t, up: op, a: a, src: b.predStream(a.pred), env: env, cons: cons,
 				left:  map[datalog.TupleKey][][]int{},
 				right: map[datalog.TupleKey][]datalog.Tuple{},
 				pat:   make(datalog.Tuple, a.arity),
+				live:  make([]int, len(env)),
 			}
 		} else {
 			op = &probeOp{
