@@ -34,7 +34,12 @@ BENCH_STREAM_PATTERN := BenchmarkE29_
 # fan-out scaling across concurrent subscribers).
 BENCH_SUBSCRIBE_PATTERN := BenchmarkE30_
 
-.PHONY: build test verify bench bench-json bench-pebble bench-pebble-json bench-magic bench-magic-json bench-plan bench-plan-json bench-storage bench-storage-json bench-stream bench-stream-json bench-subscribe bench-subscribe-json clean
+# Benchmarks that gate the sharded evaluation subsystem (E31: saturation
+# fixpoint and commit maintenance throughput at N workers vs the
+# single-node engine, and the cross-shard exchange overhead).
+BENCH_SHARD_PATTERN := BenchmarkE31_
+
+.PHONY: build test verify bench bench-json bench-pebble bench-pebble-json bench-magic bench-magic-json bench-plan bench-plan-json bench-storage bench-storage-json bench-stream bench-stream-json bench-subscribe bench-subscribe-json bench-shard bench-shard-json clean
 
 build:
 	$(GO) build ./...
@@ -54,7 +59,7 @@ verify:
 	$(GO) build ./...
 	$(GO) test ./...
 	$(GO) vet ./...
-	$(GO) test -race ./internal/datalog/... ./internal/magic/... ./internal/pebble/... ./internal/service/... ./internal/obs/... ./internal/plan/... ./internal/storage/...
+	$(GO) test -race ./internal/datalog/... ./internal/magic/... ./internal/pebble/... ./internal/service/... ./internal/obs/... ./internal/plan/... ./internal/storage/... ./internal/shard/...
 	$(GO) test -race -count=3 ./internal/stream/...
 
 # bench runs the evaluation-core benchmarks with allocation counts and
@@ -117,5 +122,13 @@ bench-subscribe:
 bench-subscribe-json:
 	$(GO) test -run '^$$' -bench '$(BENCH_SUBSCRIBE_PATTERN)' -benchmem -count 5 . | tee BENCH_subscribe.txt | $(GO) run ./cmd/benchjson > BENCH_subscribe.json
 
+# bench-shard / bench-shard-json point the same harness at the E31
+# sharded-evaluation benchmarks, producing BENCH_shard.{txt,json}.
+bench-shard:
+	$(GO) test -run '^$$' -bench '$(BENCH_SHARD_PATTERN)' -benchmem -count 5 . | tee BENCH_shard.txt
+
+bench-shard-json:
+	$(GO) test -run '^$$' -bench '$(BENCH_SHARD_PATTERN)' -benchmem -count 5 . | tee BENCH_shard.txt | $(GO) run ./cmd/benchjson > BENCH_shard.json
+
 clean:
-	rm -f BENCH_eval.txt BENCH_eval.json BENCH_pebble.txt BENCH_pebble.json BENCH_magic.txt BENCH_magic.json BENCH_plan.txt BENCH_plan.json BENCH_storage.txt BENCH_storage.json BENCH_stream.txt BENCH_stream.json BENCH_subscribe.txt BENCH_subscribe.json
+	rm -f BENCH_eval.txt BENCH_eval.json BENCH_pebble.txt BENCH_pebble.json BENCH_magic.txt BENCH_magic.json BENCH_plan.txt BENCH_plan.json BENCH_storage.txt BENCH_storage.json BENCH_stream.txt BENCH_stream.json BENCH_subscribe.txt BENCH_subscribe.json BENCH_shard.txt BENCH_shard.json

@@ -1,0 +1,158 @@
+package repro
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/datalog"
+	"repro/internal/graph"
+	"repro/internal/shard"
+)
+
+// E31: sharded evaluation benchmarks. The gate workload is a key-local
+// triple join — every body atom shares the partition variable, so the
+// router splits the EDB cleanly across workers and no derived tuple
+// crosses a shard boundary. Saturation throughput at N workers vs the
+// N=1 single-worker coordinator is the acceptance gate (N=4 must reach
+// >= 2x single-worker). The TC variant measures the opposite regime:
+// a recursive program whose deltas cross shards every round, pricing
+// the exchange barrier honestly.
+
+// keyJoinProgram: J(k) :- E(k,x), E(k,y), E(k,z), x!=y, y!=z, x!=z.
+// Work per key grows with degree^3 while the output is one tuple per
+// qualifying key, so worker compute dominates and the coordinator's
+// serial merge stays negligible — the shape shard-local evaluation is
+// built for.
+func keyJoinProgram() *datalog.Program {
+	k, x, y, z := datalog.V("k"), datalog.V("x"), datalog.V("y"), datalog.V("z")
+	r := datalog.Rule{Head: datalog.NewAtom("J", k)}
+	for _, v := range []datalog.Term{x, y, z} {
+		a := datalog.NewAtom("E", k, v)
+		r.Body = append(r.Body, datalog.BodyItem{Atom: &a})
+	}
+	for _, pair := range [][2]datalog.Term{{x, y}, {y, z}, {x, z}} {
+		c := datalog.Constraint{Left: pair[0], Right: pair[1], Neq: true}
+		r.Body = append(r.Body, datalog.BodyItem{Constraint: &c})
+	}
+	return &datalog.Program{Rules: []datalog.Rule{r}, Goal: "J"}
+}
+
+// keyJoinDatabase builds E with `keys` distinct keys of degree `deg`
+// inside a universe of 256. Neighbors (13 odd, deg <= 16) are distinct
+// per key, so every key contributes one J tuple.
+func keyJoinDatabase(keys, deg int) *datalog.Database {
+	const universe = 256
+	db := datalog.NewDatabase(universe)
+	db.EnsureRelation("E", 2)
+	for k := 0; k < keys; k++ {
+		for j := 0; j < deg; j++ {
+			db.AddFact("E", k, (k*7+j*13+1)%universe)
+		}
+	}
+	return db
+}
+
+// BenchmarkE31_SaturationFixpoint: one iteration = building the sharded
+// coordinator to fixpoint over the gate workload. Workers run the packed
+// engine with Parallelism 1, so any speedup over workers=1 is due to
+// sharding alone, not the intra-engine rule-firing pool.
+func BenchmarkE31_SaturationFixpoint(b *testing.B) {
+	prog := keyJoinProgram()
+	db := keyJoinDatabase(192, 16)
+	opts := datalog.DefaultOptions.WithParallelism(1)
+	want, err := datalog.Eval(prog, db.Clone(), opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	wantJ := want.IDB["J"].Size()
+	for _, n := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			var maxLoad int
+			for i := 0; i < b.N; i++ {
+				c, err := shard.New(prog, db, shard.Config{Workers: n, Options: opts})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if got := c.Result().IDB["J"].Size(); got != wantJ {
+					b.Fatalf("fixpoint has %d J tuples, want %d", got, wantJ)
+				}
+				maxLoad = 0
+				for _, l := range c.WorkerLoads() {
+					if l > maxLoad {
+						maxLoad = l
+					}
+				}
+			}
+			// The busiest worker's derivation count is the critical path:
+			// wall-clock tracks it once each worker has a core, so this is
+			// the machine-independent throughput number (the recording box
+			// has one CPU and time-slices the workers).
+			b.ReportMetric(float64(maxLoad), "critpath-derivs")
+		})
+	}
+}
+
+// BenchmarkE31_InsertMaintenance: one timed op inserts a fresh edge for
+// an existing key, firing the delta join at exactly one shard; the
+// revert delete (a full sharded rebuild) runs off the clock, so the
+// base workload is kept small. The delta itself is tiny — this prices
+// the coordinator's per-commit overhead (routing, barrier, merge) over
+// the single engine's insert path.
+func BenchmarkE31_InsertMaintenance(b *testing.B) {
+	prog := keyJoinProgram()
+	db := keyJoinDatabase(32, 4)
+	opts := datalog.DefaultOptions.WithParallelism(1)
+	f := datalog.Fact{Pred: "E", Tuple: datalog.Tuple{5, 255}}
+	for _, n := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", n), func(b *testing.B) {
+			c, err := shard.New(prog, db, shard.Config{Workers: n, Options: opts})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := c.Insert(f); err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				if err := c.Delete(f); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+			}
+		})
+	}
+}
+
+// BenchmarkE31_ExchangeTC: transitive closure over a random graph. The
+// recursive rule forwards IDB deltas across shards at every round
+// barrier, so this measures the exchange overhead the gate workload
+// avoids — expect workers>1 to cost more than workers=1 here.
+func BenchmarkE31_ExchangeTC(b *testing.B) {
+	prog := datalog.TransitiveClosureProgram()
+	g := graph.Random(96, 0.05, rand.New(rand.NewSource(31)))
+	db := datalog.FromGraph(g)
+	opts := datalog.DefaultOptions.WithParallelism(1)
+	want, err := datalog.Eval(prog, db.Clone(), opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	wantT := want.Goal(prog).Size()
+	for _, n := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				c, err := shard.New(prog, db, shard.Config{Workers: n, Options: opts})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if got := c.Result().Goal(prog).Size(); got != wantT {
+					b.Fatalf("fixpoint has %d tuples, want %d", got, wantT)
+				}
+			}
+		})
+	}
+}

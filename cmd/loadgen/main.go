@@ -1,0 +1,420 @@
+// Command loadgen drives a live Datalog(≠) server (cmd/serve) with a
+// replayable synthetic workload and reports the saturation curve: one
+// row per concurrency level with throughput and latency quantiles per
+// operation class, measured through internal/obs histograms.
+//
+// Usage:
+//
+//	loadgen [-addr http://localhost:8344] [-setup] [-program load]
+//	        [-universe 256] [-edges 512] [-levels 1,2,4,8,16,32]
+//	        [-duration 5s] [-warmup 1s] [-mix query=8,commit=1,goal=1]
+//	        [-commit-batch 4] [-query-limit 256] [-seed 1] [-out report.json]
+//
+// Operation classes:
+//
+//	commit — POST /v1/commit inserting -commit-batch random edges
+//	query  — POST /v1/query reading the program's goal relation at the
+//	         latest version (saturation read; -query-limit pages it)
+//	goal   — POST /v1/query with a bound first argument, answered
+//	         goal-directed through the server's magic-set pipeline
+//
+// -setup registers the transitive-closure program under -program and
+// seeds -edges random edges before the sweep (idempotent; safe to rerun).
+//
+// The op sequence is a pure function of -seed, the level list and the
+// mix: every worker derives its own rand stream from (seed, level,
+// worker), so two runs against identical servers replay identical
+// request sequences (timing, and therefore interleaving, is the only
+// free variable). The JSON report embeds the full config for reruns.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/service"
+)
+
+// latencyBuckets resolve 50µs..10s — finer at the low end than
+// obs.DefaultLatencyBuckets because materialized reads sit well under a
+// millisecond.
+var latencyBuckets = []float64{
+	0.00005, 0.0001, 0.0002, 0.0005, 0.001, 0.002, 0.005,
+	0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1, 2, 5, 10,
+}
+
+const tcProgram = `S(x, y) :- E(x, y).
+S(x, y) :- E(x, z), S(z, y).
+goal S.
+`
+
+type config struct {
+	Addr        string         `json:"addr"`
+	Program     string         `json:"program"`
+	Universe    int            `json:"universe"`
+	Edges       int            `json:"edges"`
+	Levels      []int          `json:"levels"`
+	Duration    time.Duration  `json:"duration_ns"`
+	Warmup      time.Duration  `json:"warmup_ns"`
+	Mix         map[string]int `json:"mix"`
+	CommitBatch int            `json:"commit_batch"`
+	QueryLimit  int            `json:"query_limit"`
+	Seed        int64          `json:"seed"`
+}
+
+// opReport is one operation class at one concurrency level.
+type opReport struct {
+	Count  int64   `json:"count"`
+	Errors int64   `json:"errors"`
+	P50ms  float64 `json:"p50_ms"`
+	P95ms  float64 `json:"p95_ms"`
+	P99ms  float64 `json:"p99_ms"`
+	Meanms float64 `json:"mean_ms"`
+}
+
+// levelReport is one row of the saturation curve.
+type levelReport struct {
+	Concurrency int                 `json:"concurrency"`
+	Seconds     float64             `json:"seconds"`
+	Ops         int64               `json:"ops"`
+	Errors      int64               `json:"errors"`
+	Throughput  float64             `json:"ops_per_sec"`
+	ByOp        map[string]opReport `json:"by_op"`
+}
+
+type report struct {
+	Config config        `json:"config"`
+	Levels []levelReport `json:"levels"`
+}
+
+func main() {
+	addr := flag.String("addr", "http://localhost:8344", "server base URL")
+	setup := flag.Bool("setup", false, "register the workload program and seed the graph before the sweep")
+	program := flag.String("program", "load", "registration name the workload drives")
+	universe := flag.Int("universe", 256, "edge endpoints drawn from {0..n-1} (must be <= server -universe)")
+	edges := flag.Int("edges", 512, "seed edges committed by -setup")
+	levelsFlag := flag.String("levels", "1,2,4,8,16,32", "comma-separated concurrency levels to sweep")
+	duration := flag.Duration("duration", 5*time.Second, "measured time per level")
+	warmup := flag.Duration("warmup", time.Second, "unmeasured ramp time per level")
+	mixFlag := flag.String("mix", "query=8,commit=1,goal=1", "op weights, e.g. query=8,commit=1,goal=1")
+	commitBatch := flag.Int("commit-batch", 4, "edges inserted per commit op")
+	queryLimit := flag.Int("query-limit", 256, "page size for saturation queries (0 = full relation)")
+	seed := flag.Int64("seed", 1, "workload seed; identical seeds replay identical op sequences")
+	out := flag.String("out", "", "write the JSON report here ('-' = stdout)")
+	flag.Parse()
+
+	levels, err := parseLevels(*levelsFlag)
+	fatalIf(err)
+	mix, err := parseMix(*mixFlag)
+	fatalIf(err)
+	cfg := config{
+		Addr: strings.TrimRight(*addr, "/"), Program: *program,
+		Universe: *universe, Edges: *edges, Levels: levels,
+		Duration: *duration, Warmup: *warmup, Mix: mix,
+		CommitBatch: *commitBatch, QueryLimit: *queryLimit, Seed: *seed,
+	}
+	client := &client{
+		http: &http.Client{Timeout: 30 * time.Second},
+		base: cfg.Addr,
+	}
+	if *setup {
+		fatalIf(client.setup(cfg))
+		fmt.Fprintf(os.Stderr, "loadgen: registered %q and seeded %d edges over universe %d\n",
+			cfg.Program, cfg.Edges, cfg.Universe)
+	}
+
+	rep := report{Config: cfg}
+	for _, level := range levels {
+		lr := runLevel(client, cfg, level)
+		rep.Levels = append(rep.Levels, lr)
+		fmt.Fprintf(os.Stderr, "loadgen: level %d done: %.0f ops/s\n", level, lr.Throughput)
+	}
+
+	printTable(os.Stdout, rep)
+	if *out != "" {
+		b, err := json.MarshalIndent(rep, "", "  ")
+		fatalIf(err)
+		b = append(b, '\n')
+		if *out == "-" {
+			os.Stdout.Write(b)
+		} else {
+			fatalIf(os.WriteFile(*out, b, 0o644))
+			fmt.Fprintf(os.Stderr, "loadgen: wrote %s\n", *out)
+		}
+	}
+}
+
+// runLevel drives one concurrency level: warmup (unmeasured), then the
+// measured window, observing per-op latency into obs histograms.
+func runLevel(c *client, cfg config, level int) levelReport {
+	reg := obs.NewRegistry()
+	hists := map[string]*obs.Histogram{}
+	var errCounts sync.Map
+	ops := opNames(cfg.Mix)
+	for _, op := range ops {
+		hists[op] = reg.Histogram("loadgen_"+op+"_seconds", op+" latency", latencyBuckets)
+		errCounts.Store(op, new(atomic.Int64))
+	}
+	var measuring atomic.Bool
+	deadline := time.Now().Add(cfg.Warmup + cfg.Duration)
+	warmupEnd := time.Now().Add(cfg.Warmup)
+	var wg sync.WaitGroup
+	var measuredStart atomic.Int64
+	for w := 0; w < level; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Deterministic per-worker op stream: replayable given the seed.
+			rng := rand.New(rand.NewSource(cfg.Seed ^ int64(level)<<20 ^ int64(w)))
+			picker := newPicker(cfg.Mix)
+			for {
+				now := time.Now()
+				if now.After(deadline) {
+					return
+				}
+				if !measuring.Load() && now.After(warmupEnd) {
+					if measuring.CompareAndSwap(false, true) {
+						measuredStart.Store(now.UnixNano())
+					}
+				}
+				op := picker.pick(rng)
+				start := time.Now()
+				err := c.do(op, cfg, rng)
+				elapsed := time.Since(start).Seconds()
+				if measuring.Load() {
+					hists[op].Observe(elapsed)
+					if err != nil {
+						v, _ := errCounts.Load(op)
+						v.(*atomic.Int64).Add(1)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := cfg.Duration.Seconds()
+	if s := measuredStart.Load(); s != 0 {
+		elapsed = time.Since(time.Unix(0, s)).Seconds()
+	}
+	lr := levelReport{Concurrency: level, Seconds: elapsed, ByOp: map[string]opReport{}}
+	for _, op := range ops {
+		h := hists[op]
+		v, _ := errCounts.Load(op)
+		or := opReport{
+			Count:  h.Count(),
+			Errors: v.(*atomic.Int64).Load(),
+			P50ms:  1000 * h.Quantile(0.50),
+			P95ms:  1000 * h.Quantile(0.95),
+			P99ms:  1000 * h.Quantile(0.99),
+		}
+		if or.Count > 0 {
+			or.Meanms = 1000 * h.Sum() / float64(or.Count)
+		} else {
+			or.P50ms, or.P95ms, or.P99ms = 0, 0, 0
+		}
+		lr.Ops += or.Count
+		lr.Errors += or.Errors
+		lr.ByOp[op] = or
+	}
+	if elapsed > 0 {
+		lr.Throughput = float64(lr.Ops) / elapsed
+	}
+	return lr
+}
+
+// client speaks the /v1 JSON wire format.
+type client struct {
+	http *http.Client
+	base string
+}
+
+func (c *client) post(path string, req, resp any) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	r, err := c.http.Post(c.base+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(io.LimitReader(r.Body, 512))
+		return fmt.Errorf("%s: %s: %s", path, r.Status, strings.TrimSpace(string(b)))
+	}
+	if resp == nil {
+		_, err = io.Copy(io.Discard, r.Body)
+		return err
+	}
+	return json.NewDecoder(r.Body).Decode(resp)
+}
+
+// setup registers the closure program and seeds the random graph; both
+// are derived from the seed, so reruns recreate the same server state.
+func (c *client) setup(cfg config) error {
+	if err := c.post("/v1/register", service.RegisterRequest{Name: cfg.Program, Program: tcProgram}, nil); err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var batch []service.FactJSON
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		err := c.post("/v1/commit", service.CommitRequest{Insert: batch}, nil)
+		batch = batch[:0]
+		return err
+	}
+	for i := 0; i < cfg.Edges; i++ {
+		batch = append(batch, service.FactJSON{
+			Pred: "E", Tuple: []int{rng.Intn(cfg.Universe), rng.Intn(cfg.Universe)},
+		})
+		if len(batch) >= 256 {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+	}
+	return flush()
+}
+
+// do executes one operation of the named class.
+func (c *client) do(op string, cfg config, rng *rand.Rand) error {
+	switch op {
+	case "commit":
+		ins := make([]service.FactJSON, cfg.CommitBatch)
+		for i := range ins {
+			ins[i] = service.FactJSON{Pred: "E", Tuple: []int{rng.Intn(cfg.Universe), rng.Intn(cfg.Universe)}}
+		}
+		return c.post("/v1/commit", service.CommitRequest{Insert: ins}, nil)
+	case "query":
+		return c.post("/v1/query", service.QueryRequestJSON{
+			Program: cfg.Program, Limit: cfg.QueryLimit,
+		}, nil)
+	case "goal":
+		x := rng.Intn(cfg.Universe)
+		return c.post("/v1/query", service.QueryRequestJSON{
+			Program: cfg.Program, Bind: []*int{&x, nil},
+		}, nil)
+	default:
+		return fmt.Errorf("unknown op %q", op)
+	}
+}
+
+// picker draws ops proportionally to the mix weights.
+type picker struct {
+	ops     []string
+	cum     []int
+	totalWt int
+}
+
+func newPicker(mix map[string]int) *picker {
+	p := &picker{ops: opNames(mix)}
+	for _, op := range p.ops {
+		p.totalWt += mix[op]
+		p.cum = append(p.cum, p.totalWt)
+	}
+	return p
+}
+
+func (p *picker) pick(rng *rand.Rand) string {
+	r := rng.Intn(p.totalWt)
+	for i, c := range p.cum {
+		if r < c {
+			return p.ops[i]
+		}
+	}
+	return p.ops[len(p.ops)-1]
+}
+
+// opNames returns the mix's op classes sorted for determinism.
+func opNames(mix map[string]int) []string {
+	var ops []string
+	for op, w := range mix {
+		if w > 0 {
+			ops = append(ops, op)
+		}
+	}
+	sort.Strings(ops)
+	return ops
+}
+
+func parseLevels(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad concurrency level %q", part)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no concurrency levels")
+	}
+	return out, nil
+}
+
+func parseMix(s string) (map[string]int, error) {
+	mix := map[string]int{}
+	for _, part := range strings.Split(s, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+		if len(kv) != 2 {
+			return nil, fmt.Errorf("bad mix entry %q (want op=weight)", part)
+		}
+		w, err := strconv.Atoi(kv[1])
+		if err != nil || w < 0 {
+			return nil, fmt.Errorf("bad mix weight %q", part)
+		}
+		switch kv[0] {
+		case "query", "commit", "goal":
+		default:
+			return nil, fmt.Errorf("unknown op %q (want query, commit or goal)", kv[0])
+		}
+		mix[kv[0]] = w
+	}
+	total := 0
+	for _, w := range mix {
+		total += w
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("mix has no positive weights")
+	}
+	return mix, nil
+}
+
+func printTable(w io.Writer, rep report) {
+	fmt.Fprintf(w, "%-6s %10s %10s %8s", "conc", "ops/s", "ops", "errors")
+	ops := opNames(rep.Config.Mix)
+	for _, op := range ops {
+		fmt.Fprintf(w, " %22s", op+" p50/p95/p99 ms")
+	}
+	fmt.Fprintln(w)
+	for _, lr := range rep.Levels {
+		fmt.Fprintf(w, "%-6d %10.0f %10d %8d", lr.Concurrency, lr.Throughput, lr.Ops, lr.Errors)
+		for _, op := range ops {
+			o := lr.ByOp[op]
+			fmt.Fprintf(w, " %22s", fmt.Sprintf("%.2f/%.2f/%.2f", o.P50ms, o.P95ms, o.P99ms))
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}

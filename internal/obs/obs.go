@@ -223,6 +223,75 @@ func (h *Histogram) Count() int64 {
 	return h.samples
 }
 
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) from the bucket counts
+// by linear interpolation inside the bucket holding the target rank — the
+// same estimate promql's histogram_quantile computes. The estimate for
+// ranks landing in the +Inf bucket is clamped to the largest finite upper
+// bound, and NaN is returned when the histogram is empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	h.mu.Lock()
+	counts := append([]int64(nil), h.counts...)
+	samples := h.samples
+	h.mu.Unlock()
+	return quantile(h.uppers, counts, samples, q)
+}
+
+// quantile is the interpolation shared by Quantile and the renderings
+// (which hold the lock and pass copied state).
+func quantile(uppers []float64, counts []int64, samples int64, q float64) float64 {
+	if samples == 0 {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := q * float64(samples)
+	cum := int64(0)
+	for i, c := range counts {
+		cum += c
+		if float64(cum) < rank {
+			continue
+		}
+		if i >= len(uppers) {
+			// Target rank in the +Inf bucket: clamp to the last finite bound.
+			if len(uppers) == 0 {
+				return math.NaN()
+			}
+			return uppers[len(uppers)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = uppers[i-1]
+		}
+		if c == 0 {
+			return uppers[i]
+		}
+		inBucket := rank - float64(cum-c)
+		return lo + (uppers[i]-lo)*(inBucket/float64(c))
+	}
+	if len(uppers) == 0 {
+		return math.NaN()
+	}
+	return uppers[len(uppers)-1]
+}
+
+// summaryQuantiles are the latency percentiles both renderings attach to
+// every non-empty histogram, so loadgen-style consumers read p50/p95/p99
+// straight off /v1/metrics without external tooling.
+var summaryQuantiles = []struct {
+	name string
+	q    float64
+}{{"p50", 0.50}, {"p95", 0.95}, {"p99", 0.99}}
+
 func (h *Histogram) kind() string     { return "histogram" }
 func (h *Histogram) helpText() string { return h.help }
 
@@ -236,9 +305,16 @@ func (h *Histogram) snapshotValue() any {
 		buckets[formatFloat(up)] = cum
 	}
 	buckets["+Inf"] = h.samples
-	return map[string]any{
+	out := map[string]any{
 		"type": "histogram", "count": h.samples, "sum": h.sum, "buckets": buckets,
 	}
+	if h.samples > 0 {
+		// Only when non-empty: NaN has no JSON encoding.
+		for _, sq := range summaryQuantiles {
+			out[sq.name] = quantile(h.uppers, h.counts, h.samples, sq.q)
+		}
+	}
+	return out
 }
 
 func (h *Histogram) writeProm(w io.Writer, name string) {
@@ -255,6 +331,13 @@ func (h *Histogram) writeProm(w io.Writer, name string) {
 	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, samples)
 	fmt.Fprintf(w, "%s_sum %s\n", name, formatFloat(sum))
 	fmt.Fprintf(w, "%s_count %d\n", name, samples)
+	if samples > 0 {
+		// Pre-computed quantile estimates alongside the raw buckets, named
+		// like promql's histogram_quantile output would be recorded.
+		for _, sq := range summaryQuantiles {
+			fmt.Fprintf(w, "%s_%s %s\n", name, sq.name, formatFloat(quantile(uppers, counts, samples, sq.q)))
+		}
+	}
 }
 
 // formatFloat renders a float the way Prometheus clients expect (shortest

@@ -3,6 +3,7 @@ package obs
 import (
 	"bytes"
 	"encoding/json"
+	"math"
 	"strings"
 	"sync"
 	"testing"
@@ -142,6 +143,78 @@ func TestCounterFunc(t *testing.T) {
 	var buf bytes.Buffer
 	r.WritePrometheus(&buf)
 	for _, want := range []string{"# TYPE plans_built_total counter", "plans_built_total 9"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("exposition missing %q:\n%s", want, buf.String())
+		}
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", "", []float64{1, 2, 4, 8})
+	if v := h.Quantile(0.5); !math.IsNaN(v) {
+		t.Fatalf("empty histogram quantile = %v, want NaN", v)
+	}
+	// 100 samples uniformly in (0,1]: every one lands in the first bucket,
+	// so interpolation puts the median near 0.5 and p99 near 0.99.
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i) / 100)
+	}
+	if v := h.Quantile(0.5); v != 0.5 {
+		t.Fatalf("p50 = %v, want 0.5 (uniform first bucket)", v)
+	}
+	if v := h.Quantile(1); v != 1 {
+		t.Fatalf("p100 = %v, want 1", v)
+	}
+	// Push 100 samples into the 2..4 bucket: the median moves there.
+	for i := 0; i < 100; i++ {
+		h.Observe(3)
+	}
+	if v := h.Quantile(0.75); v < 2 || v > 4 {
+		t.Fatalf("p75 = %v, want within (2,4]", v)
+	}
+	// Ranks beyond the last finite bound clamp to it.
+	h.Observe(1e9)
+	if v := h.Quantile(1); v != 8 {
+		t.Fatalf("clamped p100 = %v, want 8", v)
+	}
+}
+
+func TestHistogramQuantileRenderings(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("empty_seconds", "", []float64{1, 2})
+	_ = h
+	// Empty histograms must omit quantiles entirely: NaN is not
+	// JSON-marshalable and a NaN sample is useless in Prometheus.
+	b, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatalf("empty histogram snapshot must marshal: %v", err)
+	}
+	if strings.Contains(string(b), "p50") {
+		t.Fatalf("empty histogram leaked quantiles:\n%s", b)
+	}
+	var buf bytes.Buffer
+	r.WritePrometheus(&buf)
+	if strings.Contains(buf.String(), "empty_seconds_p50") {
+		t.Fatalf("empty histogram leaked prometheus quantiles:\n%s", buf.String())
+	}
+
+	h2 := r.Histogram("busy_seconds", "", []float64{1, 2})
+	for i := 0; i < 10; i++ {
+		h2.Observe(0.5)
+	}
+	b, err = json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"p50":`, `"p95":`, `"p99":`} {
+		if !strings.Contains(string(b), want) {
+			t.Fatalf("snapshot missing %s:\n%s", want, b)
+		}
+	}
+	buf.Reset()
+	r.WritePrometheus(&buf)
+	for _, want := range []string{"busy_seconds_p50 ", "busy_seconds_p95 ", "busy_seconds_p99 "} {
 		if !strings.Contains(buf.String(), want) {
 			t.Fatalf("exposition missing %q:\n%s", want, buf.String())
 		}

@@ -15,6 +15,7 @@ import (
 	"repro/internal/magic"
 	"repro/internal/obs"
 	"repro/internal/plan"
+	"repro/internal/shard"
 	"repro/internal/storage"
 	"repro/internal/stream"
 )
@@ -40,6 +41,13 @@ type Config struct {
 	// Parallelism is passed to the evaluator (datalog.Options.Parallelism)
 	// for both incremental maintenance and from-scratch queries.
 	Parallelism int
+	// Shards > 1 evaluates registered programs on the sharded subsystem
+	// (internal/shard): the EDB is hash-partitioned across that many
+	// in-process workers and commits fan partition deltas out through
+	// distributed semi-naive rounds. Queries and subscriptions read the
+	// coordinator's merged view through the same code paths as the
+	// single-node engine. 0 or 1 means unsharded (the default).
+	Shards int
 	// QueryTimeout bounds each query's queueing plus evaluation time when
 	// > 0; queries exceeding it fail with context.DeadlineExceeded.
 	QueryTimeout time.Duration
@@ -165,14 +173,31 @@ type serviceMetrics struct {
 // cost model nailed it, 3 means it was 8x off in either direction.
 var planEstErrorBuckets = []float64{0.5, 1, 2, 3, 4, 6, 8, 12}
 
+// view is the maintenance surface a registration's materialized fixpoint
+// exposes: implemented by *datalog.Incremental (single-node) and
+// *shard.Coordinator (Config.Shards > 1), so every read and maintenance
+// path in the service is agnostic to where the fixpoint lives.
+type view interface {
+	Check(facts ...datalog.Fact) error
+	InsertContext(ctx context.Context, facts ...datalog.Fact) error
+	DeleteContext(ctx context.Context, facts ...datalog.Fact) error
+	LastDelta() datalog.Delta
+	Result() *datalog.Result
+	Rounds() int
+	Updates() int
+	Err() error
+}
+
 // registration is one registered program and its maintained view.
 type registration struct {
 	name    string
 	hash    string
 	source  string
 	prog    *datalog.Program
-	inc     *datalog.Incremental
+	inc     view
 	version int64 // EDB version the materialization reflects
+	// coord is non-nil when inc is a sharded coordinator (Config.Shards).
+	coord *shard.Coordinator
 
 	maintainTotal time.Duration
 	maintainLast  time.Duration
@@ -441,6 +466,20 @@ func (s *Service) initMetrics() {
 			return float64(s.recovered.Version)
 		})
 	}
+	if s.cfg.Shards > 1 {
+		r.GaugeFunc("datalog_shard_workers", "shard workers per registered program", func() float64 {
+			return float64(s.cfg.Shards)
+		})
+		r.CounterFunc("datalog_shard_exchange_rounds_total", "cross-shard exchange barrier rounds", func() int64 {
+			return s.shardStats().ExchangeRounds
+		})
+		r.CounterFunc("datalog_shard_exchanged_tuples_total", "tuples routed shard-to-shard", func() int64 {
+			return s.shardStats().ExchangedTuples
+		})
+		r.CounterFunc("datalog_shard_rebuilds_total", "delete-triggered sharded view rebuilds", func() int64 {
+			return s.shardStats().Rebuilds
+		})
+	}
 	if s.planner != nil {
 		s.met.planEstError = r.Histogram("datalog_plan_estimation_error",
 			"per-rule |log2(estimated/actual)| derived rows", planEstErrorBuckets)
@@ -467,6 +506,24 @@ func (s *Service) initMetrics() {
 
 // Metrics returns the service's metrics registry (served at /v1/metrics).
 func (s *Service) Metrics() *obs.Registry { return s.reg }
+
+// shardStats aggregates the cross-shard counters of every registered
+// program's coordinator (zero-valued on a single-node service).
+func (s *Service) shardStats() shard.Stats {
+	var agg shard.Stats
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, reg := range s.progs {
+		if reg.coord == nil {
+			continue
+		}
+		st := reg.coord.Stats()
+		agg.ExchangeRounds += st.ExchangeRounds
+		agg.ExchangedTuples += st.ExchangedTuples
+		agg.Rebuilds += st.Rebuilds
+	}
+	return agg
+}
 
 // Close aborts in-flight evaluations, makes every later operation fail
 // with ErrClosed and — with durable storage — flushes and closes the WAL,
@@ -583,9 +640,22 @@ func (s *Service) registerLocked(ctx context.Context, name, source string, persi
 	}
 	snap := s.store.Latest()
 	start := time.Now()
-	inc, err := datalog.NewIncrementalContext(ctx, prog, snap.DB, s.optsFor(snap))
-	if err != nil {
-		return RegisterInfo{}, err
+	var inc view
+	var coord *shard.Coordinator
+	if s.cfg.Shards > 1 {
+		coord, err = shard.NewContext(ctx, prog, snap.DB, shard.Config{
+			Workers: s.cfg.Shards,
+			Options: s.optsFor(snap),
+		})
+		if err != nil {
+			return RegisterInfo{}, err
+		}
+		inc = coord
+	} else {
+		inc, err = datalog.NewIncrementalContext(ctx, prog, snap.DB, s.optsFor(snap))
+		if err != nil {
+			return RegisterInfo{}, err
+		}
 	}
 	if persist {
 		s.met.evalRounds.Add(int64(inc.Rounds()))
@@ -597,6 +667,7 @@ func (s *Service) registerLocked(ctx context.Context, name, source string, persi
 		source:       source,
 		prog:         prog,
 		inc:          inc,
+		coord:        coord,
 		version:      snap.Version,
 		maintainLast: time.Since(start),
 	}
@@ -1212,6 +1283,9 @@ type ProgramStats struct {
 	MaintainTotalNs int64               `json:"maintain_total_ns"`
 	MaintainLastNs  int64               `json:"maintain_last_ns"`
 	Rules           []datalog.RuleStats `json:"rules"`
+	// Sharding carries the coordinator's cross-shard counters when the
+	// service runs with Config.Shards > 1; nil on a single-node service.
+	Sharding *shard.Stats `json:"sharding,omitempty"`
 }
 
 // SnapshotStats describes one retained EDB version in Stats.
@@ -1268,6 +1342,14 @@ type Stats struct {
 		History   int   `json:"history"`
 		Window    int   `json:"window"`
 	} `json:"subscribe"`
+	Sharding struct {
+		Enabled bool `json:"enabled"`
+		Workers int  `json:"workers"`
+		// Aggregates across every registered program's coordinator.
+		ExchangeRounds  int64 `json:"exchange_rounds"`
+		ExchangedTuples int64 `json:"exchanged_tuples"`
+		Rebuilds        int64 `json:"rebuilds"`
+	} `json:"sharding"`
 	DeprecatedRequests int64 `json:"deprecated_requests"`
 	Planner            struct {
 		Enabled     bool   `json:"enabled"`
@@ -1322,14 +1404,23 @@ func (s *Service) Stats() Stats {
 		for name, rel := range res.IDB {
 			sizes[name] = rel.Size()
 		}
-		st.Programs = append(st.Programs, ProgramStats{
+		var rules []datalog.RuleStats
+		if res.Stats != nil {
+			rules = res.Stats.Rules
+		}
+		ps := ProgramStats{
 			Name: reg.name, Hash: reg.hash, Version: reg.version,
 			Goal: reg.prog.Goal, Updates: reg.inc.Updates(),
 			Rounds: res.Rounds, Derivations: res.Derivations, IDBSizes: sizes,
 			MaintainTotalNs: reg.maintainTotal.Nanoseconds(),
 			MaintainLastNs:  reg.maintainLast.Nanoseconds(),
-			Rules:           res.Stats.Rules,
-		})
+			Rules:           rules,
+		}
+		if reg.coord != nil {
+			sh := reg.coord.Stats()
+			ps.Sharding = &sh
+		}
+		st.Programs = append(st.Programs, ps)
 	}
 	s.mu.RUnlock()
 	sort.Slice(st.Programs, func(i, j int) bool { return st.Programs[i].Name < st.Programs[j].Name })
@@ -1351,6 +1442,14 @@ func (s *Service) Stats() Stats {
 	st.Subscribe.History = s.subs.histLen()
 	st.Subscribe.Window = s.subs.window
 	st.DeprecatedRequests = s.met.deprecatedReqs.Value()
+	if s.cfg.Shards > 1 {
+		st.Sharding.Enabled = true
+		st.Sharding.Workers = s.cfg.Shards
+		agg := s.shardStats()
+		st.Sharding.ExchangeRounds = agg.ExchangeRounds
+		st.Sharding.ExchangedTuples = agg.ExchangedTuples
+		st.Sharding.Rebuilds = agg.Rebuilds
+	}
 	st.Executor.Workers = s.exec.workers()
 	st.Executor.InFlight = s.exec.inFlight.Load()
 	st.Executor.Peak = s.exec.peak.Load()

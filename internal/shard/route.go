@@ -1,0 +1,217 @@
+package shard
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/datalog"
+)
+
+// Routing is the static delta-routing plan for one program: for every
+// predicate that occurs in a rule body, the set of partition columns (and
+// possibly a broadcast obligation) that determine which shard workers must
+// hold each of its facts.
+//
+// The plan is derived per rule. Every rule gets a partition variable — a
+// body variable chosen so that as many body atoms as possible contain it,
+// with ties broken by the planner's bound-column information (ProbeMasks:
+// a variable sitting in a probed join column is a join key, which is
+// exactly what we want to co-locate on). The rule's instantiations are
+// then owned by the shard that hashes the partition variable's value:
+// every body atom containing the variable routes its facts by the column
+// holding it, and every body atom NOT containing it is broadcast to all
+// shards. A rule with no body variables at all broadcasts its whole body,
+// so every shard can fire it (set semantics dedupe the copies).
+//
+// Completeness argument (DESIGN.md §15 gives the full induction): for any
+// instantiation θ of a rule with partition variable v, every body fact
+// containing θ(v) is routed to shard h(θ(v)) and every other body fact is
+// broadcast, so shard h(θ(v)) holds the entire instantiated body and the
+// local engine fires it. Soundness is immediate: shards only ever hold
+// real EDB facts and real derived tuples, so everything they derive is in
+// the true fixpoint.
+type Routing struct {
+	routes map[string]route
+	// PartitionVars records the chosen partition variable per rule, in
+	// rule order ("" for rules routed by broadcast only); exported through
+	// Describe for tests and -explain style debugging.
+	partitionVars []string
+}
+
+// route is the destination set for one predicate's facts: each column in
+// cols sends a fact to the shard hashing that column's value; broadcast
+// additionally sends it everywhere.
+type route struct {
+	cols      []int
+	broadcast bool
+}
+
+// PlanRoutes builds the routing plan for a program. When opts carries a
+// planner, routes are computed over the union of the textual rules and
+// the planner's rewritten rules (reordered, pruned, minimized), so the
+// plan covers whichever form the shard workers end up executing; the
+// partition-variable tie-break always uses the bound-column masks of the
+// rule form being analyzed. db is read-only statistics input for the
+// planner and may be nil when opts.Planner is nil.
+func PlanRoutes(p *datalog.Program, opts datalog.Options, db *datalog.Database) *Routing {
+	rt := &Routing{routes: map[string]route{}}
+	rt.addRules(p.Rules, true)
+	if opts.Planner != nil {
+		if planned, err := opts.Planner.PlanRules(p, db); err == nil && len(planned) > 0 {
+			rt.addRules(planned, false)
+		}
+	}
+	for pred, r := range rt.routes {
+		sort.Ints(r.cols)
+		rt.routes[pred] = r
+	}
+	return rt
+}
+
+// addRules folds one rule set into the routing table. recordVars keeps
+// the per-rule partition variable list aligned with the program's textual
+// rules (the planner's rewritten set only contributes routes).
+func (rt *Routing) addRules(rules []datalog.Rule, recordVars bool) {
+	for _, r := range rules {
+		v := partitionVar(r)
+		if recordVars {
+			rt.partitionVars = append(rt.partitionVars, v)
+		}
+		for _, a := range r.Atoms() {
+			col := -1
+			if v != "" {
+				for i, t := range a.Args {
+					if t.IsVar() && t.Var == v {
+						col = i
+						break
+					}
+				}
+			}
+			cur := rt.routes[a.Pred]
+			if col < 0 {
+				cur.broadcast = true
+			} else if !containsInt(cur.cols, col) {
+				cur.cols = append(cur.cols, col)
+			}
+			rt.routes[a.Pred] = cur
+		}
+	}
+}
+
+// partitionVar picks the rule's partition variable: the body variable
+// contained in the most body atoms, ties broken by how many probed
+// (bound) join columns it occupies per datalog.ProbeMasks — the same
+// bound-column view the cost-based planner optimizes — then by name for
+// determinism. "" when the body has no variables.
+func partitionVar(r datalog.Rule) string {
+	atoms := r.Atoms()
+	if len(atoms) == 0 {
+		return ""
+	}
+	masks := datalog.ProbeMasks(r)
+	occurs := map[string]int{} // atoms containing the variable
+	probed := map[string]int{} // probed-column occurrences (bound-column info)
+	for ai, a := range atoms {
+		seen := map[string]bool{}
+		for i, t := range a.Args {
+			if !t.IsVar() {
+				continue
+			}
+			if !seen[t.Var] {
+				seen[t.Var] = true
+				occurs[t.Var]++
+			}
+			if masks[ai]&(1<<uint(i)) != 0 {
+				probed[t.Var]++
+			}
+		}
+	}
+	best := ""
+	for v := range occurs {
+		if best == "" {
+			best = v
+			continue
+		}
+		switch {
+		case occurs[v] > occurs[best]:
+			best = v
+		case occurs[v] == occurs[best] && probed[v] > probed[best]:
+			best = v
+		case occurs[v] == occurs[best] && probed[v] == probed[best] && v < best:
+			best = v
+		}
+	}
+	return best
+}
+
+// Targets appends to buf the distinct shard ids (out of n) that must hold
+// the given fact, and returns the extended slice. An unrouted predicate
+// (one the program's rule bodies never mention) has no targets.
+func (rt *Routing) Targets(pred string, t datalog.Tuple, n int, buf []int) []int {
+	r, ok := rt.routes[pred]
+	if !ok {
+		return buf
+	}
+	if r.broadcast {
+		for i := 0; i < n; i++ {
+			buf = append(buf, i)
+		}
+		return buf
+	}
+	for _, c := range r.cols {
+		s := shardOf(t[c], n)
+		if !containsInt(buf, s) {
+			buf = append(buf, s)
+		}
+	}
+	return buf
+}
+
+// Broadcast reports whether pred's facts go to every shard.
+func (rt *Routing) Broadcast(pred string) bool { return rt.routes[pred].broadcast }
+
+// Cols returns pred's partition columns (read-only).
+func (rt *Routing) Cols(pred string) []int { return rt.routes[pred].cols }
+
+// Describe renders the plan for tests and debugging: one line per routed
+// predicate plus the per-rule partition variables.
+func (rt *Routing) Describe() string {
+	var b strings.Builder
+	var preds []string
+	for pred := range rt.routes {
+		preds = append(preds, pred)
+	}
+	sort.Strings(preds)
+	for _, pred := range preds {
+		r := rt.routes[pred]
+		fmt.Fprintf(&b, "%s: cols=%v broadcast=%v\n", pred, r.cols, r.broadcast)
+	}
+	fmt.Fprintf(&b, "partition vars: %v\n", rt.partitionVars)
+	return b.String()
+}
+
+// shardOf hashes one universe element to a shard id. The avalanche step
+// (splitmix64 finalizer) keeps sequential element ids from mapping to
+// sequential shards, which would defeat partitioning on structured data.
+func shardOf(v, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	x := uint64(v) + 0x9E3779B97F4A7C15
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return int(x % uint64(n))
+}
+
+func containsInt(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

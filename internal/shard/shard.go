@@ -1,0 +1,623 @@
+// Package shard evaluates Datalog(≠) programs across N hash-partitioned
+// in-process shard workers. EDB relations are partitioned by the join
+// keys of the program's rules (see Routing), each worker runs the
+// existing packed semi-naive engine — as an incremental view — over its
+// partition, and a coordinator drives distributed semi-naive rounds:
+// after every local fixpoint the workers' newly derived tuples are
+// exchanged across a round barrier, routed to exactly the shards whose
+// rules can join on them, until no shard derives anything new. The
+// coordinator folds every exchanged tuple into a merged view that is
+// byte-identical to a single-node evaluation of the same program (the
+// equivalence suite in equivalence_test.go asserts this for random
+// programs and workloads at N ∈ {1,2,4,8}).
+//
+// Cross-shard IDB deltas enter a worker as facts of a reserved import
+// predicate ("@in:P" for IDB predicate P) with a copy rule P(x…) :-
+// @in:P(x…) appended to the worker's program, so foreign tuples ride the
+// engine's ordinary delta-seeded insert path — the exchange loop is
+// plain incremental maintenance, not a second evaluator.
+//
+// Insertions are maintained incrementally end to end: new EDB facts are
+// routed to their owning shards, each shard re-enters its semi-naive
+// loop, and only globally novel derived tuples cross the barrier.
+// Deletions rebuild the sharded fixpoint from the coordinator's
+// authoritative EDB copy: cross-shard delete-and-rederive would need
+// over-deletion provenance spanning workers (an imported tuple's witness
+// lives on another shard), so the delete path trades latency for the
+// simple rebuild whose result is trivially correct. The net view change
+// reported for a delete is the diff of the merged views, exactly what a
+// single-node DRed pass reports.
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/datalog"
+)
+
+// importPrefix marks the reserved import predicates carrying cross-shard
+// IDB deltas. The '@' cannot appear in a parsed predicate name, so user
+// programs cannot collide with it; New rejects AST-built programs that do.
+const importPrefix = "@in:"
+
+// importName returns the import predicate for an IDB predicate.
+func importName(pred string) string { return importPrefix + pred }
+
+// ErrBroken reports that a maintenance pass was aborted (context
+// cancellation mid-exchange), leaving the sharded view inconsistent; the
+// owner must rebuild with New, mirroring datalog.ErrViewBroken.
+var ErrBroken = errors.New("shard: sharded view broken by an aborted update")
+
+// Config sizes a Coordinator.
+type Config struct {
+	// Workers is the shard count N (minimum 1).
+	Workers int
+	// Options configures every worker's evaluator (parallelism inside a
+	// worker composes with sharding; the equivalence suite runs both).
+	Options datalog.Options
+	// MaxExchangeRounds aborts a maintenance pass after this many barrier
+	// iterations when > 0 — a safety valve like Options.MaxRounds; the
+	// exchange always terminates on its own (only globally novel tuples
+	// cross the barrier, and the fixpoint is finite).
+	MaxExchangeRounds int
+}
+
+// Stats counts the coordinator's cross-shard activity over its lifetime.
+type Stats struct {
+	// Shards is the worker count.
+	Shards int `json:"shards"`
+	// ExchangeRounds counts barrier iterations (one per round of
+	// export→route→import across all workers).
+	ExchangeRounds int64 `json:"exchange_rounds"`
+	// ExchangedTuples counts tuples routed shard-to-shard (import facts
+	// delivered; broadcasts count once per receiving shard).
+	ExchangedTuples int64 `json:"exchanged_tuples"`
+	// Rebuilds counts delete-triggered full rebuilds of the sharded view.
+	Rebuilds int64 `json:"rebuilds"`
+}
+
+// Coordinator owns one program's sharded materialized fixpoint: N workers
+// over hash partitions of the EDB plus the merged view their exchanged
+// deltas build up. It implements the same maintenance surface as
+// datalog.Incremental (Check / InsertContext / DeleteContext / LastDelta /
+// Result / Rounds / Updates / Err), so internal/service drives either
+// interchangeably. Methods must not be called concurrently; the
+// coordinator parallelizes internally across workers between barriers.
+type Coordinator struct {
+	cfg      Config
+	prog     *datalog.Program
+	tprog    *datalog.Program // prog + import copy rules, shared by all workers
+	routes   *Routing
+	universe int
+
+	idbNames []string // sorted original IDB predicates
+	idbSet   map[string]bool
+	edbSet   map[string]bool
+	arity    map[string]int
+
+	// edb is the authoritative full EDB (every committed relevant fact),
+	// the rebuild source for the delete path.
+	edb *datalog.Database
+
+	workers []*worker
+	merged  map[string]*datalog.Relation
+	res     *datalog.Result
+
+	// roundsBase and derivationsBase carry the accumulated counters of
+	// workers discarded by rebuilds, keeping Rounds() monotone for the
+	// service's per-commit round metrics.
+	roundsBase      int
+	derivationsBase int
+
+	updates   int
+	broken    error
+	lastDelta datalog.Delta
+	stats     Stats
+}
+
+// New evaluates the program to its sharded fixpoint over a private copy
+// of db; see NewContext.
+func New(p *datalog.Program, db *datalog.Database, cfg Config) (*Coordinator, error) {
+	return NewContext(context.Background(), p, db, cfg)
+}
+
+// NewContext partitions db across cfg.Workers shard workers, runs the
+// initial distributed fixpoint under ctx, and returns the coordinator. A
+// context abort during construction returns the error and no coordinator.
+func NewContext(ctx context.Context, p *datalog.Program, db *datalog.Database, cfg Config) (*Coordinator, error) {
+	if cfg.Workers < 1 {
+		cfg.Workers = 1
+	}
+	if err := datalog.Validate(p); err != nil {
+		return nil, err
+	}
+	arity := p.Arities()
+	for pred := range arity {
+		if strings.HasPrefix(pred, importPrefix) {
+			return nil, fmt.Errorf("shard: predicate %q collides with the reserved import prefix %q", pred, importPrefix)
+		}
+	}
+	c := &Coordinator{
+		cfg:      cfg,
+		prog:     p,
+		universe: db.N,
+		idbSet:   p.IDBs(),
+		edbSet:   p.EDBs(),
+		arity:    arity,
+		edb:      db.Clone(),
+		stats:    Stats{Shards: cfg.Workers},
+	}
+	for pred := range c.idbSet {
+		c.idbNames = append(c.idbNames, pred)
+	}
+	sort.Strings(c.idbNames)
+	c.routes = PlanRoutes(p, cfg.Options, db)
+	c.tprog = transform(p, c.idbNames, arity)
+	if err := c.build(ctx); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// transform appends the import copy rule P(x…) :- @in:P(x…) for every IDB
+// predicate, giving cross-shard deltas an EDB predicate to arrive on.
+func transform(p *datalog.Program, idbNames []string, arity map[string]int) *datalog.Program {
+	out := &datalog.Program{Goal: p.Goal}
+	out.Rules = append(out.Rules, p.Rules...)
+	for _, pred := range idbNames {
+		args := make([]datalog.Term, arity[pred])
+		for i := range args {
+			args[i] = datalog.V(fmt.Sprintf("x%d", i))
+		}
+		out.Rules = append(out.Rules, datalog.NewRule(
+			datalog.NewAtom(pred, args...),
+			datalog.NewAtom(importName(pred), args...),
+		))
+	}
+	return out
+}
+
+// Program returns the original (untransformed) program.
+func (c *Coordinator) Program() *datalog.Program { return c.prog }
+
+// Stats returns the lifetime cross-shard counters.
+func (c *Coordinator) Stats() Stats { return c.stats }
+
+// Routes returns the routing plan (read-only).
+func (c *Coordinator) Routes() *Routing { return c.routes }
+
+// WorkerLoads returns the per-worker derivation counts for the current
+// fixpoint (not lifetime totals — a rebuild resets them with the
+// workers). The spread between max and mean is the partition skew, and
+// max/total is the critical-path share: on the fully partitioned E31
+// gate workload, max ≈ total/N, which is the machine-independent form
+// of the sharded speedup (wall-clock follows it once one core per
+// worker exists).
+func (c *Coordinator) WorkerLoads() []int {
+	loads := make([]int, len(c.workers))
+	for i, w := range c.workers {
+		loads[i] = w.inc.Result().Derivations
+	}
+	return loads
+}
+
+// Updates returns the number of applied Insert/Delete batches.
+func (c *Coordinator) Updates() int { return c.updates }
+
+// Err returns the error that broke the view (wrapping ErrBroken), or nil.
+func (c *Coordinator) Err() error { return c.broken }
+
+// Rounds returns the fixpoint rounds executed across all workers over the
+// coordinator's lifetime (monotone across rebuilds).
+func (c *Coordinator) Rounds() int { return c.res.Rounds }
+
+// LastDelta returns the net per-predicate IDB change of the most recent
+// successful Insert or Delete, in canonical order — the same contract as
+// datalog.Incremental.LastDelta, so the service's subscription hub
+// publishes sharded and unsharded deltas identically.
+func (c *Coordinator) LastDelta() datalog.Delta { return c.lastDelta }
+
+// Result returns the merged view: IDB relations folded from every
+// worker's exchanged derivations. The relations are live (later updates
+// extend them); Stage and per-rule Stats are not populated — stages are a
+// per-worker notion once import rules enter the picture.
+func (c *Coordinator) Result() *datalog.Result { return c.res }
+
+// Check validates an update batch exactly like datalog.Incremental.Check:
+// IDB facts are rejected (derived, not asserted), EDB facts must match
+// the program's arity, every element must lie in the universe, and facts
+// for predicates the program never mentions are legal no-ops. Import
+// predicates are rejected outright — they are the exchange's wire format,
+// not part of the committed EDB.
+func (c *Coordinator) Check(facts ...datalog.Fact) error {
+	for _, f := range facts {
+		if c.idbSet[f.Pred] {
+			return fmt.Errorf("shard: %s is an IDB predicate of the program; its facts are derived, not asserted", f.Pred)
+		}
+		if strings.HasPrefix(f.Pred, importPrefix) {
+			return fmt.Errorf("shard: predicate %q is reserved for cross-shard delta exchange", f.Pred)
+		}
+		if c.edbSet[f.Pred] && len(f.Tuple) != c.arity[f.Pred] {
+			return fmt.Errorf("shard: fact %s has arity %d but the program uses %s with arity %d",
+				f, len(f.Tuple), f.Pred, c.arity[f.Pred])
+		}
+		for _, x := range f.Tuple {
+			if x < 0 || x >= c.universe {
+				return fmt.Errorf("shard: fact %s has element %d outside the universe of size %d", f, x, c.universe)
+			}
+		}
+	}
+	return nil
+}
+
+// begin gates a maintenance pass on a consistent view.
+func (c *Coordinator) begin() error {
+	if c.broken != nil {
+		return fmt.Errorf("%w: %w", ErrBroken, c.broken)
+	}
+	return nil
+}
+
+// Insert adds EDB facts with a background context; see InsertContext.
+func (c *Coordinator) Insert(facts ...datalog.Fact) error {
+	return c.InsertContext(context.Background(), facts...)
+}
+
+// InsertContext adds EDB facts and maintains the sharded fixpoint
+// incrementally: genuinely new facts are routed to their owning shards,
+// each shard re-enters its semi-naive loop, and the exchange barrier
+// circulates cross-shard consequences until global quiescence. The batch
+// is validated before anything mutates; a context abort mid-exchange
+// breaks the view (see ErrBroken).
+func (c *Coordinator) InsertContext(ctx context.Context, facts ...datalog.Fact) error {
+	if err := c.begin(); err != nil {
+		return err
+	}
+	if err := c.Check(facts...); err != nil {
+		return err
+	}
+	c.updates++
+	c.lastDelta = datalog.Delta{}
+	// Apply to the authoritative EDB, keeping only the genuinely new
+	// program-relevant facts.
+	var fresh []datalog.Fact
+	for _, f := range facts {
+		if !c.edbSet[f.Pred] {
+			continue
+		}
+		if c.edb.EnsureRelation(f.Pred, len(f.Tuple)).Add(f.Tuple) {
+			fresh = append(fresh, f)
+		}
+	}
+	if len(fresh) == 0 {
+		return nil
+	}
+	// Route the new EDB facts to their owning shards.
+	n := len(c.workers)
+	batches := make([][]datalog.Fact, n)
+	var buf []int
+	for _, f := range fresh {
+		buf = c.routes.Targets(f.Pred, f.Tuple, n, buf[:0])
+		for _, s := range buf {
+			batches[s] = append(batches[s], f)
+		}
+	}
+	outs, err := c.ingestAll(ctx, batches)
+	if err != nil {
+		c.broken = err
+		return err
+	}
+	novel, err := c.exchange(ctx, outs)
+	if err != nil {
+		c.broken = err
+		return err
+	}
+	c.refreshCounters()
+	if len(novel) > 0 {
+		for _, ts := range novel {
+			datalog.SortTuples(ts)
+		}
+		c.lastDelta = datalog.Delta{Added: novel}
+	}
+	return nil
+}
+
+// Delete removes EDB facts with a background context; see DeleteContext.
+func (c *Coordinator) Delete(facts ...datalog.Fact) error {
+	return c.DeleteContext(context.Background(), facts...)
+}
+
+// DeleteContext removes EDB facts and rebuilds the sharded fixpoint from
+// the coordinator's authoritative EDB (see the package comment for why
+// deletions rebuild rather than run cross-shard DRed). The reported delta
+// is the diff of the merged views — identical to what single-node
+// delete-and-rederive reports. A context abort mid-rebuild breaks the
+// view.
+func (c *Coordinator) DeleteContext(ctx context.Context, facts ...datalog.Fact) error {
+	if err := c.begin(); err != nil {
+		return err
+	}
+	if err := c.Check(facts...); err != nil {
+		return err
+	}
+	c.updates++
+	c.lastDelta = datalog.Delta{}
+	removed := false
+	for _, f := range facts {
+		if !c.edbSet[f.Pred] {
+			continue
+		}
+		if rel := c.edb.Relation(f.Pred); rel != nil && rel.Remove(f.Tuple) {
+			removed = true
+		}
+	}
+	if !removed {
+		return nil
+	}
+	c.stats.Rebuilds++
+	old := c.merged
+	if err := c.build(ctx); err != nil {
+		c.broken = err
+		return err
+	}
+	c.lastDelta = diffMerged(old, c.merged)
+	return nil
+}
+
+// build constructs the workers from the authoritative EDB and runs the
+// distributed fixpoint: partition, parallel initial evaluation, then the
+// exchange loop to global quiescence. Called by NewContext and by the
+// delete path's rebuild.
+func (c *Coordinator) build(ctx context.Context) error {
+	n := c.cfg.Workers
+	if c.workers != nil {
+		// Bank the outgoing workers' counters so Rounds stays monotone.
+		c.roundsBase = c.res.Rounds
+		c.derivationsBase = c.res.Derivations
+	}
+	// Partition the EDB: each fact lands on every shard whose rules can
+	// join on it. Every worker materializes every EDB and import relation
+	// so the compiled rules bind to the right storage even when a
+	// partition is empty.
+	locals := make([]*datalog.Database, n)
+	for i := range locals {
+		locals[i] = datalog.NewDatabase(c.universe)
+		for pred := range c.edbSet {
+			locals[i].EnsureRelation(pred, c.arity[pred])
+		}
+		for _, pred := range c.idbNames {
+			locals[i].EnsureRelation(importName(pred), c.arity[pred])
+		}
+	}
+	var buf []int
+	for pred := range c.edbSet {
+		rel := c.edb.Relation(pred)
+		if rel == nil {
+			continue
+		}
+		for _, t := range rel.TuplesUnordered() {
+			buf = c.routes.Targets(pred, t, n, buf[:0])
+			for _, s := range buf {
+				locals[s].Relation(pred).Add(t)
+			}
+		}
+	}
+	workers := make([]*worker, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			workers[i], errs[i] = newWorker(ctx, i, c.tprog, locals[i], c.cfg.Options, c.idbNames)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	merged := make(map[string]*datalog.Relation, len(c.idbNames))
+	for _, pred := range c.idbNames {
+		merged[pred] = datalog.NewDLRelation(c.arity[pred])
+	}
+	c.workers, c.merged = workers, merged
+	c.res = &datalog.Result{IDB: merged, Stats: &datalog.EvalStats{}}
+	outs := make([][]export, n)
+	for i, w := range workers {
+		outs[i] = w.initialExports()
+	}
+	if _, err := c.exchange(ctx, outs); err != nil {
+		return err
+	}
+	c.refreshCounters()
+	return nil
+}
+
+// exchange drains the export→route→import loop to global quiescence: a
+// round barrier folds every worker's exports into the merged view
+// (deduplicating globally), routes the novel tuples to the shards whose
+// rules join on them, and re-enters each receiving worker's semi-naive
+// loop. Returns the globally novel tuples per predicate (unsorted).
+func (c *Coordinator) exchange(ctx context.Context, outs [][]export) (map[string][]datalog.Tuple, error) {
+	n := len(c.workers)
+	novel := map[string][]datalog.Tuple{}
+	var buf []int
+	for round := 0; ; round++ {
+		if c.cfg.MaxExchangeRounds > 0 && round >= c.cfg.MaxExchangeRounds {
+			return nil, fmt.Errorf("shard: exchange exceeded %d rounds", c.cfg.MaxExchangeRounds)
+		}
+		c.stats.ExchangeRounds++
+		batches := make([][]datalog.Fact, n)
+		routed := 0
+		for wi, exs := range outs {
+			for _, ex := range exs {
+				if !c.merged[ex.pred].Add(ex.t) {
+					continue // another shard already exported it
+				}
+				novel[ex.pred] = append(novel[ex.pred], ex.t)
+				buf = c.routes.Targets(ex.pred, ex.t, n, buf[:0])
+				for _, s := range buf {
+					if s == wi {
+						continue // the exporter already holds it
+					}
+					batches[s] = append(batches[s], datalog.Fact{Pred: importName(ex.pred), Tuple: ex.t})
+					routed++
+				}
+			}
+		}
+		if routed == 0 {
+			return novel, nil
+		}
+		c.stats.ExchangedTuples += int64(routed)
+		var err error
+		outs, err = c.ingestAll(ctx, batches)
+		if err != nil {
+			return nil, err
+		}
+	}
+}
+
+// ingestAll runs one parallel ingest phase: every worker with a non-empty
+// batch inserts it and reports its fresh exports. Worker errors surface
+// in worker order (deterministic given deterministic inputs).
+func (c *Coordinator) ingestAll(ctx context.Context, batches [][]datalog.Fact) ([][]export, error) {
+	n := len(c.workers)
+	outs := make([][]export, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		if len(batches[i]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			outs[i], errs[i] = c.workers[i].ingest(ctx, batches[i])
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return outs, nil
+}
+
+// refreshCounters rolls the workers' round and derivation counters up
+// into the cached Result after a maintenance pass.
+func (c *Coordinator) refreshCounters() {
+	rounds, derivations := c.roundsBase, c.derivationsBase
+	for _, w := range c.workers {
+		rounds += w.inc.Rounds()
+		derivations += w.inc.Result().Derivations
+	}
+	c.res.Rounds, c.res.Derivations = rounds, derivations
+}
+
+// diffMerged computes the net view change between two merged views as a
+// canonical Delta (the delete path's contract).
+func diffMerged(old, cur map[string]*datalog.Relation) datalog.Delta {
+	var d datalog.Delta
+	collect := func(from, against map[string]*datalog.Relation, dst *map[string][]datalog.Tuple) {
+		for pred, rel := range from {
+			var ts []datalog.Tuple
+			other := against[pred]
+			for _, t := range rel.Tuples() {
+				if other == nil || !other.Has(t) {
+					ts = append(ts, t)
+				}
+			}
+			if len(ts) == 0 {
+				continue
+			}
+			if *dst == nil {
+				*dst = map[string][]datalog.Tuple{}
+			}
+			(*dst)[pred] = ts
+		}
+	}
+	collect(cur, old, &d.Added)
+	collect(old, cur, &d.Removed)
+	return d
+}
+
+// export is one derived tuple leaving a worker for the round barrier.
+type export struct {
+	pred string
+	t    datalog.Tuple
+}
+
+// worker is one shard: the packed semi-naive engine maintaining the
+// transformed program over this shard's partition, plus the seen-set that
+// keeps the exchange from circulating a tuple more than once per shard.
+type worker struct {
+	id       int
+	inc      *datalog.Incremental
+	idb      map[string]*datalog.Relation
+	idbNames []string
+	// seen holds every tuple this shard has exported or imported; both
+	// directions are final for the shard, so membership means "the
+	// barrier already knows".
+	seen map[string]*datalog.Relation
+}
+
+func newWorker(ctx context.Context, id int, tprog *datalog.Program, local *datalog.Database, opts datalog.Options, idbNames []string) (*worker, error) {
+	inc, err := datalog.NewIncrementalContext(ctx, tprog, local, opts)
+	if err != nil {
+		return nil, fmt.Errorf("shard %d: %w", id, err)
+	}
+	w := &worker{id: id, inc: inc, idb: inc.Result().IDB, idbNames: idbNames,
+		seen: make(map[string]*datalog.Relation, len(idbNames))}
+	for _, pred := range idbNames {
+		w.seen[pred] = datalog.NewDLRelation(w.idb[pred].Arity)
+	}
+	return w, nil
+}
+
+// initialExports returns every IDB tuple of the freshly evaluated
+// partition, in deterministic (predicate, canonical tuple) order.
+func (w *worker) initialExports() []export {
+	var out []export
+	for _, pred := range w.idbNames {
+		for _, t := range w.idb[pred].Tuples() {
+			w.seen[pred].Add(t)
+			out = append(out, export{pred, t})
+		}
+	}
+	return out
+}
+
+// ingest inserts one batch of routed facts — partition EDB facts and/or
+// foreign deltas on import predicates — re-entering the engine's
+// delta-seeded insert path, and returns the newly derived tuples the
+// barrier has not seen from this shard yet.
+func (w *worker) ingest(ctx context.Context, facts []datalog.Fact) ([]export, error) {
+	// Imported tuples are already known to the barrier: mark them seen
+	// before the insert so the copy rule's re-derivations stay home.
+	for _, f := range facts {
+		if pred, ok := strings.CutPrefix(f.Pred, importPrefix); ok {
+			w.seen[pred].Add(f.Tuple)
+		}
+	}
+	if err := w.inc.InsertContext(ctx, facts...); err != nil {
+		return nil, fmt.Errorf("shard %d: %w", w.id, err)
+	}
+	d := w.inc.LastDelta()
+	var out []export
+	for _, pred := range w.idbNames {
+		for _, t := range d.Added[pred] {
+			if w.seen[pred].Add(t) {
+				out = append(out, export{pred, t})
+			}
+		}
+	}
+	return out, nil
+}

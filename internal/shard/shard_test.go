@@ -1,0 +1,409 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/datalog"
+	"repro/internal/graph"
+)
+
+// renderIDB renders a result's IDB relations for byte-identical
+// comparison: predicates sorted, tuples in canonical order.
+func renderIDB(res *datalog.Result) string {
+	var preds []string
+	for pred := range res.IDB {
+		preds = append(preds, pred)
+	}
+	sort.Strings(preds)
+	var b strings.Builder
+	for _, pred := range preds {
+		fmt.Fprintf(&b, "%s:", pred)
+		for _, t := range res.IDB[pred].Tuples() {
+			fmt.Fprintf(&b, " %v", t)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// renderDelta renders a maintenance delta the same way.
+func renderDelta(d datalog.Delta) string {
+	var b strings.Builder
+	side := func(label string, m map[string][]datalog.Tuple) {
+		var preds []string
+		for pred := range m {
+			if len(m[pred]) > 0 {
+				preds = append(preds, pred)
+			}
+		}
+		sort.Strings(preds)
+		for _, pred := range preds {
+			fmt.Fprintf(&b, "%s %s:", label, pred)
+			for _, t := range m[pred] {
+				fmt.Fprintf(&b, " %v", t)
+			}
+			b.WriteByte('\n')
+		}
+	}
+	side("+", d.Added)
+	side("-", d.Removed)
+	return b.String()
+}
+
+func TestRoutingPlan(t *testing.T) {
+	prog, err := datalog.Parse(`
+		R(x,z) :- E(x,y), G(y,z).
+		T(x) :- H(x), K(0,1).
+		goal R.
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := PlanRoutes(prog, datalog.Options{}, nil)
+	// Rule 1: partition var y (in both atoms) → E by col 1, G by col 0.
+	if got := rt.Cols("E"); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("E cols = %v, want [1]\n%s", got, rt.Describe())
+	}
+	if got := rt.Cols("G"); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("G cols = %v, want [0]\n%s", got, rt.Describe())
+	}
+	if rt.Broadcast("E") || rt.Broadcast("G") {
+		t.Fatalf("E/G must not broadcast\n%s", rt.Describe())
+	}
+	// Rule 2: partition var x; H routes by col 0, the ground atom K must
+	// broadcast (no column carries the partition var).
+	if got := rt.Cols("H"); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("H cols = %v, want [0]\n%s", got, rt.Describe())
+	}
+	if !rt.Broadcast("K") {
+		t.Fatalf("ground atom K must broadcast\n%s", rt.Describe())
+	}
+	// Targets: broadcast goes everywhere, routed goes to one shard, and
+	// an unrouted predicate goes nowhere.
+	if got := rt.Targets("K", datalog.Tuple{0, 1}, 4, nil); len(got) != 4 {
+		t.Fatalf("broadcast targets = %v, want all 4", got)
+	}
+	if got := rt.Targets("E", datalog.Tuple{3, 7}, 4, nil); len(got) != 1 || got[0] != shardOf(7, 4) {
+		t.Fatalf("E(3,7) targets = %v, want [%d]", got, shardOf(7, 4))
+	}
+	if got := rt.Targets("Z", datalog.Tuple{1}, 4, nil); len(got) != 0 {
+		t.Fatalf("unrouted predicate targets = %v, want none", got)
+	}
+}
+
+func TestShardOf(t *testing.T) {
+	for n := 1; n <= 8; n++ {
+		hit := make([]bool, n)
+		for v := 0; v < 256; v++ {
+			s := shardOf(v, n)
+			if s < 0 || s >= n {
+				t.Fatalf("shardOf(%d,%d) = %d out of range", v, n, s)
+			}
+			if s != shardOf(v, n) {
+				t.Fatalf("shardOf not deterministic")
+			}
+			hit[s] = true
+		}
+		for s, ok := range hit {
+			if !ok && n <= 8 {
+				t.Fatalf("n=%d: shard %d never hit over 256 elements", n, s)
+			}
+		}
+	}
+}
+
+func TestTransitiveClosureMatchesSingleNode(t *testing.T) {
+	prog := datalog.TransitiveClosureProgram()
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 10; trial++ {
+		db := datalog.FromGraph(graph.Random(12, 0.25, rng))
+		want, err := datalog.Eval(prog, db.Clone(), datalog.DefaultOptions)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, n := range []int{1, 2, 4, 8} {
+			c, err := New(prog, db, Config{Workers: n})
+			if err != nil {
+				t.Fatalf("N=%d: %v", n, err)
+			}
+			if got, ref := renderIDB(c.Result()), renderIDB(want); got != ref {
+				t.Fatalf("trial %d N=%d: sharded TC differs\nsharded:\n%s\nsingle:\n%s", trial, n, got, ref)
+			}
+		}
+	}
+}
+
+func TestIncrementalInsertMatchesSingleNode(t *testing.T) {
+	prog := datalog.TransitiveClosureProgram()
+	db := datalog.NewDatabase(16)
+	db.EnsureRelation("E", 2)
+	ref, err := datalog.NewIncremental(prog, db.Clone(), datalog.DefaultOptions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(prog, db, Config{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 40; i++ {
+		f := datalog.Fact{Pred: "E", Tuple: datalog.Tuple{rng.Intn(16), rng.Intn(16)}}
+		if err := ref.Insert(f); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Insert(f); err != nil {
+			t.Fatal(err)
+		}
+		if got, want := renderDelta(c.LastDelta()), renderDelta(ref.LastDelta()); got != want {
+			t.Fatalf("step %d: delta differs\nsharded:\n%s\nsingle:\n%s", i, got, want)
+		}
+		if got, want := renderIDB(c.Result()), renderIDB(ref.Result()); got != want {
+			t.Fatalf("step %d: view differs\nsharded:\n%s\nsingle:\n%s", i, got, want)
+		}
+	}
+	if c.Updates() != 40 {
+		t.Fatalf("updates = %d, want 40", c.Updates())
+	}
+	if c.Rounds() <= 0 {
+		t.Fatalf("rounds = %d, want > 0", c.Rounds())
+	}
+}
+
+func TestDeleteRebuildMatchesSingleNode(t *testing.T) {
+	prog := datalog.TransitiveClosureProgram()
+	rng := rand.New(rand.NewSource(13))
+	db := datalog.FromGraph(graph.Random(10, 0.3, rng))
+	ref, err := datalog.NewIncremental(prog, db.Clone(), datalog.DefaultOptions.WithProvenance(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(prog, db, Config{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges := db.Relation("E").Tuples()
+	rounds := c.Rounds()
+	for i, e := range edges {
+		f := datalog.Fact{Pred: "E", Tuple: e}
+		if err := ref.Delete(f); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Delete(f); err != nil {
+			t.Fatal(err)
+		}
+		if got, want := renderDelta(c.LastDelta()), renderDelta(ref.LastDelta()); got != want {
+			t.Fatalf("delete %d: delta differs\nsharded:\n%s\nsingle:\n%s", i, got, want)
+		}
+		if got, want := renderIDB(c.Result()), renderIDB(ref.Result()); got != want {
+			t.Fatalf("delete %d: view differs\nsharded:\n%s\nsingle:\n%s", i, got, want)
+		}
+		if c.Rounds() < rounds {
+			t.Fatalf("delete %d: Rounds went backwards (%d -> %d)", i, rounds, c.Rounds())
+		}
+		rounds = c.Rounds()
+	}
+	if got := c.Stats().Rebuilds; got != int64(len(edges)) {
+		t.Fatalf("rebuilds = %d, want %d", got, len(edges))
+	}
+	// Deleting an absent fact is a no-op, not a rebuild.
+	before := c.Stats().Rebuilds
+	if err := c.Delete(datalog.Fact{Pred: "E", Tuple: datalog.Tuple{0, 0}}); err != nil {
+		t.Fatal(err)
+	}
+	if c.Stats().Rebuilds != before {
+		t.Fatalf("no-op delete triggered a rebuild")
+	}
+	if !c.LastDelta().Empty() {
+		t.Fatalf("no-op delete reported a delta: %v", c.LastDelta())
+	}
+}
+
+func TestCheckRejections(t *testing.T) {
+	prog, err := datalog.Parse("S(x,y) :- E(x,y). S(x,z) :- S(x,y), E(y,z). goal S.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(prog, datalog.NewDatabase(8), Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		fact datalog.Fact
+		want string
+	}{
+		{datalog.Fact{Pred: "S", Tuple: datalog.Tuple{0, 1}}, "IDB predicate"},
+		{datalog.Fact{Pred: "@in:S", Tuple: datalog.Tuple{0, 1}}, "reserved"},
+		{datalog.Fact{Pred: "E", Tuple: datalog.Tuple{0}}, "arity"},
+		{datalog.Fact{Pred: "E", Tuple: datalog.Tuple{0, 99}}, "universe"},
+	}
+	for _, tc := range cases {
+		err := c.Check(tc.fact)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("Check(%v) = %v, want error containing %q", tc.fact, err, tc.want)
+		}
+		// The failed batch must not have mutated anything.
+		if err := c.Insert(tc.fact); err == nil {
+			t.Fatalf("Insert(%v) succeeded, want rejection", tc.fact)
+		}
+		if c.Err() != nil {
+			t.Fatalf("rejected batch broke the view: %v", c.Err())
+		}
+	}
+	// Facts for predicates the program never mentions are legal no-ops.
+	if err := c.Insert(datalog.Fact{Pred: "Other", Tuple: datalog.Tuple{1, 2, 3}}); err != nil {
+		t.Fatalf("irrelevant fact rejected: %v", err)
+	}
+	if !c.LastDelta().Empty() {
+		t.Fatalf("irrelevant fact changed the view")
+	}
+}
+
+func TestReservedPrefixProgramRejected(t *testing.T) {
+	prog := &datalog.Program{Goal: "P", Rules: []datalog.Rule{
+		datalog.NewRule(datalog.NewAtom("P", datalog.V("x")), datalog.NewAtom("@in:Q", datalog.V("x"))),
+	}}
+	if _, err := New(prog, datalog.NewDatabase(4), Config{Workers: 2}); err == nil {
+		t.Fatal("program using the reserved import prefix was accepted")
+	}
+}
+
+func TestAbortedInsertBreaksView(t *testing.T) {
+	prog := datalog.TransitiveClosureProgram()
+	db := datalog.NewDatabase(8)
+	db.EnsureRelation("E", 2)
+	db.AddFact("E", 0, 1)
+	c, err := New(prog, db, Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := c.InsertContext(ctx, datalog.Fact{Pred: "E", Tuple: datalog.Tuple{1, 2}}); err == nil {
+		t.Fatal("insert under a cancelled context succeeded")
+	}
+	if c.Err() == nil {
+		t.Fatal("aborted insert left the view consistent")
+	}
+	err = c.Insert(datalog.Fact{Pred: "E", Tuple: datalog.Tuple{2, 3}})
+	if !errors.Is(err, ErrBroken) {
+		t.Fatalf("insert on a broken view = %v, want ErrBroken", err)
+	}
+	if err := c.Delete(datalog.Fact{Pred: "E", Tuple: datalog.Tuple{0, 1}}); !errors.Is(err, ErrBroken) {
+		t.Fatalf("delete on a broken view = %v, want ErrBroken", err)
+	}
+	// A cancelled context during construction returns no coordinator.
+	if _, err := NewContext(ctx, prog, db, Config{Workers: 2}); err == nil {
+		t.Fatal("NewContext under a cancelled context succeeded")
+	}
+}
+
+func TestMaxExchangeRounds(t *testing.T) {
+	prog := datalog.TransitiveClosureProgram()
+	rng := rand.New(rand.NewSource(3))
+	db := datalog.FromGraph(graph.Random(16, 0.4, rng))
+	if _, err := New(prog, db, Config{Workers: 4, MaxExchangeRounds: 1}); err == nil {
+		t.Fatal("a 1-round exchange budget sufficed for a recursive closure, expected an abort")
+	}
+	if _, err := New(prog, db, Config{Workers: 4, MaxExchangeRounds: 10000}); err != nil {
+		t.Fatalf("generous exchange budget: %v", err)
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	prog := datalog.TransitiveClosureProgram()
+	rng := rand.New(rand.NewSource(5))
+	db := datalog.FromGraph(graph.Random(14, 0.3, rng))
+	opts := datalog.DefaultOptions.WithParallelism(4)
+	var wantView, wantDelta string
+	for run := 0; run < 5; run++ {
+		c, err := New(prog, db, Config{Workers: 4, Options: opts})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Insert(datalog.Fact{Pred: "E", Tuple: datalog.Tuple{0, 13}}); err != nil {
+			t.Fatal(err)
+		}
+		view, delta := renderIDB(c.Result()), renderDelta(c.LastDelta())
+		if run == 0 {
+			wantView, wantDelta = view, delta
+			continue
+		}
+		if view != wantView || delta != wantDelta {
+			t.Fatalf("run %d differs from run 0\nview:\n%s\nwant:\n%s\ndelta:\n%s\nwant:\n%s",
+				run, view, wantView, delta, wantDelta)
+		}
+	}
+}
+
+// gateWorkload is the E31 gate shape: a key-local triple join where
+// every body atom shares the partition variable, so routing fully
+// partitions the EDB and derived tuples never cross shards.
+func gateWorkload(keys, deg int) (*datalog.Program, *datalog.Database) {
+	k, x, y, z := datalog.V("k"), datalog.V("x"), datalog.V("y"), datalog.V("z")
+	r := datalog.Rule{Head: datalog.NewAtom("J", k)}
+	for _, v := range []datalog.Term{x, y, z} {
+		a := datalog.NewAtom("E", k, v)
+		r.Body = append(r.Body, datalog.BodyItem{Atom: &a})
+	}
+	for _, pair := range [][2]datalog.Term{{x, y}, {y, z}, {x, z}} {
+		c := datalog.Constraint{Left: pair[0], Right: pair[1], Neq: true}
+		r.Body = append(r.Body, datalog.BodyItem{Constraint: &c})
+	}
+	prog := &datalog.Program{Rules: []datalog.Rule{r}, Goal: "J"}
+	db := datalog.NewDatabase(256)
+	db.EnsureRelation("E", 2)
+	for key := 0; key < keys; key++ {
+		for j := 0; j < deg; j++ {
+			db.AddFact("E", key, (key*7+j*13+1)%256)
+		}
+	}
+	return prog, db
+}
+
+// TestGateWorkloadCriticalPath pins the machine-independent form of the
+// E31 acceptance gate: at N=4 workers the busiest shard carries at most
+// half the single-worker derivation load (so wall-clock throughput is
+// >= 2x single-worker as soon as each worker has a core), and the gate
+// workload exchanges zero cross-shard tuples.
+func TestGateWorkloadCriticalPath(t *testing.T) {
+	prog, db := gateWorkload(192, 16)
+	opts := datalog.DefaultOptions.WithParallelism(1)
+	single, err := New(prog, db, Config{Workers: 1, Options: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := single.WorkerLoads()[0]
+	if total == 0 {
+		t.Fatal("gate workload derived nothing")
+	}
+	sharded, err := New(prog, db, Config{Workers: 4, Options: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := renderIDB(sharded.Result()), renderIDB(single.Result()); got != want {
+		t.Fatalf("gate workload fixpoints differ\nsharded:\n%s\nsingle:\n%s", got, want)
+	}
+	loads := sharded.WorkerLoads()
+	var max, sum int
+	for _, l := range loads {
+		sum += l
+		if l > max {
+			max = l
+		}
+	}
+	if sum != total {
+		t.Fatalf("sharded derivations %d != single-worker %d (loads %v)", sum, total, loads)
+	}
+	if 2*max > total {
+		t.Fatalf("critical path %d > half of single-worker load %d (loads %v)", max, total, loads)
+	}
+	if ex := sharded.Stats().ExchangedTuples; ex != 0 {
+		t.Fatalf("gate workload exchanged %d tuples, want 0", ex)
+	}
+}
